@@ -1,0 +1,160 @@
+// Experiment E1 (§3.1, Fig. 3): consumer-group semantics at scale. Adding
+// consumers to a group splits the partitions (queue semantics -> parallel
+// drain speedup); adding GROUPS multiplies delivery (pub/sub) without
+// re-reading costs for producers.
+//
+// Paper shape: drain time drops with group size up to the partition count;
+// each extra group sees the full feed independently.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+#include "messaging/consumer.h"
+#include "messaging/offset_manager.h"
+#include "messaging/producer.h"
+
+namespace liquid::messaging {
+namespace {
+
+using bench::Fmt;
+using bench::Stopwatch;
+using bench::Table;
+
+constexpr int kPartitions = 8;
+constexpr int kRecords = 40'000;
+
+struct Rig {
+  SystemClock clock;
+  std::unique_ptr<Cluster> cluster;
+  storage::MemDisk offsets_disk;
+  std::unique_ptr<OffsetManager> offsets;
+  std::unique_ptr<GroupCoordinator> coordinator;
+};
+
+std::unique_ptr<Rig> BuildRig() {
+  auto rig = std::make_unique<Rig>();
+  ClusterConfig config;
+  config.num_brokers = 3;
+  rig->cluster = std::make_unique<Cluster>(config, &rig->clock);
+  rig->cluster->Start();
+  TopicConfig topic;
+  topic.partitions = kPartitions;
+  topic.replication_factor = 1;
+  rig->cluster->CreateTopic("t", topic);
+  rig->offsets =
+      std::move(OffsetManager::Open(&rig->offsets_disk, "o/", &rig->clock))
+          .value();
+  rig->coordinator = std::make_unique<GroupCoordinator>(rig->cluster.get());
+
+  ProducerConfig producer_config;
+  producer_config.partitioner = PartitionerType::kRoundRobin;
+  producer_config.batch_max_records = 256;
+  Producer producer(rig->cluster.get(), producer_config);
+  for (int i = 0; i < kRecords; ++i) {
+    producer.Send("t", storage::Record::KeyValue("k", std::string(64, 'v')));
+  }
+  producer.Flush();
+  return rig;
+}
+
+/// Drains the topic with `members` consumers in one group. Since all members
+/// run interleaved on one host thread, the parallel drain time is modeled as
+/// the busiest member's share: records are consumed exactly once (queue
+/// semantics) and split by partition assignment, so with P partitions and M
+/// members the bottleneck member owns ceil(P/M) partitions.
+struct DrainResult {
+  int64_t total = 0;
+  int64_t max_per_member = 0;
+  int active_members = 0;
+};
+
+DrainResult DrainWithGroupSize(Rig* rig, int members, const std::string& group) {
+  std::vector<std::unique_ptr<Consumer>> consumers;
+  for (int i = 0; i < members; ++i) {
+    ConsumerConfig config;
+    config.group = group;
+    consumers.push_back(std::make_unique<Consumer>(
+        rig->cluster.get(), rig->offsets.get(), rig->coordinator.get(),
+        group + "-m" + std::to_string(i), config));
+    consumers.back()->Subscribe({"t"});
+  }
+  std::vector<int64_t> per_member(members, 0);
+  int idle = 0;
+  while (idle < 2) {
+    int64_t round = 0;
+    for (int i = 0; i < members; ++i) {
+      auto records = consumers[i]->Poll(512);
+      if (records.ok()) {
+        round += static_cast<int64_t>(records->size());
+        per_member[i] += static_cast<int64_t>(records->size());
+      }
+    }
+    idle = round == 0 ? idle + 1 : 0;
+  }
+  DrainResult result;
+  for (int64_t n : per_member) {
+    result.total += n;
+    result.max_per_member = std::max(result.max_per_member, n);
+    if (n > 0) ++result.active_members;
+  }
+  return result;
+}
+
+void Run() {
+  Table table({"group_members", "active", "records_total",
+               "busiest_member_records", "parallel_drain_speedup"});
+  for (int members : {1, 2, 4, 8, 16}) {
+    auto rig = BuildRig();
+    auto result =
+        DrainWithGroupSize(rig.get(), members, "g" + std::to_string(members));
+    table.AddRow({std::to_string(members),
+                  std::to_string(result.active_members),
+                  std::to_string(result.total),
+                  std::to_string(result.max_per_member),
+                  Fmt(static_cast<double>(result.total) /
+                          static_cast<double>(result.max_per_member),
+                      2) + "x"});
+  }
+  table.Print(
+      "E1a: queue semantics — load sharing vs consumer-group size (8 "
+      "partitions; drain time on M machines = busiest member's share; "
+      "members beyond the partition count idle)");
+
+  // Pub/sub across groups: every group independently consumes everything.
+  auto rig = BuildRig();
+  Table groups({"independent_groups", "total_records_delivered", "wall_us"});
+  for (int n : {1, 2, 4}) {
+    Stopwatch timer;
+    int64_t delivered = 0;
+    for (int g = 0; g < n; ++g) {
+      ConsumerConfig config;
+      config.group = "fan" + std::to_string(n) + "-" + std::to_string(g);
+      Consumer consumer(rig->cluster.get(), rig->offsets.get(),
+                        rig->coordinator.get(), "m", config);
+      consumer.Subscribe({"t"});
+      while (true) {
+        auto records = consumer.Poll(512);
+        if (!records.ok() || records->empty()) break;
+        delivered += static_cast<int64_t>(records->size());
+      }
+    }
+    groups.AddRow({std::to_string(n), std::to_string(delivered),
+                   std::to_string(timer.ElapsedUs())});
+  }
+  groups.Print(
+      "E1b: pub/sub semantics — each group receives the full feed "
+      "independently (40k records)");
+}
+
+}  // namespace
+}  // namespace liquid::messaging
+
+int main() {
+  liquid::messaging::Run();
+  return 0;
+}

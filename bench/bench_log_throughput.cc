@@ -1,0 +1,141 @@
+// Experiment E2 (§4.1): "read/write throughput remains constant independent
+// of log size", plus the sparse-index ablation (DESIGN.md §5).
+//
+// Paper shape to reproduce: append and tail-read throughput flat as the log
+// grows from 10^4 to 10^6 records; sparse index keeps random seeks cheap
+// without the dense index's memory cost.
+
+#include <benchmark/benchmark.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "storage/disk.h"
+#include "storage/log.h"
+
+namespace liquid::storage {
+namespace {
+
+std::vector<Record> MakeBatch(int n, Random* rng) {
+  std::vector<Record> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Record::KeyValue("key" + std::to_string(rng->Uniform(1000)),
+                                   rng->Bytes(100)));
+  }
+  return out;
+}
+
+/// Append throughput at a given pre-existing log size.
+void BM_AppendAtLogSize(benchmark::State& state) {
+  const int64_t prefill = state.range(0);
+  MemDisk disk;
+  SystemClock clock;
+  LogConfig config;
+  config.segment_bytes = 4 << 20;
+  auto log = Log::Open(&disk, nullptr, "l/", config, &clock);
+  Random rng(42);
+  // Pre-grow the log to the target size.
+  auto fill = MakeBatch(1000, &rng);
+  for (int64_t have = 0; have < prefill; have += 1000) {
+    for (auto& r : fill) r.offset = -1;
+    (*log)->Append(&fill);
+  }
+  auto batch = MakeBatch(100, &rng);
+  for (auto _ : state) {
+    for (auto& r : batch) r.offset = -1;
+    benchmark::DoNotOptimize((*log)->Append(&batch));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+  state.counters["log_records"] = static_cast<double>((*log)->end_offset());
+}
+BENCHMARK(BM_AppendAtLogSize)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Tail-read throughput (consumer following the head) at a given log size.
+void BM_TailReadAtLogSize(benchmark::State& state) {
+  const int64_t prefill = state.range(0);
+  MemDisk disk;
+  SystemClock clock;
+  LogConfig config;
+  config.segment_bytes = 4 << 20;
+  auto log = Log::Open(&disk, nullptr, "l/", config, &clock);
+  Random rng(42);
+  auto fill = MakeBatch(1000, &rng);
+  for (int64_t have = 0; have < prefill; have += 1000) {
+    for (auto& r : fill) r.offset = -1;
+    (*log)->Append(&fill);
+  }
+  const int64_t end = (*log)->end_offset();
+  std::vector<Record> out;
+  for (auto _ : state) {
+    out.clear();
+    // Read the most recent ~100 records (the head of the log).
+    benchmark::DoNotOptimize((*log)->Read(end - 100, 64 * 1024, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_TailReadAtLogSize)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Random offset reads under different index granularities (ablation).
+void BM_RandomReadIndexAblation(benchmark::State& state) {
+  const size_t index_interval = static_cast<size_t>(state.range(0));
+  MemDisk disk;
+  SystemClock clock;
+  LogConfig config;
+  config.segment_bytes = 4 << 20;
+  config.index_interval_bytes = index_interval;
+  auto log = Log::Open(&disk, nullptr, "l/", config, &clock);
+  Random rng(42);
+  auto fill = MakeBatch(1000, &rng);
+  for (int64_t have = 0; have < 200'000; have += 1000) {
+    for (auto& r : fill) r.offset = -1;
+    (*log)->Append(&fill);
+  }
+  const int64_t end = (*log)->end_offset();
+  std::vector<Record> out;
+  Random pick(7);
+  for (auto _ : state) {
+    out.clear();
+    const int64_t offset = static_cast<int64_t>(pick.Uniform(end));
+    benchmark::DoNotOptimize((*log)->Read(offset, 4096, &out));
+  }
+  state.counters["index_interval"] = static_cast<double>(index_interval);
+}
+BENCHMARK(BM_RandomReadIndexAblation)
+    ->Arg(0)            // Dense: every record indexed.
+    ->Arg(4096)         // Default sparse.
+    ->Arg(1 << 30)      // Effectively no index: scan from segment start.
+    ->Unit(benchmark::kMicrosecond);
+
+/// Throughput as a function of record size (payload scaling).
+void BM_AppendRecordSize(benchmark::State& state) {
+  const size_t value_bytes = static_cast<size_t>(state.range(0));
+  MemDisk disk;
+  SystemClock clock;
+  auto log = Log::Open(&disk, nullptr, "l/", LogConfig{}, &clock);
+  Random rng(42);
+  std::vector<Record> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.push_back(Record::KeyValue("k", rng.Bytes(value_bytes)));
+  }
+  for (auto _ : state) {
+    for (auto& r : batch) r.offset = -1;
+    benchmark::DoNotOptimize((*log)->Append(&batch));
+  }
+  state.SetBytesProcessed(state.iterations() * 100 *
+                          static_cast<int64_t>(value_bytes));
+}
+BENCHMARK(BM_AppendRecordSize)->Arg(100)->Arg(1024)->Arg(10240)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace liquid::storage
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+// Experiment E6 (§1 limitation 1, §2.1): end-to-end pipeline latency as the
+// number of ETL stages grows. The MR/DFS stack materializes every stage to
+// the DFS and pays a per-job scheduling overhead, so latency grows steeply
+// with stage count; Liquid's nearline pipeline passes records through the
+// messaging layer with a small per-stage cost.
+//
+// Paper shape: both grow linearly in stages, but the MR/DFS slope is orders
+// of magnitude larger (minutes/hours vs seconds at LinkedIn; here scaled
+// milliseconds vs microseconds).
+
+#include <memory>
+#include <optional>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "core/liquid.h"
+#include "mapreduce/mapreduce.h"
+#include "processing/pipeline.h"
+
+namespace liquid::core {
+namespace {
+
+using bench::Fmt;
+using bench::Stopwatch;
+using bench::Table;
+
+constexpr int kRecords = 500;
+constexpr int64_t kMrStartupMs = 20;  // Scaled-down cluster scheduling cost.
+
+/// Liquid: N map stages chained through feeds; latency = produce-to-final
+/// availability for a batch of records.
+int64_t RunLiquidPipeline(int stages) {
+  Liquid::Options options;
+  options.cluster.num_brokers = 3;
+  auto liquid = Liquid::Start(options);
+  FeedOptions feed;
+  feed.partitions = 1;
+  for (int i = 0; i <= stages; ++i) {
+    (*liquid)->CreateSourceFeed("s" + std::to_string(i), feed);
+  }
+  processing::Pipeline pipeline((*liquid)->cluster(), (*liquid)->offsets(),
+                                (*liquid)->groups(), (*liquid)->state_disk());
+  for (int i = 0; i < stages; ++i) {
+    pipeline.AddMapStage("hop" + std::to_string(i), "s" + std::to_string(i),
+                         "s" + std::to_string(i + 1),
+                         [](const messaging::ConsumerRecord& envelope) {
+                           storage::Record out = envelope.record;
+                           out.value += "x";  // The "ETL" transformation.
+                           return std::optional<storage::Record>(std::move(out));
+                         });
+  }
+
+  auto producer = (*liquid)->NewProducer();
+  Stopwatch timer;
+  for (int i = 0; i < kRecords; ++i) {
+    producer->Send("s0", storage::Record::KeyValue("k" + std::to_string(i), "v"));
+  }
+  producer->Flush();
+  pipeline.RunUntilAllIdle();
+  return timer.ElapsedUs();
+}
+
+/// MR/DFS: N chained map jobs, each reading from and materializing to the
+/// DFS, with per-job startup overhead.
+int64_t RunMrPipeline(int stages) {
+  dfs::DfsConfig dfs_config;
+  dfs_config.num_datanodes = 3;
+  dfs_config.replication = 2;
+  dfs::DistributedFileSystem fs(dfs_config);
+  SystemClock clock;
+  mapreduce::MapReduceEngine engine(&fs, &clock);
+
+  std::vector<mapreduce::KeyValue> input;
+  for (int i = 0; i < kRecords; ++i) {
+    input.push_back({"k" + std::to_string(i), "v"});
+  }
+  fs.WriteFile("/in/part0", mapreduce::MapReduceEngine::EncodeRecords(input));
+
+  std::vector<mapreduce::MapFn> chain;
+  for (int i = 0; i < stages; ++i) {
+    chain.push_back([](const mapreduce::KeyValue& kv) {
+      return std::vector<mapreduce::KeyValue>{{kv.key, kv.value + "x"}};
+    });
+  }
+  mapreduce::MrJobConfig config;
+  config.name = "etl";
+  config.startup_overhead_ms = kMrStartupMs;
+  Stopwatch timer;
+  engine.RunChain(config, "/in", "/out", chain);
+  return timer.ElapsedUs();
+}
+
+void Run() {
+  Table table({"stages", "liquid_us", "mr_dfs_us", "mr/liquid",
+               "liquid_us_per_stage", "mr_us_per_stage"});
+  for (int stages : {1, 2, 4, 8}) {
+    const int64_t liquid_us = RunLiquidPipeline(stages);
+    const int64_t mr_us = RunMrPipeline(stages);
+    table.AddRow(
+        {std::to_string(stages), std::to_string(liquid_us),
+         std::to_string(mr_us),
+         Fmt(static_cast<double>(mr_us) / static_cast<double>(liquid_us), 1) +
+             "x",
+         std::to_string(liquid_us / stages), std::to_string(mr_us / stages)});
+  }
+  table.Print(
+      "E6: end-to-end pipeline latency vs stage count (500 records; MR "
+      "startup overhead scaled to 20ms/job)");
+}
+
+/// Ablation: decoupling through the log means a slow consumer does not apply
+/// backpressure to the producer stage (DESIGN.md §5).
+void RunDecouplingAblation() {
+  Liquid::Options options;
+  options.cluster.num_brokers = 3;
+  auto liquid = Liquid::Start(options);
+  FeedOptions feed;
+  feed.partitions = 1;
+  (*liquid)->CreateSourceFeed("in", feed);
+  (*liquid)->CreateSourceFeed("mid", feed);
+  (*liquid)->CreateSourceFeed("out", feed);
+
+  processing::Pipeline pipeline((*liquid)->cluster(), (*liquid)->offsets(),
+                                (*liquid)->groups(), (*liquid)->state_disk());
+  pipeline.AddMapStage("fast", "in", "mid",
+                       [](const messaging::ConsumerRecord& e) {
+                         return std::optional<storage::Record>(e.record);
+                       });
+  pipeline.AddMapStage("slow", "mid", "out",
+                       [](const messaging::ConsumerRecord& e) {
+                         storage::SpinFor(50 * 1000);  // 50us per record.
+                         return std::optional<storage::Record>(e.record);
+                       });
+
+  auto producer = (*liquid)->NewProducer();
+  for (int i = 0; i < 2000; ++i) {
+    producer->Send("in", storage::Record::KeyValue("k", "v"));
+  }
+  producer->Flush();
+
+  // Upstream completes at full speed regardless of the slow downstream.
+  Stopwatch fast_timer;
+  while (*pipeline.stage(0)->RunOnce() > 0) {
+  }
+  pipeline.stage(0)->Commit();
+  const int64_t fast_us = fast_timer.ElapsedUs();
+
+  Stopwatch slow_timer;
+  while (*pipeline.stage(1)->RunOnce() > 0) {
+  }
+  pipeline.stage(1)->Commit();
+  const int64_t slow_us = slow_timer.ElapsedUs();
+
+  Table table({"stage", "records", "wall_us", "blocked_by_downstream"});
+  table.AddRow({"fast-upstream", "2000", std::to_string(fast_us), "no"});
+  table.AddRow({"slow-downstream", "2000", std::to_string(slow_us), "-"});
+  table.Print(
+      "E6b: log-decoupled stages — upstream is never backpressured (§3)");
+}
+
+}  // namespace
+}  // namespace liquid::core
+
+int main() {
+  liquid::core::Run();
+  liquid::core::RunDecouplingAblation();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation for the exactly-once extension (§4.3 "ongoing effort"): what does
+// transactional publishing cost relative to at-least-once, and how does the
+// transaction (commit-batch) size amortize it?
+//
+// Expected shape: per-record overhead shrinks as more records share one
+// commit (markers + coordinator work amortize), approaching plain produce
+// cost for large transactions — which is why Kafka's EOS is practical.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+#include "messaging/producer.h"
+#include "messaging/transaction.h"
+
+namespace liquid::messaging {
+namespace {
+
+using bench::Fmt;
+using bench::Stopwatch;
+using bench::Table;
+
+constexpr int kRecords = 20'000;
+
+struct Rig {
+  SystemClock clock;
+  std::unique_ptr<Cluster> cluster;
+  storage::MemDisk offsets_disk;
+  std::unique_ptr<OffsetManager> offsets;
+  std::unique_ptr<TransactionCoordinator> txn;
+};
+
+std::unique_ptr<Rig> BuildRig() {
+  auto rig = std::make_unique<Rig>();
+  ClusterConfig config;
+  config.num_brokers = 3;
+  rig->cluster = std::make_unique<Cluster>(config, &rig->clock);
+  rig->cluster->Start();
+  TopicConfig topic;
+  topic.partitions = 2;
+  topic.replication_factor = 2;
+  rig->cluster->CreateTopic("t", topic);
+  rig->offsets =
+      std::move(OffsetManager::Open(&rig->offsets_disk, "o/", &rig->clock))
+          .value();
+  rig->txn = std::make_unique<TransactionCoordinator>(rig->cluster.get(),
+                                                      rig->offsets.get());
+  return rig;
+}
+
+double PlainThroughput(Rig* rig) {
+  ProducerConfig config;
+  config.batch_max_records = 128;
+  Producer producer(rig->cluster.get(), config);
+  Stopwatch timer;
+  for (int i = 0; i < kRecords; ++i) {
+    producer.Send("t", storage::Record::KeyValue("k", std::string(100, 'v')));
+  }
+  producer.Flush();
+  return kRecords * 1e6 / static_cast<double>(timer.ElapsedUs());
+}
+
+double TransactionalThroughput(Rig* rig, int records_per_txn) {
+  ProducerConfig config;
+  config.batch_max_records = 128;
+  config.transactional_id = "bench-" + std::to_string(records_per_txn);
+  Producer producer(rig->cluster.get(), config);
+  producer.InitTransactions(rig->txn.get());
+  Stopwatch timer;
+  int in_txn = 0;
+  producer.BeginTransaction();
+  for (int i = 0; i < kRecords; ++i) {
+    producer.Send("t", storage::Record::KeyValue("k", std::string(100, 'v')));
+    if (++in_txn == records_per_txn) {
+      producer.CommitTransaction();
+      producer.BeginTransaction();
+      in_txn = 0;
+    }
+  }
+  producer.CommitTransaction();
+  return kRecords * 1e6 / static_cast<double>(timer.ElapsedUs());
+}
+
+void Run() {
+  Table table({"mode", "records/txn", "records/s", "overhead_vs_plain"});
+  auto rig = BuildRig();
+  const double plain = PlainThroughput(rig.get());
+  table.AddRow({"at-least-once", "-", Fmt(plain / 1000, 1) + "k/s", "1.00x"});
+  for (int per_txn : {10, 100, 1000, 10000}) {
+    auto txn_rig = BuildRig();
+    const double rate = TransactionalThroughput(txn_rig.get(), per_txn);
+    table.AddRow({"transactional", std::to_string(per_txn),
+                  Fmt(rate / 1000, 1) + "k/s",
+                  Fmt(plain / rate, 2) + "x"});
+  }
+  table.Print(
+      "E7c: exactly-once publishing overhead vs transaction size (20k "
+      "records, 2 partitions, rf=2)");
+}
+
+}  // namespace
+}  // namespace liquid::messaging
+
+int main() {
+  liquid::messaging::Run();
+  return 0;
+}

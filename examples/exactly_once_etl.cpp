@@ -1,0 +1,128 @@
+// Exactly-once ETL (§4.3): the paper notes at-least-once delivery "is not
+// [sufficient] for all applications ... there is an ongoing effort to design
+// and implement support for exactly-once semantics". This example runs a
+// payment-deduplication pipeline in exactly_once mode, crashes it mid-cycle
+// (SIGKILL semantics), restarts it, and shows that a read_committed consumer
+// of the output feed sees every payment exactly once — while the identical
+// at-least-once pipeline shows duplicates under the same crash.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/liquid.h"
+#include "messaging/transaction.h"
+#include "processing/operators.h"
+
+using liquid::core::FeedOptions;
+using liquid::core::Liquid;
+using liquid::storage::Record;
+
+namespace {
+
+liquid::processing::TaskFactory Enricher(const std::string& output) {
+  return [output]() -> std::unique_ptr<liquid::processing::StreamTask> {
+    return std::make_unique<liquid::processing::MapTask>(
+        output, [](const liquid::messaging::ConsumerRecord& envelope) {
+          Record out = envelope.record;
+          out.value = "processed:" + out.value;
+          return std::optional<Record>(std::move(out));
+        });
+  };
+}
+
+/// Runs the crash/restart scenario; returns per-payment delivery counts seen
+/// by a read_committed consumer of `output`.
+std::map<std::string, int> RunScenario(Liquid* liquid,
+                                       liquid::messaging::TransactionCoordinator* txn,
+                                       const std::string& input,
+                                       const std::string& output,
+                                       bool exactly_once) {
+  FeedOptions feed;
+  feed.partitions = 1;
+  liquid->CreateSourceFeed(input, feed);
+  liquid->CreateDerivedFeed(output, feed, "payments-etl", "v1", {input});
+
+  auto producer = liquid->NewProducer();
+  for (int i = 0; i < 8; ++i) {
+    producer->Send(input, Record::KeyValue("payment" + std::to_string(i),
+                                           "$" + std::to_string(100 + i)));
+  }
+  producer->Flush();
+
+  liquid::processing::JobConfig config;
+  config.name = "etl-" + output;
+  config.inputs = {input};
+  config.exactly_once = exactly_once;
+
+  // First incarnation: processes everything, then CRASHES before committing.
+  {
+    auto job = liquid::processing::Job::Create(
+        liquid->cluster(), liquid->offsets(), liquid->groups(),
+        liquid->state_disk(), config, Enricher(output), "0", txn);
+    (*job)->RunOnce();  // Outputs produced (at-least-once flushes them now).
+    (*job)->Kill();     // SIGKILL: no checkpoint, open txn left dangling.
+  }
+  // Second incarnation: fences the zombie (exactly-once) and replays.
+  {
+    auto job = liquid::processing::Job::Create(
+        liquid->cluster(), liquid->offsets(), liquid->groups(),
+        liquid->state_disk(), config, Enricher(output), "0", txn);
+    (*job)->RunUntilIdle();
+    (*job)->Stop();
+  }
+
+  // What does the downstream settlement system actually see?
+  auto consumer = liquid->NewConsumer("settlement-" + output, "s1");
+  // (read_committed through the facade: build a raw consumer instead.)
+  liquid::messaging::ConsumerConfig consumer_config;
+  consumer_config.group = "settlement-" + output;
+  consumer_config.read_committed = true;
+  liquid::messaging::Consumer committed_reader(
+      liquid->cluster(), liquid->offsets(), liquid->groups(), "s1",
+      consumer_config);
+  committed_reader.Subscribe({output});
+  std::map<std::string, int> seen;
+  for (int i = 0; i < 20; ++i) {
+    auto records = committed_reader.Poll(256);
+    if (!records.ok()) break;
+    for (const auto& envelope : *records) seen[envelope.record.key]++;
+  }
+  return seen;
+}
+
+}  // namespace
+
+int main() {
+  Liquid::Options options;
+  options.cluster.num_brokers = 3;
+  auto liquid = Liquid::Start(options);
+  if (!liquid.ok()) return 1;
+  liquid::messaging::TransactionCoordinator txn((*liquid)->cluster(),
+                                                (*liquid)->offsets());
+
+  const auto at_least_once =
+      RunScenario(liquid->get(), &txn, "payments-alo", "settled-alo", false);
+  const auto exactly_once =
+      RunScenario(liquid->get(), &txn, "payments-eo", "settled-eo", true);
+
+  std::printf("%-12s %-22s %-22s\n", "payment", "at-least-once copies",
+              "exactly-once copies");
+  bool alo_dups = false, eo_dups = false, eo_missing = false;
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "payment" + std::to_string(i);
+    const int alo = at_least_once.count(key) ? at_least_once.at(key) : 0;
+    const int eo = exactly_once.count(key) ? exactly_once.at(key) : 0;
+    std::printf("%-12s %-22d %-22d\n", key.c_str(), alo, eo);
+    if (alo > 1) alo_dups = true;
+    if (eo > 1) eo_dups = true;
+    if (eo == 0) eo_missing = true;
+  }
+  std::printf(
+      "\ncrash between output flush and checkpoint: at-least-once %s "
+      "duplicates; exactly-once delivered each payment %s.\n",
+      alo_dups ? "produced" : "did NOT produce (unexpected!)",
+      (!eo_dups && !eo_missing) ? "exactly once" : "INCORRECTLY");
+  return (!eo_dups && !eo_missing && alo_dups) ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+#ifndef LIQUID_COMMON_CLOCK_H_
+#define LIQUID_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace liquid {
+
+/// Time source abstraction.
+///
+/// Production paths use SystemClock; deterministic tests and the failure /
+/// retention / cache-eviction logic use SimulatedClock so that "after 7 days
+/// the segment expires" can be tested in microseconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Milliseconds since the epoch of this clock.
+  virtual int64_t NowMs() const = 0;
+
+  /// Microseconds since the epoch of this clock.
+  virtual int64_t NowUs() const = 0;
+
+  /// Blocks (or advances simulated time) for `ms` milliseconds.
+  virtual void SleepMs(int64_t ms) = 0;
+};
+
+/// Wall-clock time via std::chrono::steady_clock (monotonic).
+class SystemClock : public Clock {
+ public:
+  int64_t NowMs() const override;
+  int64_t NowUs() const override;
+  void SleepMs(int64_t ms) override;
+
+  /// Process-wide instance.
+  static SystemClock* Default();
+};
+
+/// Manually advanced clock for deterministic tests.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(int64_t start_ms = 0) : now_us_(start_ms * 1000) {}
+
+  int64_t NowMs() const override { return now_us_.load() / 1000; }
+  int64_t NowUs() const override { return now_us_.load(); }
+
+  /// Advancing is the only way time passes; SleepMs advances immediately.
+  void SleepMs(int64_t ms) override { AdvanceMs(ms); }
+
+  void AdvanceMs(int64_t ms) { now_us_.fetch_add(ms * 1000); }
+  void AdvanceUs(int64_t us) { now_us_.fetch_add(us); }
+  void SetMs(int64_t ms) { now_us_.store(ms * 1000); }
+
+ private:
+  std::atomic<int64_t> now_us_;
+};
+
+}  // namespace liquid
+
+#endif  // LIQUID_COMMON_CLOCK_H_

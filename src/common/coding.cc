@@ -1,0 +1,122 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace liquid {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  buf[2] = static_cast<char>((value >> 16) & 0xff);
+  buf[3] = static_cast<char>((value >> 24) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  dst->append(buf, 8);
+}
+
+uint32_t DecodeFixed32(const char* ptr) {
+  const auto* p = reinterpret_cast<const unsigned char*>(ptr);
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t DecodeFixed64(const char* ptr) {
+  const auto* p = reinterpret_cast<const unsigned char*>(ptr);
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutLengthPrefixed(std::string* dst, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+Status GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p);
+    ++p;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      input->RemovePrefix(static_cast<size_t>(p - input->data()));
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("truncated or malformed varint64");
+}
+
+Status GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v64 = 0;
+  LIQUID_RETURN_NOT_OK(GetVarint64(input, &v64));
+  if (v64 > UINT32_MAX) {
+    return Status::Corruption("varint32 overflow");
+  }
+  *value = static_cast<uint32_t>(v64);
+  return Status::OK();
+}
+
+Status GetLengthPrefixed(Slice* input, Slice* result) {
+  uint32_t len = 0;
+  LIQUID_RETURN_NOT_OK(GetVarint32(input, &len));
+  if (input->size() < len) {
+    return Status::Corruption("length-prefixed slice truncated");
+  }
+  *result = Slice(input->data(), len);
+  input->RemovePrefix(len);
+  return Status::OK();
+}
+
+Status GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < 4) return Status::Corruption("fixed32 truncated");
+  *value = DecodeFixed32(input->data());
+  input->RemovePrefix(4);
+  return Status::OK();
+}
+
+Status GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < 8) return Status::Corruption("fixed64 truncated");
+  *value = DecodeFixed64(input->data());
+  input->RemovePrefix(8);
+  return Status::OK();
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace liquid

@@ -1,0 +1,46 @@
+#ifndef LIQUID_COMMON_CODING_H_
+#define LIQUID_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace liquid {
+
+/// Little-endian fixed-width and varint encoders/decoders used by the record
+/// formats of the commit log, the KV store and the DFS.
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+uint32_t DecodeFixed32(const char* ptr);
+uint64_t DecodeFixed64(const char* ptr);
+
+/// Appends `value` as a base-128 varint (1..5 bytes).
+void PutVarint32(std::string* dst, uint32_t value);
+/// Appends `value` as a base-128 varint (1..10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends a varint32 length prefix followed by the bytes of `value`.
+void PutLengthPrefixed(std::string* dst, const Slice& value);
+
+/// Parses a varint32 from the front of `input`, advancing it past the varint.
+/// Returns Corruption if the input is truncated or malformed.
+Status GetVarint32(Slice* input, uint32_t* value);
+Status GetVarint64(Slice* input, uint64_t* value);
+
+/// Parses a length-prefixed byte string from the front of `input`.
+Status GetLengthPrefixed(Slice* input, Slice* result);
+
+/// Reads a fixed32/fixed64 from the front of `input`.
+Status GetFixed32(Slice* input, uint32_t* value);
+Status GetFixed64(Slice* input, uint64_t* value);
+
+/// Number of bytes PutVarint64 would emit for `value`.
+int VarintLength(uint64_t value);
+
+}  // namespace liquid
+
+#endif  // LIQUID_COMMON_CODING_H_

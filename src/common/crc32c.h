@@ -1,0 +1,32 @@
+#ifndef LIQUID_COMMON_CRC32C_H_
+#define LIQUID_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace liquid::crc32c {
+
+/// Extends `init_crc` with the CRC32C (Castagnoli) of data[0, n).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// CRC32C of data[0, n).
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+/// Masked CRC, per the LevelDB/Kafka convention: storing the CRC of data that
+/// itself contains CRCs can produce pathological collisions, so stored CRCs
+/// are rotated and offset.
+inline uint32_t Mask(uint32_t crc) {
+  constexpr uint32_t kMaskDelta = 0xa282ead8u;
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+/// Inverse of Mask().
+inline uint32_t Unmask(uint32_t masked) {
+  constexpr uint32_t kMaskDelta = 0xa282ead8u;
+  uint32_t rot = masked - kMaskDelta;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace liquid::crc32c
+
+#endif  // LIQUID_COMMON_CRC32C_H_

@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace liquid {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel Logger::GetLevel() { return g_level.load(); }
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace liquid

@@ -1,0 +1,52 @@
+#ifndef LIQUID_COMMON_LOGGING_H_
+#define LIQUID_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace liquid {
+
+/// Severity levels for the process-wide logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Minimal leveled logger writing to stderr. Benchmarks raise the level to
+/// kWarn so log noise does not perturb measurements.
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+  static void Write(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// Stream collector that emits on destruction; used by the LIQUID_LOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Write(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define LIQUID_LOG(level)                                              \
+  if (::liquid::LogLevel::level >= ::liquid::Logger::GetLevel())       \
+  ::liquid::internal::LogMessage(::liquid::LogLevel::level).stream()
+
+#define LIQUID_LOG_DEBUG LIQUID_LOG(kDebug)
+#define LIQUID_LOG_INFO LIQUID_LOG(kInfo)
+#define LIQUID_LOG_WARN LIQUID_LOG(kWarn)
+#define LIQUID_LOG_ERROR LIQUID_LOG(kError)
+
+}  // namespace liquid
+
+#endif  // LIQUID_COMMON_LOGGING_H_

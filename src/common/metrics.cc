@@ -1,0 +1,140 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace liquid {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < (1 << kSubBucketBits)) return static_cast<int>(value);
+  // Index of the highest set bit.
+  int msb = 63 - __builtin_clzll(static_cast<unsigned long long>(value));
+  int shift = msb - kSubBucketBits;
+  int sub = static_cast<int>(value >> shift) & ((1 << kSubBucketBits) - 1);
+  int bucket = ((msb - kSubBucketBits + 1) << kSubBucketBits) + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketMidpoint(int bucket) {
+  if (bucket < (1 << kSubBucketBits)) return bucket;
+  int exp = (bucket >> kSubBucketBits) + kSubBucketBits - 1;
+  int sub = bucket & ((1 << kSubBucketBits) - 1);
+  int64_t base = (1ll << exp) + (static_cast<int64_t>(sub) << (exp - kSubBucketBits));
+  int64_t width = 1ll << (exp - kSubBucketBits);
+  return base + width / 2;
+}
+
+void Histogram::Record(int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  std::lock_guard<std::mutex> lock_other(other.mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+int64_t Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+int64_t Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int64_t Histogram::ValueAtQuantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  int64_t target = static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
+  target = std::max<int64_t>(target, 1);
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::clamp(BucketMidpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream out;
+  out << "count=" << count() << " mean=" << mean() << " p50=" << ValueAtQuantile(0.5)
+      << " p95=" << ValueAtQuantile(0.95) << " p99=" << ValueAtQuantile(0.99)
+      << " max=" << max();
+  return out.str();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::map<std::string, int64_t> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, counter] : counters_) {
+    out[name] = counter->value();
+  }
+  return out;
+}
+
+}  // namespace liquid

@@ -1,0 +1,91 @@
+#ifndef LIQUID_COMMON_METRICS_H_
+#define LIQUID_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace liquid {
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_.fetch_add(delta); }
+  int64_t value() const { return value_.load(); }
+  void Reset() { value_.store(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-value gauge.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v); }
+  int64_t value() const { return value_.load(); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-bucketed latency/size histogram (HdrHistogram-style precision/cost
+/// trade-off: ~4% relative error, constant memory). Values are arbitrary
+/// non-negative integers; Liquid records latencies in microseconds.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  int64_t count() const;
+  int64_t min() const;
+  int64_t max() const;
+  double mean() const;
+  /// q in [0, 1]; e.g. ValueAtQuantile(0.99) is p99.
+  int64_t ValueAtQuantile(double q) const;
+
+  /// "count=... mean=... p50=... p95=... p99=... max=..."
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per power of two.
+  static constexpr int kNumBuckets = 64 * (1 << kSubBucketBits);
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketMidpoint(int bucket);
+
+  mutable std::mutex mu_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+/// Named registry so subsystems (brokers, jobs, caches) can expose metrics to
+/// tests/benches without plumbing every object through.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Snapshot of all counter values, for operational-analysis examples.
+  std::map<std::string, int64_t> CounterValues() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace liquid
+
+#endif  // LIQUID_COMMON_METRICS_H_

@@ -1,0 +1,31 @@
+#include "common/properties.h"
+
+#include <cstdlib>
+
+namespace liquid {
+
+std::string Properties::Get(const std::string& key,
+                            const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Properties::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Properties::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Properties::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1";
+}
+
+}  // namespace liquid

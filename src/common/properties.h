@@ -1,0 +1,44 @@
+#ifndef LIQUID_COMMON_PROPERTIES_H_
+#define LIQUID_COMMON_PROPERTIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace liquid {
+
+/// String-keyed configuration bag with typed accessors, in the style of the
+/// java.util.Properties objects Kafka and Samza are configured with.
+class Properties {
+ public:
+  Properties() = default;
+
+  void Set(const std::string& key, const std::string& value) {
+    values_[key] = value;
+  }
+  void SetInt(const std::string& key, int64_t value) {
+    values_[key] = std::to_string(value);
+  }
+  void SetDouble(const std::string& key, double value) {
+    values_[key] = std::to_string(value);
+  }
+  void SetBool(const std::string& key, bool value) {
+    values_[key] = value ? "true" : "false";
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace liquid
+
+#endif  // LIQUID_COMMON_PROPERTIES_H_

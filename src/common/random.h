@@ -1,0 +1,75 @@
+#ifndef LIQUID_COMMON_RANDOM_H_
+#define LIQUID_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace liquid {
+
+/// Fast deterministic PRNG (xorshift64*), sufficient for workload generation
+/// and randomized property tests; NOT for cryptography.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random printable-ish byte string of exactly `len` bytes.
+  std::string Bytes(size_t len) {
+    std::string out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>('a' + Uniform(26)));
+    }
+    return out;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipf-distributed generator over [0, n) with skew `theta` in (0, 1),
+/// using the Gray et al. rejection-free method (as in YCSB). Used to model
+/// skewed key popularity in compaction and consumer-group workloads.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Random rng_;
+};
+
+}  // namespace liquid
+
+#endif  // LIQUID_COMMON_RANDOM_H_

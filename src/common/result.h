@@ -1,0 +1,80 @@
+#ifndef LIQUID_COMMON_RESULT_H_
+#define LIQUID_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace liquid {
+
+/// Value-or-Status, in the style of arrow::Result.
+///
+/// A Result<T> holds either a T (status is OK) or a non-OK Status. Callers
+/// must check ok() before dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: enables `return value;` in functions returning Result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status; aborts in debug builds if the status is OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    if (ok()) return *value_;
+    return fallback;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its Status.
+#define LIQUID_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define LIQUID_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define LIQUID_ASSIGN_OR_RETURN_NAME(a, b) LIQUID_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define LIQUID_ASSIGN_OR_RETURN(lhs, expr)                                      \
+  LIQUID_ASSIGN_OR_RETURN_IMPL(                                                 \
+      LIQUID_ASSIGN_OR_RETURN_NAME(_liquid_result_, __LINE__), lhs, expr)
+
+}  // namespace liquid
+
+#endif  // LIQUID_COMMON_RESULT_H_

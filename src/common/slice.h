@@ -1,0 +1,74 @@
+#ifndef LIQUID_COMMON_SLICE_H_
+#define LIQUID_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace liquid {
+
+/// A non-owning view over a byte range, in the style of rocksdb::Slice.
+///
+/// Unlike std::string_view, Slice is explicitly about *bytes* (message keys,
+/// values, encoded records) rather than text, and offers the comparison
+/// helpers the storage layer needs.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  /// Implicit from string-likes: Slices are pervasive as function arguments.
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}    // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  void Clear() {
+    data_ = "";
+    size_ = 0;
+  }
+
+  /// Drops the first `n` bytes. Precondition: n <= size().
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToStringView() const { return {data_, size_}; }
+
+  /// Three-way comparison: <0, 0, >0 like memcmp.
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) r = -1;
+      else if (size_ > other.size_) r = +1;
+    }
+    return r;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) { return a.Compare(b) < 0; }
+
+}  // namespace liquid
+
+#endif  // LIQUID_COMMON_SLICE_H_

@@ -1,0 +1,262 @@
+#include "coord/coordination_service.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace liquid::coord {
+
+namespace {
+
+bool ValidPath(const std::string& path) {
+  if (path.empty() || path[0] != '/') return false;
+  if (path.size() > 1 && path.back() == '/') return false;
+  return path.find("//") == std::string::npos;
+}
+
+std::string SequenceSuffix(int64_t seq) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%010lld", static_cast<long long>(seq));
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string CoordinationService::ParentPath(const std::string& path) {
+  auto pos = path.rfind('/');
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+std::string CoordinationService::BaseName(const std::string& path) {
+  auto pos = path.rfind('/');
+  return path.substr(pos + 1);
+}
+
+int64_t CoordinationService::CreateSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t id = next_session_++;
+  live_sessions_.insert(id);
+  return id;
+}
+
+void CoordinationService::CloseSession(int64_t session_id) {
+  std::vector<FiredWatch> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_sessions_.erase(session_id);
+    auto it = session_nodes_.find(session_id);
+    if (it != session_nodes_.end()) {
+      // Delete deepest-first so children vanish before parents.
+      std::vector<std::string> paths(it->second.begin(), it->second.end());
+      std::sort(paths.begin(), paths.end(),
+                [](const std::string& a, const std::string& b) {
+                  return a.size() > b.size();
+                });
+      for (const auto& path : paths) {
+        DeleteLocked(path, -1, &fired);
+      }
+      session_nodes_.erase(it);
+    }
+  }
+  for (auto& [watcher, event] : fired) watcher(event);
+}
+
+bool CoordinationService::SessionAlive(int64_t session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_sessions_.count(session_id) > 0;
+}
+
+Result<std::string> CoordinationService::Create(int64_t session_id,
+                                                const std::string& path,
+                                                const std::string& data,
+                                                NodeKind kind) {
+  std::vector<FiredWatch> fired;
+  std::string actual_path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ValidPath(path)) {
+      return Status::InvalidArgument("bad znode path: " + path);
+    }
+    if (!live_sessions_.count(session_id)) {
+      return Status::FailedPrecondition("session expired");
+    }
+    const std::string parent = ParentPath(path);
+    Node* parent_node = nullptr;
+    if (parent != "/") {
+      auto pit = nodes_.find(parent);
+      if (pit == nodes_.end()) {
+        return Status::NotFound("parent znode missing: " + parent);
+      }
+      parent_node = &pit->second;
+      if (pit->second.kind == NodeKind::kEphemeral ||
+          pit->second.kind == NodeKind::kEphemeralSequential) {
+        return Status::FailedPrecondition("ephemeral znodes cannot have children");
+      }
+    }
+
+    actual_path = path;
+    if (kind == NodeKind::kPersistentSequential ||
+        kind == NodeKind::kEphemeralSequential) {
+      int64_t seq =
+          parent_node ? parent_node->next_sequence++ : root_sequence_fallback_++;
+      actual_path += SequenceSuffix(seq);
+    }
+
+    if (nodes_.count(actual_path)) {
+      return Status::AlreadyExists("znode exists: " + actual_path);
+    }
+
+    Node node;
+    node.data = data;
+    node.kind = kind;
+    node.stat.version = 0;
+    const bool ephemeral =
+        kind == NodeKind::kEphemeral || kind == NodeKind::kEphemeralSequential;
+    node.stat.owner_session = ephemeral ? session_id : 0;
+    nodes_.emplace(actual_path, std::move(node));
+    if (ephemeral) session_nodes_[session_id].insert(actual_path);
+
+    if (parent_node) {
+      parent_node->children.insert(BaseName(actual_path));
+      FireChildWatchers(parent_node, parent, &fired);
+    }
+    FireExistsWatchers(actual_path, EventType::kCreated, &fired);
+  }
+  for (auto& [watcher, event] : fired) watcher(event);
+  return actual_path;
+}
+
+Status CoordinationService::DeleteLocked(const std::string& path,
+                                         int64_t expected_version,
+                                         std::vector<FiredWatch>* fired) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("znode missing: " + path);
+  Node& node = it->second;
+  if (expected_version >= 0 && node.stat.version != expected_version) {
+    return Status::FailedPrecondition("znode version mismatch: " + path);
+  }
+  if (!node.children.empty()) {
+    return Status::FailedPrecondition("znode has children: " + path);
+  }
+  FireDataWatchers(&node, EventType::kDeleted, path, fired);
+  if (node.stat.owner_session != 0) {
+    auto sit = session_nodes_.find(node.stat.owner_session);
+    if (sit != session_nodes_.end()) sit->second.erase(path);
+  }
+  nodes_.erase(it);
+
+  const std::string parent = ParentPath(path);
+  if (parent != "/") {
+    auto pit = nodes_.find(parent);
+    if (pit != nodes_.end()) {
+      pit->second.children.erase(BaseName(path));
+      FireChildWatchers(&pit->second, parent, fired);
+    }
+  }
+  FireExistsWatchers(path, EventType::kDeleted, fired);
+  return Status::OK();
+}
+
+Status CoordinationService::Delete(const std::string& path,
+                                   int64_t expected_version) {
+  std::vector<FiredWatch> fired;
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    st = DeleteLocked(path, expected_version, &fired);
+  }
+  for (auto& [watcher, event] : fired) watcher(event);
+  return st;
+}
+
+Result<std::string> CoordinationService::Get(const std::string& path,
+                                             Watcher watcher) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("znode missing: " + path);
+  if (watcher) it->second.data_watchers.push_back(std::move(watcher));
+  return it->second.data;
+}
+
+Result<NodeStat> CoordinationService::Stat(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("znode missing: " + path);
+  return it->second.stat;
+}
+
+Status CoordinationService::Set(const std::string& path, const std::string& data,
+                                int64_t expected_version) {
+  std::vector<FiredWatch> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(path);
+    if (it == nodes_.end()) return Status::NotFound("znode missing: " + path);
+    Node& node = it->second;
+    if (expected_version >= 0 && node.stat.version != expected_version) {
+      return Status::FailedPrecondition("znode version mismatch: " + path);
+    }
+    node.data = data;
+    node.stat.version++;
+    FireDataWatchers(&node, EventType::kDataChanged, path, &fired);
+  }
+  for (auto& [watcher, event] : fired) watcher(event);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> CoordinationService::GetChildren(
+    const std::string& path, Watcher watcher) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("znode missing: " + path);
+  if (watcher) it->second.child_watchers.push_back(std::move(watcher));
+  return std::vector<std::string>(it->second.children.begin(),
+                                  it->second.children.end());
+}
+
+bool CoordinationService::Exists(const std::string& path, Watcher watcher) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(path);
+  if (it != nodes_.end()) {
+    if (watcher) it->second.data_watchers.push_back(std::move(watcher));
+    return true;
+  }
+  if (watcher) absent_watchers_[path].push_back(std::move(watcher));
+  return false;
+}
+
+size_t CoordinationService::NodeCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.size();
+}
+
+void CoordinationService::FireDataWatchers(Node* node, EventType type,
+                                           const std::string& path,
+                                           std::vector<FiredWatch>* fired) {
+  for (auto& watcher : node->data_watchers) {
+    fired->emplace_back(std::move(watcher), WatchEvent{type, path});
+  }
+  node->data_watchers.clear();
+}
+
+void CoordinationService::FireChildWatchers(Node* node, const std::string& path,
+                                            std::vector<FiredWatch>* fired) {
+  for (auto& watcher : node->child_watchers) {
+    fired->emplace_back(std::move(watcher),
+                        WatchEvent{EventType::kChildrenChanged, path});
+  }
+  node->child_watchers.clear();
+}
+
+void CoordinationService::FireExistsWatchers(const std::string& path,
+                                             EventType type,
+                                             std::vector<FiredWatch>* fired) {
+  auto it = absent_watchers_.find(path);
+  if (it == absent_watchers_.end()) return;
+  for (auto& watcher : it->second) {
+    fired->emplace_back(std::move(watcher), WatchEvent{type, path});
+  }
+  absent_watchers_.erase(it);
+}
+
+}  // namespace liquid::coord

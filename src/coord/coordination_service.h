@@ -1,0 +1,143 @@
+#ifndef LIQUID_COORD_COORDINATION_SERVICE_H_
+#define LIQUID_COORD_COORDINATION_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace liquid::coord {
+
+/// Node creation modes, mirroring ZooKeeper.
+enum class NodeKind {
+  kPersistent,
+  kEphemeral,              // Deleted when the owning session ends.
+  kPersistentSequential,   // Path gets a monotonically increasing suffix.
+  kEphemeralSequential,
+};
+
+/// Per-node bookkeeping exposed to clients.
+struct NodeStat {
+  int64_t version = 0;        // Data version, bumped on every Set.
+  int64_t owner_session = 0;  // 0 for persistent nodes.
+  int64_t create_time_ms = 0;
+};
+
+/// Watch notification types, mirroring ZooKeeper's one-shot watches.
+enum class EventType { kCreated, kDeleted, kDataChanged, kChildrenChanged };
+
+struct WatchEvent {
+  EventType type;
+  std::string path;
+};
+
+using Watcher = std::function<void(const WatchEvent&)>;
+
+/// In-process ZooKeeper-equivalent: a hierarchical namespace of znodes with
+/// versions, ephemeral nodes, sequential nodes, one-shot watches and sessions.
+///
+/// The paper's messaging layer uses ZooKeeper for controller election, broker
+/// membership, and the in-sync-replica (ISR) set (§4.3). This class provides
+/// exactly those primitives; session expiry is triggered explicitly so broker
+/// failures can be injected deterministically in tests and benches.
+///
+/// Thread-safe. Watches fire outside the internal lock, on the mutating
+/// thread, and are one-shot (re-arm by re-reading).
+class CoordinationService {
+ public:
+  CoordinationService() = default;
+
+  CoordinationService(const CoordinationService&) = delete;
+  CoordinationService& operator=(const CoordinationService&) = delete;
+
+  /// Opens a session; ephemeral nodes created under it live until the session
+  /// is closed or expired.
+  int64_t CreateSession();
+
+  /// Graceful close: deletes the session's ephemeral nodes (firing watches).
+  void CloseSession(int64_t session_id);
+
+  /// Simulated failure: identical effect to CloseSession, kept separate so
+  /// call sites document intent.
+  void ExpireSession(int64_t session_id) { CloseSession(session_id); }
+
+  bool SessionAlive(int64_t session_id) const;
+
+  /// Creates a node. Parent must exist (except for root-level nodes). For
+  /// sequential kinds, returns the actual path including the suffix.
+  Result<std::string> Create(int64_t session_id, const std::string& path,
+                             const std::string& data, NodeKind kind);
+
+  /// Deletes a node. If expected_version >= 0, fails with FailedPrecondition
+  /// on mismatch. Fails with FailedPrecondition if the node has children.
+  Status Delete(const std::string& path, int64_t expected_version = -1);
+
+  /// Reads node data; optionally arms a one-shot watch for delete/data-change.
+  Result<std::string> Get(const std::string& path, Watcher watcher = nullptr);
+
+  Result<NodeStat> Stat(const std::string& path) const;
+
+  /// Writes node data with optimistic concurrency control.
+  Status Set(const std::string& path, const std::string& data,
+             int64_t expected_version = -1);
+
+  /// Lists immediate children (names, not full paths), sorted; optionally arms
+  /// a one-shot watch for child creation/deletion under `path`.
+  Result<std::vector<std::string>> GetChildren(const std::string& path,
+                                               Watcher watcher = nullptr);
+
+  /// True if the node exists; optionally arms a one-shot watch for creation
+  /// or deletion of `path`.
+  bool Exists(const std::string& path, Watcher watcher = nullptr);
+
+  /// Total number of nodes, for scale benches.
+  size_t NodeCount() const;
+
+ private:
+  struct Node {
+    std::string data;
+    NodeKind kind = NodeKind::kPersistent;
+    NodeStat stat;
+    std::set<std::string> children;  // Child names.
+    int64_t next_sequence = 0;
+    std::vector<Watcher> data_watchers;
+    std::vector<Watcher> child_watchers;
+  };
+
+  // All private helpers assume mu_ is held; they append to *fired the watch
+  // callbacks to invoke after the lock is released.
+  using FiredWatch = std::pair<Watcher, WatchEvent>;
+
+  static std::string ParentPath(const std::string& path);
+  static std::string BaseName(const std::string& path);
+
+  Status DeleteLocked(const std::string& path, int64_t expected_version,
+                      std::vector<FiredWatch>* fired);
+  void FireDataWatchers(Node* node, EventType type, const std::string& path,
+                        std::vector<FiredWatch>* fired);
+  void FireChildWatchers(Node* node, const std::string& path,
+                         std::vector<FiredWatch>* fired);
+  void FireExistsWatchers(const std::string& path, EventType type,
+                          std::vector<FiredWatch>* fired);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Node> nodes_;
+  // Watches armed on paths that do not exist yet (Exists() on absent node).
+  std::map<std::string, std::vector<Watcher>> absent_watchers_;
+  std::map<int64_t, std::set<std::string>> session_nodes_;
+  std::set<int64_t> live_sessions_;
+  int64_t next_session_ = 1;
+  // Sequence counter for sequential nodes created directly under "/".
+  int64_t root_sequence_fallback_ = 0;
+};
+
+}  // namespace liquid::coord
+
+#endif  // LIQUID_COORD_COORDINATION_SERVICE_H_

@@ -1,0 +1,101 @@
+#include "coord/leader_election.h"
+
+namespace liquid::coord {
+
+LeaderElection::LeaderElection(CoordinationService* coord, std::string path,
+                               std::string candidate_id, int64_t session_id)
+    : coord_(coord),
+      path_(std::move(path)),
+      candidate_id_(std::move(candidate_id)),
+      session_id_(session_id),
+      alive_token_(std::make_shared<std::atomic<bool>>(true)) {}
+
+LeaderElection::~LeaderElection() { alive_token_->store(false); }
+
+bool LeaderElection::Contend(LeadershipCallback on_elected) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    contending_ = true;
+    on_elected_ = std::move(on_elected);
+  }
+  if (TryAcquire()) return true;
+  ArmWatch();
+  return false;
+}
+
+bool LeaderElection::TryAcquire() {
+  auto result =
+      coord_->Create(session_id_, path_, candidate_id_, NodeKind::kEphemeral);
+  if (result.ok()) {
+    LeadershipCallback cb;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!contending_) {
+        // Resigned while acquiring: give the node back.
+        coord_->Delete(path_);
+        return false;
+      }
+      is_leader_ = true;
+      cb = on_elected_;
+    }
+    if (cb) cb();
+    return true;
+  }
+  return false;
+}
+
+void LeaderElection::ArmWatch() {
+  auto token = alive_token_;
+  const bool exists = coord_->Exists(path_, [this,
+                                             token](const WatchEvent& event) {
+    if (!token->load()) return;
+    if (event.type != EventType::kDeleted) {
+      // Data change or creation by someone else: keep watching.
+      ArmWatch();
+      return;
+    }
+    bool still_contending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      still_contending = contending_ && !is_leader_;
+    }
+    if (!still_contending) return;
+    if (!TryAcquire()) ArmWatch();
+  });
+  if (!exists) {
+    // Node vanished between TryAcquire and Exists: contend again.
+    bool still_contending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      still_contending = contending_ && !is_leader_;
+    }
+    if (still_contending && !TryAcquire()) {
+      // Lost the race again; the watch armed by Exists on the (now existing)
+      // node covers us. If the node is still absent we spin once more.
+      if (!coord_->Exists(path_)) ArmWatch();
+    }
+  }
+}
+
+void LeaderElection::Resign() {
+  bool was_leader;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    was_leader = is_leader_;
+    is_leader_ = false;
+    contending_ = false;
+    on_elected_ = nullptr;
+  }
+  if (was_leader) coord_->Delete(path_);
+}
+
+bool LeaderElection::IsLeader() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return is_leader_;
+}
+
+Result<std::string> LeaderElection::CurrentLeader() const {
+  return coord_->Get(path_);
+}
+
+}  // namespace liquid::coord

@@ -1,0 +1,66 @@
+#ifndef LIQUID_COORD_LEADER_ELECTION_H_
+#define LIQUID_COORD_LEADER_ELECTION_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "coord/coordination_service.h"
+
+namespace liquid::coord {
+
+/// Leader-election recipe over CoordinationService, as used by the messaging
+/// layer's controller (§4.3): the candidate that creates the ephemeral
+/// election znode wins; losers arm a watch and re-contend when the incumbent's
+/// session ends.
+class LeaderElection {
+ public:
+  /// Invoked (on the mutating thread) when this candidate becomes leader.
+  using LeadershipCallback = std::function<void()>;
+
+  /// `path` is the election znode (e.g. "/controller"); `candidate_id` is
+  /// stored as its data so observers can see who leads.
+  LeaderElection(CoordinationService* coord, std::string path,
+                 std::string candidate_id, int64_t session_id);
+  ~LeaderElection();
+
+  LeaderElection(const LeaderElection&) = delete;
+  LeaderElection& operator=(const LeaderElection&) = delete;
+
+  /// Joins the election. Returns true if this candidate won immediately.
+  /// If not, a watch is armed and `on_elected` fires when leadership is won
+  /// later (after incumbent failure).
+  bool Contend(LeadershipCallback on_elected);
+
+  /// Abandons leadership (deletes the znode if held) and stops contending.
+  void Resign();
+
+  bool IsLeader() const;
+
+  /// The candidate_id of the current leader, or NotFound if none.
+  Result<std::string> CurrentLeader() const;
+
+ private:
+  bool TryAcquire();
+  void ArmWatch();
+
+  CoordinationService* coord_;
+  const std::string path_;
+  const std::string candidate_id_;
+  const int64_t session_id_;
+
+  mutable std::mutex mu_;
+  bool is_leader_ = false;
+  bool contending_ = false;
+  LeadershipCallback on_elected_;
+  // Armed watches live in the coordination service and can outlive this
+  // object; callbacks bail out once the token reads false.
+  std::shared_ptr<std::atomic<bool>> alive_token_;
+};
+
+}  // namespace liquid::coord
+
+#endif  // LIQUID_COORD_LEADER_ELECTION_H_

@@ -1,0 +1,71 @@
+#ifndef LIQUID_CORE_ARCHITECTURES_H_
+#define LIQUID_CORE_ARCHITECTURES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/liquid.h"
+#include "dfs/dfs.h"
+#include "mapreduce/mapreduce.h"
+
+namespace liquid::core {
+
+/// Outcome of running one architectural pattern on the same
+/// count-events-per-key workload with a mid-run algorithm change (v1 -> v2).
+/// Reproduces the qualitative comparison of §2.2 as measured quantities.
+struct ArchitectureReport {
+  std::string architecture;
+  /// Distinct implementations of the processing logic that must be written
+  /// and maintained (Lambda pays 2: batch + stream).
+  int code_paths = 0;
+  /// Total records processed across all layers, including reprocessing.
+  int64_t records_processed = 0;
+  /// Extra bytes materialized outside the source-of-truth log (DFS dumps,
+  /// duplicate outputs).
+  uint64_t bytes_materialized = 0;
+  /// Whether serving kept incorporating new data while reprocessing ran.
+  bool serving_fresh_during_reprocess = false;
+  /// Keys whose final served count matches the v2 ground truth.
+  int64_t correct_keys = 0;
+  int64_t total_keys = 0;
+};
+
+/// Runs the same workload under the Lambda, Kappa and Liquid patterns.
+///
+/// Workload: `num_events` events over `num_keys` keys are published to a
+/// source feed; logic v1 counts events per key; halfway through operations
+/// the algorithm changes to v2 (each event now counts double), requiring
+/// full reprocessing of history.
+class ArchitectureComparison {
+ public:
+  ArchitectureComparison(Liquid* liquid, int num_events, int num_keys);
+
+  /// Lambda (§2.2): batch layer (MapReduce over a DFS dump) + speed layer
+  /// (Liquid job), same logic implemented twice.
+  Result<ArchitectureReport> RunLambda(dfs::DistributedFileSystem* fs,
+                                       mapreduce::MapReduceEngine* engine);
+
+  /// Kappa (§2.2): stream-only; reprocessing = new job from offset 0 in
+  /// parallel, then cut over. Single code path, double transient footprint.
+  Result<ArchitectureReport> RunKappa();
+
+  /// Liquid (§3): single stateful nearline job; reprocessing = rewind via the
+  /// offset manager, in place.
+  Result<ArchitectureReport> RunLiquid();
+
+ private:
+  /// Creates the feed (if needed) and publishes the workload. Returns the
+  /// feed name used by this run.
+  Result<std::string> PublishInput(const std::string& run_tag);
+
+  /// v2 ground truth: every key's count doubled.
+  int64_t ExpectedCountV2(int64_t raw_count) const { return raw_count * 2; }
+
+  Liquid* liquid_;
+  const int num_events_;
+  const int num_keys_;
+};
+
+}  // namespace liquid::core
+
+#endif  // LIQUID_CORE_ARCHITECTURES_H_

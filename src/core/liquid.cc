@@ -1,0 +1,220 @@
+#include "core/liquid.h"
+
+#include <set>
+#include <sstream>
+
+namespace liquid::core {
+
+namespace {
+constexpr char kFeedsRoot[] = "/feeds";
+}  // namespace
+
+std::string FeedMetadata::Serialize() const {
+  std::ostringstream out;
+  out << (kind == FeedKind::kSourceOfTruth ? "source" : "derived") << '\n'
+      << producer_job << '\n'
+      << code_version << '\n'
+      << created_ms << '\n';
+  for (const auto& upstream : upstream_feeds) out << upstream << ',';
+  return out.str();
+}
+
+Result<FeedMetadata> FeedMetadata::Parse(const std::string& data) {
+  std::istringstream in(data);
+  FeedMetadata metadata;
+  std::string kind, created, upstreams;
+  if (!std::getline(in, kind) || !std::getline(in, metadata.producer_job) ||
+      !std::getline(in, metadata.code_version) || !std::getline(in, created)) {
+    return Status::Corruption("bad feed metadata");
+  }
+  metadata.kind =
+      kind == "source" ? FeedKind::kSourceOfTruth : FeedKind::kDerived;
+  metadata.created_ms = std::strtoll(created.c_str(), nullptr, 10);
+  if (std::getline(in, upstreams)) {
+    size_t pos = 0;
+    while (pos < upstreams.size()) {
+      const size_t comma = upstreams.find(',', pos);
+      const size_t end = comma == std::string::npos ? upstreams.size() : comma;
+      if (end > pos) metadata.upstream_feeds.push_back(upstreams.substr(pos, end - pos));
+      pos = end + 1;
+    }
+  }
+  return metadata;
+}
+
+Liquid::Liquid(Options options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : SystemClock::Default()) {}
+
+Result<std::unique_ptr<Liquid>> Liquid::Start(Options options) {
+  std::unique_ptr<Liquid> liquid(new Liquid(std::move(options)));
+  LIQUID_RETURN_NOT_OK(liquid->Init());
+  return liquid;
+}
+
+Status Liquid::Init() {
+  cluster_ = std::make_unique<messaging::Cluster>(options_.cluster, clock_);
+  LIQUID_RETURN_NOT_OK(cluster_->Start());
+
+  offsets_disk_ = std::make_unique<storage::MemDisk>();
+  auto offsets =
+      messaging::OffsetManager::Open(offsets_disk_.get(), "offsets/", clock_);
+  if (!offsets.ok()) return offsets.status();
+  offsets_ = std::move(offsets).value();
+
+  groups_ = std::make_unique<messaging::GroupCoordinator>(
+      cluster_.get(), options_.group_session_timeout_ms);
+  txn_ = std::make_unique<messaging::TransactionCoordinator>(cluster_.get(),
+                                                             offsets_.get());
+  admin_ = std::make_unique<messaging::Admin>(cluster_.get(), offsets_.get());
+  state_disk_ = std::make_unique<storage::MemDisk>();
+
+  feed_session_ = cluster_->coord()->CreateSession();
+  cluster_->coord()->Create(feed_session_, kFeedsRoot, "",
+                            coord::NodeKind::kPersistent);
+  return Status::OK();
+}
+
+Liquid::~Liquid() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, job] : jobs_) job->Stop();
+  jobs_.clear();
+}
+
+Status Liquid::RegisterFeed(const std::string& name,
+                            const FeedMetadata& metadata) {
+  std::lock_guard<std::mutex> lock(mu_);
+  feeds_[name] = metadata;
+  auto created =
+      cluster_->coord()->Create(feed_session_, std::string(kFeedsRoot) + "/" + name,
+                                metadata.Serialize(), coord::NodeKind::kPersistent);
+  if (!created.ok() && !created.status().IsAlreadyExists()) {
+    return created.status();
+  }
+  return Status::OK();
+}
+
+Status Liquid::CreateSourceFeed(const std::string& name,
+                                const FeedOptions& options) {
+  messaging::TopicConfig config;
+  config.partitions = options.partitions;
+  config.replication_factor = options.replication_factor;
+  config.log = options.log;
+  config.min_insync_replicas = options.min_insync_replicas;
+  config.unclean_leader_election = options.unclean_leader_election;
+  LIQUID_RETURN_NOT_OK(cluster_->CreateTopic(name, config));
+
+  FeedMetadata metadata;
+  metadata.kind = FeedKind::kSourceOfTruth;
+  metadata.created_ms = clock_->NowMs();
+  return RegisterFeed(name, metadata);
+}
+
+Status Liquid::CreateDerivedFeed(const std::string& name,
+                                 const FeedOptions& options,
+                                 const std::string& producer_job,
+                                 const std::string& code_version,
+                                 const std::vector<std::string>& upstream_feeds) {
+  messaging::TopicConfig config;
+  config.partitions = options.partitions;
+  config.replication_factor = options.replication_factor;
+  config.log = options.log;
+  config.min_insync_replicas = options.min_insync_replicas;
+  config.unclean_leader_election = options.unclean_leader_election;
+  LIQUID_RETURN_NOT_OK(cluster_->CreateTopic(name, config));
+
+  FeedMetadata metadata;
+  metadata.kind = FeedKind::kDerived;
+  metadata.producer_job = producer_job;
+  metadata.code_version = code_version;
+  metadata.upstream_feeds = upstream_feeds;
+  metadata.created_ms = clock_->NowMs();
+  return RegisterFeed(name, metadata);
+}
+
+Result<FeedMetadata> Liquid::GetFeedMetadata(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = feeds_.find(name);
+  if (it == feeds_.end()) return Status::NotFound("no such feed: " + name);
+  return it->second;
+}
+
+Result<std::vector<std::string>> Liquid::GetLineage(
+    const std::string& name) const {
+  std::vector<std::string> lineage;
+  std::set<std::string> seen;
+  std::vector<std::string> frontier{name};
+  while (!frontier.empty()) {
+    const std::string current = frontier.back();
+    frontier.pop_back();
+    if (!seen.insert(current).second) continue;
+    LIQUID_ASSIGN_OR_RETURN(FeedMetadata metadata, GetFeedMetadata(current));
+    lineage.push_back(current);
+    for (const auto& upstream : metadata.upstream_feeds) {
+      frontier.push_back(upstream);
+    }
+  }
+  return lineage;
+}
+
+std::unique_ptr<messaging::Producer> Liquid::NewProducer(
+    messaging::ProducerConfig config) {
+  return std::make_unique<messaging::Producer>(cluster_.get(), config);
+}
+
+std::unique_ptr<messaging::Consumer> Liquid::NewConsumer(
+    const std::string& group, const std::string& member_id, bool from_earliest) {
+  messaging::ConsumerConfig config;
+  config.group = group;
+  config.start_from_earliest = from_earliest;
+  return std::make_unique<messaging::Consumer>(cluster_.get(), offsets_.get(),
+                                               groups_.get(), member_id, config);
+}
+
+Result<processing::Job*> Liquid::SubmitJob(processing::JobConfig config,
+                                           processing::TaskFactory factory) {
+  const std::string name = config.name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (jobs_.count(name)) {
+      return Status::AlreadyExists("job already running: " + name);
+    }
+  }
+  auto job = processing::Job::Create(cluster_.get(), offsets_.get(),
+                                     groups_.get(), state_disk_.get(),
+                                     std::move(config), std::move(factory),
+                                     "0", txn_.get());
+  if (!job.ok()) return job.status();
+  processing::Job* handle = job->get();
+  std::lock_guard<std::mutex> lock(mu_);
+  jobs_[name] = std::move(job).value();
+  return handle;
+}
+
+Status Liquid::StopJob(const std::string& name) {
+  std::unique_ptr<processing::Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(name);
+    if (it == jobs_.end()) return Status::NotFound("no such job: " + name);
+    job = std::move(it->second);
+    jobs_.erase(it);
+  }
+  return job->Stop();
+}
+
+Status Liquid::RunMaintenance() {
+  cluster_->RunLogMaintenance();
+  auto stats = offsets_->CompactBackingLog();
+  if (!stats.ok()) return stats.status();
+  groups_->EvictExpiredMembers();
+  return Status::OK();
+}
+
+processing::Job* Liquid::GetJob(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(name);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace liquid::core

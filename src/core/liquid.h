@@ -1,0 +1,149 @@
+#ifndef LIQUID_CORE_LIQUID_H_
+#define LIQUID_CORE_LIQUID_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "messaging/admin.h"
+#include "messaging/cluster.h"
+#include "messaging/consumer.h"
+#include "messaging/group_coordinator.h"
+#include "messaging/offset_manager.h"
+#include "messaging/producer.h"
+#include "messaging/transaction.h"
+#include "processing/job.h"
+#include "storage/disk.h"
+
+namespace liquid::core {
+
+/// Whether a feed is primary data or the output of a processing-layer job
+/// (§3: "source-of-truth feeds represent primary data ... derived data feeds
+/// contain results from processed source-of-truth feeds or other derived
+/// feeds").
+enum class FeedKind { kSourceOfTruth, kDerived };
+
+/// Lineage annotations stored with every derived feed (§3: "derived feeds
+/// contain lineage information, i.e. annotations about how the data was
+/// computed").
+struct FeedMetadata {
+  FeedKind kind = FeedKind::kSourceOfTruth;
+  std::string producer_job;   // Empty for source-of-truth feeds.
+  std::string code_version;   // Version of the producing logic.
+  std::vector<std::string> upstream_feeds;
+  int64_t created_ms = 0;
+
+  std::string Serialize() const;
+  static Result<FeedMetadata> Parse(const std::string& data);
+};
+
+/// Feed creation options (thin veneer over TopicConfig).
+struct FeedOptions {
+  int partitions = 1;
+  int replication_factor = 1;
+  storage::LogConfig log;
+  int min_insync_replicas = 1;
+  bool unclean_leader_election = false;
+};
+
+/// The Liquid data integration stack (Fig. 2): a messaging layer (cluster of
+/// brokers + offset manager) and a processing layer (ETL-as-a-service job
+/// submission), wired together. This is the top-level object applications
+/// use.
+class Liquid {
+ public:
+  struct Options {
+    messaging::ClusterConfig cluster;
+    /// Injectable clock; null uses the system clock.
+    Clock* clock = nullptr;
+    /// Consumer-group session timeout (<= 0 disables liveness eviction).
+    int64_t group_session_timeout_ms = -1;
+  };
+
+  static Result<std::unique_ptr<Liquid>> Start(Options options);
+
+  ~Liquid();
+
+  Liquid(const Liquid&) = delete;
+  Liquid& operator=(const Liquid&) = delete;
+
+  // ---- Feeds ----
+
+  /// Creates a source-of-truth feed for primary data.
+  Status CreateSourceFeed(const std::string& name, const FeedOptions& options);
+
+  /// Creates a derived feed with lineage annotations.
+  Status CreateDerivedFeed(const std::string& name, const FeedOptions& options,
+                           const std::string& producer_job,
+                           const std::string& code_version,
+                           const std::vector<std::string>& upstream_feeds);
+
+  Result<FeedMetadata> GetFeedMetadata(const std::string& name) const;
+
+  /// Full lineage chain of `name`, walking upstream_feeds transitively.
+  Result<std::vector<std::string>> GetLineage(const std::string& name) const;
+
+  // ---- Clients ----
+
+  std::unique_ptr<messaging::Producer> NewProducer(
+      messaging::ProducerConfig config = {});
+
+  std::unique_ptr<messaging::Consumer> NewConsumer(const std::string& group,
+                                                   const std::string& member_id,
+                                                   bool from_earliest = true);
+
+  // ---- ETL-as-a-service (§2.1, §3.2) ----
+
+  /// Submits a job executed by the stack; derived feeds it declares as
+  /// outputs get lineage recorded. Returns a non-owning handle.
+  Result<processing::Job*> SubmitJob(processing::JobConfig config,
+                                     processing::TaskFactory factory);
+
+  Status StopJob(const std::string& name);
+  processing::Job* GetJob(const std::string& name);
+
+  /// Runs periodic stack maintenance: log retention + compaction on every
+  /// broker, offset-manager compaction, and consumer-group liveness eviction.
+  Status RunMaintenance();
+
+  // ---- Layer access ----
+
+  messaging::Cluster* cluster() { return cluster_.get(); }
+  messaging::OffsetManager* offsets() { return offsets_.get(); }
+  messaging::GroupCoordinator* groups() { return groups_.get(); }
+  messaging::TransactionCoordinator* transactions() { return txn_.get(); }
+  messaging::Admin* admin() { return admin_.get(); }
+  storage::Disk* state_disk() { return state_disk_.get(); }
+  Clock* clock() { return clock_; }
+
+ private:
+  explicit Liquid(Options options);
+
+  Status Init();
+  Status RegisterFeed(const std::string& name, const FeedMetadata& metadata);
+
+  Options options_;
+  Clock* clock_;
+  std::unique_ptr<messaging::Cluster> cluster_;
+  std::unique_ptr<storage::MemDisk> offsets_disk_;
+  std::unique_ptr<messaging::OffsetManager> offsets_;
+  std::unique_ptr<messaging::GroupCoordinator> groups_;
+  std::unique_ptr<messaging::TransactionCoordinator> txn_;
+  std::unique_ptr<messaging::Admin> admin_;
+  std::unique_ptr<storage::MemDisk> state_disk_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, FeedMetadata> feeds_;
+  std::map<std::string, std::unique_ptr<processing::Job>> jobs_;
+  int64_t feed_session_ = 0;
+  int consumer_counter_ = 0;
+};
+
+}  // namespace liquid::core
+
+#endif  // LIQUID_CORE_LIQUID_H_

@@ -1,0 +1,160 @@
+#include "dfs/dfs.h"
+
+#include <algorithm>
+
+namespace liquid::dfs {
+
+namespace {
+std::string BlockFileName(int64_t block_id) {
+  return "blk_" + std::to_string(block_id);
+}
+}  // namespace
+
+DistributedFileSystem::DistributedFileSystem(DfsConfig config)
+    : config_(config) {
+  for (int i = 0; i < config_.num_datanodes; ++i) {
+    DataNode node;
+    node.disk = std::make_unique<storage::MemDisk>(config_.disk_latency);
+    datanodes_.push_back(std::move(node));
+  }
+}
+
+Status DistributedFileSystem::WriteFile(const std::string& path,
+                                        const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.count(path)) return Status::AlreadyExists("file exists: " + path);
+
+  DfsFileInfo info;
+  info.path = path;
+  info.size_bytes = data.size();
+
+  size_t offset = 0;
+  do {
+    const size_t len = std::min(config_.block_size, data.size() - offset);
+    BlockLocation location;
+    location.block_id = next_block_id_++;
+    // Round-robin replica placement over alive datanodes.
+    int placed = 0;
+    for (int tried = 0;
+         tried < config_.num_datanodes && placed < config_.replication;
+         ++tried) {
+      const int node_id = (next_node_ + tried) % config_.num_datanodes;
+      if (!datanodes_[node_id].alive) continue;
+      auto file =
+          datanodes_[node_id].disk->OpenOrCreate(BlockFileName(location.block_id));
+      if (!file.ok()) return file.status();
+      LIQUID_RETURN_NOT_OK((*file)->Append(Slice(data.data() + offset, len)));
+      location.datanodes.push_back(node_id);
+      ++placed;
+    }
+    next_node_ = (next_node_ + 1) % config_.num_datanodes;
+    if (placed == 0) {
+      return Status::Unavailable("no alive datanodes");
+    }
+    ++blocks_written_;
+    info.blocks.push_back(std::move(location));
+    offset += len;
+  } while (offset < data.size());
+
+  files_[path] = std::move(info);
+  return Status::OK();
+}
+
+Result<std::string> DistributedFileSystem::ReadBlock(
+    const BlockLocation& location) const {
+  for (int node_id : location.datanodes) {
+    if (!datanodes_[node_id].alive) continue;
+    auto file = const_cast<storage::MemDisk*>(datanodes_[node_id].disk.get())
+                    ->OpenOrCreate(BlockFileName(location.block_id));
+    if (!file.ok()) continue;
+    std::string data;
+    if ((*file)->ReadAt(0, (*file)->Size(), &data).ok()) return data;
+  }
+  return Status::Unavailable("all replicas of block " +
+                             std::to_string(location.block_id) + " down");
+}
+
+Result<std::string> DistributedFileSystem::ReadFile(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  std::string out;
+  out.reserve(it->second.size_bytes);
+  for (const BlockLocation& location : it->second.blocks) {
+    LIQUID_ASSIGN_OR_RETURN(std::string block, ReadBlock(location));
+    out.append(block);
+  }
+  return out;
+}
+
+Status DistributedFileSystem::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  for (const BlockLocation& location : it->second.blocks) {
+    for (int node_id : location.datanodes) {
+      datanodes_[node_id].disk->Remove(BlockFileName(location.block_id));
+    }
+  }
+  files_.erase(it);
+  return Status::OK();
+}
+
+bool DistributedFileSystem::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+std::vector<std::string> DistributedFileSystem::ListFiles(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [path, info] : files_) {
+    if (path.compare(0, prefix.size(), prefix) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+Result<DfsFileInfo> DistributedFileSystem::GetFileInfo(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second;
+}
+
+Status DistributedFileSystem::StopDatanode(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(datanodes_.size())) {
+    return Status::NotFound("no such datanode");
+  }
+  datanodes_[id].alive = false;
+  return Status::OK();
+}
+
+Status DistributedFileSystem::RestartDatanode(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(datanodes_.size())) {
+    return Status::NotFound("no such datanode");
+  }
+  datanodes_[id].alive = true;
+  return Status::OK();
+}
+
+uint64_t DistributedFileSystem::total_stored_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& node : datanodes_) {
+    auto bytes = node.disk->TotalBytes("");
+    if (bytes.ok()) total += *bytes;
+  }
+  return total;
+}
+
+int64_t DistributedFileSystem::blocks_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_written_;
+}
+
+}  // namespace liquid::dfs

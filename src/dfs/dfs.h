@@ -1,0 +1,92 @@
+#ifndef LIQUID_DFS_DFS_H_
+#define LIQUID_DFS_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace liquid::dfs {
+
+/// Configuration of the baseline distributed file system (the GFS/HDFS stand-
+/// in the legacy MR/DFS integration stack is built on — Fig. 1 left side).
+struct DfsConfig {
+  int num_datanodes = 3;
+  int replication = 2;
+  size_t block_size = 1 << 20;
+  /// Latency model of each datanode's disk.
+  storage::DiskLatencyModel disk_latency;
+};
+
+/// Identifies one stored block replica.
+struct BlockLocation {
+  int64_t block_id;
+  std::vector<int> datanodes;
+};
+
+/// Metadata of one DFS file.
+struct DfsFileInfo {
+  std::string path;
+  uint64_t size_bytes = 0;
+  std::vector<BlockLocation> blocks;
+};
+
+/// A write-once, coarse-grained distributed file system: files are split into
+/// blocks replicated over datanodes; the namenode keeps all metadata. Reads
+/// and writes move whole blocks — the design property that makes the MR/DFS
+/// stack unsuitable for low-latency access (§1, §2.1: "they are designed for
+/// coarse-grained data reads and writes").
+class DistributedFileSystem {
+ public:
+  explicit DistributedFileSystem(DfsConfig config);
+
+  DistributedFileSystem(const DistributedFileSystem&) = delete;
+  DistributedFileSystem& operator=(const DistributedFileSystem&) = delete;
+
+  /// Writes a complete file (AlreadyExists if present).
+  Status WriteFile(const std::string& path, const std::string& data);
+
+  /// Reads a complete file.
+  Result<std::string> ReadFile(const std::string& path) const;
+
+  Status DeleteFile(const std::string& path);
+  bool Exists(const std::string& path) const;
+
+  /// Paths under `prefix`, sorted.
+  std::vector<std::string> ListFiles(const std::string& prefix) const;
+
+  Result<DfsFileInfo> GetFileInfo(const std::string& path) const;
+
+  /// Kills a datanode; blocks with surviving replicas stay readable.
+  Status StopDatanode(int id);
+  Status RestartDatanode(int id);
+
+  uint64_t total_stored_bytes() const;
+  int64_t blocks_written() const;
+
+ private:
+  struct DataNode {
+    std::unique_ptr<storage::MemDisk> disk;
+    bool alive = true;
+  };
+
+  Result<std::string> ReadBlock(const BlockLocation& location) const;
+
+  DfsConfig config_;
+  mutable std::mutex mu_;
+  std::vector<DataNode> datanodes_;
+  std::map<std::string, DfsFileInfo> files_;  // The "namenode".
+  int64_t next_block_id_ = 1;
+  int64_t blocks_written_ = 0;
+  int next_node_ = 0;  // Round-robin placement cursor.
+};
+
+}  // namespace liquid::dfs
+
+#endif  // LIQUID_DFS_DFS_H_

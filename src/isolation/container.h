@@ -1,0 +1,58 @@
+#ifndef LIQUID_ISOLATION_CONTAINER_H_
+#define LIQUID_ISOLATION_CONTAINER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace liquid::isolation {
+
+/// Resource budget of one container (the OS-level isolation of §4.4:
+/// "the processing layer uses OS-level resource isolation, as realized by
+/// Linux containers in Apache YARN, thus restricting the memory and CPU
+/// resources of each job").
+struct ContainerConfig {
+  std::string name;
+  /// Relative CPU weight (cgroup cpu.shares equivalent).
+  double cpu_share = 1.0;
+  /// Hard memory budget; allocations beyond it fail.
+  int64_t memory_limit_bytes = 64 << 20;
+};
+
+/// Accounting handle for one job's container: memory charges are enforced,
+/// CPU usage is metered and fed to the fair scheduler.
+class Container {
+ public:
+  explicit Container(ContainerConfig config) : config_(std::move(config)) {}
+
+  Container(const Container&) = delete;
+  Container& operator=(const Container&) = delete;
+
+  /// Attempts to reserve memory; ResourceExhausted above the limit.
+  Status ChargeMemory(int64_t bytes);
+  void ReleaseMemory(int64_t bytes);
+  int64_t memory_used() const;
+
+  /// Records consumed CPU time (scheduler bookkeeping).
+  void ChargeCpuUs(int64_t micros);
+  int64_t cpu_used_us() const;
+
+  /// CFS-style virtual runtime: cpu_used / share. The scheduler always picks
+  /// the runnable container with the smallest vruntime, so a container that
+  /// burns CPU falls behind in priority instead of starving its neighbours.
+  double vruntime() const;
+
+  const ContainerConfig& config() const { return config_; }
+
+ private:
+  ContainerConfig config_;
+  mutable std::mutex mu_;
+  int64_t memory_used_ = 0;
+  int64_t cpu_used_us_ = 0;
+};
+
+}  // namespace liquid::isolation
+
+#endif  // LIQUID_ISOLATION_CONTAINER_H_

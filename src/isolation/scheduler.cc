@@ -1,0 +1,105 @@
+#include "isolation/scheduler.h"
+
+#include <limits>
+
+namespace liquid::isolation {
+
+FairScheduler::FairScheduler(bool isolation_enabled, Clock* clock)
+    : isolation_enabled_(isolation_enabled), clock_(clock) {}
+
+int FairScheduler::RegisterContainer(ContainerConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.container = std::make_unique<Container>(std::move(config));
+  entries_.push_back(std::move(entry));
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+Container* FairScheduler::container(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(entries_.size())) return nullptr;
+  return entries_[id].container.get();
+}
+
+Status FairScheduler::Submit(int container_id, WorkItem item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (container_id < 0 || container_id >= static_cast<int>(entries_.size())) {
+    return Status::InvalidArgument("no such container");
+  }
+  entries_[container_id].queue.push_back(std::move(item));
+  if (!isolation_enabled_) fifo_order_.push_back(container_id);
+  return Status::OK();
+}
+
+int FairScheduler::PickNextLocked() {
+  if (isolation_enabled_) {
+    // CFS: runnable container with the smallest vruntime.
+    int best = -1;
+    double best_vruntime = std::numeric_limits<double>::max();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].queue.empty()) continue;
+      const double vruntime = entries_[i].container->vruntime();
+      if (vruntime < best_vruntime) {
+        best_vruntime = vruntime;
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+  // FIFO: strict arrival order — a flood of items from a noisy container
+  // delays everyone behind it.
+  while (!fifo_order_.empty()) {
+    const int id = fifo_order_.front();
+    if (!entries_[id].queue.empty()) return id;
+    fifo_order_.pop_front();
+  }
+  return -1;
+}
+
+bool FairScheduler::RunOne() {
+  WorkItem item;
+  Container* container = nullptr;
+  int id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = PickNextLocked();
+    if (id < 0) return false;
+    item = std::move(entries_[id].queue.front());
+    entries_[id].queue.pop_front();
+    if (!isolation_enabled_) fifo_order_.pop_front();
+    container = entries_[id].container.get();
+  }
+  const int64_t start_us = clock_->NowUs();
+  item();
+  container->ChargeCpuUs(clock_->NowUs() - start_us);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[id].completed++;
+  }
+  return true;
+}
+
+std::map<int, int64_t> FairScheduler::RunUntilIdle(int64_t budget_ms) {
+  const int64_t deadline =
+      budget_ms < 0 ? std::numeric_limits<int64_t>::max()
+                    : clock_->NowMs() + budget_ms;
+  while (clock_->NowMs() < deadline) {
+    if (!RunOne()) break;
+  }
+  std::map<int, int64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out[static_cast<int>(i)] = entries_[i].completed;
+  }
+  return out;
+}
+
+int64_t FairScheduler::completed(int container_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (container_id < 0 || container_id >= static_cast<int>(entries_.size())) {
+    return 0;
+  }
+  return entries_[container_id].completed;
+}
+
+}  // namespace liquid::isolation

@@ -1,0 +1,71 @@
+#ifndef LIQUID_ISOLATION_SCHEDULER_H_
+#define LIQUID_ISOLATION_SCHEDULER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "isolation/container.h"
+
+namespace liquid::isolation {
+
+/// Executes work items from multiple containers on a shared node, either with
+/// weighted-fair scheduling (isolation ON: CFS-style minimum-vruntime pick) or
+/// naive FIFO (isolation OFF: whoever enqueues most, wins). This is the
+/// in-process model of "ETL-as-a-service" resource isolation (§3.2, §4.4):
+/// a resource-hungry job cannot degrade a well-behaved one beyond its share.
+class FairScheduler {
+ public:
+  using WorkItem = std::function<void()>;
+
+  /// `isolation_enabled` selects fair (true) vs FIFO (false) dispatch.
+  explicit FairScheduler(bool isolation_enabled, Clock* clock);
+
+  /// Registers a container; returns its id.
+  int RegisterContainer(ContainerConfig config);
+
+  Container* container(int id);
+
+  /// Queues one work item for `container_id`.
+  Status Submit(int container_id, WorkItem item);
+
+  /// Dispatches work until all queues are empty or `budget_ms` of wall time
+  /// elapses. Returns per-container completed item counts.
+  std::map<int, int64_t> RunUntilIdle(int64_t budget_ms = -1);
+
+  /// Dispatches exactly one item (false if nothing queued).
+  bool RunOne();
+
+  int64_t completed(int container_id) const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Container> container;
+    std::deque<WorkItem> queue;
+    int64_t completed = 0;
+    int64_t arrival_counter = 0;  // For FIFO mode.
+  };
+
+  /// Chooses the next container to run; -1 when all queues are empty.
+  int PickNextLocked();
+
+  const bool isolation_enabled_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  int64_t arrivals_ = 0;
+  // FIFO mode: global arrival order of (container, item).
+  std::deque<int> fifo_order_;
+};
+
+}  // namespace liquid::isolation
+
+#endif  // LIQUID_ISOLATION_SCHEDULER_H_

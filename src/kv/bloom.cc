@@ -1,0 +1,58 @@
+#include "kv/bloom.h"
+
+#include <algorithm>
+
+namespace liquid::kv {
+
+uint64_t BloomFilter::Hash(const Slice& key) {
+  // FNV-1a 64.
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < key.size(); ++i) {
+    h ^= static_cast<unsigned char>(key[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string BloomFilter::Build(const std::vector<std::string>& keys,
+                               int bits_per_key) {
+  // k = bits_per_key * ln(2), clamped to [1, 30].
+  int k = static_cast<int>(bits_per_key * 0.69);
+  k = std::clamp(k, 1, 30);
+
+  size_t bits = std::max<size_t>(keys.size() * bits_per_key, 64);
+  const size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string filter(bytes, '\0');
+  filter.push_back(static_cast<char>(k));  // k stored in the last byte.
+  for (const auto& key : keys) {
+    uint64_t h = Hash(key);
+    const uint64_t delta = (h >> 33) | (h << 31);  // Double hashing.
+    for (int i = 0; i < k; ++i) {
+      const size_t bit = h % bits;
+      filter[bit / 8] |= static_cast<char>(1 << (bit % 8));
+      h += delta;
+    }
+  }
+  return filter;
+}
+
+bool BloomFilter::MayContain(const Slice& data, const Slice& key) {
+  if (data.size() < 2) return false;
+  const size_t bytes = data.size() - 1;
+  const size_t bits = bytes * 8;
+  const int k = static_cast<unsigned char>(data[data.size() - 1]);
+  if (k < 1 || k > 30) return true;  // Unknown encoding: be conservative.
+
+  uint64_t h = Hash(key);
+  const uint64_t delta = (h >> 33) | (h << 31);
+  for (int i = 0; i < k; ++i) {
+    const size_t bit = h % bits;
+    if ((data[bit / 8] & (1 << (bit % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace liquid::kv

@@ -1,0 +1,30 @@
+#ifndef LIQUID_KV_BLOOM_H_
+#define LIQUID_KV_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace liquid::kv {
+
+/// Standard bloom filter used by SSTables to skip tables that cannot contain
+/// a key (double-hashing scheme, as in LevelDB/RocksDB).
+class BloomFilter {
+ public:
+  /// Builds a filter over `keys` with ~`bits_per_key` bits per key.
+  static std::string Build(const std::vector<std::string>& keys,
+                           int bits_per_key);
+
+  /// True if `key` may be in the filter encoded in `data` (false positives
+  /// possible, false negatives impossible). An empty filter matches nothing.
+  static bool MayContain(const Slice& data, const Slice& key);
+
+ private:
+  static uint64_t Hash(const Slice& key);
+};
+
+}  // namespace liquid::kv
+
+#endif  // LIQUID_KV_BLOOM_H_

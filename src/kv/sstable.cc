@@ -1,0 +1,259 @@
+#include "kv/sstable.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "kv/bloom.h"
+
+namespace liquid::kv {
+
+namespace {
+
+constexpr uint64_t kTableMagic = 0x4c49515549442e4bull;  // "LIQUID.K"
+constexpr size_t kFooterSize = 8 + 4 + 8 + 4 + 8 + 8;
+
+void EncodeEntry(const Entry& entry, std::string* dst) {
+  PutLengthPrefixed(dst, entry.key);
+  PutLengthPrefixed(dst, entry.value);
+  PutFixed64(dst, entry.sequence);
+  dst->push_back(static_cast<char>(entry.type));
+}
+
+Status DecodeEntry(Slice* input, Entry* entry) {
+  Slice key, value;
+  LIQUID_RETURN_NOT_OK(GetLengthPrefixed(input, &key));
+  LIQUID_RETURN_NOT_OK(GetLengthPrefixed(input, &value));
+  uint64_t sequence = 0;
+  LIQUID_RETURN_NOT_OK(GetFixed64(input, &sequence));
+  if (input->empty()) return Status::Corruption("entry type missing");
+  entry->type = static_cast<EntryType>((*input)[0]);
+  input->RemovePrefix(1);
+  entry->key = key.ToString();
+  entry->value = value.ToString();
+  entry->sequence = sequence;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SSTable::Write(storage::Disk* disk, const std::string& name,
+                      const std::vector<Entry>& entries, const Options& options) {
+  auto file_result = disk->OpenOrCreate(name);
+  if (!file_result.ok()) return file_result.status();
+  std::unique_ptr<storage::File> file = std::move(file_result).value();
+  if (file->Size() != 0) {
+    return Status::AlreadyExists("table file not empty: " + name);
+  }
+
+  std::string block;
+  std::string index;
+  std::vector<std::string> keys;
+  keys.reserve(entries.size());
+  uint64_t offset = 0;
+  std::string last_key_in_block;
+
+  auto flush_block = [&]() -> Status {
+    if (block.empty()) return Status::OK();
+    PutLengthPrefixed(&index, last_key_in_block);
+    PutFixed64(&index, offset);
+    PutFixed32(&index, static_cast<uint32_t>(block.size()));
+    LIQUID_RETURN_NOT_OK(file->Append(block));
+    offset += block.size();
+    block.clear();
+    return Status::OK();
+  };
+
+  const std::string* prev_key = nullptr;
+  for (const Entry& entry : entries) {
+    if (prev_key != nullptr && !(*prev_key < entry.key)) {
+      return Status::InvalidArgument("entries not sorted/unique: " + entry.key);
+    }
+    prev_key = &entry.key;
+    keys.push_back(entry.key);
+    EncodeEntry(entry, &block);
+    last_key_in_block = entry.key;
+    if (block.size() >= options.block_size) {
+      LIQUID_RETURN_NOT_OK(flush_block());
+    }
+  }
+  LIQUID_RETURN_NOT_OK(flush_block());
+
+  const std::string filter = BloomFilter::Build(keys, options.bloom_bits_per_key);
+  const uint64_t filter_offset = offset;
+  LIQUID_RETURN_NOT_OK(file->Append(filter));
+  const uint64_t index_offset = filter_offset + filter.size();
+  LIQUID_RETURN_NOT_OK(file->Append(index));
+
+  std::string footer;
+  PutFixed64(&footer, filter_offset);
+  PutFixed32(&footer, static_cast<uint32_t>(filter.size()));
+  PutFixed64(&footer, index_offset);
+  PutFixed32(&footer, static_cast<uint32_t>(index.size()));
+  PutFixed64(&footer, entries.size());
+  PutFixed64(&footer, kTableMagic);
+  LIQUID_RETURN_NOT_OK(file->Append(footer));
+  return file->Sync();
+}
+
+SSTable::SSTable(std::unique_ptr<storage::File> file, std::string name)
+    : file_(std::move(file)), name_(std::move(name)) {}
+
+Result<std::unique_ptr<SSTable>> SSTable::Open(storage::Disk* disk,
+                                               const std::string& name) {
+  auto file_result = disk->OpenOrCreate(name);
+  if (!file_result.ok()) return file_result.status();
+  std::unique_ptr<SSTable> table(
+      new SSTable(std::move(file_result).value(), name));
+  LIQUID_RETURN_NOT_OK(table->LoadFooter());
+  return table;
+}
+
+Status SSTable::LoadFooter() {
+  const uint64_t size = file_->Size();
+  if (size < kFooterSize) return Status::Corruption("table too small: " + name_);
+  std::string footer;
+  LIQUID_RETURN_NOT_OK(file_->ReadAt(size - kFooterSize, kFooterSize, &footer));
+  Slice cursor(footer);
+  uint64_t filter_offset = 0, index_offset = 0;
+  uint32_t filter_size = 0, index_size = 0;
+  uint64_t magic = 0;
+  LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &filter_offset));
+  LIQUID_RETURN_NOT_OK(GetFixed32(&cursor, &filter_size));
+  LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &index_offset));
+  LIQUID_RETURN_NOT_OK(GetFixed32(&cursor, &index_size));
+  LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &entry_count_));
+  LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &magic));
+  if (magic != kTableMagic) return Status::Corruption("bad table magic: " + name_);
+
+  LIQUID_RETURN_NOT_OK(file_->ReadAt(filter_offset, filter_size, &filter_));
+  std::string index_bytes;
+  LIQUID_RETURN_NOT_OK(file_->ReadAt(index_offset, index_size, &index_bytes));
+  Slice index_cursor(index_bytes);
+  while (!index_cursor.empty()) {
+    Slice last_key;
+    uint64_t offset = 0;
+    uint32_t block_size = 0;
+    LIQUID_RETURN_NOT_OK(GetLengthPrefixed(&index_cursor, &last_key));
+    LIQUID_RETURN_NOT_OK(GetFixed64(&index_cursor, &offset));
+    LIQUID_RETURN_NOT_OK(GetFixed32(&index_cursor, &block_size));
+    index_.push_back(IndexEntry{last_key.ToString(), offset, block_size});
+  }
+  if (!index_.empty()) {
+    max_key_ = index_.back().last_key;
+    // min_key: first key of first block.
+    std::string block;
+    LIQUID_RETURN_NOT_OK(ReadBlock(0, &block));
+    Slice cursor2(block);
+    Entry first;
+    LIQUID_RETURN_NOT_OK(DecodeEntry(&cursor2, &first));
+    min_key_ = first.key;
+  }
+  return Status::OK();
+}
+
+Status SSTable::ReadBlock(size_t block_index, std::string* out) const {
+  const IndexEntry& entry = index_[block_index];
+  LIQUID_RETURN_NOT_OK(file_->ReadAt(entry.offset, entry.size, out));
+  if (out->size() != entry.size) {
+    return Status::Corruption("short block read: " + name_);
+  }
+  return Status::OK();
+}
+
+size_t SSTable::BlockFor(const Slice& key) const {
+  // First block whose last_key >= key.
+  size_t lo = 0, hi = index_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (Slice(index_[mid].last_key).Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Result<Entry> SSTable::Get(const Slice& key) const {
+  if (index_.empty()) return Status::NotFound("empty table");
+  if (!BloomFilter::MayContain(filter_, key)) {
+    return Status::NotFound("bloom miss");
+  }
+  const size_t block_index = BlockFor(key);
+  if (block_index >= index_.size()) return Status::NotFound("past max key");
+  std::string block;
+  LIQUID_RETURN_NOT_OK(ReadBlock(block_index, &block));
+  Slice cursor(block);
+  while (!cursor.empty()) {
+    Entry entry;
+    LIQUID_RETURN_NOT_OK(DecodeEntry(&cursor, &entry));
+    const int cmp = Slice(entry.key).Compare(key);
+    if (cmp == 0) return entry;
+    if (cmp > 0) break;
+  }
+  return Status::NotFound("key not in table");
+}
+
+SSTable::Iterator::Iterator(const SSTable* table) : table_(table) {
+  if (table_->index_.empty()) return;
+  LoadBlock(0);
+  ParseNext();
+}
+
+void SSTable::Iterator::LoadBlock(size_t block_index) {
+  block_index_ = block_index;
+  block_pos_ = 0;
+  if (block_index_ >= table_->index_.size()) {
+    block_.clear();
+    return;
+  }
+  status_ = table_->ReadBlock(block_index_, &block_);
+  if (!status_.ok()) block_.clear();
+}
+
+void SSTable::Iterator::ParseNext() {
+  while (true) {
+    if (block_pos_ >= block_.size()) {
+      if (block_index_ + 1 >= table_->index_.size() || !status_.ok()) {
+        valid_ = false;
+        return;
+      }
+      LoadBlock(block_index_ + 1);
+      continue;
+    }
+    Slice cursor(block_.data() + block_pos_, block_.size() - block_pos_);
+    const size_t before = cursor.size();
+    status_ = DecodeEntry(&cursor, &entry_);
+    if (!status_.ok()) {
+      valid_ = false;
+      return;
+    }
+    block_pos_ += before - cursor.size();
+    valid_ = true;
+    return;
+  }
+}
+
+void SSTable::Iterator::Next() {
+  if (!valid_) return;
+  ParseNext();
+}
+
+void SSTable::Iterator::Seek(const Slice& target) {
+  if (table_->index_.empty()) {
+    valid_ = false;
+    return;
+  }
+  const size_t block_index = table_->BlockFor(target);
+  if (block_index >= table_->index_.size()) {
+    valid_ = false;
+    return;
+  }
+  LoadBlock(block_index);
+  ParseNext();
+  while (valid_ && Slice(entry_.key).Compare(target) < 0) {
+    ParseNext();
+  }
+}
+
+}  // namespace liquid::kv

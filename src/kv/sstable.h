@@ -1,0 +1,119 @@
+#ifndef LIQUID_KV_SSTABLE_H_
+#define LIQUID_KV_SSTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace liquid::kv {
+
+/// Kind of an entry inside a table / memtable / WAL.
+enum class EntryType : uint8_t { kPut = 0, kDelete = 1 };
+
+/// One key-value entry with its MVCC sequence number. Within a table keys are
+/// unique (tables are built from a deduplicated source); across tables the
+/// newest table wins.
+struct Entry {
+  std::string key;
+  std::string value;
+  uint64_t sequence = 0;
+  EntryType type = EntryType::kPut;
+};
+
+/// Immutable sorted table of entries on disk — the persistence unit of the
+/// LSM store backing stateful processing tasks (the paper's RocksDB, §4.4).
+///
+/// Layout:
+///   [data block]*            entries, ~block_size each
+///   [filter block]           bloom filter over all keys
+///   [index block]            (last_key, offset, size) per data block
+///   footer: fixed64 filter_off, fixed32 filter_sz,
+///           fixed64 index_off,  fixed32 index_sz,
+///           fixed64 entry_count, fixed64 magic
+class SSTable {
+ public:
+  struct Options {
+    size_t block_size = 4096;
+    int bloom_bits_per_key = 10;
+  };
+
+  /// Writes a table from `entries` (must be sorted by key, unique keys).
+  static Status Write(storage::Disk* disk, const std::string& name,
+                      const std::vector<Entry>& entries, const Options& options);
+
+  /// Opens a table, loading its index and filter into memory.
+  static Result<std::unique_ptr<SSTable>> Open(storage::Disk* disk,
+                                               const std::string& name);
+
+  SSTable(const SSTable&) = delete;
+  SSTable& operator=(const SSTable&) = delete;
+
+  /// Point lookup; NotFound when absent (a kDelete entry IS found — callers
+  /// must check entry.type).
+  Result<Entry> Get(const Slice& key) const;
+
+  uint64_t entry_count() const { return entry_count_; }
+  const std::string& name() const { return name_; }
+  const std::string& min_key() const { return min_key_; }
+  const std::string& max_key() const { return max_key_; }
+
+  /// Sequential scanner over all entries in key order.
+  class Iterator {
+   public:
+    explicit Iterator(const SSTable* table);
+    bool Valid() const { return valid_; }
+    const Entry& entry() const { return entry_; }
+    /// Advances; invalid after the last entry. IO errors end the iteration
+    /// and are reported through status().
+    void Next();
+    /// Positions at the first entry with key >= target.
+    void Seek(const Slice& target);
+    const Status& status() const { return status_; }
+
+   private:
+    void LoadBlock(size_t block_index);
+    void ParseNext();
+
+    const SSTable* table_;
+    size_t block_index_ = 0;
+    std::string block_;
+    size_t block_pos_ = 0;
+    Entry entry_;
+    bool valid_ = false;
+    Status status_;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+ private:
+  struct IndexEntry {
+    std::string last_key;
+    uint64_t offset;
+    uint32_t size;
+  };
+
+  SSTable(std::unique_ptr<storage::File> file, std::string name);
+
+  Status LoadFooter();
+  Status ReadBlock(size_t block_index, std::string* out) const;
+  /// Index of the first block whose last_key >= key, or npos.
+  size_t BlockFor(const Slice& key) const;
+
+  std::unique_ptr<storage::File> file_;
+  std::string name_;
+  std::vector<IndexEntry> index_;
+  std::string filter_;
+  uint64_t entry_count_ = 0;
+  std::string min_key_;
+  std::string max_key_;
+};
+
+}  // namespace liquid::kv
+
+#endif  // LIQUID_KV_SSTABLE_H_

@@ -1,0 +1,72 @@
+#include "kv/wal.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace liquid::kv {
+
+WriteAheadLog::WriteAheadLog(storage::Disk* disk,
+                             std::unique_ptr<storage::File> file,
+                             std::string name)
+    : disk_(disk), file_(std::move(file)), name_(std::move(name)) {}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    storage::Disk* disk, const std::string& name) {
+  auto file = disk->OpenOrCreate(name);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(disk, std::move(file).value(), name));
+}
+
+Status WriteAheadLog::Append(const Entry& entry) {
+  std::string payload;
+  PutFixed64(&payload, entry.sequence);
+  payload.push_back(static_cast<char>(entry.type));
+  PutLengthPrefixed(&payload, entry.key);
+  PutLengthPrefixed(&payload, entry.value);
+
+  std::string framed;
+  PutFixed32(&framed, crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
+  framed.append(payload);
+  return file_->Append(framed);
+}
+
+Status WriteAheadLog::Replay(const std::function<void(const Entry&)>& fn) const {
+  const uint64_t size = file_->Size();
+  if (size == 0) return Status::OK();
+  std::string bytes;
+  LIQUID_RETURN_NOT_OK(file_->ReadAt(0, size, &bytes));
+  Slice cursor(bytes);
+  while (cursor.size() >= 8) {
+    const uint32_t masked_crc = DecodeFixed32(cursor.data());
+    const uint32_t length = DecodeFixed32(cursor.data() + 4);
+    if (cursor.size() < 8 + static_cast<size_t>(length)) break;  // Torn tail.
+    const Slice payload(cursor.data() + 8, length);
+    if (crc32c::Unmask(masked_crc) !=
+        crc32c::Value(payload.data(), payload.size())) {
+      break;  // Corrupt tail; everything before it was intact.
+    }
+    Slice body = payload;
+    Entry entry;
+    uint64_t sequence = 0;
+    if (!GetFixed64(&body, &sequence).ok() || body.empty()) break;
+    entry.sequence = sequence;
+    entry.type = static_cast<EntryType>(body[0]);
+    body.RemovePrefix(1);
+    Slice key, value;
+    if (!GetLengthPrefixed(&body, &key).ok() ||
+        !GetLengthPrefixed(&body, &value).ok()) {
+      break;
+    }
+    entry.key = key.ToString();
+    entry.value = value.ToString();
+    fn(entry);
+    cursor.RemovePrefix(8 + length);
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Reset() { return file_->Truncate(0); }
+
+}  // namespace liquid::kv

@@ -1,0 +1,49 @@
+#ifndef LIQUID_KV_WAL_H_
+#define LIQUID_KV_WAL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "kv/sstable.h"
+#include "storage/disk.h"
+
+namespace liquid::kv {
+
+/// Write-ahead log for the LSM store: every mutation is appended (and CRC
+/// protected) before it reaches the memtable, so an un-flushed memtable can be
+/// rebuilt after a crash.
+class WriteAheadLog {
+ public:
+  static Result<std::unique_ptr<WriteAheadLog>> Open(storage::Disk* disk,
+                                                     const std::string& name);
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one mutation record.
+  Status Append(const Entry& entry);
+
+  /// Invokes `fn` for every intact record in order; stops cleanly at a
+  /// corrupt/truncated tail (crash artifact).
+  Status Replay(const std::function<void(const Entry&)>& fn) const;
+
+  /// Truncates the log to empty (after a successful memtable flush).
+  Status Reset();
+
+  uint64_t size_bytes() const { return file_->Size(); }
+
+ private:
+  WriteAheadLog(storage::Disk* disk, std::unique_ptr<storage::File> file,
+                std::string name);
+
+  storage::Disk* disk_;
+  std::unique_ptr<storage::File> file_;
+  std::string name_;
+};
+
+}  // namespace liquid::kv
+
+#endif  // LIQUID_KV_WAL_H_

@@ -1,0 +1,158 @@
+#include "mapreduce/mapreduce.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace liquid::mapreduce {
+
+namespace {
+
+uint64_t HashKey(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+MapReduceEngine::MapReduceEngine(dfs::DistributedFileSystem* fs, Clock* clock)
+    : fs_(fs), clock_(clock) {}
+
+std::string MapReduceEngine::EncodeRecords(const std::vector<KeyValue>& records) {
+  std::string out;
+  for (const KeyValue& kv : records) {
+    out += kv.key;
+    out += '\t';
+    out += kv.value;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<KeyValue> MapReduceEngine::DecodeRecords(const std::string& data) {
+  std::vector<KeyValue> out;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    const size_t eol = data.find('\n', pos);
+    const size_t end = eol == std::string::npos ? data.size() : eol;
+    const size_t tab = data.find('\t', pos);
+    if (tab != std::string::npos && tab < end) {
+      out.push_back(KeyValue{data.substr(pos, tab - pos),
+                             data.substr(tab + 1, end - tab - 1)});
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+Result<MrJobStats> MapReduceEngine::RunJob(const MrJobConfig& config,
+                                           const std::string& input_dir,
+                                           const std::string& output_dir,
+                                           const MapFn& map,
+                                           const ReduceFn& reduce) {
+  MrJobStats stats;
+  const int64_t start_ms = clock_->NowMs();
+  // Cluster scheduling / container startup overhead.
+  clock_->SleepMs(config.startup_overhead_ms);
+
+  const std::string job_id =
+      config.name + "-" + std::to_string(job_counter_++);
+  const std::string intermediate_dir = "/tmp/" + job_id + "/";
+
+  // ---- Map phase: one map task per input file (split). ----
+  const std::vector<std::string> inputs = fs_->ListFiles(input_dir);
+  int map_task = 0;
+  for (const std::string& input : inputs) {
+    LIQUID_ASSIGN_OR_RETURN(std::string data, fs_->ReadFile(input));
+    std::vector<std::vector<KeyValue>> partitions(config.num_reducers);
+    for (const KeyValue& kv : DecodeRecords(data)) {
+      ++stats.input_records;
+      for (KeyValue& out : map(kv)) {
+        const int r = static_cast<int>(
+            HashKey(out.key) % static_cast<uint64_t>(config.num_reducers));
+        partitions[r].push_back(std::move(out));
+        ++stats.intermediate_records;
+      }
+    }
+    // Materialize intermediates to the DFS (the costly part).
+    for (int r = 0; r < config.num_reducers; ++r) {
+      if (partitions[r].empty()) continue;
+      const std::string name = intermediate_dir + "m" +
+                               std::to_string(map_task) + "-r" +
+                               std::to_string(r);
+      const std::string encoded = EncodeRecords(partitions[r]);
+      stats.dfs_bytes_written += encoded.size();
+      LIQUID_RETURN_NOT_OK(fs_->WriteFile(name, encoded));
+    }
+    ++map_task;
+  }
+
+  // ---- Reduce phase: sort/group per reducer, fold, write output. ----
+  for (int r = 0; r < config.num_reducers; ++r) {
+    std::map<std::string, std::vector<std::string>> groups;
+    for (const std::string& name : fs_->ListFiles(intermediate_dir)) {
+      const std::string suffix = "-r" + std::to_string(r);
+      if (name.size() < suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+        continue;
+      }
+      LIQUID_ASSIGN_OR_RETURN(std::string data, fs_->ReadFile(name));
+      for (KeyValue& kv : DecodeRecords(data)) {
+        groups[kv.key].push_back(std::move(kv.value));
+      }
+    }
+    std::vector<KeyValue> output;
+    for (auto& [key, values] : groups) {
+      output.push_back(KeyValue{key, reduce(key, values)});
+      ++stats.output_records;
+    }
+    const std::string encoded = EncodeRecords(output);
+    stats.dfs_bytes_written += encoded.size();
+    LIQUID_RETURN_NOT_OK(
+        fs_->WriteFile(output_dir + "/part-" + std::to_string(r), encoded));
+  }
+
+  // Clean intermediates (best effort, as the real engines do).
+  for (const std::string& name : fs_->ListFiles(intermediate_dir)) {
+    fs_->DeleteFile(name);
+  }
+  stats.wall_ms = clock_->NowMs() - start_ms;
+  return stats;
+}
+
+Result<MrJobStats> MapReduceEngine::RunChain(const MrJobConfig& config,
+                                             const std::string& input_dir,
+                                             const std::string& output_dir,
+                                             const std::vector<MapFn>& stages) {
+  MrJobStats total;
+  const ReduceFn identity_reduce =
+      [](const std::string&, const std::vector<std::string>& values) {
+        return values.empty() ? std::string() : values.back();
+      };
+  std::string current_input = input_dir;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const bool last = i + 1 == stages.size();
+    const std::string stage_output =
+        last ? output_dir
+             : "/chain/" + config.name + "/stage" + std::to_string(i);
+    MrJobConfig stage_config = config;
+    stage_config.name = config.name + "-s" + std::to_string(i);
+    LIQUID_ASSIGN_OR_RETURN(
+        MrJobStats stats,
+        RunJob(stage_config, current_input, stage_output, stages[i],
+               identity_reduce));
+    total.input_records += stats.input_records;
+    total.intermediate_records += stats.intermediate_records;
+    total.output_records += stats.output_records;
+    total.wall_ms += stats.wall_ms;
+    total.dfs_bytes_written += stats.dfs_bytes_written;
+    current_input = stage_output;
+  }
+  return total;
+}
+
+}  // namespace liquid::mapreduce

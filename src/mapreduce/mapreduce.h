@@ -1,0 +1,87 @@
+#ifndef LIQUID_MAPREDUCE_MAPREDUCE_H_
+#define LIQUID_MAPREDUCE_MAPREDUCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "dfs/dfs.h"
+
+namespace liquid::mapreduce {
+
+/// One key-value pair flowing through a MapReduce job. Records are stored in
+/// DFS files as lines of "key\tvalue".
+struct KeyValue {
+  std::string key;
+  std::string value;
+};
+
+/// Emits zero or more intermediate pairs per input pair.
+using MapFn = std::function<std::vector<KeyValue>(const KeyValue& input)>;
+
+/// Folds all values of one key into one output value.
+using ReduceFn = std::function<std::string(const std::string& key,
+                                           const std::vector<std::string>& values)>;
+
+struct MrJobConfig {
+  std::string name;
+  int num_reducers = 2;
+  /// Fixed per-job cluster-scheduling overhead (container allocation, JVM
+  /// startup, ...). This is the per-stage cost that makes DFS-based pipeline
+  /// latency grow with the number of stages (§1 limitation 1).
+  int64_t startup_overhead_ms = 20;
+};
+
+struct MrJobStats {
+  int64_t input_records = 0;
+  int64_t intermediate_records = 0;
+  int64_t output_records = 0;
+  int64_t wall_ms = 0;
+  uint64_t dfs_bytes_written = 0;  // Includes intermediate materialization.
+};
+
+/// A batch MapReduce engine over the baseline DFS: the processing half of the
+/// legacy MR/DFS data integration stack (Fig. 1, left). Every job reads its
+/// input from DFS files, materializes intermediates to the DFS, and writes
+/// output files to the DFS — which is exactly why "intermediate results of MR
+/// jobs ... result[] in higher latencies as job pipelines grow in length".
+class MapReduceEngine {
+ public:
+  MapReduceEngine(dfs::DistributedFileSystem* fs, Clock* clock);
+
+  MapReduceEngine(const MapReduceEngine&) = delete;
+  MapReduceEngine& operator=(const MapReduceEngine&) = delete;
+
+  /// Runs one job over all files under `input_dir`, writing
+  /// `<output_dir>/part-<r>` files.
+  Result<MrJobStats> RunJob(const MrJobConfig& config,
+                            const std::string& input_dir,
+                            const std::string& output_dir, const MapFn& map,
+                            const ReduceFn& reduce);
+
+  /// Runs `stages` map-only jobs chained through the DFS (stage i reads the
+  /// output of stage i-1) and then a final identity reduce. Returns summed
+  /// stats; used by the pipeline-latency experiment (E6).
+  Result<MrJobStats> RunChain(const MrJobConfig& config,
+                              const std::string& input_dir,
+                              const std::string& output_dir,
+                              const std::vector<MapFn>& stages);
+
+  /// Serializes records as DFS file content ("key\tvalue" lines).
+  static std::string EncodeRecords(const std::vector<KeyValue>& records);
+  static std::vector<KeyValue> DecodeRecords(const std::string& data);
+
+ private:
+  dfs::DistributedFileSystem* fs_;
+  Clock* clock_;
+  int64_t job_counter_ = 0;
+};
+
+}  // namespace liquid::mapreduce
+
+#endif  // LIQUID_MAPREDUCE_MAPREDUCE_H_

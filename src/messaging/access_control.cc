@@ -1,0 +1,49 @@
+#include "messaging/access_control.h"
+
+namespace liquid::messaging {
+
+void AccessController::SetEnforcing(bool enforcing) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enforcing_ = enforcing;
+}
+
+bool AccessController::enforcing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enforcing_;
+}
+
+void AccessController::Allow(const std::string& principal,
+                             const std::string& topic, AclOperation op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  grants_.insert(Key{principal, topic, op});
+}
+
+void AccessController::Revoke(const std::string& principal,
+                              const std::string& topic, AclOperation op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  grants_.erase(Key{principal, topic, op});
+}
+
+Status AccessController::Check(const std::string& principal,
+                               const std::string& topic,
+                               AclOperation op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enforcing_) return Status::OK();
+  if (principal.empty()) return Status::OK();  // Internal traffic.
+  if (grants_.count(Key{principal, topic, op}) ||
+      grants_.count(Key{principal, "*", op})) {
+    return Status::OK();
+  }
+  ++denials_;
+  return Status::FailedPrecondition(
+      "access denied: principal '" + principal + "' may not " +
+      (op == AclOperation::kRead ? "read" : "write") + " topic '" + topic +
+      "'");
+}
+
+int64_t AccessController::denials() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return denials_;
+}
+
+}  // namespace liquid::messaging

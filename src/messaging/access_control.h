@@ -1,0 +1,68 @@
+#ifndef LIQUID_MESSAGING_ACCESS_CONTROL_H_
+#define LIQUID_MESSAGING_ACCESS_CONTROL_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+
+namespace liquid::messaging {
+
+/// Operations subject to access control.
+enum class AclOperation { kRead, kWrite };
+
+/// Per-topic, per-principal access control (§2.1: "access control is
+/// necessary to ensure that no faulty or misconfigured back-end systems can
+/// compromise the data of other applications").
+///
+/// Principals are client ids. Enforcement is opt-in (off by default so
+/// single-team deployments pay nothing); when on, the empty principal —
+/// internal traffic such as replication and changelog restore — is always
+/// allowed, and every external request needs an explicit Allow() grant.
+class AccessController {
+ public:
+  AccessController() = default;
+
+  AccessController(const AccessController&) = delete;
+  AccessController& operator=(const AccessController&) = delete;
+
+  void SetEnforcing(bool enforcing);
+  bool enforcing() const;
+
+  /// Grants `principal` the given operation on `topic` ("*" = all topics).
+  void Allow(const std::string& principal, const std::string& topic,
+             AclOperation op);
+
+  /// Revokes a previous grant (no-op if absent).
+  void Revoke(const std::string& principal, const std::string& topic,
+              AclOperation op);
+
+  /// OK when allowed; FailedPrecondition("access denied ...") otherwise.
+  Status Check(const std::string& principal, const std::string& topic,
+               AclOperation op) const;
+
+  int64_t denials() const;
+
+ private:
+  struct Key {
+    std::string principal;
+    std::string topic;
+    AclOperation op;
+    bool operator<(const Key& other) const {
+      if (principal != other.principal) return principal < other.principal;
+      if (topic != other.topic) return topic < other.topic;
+      return op < other.op;
+    }
+  };
+
+  mutable std::mutex mu_;
+  bool enforcing_ = false;
+  std::set<Key> grants_;
+  mutable int64_t denials_ = 0;
+};
+
+}  // namespace liquid::messaging
+
+#endif  // LIQUID_MESSAGING_ACCESS_CONTROL_H_

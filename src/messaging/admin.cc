@@ -1,0 +1,197 @@
+#include "messaging/admin.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+
+namespace liquid::messaging {
+
+Admin::Admin(Cluster* cluster, OffsetManager* offsets)
+    : cluster_(cluster), offsets_(offsets) {}
+
+ClusterDescription Admin::DescribeCluster() const {
+  ClusterDescription description;
+  description.controller_id = cluster_->ControllerId();
+  const auto alive = cluster_->AliveBrokerIds();
+  const std::set<int> alive_set(alive.begin(), alive.end());
+  for (int id : cluster_->BrokerIds()) {
+    if (alive_set.count(id)) {
+      description.alive_brokers.push_back(id);
+    } else {
+      description.dead_brokers.push_back(id);
+    }
+  }
+  for (const std::string& topic : cluster_->Topics()) {
+    ++description.topics;
+    auto partitions = cluster_->PartitionsOf(topic);
+    if (!partitions.ok()) continue;
+    for (const TopicPartition& tp : *partitions) {
+      ++description.partitions;
+      auto state = cluster_->GetPartitionState(tp);
+      if (!state.ok()) continue;
+      if (state->leader < 0) ++description.offline_partitions;
+      if (state->isr.size() < state->replicas.size()) {
+        ++description.under_replicated_partitions;
+      }
+    }
+  }
+  return description;
+}
+
+Result<std::vector<PartitionState>> Admin::DescribeTopic(
+    const std::string& topic) const {
+  LIQUID_ASSIGN_OR_RETURN(std::vector<TopicPartition> partitions,
+                          cluster_->PartitionsOf(topic));
+  std::vector<PartitionState> out;
+  for (const TopicPartition& tp : partitions) {
+    LIQUID_ASSIGN_OR_RETURN(PartitionState state,
+                            cluster_->GetPartitionState(tp));
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+Result<std::vector<PartitionLag>> Admin::ConsumerLag(
+    const std::string& group, const std::string& topic) const {
+  LIQUID_ASSIGN_OR_RETURN(std::vector<TopicPartition> partitions,
+                          cluster_->PartitionsOf(topic));
+  std::vector<PartitionLag> out;
+  for (const TopicPartition& tp : partitions) {
+    PartitionLag lag;
+    lag.tp = tp;
+    auto leader = cluster_->LeaderFor(tp);
+    if (leader.ok()) {
+      auto hw = (*leader)->HighWatermark(tp);
+      if (hw.ok()) lag.high_watermark = *hw;
+    }
+    auto commit = offsets_->Fetch(group, tp);
+    if (commit.ok()) lag.committed_offset = commit->offset;
+    lag.lag = lag.high_watermark -
+              (lag.committed_offset < 0 ? 0 : lag.committed_offset);
+    out.push_back(lag);
+  }
+  return out;
+}
+
+Status Admin::ReassignPartition(const TopicPartition& tp,
+                                const std::vector<int>& new_replicas) {
+  if (new_replicas.empty()) {
+    return Status::InvalidArgument("empty replica set");
+  }
+  LIQUID_ASSIGN_OR_RETURN(PartitionState state, cluster_->GetPartitionState(tp));
+  LIQUID_ASSIGN_OR_RETURN(TopicConfig config,
+                          cluster_->GetTopicConfig(tp.topic));
+  for (int id : new_replicas) {
+    Broker* broker = cluster_->broker(id);
+    if (broker == nullptr || !broker->alive()) {
+      return Status::InvalidArgument("replica target not alive: " +
+                                     std::to_string(id));
+    }
+  }
+  if (state.leader < 0) {
+    return Status::Unavailable("partition offline: " + tp.ToString());
+  }
+
+  // Phase 1: adding replicas join as followers of the current leader.
+  for (int id : new_replicas) {
+    Broker* broker = cluster_->broker(id);
+    if (!broker->HostsPartition(tp)) {
+      LIQUID_RETURN_NOT_OK(broker->BecomeFollower(tp, state, config));
+    }
+  }
+  // Phase 2: drive catch-up until every new replica matches the leader.
+  Broker* leader = cluster_->broker(state.leader);
+  for (int round = 0; round < 1000; ++round) {
+    cluster_->ReplicationTick();
+    LIQUID_ASSIGN_OR_RETURN(int64_t leader_leo, leader->LogEndOffset(tp));
+    bool caught_up = true;
+    for (int id : new_replicas) {
+      if (id == state.leader) continue;
+      auto leo = cluster_->broker(id)->LogEndOffset(tp);
+      if (!leo.ok() || *leo < leader_leo) {
+        caught_up = false;
+        break;
+      }
+    }
+    if (caught_up) break;
+    if (round == 999) return Status::TimedOut("reassignment catch-up stalled");
+  }
+
+  // Phase 3: switch the authoritative state to the new replica set.
+  PartitionState next;
+  next.replicas = new_replicas;
+  next.leader_epoch = state.leader_epoch + 1;
+  const bool leader_stays =
+      std::find(new_replicas.begin(), new_replicas.end(), state.leader) !=
+      new_replicas.end();
+  next.leader = leader_stays ? state.leader : new_replicas.front();
+  next.isr = new_replicas;
+  LIQUID_RETURN_NOT_OK(cluster_->coord()->Set(paths::PartitionStatePath(tp),
+                                              next.Serialize()));
+  for (int id : new_replicas) {
+    Broker* broker = cluster_->broker(id);
+    Status st = id == next.leader ? broker->BecomeLeader(tp, next, config)
+                                  : broker->BecomeFollower(tp, next, config);
+    if (!st.ok()) {
+      LIQUID_LOG_WARN << "reassignment role change failed on broker " << id
+                      << ": " << st.ToString();
+    }
+  }
+  // Phase 4: drop the partition from replicas leaving the set.
+  for (int id : state.replicas) {
+    if (std::find(new_replicas.begin(), new_replicas.end(), id) !=
+        new_replicas.end()) {
+      continue;
+    }
+    Broker* broker = cluster_->broker(id);
+    if (broker != nullptr && broker->alive()) {
+      broker->StopReplica(tp, /*delete_data=*/true);
+    }
+  }
+  return Status::OK();
+}
+
+Status Admin::DrainBroker(int broker_id) {
+  std::vector<int> alive = cluster_->AliveBrokerIds();
+  alive.erase(std::remove(alive.begin(), alive.end(), broker_id), alive.end());
+  if (alive.empty()) {
+    return Status::FailedPrecondition("no other brokers to drain onto");
+  }
+  size_t next_target = 0;
+  for (const std::string& topic : cluster_->Topics()) {
+    auto partitions = cluster_->PartitionsOf(topic);
+    if (!partitions.ok()) continue;
+    for (const TopicPartition& tp : *partitions) {
+      auto state = cluster_->GetPartitionState(tp);
+      if (!state.ok()) continue;
+      if (std::find(state->replicas.begin(), state->replicas.end(), broker_id) ==
+          state->replicas.end()) {
+        continue;
+      }
+      // Replace broker_id with an alive broker not already in the set.
+      std::vector<int> replicas = state->replicas;
+      for (int& replica : replicas) {
+        if (replica != broker_id) continue;
+        for (size_t tried = 0; tried < alive.size(); ++tried) {
+          const int candidate = alive[next_target++ % alive.size()];
+          if (std::find(replicas.begin(), replicas.end(), candidate) ==
+              replicas.end()) {
+            replica = candidate;
+            break;
+          }
+        }
+      }
+      if (std::find(replicas.begin(), replicas.end(), broker_id) !=
+          replicas.end()) {
+        continue;  // Could not find a substitute (tiny clusters): skip.
+      }
+      LIQUID_RETURN_NOT_OK(ReassignPartition(tp, replicas));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace liquid::messaging

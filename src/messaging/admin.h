@@ -1,0 +1,73 @@
+#ifndef LIQUID_MESSAGING_ADMIN_H_
+#define LIQUID_MESSAGING_ADMIN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "messaging/metadata.h"
+#include "messaging/offset_manager.h"
+
+namespace liquid::messaging {
+
+class Cluster;
+
+/// Cluster-wide view for operators ("operated as a service, e.g. identifying
+/// misbehaving applications or deciding which data is requested more for
+/// load-balancing purposes", §3.1).
+struct ClusterDescription {
+  int controller_id = -1;
+  std::vector<int> alive_brokers;
+  std::vector<int> dead_brokers;
+  int topics = 0;
+  int partitions = 0;
+  int offline_partitions = 0;
+  int under_replicated_partitions = 0;  // ISR smaller than replica set.
+};
+
+/// Per-partition consumption lag of one group.
+struct PartitionLag {
+  TopicPartition tp;
+  int64_t committed_offset = -1;  // -1: never committed.
+  int64_t high_watermark = 0;
+  int64_t lag = 0;  // HW - committed (or HW if never committed).
+};
+
+/// Read-only administrative operations over a running cluster, plus the one
+/// operational write every real deployment needs: partition reassignment
+/// (moving replicas between brokers for load balancing / decommissioning,
+/// §4.4 "partitions are load-balanced across all available clusters").
+class Admin {
+ public:
+  Admin(Cluster* cluster, OffsetManager* offsets);
+
+  ClusterDescription DescribeCluster() const;
+
+  /// All partition states of a topic.
+  Result<std::vector<PartitionState>> DescribeTopic(const std::string& topic) const;
+
+  /// Lag of `group` over every partition of `topic`.
+  Result<std::vector<PartitionLag>> ConsumerLag(const std::string& group,
+                                                const std::string& topic) const;
+
+  /// Moves `tp` to `new_replicas`: new replicas become followers and catch
+  /// up via replication; once in sync the leader is switched into the new
+  /// set and old replicas are dropped. Synchronous (drives the catch-up).
+  Status ReassignPartition(const TopicPartition& tp,
+                           const std::vector<int>& new_replicas);
+
+  /// Moves all leaderships and replicas off `broker_id` (decommission
+  /// preparation), spreading them over the remaining alive brokers.
+  Status DrainBroker(int broker_id);
+
+ private:
+  Cluster* cluster_;
+  OffsetManager* offsets_;
+};
+
+}  // namespace liquid::messaging
+
+#endif  // LIQUID_MESSAGING_ADMIN_H_

@@ -1,0 +1,241 @@
+#ifndef LIQUID_MESSAGING_BROKER_H_
+#define LIQUID_MESSAGING_BROKER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "coord/coordination_service.h"
+#include "coord/leader_election.h"
+#include "messaging/metadata.h"
+#include "messaging/quota.h"
+#include "storage/disk.h"
+#include "storage/log.h"
+#include "storage/page_cache.h"
+
+namespace liquid::messaging {
+
+class Cluster;
+class Controller;
+
+/// Broker tuning knobs.
+struct BrokerConfig {
+  storage::PageCacheConfig page_cache;
+  /// Default cap on fetch response payloads.
+  size_t fetch_max_bytes = 1 << 20;
+};
+
+/// One node of the messaging layer (§3.1): hosts partitions of topics as
+/// replicated append-only logs, answers produce/fetch requests, replicates as
+/// leader or follower, and participates in controller election.
+///
+/// "RPCs" are direct method calls routed through the Cluster; the protocol
+/// semantics (leader checks, epochs, high-watermark, ISR membership) are the
+/// real ones.
+class Broker {
+ public:
+  Broker(int id, Cluster* cluster, storage::Disk* disk, Clock* clock,
+         BrokerConfig config);
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  int id() const { return id_; }
+
+  /// Registers in the coordination service and contends for the controller
+  /// role.
+  Status Start();
+
+  /// Simulates a crash: the coordination session expires (triggering
+  /// controller failover handling) and all requests fail with Unavailable.
+  void Stop();
+
+  bool alive() const;
+
+  // ---- Controller/admin-facing ----
+
+  /// Makes this broker the leader of `tp` with the given state.
+  Status BecomeLeader(const TopicPartition& tp, const PartitionState& state,
+                      const TopicConfig& config);
+
+  /// Makes this broker a follower of `tp`; truncates the local log to its
+  /// high-watermark (uncommitted records may be discarded — the acks=1
+  /// durability trade-off of §4.3).
+  Status BecomeFollower(const TopicPartition& tp, const PartitionState& state,
+                        const TopicConfig& config);
+
+  /// Stops hosting `tp` (partition reassignment / decommission); optionally
+  /// deletes its on-disk log and high-watermark checkpoint.
+  Status StopReplica(const TopicPartition& tp, bool delete_data);
+
+  // ---- Client-facing ----
+
+  /// Appends `records` to the partition (leader only). For AckMode::kAll the
+  /// call synchronously replicates to all ISR followers and fails with
+  /// Unavailable if fewer than min_insync_replicas are in sync.
+  /// `producer_id`/`first_sequence` enable idempotent deduplication;
+  /// a non-empty `client_id` is charged against its byte-rate quota and the
+  /// request is throttled when over it (§4.5 multi-tenancy).
+  Result<ProduceResponse> Produce(const TopicPartition& tp,
+                                  std::vector<storage::Record> records,
+                                  AckMode acks,
+                                  int64_t producer_id = storage::kNoProducerId,
+                                  int32_t first_sequence = -1,
+                                  const std::string& client_id = "");
+
+  /// Reads records starting at `offset`. Consumers (`replica_id < 0`) see only
+  /// committed data (below the high-watermark); replica fetches see the full
+  /// log and advance the leader's view of the follower (possibly expanding
+  /// the ISR and the high-watermark).
+  /// `read_committed` hides transactional data until its transaction commits
+  /// (records are clamped to the last-stable-offset, aborted data and
+  /// control markers are filtered out) — the exactly-once extension the
+  /// paper calls an "ongoing effort" (§4.3).
+  Result<FetchResponse> Fetch(const TopicPartition& tp, int64_t offset,
+                              size_t max_bytes, int replica_id = -1,
+                              const std::string& client_id = "",
+                              bool read_committed = false);
+
+  // ---- Transactions (leader-side partition state) ----
+
+  /// Marks the start of `pid`'s transaction on this partition: data appended
+  /// by `pid` from the current log end until the marker is transactional.
+  Status BeginPartitionTxn(const TopicPartition& tp, int64_t pid);
+
+  /// Appends the commit/abort control marker for `pid` and resolves its
+  /// transactional range (aborted ranges are filtered from read_committed
+  /// fetches).
+  Status WriteTxnMarker(const TopicPartition& tp, int64_t pid, bool committed);
+
+  /// Last stable offset: committed data below every ongoing transaction.
+  Result<int64_t> LastStableOffset(const TopicPartition& tp);
+
+  /// KIP-101 reconciliation query (leader side): for the requester's last
+  /// known epoch, returns {largest local epoch <= requested, that epoch's end
+  /// offset}. A new follower truncates to this boundary, which removes any
+  /// divergent suffix it accepted from a deposed leader — even one below the
+  /// new leader's log end, where a plain min(LEO, LEO) cannot see it.
+  Result<std::pair<int, int64_t>> EndOffsetForEpoch(const TopicPartition& tp,
+                                                    int epoch);
+
+  /// First offset with timestamp >= ts_ms (metadata-based rewind, §3.1).
+  Result<int64_t> OffsetForTimestamp(const TopicPartition& tp, int64_t ts_ms);
+
+  /// {log start offset, high watermark} visible to consumers.
+  Result<std::pair<int64_t, int64_t>> OffsetBounds(const TopicPartition& tp);
+
+  // ---- Replication ----
+
+  /// Push-path append from the leader (synchronous acks=all replication).
+  Status AppendAsFollower(const TopicPartition& tp,
+                          const std::vector<storage::Record>& records,
+                          int leader_epoch, int64_t leader_hw);
+
+  /// Pull path: every follower partition fetches once from its leader
+  /// (catch-up for acks<all and for restarted brokers).
+  Status ReplicateFromLeaders();
+
+  // ---- Maintenance ----
+
+  /// Applies retention and compaction to every hosted log (§4.1).
+  Status RunLogMaintenance();
+
+  Result<storage::CompactionStats> CompactPartition(const TopicPartition& tp);
+
+  // ---- Introspection ----
+
+  Result<int64_t> LogEndOffset(const TopicPartition& tp);
+  Result<int64_t> HighWatermark(const TopicPartition& tp);
+  std::vector<TopicPartition> HostedPartitions() const;
+  bool HostsPartition(const TopicPartition& tp) const;
+  bool IsLeaderFor(const TopicPartition& tp) const;
+  bool IsController() const;
+
+  storage::PageCache* page_cache() { return page_cache_.get(); }
+  MetricsRegistry* metrics() { return &metrics_; }
+  QuotaManager* quotas() { return &quotas_; }
+  storage::Disk* disk() { return disk_; }
+
+ private:
+  struct AbortedRange {
+    int64_t pid;
+    int64_t first_offset;
+    int64_t last_offset;  // The abort marker's offset (exclusive bound).
+  };
+
+  struct Replica {
+    TopicConfig config;
+    std::unique_ptr<storage::Log> log;
+    bool is_leader = false;
+    int leader = -1;
+    int leader_epoch = -1;
+    int64_t high_watermark = 0;
+    std::vector<int> isr;
+    // Leader-side view of follower log-end offsets.
+    std::map<int, int64_t> follower_leo;
+    // Idempotent-producer dedup: last sequence accepted per producer id.
+    std::unordered_map<int64_t, int32_t> producer_last_seq;
+    // Transactions: pid -> first offset of the ongoing transaction.
+    std::map<int64_t, int64_t> ongoing_txns;
+    std::vector<AbortedRange> aborted_ranges;
+    // Leader-epoch cache (KIP-101): (epoch, start offset of that epoch),
+    // ascending; persisted to "<tp>.epochs".
+    std::vector<std::pair<int, int64_t>> epoch_cache;
+  };
+
+  /// min(first offset over ongoing transactions, high watermark).
+  static int64_t LastStableOffsetLocked(const Replica& replica);
+
+  // Replica lookup; all per-replica mutation happens under mu_.
+  Result<Replica*> FindReplicaLocked(const TopicPartition& tp);
+  Status EnsureLogLocked(const TopicPartition& tp, Replica* replica);
+  /// Recomputes the leader HW = min(LEO over ISR members with known LEO).
+  void AdvanceHighWatermarkLocked(const TopicPartition& tp, Replica* replica);
+  /// Removes `follower` from the ISR and publishes the shrunk state.
+  void ShrinkIsrLocked(const TopicPartition& tp, Replica* replica, int follower);
+  void MaybeExpandIsrLocked(const TopicPartition& tp, Replica* replica,
+                            int follower);
+  void PublishIsrLocked(const TopicPartition& tp, Replica* replica);
+  Status LoadHighWatermarkLocked(const TopicPartition& tp, Replica* replica);
+  void StoreHighWatermarkLocked(const TopicPartition& tp, Replica* replica);
+  Status LoadEpochCacheLocked(const TopicPartition& tp, Replica* replica);
+  void StoreEpochCacheLocked(const TopicPartition& tp, Replica* replica);
+  /// Records that `epoch` starts at `start_offset` (no-op if already known).
+  void NoteEpochLocked(const TopicPartition& tp, Replica* replica, int epoch,
+                       int64_t start_offset);
+  /// Drops cache entries at/after `offset` after a truncation.
+  void TrimEpochCacheLocked(const TopicPartition& tp, Replica* replica,
+                            int64_t offset);
+  /// The epoch of the last record in the local log (-1 if empty).
+  static int LastLocalEpochLocked(const Replica& replica);
+
+  const int id_;
+  Cluster* cluster_;
+  storage::Disk* disk_;
+  Clock* clock_;
+  BrokerConfig config_;
+
+  std::unique_ptr<storage::PageCache> page_cache_;
+  MetricsRegistry metrics_;
+  QuotaManager quotas_;
+
+  mutable std::recursive_mutex mu_;
+  bool alive_ = false;
+  int64_t session_id_ = 0;
+  std::map<TopicPartition, Replica> replicas_;
+  std::unique_ptr<coord::LeaderElection> election_;
+  std::unique_ptr<Controller> controller_;
+};
+
+}  // namespace liquid::messaging
+
+#endif  // LIQUID_MESSAGING_BROKER_H_

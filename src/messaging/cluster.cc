@@ -1,0 +1,251 @@
+#include "messaging/cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace liquid::messaging {
+
+Cluster::Cluster(ClusterConfig config, Clock* clock)
+    : config_(config), clock_(clock) {}
+
+Cluster::~Cluster() {
+  StopReplicationThread();
+  // Stop brokers gracefully so controller churn during teardown is bounded.
+  std::vector<Broker*> to_stop;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, broker] : brokers_) to_stop.push_back(broker.get());
+  }
+  for (Broker* broker : to_stop) broker->Stop();
+}
+
+Status Cluster::Start() {
+  // Bootstrap the persistent coordination namespace.
+  const int64_t session = coord_.CreateSession();
+  coord_.Create(session, paths::BrokersRoot(), "", coord::NodeKind::kPersistent);
+  coord_.Create(session, paths::BrokerIds(), "", coord::NodeKind::kPersistent);
+  coord_.Create(session, paths::TopicsRoot(), "", coord::NodeKind::kPersistent);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int id = 0; id < config_.num_brokers; ++id) {
+      disks_[id] = std::make_unique<storage::MemDisk>(config_.disk_latency);
+      brokers_[id] = std::make_unique<Broker>(id, this, disks_[id].get(),
+                                              clock_, config_.broker);
+    }
+  }
+  for (int id : BrokerIds()) {
+    LIQUID_RETURN_NOT_OK(broker(id)->Start());
+  }
+  return Status::OK();
+}
+
+Status Cluster::CreateTopic(const std::string& name, const TopicConfig& config) {
+  if (config.partitions < 1 || config.replication_factor < 1) {
+    return Status::InvalidArgument("bad topic config for " + name);
+  }
+  std::vector<int> alive = AliveBrokerIds();
+  if (static_cast<int>(alive.size()) < config.replication_factor) {
+    return Status::InvalidArgument("replication factor exceeds alive brokers");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (topics_.count(name)) {
+      return Status::AlreadyExists("topic exists: " + name);
+    }
+    topics_[name] = config;
+  }
+
+  // Admin session for persistent metadata nodes.
+  const int64_t session = coord_.CreateSession();
+  if (!coord_.Exists(paths::TopicsRoot())) {
+    coord_.Create(session, paths::TopicsRoot(), "", coord::NodeKind::kPersistent);
+  }
+  auto created = coord_.Create(session, paths::Topic(name), "",
+                               coord::NodeKind::kPersistent);
+  if (!created.ok()) return created.status();
+  LIQUID_RETURN_NOT_OK(coord_
+                           .Create(session, paths::Partitions(name),
+                                   std::to_string(config.partitions),
+                                   coord::NodeKind::kPersistent)
+                           .status());
+
+  for (int p = 0; p < config.partitions; ++p) {
+    const TopicPartition tp{name, p};
+    PartitionState state;
+    for (int r = 0; r < config.replication_factor; ++r) {
+      state.replicas.push_back(
+          alive[(p + r) % static_cast<int>(alive.size())]);
+    }
+    state.leader = state.replicas.front();
+    state.leader_epoch = 0;
+    state.isr = state.replicas;
+    LIQUID_RETURN_NOT_OK(coord_
+                             .Create(session, paths::PartitionStatePath(tp),
+                                     state.Serialize(),
+                                     coord::NodeKind::kPersistent)
+                             .status());
+    for (int replica_id : state.replicas) {
+      Broker* b = broker(replica_id);
+      if (b == nullptr) continue;
+      Status st = replica_id == state.leader
+                      ? b->BecomeLeader(tp, state, config)
+                      : b->BecomeFollower(tp, state, config);
+      LIQUID_RETURN_NOT_OK(st);
+    }
+  }
+  return Status::OK();
+}
+
+Result<TopicConfig> Cluster::GetTopicConfig(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("no such topic: " + topic);
+  return it->second;
+}
+
+std::vector<std::string> Cluster::Topics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, config] : topics_) out.push_back(name);
+  return out;
+}
+
+Result<std::vector<TopicPartition>> Cluster::PartitionsOf(
+    const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("no such topic: " + topic);
+  std::vector<TopicPartition> out;
+  for (int p = 0; p < it->second.partitions; ++p) {
+    out.push_back(TopicPartition{topic, p});
+  }
+  return out;
+}
+
+Result<PartitionState> Cluster::GetPartitionState(
+    const TopicPartition& tp) const {
+  auto data = const_cast<coord::CoordinationService&>(coord_).Get(
+      paths::PartitionStatePath(tp));
+  if (!data.ok()) return data.status();
+  return PartitionState::Parse(*data);
+}
+
+Result<Broker*> Cluster::LeaderFor(const TopicPartition& tp) {
+  LIQUID_ASSIGN_OR_RETURN(PartitionState state, GetPartitionState(tp));
+  if (state.leader < 0) {
+    return Status::Unavailable("partition offline: " + tp.ToString());
+  }
+  Broker* b = broker(state.leader);
+  if (b == nullptr || !b->alive()) {
+    return Status::Unavailable("leader down: " + tp.ToString());
+  }
+  return b;
+}
+
+Broker* Cluster::broker(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = brokers_.find(id);
+  return it == brokers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<int> Cluster::BrokerIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  for (const auto& [id, broker] : brokers_) out.push_back(id);
+  return out;
+}
+
+std::vector<int> Cluster::AliveBrokerIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  for (const auto& [id, broker] : brokers_) {
+    if (broker->alive()) out.push_back(id);
+  }
+  return out;
+}
+
+Status Cluster::StopBroker(int id) {
+  Broker* b = broker(id);
+  if (b == nullptr) return Status::NotFound("no such broker");
+  b->Stop();
+  return Status::OK();
+}
+
+Status Cluster::RestartBroker(int id) {
+  storage::MemDisk* disk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = disks_.find(id);
+    if (it == disks_.end()) return Status::NotFound("no such broker");
+    disk = it->second.get();
+    // The old Broker object is the "crashed process"; replace it with a new
+    // one over the surviving disk.
+    brokers_[id] =
+        std::make_unique<Broker>(id, this, disk, clock_, config_.broker);
+  }
+  Broker* b = broker(id);
+  LIQUID_RETURN_NOT_OK(b->Start());
+  // Resume hosted partitions from the cluster metadata.
+  for (const std::string& topic : Topics()) {
+    auto config = GetTopicConfig(topic);
+    if (!config.ok()) continue;
+    auto partitions = PartitionsOf(topic);
+    if (!partitions.ok()) continue;
+    for (const TopicPartition& tp : *partitions) {
+      auto state = GetPartitionState(tp);
+      if (!state.ok()) continue;
+      if (std::find(state->replicas.begin(), state->replicas.end(), id) ==
+          state->replicas.end()) {
+        continue;
+      }
+      Status st = state->leader == id ? b->BecomeLeader(tp, *state, *config)
+                                      : b->BecomeFollower(tp, *state, *config);
+      if (!st.ok()) {
+        LIQUID_LOG_WARN << "restart: resume " << tp.ToString() << " on broker "
+                        << id << " failed: " << st.ToString();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void Cluster::ReplicationTick() {
+  for (int id : AliveBrokerIds()) {
+    Broker* b = broker(id);
+    if (b != nullptr) b->ReplicateFromLeaders();
+  }
+}
+
+void Cluster::RunLogMaintenance() {
+  for (int id : AliveBrokerIds()) {
+    Broker* b = broker(id);
+    if (b != nullptr) b->RunLogMaintenance();
+  }
+}
+
+void Cluster::StartReplicationThread(int interval_ms) {
+  if (replication_running_.exchange(true)) return;
+  replication_thread_ = std::thread([this, interval_ms] {
+    while (replication_running_.load()) {
+      ReplicationTick();
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  });
+}
+
+void Cluster::StopReplicationThread() {
+  if (!replication_running_.exchange(false)) return;
+  if (replication_thread_.joinable()) replication_thread_.join();
+}
+
+int Cluster::ControllerId() const {
+  auto data = const_cast<coord::CoordinationService&>(coord_).Get(
+      paths::Controller());
+  if (!data.ok()) return -1;
+  return std::atoi(data->c_str());
+}
+
+}  // namespace liquid::messaging

@@ -1,0 +1,179 @@
+#include "messaging/consumer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+
+namespace liquid::messaging {
+
+Consumer::Consumer(Cluster* cluster, OffsetManager* offsets,
+                   GroupCoordinator* coordinator, std::string member_id,
+                   ConsumerConfig config)
+    : cluster_(cluster),
+      offsets_(offsets),
+      coordinator_(coordinator),
+      member_id_(std::move(member_id)),
+      config_(std::move(config)) {}
+
+Consumer::~Consumer() { Close(); }
+
+Status Consumer::Subscribe(const std::vector<std::string>& topics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  topics_ = topics;
+  auto generation = coordinator_->JoinGroup(config_.group, member_id_, topics);
+  if (!generation.ok()) return generation.status();
+  return RefreshAssignmentLocked();
+}
+
+Status Consumer::RefreshAssignmentLocked() {
+  const int64_t current = coordinator_->Generation(config_.group);
+  if (current == generation_) return Status::OK();
+  LIQUID_ASSIGN_OR_RETURN(GroupAssignment assignment,
+                          coordinator_->GetAssignment(config_.group, member_id_));
+  generation_ = assignment.generation;
+  assignment_ = std::move(assignment.partitions);
+  poll_cursor_ = 0;
+
+  std::map<TopicPartition, int64_t> fresh;
+  for (const TopicPartition& tp : assignment_) {
+    auto kept = positions_.find(tp);
+    if (kept != positions_.end()) {
+      fresh[tp] = kept->second;  // Still ours: keep the position.
+      continue;
+    }
+    auto committed = offsets_->Fetch(config_.group, tp);
+    if (committed.ok()) {
+      fresh[tp] = committed->offset;
+      continue;
+    }
+    // No committed offset: start from the earliest or the latest data.
+    auto leader = cluster_->LeaderFor(tp);
+    if (leader.ok()) {
+      auto bounds = (*leader)->OffsetBounds(tp);
+      if (bounds.ok()) {
+        fresh[tp] = config_.start_from_earliest ? bounds->first : bounds->second;
+        continue;
+      }
+    }
+    fresh[tp] = 0;
+  }
+  positions_ = std::move(fresh);
+  return Status::OK();
+}
+
+Result<std::vector<ConsumerRecord>> Consumer::Poll(size_t max_records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return Status::FailedPrecondition("consumer closed");
+  coordinator_->Heartbeat(config_.group, member_id_);  // Polling = liveness.
+  LIQUID_RETURN_NOT_OK(RefreshAssignmentLocked());
+  std::vector<ConsumerRecord> out;
+  if (assignment_.empty()) return out;
+
+  for (size_t visited = 0;
+       visited < assignment_.size() && out.size() < max_records; ++visited) {
+    const TopicPartition& tp =
+        assignment_[(poll_cursor_ + visited) % assignment_.size()];
+    auto leader = cluster_->LeaderFor(tp);
+    if (!leader.ok()) continue;  // Transient: try again next poll.
+    auto resp = (*leader)->Fetch(tp, positions_[tp], config_.fetch_max_bytes,
+                                 -1, config_.client_id, config_.read_committed);
+    if (!resp.ok()) continue;
+    bool took_all = true;
+    for (auto& record : resp->records) {
+      if (out.size() >= max_records) {
+        took_all = false;
+        break;
+      }
+      positions_[tp] = record.offset + 1;
+      out.push_back(ConsumerRecord{tp, std::move(record)});
+    }
+    if (took_all) {
+      // Advance past filtered records (control markers, aborted data).
+      positions_[tp] = std::max(positions_[tp], resp->next_fetch_offset);
+    }
+  }
+  poll_cursor_ = (poll_cursor_ + 1) % std::max<size_t>(assignment_.size(), 1);
+  return out;
+}
+
+Status Consumer::Commit() {
+  return CommitWithAnnotations({});
+}
+
+Status Consumer::CommitWithAnnotations(
+    const std::map<std::string, std::string>& annotations) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TopicPartition& tp : assignment_) {
+    OffsetCommit commit;
+    commit.offset = positions_[tp];
+    commit.annotations = annotations;
+    LIQUID_RETURN_NOT_OK(offsets_->Commit(config_.group, tp, std::move(commit)));
+  }
+  return Status::OK();
+}
+
+Status Consumer::Seek(const TopicPartition& tp, int64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(assignment_.begin(), assignment_.end(), tp) ==
+      assignment_.end()) {
+    return Status::InvalidArgument("partition not assigned: " + tp.ToString());
+  }
+  positions_[tp] = offset;
+  return Status::OK();
+}
+
+Status Consumer::SeekToTimestamp(int64_t ts_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TopicPartition& tp : assignment_) {
+    auto leader = cluster_->LeaderFor(tp);
+    if (!leader.ok()) return leader.status();
+    auto offset = (*leader)->OffsetForTimestamp(tp, ts_ms);
+    if (offset.ok()) {
+      positions_[tp] = *offset;
+    } else if (offset.status().IsNotFound()) {
+      // All data is older: position at the end.
+      auto bounds = (*leader)->OffsetBounds(tp);
+      if (bounds.ok()) positions_[tp] = bounds->second;
+    } else {
+      return offset.status();
+    }
+  }
+  return Status::OK();
+}
+
+Result<int64_t> Consumer::Position(const TopicPartition& tp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = positions_.find(tp);
+  if (it == positions_.end()) {
+    return Status::NotFound("no position for " + tp.ToString());
+  }
+  return it->second;
+}
+
+std::map<TopicPartition, int64_t> Consumer::Positions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return positions_;
+}
+
+Status Consumer::CloseWithoutCommit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return Status::OK();
+  closed_ = true;
+  return coordinator_->LeaveGroup(config_.group, member_id_);
+}
+
+std::vector<TopicPartition> Consumer::Assignment() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return assignment_;
+}
+
+Status Consumer::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return Status::OK();
+  closed_ = true;
+  return coordinator_->LeaveGroup(config_.group, member_id_);
+}
+
+}  // namespace liquid::messaging

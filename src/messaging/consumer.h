@@ -1,0 +1,114 @@
+#ifndef LIQUID_MESSAGING_CONSUMER_H_
+#define LIQUID_MESSAGING_CONSUMER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "messaging/group_coordinator.h"
+#include "messaging/metadata.h"
+#include "messaging/offset_manager.h"
+#include "storage/record.h"
+
+namespace liquid::messaging {
+
+class Cluster;
+
+/// A record delivered to a consumer, tagged with its origin partition.
+struct ConsumerRecord {
+  TopicPartition tp;
+  storage::Record record;
+};
+
+struct ConsumerConfig {
+  std::string group = "default";
+  size_t fetch_max_bytes = 1 << 20;
+  /// Where to start on a partition with no committed offset.
+  bool start_from_earliest = true;
+  /// Client id charged against broker-side byte-rate quotas (§4.5); empty
+  /// means unquoted.
+  std::string client_id;
+  /// Hide transactional data until its transaction commits (exactly-once
+  /// reads); aborted data and control markers are never delivered.
+  bool read_committed = false;
+};
+
+/// Subscribing client of the messaging layer (§3.1). Pull-based: Poll()
+/// fetches from the leaders of the partitions assigned to this member by the
+/// group coordinator, tracking per-partition positions; Commit() checkpoints
+/// positions (optionally with metadata annotations) in the offset manager.
+class Consumer {
+ public:
+  Consumer(Cluster* cluster, OffsetManager* offsets,
+           GroupCoordinator* coordinator, std::string member_id,
+           ConsumerConfig config);
+  ~Consumer();
+
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  /// Joins the group, subscribing to `topics`; triggers a rebalance.
+  Status Subscribe(const std::vector<std::string>& topics);
+
+  /// Fetches up to ~max_records across assigned partitions (round-robin).
+  /// Returns an empty vector when no new committed data exists.
+  Result<std::vector<ConsumerRecord>> Poll(size_t max_records);
+
+  /// Checkpoints current positions for all assigned partitions.
+  Status Commit();
+
+  /// Checkpoints with metadata annotations (e.g. {"version","v2"}) — §4.2.
+  Status CommitWithAnnotations(
+      const std::map<std::string, std::string>& annotations);
+
+  /// Moves the position of `tp` (must be assigned).
+  Status Seek(const TopicPartition& tp, int64_t offset);
+
+  /// Rewinds every assigned partition to the first record at/after ts_ms
+  /// (metadata-based access, §3.1).
+  Status SeekToTimestamp(int64_t ts_ms);
+
+  /// Current position of `tp` (next offset to fetch).
+  Result<int64_t> Position(const TopicPartition& tp) const;
+
+  /// Snapshot of all positions (for transactional offset commits).
+  std::map<TopicPartition, int64_t> Positions() const;
+
+  /// Leaves the group WITHOUT committing (crash simulation / transactional
+  /// jobs that commit offsets through the transaction coordinator).
+  Status CloseWithoutCommit();
+
+  std::vector<TopicPartition> Assignment() const;
+
+  /// Leaves the group (triggers a rebalance for surviving members).
+  Status Close();
+
+  const std::string& member_id() const { return member_id_; }
+
+ private:
+  /// Re-fetches the assignment if the group generation moved; initializes
+  /// positions of newly assigned partitions from committed offsets.
+  Status RefreshAssignmentLocked();
+
+  Cluster* cluster_;
+  OffsetManager* offsets_;
+  GroupCoordinator* coordinator_;
+  const std::string member_id_;
+  ConsumerConfig config_;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> topics_;
+  int64_t generation_ = -1;
+  std::vector<TopicPartition> assignment_;
+  std::map<TopicPartition, int64_t> positions_;
+  size_t poll_cursor_ = 0;  // Round-robin over assigned partitions.
+  bool closed_ = false;
+};
+
+}  // namespace liquid::messaging
+
+#endif  // LIQUID_MESSAGING_CONSUMER_H_

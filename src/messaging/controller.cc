@@ -1,0 +1,118 @@
+#include "messaging/controller.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+
+namespace liquid::messaging {
+
+Controller::Controller(Cluster* cluster, Broker* self)
+    : cluster_(cluster),
+      self_(self),
+      alive_token_(std::make_shared<std::atomic<bool>>(true)) {}
+
+Controller::~Controller() { alive_token_->store(false); }
+
+Status Controller::Start() {
+  ArmMembershipWatch();
+  return ElectLeaders();
+}
+
+void Controller::ArmMembershipWatch() {
+  // The watch may fire after this Controller is destroyed (the service owns
+  // the callback); the token guards the dangling `this`.
+  auto token = alive_token_;
+  cluster_->coord()->GetChildren(
+      paths::BrokerIds(), [this, token](const coord::WatchEvent&) {
+        if (!token->load()) return;
+        if (!self_->alive()) return;
+        OnMembershipChange();
+      });
+}
+
+void Controller::OnMembershipChange() {
+  ArmMembershipWatch();  // One-shot watches must be re-armed.
+  Status st = ElectLeaders();
+  if (!st.ok()) {
+    LIQUID_LOG_ERROR << "controller election pass failed: " << st.ToString();
+  }
+}
+
+Status Controller::ElectLeaders() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<int> alive_ids = cluster_->AliveBrokerIds();
+  const std::set<int> alive(alive_ids.begin(), alive_ids.end());
+
+  for (const std::string& topic : cluster_->Topics()) {
+    auto config = cluster_->GetTopicConfig(topic);
+    if (!config.ok()) continue;
+    auto partitions = cluster_->PartitionsOf(topic);
+    if (!partitions.ok()) continue;
+    for (const TopicPartition& tp : *partitions) {
+      auto data = cluster_->coord()->Get(paths::PartitionStatePath(tp));
+      if (!data.ok()) continue;
+      auto state_result = PartitionState::Parse(*data);
+      if (!state_result.ok()) continue;
+      PartitionState state = std::move(state_result).value();
+
+      const bool leader_alive =
+          state.leader >= 0 && alive.count(state.leader) > 0;
+      bool changed = false;
+      if (!leader_alive) {
+        // Prefer an alive ISR member (no data loss); optionally fall back to
+        // any alive replica (unclean election: availability over durability).
+        std::vector<int> candidates;
+        for (int replica : state.isr) {
+          if (alive.count(replica)) candidates.push_back(replica);
+        }
+        if (candidates.empty() && config->unclean_leader_election) {
+          for (int replica : state.replicas) {
+            if (alive.count(replica)) candidates.push_back(replica);
+          }
+        }
+        if (candidates.empty()) {
+          if (state.leader != -1) {
+            state.leader = -1;  // Partition offline.
+            changed = true;
+          }
+        } else {
+          state.leader = candidates.front();
+          state.leader_epoch++;
+          state.isr = candidates;
+          changed = true;
+        }
+        if (changed) {
+          cluster_->coord()->Set(paths::PartitionStatePath(tp),
+                                 state.Serialize());
+          LIQUID_LOG_DEBUG << "controller: " << tp.ToString() << " leader -> "
+                           << state.leader << " epoch " << state.leader_epoch;
+        }
+      }
+      if (state.leader < 0) continue;
+
+      // Propagate roles to alive replicas. Only notify on change, except that
+      // an alive replica that does not yet host the partition (restart) is
+      // always (re)initialized as follower/leader.
+      for (int replica_id : state.replicas) {
+        if (!alive.count(replica_id)) continue;
+        Broker* broker = cluster_->broker(replica_id);
+        if (broker == nullptr) continue;
+        if (!changed && broker->HostsPartition(tp)) continue;
+        Status st = replica_id == state.leader
+                        ? broker->BecomeLeader(tp, state, *config)
+                        : broker->BecomeFollower(tp, state, *config);
+        if (!st.ok()) {
+          LIQUID_LOG_WARN << "controller: role change failed on broker "
+                          << replica_id << " for " << tp.ToString() << ": "
+                          << st.ToString();
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace liquid::messaging

@@ -1,0 +1,50 @@
+#ifndef LIQUID_MESSAGING_CONTROLLER_H_
+#define LIQUID_MESSAGING_CONTROLLER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "messaging/metadata.h"
+
+namespace liquid::messaging {
+
+class Broker;
+class Cluster;
+
+/// The controller role (§4.3): exactly one broker wins the /controller
+/// election and reacts to broker membership changes by re-electing partition
+/// leaders from each partition's ISR ("after a broker failure, a re-election
+/// mechanism chooses a new leader from the set of ISRs").
+class Controller {
+ public:
+  Controller(Cluster* cluster, Broker* self);
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Arms the membership watch and runs a full election pass (the new
+  /// controller may be taking over after a failure).
+  Status Start();
+
+  /// Re-elects leaders for every partition whose leader is not alive and
+  /// brings restarted replicas back as followers.
+  Status ElectLeaders();
+
+ private:
+  void ArmMembershipWatch();
+  void OnMembershipChange();
+
+  Cluster* cluster_;
+  Broker* self_;
+  std::mutex mu_;  // Serializes election passes.
+  // Watch callbacks registered with the coordination service can outlive this
+  // object; they hold the token and bail out once it reads false.
+  std::shared_ptr<std::atomic<bool>> alive_token_;
+};
+
+}  // namespace liquid::messaging
+
+#endif  // LIQUID_MESSAGING_CONTROLLER_H_

@@ -1,0 +1,132 @@
+#include "messaging/group_coordinator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "messaging/cluster.h"
+
+namespace liquid::messaging {
+
+GroupCoordinator::GroupCoordinator(Cluster* cluster, int64_t session_timeout_ms)
+    : cluster_(cluster), session_timeout_ms_(session_timeout_ms) {}
+
+Result<int64_t> GroupCoordinator::JoinGroup(
+    const std::string& group, const std::string& member_id,
+    const std::vector<std::string>& topics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Group& g = groups_[group];
+  g.members[member_id] = topics;
+  g.last_heartbeat_ms[member_id] = cluster_->clock()->NowMs();
+  LIQUID_RETURN_NOT_OK(RebalanceLocked(&g));
+  return g.generation;
+}
+
+Status GroupCoordinator::LeaveGroup(const std::string& group,
+                                    const std::string& member_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto git = groups_.find(group);
+  if (git == groups_.end()) return Status::NotFound("no such group: " + group);
+  if (git->second.members.erase(member_id) == 0) {
+    return Status::NotFound("no such member: " + member_id);
+  }
+  git->second.last_heartbeat_ms.erase(member_id);
+  return RebalanceLocked(&git->second);
+}
+
+void GroupCoordinator::Heartbeat(const std::string& group,
+                                 const std::string& member_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto git = groups_.find(group);
+  if (git == groups_.end()) return;
+  if (!git->second.members.count(member_id)) return;
+  git->second.last_heartbeat_ms[member_id] = cluster_->clock()->NowMs();
+}
+
+int GroupCoordinator::EvictExpiredMembers() {
+  if (session_timeout_ms_ <= 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = cluster_->clock()->NowMs();
+  int evicted = 0;
+  for (auto& [name, group] : groups_) {
+    std::vector<std::string> dead;
+    for (const auto& [member, last] : group.last_heartbeat_ms) {
+      if (now - last > session_timeout_ms_) dead.push_back(member);
+    }
+    for (const auto& member : dead) {
+      group.members.erase(member);
+      group.last_heartbeat_ms.erase(member);
+      ++evicted;
+    }
+    if (!dead.empty()) RebalanceLocked(&group);
+  }
+  return evicted;
+}
+
+Status GroupCoordinator::RebalanceLocked(Group* group) {
+  group->generation++;
+  group->assignment.clear();
+  if (group->members.empty()) return Status::OK();
+
+  // Gather every partition of every subscribed topic, deterministically.
+  std::set<std::string> topics;
+  for (const auto& [member, subscribed] : group->members) {
+    topics.insert(subscribed.begin(), subscribed.end());
+  }
+  std::vector<TopicPartition> all;
+  for (const std::string& topic : topics) {
+    auto partitions = cluster_->PartitionsOf(topic);
+    if (!partitions.ok()) continue;  // Unknown topic: skipped until created.
+    all.insert(all.end(), partitions->begin(), partitions->end());
+  }
+  std::sort(all.begin(), all.end());
+
+  // Round-robin over members that subscribe to each partition's topic.
+  std::vector<std::string> member_ids;
+  for (const auto& [member, subscribed] : group->members) {
+    member_ids.push_back(member);
+  }
+  size_t cursor = 0;
+  for (const TopicPartition& tp : all) {
+    // Find the next member (cyclically) subscribed to tp.topic.
+    for (size_t tried = 0; tried < member_ids.size(); ++tried) {
+      const std::string& candidate = member_ids[cursor % member_ids.size()];
+      ++cursor;
+      const auto& subscribed = group->members[candidate];
+      if (std::find(subscribed.begin(), subscribed.end(), tp.topic) !=
+          subscribed.end()) {
+        group->assignment[candidate].push_back(tp);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<GroupAssignment> GroupCoordinator::GetAssignment(
+    const std::string& group, const std::string& member_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto git = groups_.find(group);
+  if (git == groups_.end()) return Status::NotFound("no such group: " + group);
+  if (!git->second.members.count(member_id)) {
+    return Status::NotFound("no such member: " + member_id);
+  }
+  GroupAssignment out;
+  out.generation = git->second.generation;
+  auto ait = git->second.assignment.find(member_id);
+  if (ait != git->second.assignment.end()) out.partitions = ait->second;
+  return out;
+}
+
+int64_t GroupCoordinator::Generation(const std::string& group) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto git = groups_.find(group);
+  return git == groups_.end() ? 0 : git->second.generation;
+}
+
+int GroupCoordinator::MemberCount(const std::string& group) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto git = groups_.find(group);
+  return git == groups_.end() ? 0 : static_cast<int>(git->second.members.size());
+}
+
+}  // namespace liquid::messaging

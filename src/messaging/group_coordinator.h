@@ -1,0 +1,89 @@
+#ifndef LIQUID_MESSAGING_GROUP_COORDINATOR_H_
+#define LIQUID_MESSAGING_GROUP_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "messaging/metadata.h"
+
+namespace liquid::messaging {
+
+class Cluster;
+
+/// Partitions assigned to one group member in one generation.
+struct GroupAssignment {
+  int64_t generation = 0;
+  std::vector<TopicPartition> partitions;
+};
+
+/// Coordinates consumer groups (§3.1): within a group each partition is owned
+/// by exactly one member (queue semantics); across groups every group sees
+/// all data (pub/sub semantics). Membership changes bump the generation and
+/// trigger a rebalance; members discover it by comparing generations on poll.
+///
+/// Liveness: every Poll counts as a heartbeat; EvictExpiredMembers() removes
+/// members silent for longer than the session timeout so their partitions are
+/// redistributed (a crashed consumer cannot stall its partitions forever).
+class GroupCoordinator {
+ public:
+  /// `session_timeout_ms <= 0` disables liveness eviction.
+  explicit GroupCoordinator(Cluster* cluster, int64_t session_timeout_ms = -1);
+
+  GroupCoordinator(const GroupCoordinator&) = delete;
+  GroupCoordinator& operator=(const GroupCoordinator&) = delete;
+
+  /// Adds (or re-registers) a member subscribing to `topics`; rebalances and
+  /// returns the new generation.
+  Result<int64_t> JoinGroup(const std::string& group,
+                            const std::string& member_id,
+                            const std::vector<std::string>& topics);
+
+  /// Removes the member; its partitions are redistributed.
+  Status LeaveGroup(const std::string& group, const std::string& member_id);
+
+  /// The member's current assignment; NotFound if not a member.
+  Result<GroupAssignment> GetAssignment(const std::string& group,
+                                        const std::string& member_id) const;
+
+  /// Current generation of the group (0 if the group does not exist).
+  int64_t Generation(const std::string& group) const;
+
+  /// Number of members in the group.
+  int MemberCount(const std::string& group) const;
+
+  /// Records liveness for a member (Consumer::Poll calls this).
+  void Heartbeat(const std::string& group, const std::string& member_id);
+
+  /// Evicts members whose last heartbeat is older than the session timeout,
+  /// rebalancing affected groups. Returns the number of evicted members.
+  int EvictExpiredMembers();
+
+ private:
+  struct Group {
+    int64_t generation = 0;
+    // member id -> subscribed topics.
+    std::map<std::string, std::vector<std::string>> members;
+    // member id -> assigned partitions.
+    std::map<std::string, std::vector<TopicPartition>> assignment;
+    // member id -> last heartbeat (clock ms).
+    std::map<std::string, int64_t> last_heartbeat_ms;
+  };
+
+  /// Round-robin assignment of every subscribed partition over members,
+  /// deterministic in member-id order. Requires mu_ held.
+  Status RebalanceLocked(Group* group);
+
+  Cluster* cluster_;
+  const int64_t session_timeout_ms_;
+  mutable std::mutex mu_;
+  std::map<std::string, Group> groups_;
+};
+
+}  // namespace liquid::messaging
+
+#endif  // LIQUID_MESSAGING_GROUP_COORDINATOR_H_

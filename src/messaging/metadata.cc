@@ -1,0 +1,56 @@
+#include "messaging/metadata.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace liquid::messaging {
+
+namespace {
+
+std::string JoinInts(const std::vector<int>& values) {
+  std::ostringstream out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ',';
+    out << values[i];
+  }
+  return out.str();
+}
+
+Result<std::vector<int>> SplitInts(const std::string& text) {
+  std::vector<int> out;
+  if (text.empty()) return out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) return Status::Corruption("empty int in list");
+    out.push_back(std::atoi(item.c_str()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PartitionState::Serialize() const {
+  std::ostringstream out;
+  out << leader << ';' << leader_epoch << ';' << JoinInts(replicas) << ';'
+      << JoinInts(isr);
+  return out.str();
+}
+
+Result<PartitionState> PartitionState::Parse(const std::string& data) {
+  std::istringstream in(data);
+  std::string leader_s, epoch_s, replicas_s, isr_s;
+  if (!std::getline(in, leader_s, ';') || !std::getline(in, epoch_s, ';') ||
+      !std::getline(in, replicas_s, ';')) {
+    return Status::Corruption("bad partition state: " + data);
+  }
+  std::getline(in, isr_s, ';');  // May legitimately be empty.
+  PartitionState state;
+  state.leader = std::atoi(leader_s.c_str());
+  state.leader_epoch = std::atoi(epoch_s.c_str());
+  LIQUID_ASSIGN_OR_RETURN(state.replicas, SplitInts(replicas_s));
+  LIQUID_ASSIGN_OR_RETURN(state.isr, SplitInts(isr_s));
+  return state;
+}
+
+}  // namespace liquid::messaging

@@ -1,0 +1,109 @@
+#ifndef LIQUID_MESSAGING_METADATA_H_
+#define LIQUID_MESSAGING_METADATA_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/log.h"
+
+namespace liquid::messaging {
+
+/// Identifies one partition of one topic.
+struct TopicPartition {
+  std::string topic;
+  int partition = 0;
+
+  bool operator==(const TopicPartition& other) const {
+    return partition == other.partition && topic == other.topic;
+  }
+  bool operator<(const TopicPartition& other) const {
+    if (topic != other.topic) return topic < other.topic;
+    return partition < other.partition;
+  }
+
+  std::string ToString() const { return topic + "-" + std::to_string(partition); }
+};
+
+struct TopicPartitionHash {
+  size_t operator()(const TopicPartition& tp) const {
+    return std::hash<std::string>()(tp.topic) * 31 +
+           static_cast<size_t>(tp.partition);
+  }
+};
+
+/// Per-topic configuration set at creation time.
+struct TopicConfig {
+  int partitions = 1;
+  int replication_factor = 1;
+  storage::LogConfig log;
+  /// Produce with acks=all fails unless at least this many replicas
+  /// (including the leader) are in sync.
+  int min_insync_replicas = 1;
+  /// If the ISR is empty on failover, allow electing a non-ISR replica
+  /// (availability over durability).
+  bool unclean_leader_election = false;
+};
+
+/// Replication state of one partition, maintained by the controller in the
+/// coordination service (§4.3).
+struct PartitionState {
+  int leader = -1;       // Broker id; -1 = offline.
+  int leader_epoch = 0;  // Bumped on every leader change.
+  std::vector<int> replicas;
+  std::vector<int> isr;  // In-sync replicas, always a subset of replicas.
+
+  std::string Serialize() const;
+  static Result<PartitionState> Parse(const std::string& data);
+};
+
+/// Durability level requested by a producer (§4.3 performance/durability
+/// trade-off).
+enum class AckMode {
+  kNone = 0,  // Fire and forget: acknowledged before even the local append.
+  kLeader = 1,  // Acknowledged after the leader's local append.
+  kAll = -1,    // Acknowledged after every ISR member has the data.
+};
+
+struct ProduceResponse {
+  int64_t base_offset = -1;
+  int64_t log_end_offset = -1;
+};
+
+struct FetchResponse {
+  std::vector<storage::Record> records;
+  int64_t high_watermark = 0;
+  int64_t log_start_offset = 0;
+  int64_t log_end_offset = 0;
+  /// Where the consumer should fetch next. May be beyond the last returned
+  /// record: read_committed fetches filter out control markers and aborted
+  /// data, and the position must advance past them.
+  int64_t next_fetch_offset = 0;
+};
+
+/// Coordination-service paths used by brokers and the controller.
+namespace paths {
+
+inline std::string BrokersRoot() { return "/brokers"; }
+inline std::string BrokerIds() { return "/brokers/ids"; }
+inline std::string Broker(int id) {
+  return "/brokers/ids/" + std::to_string(id);
+}
+inline std::string Controller() { return "/controller"; }
+inline std::string TopicsRoot() { return "/topics"; }
+inline std::string Topic(const std::string& topic) { return "/topics/" + topic; }
+inline std::string Partitions(const std::string& topic) {
+  return "/topics/" + topic + "/partitions";
+}
+inline std::string PartitionStatePath(const TopicPartition& tp) {
+  return "/topics/" + tp.topic + "/partitions/" + std::to_string(tp.partition);
+}
+
+}  // namespace paths
+
+}  // namespace liquid::messaging
+
+#endif  // LIQUID_MESSAGING_METADATA_H_

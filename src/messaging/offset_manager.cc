@@ -1,0 +1,147 @@
+#include "messaging/offset_manager.h"
+
+#include "common/coding.h"
+
+namespace liquid::messaging {
+
+namespace {
+
+std::string EncodeCommit(const OffsetCommit& commit) {
+  std::string out;
+  PutFixed64(&out, static_cast<uint64_t>(commit.offset));
+  PutFixed64(&out, static_cast<uint64_t>(commit.committed_at_ms));
+  PutVarint32(&out, static_cast<uint32_t>(commit.annotations.size()));
+  for (const auto& [key, value] : commit.annotations) {
+    PutLengthPrefixed(&out, key);
+    PutLengthPrefixed(&out, value);
+  }
+  return out;
+}
+
+Result<OffsetCommit> DecodeCommit(const std::string& data) {
+  Slice cursor(data);
+  OffsetCommit commit;
+  uint64_t offset = 0, at = 0;
+  uint32_t count = 0;
+  LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &offset));
+  LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &at));
+  LIQUID_RETURN_NOT_OK(GetVarint32(&cursor, &count));
+  commit.offset = static_cast<int64_t>(offset);
+  commit.committed_at_ms = static_cast<int64_t>(at);
+  for (uint32_t i = 0; i < count; ++i) {
+    Slice key, value;
+    LIQUID_RETURN_NOT_OK(GetLengthPrefixed(&cursor, &key));
+    LIQUID_RETURN_NOT_OK(GetLengthPrefixed(&cursor, &value));
+    commit.annotations[key.ToString()] = value.ToString();
+  }
+  return commit;
+}
+
+}  // namespace
+
+OffsetManager::OffsetManager(std::unique_ptr<storage::Log> log, Clock* clock)
+    : log_(std::move(log)), clock_(clock) {}
+
+Result<std::unique_ptr<OffsetManager>> OffsetManager::Open(
+    storage::Disk* disk, const std::string& prefix, Clock* clock) {
+  storage::LogConfig config;
+  config.compaction_enabled = true;
+  config.segment_bytes = 256 * 1024;
+  auto log = storage::Log::Open(disk, nullptr, prefix, config, clock);
+  if (!log.ok()) return log.status();
+  std::unique_ptr<OffsetManager> manager(
+      new OffsetManager(std::move(log).value(), clock));
+  LIQUID_RETURN_NOT_OK(manager->Recover());
+  return manager;
+}
+
+Status OffsetManager::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t cursor = log_->start_offset();
+  std::vector<storage::Record> chunk;
+  while (cursor < log_->end_offset()) {
+    chunk.clear();
+    LIQUID_RETURN_NOT_OK(log_->Read(cursor, 1 << 20, &chunk));
+    if (chunk.empty()) break;
+    for (const auto& record : chunk) {
+      auto commit = DecodeCommit(record.value);
+      if (commit.ok()) cache_[record.key] = std::move(commit).value();
+    }
+    cursor = chunk.back().offset + 1;
+  }
+  return Status::OK();
+}
+
+std::string OffsetManager::CacheKey(const std::string& group,
+                                    const TopicPartition& tp,
+                                    const std::string& label) {
+  std::string key = group + "\x01" + tp.topic + "\x01" +
+                    std::to_string(tp.partition);
+  if (!label.empty()) key += "\x01" + label;
+  return key;
+}
+
+Status OffsetManager::Persist(const std::string& key,
+                              const OffsetCommit& commit) {
+  std::vector<storage::Record> batch;
+  batch.push_back(storage::Record::KeyValue(key, EncodeCommit(commit)));
+  return log_->Append(&batch).status();
+}
+
+Status OffsetManager::Commit(const std::string& group, const TopicPartition& tp,
+                             OffsetCommit commit) {
+  if (commit.committed_at_ms == 0) commit.committed_at_ms = clock_->NowMs();
+  const std::string key = CacheKey(group, tp, "");
+  std::lock_guard<std::mutex> lock(mu_);
+  LIQUID_RETURN_NOT_OK(Persist(key, commit));
+  cache_[key] = std::move(commit);
+  ++commits_total_;
+  return Status::OK();
+}
+
+Result<OffsetCommit> OffsetManager::Fetch(const std::string& group,
+                                          const TopicPartition& tp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(CacheKey(group, tp, ""));
+  if (it == cache_.end()) {
+    return Status::NotFound("no committed offset for " + group + "/" +
+                            tp.ToString());
+  }
+  return it->second;
+}
+
+Status OffsetManager::CommitLabeled(const std::string& group,
+                                    const TopicPartition& tp,
+                                    const std::string& label,
+                                    OffsetCommit commit) {
+  if (label.empty()) return Status::InvalidArgument("empty label");
+  if (commit.committed_at_ms == 0) commit.committed_at_ms = clock_->NowMs();
+  const std::string key = CacheKey(group, tp, label);
+  std::lock_guard<std::mutex> lock(mu_);
+  LIQUID_RETURN_NOT_OK(Persist(key, commit));
+  cache_[key] = std::move(commit);
+  ++commits_total_;
+  return Status::OK();
+}
+
+Result<OffsetCommit> OffsetManager::FetchLabeled(const std::string& group,
+                                                 const TopicPartition& tp,
+                                                 const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(CacheKey(group, tp, label));
+  if (it == cache_.end()) {
+    return Status::NotFound("no labeled commit '" + label + "'");
+  }
+  return it->second;
+}
+
+Result<storage::CompactionStats> OffsetManager::CompactBackingLog() {
+  return log_->Compact();
+}
+
+int64_t OffsetManager::commits_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return commits_total_;
+}
+
+}  // namespace liquid::messaging

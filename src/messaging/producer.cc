@@ -1,0 +1,193 @@
+#include "messaging/producer.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+
+namespace liquid::messaging {
+
+namespace {
+
+std::atomic<int64_t> g_next_producer_id{1};
+
+uint64_t HashKey(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Producer::Producer(Cluster* cluster, ProducerConfig config)
+    : cluster_(cluster),
+      config_(config),
+      producer_id_(config.idempotent || !config.transactional_id.empty()
+                       ? g_next_producer_id.fetch_add(1)
+                       : storage::kNoProducerId) {}
+
+Result<int> Producer::PartitionFor(const std::string& topic,
+                                   const storage::Record& record) {
+  LIQUID_ASSIGN_OR_RETURN(TopicConfig config, cluster_->GetTopicConfig(topic));
+  const int n = config.partitions;
+  if (custom_partitioner_) return custom_partitioner_(record, n);
+  if (config_.partitioner == PartitionerType::kHashByKey && record.has_key &&
+      !record.key.empty()) {
+    return static_cast<int>(HashKey(record.key) % static_cast<uint64_t>(n));
+  }
+  return static_cast<int>(round_robin_[topic]++ % static_cast<uint64_t>(n));
+}
+
+Status Producer::Send(const std::string& topic, storage::Record record) {
+  std::vector<storage::Record> to_send;
+  TopicPartition tp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto partition = PartitionFor(topic, record);
+    if (!partition.ok()) return partition.status();
+    tp = TopicPartition{topic, *partition};
+    auto& batch = batches_[tp];
+    batch.push_back(std::move(record));
+    if (batch.size() < config_.batch_max_records) return Status::OK();
+    to_send.swap(batch);
+  }
+  return SendBatch(tp, std::move(to_send)).status();
+}
+
+Status Producer::Flush() {
+  std::map<TopicPartition, std::vector<storage::Record>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(batches_);
+  }
+  for (auto& [tp, records] : pending) {
+    if (records.empty()) continue;
+    LIQUID_RETURN_NOT_OK(SendBatch(tp, std::move(records)).status());
+  }
+  return Status::OK();
+}
+
+Status Producer::InitTransactions(TransactionCoordinator* coordinator) {
+  if (config_.transactional_id.empty()) {
+    return Status::InvalidArgument("no transactional_id configured");
+  }
+  LIQUID_ASSIGN_OR_RETURN(int64_t pid,
+                          coordinator->InitProducer(config_.transactional_id));
+  std::lock_guard<std::mutex> lock(mu_);
+  txn_coordinator_ = coordinator;
+  producer_id_ = pid;
+  next_sequence_.clear();
+  return Status::OK();
+}
+
+Status Producer::BeginTransaction() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (txn_coordinator_ == nullptr) {
+      return Status::FailedPrecondition("InitTransactions not called");
+    }
+    if (in_transaction_) {
+      return Status::FailedPrecondition("transaction already open");
+    }
+  }
+  LIQUID_RETURN_NOT_OK(txn_coordinator_->Begin(config_.transactional_id));
+  std::lock_guard<std::mutex> lock(mu_);
+  in_transaction_ = true;
+  return Status::OK();
+}
+
+Status Producer::CommitTransaction() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!in_transaction_) return Status::FailedPrecondition("no transaction");
+  }
+  LIQUID_RETURN_NOT_OK(Flush());
+  Status st = txn_coordinator_->End(config_.transactional_id, /*commit=*/true);
+  std::lock_guard<std::mutex> lock(mu_);
+  in_transaction_ = false;
+  return st;
+}
+
+Status Producer::AbortTransaction() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!in_transaction_) return Status::FailedPrecondition("no transaction");
+  }
+  LIQUID_RETURN_NOT_OK(Flush());  // Records land, then get abort-marked.
+  Status st = txn_coordinator_->End(config_.transactional_id, /*commit=*/false);
+  std::lock_guard<std::mutex> lock(mu_);
+  in_transaction_ = false;
+  return st;
+}
+
+Result<ProduceResponse> Producer::SendBatch(
+    const TopicPartition& tp, std::vector<storage::Record> records) {
+  if (records.empty()) return Status::InvalidArgument("empty batch");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_transaction_) {
+      // Register the partition with the coordinator before first write.
+      Status st = txn_coordinator_->AddPartition(config_.transactional_id, tp);
+      if (!st.ok()) return st;
+    }
+  }
+  const bool sequenced =
+      config_.idempotent || !config_.transactional_id.empty();
+  int32_t first_sequence = -1;
+  if (sequenced) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = next_sequence_.find(tp);
+    first_sequence = it == next_sequence_.end() ? 0 : it->second;
+  }
+
+  Status last_error = Status::Unavailable("no attempt made");
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    auto leader = cluster_->LeaderFor(tp);
+    if (!leader.ok()) {
+      last_error = leader.status();
+      cluster_->clock()->SleepMs(1);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++send_retries_;
+      }
+      continue;
+    }
+    auto resp = (*leader)->Produce(tp, records, config_.acks, producer_id_,
+                                   first_sequence, config_.client_id);
+    if (resp.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      records_sent_ += static_cast<int64_t>(records.size());
+      if (sequenced) {
+        next_sequence_[tp] =
+            first_sequence + static_cast<int32_t>(records.size());
+      }
+      return resp;
+    }
+    last_error = resp.status();
+    if (!last_error.IsNotLeader() && !last_error.IsUnavailable()) {
+      return last_error;  // Non-retriable.
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++send_retries_;
+    }
+    cluster_->clock()->SleepMs(1);
+  }
+  return last_error;
+}
+
+int64_t Producer::records_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_sent_;
+}
+
+int64_t Producer::send_retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return send_retries_;
+}
+
+}  // namespace liquid::messaging

@@ -1,0 +1,113 @@
+#ifndef LIQUID_MESSAGING_PRODUCER_H_
+#define LIQUID_MESSAGING_PRODUCER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "messaging/metadata.h"
+#include "messaging/transaction.h"
+#include "storage/record.h"
+
+namespace liquid::messaging {
+
+class Cluster;
+
+/// How records are routed to partitions (§3.1: "producers can choose to which
+/// partition to publish data in a round-robin fashion or according to a hash
+/// function for load-balancing or semantic routing").
+enum class PartitionerType { kRoundRobin, kHashByKey };
+
+struct ProducerConfig {
+  AckMode acks = AckMode::kAll;
+  PartitionerType partitioner = PartitionerType::kHashByKey;
+  /// Retries on NotLeader/Unavailable (metadata is refreshed in between).
+  int max_retries = 5;
+  /// Batches flush automatically once this many records accumulate for a
+  /// partition (or on Flush()).
+  size_t batch_max_records = 64;
+  /// Enables idempotent publishing: the broker deduplicates retried batches
+  /// by (producer id, sequence) — the paper's "exactly-once effort" (§4.3).
+  bool idempotent = false;
+  /// Client id charged against broker-side byte-rate quotas (§4.5); empty
+  /// means unquoted.
+  std::string client_id;
+  /// Stable transactional id; set it (plus InitTransactions) to publish
+  /// atomically with Begin/Commit/AbortTransaction (implies idempotence).
+  std::string transactional_id;
+};
+
+/// Publishing client of the messaging layer.
+class Producer {
+ public:
+  /// Optional custom routing: record -> partition index.
+  using CustomPartitioner =
+      std::function<int(const storage::Record&, int num_partitions)>;
+
+  Producer(Cluster* cluster, ProducerConfig config);
+
+  Producer(const Producer&) = delete;
+  Producer& operator=(const Producer&) = delete;
+
+  /// Buffers one record for `topic`; flushes its partition batch when full.
+  Status Send(const std::string& topic, storage::Record record);
+
+  /// Sends all buffered batches.
+  Status Flush();
+
+  /// Synchronously publishes a batch straight to one partition.
+  Result<ProduceResponse> SendBatch(const TopicPartition& tp,
+                                    std::vector<storage::Record> records);
+
+  void SetCustomPartitioner(CustomPartitioner partitioner) {
+    custom_partitioner_ = std::move(partitioner);
+  }
+
+  // ---- Transactions (exactly-once publishing, §4.3 extension) ----
+
+  /// Registers config.transactional_id with the coordinator; fences any
+  /// previous incarnation. Must be called before Begin/Commit/Abort.
+  Status InitTransactions(TransactionCoordinator* coordinator);
+
+  /// Starts a transaction; subsequent sends are invisible to read_committed
+  /// consumers until CommitTransaction.
+  Status BeginTransaction();
+
+  /// Flushes buffered batches and atomically commits the transaction.
+  Status CommitTransaction();
+
+  /// Discards the transaction: its records stay in the logs but are filtered
+  /// from read_committed consumers forever.
+  Status AbortTransaction();
+
+  int64_t records_sent() const;
+  int64_t send_retries() const;
+  int64_t producer_id() const { return producer_id_; }
+
+ private:
+  Result<int> PartitionFor(const std::string& topic,
+                           const storage::Record& record);
+
+  Cluster* cluster_;
+  ProducerConfig config_;
+  CustomPartitioner custom_partitioner_;
+  int64_t producer_id_;
+  TransactionCoordinator* txn_coordinator_ = nullptr;
+  bool in_transaction_ = false;
+
+  mutable std::mutex mu_;
+  std::map<TopicPartition, std::vector<storage::Record>> batches_;
+  std::map<TopicPartition, int32_t> next_sequence_;
+  std::map<std::string, uint64_t> round_robin_;
+  int64_t records_sent_ = 0;
+  int64_t send_retries_ = 0;
+};
+
+}  // namespace liquid::messaging
+
+#endif  // LIQUID_MESSAGING_PRODUCER_H_

@@ -1,0 +1,52 @@
+#include "messaging/quota.h"
+
+#include <algorithm>
+
+namespace liquid::messaging {
+
+void QuotaManager::SetQuota(const std::string& client_id,
+                            int64_t bytes_per_sec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes_per_sec <= 0) {
+    buckets_.erase(client_id);
+    return;
+  }
+  Bucket bucket;
+  bucket.bytes_per_sec = bytes_per_sec;
+  // Start with one second's burst allowance.
+  bucket.tokens = static_cast<double>(bytes_per_sec);
+  bucket.last_refill_ms = clock_->NowMs();
+  buckets_[client_id] = bucket;
+}
+
+int64_t QuotaManager::Charge(const std::string& client_id, int64_t bytes) {
+  if (client_id.empty()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(client_id);
+  if (it == buckets_.end()) return 0;
+  Bucket& bucket = it->second;
+
+  const int64_t now = clock_->NowMs();
+  const int64_t elapsed_ms = std::max<int64_t>(0, now - bucket.last_refill_ms);
+  bucket.last_refill_ms = now;
+  bucket.tokens = std::min(
+      static_cast<double>(bucket.bytes_per_sec),  // Burst cap: 1s worth.
+      bucket.tokens + static_cast<double>(bucket.bytes_per_sec) *
+                          static_cast<double>(elapsed_ms) / 1000.0);
+
+  bucket.tokens -= static_cast<double>(bytes);
+  if (bucket.tokens >= 0) return 0;
+  // Debt: the client must wait until the bucket refills past zero.
+  ++throttled_requests_;
+  const double debt = -bucket.tokens;
+  return static_cast<int64_t>(debt * 1000.0 /
+                              static_cast<double>(bucket.bytes_per_sec)) +
+         1;
+}
+
+int64_t QuotaManager::throttled_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return throttled_requests_;
+}
+
+}  // namespace liquid::messaging

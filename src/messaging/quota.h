@@ -1,0 +1,53 @@
+#ifndef LIQUID_MESSAGING_QUOTA_H_
+#define LIQUID_MESSAGING_QUOTA_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+
+namespace liquid::messaging {
+
+/// Per-client byte-rate quotas, the messaging-layer half of multi-tenancy
+/// (§4.5: "to retain a given quality-of-service per application, while
+/// maintaining a high cluster utilization, Liquid uses a resource management
+/// layer that isolates resources on a per-application basis").
+///
+/// Token-bucket per client id: each request charges its payload bytes; when a
+/// client exceeds its rate the broker responds with a throttle delay (as
+/// Kafka does), which the client is expected to honour before retrying.
+class QuotaManager {
+ public:
+  explicit QuotaManager(Clock* clock) : clock_(clock) {}
+
+  QuotaManager(const QuotaManager&) = delete;
+  QuotaManager& operator=(const QuotaManager&) = delete;
+
+  /// Sets the allowed byte rate for `client_id` (<= 0 removes the quota).
+  void SetQuota(const std::string& client_id, int64_t bytes_per_sec);
+
+  /// Charges `bytes` against the client's bucket; returns the throttle delay
+  /// in ms the client must wait (0 if within quota or unquoted). The empty
+  /// client id is never throttled (internal traffic: replication, restore).
+  int64_t Charge(const std::string& client_id, int64_t bytes);
+
+  int64_t throttled_requests() const;
+
+ private:
+  struct Bucket {
+    int64_t bytes_per_sec = 0;
+    double tokens = 0;       // Available bytes.
+    int64_t last_refill_ms = 0;
+  };
+
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+  int64_t throttled_requests_ = 0;
+};
+
+}  // namespace liquid::messaging
+
+#endif  // LIQUID_MESSAGING_QUOTA_H_

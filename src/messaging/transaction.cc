@@ -1,0 +1,140 @@
+#include "messaging/transaction.h"
+
+#include "common/logging.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+
+namespace liquid::messaging {
+
+TransactionCoordinator::TransactionCoordinator(Cluster* cluster,
+                                               OffsetManager* offsets)
+    : cluster_(cluster), offsets_(offsets) {}
+
+Result<int64_t> TransactionCoordinator::InitProducer(const std::string& txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) {
+    TxnState state;
+    state.pid = next_pid_++;
+    state.epoch = 0;
+    txns_[txn_id] = state;
+    return txns_[txn_id].pid;
+  }
+  // Fencing: a new incarnation of the same transactional id aborts whatever
+  // the zombie predecessor left in flight and bumps the epoch.
+  TxnState& state = it->second;
+  if (state.in_flight) {
+    Status st = EndLocked(&state, /*commit=*/false);
+    if (!st.ok()) {
+      LIQUID_LOG_WARN << "fencing abort for " << txn_id
+                      << " failed: " << st.ToString();
+    }
+  }
+  state.epoch++;
+  state.pid = next_pid_++;  // New pid: the zombie's produces are orphaned.
+  return state.pid;
+}
+
+Status TransactionCoordinator::Begin(const std::string& txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) {
+    return Status::NotFound("unknown transactional id: " + txn_id);
+  }
+  if (it->second.in_flight) {
+    return Status::FailedPrecondition("transaction already in flight");
+  }
+  it->second.in_flight = true;
+  it->second.partitions.clear();
+  it->second.pending_offsets.clear();
+  return Status::OK();
+}
+
+Status TransactionCoordinator::AddPartition(const std::string& txn_id,
+                                            const TopicPartition& tp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) {
+    return Status::NotFound("unknown transactional id: " + txn_id);
+  }
+  TxnState& state = it->second;
+  if (!state.in_flight) {
+    return Status::FailedPrecondition("no transaction in flight");
+  }
+  if (state.partitions.count(tp)) return Status::OK();
+  auto leader = cluster_->LeaderFor(tp);
+  if (!leader.ok()) return leader.status();
+  LIQUID_RETURN_NOT_OK((*leader)->BeginPartitionTxn(tp, state.pid));
+  state.partitions.insert(tp);
+  return Status::OK();
+}
+
+Status TransactionCoordinator::AddOffsets(const std::string& txn_id,
+                                          const std::string& group,
+                                          const TopicPartition& tp,
+                                          OffsetCommit commit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) {
+    return Status::NotFound("unknown transactional id: " + txn_id);
+  }
+  if (!it->second.in_flight) {
+    return Status::FailedPrecondition("no transaction in flight");
+  }
+  it->second.pending_offsets.push_back(
+      TxnState::PendingOffset{group, tp, std::move(commit)});
+  return Status::OK();
+}
+
+Status TransactionCoordinator::EndLocked(TxnState* state, bool commit) {
+  Status result = Status::OK();
+  for (const TopicPartition& tp : state->partitions) {
+    auto leader = cluster_->LeaderFor(tp);
+    if (!leader.ok()) {
+      result = leader.status();
+      continue;
+    }
+    Status st = (*leader)->WriteTxnMarker(tp, state->pid, commit);
+    if (!st.ok() && !st.IsNotFound()) result = st;
+  }
+  if (commit && result.ok()) {
+    for (const auto& pending : state->pending_offsets) {
+      LIQUID_RETURN_NOT_OK(
+          offsets_->Commit(pending.group, pending.tp, pending.commit));
+    }
+  }
+  state->in_flight = false;
+  state->partitions.clear();
+  state->pending_offsets.clear();
+  return result;
+}
+
+Status TransactionCoordinator::End(const std::string& txn_id, bool commit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) {
+    return Status::NotFound("unknown transactional id: " + txn_id);
+  }
+  if (!it->second.in_flight) {
+    return Status::FailedPrecondition("no transaction in flight");
+  }
+  return EndLocked(&it->second, commit);
+}
+
+Result<int64_t> TransactionCoordinator::ProducerIdFor(
+    const std::string& txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) {
+    return Status::NotFound("unknown transactional id: " + txn_id);
+  }
+  return it->second.pid;
+}
+
+bool TransactionCoordinator::InFlight(const std::string& txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn_id);
+  return it != txns_.end() && it->second.in_flight;
+}
+
+}  // namespace liquid::messaging

@@ -1,0 +1,389 @@
+#include "processing/job.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "messaging/broker.h"
+
+namespace liquid::processing {
+
+using messaging::ConsumerRecord;
+using messaging::TopicPartition;
+
+/// Routes task output to the messaging layer through the job's producer.
+class Job::CollectorImpl : public MessageCollector {
+ public:
+  explicit CollectorImpl(Job* job) : job_(job) {}
+
+  Status Send(const std::string& topic, storage::Record record) override {
+    job_->metrics_.GetCounter("job." + job_->config_.name + ".sent")->Increment();
+    return job_->producer_->Send(topic, std::move(record));
+  }
+
+ private:
+  Job* job_;
+};
+
+class Job::CoordinatorImpl : public TaskCoordinator {
+ public:
+  void RequestCommit() override { commit_requested = true; }
+  void RequestShutdown() override { shutdown_requested = true; }
+
+  bool commit_requested = false;
+  bool shutdown_requested = false;
+};
+
+class Job::ContextImpl : public TaskContext {
+ public:
+  ContextImpl(Job* job, int partition) : job_(job), partition_(partition) {}
+
+  KeyValueStore* GetStore(const std::string& name) override {
+    auto it = job_->tasks_.find(partition_);
+    if (it == job_->tasks_.end()) return nullptr;
+    auto sit = it->second.stores.find(name);
+    return sit == it->second.stores.end() ? nullptr : sit->second.get();
+  }
+
+  int partition() const override { return partition_; }
+
+  MetricsRegistry* metrics() override { return &job_->metrics_; }
+
+ private:
+  Job* job_;
+  int partition_;
+};
+
+Job::Job(messaging::Cluster* cluster, messaging::OffsetManager* offsets,
+         messaging::GroupCoordinator* coordinator, storage::Disk* state_disk,
+         JobConfig config, TaskFactory factory, std::string instance_id,
+         messaging::TransactionCoordinator* txn_coordinator)
+    : cluster_(cluster),
+      offsets_(offsets),
+      coordinator_(coordinator),
+      state_disk_(state_disk),
+      config_(std::move(config)),
+      factory_(std::move(factory)),
+      instance_id_(std::move(instance_id)),
+      txn_coordinator_(txn_coordinator) {}
+
+Job::~Job() {
+  StopThread();
+  if (!stopped_) Stop();
+}
+
+std::string Job::ChangelogTopic(const std::string& job, const std::string& store) {
+  return "__changelog." + job + "." + store;
+}
+
+Result<std::unique_ptr<Job>> Job::Create(
+    messaging::Cluster* cluster, messaging::OffsetManager* offsets,
+    messaging::GroupCoordinator* coordinator, storage::Disk* state_disk,
+    JobConfig config, TaskFactory factory, const std::string& instance_id,
+    messaging::TransactionCoordinator* txn_coordinator) {
+  if (config.name.empty() || config.inputs.empty()) {
+    return Status::InvalidArgument("job needs a name and at least one input");
+  }
+  if (config.exactly_once && txn_coordinator == nullptr) {
+    return Status::InvalidArgument(
+        "exactly_once requires a TransactionCoordinator");
+  }
+  std::unique_ptr<Job> job(new Job(cluster, offsets, coordinator, state_disk,
+                                   std::move(config), std::move(factory),
+                                   instance_id, txn_coordinator));
+  LIQUID_RETURN_NOT_OK(job->Init());
+  return job;
+}
+
+Status Job::Init() {
+  LIQUID_RETURN_NOT_OK(EnsureChangelogTopics());
+
+  messaging::ProducerConfig producer_config;
+  producer_config.acks = messaging::AckMode::kAll;
+  if (config_.exactly_once) {
+    producer_config.transactional_id =
+        "job." + config_.name + "#" + instance_id_;
+  }
+  producer_ = std::make_unique<messaging::Producer>(cluster_, producer_config);
+  if (config_.exactly_once) {
+    LIQUID_RETURN_NOT_OK(producer_->InitTransactions(txn_coordinator_));
+  }
+  collector_ = std::make_unique<CollectorImpl>(this);
+  coordinator_impl_ = std::make_unique<CoordinatorImpl>();
+
+  messaging::ConsumerConfig consumer_config;
+  consumer_config.group = "job." + config_.name;
+  consumer_config.start_from_earliest = config_.start_from_earliest;
+  consumer_ = std::make_unique<messaging::Consumer>(
+      cluster_, offsets_, coordinator_, config_.name + "#" + instance_id_,
+      consumer_config);
+  LIQUID_RETURN_NOT_OK(consumer_->Subscribe(config_.inputs));
+
+  last_commit_ms_ = cluster_->clock()->NowMs();
+  last_window_ms_ = last_commit_ms_;
+  return Status::OK();
+}
+
+Status Job::EnsureChangelogTopics() {
+  if (config_.stores.empty()) return Status::OK();
+  int max_partitions = 1;
+  for (const std::string& input : config_.inputs) {
+    auto topic_config = cluster_->GetTopicConfig(input);
+    if (topic_config.ok()) {
+      max_partitions = std::max(max_partitions, topic_config->partitions);
+    }
+  }
+  for (const StoreConfig& store : config_.stores) {
+    if (!store.changelog) continue;
+    messaging::TopicConfig changelog_config;
+    changelog_config.partitions = max_partitions;
+    changelog_config.replication_factor = config_.changelog_replication;
+    changelog_config.log.compaction_enabled = true;
+    // Small segments: the compactor can only clean closed segments, and
+    // changelogs benefit from frequent cleaning (§4.1).
+    changelog_config.log.segment_bytes = 256 * 1024;
+    Status st =
+        cluster_->CreateTopic(ChangelogTopic(config_.name, store.name),
+                              changelog_config);
+    if (!st.ok() && !st.IsAlreadyExists()) return st;
+  }
+  return Status::OK();
+}
+
+Status Job::RestoreStore(int partition, const StoreConfig& store_config,
+                         ChangelogStore* store) {
+  const TopicPartition changelog_tp{
+      ChangelogTopic(config_.name, store_config.name), partition};
+  int64_t cursor = -1;
+  int64_t restored = 0;
+  while (true) {
+    auto leader = cluster_->LeaderFor(changelog_tp);
+    if (!leader.ok()) return leader.status();
+    if (cursor < 0) {
+      auto bounds = (*leader)->OffsetBounds(changelog_tp);
+      if (!bounds.ok()) return bounds.status();
+      cursor = bounds->first;
+    }
+    // read_committed: an exactly-once job's changelog entries must not be
+    // restored unless their transaction committed.
+    auto resp = (*leader)->Fetch(changelog_tp, cursor, 1 << 20, -1, "",
+                                 /*read_committed=*/true);
+    if (!resp.ok()) return resp.status();
+    if (resp->records.empty()) break;
+    for (const auto& record : resp->records) {
+      LIQUID_RETURN_NOT_OK(store->ApplyChangelogRecord(record));
+      ++restored;
+    }
+    cursor = resp->next_fetch_offset;
+  }
+  metrics_.GetCounter("job." + config_.name + ".restored_records")
+      ->Increment(restored);
+  return Status::OK();
+}
+
+Status Job::EnsureTask(int partition) {
+  if (tasks_.count(partition)) return Status::OK();
+  TaskState state;
+  state.task = factory_();
+  state.context = std::make_unique<ContextImpl>(this, partition);
+
+  for (const StoreConfig& store_config : config_.stores) {
+    std::unique_ptr<KeyValueStore> inner;
+    if (store_config.kind == StoreConfig::Kind::kInMemory) {
+      inner = std::make_unique<InMemoryStore>();
+    } else {
+      const std::string prefix = config_.name + "/" + store_config.name + "/" +
+                                 std::to_string(partition) + "/";
+      auto persistent =
+          PersistentStore::Open(state_disk_, prefix, kv::KvOptions{});
+      if (!persistent.ok()) return persistent.status();
+      inner = std::move(persistent).value();
+    }
+    if (store_config.changelog) {
+      const TopicPartition changelog_tp{
+          ChangelogTopic(config_.name, store_config.name), partition};
+      auto emitter = [this, changelog_tp](storage::Record record) -> Status {
+        changelog_buffer_[changelog_tp].push_back(std::move(record));
+        return Status::OK();
+      };
+      auto changelog_store =
+          std::make_unique<ChangelogStore>(std::move(inner), emitter);
+      if (config_.restore_from_changelog) {
+        LIQUID_RETURN_NOT_OK(
+            RestoreStore(partition, store_config, changelog_store.get()));
+      }
+      state.stores[store_config.name] = std::move(changelog_store);
+    } else {
+      state.stores[store_config.name] = std::move(inner);
+    }
+  }
+
+  auto [it, inserted] = tasks_.emplace(partition, std::move(state));
+  LIQUID_RETURN_NOT_OK(it->second.task->Init(it->second.context.get()));
+  return Status::OK();
+}
+
+Result<int> Job::RunOnce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return Status::FailedPrecondition("job stopped");
+
+  auto records = consumer_->Poll(config_.poll_max_records);
+  if (!records.ok()) return records.status();
+
+  // Tasks (and their state restore) are set up eagerly for every assigned
+  // partition: a restarted job must rebuild its stores from the changelog
+  // even before any new input arrives (§3.2).
+  for (const TopicPartition& tp : consumer_->Assignment()) {
+    LIQUID_RETURN_NOT_OK(EnsureTask(tp.partition));
+  }
+
+  if (config_.exactly_once && !records->empty() && !txn_open_) {
+    LIQUID_RETURN_NOT_OK(producer_->BeginTransaction());
+    txn_open_ = true;
+  }
+
+  int processed = 0;
+  for (const ConsumerRecord& envelope : *records) {
+    LIQUID_RETURN_NOT_OK(EnsureTask(envelope.tp.partition));
+    TaskState& state = tasks_[envelope.tp.partition];
+    LIQUID_RETURN_NOT_OK(state.task->Process(envelope, collector_.get(),
+                                             coordinator_impl_.get()));
+    ++processed;
+  }
+  metrics_.GetCounter("job." + config_.name + ".processed")
+      ->Increment(processed);
+  if (processed > 0) {
+    // Make task output visible promptly so downstream jobs (decoupled through
+    // the messaging layer) can pick it up; flushing more often than the
+    // commit interval is always safe for at-least-once.
+    LIQUID_RETURN_NOT_OK(producer_->Flush());
+  }
+
+  const int64_t now = cluster_->clock()->NowMs();
+  if (config_.window_interval_ms > 0 &&
+      now - last_window_ms_ >= config_.window_interval_ms) {
+    last_window_ms_ = now;
+    for (auto& [partition, state] : tasks_) {
+      LIQUID_RETURN_NOT_OK(
+          state.task->Window(collector_.get(), coordinator_impl_.get()));
+    }
+  }
+  if (coordinator_impl_->commit_requested ||
+      now - last_commit_ms_ >= config_.commit_interval_ms) {
+    coordinator_impl_->commit_requested = false;
+    last_commit_ms_ = now;
+    LIQUID_RETURN_NOT_OK(CommitLocked());
+  }
+  if (coordinator_impl_->shutdown_requested) {
+    stopped_ = true;
+    consumer_->Close();
+  }
+  return processed;
+}
+
+Result<int64_t> Job::RunUntilIdle(int idle_rounds) {
+  int64_t total = 0;
+  int idle = 0;
+  while (idle < idle_rounds) {
+    auto processed = RunOnce();
+    if (!processed.ok()) {
+      if (processed.status().IsFailedPrecondition()) break;  // Shut down.
+      return processed.status();
+    }
+    total += *processed;
+    idle = *processed == 0 ? idle + 1 : 0;
+  }
+  if (!stopped_) LIQUID_RETURN_NOT_OK(Commit());
+  return total;
+}
+
+Status Job::FlushChangelogs() {
+  for (auto& [tp, records] : changelog_buffer_) {
+    if (records.empty()) continue;
+    LIQUID_RETURN_NOT_OK(producer_->SendBatch(tp, std::move(records)).status());
+    records.clear();
+  }
+  return Status::OK();
+}
+
+Status Job::CommitLocked() {
+  LIQUID_RETURN_NOT_OK(FlushChangelogs());
+  if (config_.exactly_once) {
+    if (!txn_open_) return Status::OK();  // Nothing processed: nothing to do.
+    LIQUID_RETURN_NOT_OK(producer_->Flush());
+    // Input offsets ride inside the transaction: outputs, changelog updates
+    // and checkpoints become visible atomically (exactly-once).
+    const std::string group = "job." + config_.name;
+    const std::string txn_id = "job." + config_.name + "#" + instance_id_;
+    for (const auto& [tp, position] : consumer_->Positions()) {
+      messaging::OffsetCommit commit;
+      commit.offset = position;
+      commit.annotations = config_.checkpoint_annotations;
+      LIQUID_RETURN_NOT_OK(
+          txn_coordinator_->AddOffsets(txn_id, group, tp, std::move(commit)));
+    }
+    LIQUID_RETURN_NOT_OK(producer_->CommitTransaction());
+    txn_open_ = false;
+    return Status::OK();
+  }
+  LIQUID_RETURN_NOT_OK(producer_->Flush());
+  return consumer_->CommitWithAnnotations(config_.checkpoint_annotations);
+}
+
+Status Job::Commit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CommitLocked();
+}
+
+Status Job::Stop() {
+  StopThread();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return Status::OK();
+  stopped_ = true;
+  CommitLocked();
+  return consumer_->Close();
+}
+
+Status Job::Kill() {
+  StopThread();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return Status::OK();
+  stopped_ = true;
+  // No flush, no checkpoint: whatever transaction is open stays dangling and
+  // will be aborted when the next incarnation fences this one.
+  return consumer_->CloseWithoutCommit();
+}
+
+Status Job::StartThread(int poll_sleep_ms) {
+  if (thread_running_.exchange(true)) {
+    return Status::FailedPrecondition("job thread already running");
+  }
+  run_thread_ = std::thread([this, poll_sleep_ms] {
+    while (thread_running_.load()) {
+      auto processed = RunOnce();
+      if (!processed.ok()) break;
+      if (*processed == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(poll_sleep_ms));
+      }
+    }
+  });
+  return Status::OK();
+}
+
+void Job::StopThread() {
+  if (!thread_running_.exchange(false)) return;
+  if (run_thread_.joinable()) run_thread_.join();
+}
+
+KeyValueStore* Job::GetStore(int partition, const std::string& store_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tasks_.find(partition);
+  if (it == tasks_.end()) return nullptr;
+  auto sit = it->second.stores.find(store_name);
+  return sit == it->second.stores.end() ? nullptr : sit->second.get();
+}
+
+std::vector<TopicPartition> Job::AssignedPartitions() const {
+  return consumer_->Assignment();
+}
+
+}  // namespace liquid::processing

@@ -1,0 +1,122 @@
+#include "processing/operators.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace liquid::processing {
+
+namespace {
+
+int64_t ParseCount(const Result<std::string>& stored) {
+  if (!stored.ok()) return 0;
+  return std::strtoll(stored.value().c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+Status KeyedCounterTask::Init(TaskContext* context) {
+  store_ = context->GetStore(store_name_);
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("store not declared: " + store_name_);
+  }
+  return Status::OK();
+}
+
+Status KeyedCounterTask::Process(const messaging::ConsumerRecord& envelope,
+                                 MessageCollector*, TaskCoordinator*) {
+  const std::string& key = envelope.record.key;
+  const int64_t count = ParseCount(store_->Get(key)) + 1;
+  return store_->Put(key, std::to_string(count));
+}
+
+Status KeyedCounterTask::Window(MessageCollector* collector, TaskCoordinator*) {
+  if (output_topic_.empty()) return Status::OK();
+  Status status = Status::OK();
+  LIQUID_RETURN_NOT_OK(store_->ForEach([&](const Slice& key, const Slice& value) {
+    if (!status.ok()) return;
+    status = collector->Send(
+        output_topic_,
+        storage::Record::KeyValue(key.ToString(), value.ToString()));
+  }));
+  return status;
+}
+
+std::string WindowedAggregateTask::WindowKey(int64_t window_start,
+                                             const std::string& key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020lld",
+                static_cast<long long>(window_start));
+  return std::string(buf) + "|" + key;
+}
+
+Status WindowedAggregateTask::Init(TaskContext* context) {
+  store_ = context->GetStore(store_name_);
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("store not declared: " + store_name_);
+  }
+  return Status::OK();
+}
+
+Status WindowedAggregateTask::Process(const messaging::ConsumerRecord& envelope,
+                                      MessageCollector*, TaskCoordinator*) {
+  const int64_t ts = envelope.record.timestamp_ms;
+  max_event_ms_ = std::max(max_event_ms_, ts);
+  const int64_t window_start = (ts / window_ms_) * window_ms_;
+  const std::string key = WindowKey(window_start, envelope.record.key);
+  const int64_t value = std::strtoll(envelope.record.value.c_str(), nullptr, 10);
+  const int64_t sum = ParseCount(store_->Get(key)) + value;
+  return store_->Put(key, std::to_string(sum));
+}
+
+Status WindowedAggregateTask::Window(MessageCollector* collector,
+                                     TaskCoordinator*) {
+  // A window [start, start+window_ms) is closed once events newer than its
+  // end have been seen. Window keys are zero-padded start timestamps, so a
+  // range scan up to the cutoff touches only closed windows.
+  const int64_t cutoff = max_event_ms_ - window_ms_ + 1;
+  if (cutoff <= 0) return Status::OK();
+  std::vector<std::pair<std::string, std::string>> closed;
+  LIQUID_RETURN_NOT_OK(store_->ForEachInRange(
+      Slice(""), WindowKey(cutoff, ""),
+      [&](const Slice& key, const Slice& value) {
+        closed.emplace_back(key.ToString(), value.ToString());
+      }));
+  for (auto& [key, value] : closed) {
+    LIQUID_RETURN_NOT_OK(
+        collector->Send(output_topic_, storage::Record::KeyValue(key, value)));
+    LIQUID_RETURN_NOT_OK(store_->Delete(key));
+  }
+  return Status::OK();
+}
+
+Status StreamTableJoinTask::Init(TaskContext* context) {
+  store_ = context->GetStore(store_name_);
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("store not declared: " + store_name_);
+  }
+  return Status::OK();
+}
+
+Status StreamTableJoinTask::Process(const messaging::ConsumerRecord& envelope,
+                                    MessageCollector* collector,
+                                    TaskCoordinator*) {
+  if (envelope.tp.topic == table_topic_) {
+    if (envelope.record.is_tombstone) {
+      return store_->Delete(envelope.record.key);
+    }
+    return store_->Put(envelope.record.key, envelope.record.value);
+  }
+  auto table_value = store_->Get(envelope.record.key);
+  if (!table_value.ok()) {
+    if (table_value.status().IsNotFound()) return Status::OK();  // No match.
+    return table_value.status();
+  }
+  return collector->Send(
+      output_topic_,
+      storage::Record::KeyValue(envelope.record.key,
+                                envelope.record.value + "|" + *table_value));
+}
+
+}  // namespace liquid::processing

@@ -1,0 +1,110 @@
+#ifndef LIQUID_PROCESSING_OPERATORS_H_
+#define LIQUID_PROCESSING_OPERATORS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "processing/task.h"
+
+namespace liquid::processing {
+
+/// Stateless 1-to-(0|1) transformation: the classic ETL clean/normalize
+/// stage. Returning nullopt drops the record (filter).
+class MapTask : public StreamTask {
+ public:
+  using MapFn = std::function<std::optional<storage::Record>(
+      const messaging::ConsumerRecord&)>;
+
+  MapTask(std::string output_topic, MapFn fn)
+      : output_topic_(std::move(output_topic)), fn_(std::move(fn)) {}
+
+  Status Process(const messaging::ConsumerRecord& envelope,
+                 MessageCollector* collector, TaskCoordinator*) override {
+    auto mapped = fn_(envelope);
+    if (!mapped.has_value()) return Status::OK();
+    return collector->Send(output_topic_, std::move(*mapped));
+  }
+
+ private:
+  std::string output_topic_;
+  MapFn fn_;
+};
+
+/// Stateful per-key counter kept in the store named `store`; if
+/// `output_topic` is non-empty, Window() emits one record per key with the
+/// current count. The canonical incremental-statistics job of §4.2.
+class KeyedCounterTask : public StreamTask {
+ public:
+  KeyedCounterTask(std::string store, std::string output_topic = "")
+      : store_name_(std::move(store)), output_topic_(std::move(output_topic)) {}
+
+  Status Init(TaskContext* context) override;
+  Status Process(const messaging::ConsumerRecord& envelope,
+                 MessageCollector* collector,
+                 TaskCoordinator* coordinator) override;
+  Status Window(MessageCollector* collector,
+                TaskCoordinator* coordinator) override;
+
+ private:
+  std::string store_name_;
+  std::string output_topic_;
+  KeyValueStore* store_ = nullptr;
+};
+
+/// Tumbling-window sum per key over record (event) timestamps. State lives in
+/// the `store`; closed windows (older than `window_ms` behind the newest
+/// event seen) are emitted to `output_topic` and deleted on Window().
+class WindowedAggregateTask : public StreamTask {
+ public:
+  WindowedAggregateTask(std::string store, std::string output_topic,
+                        int64_t window_ms)
+      : store_name_(std::move(store)),
+        output_topic_(std::move(output_topic)),
+        window_ms_(window_ms) {}
+
+  Status Init(TaskContext* context) override;
+  Status Process(const messaging::ConsumerRecord& envelope,
+                 MessageCollector* collector,
+                 TaskCoordinator* coordinator) override;
+  Status Window(MessageCollector* collector,
+                TaskCoordinator* coordinator) override;
+
+  /// Window-state key: "<window_start, 20 digits>|<key>".
+  static std::string WindowKey(int64_t window_start, const std::string& key);
+
+ private:
+  std::string store_name_;
+  std::string output_topic_;
+  int64_t window_ms_;
+  KeyValueStore* store_ = nullptr;
+  int64_t max_event_ms_ = 0;
+};
+
+/// Stream-table join: records from `table_topic` upsert the store; records
+/// from any other input look up their key and, when present, are emitted to
+/// `output_topic` with value = "<stream value>|<table value>".
+class StreamTableJoinTask : public StreamTask {
+ public:
+  StreamTableJoinTask(std::string store, std::string table_topic,
+                      std::string output_topic)
+      : store_name_(std::move(store)),
+        table_topic_(std::move(table_topic)),
+        output_topic_(std::move(output_topic)) {}
+
+  Status Init(TaskContext* context) override;
+  Status Process(const messaging::ConsumerRecord& envelope,
+                 MessageCollector* collector,
+                 TaskCoordinator* coordinator) override;
+
+ private:
+  std::string store_name_;
+  std::string table_topic_;
+  std::string output_topic_;
+  KeyValueStore* store_ = nullptr;
+};
+
+}  // namespace liquid::processing
+
+#endif  // LIQUID_PROCESSING_OPERATORS_H_

@@ -1,0 +1,56 @@
+#include "processing/pipeline.h"
+
+namespace liquid::processing {
+
+Pipeline::Pipeline(messaging::Cluster* cluster,
+                   messaging::OffsetManager* offsets,
+                   messaging::GroupCoordinator* coordinator,
+                   storage::Disk* state_disk)
+    : cluster_(cluster),
+      offsets_(offsets),
+      coordinator_(coordinator),
+      state_disk_(state_disk) {}
+
+Status Pipeline::AddMapStage(const std::string& name, const std::string& input,
+                             const std::string& output, MapTask::MapFn fn) {
+  JobConfig config;
+  config.name = name;
+  config.inputs = {input};
+  return AddStage(std::move(config), [output, fn]() {
+    return std::make_unique<MapTask>(output, fn);
+  });
+}
+
+Status Pipeline::AddStage(JobConfig config, TaskFactory factory) {
+  auto job = Job::Create(cluster_, offsets_, coordinator_, state_disk_,
+                         std::move(config), std::move(factory));
+  if (!job.ok()) return job.status();
+  jobs_.push_back(std::move(job).value());
+  return Status::OK();
+}
+
+Result<int64_t> Pipeline::RunUntilAllIdle(int idle_rounds) {
+  int64_t total = 0;
+  int idle = 0;
+  while (idle < idle_rounds) {
+    int64_t round = 0;
+    for (auto& job : jobs_) {
+      auto processed = job->RunOnce();
+      if (!processed.ok()) return processed.status();
+      round += *processed;
+    }
+    total += round;
+    idle = round == 0 ? idle + 1 : 0;
+  }
+  LIQUID_RETURN_NOT_OK(CommitAll());
+  return total;
+}
+
+Status Pipeline::CommitAll() {
+  for (auto& job : jobs_) {
+    LIQUID_RETURN_NOT_OK(job->Commit());
+  }
+  return Status::OK();
+}
+
+}  // namespace liquid::processing

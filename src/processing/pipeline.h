@@ -1,0 +1,55 @@
+#ifndef LIQUID_PROCESSING_PIPELINE_H_
+#define LIQUID_PROCESSING_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "processing/job.h"
+#include "processing/operators.h"
+
+namespace liquid::processing {
+
+/// A dataflow graph of jobs chained through feeds (§3.2: "jobs can communicate
+/// with other jobs, forming a dataflow processing graph. All jobs are
+/// decoupled by writing to and reading from the messaging layer").
+///
+/// Stages are independent jobs; RunUntilAllIdle drives them round-robin until
+/// no stage makes progress, which is how the deterministic benches execute
+/// multi-stage ETL pipelines.
+class Pipeline {
+ public:
+  Pipeline(messaging::Cluster* cluster, messaging::OffsetManager* offsets,
+           messaging::GroupCoordinator* coordinator, storage::Disk* state_disk);
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Appends a stateless map stage reading `input` and writing `output`.
+  Status AddMapStage(const std::string& name, const std::string& input,
+                     const std::string& output, MapTask::MapFn fn);
+
+  /// Appends an arbitrary stage.
+  Status AddStage(JobConfig config, TaskFactory factory);
+
+  /// Round-robin RunOnce over all stages until `idle_rounds` full passes make
+  /// no progress. Returns total records processed across stages.
+  Result<int64_t> RunUntilAllIdle(int idle_rounds = 2);
+
+  /// Commits every stage.
+  Status CommitAll();
+
+  Job* stage(size_t index) { return jobs_.at(index).get(); }
+  size_t stage_count() const { return jobs_.size(); }
+
+ private:
+  messaging::Cluster* cluster_;
+  messaging::OffsetManager* offsets_;
+  messaging::GroupCoordinator* coordinator_;
+  storage::Disk* state_disk_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+};
+
+}  // namespace liquid::processing
+
+#endif  // LIQUID_PROCESSING_PIPELINE_H_

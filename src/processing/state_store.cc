@@ -1,0 +1,117 @@
+#include "processing/state_store.h"
+
+namespace liquid::processing {
+
+Status InMemoryStore::Put(const Slice& key, const Slice& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[key.ToString()] = value.ToString();
+  return Status::OK();
+}
+
+Status InMemoryStore::Delete(const Slice& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.erase(key.ToString());
+  return Status::OK();
+}
+
+Result<std::string> InMemoryStore::Get(const Slice& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key.ToString());
+  if (it == map_.end()) return Status::NotFound("no such key");
+  return it->second;
+}
+
+Status InMemoryStore::ForEach(
+    const std::function<void(const Slice&, const Slice&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, value] : map_) fn(key, value);
+  return Status::OK();
+}
+
+Status InMemoryStore::ForEachInRange(
+    const Slice& begin, const Slice& end,
+    const std::function<void(const Slice&, const Slice&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.lower_bound(begin.ToString());
+  const auto stop = end.empty() ? map_.end() : map_.lower_bound(end.ToString());
+  for (; it != stop; ++it) fn(it->first, it->second);
+  return Status::OK();
+}
+
+Result<int64_t> InMemoryStore::Count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(map_.size());
+}
+
+PersistentStore::PersistentStore(std::unique_ptr<kv::KvStore> kv)
+    : kv_(std::move(kv)) {}
+
+Result<std::unique_ptr<PersistentStore>> PersistentStore::Open(
+    storage::Disk* disk, const std::string& prefix,
+    const kv::KvOptions& options) {
+  auto kv = kv::KvStore::Open(disk, prefix, options);
+  if (!kv.ok()) return kv.status();
+  return std::unique_ptr<PersistentStore>(
+      new PersistentStore(std::move(kv).value()));
+}
+
+Status PersistentStore::Put(const Slice& key, const Slice& value) {
+  return kv_->Put(key, value);
+}
+
+Status PersistentStore::Delete(const Slice& key) { return kv_->Delete(key); }
+
+Result<std::string> PersistentStore::Get(const Slice& key) {
+  return kv_->Get(key);
+}
+
+Status PersistentStore::ForEach(
+    const std::function<void(const Slice&, const Slice&)>& fn) {
+  return kv_->ForEach(fn);
+}
+
+Status PersistentStore::ForEachInRange(
+    const Slice& begin, const Slice& end,
+    const std::function<void(const Slice&, const Slice&)>& fn) {
+  return kv_->ForEachInRange(begin, end, fn);
+}
+
+Result<int64_t> PersistentStore::Count() { return kv_->CountLiveKeys(); }
+
+ChangelogStore::ChangelogStore(std::unique_ptr<KeyValueStore> inner,
+                               ChangelogEmitter emit)
+    : inner_(std::move(inner)), emit_(std::move(emit)) {}
+
+Status ChangelogStore::Put(const Slice& key, const Slice& value) {
+  LIQUID_RETURN_NOT_OK(inner_->Put(key, value));
+  return emit_(storage::Record::KeyValue(key.ToString(), value.ToString()));
+}
+
+Status ChangelogStore::Delete(const Slice& key) {
+  LIQUID_RETURN_NOT_OK(inner_->Delete(key));
+  return emit_(storage::Record::Tombstone(key.ToString()));
+}
+
+Result<std::string> ChangelogStore::Get(const Slice& key) {
+  return inner_->Get(key);
+}
+
+Status ChangelogStore::ForEach(
+    const std::function<void(const Slice&, const Slice&)>& fn) {
+  return inner_->ForEach(fn);
+}
+
+Status ChangelogStore::ForEachInRange(
+    const Slice& begin, const Slice& end,
+    const std::function<void(const Slice&, const Slice&)>& fn) {
+  return inner_->ForEachInRange(begin, end, fn);
+}
+
+Result<int64_t> ChangelogStore::Count() { return inner_->Count(); }
+
+Status ChangelogStore::ApplyChangelogRecord(const storage::Record& record) {
+  if (record.is_tombstone) return inner_->Delete(record.key);
+  return inner_->Put(record.key, record.value);
+}
+
+}  // namespace liquid::processing

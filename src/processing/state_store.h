@@ -1,0 +1,95 @@
+#ifndef LIQUID_PROCESSING_STATE_STORE_H_
+#define LIQUID_PROCESSING_STATE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "kv/kv_store.h"
+#include "messaging/metadata.h"
+#include "processing/task.h"
+#include "storage/disk.h"
+
+namespace liquid::processing {
+
+/// Volatile in-memory store: fastest, state lost on task failure unless a
+/// changelog is attached.
+class InMemoryStore : public KeyValueStore {
+ public:
+  InMemoryStore() = default;
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Delete(const Slice& key) override;
+  Result<std::string> Get(const Slice& key) override;
+  Status ForEach(
+      const std::function<void(const Slice&, const Slice&)>& fn) override;
+  Status ForEachInRange(
+      const Slice& begin, const Slice& end,
+      const std::function<void(const Slice&, const Slice&)>& fn) override;
+  Result<int64_t> Count() override;
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::string> map_;
+};
+
+/// Durable store over the from-scratch LSM engine — the paper's "state
+/// off-heap by using RocksDB" (§4.4).
+class PersistentStore : public KeyValueStore {
+ public:
+  static Result<std::unique_ptr<PersistentStore>> Open(
+      storage::Disk* disk, const std::string& prefix,
+      const kv::KvOptions& options);
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Delete(const Slice& key) override;
+  Result<std::string> Get(const Slice& key) override;
+  Status ForEach(
+      const std::function<void(const Slice&, const Slice&)>& fn) override;
+  Status ForEachInRange(
+      const Slice& begin, const Slice& end,
+      const std::function<void(const Slice&, const Slice&)>& fn) override;
+  Result<int64_t> Count() override;
+
+  kv::KvStore* kv() { return kv_.get(); }
+
+ private:
+  explicit PersistentStore(std::unique_ptr<kv::KvStore> kv);
+
+  std::unique_ptr<kv::KvStore> kv_;
+};
+
+/// Decorator that mirrors every mutation to a compacted changelog feed in the
+/// messaging layer (§3.2: "the processing layer publish[es] state updates to
+/// a changelog ... after failure, state is reconstructed from the changelog").
+class ChangelogStore : public KeyValueStore {
+ public:
+  /// `emit` publishes one record to the changelog partition of this task.
+  using ChangelogEmitter = std::function<Status(storage::Record record)>;
+
+  ChangelogStore(std::unique_ptr<KeyValueStore> inner, ChangelogEmitter emit);
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Delete(const Slice& key) override;
+  Result<std::string> Get(const Slice& key) override;
+  Status ForEach(
+      const std::function<void(const Slice&, const Slice&)>& fn) override;
+  Status ForEachInRange(
+      const Slice& begin, const Slice& end,
+      const std::function<void(const Slice&, const Slice&)>& fn) override;
+  Result<int64_t> Count() override;
+
+  /// Applies one changelog record during restore (no re-emission).
+  Status ApplyChangelogRecord(const storage::Record& record);
+
+  KeyValueStore* inner() { return inner_.get(); }
+
+ private:
+  std::unique_ptr<KeyValueStore> inner_;
+  ChangelogEmitter emit_;
+};
+
+}  // namespace liquid::processing
+
+#endif  // LIQUID_PROCESSING_STATE_STORE_H_

@@ -1,0 +1,96 @@
+#ifndef LIQUID_PROCESSING_TASK_H_
+#define LIQUID_PROCESSING_TASK_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "messaging/consumer.h"
+#include "storage/record.h"
+
+namespace liquid::processing {
+
+/// Emits records to output feeds (derived feeds in the messaging layer).
+class MessageCollector {
+ public:
+  virtual ~MessageCollector() = default;
+  virtual Status Send(const std::string& topic, storage::Record record) = 0;
+};
+
+/// Lets a task ask the runtime for a checkpoint or a shutdown.
+class TaskCoordinator {
+ public:
+  virtual ~TaskCoordinator() = default;
+  virtual void RequestCommit() = 0;
+  virtual void RequestShutdown() = 0;
+};
+
+/// State store interface handed to tasks (§3.2: "state can be represented as
+/// arbitrary data structures, e.g. a window of the most recent stream data, a
+/// dictionary of statistics or an inverted index").
+class KeyValueStore {
+ public:
+  virtual ~KeyValueStore() = default;
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+  virtual Status Delete(const Slice& key) = 0;
+  /// NotFound when absent.
+  virtual Result<std::string> Get(const Slice& key) = 0;
+  virtual Status ForEach(
+      const std::function<void(const Slice&, const Slice&)>& fn) = 0;
+  /// Visits live keys in [begin, end) in key order; an empty `end` means
+  /// "to the last key". Windowed state keys sort by window start, so range
+  /// scans let Window() touch only closed windows.
+  virtual Status ForEachInRange(
+      const Slice& begin, const Slice& end,
+      const std::function<void(const Slice&, const Slice&)>& fn) = 0;
+  virtual Result<int64_t> Count() = 0;
+};
+
+/// Per-task environment provided by the runtime at Init time.
+class TaskContext {
+ public:
+  virtual ~TaskContext() = default;
+  /// The named store declared in the job config; null if not declared.
+  virtual KeyValueStore* GetStore(const std::string& name) = 0;
+  /// The partition id this task owns. Samza semantics: one task per partition
+  /// id, consuming that partition of EVERY input topic (co-partitioned inputs
+  /// — e.g. a table feed and a stream feed — share the task and its state).
+  virtual int partition() const = 0;
+  virtual MetricsRegistry* metrics() = 0;
+};
+
+/// User processing logic (§3.2): one instance per input partition, processing
+/// messages one at a time with optional explicit state.
+class StreamTask {
+ public:
+  virtual ~StreamTask() = default;
+
+  /// Called once before any Process call.
+  virtual Status Init(TaskContext* context) {
+    (void)context;
+    return Status::OK();
+  }
+
+  /// Called for every input message.
+  virtual Status Process(const messaging::ConsumerRecord& envelope,
+                         MessageCollector* collector,
+                         TaskCoordinator* coordinator) = 0;
+
+  /// Called periodically when the job configures a window interval.
+  virtual Status Window(MessageCollector* collector,
+                        TaskCoordinator* coordinator) {
+    (void)collector;
+    (void)coordinator;
+    return Status::OK();
+  }
+};
+
+/// Creates one StreamTask per input partition.
+using TaskFactory = std::function<std::unique_ptr<StreamTask>()>;
+
+}  // namespace liquid::processing
+
+#endif  // LIQUID_PROCESSING_TASK_H_

@@ -1,0 +1,252 @@
+#include "storage/disk.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace liquid::storage {
+
+namespace fs = std::filesystem;
+
+void SpinFor(int64_t nanos) {
+  if (nanos <= 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(nanos);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Busy-wait: sleeping would round up to scheduler granularity and distort
+    // the relative costs the latency model encodes.
+  }
+}
+
+Result<uint64_t> Disk::TotalBytes(const std::string& prefix) const {
+  LIQUID_ASSIGN_OR_RETURN(std::vector<std::string> names, List(prefix));
+  uint64_t total = 0;
+  for (const auto& name : names) {
+    auto file = const_cast<Disk*>(this)->OpenOrCreate(name);
+    if (!file.ok()) return file.status();
+    total += (*file)->Size();
+  }
+  return total;
+}
+
+/// File handle over MemDisk storage.
+class MemFile : public File {
+ public:
+  MemFile(std::shared_ptr<MemDisk::FileData> data, const MemDisk* disk)
+      : data_(std::move(data)), disk_(disk) {}
+
+  Status Append(const Slice& slice) override {
+    disk_->ChargeWrite(slice.size());
+    std::lock_guard<std::mutex> lock(data_->mu);
+    data_->bytes.append(slice.data(), slice.size());
+    return Status::OK();
+  }
+
+  Status ReadAt(uint64_t offset, size_t n, std::string* out) const override {
+    std::unique_lock<std::mutex> lock(data_->mu);
+    out->clear();
+    if (offset >= data_->bytes.size()) {
+      lock.unlock();
+      disk_->ChargeRead(0);
+      return Status::OK();
+    }
+    const size_t available = data_->bytes.size() - offset;
+    const size_t len = n < available ? n : available;
+    out->assign(data_->bytes.data() + offset, len);
+    lock.unlock();
+    disk_->ChargeRead(len);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    return data_->bytes.size();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    if (size < data_->bytes.size()) data_->bytes.resize(size);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemDisk::FileData> data_;
+  const MemDisk* disk_;
+};
+
+void MemDisk::ChargeRead(size_t n) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_read_ += static_cast<int64_t>(n);
+    ++read_ops_;
+  }
+  SpinFor(latency_.read_seek_us * 1000 +
+          latency_.read_byte_ns * static_cast<int64_t>(n));
+}
+
+void MemDisk::ChargeWrite(size_t n) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_written_ += static_cast<int64_t>(n);
+  }
+  SpinFor(latency_.write_seek_us * 1000 +
+          latency_.write_byte_ns * static_cast<int64_t>(n));
+}
+
+int64_t MemDisk::bytes_read() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_read_;
+}
+
+int64_t MemDisk::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+int64_t MemDisk::read_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_ops_;
+}
+
+Result<std::unique_ptr<File>> MemDisk::OpenOrCreate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = files_[name];
+  if (!slot) slot = std::make_shared<FileData>();
+  return std::unique_ptr<File>(new MemFile(slot, this));
+}
+
+Status MemDisk::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  files_.erase(it);
+  return Status::OK();
+}
+
+bool MemDisk::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(name) > 0;
+}
+
+Result<std::vector<std::string>> MemDisk::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, data] : files_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+Status MemDisk::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  files_[to] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+namespace {
+
+/// File handle over a real filesystem path. Reads use a fresh ifstream per
+/// call (simple and correct; FsDisk is for examples, not benches).
+class FsFile : public File {
+ public:
+  explicit FsFile(std::string path) : path_(std::move(path)) {
+    // Ensure the file exists.
+    std::ofstream touch(path_, std::ios::binary | std::ios::app);
+  }
+
+  Status Append(const Slice& data) override {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    if (!out) return Status::IOError("cannot open for append: " + path_);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::IOError("append failed: " + path_);
+    return Status::OK();
+  }
+
+  Status ReadAt(uint64_t offset, size_t n, std::string* out) const override {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) return Status::IOError("cannot open for read: " + path_);
+    in.seekg(static_cast<std::streamoff>(offset));
+    out->resize(n);
+    in.read(out->data(), static_cast<std::streamsize>(n));
+    out->resize(static_cast<size_t>(in.gcount()));
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    std::error_code ec;
+    auto size = fs::file_size(path_, ec);
+    return ec ? 0 : static_cast<uint64_t>(size);
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+  Status Truncate(uint64_t size) override {
+    std::error_code ec;
+    fs::resize_file(path_, size, ec);
+    if (ec) return Status::IOError("truncate failed: " + path_);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace
+
+FsDisk::FsDisk(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+}
+
+std::string FsDisk::Resolve(const std::string& name) const {
+  return root_ + "/" + name;
+}
+
+Result<std::unique_ptr<File>> FsDisk::OpenOrCreate(const std::string& name) {
+  const std::string path = Resolve(name);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  return std::unique_ptr<File>(new FsFile(path));
+}
+
+Status FsDisk::Remove(const std::string& name) {
+  std::error_code ec;
+  if (!fs::remove(Resolve(name), ec) || ec) {
+    return Status::NotFound("no such file: " + name);
+  }
+  return Status::OK();
+}
+
+bool FsDisk::Exists(const std::string& name) const {
+  std::error_code ec;
+  return fs::exists(Resolve(name), ec);
+}
+
+Result<std::vector<std::string>> FsDisk::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  if (!fs::exists(root_, ec)) return out;
+  for (const auto& entry : fs::recursive_directory_iterator(root_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string rel = fs::relative(entry.path(), root_, ec).string();
+    if (rel.compare(0, prefix.size(), prefix) == 0) out.push_back(rel);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status FsDisk::Rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(Resolve(from), Resolve(to), ec);
+  if (ec) return Status::IOError("rename failed: " + from + " -> " + to);
+  return Status::OK();
+}
+
+}  // namespace liquid::storage

@@ -1,0 +1,335 @@
+#include "storage/log.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+namespace liquid::storage {
+
+Log::Log(Disk* disk, PageCache* cache, std::string name_prefix, LogConfig config,
+         Clock* clock)
+    : disk_(disk),
+      cache_(cache),
+      name_prefix_(std::move(name_prefix)),
+      config_(config),
+      clock_(clock) {}
+
+Result<std::unique_ptr<Log>> Log::Open(Disk* disk, PageCache* cache,
+                                       const std::string& name_prefix,
+                                       const LogConfig& config, Clock* clock) {
+  std::unique_ptr<Log> log(new Log(disk, cache, name_prefix, config, clock));
+  LIQUID_RETURN_NOT_OK(log->OpenExisting());
+  return log;
+}
+
+Status Log::OpenExisting() {
+  LIQUID_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                          disk_->List(name_prefix_));
+  std::vector<int64_t> base_offsets;
+  for (const auto& name : names) {
+    if (name.size() < name_prefix_.size() + 4 ||
+        name.compare(name.size() - 4, 4, ".log") != 0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(name_prefix_.size(), name.size() - name_prefix_.size() - 4);
+    base_offsets.push_back(std::strtoll(digits.c_str(), nullptr, 10));
+  }
+  std::sort(base_offsets.begin(), base_offsets.end());
+
+  LogSegment::Config seg_config{config_.index_interval_bytes};
+  for (int64_t base : base_offsets) {
+    auto segment =
+        LogSegment::Open(disk_, cache_, name_prefix_, base, seg_config);
+    if (!segment.ok()) return segment.status();
+    segments_.push_back(std::move(segment).value());
+  }
+  if (segments_.empty()) {
+    auto segment = LogSegment::Open(disk_, cache_, name_prefix_, 0, seg_config);
+    if (!segment.ok()) return segment.status();
+    segments_.push_back(std::move(segment).value());
+  }
+  start_offset_ = segments_.front()->base_offset();
+  next_offset_ = segments_.back()->next_offset();
+  return Status::OK();
+}
+
+Status Log::RollLocked(int64_t base_offset) {
+  LogSegment::Config seg_config{config_.index_interval_bytes};
+  auto segment =
+      LogSegment::Open(disk_, cache_, name_prefix_, base_offset, seg_config);
+  if (!segment.ok()) return segment.status();
+  segments_.push_back(std::move(segment).value());
+  return Status::OK();
+}
+
+Status Log::AppendEncodedLocked(const std::vector<Record>& records) {
+  // Large batches are split at segment boundaries so that a single huge
+  // append (e.g. a changelog flush) still produces closed segments that
+  // retention and compaction can work on.
+  size_t i = 0;
+  while (i < records.size()) {
+    if (ActiveLocked()->size_bytes() >= config_.segment_bytes) {
+      LIQUID_RETURN_NOT_OK(RollLocked(records[i].offset));
+    }
+    uint64_t bytes = ActiveLocked()->size_bytes();
+    size_t j = i;
+    while (j < records.size()) {
+      const uint64_t record_bytes = records[j].EncodedSize();
+      if (j > i && bytes + record_bytes > config_.segment_bytes) break;
+      bytes += record_bytes;
+      ++j;
+    }
+    const std::vector<Record> chunk(records.begin() + i, records.begin() + j);
+    LIQUID_RETURN_NOT_OK(ActiveLocked()->Append(chunk));
+    i = j;
+  }
+  return Status::OK();
+}
+
+Result<int64_t> Log::Append(std::vector<Record>* records) {
+  if (records->empty()) return Status::InvalidArgument("empty append");
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const int64_t base = next_offset_;
+  const int64_t now = clock_->NowMs();
+  for (Record& record : *records) {
+    record.offset = next_offset_++;
+    if (record.timestamp_ms == 0) record.timestamp_ms = now;
+  }
+  LIQUID_RETURN_NOT_OK(AppendEncodedLocked(*records));
+  return base;
+}
+
+Status Log::AppendWithOffsets(const std::vector<Record>& records) {
+  if (records.empty()) return Status::OK();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (records.front().offset < next_offset_) {
+    return Status::InvalidArgument("offsets overlap existing log");
+  }
+  LIQUID_RETURN_NOT_OK(AppendEncodedLocked(records));
+  next_offset_ = records.back().offset + 1;
+  return Status::OK();
+}
+
+Status Log::Read(int64_t offset, size_t max_bytes,
+                 std::vector<Record>* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  offset = std::max(offset, start_offset_);
+  if (offset >= next_offset_) return Status::OK();
+  // Find the segment containing `offset`: greatest base_offset <= offset.
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), offset,
+                             [](int64_t target, const auto& seg) {
+                               return target < seg->base_offset();
+                             });
+  if (it != segments_.begin()) --it;
+  size_t gathered = 0;
+  while (it != segments_.end() && gathered < max_bytes) {
+    const size_t before = out->size();
+    LIQUID_RETURN_NOT_OK((*it)->Read(offset, max_bytes - gathered, out));
+    for (size_t i = before; i < out->size(); ++i) {
+      gathered += (*out)[i].EncodedSize();
+    }
+    if (!out->empty()) offset = out->back().offset + 1;
+    ++it;
+    // Compaction can leave a segment empty of qualifying records; continue to
+    // the next segment in that case (gathered unchanged).
+  }
+  return Status::OK();
+}
+
+Result<int64_t> Log::OffsetForTimestamp(int64_t ts_ms) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& segment : segments_) {
+    if (segment->empty()) continue;
+    if (segment->max_timestamp_ms() < ts_ms) continue;
+    auto result = segment->OffsetForTimestamp(ts_ms);
+    if (result.ok()) return result;
+    if (!result.status().IsNotFound()) return result.status();
+  }
+  return Status::NotFound("no record at or after timestamp");
+}
+
+int64_t Log::start_offset() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return start_offset_;
+}
+
+int64_t Log::end_offset() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return next_offset_;
+}
+
+uint64_t Log::size_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& segment : segments_) total += segment->size_bytes();
+  return total;
+}
+
+int Log::segment_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<int>(segments_.size());
+}
+
+Status Log::Truncate(int64_t offset) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (offset >= next_offset_) return Status::OK();
+  if (offset <= start_offset_) {
+    // Everything goes: drop all segments and restart at `offset`.
+    for (auto& segment : segments_) LIQUID_RETURN_NOT_OK(segment->Drop());
+    segments_.clear();
+    next_offset_ = offset;
+    start_offset_ = offset;
+    LIQUID_RETURN_NOT_OK(RollLocked(offset));
+    return Status::OK();
+  }
+  // Drop whole segments with base >= offset.
+  while (!segments_.empty() && segments_.back()->base_offset() >= offset) {
+    LIQUID_RETURN_NOT_OK(segments_.back()->Drop());
+    segments_.pop_back();
+  }
+  // Partially truncate the now-last segment by rewriting its survivors.
+  if (!segments_.empty() && segments_.back()->next_offset() > offset) {
+    LogSegment* last = segments_.back().get();
+    std::vector<Record> survivors;
+    std::vector<Record> chunk;
+    int64_t cursor = last->base_offset();
+    while (cursor < offset) {
+      chunk.clear();
+      LIQUID_RETURN_NOT_OK(last->Read(cursor, 1 << 20, &chunk));
+      if (chunk.empty()) break;
+      bool hit_boundary = false;
+      for (Record& record : chunk) {
+        if (record.offset >= offset) {
+          // Gaps (from compaction) can make the first record of a chunk land
+          // beyond the truncation point even though the segment base is below
+          // it; stop here or we would spin forever.
+          hit_boundary = true;
+          break;
+        }
+        survivors.push_back(std::move(record));
+      }
+      if (hit_boundary) break;
+      cursor = survivors.back().offset + 1;
+    }
+    const int64_t base = last->base_offset();
+    LIQUID_RETURN_NOT_OK(last->Drop());
+    segments_.pop_back();
+    LogSegment::Config seg_config{config_.index_interval_bytes};
+    auto segment = LogSegment::Open(disk_, cache_, name_prefix_, base, seg_config);
+    if (!segment.ok()) return segment.status();
+    if (!survivors.empty()) {
+      LIQUID_RETURN_NOT_OK((*segment)->Append(survivors));
+    }
+    segments_.push_back(std::move(segment).value());
+  }
+  if (segments_.empty()) {
+    next_offset_ = offset;
+    start_offset_ = std::min(start_offset_, offset);
+    LIQUID_RETURN_NOT_OK(RollLocked(offset));
+  }
+  next_offset_ = offset;
+  return Status::OK();
+}
+
+Result<int> Log::ApplyRetention() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const int64_t now = clock_->NowMs();
+  int deleted = 0;
+  // Never delete the active (last) segment.
+  while (segments_.size() > 1) {
+    LogSegment* oldest = segments_.front().get();
+    bool expired = false;
+    if (config_.retention_ms > 0 && !oldest->empty() &&
+        now - oldest->max_timestamp_ms() > config_.retention_ms) {
+      expired = true;
+    }
+    if (!expired && config_.retention_bytes > 0) {
+      uint64_t total = 0;
+      for (const auto& segment : segments_) total += segment->size_bytes();
+      if (total > static_cast<uint64_t>(config_.retention_bytes)) expired = true;
+    }
+    if (!expired) break;
+    LIQUID_RETURN_NOT_OK(oldest->Drop());
+    segments_.erase(segments_.begin());
+    start_offset_ = segments_.front()->base_offset();
+    ++deleted;
+  }
+  return deleted;
+}
+
+Result<CompactionStats> Log::Compact() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  CompactionStats stats;
+  if (!config_.compaction_enabled || segments_.size() < 2) return stats;
+
+  // Phase 1: build the key -> newest offset map across the WHOLE log (the
+  // active segment contributes newest offsets but is never rewritten).
+  std::unordered_map<std::string, int64_t> latest;
+  for (const auto& segment : segments_) {
+    int64_t cursor = segment->base_offset();
+    std::vector<Record> chunk;
+    while (cursor < segment->next_offset()) {
+      chunk.clear();
+      LIQUID_RETURN_NOT_OK(segment->Read(cursor, 1 << 20, &chunk));
+      if (chunk.empty()) break;
+      for (const Record& record : chunk) {
+        if (record.has_key) latest[record.key] = record.offset;
+      }
+      cursor = chunk.back().offset + 1;
+    }
+  }
+
+  // Phase 2: rewrite every closed segment keeping only live records.
+  const size_t closed = segments_.size() - 1;
+  std::vector<Record> survivors;
+  for (size_t i = 0; i < closed; ++i) {
+    LogSegment* segment = segments_[i].get();
+    stats.bytes_before += segment->size_bytes();
+    int64_t cursor = segment->base_offset();
+    std::vector<Record> chunk;
+    while (cursor < segment->next_offset()) {
+      chunk.clear();
+      LIQUID_RETURN_NOT_OK(segment->Read(cursor, 1 << 20, &chunk));
+      if (chunk.empty()) break;
+      for (Record& record : chunk) {
+        ++stats.records_before;
+        bool keep = true;
+        if (record.has_key) {
+          keep = latest[record.key] == record.offset;
+          if (keep && record.is_tombstone && config_.compaction_drops_tombstones) {
+            keep = false;
+          }
+        }
+        if (keep) survivors.push_back(std::move(record));
+      }
+      cursor = chunk.back().offset + 1;
+    }
+    ++stats.segments_cleaned;
+  }
+
+  // Phase 3: swap in cleaned segments. (Kafka swaps atomically via .cleaned /
+  // .swap files; with the simulated disk we rebuild in place, which is safe
+  // because the disk outlives us and the active segment is untouched.)
+  const int64_t first_base = segments_.front()->base_offset();
+  for (size_t i = 0; i < closed; ++i) {
+    LIQUID_RETURN_NOT_OK(segments_[i]->Drop());
+  }
+  segments_.erase(segments_.begin(), segments_.begin() + closed);
+
+  LogSegment::Config seg_config{config_.index_interval_bytes};
+  auto cleaned =
+      LogSegment::Open(disk_, cache_, name_prefix_, first_base, seg_config);
+  if (!cleaned.ok()) return cleaned.status();
+  if (!survivors.empty()) {
+    LIQUID_RETURN_NOT_OK((*cleaned)->Append(survivors));
+  }
+  stats.records_after = static_cast<int64_t>(survivors.size());
+  stats.bytes_after = (*cleaned)->size_bytes();
+  segments_.insert(segments_.begin(), std::move(cleaned).value());
+  start_offset_ = segments_.front()->base_offset();
+  return stats;
+}
+
+}  // namespace liquid::storage

@@ -1,0 +1,129 @@
+#ifndef LIQUID_STORAGE_LOG_H_
+#define LIQUID_STORAGE_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk.h"
+#include "storage/log_segment.h"
+#include "storage/page_cache.h"
+#include "storage/record.h"
+
+namespace liquid::storage {
+
+/// Per-log (i.e. per topic-partition) configuration, mirroring Kafka's
+/// segment / retention / compaction knobs the paper discusses in §4.1.
+struct LogConfig {
+  /// Roll to a new segment once the active one reaches this size.
+  size_t segment_bytes = 1 << 20;
+  /// Sparse-index granularity inside each segment.
+  size_t index_interval_bytes = 4096;
+  /// Delete whole segments older than this (<= 0: keep forever).
+  int64_t retention_ms = -1;
+  /// Delete oldest segments while the log exceeds this size (<= 0: unbounded).
+  int64_t retention_bytes = -1;
+  /// Keyed topics (changelogs) may be compacted: only the latest record per
+  /// key is retained in cleaned segments.
+  bool compaction_enabled = false;
+  /// During compaction, drop tombstones too (they have already served their
+  /// delete-propagation purpose once every consumer saw them).
+  bool compaction_drops_tombstones = false;
+};
+
+/// Outcome of one compaction pass, reported for the E4 bench.
+struct CompactionStats {
+  int64_t records_before = 0;
+  int64_t records_after = 0;
+  uint64_t bytes_before = 0;
+  uint64_t bytes_after = 0;
+  int segments_cleaned = 0;
+};
+
+/// An append-only, segmented, offset-addressed commit log — the storage
+/// behind one topic-partition (§3.1 "each topic is realized as a distributed
+/// commit log, in which each partition is append-only and keeps an ordered,
+/// immutable sequence of messages with a unique identifier called an offset").
+///
+/// Thread-safe: appends/truncation/retention/compaction are exclusive,
+/// reads are shared.
+class Log {
+ public:
+  /// Opens the log stored under `name_prefix` (e.g. "events-0/"), recovering
+  /// existing segments. `cache` may be null.
+  static Result<std::unique_ptr<Log>> Open(Disk* disk, PageCache* cache,
+                                           const std::string& name_prefix,
+                                           const LogConfig& config, Clock* clock);
+
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  /// Appends records in place, assigning consecutive offsets (and the current
+  /// time to records whose timestamp is 0) so the caller sees the assignment.
+  /// Returns the offset of the first record.
+  Result<int64_t> Append(std::vector<Record>* records);
+
+  /// Appends records that already carry offsets (replication path: followers
+  /// copy the leader's records verbatim, preserving offsets and gaps).
+  Status AppendWithOffsets(const std::vector<Record>& records);
+
+  /// Reads records with offset in [offset, min(end, offset+...)), gathering up
+  /// to `max_bytes` of encoded data, at least one record when any exists.
+  /// Requests below start_offset() are clamped forward to it (retention may
+  /// have deleted the prefix); requests at or past end_offset() return empty.
+  Status Read(int64_t offset, size_t max_bytes, std::vector<Record>* out) const;
+
+  /// First offset with a timestamp >= ts_ms (metadata-based rewind, §3.1).
+  Result<int64_t> OffsetForTimestamp(int64_t ts_ms) const;
+
+  /// Oldest available offset (advances when retention deletes segments).
+  int64_t start_offset() const;
+  /// One past the newest offset.
+  int64_t end_offset() const;
+
+  uint64_t size_bytes() const;
+  int segment_count() const;
+
+  /// Deletes all records with offset >= offset (follower reconciliation after
+  /// leader change).
+  Status Truncate(int64_t offset);
+
+  /// Applies time/size retention using the injected clock; returns the number
+  /// of deleted segments.
+  Result<int> ApplyRetention();
+
+  /// Runs one compaction pass over all closed segments (§4.1 "log
+  /// compaction"). No-op unless config.compaction_enabled.
+  Result<CompactionStats> Compact();
+
+  const LogConfig& config() const { return config_; }
+
+ private:
+  Log(Disk* disk, PageCache* cache, std::string name_prefix, LogConfig config,
+      Clock* clock);
+
+  Status OpenExisting();
+  Status RollLocked(int64_t base_offset);
+  LogSegment* ActiveLocked() { return segments_.back().get(); }
+  Status AppendEncodedLocked(const std::vector<Record>& records);
+
+  Disk* disk_;
+  PageCache* cache_;
+  const std::string name_prefix_;
+  LogConfig config_;
+  Clock* clock_;
+
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<LogSegment>> segments_;  // Ordered by base offset.
+  int64_t next_offset_ = 0;
+  int64_t start_offset_ = 0;
+};
+
+}  // namespace liquid::storage
+
+#endif  // LIQUID_STORAGE_LOG_H_

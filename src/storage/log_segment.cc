@@ -1,0 +1,205 @@
+#include "storage/log_segment.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/coding.h"
+
+namespace liquid::storage {
+
+namespace {
+
+std::string SegmentFileName(const std::string& prefix, int64_t base_offset) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020lld", static_cast<long long>(base_offset));
+  return prefix + buf + ".log";
+}
+
+// Reads in chunks of this size while scanning forward from an index position.
+constexpr size_t kScanChunkBytes = 128 * 1024;
+
+}  // namespace
+
+LogSegment::LogSegment(Disk* disk, std::unique_ptr<File> file,
+                       std::string file_name, int64_t base_offset,
+                       const Config& config)
+    : disk_(disk),
+      file_(std::move(file)),
+      file_name_(std::move(file_name)),
+      base_offset_(base_offset),
+      config_(config),
+      next_offset_(base_offset) {}
+
+Result<std::unique_ptr<LogSegment>> LogSegment::Open(
+    Disk* disk, PageCache* cache, const std::string& name_prefix,
+    int64_t base_offset, const Config& config) {
+  const std::string name = SegmentFileName(name_prefix, base_offset);
+  auto file_result = disk->OpenOrCreate(name);
+  if (!file_result.ok()) return file_result.status();
+  std::unique_ptr<File> file = std::move(file_result).value();
+  if (cache != nullptr) {
+    file = std::make_unique<CachedFile>(std::move(file), cache);
+  }
+  std::unique_ptr<LogSegment> segment(
+      new LogSegment(disk, std::move(file), name, base_offset, config));
+  LIQUID_RETURN_NOT_OK(segment->Recover());
+  return segment;
+}
+
+Status LogSegment::Recover() {
+  const uint64_t file_size = file_->Size();
+  uint64_t pos = 0;
+  std::string buffer;
+  size_t buffer_base = 0;  // File position of buffer[0].
+  while (pos < file_size) {
+    // Ensure the buffer holds a full record starting at pos.
+    const size_t in_buf = pos - buffer_base;
+    if (in_buf >= buffer.size() || buffer.size() - in_buf < 4) {
+      LIQUID_RETURN_NOT_OK(file_->ReadAt(pos, kScanChunkBytes, &buffer));
+      buffer_base = pos;
+    }
+    Slice cursor(buffer.data() + (pos - buffer_base),
+                 buffer.size() - (pos - buffer_base));
+    if (cursor.size() < 4) break;
+    const uint32_t length = DecodeFixed32(cursor.data());
+    if (cursor.size() < 4 + static_cast<size_t>(length)) {
+      if (buffer_base + buffer.size() >= file_size) break;  // Corrupt tail.
+      // Record spans past the buffer: refill starting at pos.
+      LIQUID_RETURN_NOT_OK(
+          file_->ReadAt(pos, std::max<size_t>(kScanChunkBytes, 4 + length),
+                        &buffer));
+      buffer_base = pos;
+      cursor = Slice(buffer);
+      if (cursor.size() < 4 + static_cast<size_t>(length)) break;
+    }
+    Record record;
+    Status st = DecodeRecord(&cursor, &record);
+    if (!st.ok()) break;  // Corrupt tail: truncate here.
+    const size_t record_bytes = 4 + length;
+    MaybeIndex(record.offset, pos, record.timestamp_ms, record_bytes);
+    next_offset_ = record.offset + 1;
+    max_timestamp_ms_ = std::max(max_timestamp_ms_, record.timestamp_ms);
+    pos += record_bytes;
+  }
+  end_pos_ = pos;
+  if (pos < file_size) {
+    LIQUID_RETURN_NOT_OK(file_->Truncate(pos));
+  }
+  return Status::OK();
+}
+
+void LogSegment::MaybeIndex(int64_t offset, uint64_t position,
+                            int64_t timestamp_ms, size_t record_bytes) {
+  if (index_.empty() || bytes_since_index_ >= config_.index_interval_bytes) {
+    index_.push_back(IndexEntry{offset, position});
+    if (time_index_.empty() || timestamp_ms > time_index_.back().timestamp_ms) {
+      time_index_.push_back(TimeIndexEntry{timestamp_ms, offset});
+    }
+    bytes_since_index_ = 0;
+  }
+  bytes_since_index_ += record_bytes;
+}
+
+Status LogSegment::Append(const std::vector<Record>& records) {
+  if (records.empty()) return Status::OK();
+  std::string encoded;
+  uint64_t pos = end_pos_;
+  for (const Record& record : records) {
+    if (record.offset < next_offset_) {
+      return Status::InvalidArgument("non-monotonic offset in segment append");
+    }
+    const size_t before = encoded.size();
+    EncodeRecord(record, &encoded);
+    MaybeIndex(record.offset, pos, record.timestamp_ms, encoded.size() - before);
+    pos += encoded.size() - before;
+    next_offset_ = record.offset + 1;
+    max_timestamp_ms_ = std::max(max_timestamp_ms_, record.timestamp_ms);
+  }
+  LIQUID_RETURN_NOT_OK(file_->Append(encoded));
+  end_pos_ = pos;
+  return Status::OK();
+}
+
+uint64_t LogSegment::LookupPosition(int64_t target_offset) const {
+  if (index_.empty()) return 0;
+  // Greatest entry with entry.offset <= target_offset.
+  auto it = std::upper_bound(
+      index_.begin(), index_.end(), target_offset,
+      [](int64_t target, const IndexEntry& e) { return target < e.offset; });
+  if (it == index_.begin()) return 0;
+  --it;
+  return it->position;
+}
+
+Status LogSegment::Read(int64_t from_offset, size_t max_bytes,
+                        std::vector<Record>* out) const {
+  if (from_offset >= next_offset_) return Status::OK();
+  uint64_t pos = LookupPosition(from_offset);
+  size_t gathered = 0;
+  std::string buffer;
+  uint64_t buffer_base = 0;
+  bool have_buffer = false;
+  while (pos < end_pos_) {
+    if (!have_buffer || pos < buffer_base ||
+        pos - buffer_base + 4 > buffer.size()) {
+      LIQUID_RETURN_NOT_OK(file_->ReadAt(pos, kScanChunkBytes, &buffer));
+      buffer_base = pos;
+      have_buffer = true;
+      if (buffer.size() < 4) break;
+    }
+    Slice cursor(buffer.data() + (pos - buffer_base),
+                 buffer.size() - (pos - buffer_base));
+    const uint32_t length = DecodeFixed32(cursor.data());
+    if (cursor.size() < 4 + static_cast<size_t>(length)) {
+      LIQUID_RETURN_NOT_OK(file_->ReadAt(
+          pos, std::max<size_t>(kScanChunkBytes, 4 + length), &buffer));
+      buffer_base = pos;
+      cursor = Slice(buffer);
+      if (cursor.size() < 4 + static_cast<size_t>(length)) {
+        return Status::Corruption("segment read hit truncated record");
+      }
+    }
+    Record record;
+    LIQUID_RETURN_NOT_OK(DecodeRecord(&cursor, &record));
+    const size_t record_bytes = 4 + length;
+    pos += record_bytes;
+    if (record.offset < from_offset) continue;
+    if (gathered > 0 && gathered + record_bytes > max_bytes) break;
+    out->push_back(std::move(record));
+    gathered += record_bytes;
+    if (gathered >= max_bytes) break;
+  }
+  return Status::OK();
+}
+
+Result<int64_t> LogSegment::OffsetForTimestamp(int64_t ts_ms) const {
+  // The sparse time index narrows the scan; then scan records for precision.
+  int64_t start = base_offset_;
+  auto it = std::upper_bound(time_index_.begin(), time_index_.end(), ts_ms,
+                             [](int64_t target, const TimeIndexEntry& e) {
+                               return target < e.timestamp_ms;
+                             });
+  if (it != time_index_.begin()) {
+    --it;
+    start = it->offset;
+  }
+  std::vector<Record> records;
+  int64_t cursor = start;
+  while (cursor < next_offset_) {
+    records.clear();
+    LIQUID_RETURN_NOT_OK(Read(cursor, kScanChunkBytes, &records));
+    if (records.empty()) break;
+    for (const Record& record : records) {
+      if (record.timestamp_ms >= ts_ms) return record.offset;
+    }
+    cursor = records.back().offset + 1;
+  }
+  return Status::NotFound("no record at or after timestamp");
+}
+
+Status LogSegment::Drop() {
+  file_.reset();
+  return disk_->Remove(file_name_);
+}
+
+}  // namespace liquid::storage

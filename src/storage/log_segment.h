@@ -1,0 +1,108 @@
+#ifndef LIQUID_STORAGE_LOG_SEGMENT_H_
+#define LIQUID_STORAGE_LOG_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk.h"
+#include "storage/page_cache.h"
+#include "storage/record.h"
+
+namespace liquid::storage {
+
+/// One file of a partition's append-only log, plus its in-memory sparse offset
+/// index and time index (§4.1: "brokers maintain an incrementally-built index
+/// file that is used to select the chunks of the log at which requested
+/// offsets are stored").
+///
+/// Not internally synchronized: the owning Log serializes appends (exclusive)
+/// against reads (shared).
+class LogSegment {
+ public:
+  /// A sparse index entry every `index_interval_bytes` of appended data.
+  /// An interval of 0 indexes every record (dense); SIZE_MAX disables the
+  /// index entirely (forces scans) — both used by the index ablation bench.
+  struct Config {
+    size_t index_interval_bytes = 4096;
+  };
+
+  /// Opens (creating if absent) the segment whose data file is
+  /// "<name_prefix><base_offset, 20 digits>.log". Recovers the index by
+  /// scanning existing data, truncating any corrupt tail.
+  /// `cache` may be null (reads go straight to disk).
+  static Result<std::unique_ptr<LogSegment>> Open(Disk* disk, PageCache* cache,
+                                                  const std::string& name_prefix,
+                                                  int64_t base_offset,
+                                                  const Config& config);
+
+  LogSegment(const LogSegment&) = delete;
+  LogSegment& operator=(const LogSegment&) = delete;
+
+  /// Appends records whose offsets are already assigned (ascending, all
+  /// >= next_offset()). Gaps are legal: compaction produces them.
+  Status Append(const std::vector<Record>& records);
+
+  /// Collects records with offset >= from_offset until `max_bytes` of encoded
+  /// data have been gathered (at least one record if any qualifies).
+  Status Read(int64_t from_offset, size_t max_bytes,
+              std::vector<Record>* out) const;
+
+  /// First offset whose record timestamp is >= ts_ms, or NotFound.
+  Result<int64_t> OffsetForTimestamp(int64_t ts_ms) const;
+
+  int64_t base_offset() const { return base_offset_; }
+  /// One past the last appended offset; == base_offset() when empty.
+  int64_t next_offset() const { return next_offset_; }
+  uint64_t size_bytes() const { return end_pos_; }
+  int64_t max_timestamp_ms() const { return max_timestamp_ms_; }
+  bool empty() const { return next_offset_ == base_offset_; }
+  const std::string& file_name() const { return file_name_; }
+
+  Status Flush() { return file_->Sync(); }
+
+  /// Removes the backing file. The segment must not be used afterwards.
+  Status Drop();
+
+ private:
+  LogSegment(Disk* disk, std::unique_ptr<File> file, std::string file_name,
+             int64_t base_offset, const Config& config);
+
+  /// Scans existing bytes to rebuild the index; truncates a corrupt tail.
+  Status Recover();
+
+  /// Greatest indexed file position whose offset is <= target.
+  uint64_t LookupPosition(int64_t target_offset) const;
+
+  void MaybeIndex(int64_t offset, uint64_t position, int64_t timestamp_ms,
+                  size_t record_bytes);
+
+  struct IndexEntry {
+    int64_t offset;
+    uint64_t position;
+  };
+  struct TimeIndexEntry {
+    int64_t timestamp_ms;
+    int64_t offset;
+  };
+
+  Disk* disk_;
+  std::unique_ptr<File> file_;
+  std::string file_name_;
+  int64_t base_offset_;
+  Config config_;
+
+  std::vector<IndexEntry> index_;
+  std::vector<TimeIndexEntry> time_index_;
+  size_t bytes_since_index_ = 0;
+  int64_t next_offset_;
+  uint64_t end_pos_ = 0;
+  int64_t max_timestamp_ms_ = 0;
+};
+
+}  // namespace liquid::storage
+
+#endif  // LIQUID_STORAGE_LOG_SEGMENT_H_

@@ -1,0 +1,236 @@
+#include "storage/page_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace liquid::storage {
+
+PageCache::PageCache(PageCacheConfig config, Clock* clock)
+    : config_(config), clock_(clock) {}
+
+uint64_t PageCache::NewFileId() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_file_id_++;
+}
+
+void PageCache::Touch(Page* page) {
+  lru_.erase(page->lru_it);
+  lru_.push_front(page->key);
+  page->lru_it = lru_.begin();
+}
+
+void PageCache::InsertPage(uint64_t key, std::string bytes, int64_t write_ms) {
+  auto it = pages_.find(key);
+  if (it != pages_.end()) {
+    bytes_cached_ -= it->second.bytes.size();
+    it->second.bytes = std::move(bytes);
+    if (write_ms != 0) {
+      it->second.written = true;
+      it->second.last_write_ms = std::max(it->second.last_write_ms, write_ms);
+    }
+    bytes_cached_ += it->second.bytes.size();
+    Touch(&it->second);
+    return;
+  }
+  Page page;
+  page.key = key;
+  page.written = write_ms != 0;
+  page.last_write_ms = write_ms;
+  bytes_cached_ += bytes.size();
+  page.bytes = std::move(bytes);
+  lru_.push_front(key);
+  page.lru_it = lru_.begin();
+  pages_.emplace(key, std::move(page));
+  EvictIfNeeded();
+}
+
+void PageCache::EvictIfNeeded() {
+  const int64_t now = clock_->NowMs();
+  // Pass 0 evicts only clean (flushed) pages, preserving the freshly written
+  // head of the log in RAM; pass 1 force-evicts dirty pages if still over
+  // capacity (the OS would block on writeback here).
+  for (int pass = 0; pass < 2 && bytes_cached_ > config_.capacity_bytes; ++pass) {
+    const bool forced = pass == 1;
+    auto it = lru_.end();
+    while (bytes_cached_ > config_.capacity_bytes && it != lru_.begin()) {
+      --it;
+      auto pit = pages_.find(*it);
+      if (pit == pages_.end()) {
+        it = lru_.erase(it);
+        continue;
+      }
+      Page& page = pit->second;
+      const bool dirty =
+          page.written && now - page.last_write_ms < config_.flush_after_ms;
+      if (dirty && !forced) continue;
+      if (dirty) ++forced_evictions_;
+      bytes_cached_ -= page.bytes.size();
+      pages_.erase(pit);
+      it = lru_.erase(it);
+      ++evictions_;
+    }
+  }
+}
+
+Status PageCache::Read(uint64_t file_id, const File& file, uint64_t offset,
+                       size_t n, std::string* out) {
+  out->clear();
+  if (n == 0) return Status::OK();
+  const uint64_t file_size = file.Size();
+  if (offset >= file_size) return Status::OK();
+  n = std::min<uint64_t>(n, file_size - offset);
+  out->reserve(n);
+
+  const size_t page_size = config_.page_size;
+  uint64_t page_no = offset / page_size;
+  const uint64_t last_page = (offset + n - 1) / page_size;
+
+  while (page_no <= last_page) {
+    const uint64_t key = MakeKey(file_id, page_no);
+    std::string page_bytes;
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pages_.find(key);
+      if (it != pages_.end()) {
+        page_bytes = it->second.bytes;
+        Touch(&it->second);
+        ++hits_;
+        hit = true;
+      } else {
+        ++misses_;
+      }
+    }
+    if (!hit) {
+      // Miss: fetch this page plus read-ahead in one sequential disk read
+      // (single seek), as the OS would.
+      const int ahead = std::max(1, config_.readahead_pages);
+      const uint64_t fetch_bytes = static_cast<uint64_t>(ahead) * page_size;
+      std::string chunk;
+      LIQUID_RETURN_NOT_OK(file.ReadAt(page_no * page_size, fetch_bytes, &chunk));
+      if (chunk.empty()) break;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (uint64_t i = 0; i * page_size < chunk.size(); ++i) {
+          const size_t begin = i * page_size;
+          const size_t len = std::min(page_size, chunk.size() - begin);
+          InsertPage(MakeKey(file_id, page_no + i), chunk.substr(begin, len), 0);
+        }
+      }
+      page_bytes = chunk.substr(0, std::min<size_t>(page_size, chunk.size()));
+    }
+    // Copy the requested byte range out of this page.
+    const uint64_t page_start = page_no * page_size;
+    const uint64_t want_begin = std::max<uint64_t>(offset, page_start);
+    const uint64_t want_end =
+        std::min<uint64_t>(offset + n, page_start + page_bytes.size());
+    if (want_begin >= want_end) break;
+    out->append(page_bytes.data() + (want_begin - page_start),
+                want_end - want_begin);
+    ++page_no;
+  }
+  return Status::OK();
+}
+
+void PageCache::NoteAppend(uint64_t file_id, uint64_t offset, const Slice& data) {
+  if (data.empty()) return;
+  const size_t page_size = config_.page_size;
+  const int64_t now = clock_->NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t pos = 0;
+  while (pos < data.size()) {
+    const uint64_t abs = offset + pos;
+    const uint64_t page_no = abs / page_size;
+    const uint64_t page_start = page_no * page_size;
+    const size_t in_page_off = static_cast<size_t>(abs - page_start);
+    const size_t len =
+        std::min<size_t>(page_size - in_page_off, data.size() - pos);
+
+    const uint64_t key = MakeKey(file_id, page_no);
+    auto it = pages_.find(key);
+    if (it == pages_.end()) {
+      Page page;
+      page.key = key;
+      page.written = true;
+      page.last_write_ms = now;
+      lru_.push_front(key);
+      page.lru_it = lru_.begin();
+      it = pages_.emplace(key, std::move(page)).first;
+    } else {
+      it->second.written = true;
+      it->second.last_write_ms = now;
+      Touch(&it->second);
+    }
+    Page& page = it->second;
+    if (page.bytes.size() < in_page_off + len) {
+      bytes_cached_ += in_page_off + len - page.bytes.size();
+      page.bytes.resize(in_page_off + len);
+    }
+    std::memcpy(page.bytes.data() + in_page_off, data.data() + pos, len);
+    pos += len;
+  }
+  EvictIfNeeded();
+}
+
+void PageCache::Invalidate(uint64_t file_id, uint64_t from_offset) {
+  const uint64_t first_page = from_offset / config_.page_size;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    const uint64_t fid = it->first >> 40;
+    const uint64_t page_no = it->first & ((1ull << 40) - 1);
+    if (fid == file_id && page_no >= first_page) {
+      bytes_cached_ -= it->second.bytes.size();
+      lru_.erase(it->second.lru_it);
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int64_t PageCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+int64_t PageCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+int64_t PageCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+int64_t PageCache::forced_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return forced_evictions_;
+}
+size_t PageCache::bytes_cached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_cached_;
+}
+
+CachedFile::CachedFile(std::unique_ptr<File> base, PageCache* cache)
+    : base_(std::move(base)), cache_(cache), file_id_(cache->NewFileId()) {}
+
+Status CachedFile::Append(const Slice& data) {
+  const uint64_t offset = base_->Size();
+  LIQUID_RETURN_NOT_OK(base_->Append(data));
+  cache_->NoteAppend(file_id_, offset, data);
+  return Status::OK();
+}
+
+Status CachedFile::ReadAt(uint64_t offset, size_t n, std::string* out) const {
+  return cache_->Read(file_id_, *base_, offset, n, out);
+}
+
+uint64_t CachedFile::Size() const { return base_->Size(); }
+
+Status CachedFile::Sync() { return base_->Sync(); }
+
+Status CachedFile::Truncate(uint64_t size) {
+  LIQUID_RETURN_NOT_OK(base_->Truncate(size));
+  cache_->Invalidate(file_id_, size);
+  return Status::OK();
+}
+
+}  // namespace liquid::storage

@@ -1,0 +1,107 @@
+#include "storage/record.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace liquid::storage {
+
+namespace {
+constexpr uint8_t kAttrTombstone = 1u << 0;
+constexpr uint8_t kAttrHasKey = 1u << 1;
+constexpr uint8_t kAttrControl = 1u << 2;
+// length + crc + offset + timestamp + producer_id + sequence + leader_epoch
+// + attributes
+constexpr size_t kHeaderFixedBytes = 4 + 4 + 8 + 8 + 8 + 4 + 4 + 1;
+}  // namespace
+
+size_t Record::EncodedSize() const {
+  return kHeaderFixedBytes + VarintLength(key.size()) + key.size() +
+         VarintLength(value.size()) + value.size();
+}
+
+void EncodeRecord(const Record& record, std::string* dst) {
+  std::string body;
+  body.reserve(record.EncodedSize() - 8);
+  PutFixed64(&body, static_cast<uint64_t>(record.offset));
+  PutFixed64(&body, static_cast<uint64_t>(record.timestamp_ms));
+  PutFixed64(&body, static_cast<uint64_t>(record.producer_id));
+  PutFixed32(&body, static_cast<uint32_t>(record.sequence));
+  PutFixed32(&body, static_cast<uint32_t>(record.leader_epoch));
+  uint8_t attrs = 0;
+  if (record.is_tombstone) attrs |= kAttrTombstone;
+  if (record.has_key) attrs |= kAttrHasKey;
+  if (record.is_control) attrs |= kAttrControl;
+  body.push_back(static_cast<char>(attrs));
+  PutLengthPrefixed(&body, record.key);
+  PutLengthPrefixed(&body, record.value);
+
+  const uint32_t crc = crc32c::Mask(crc32c::Value(body.data(), body.size()));
+  PutFixed32(dst, static_cast<uint32_t>(body.size()) + 4);  // +4 for the crc
+  PutFixed32(dst, crc);
+  dst->append(body);
+}
+
+Status DecodeRecord(Slice* input, Record* record) {
+  if (input->empty()) return Status::OutOfRange("no more records");
+  if (input->size() < 8) return Status::Corruption("record header truncated");
+  uint32_t length = 0;
+  Slice peek = *input;
+  LIQUID_RETURN_NOT_OK(GetFixed32(&peek, &length));
+  if (length < 4 + 8 + 8 + 8 + 4 + 4 + 1 + 2) {
+    return Status::Corruption("record length too small");
+  }
+  if (peek.size() < length) return Status::Corruption("record body truncated");
+
+  uint32_t masked_crc = 0;
+  LIQUID_RETURN_NOT_OK(GetFixed32(&peek, &masked_crc));
+  const Slice body(peek.data(), length - 4);
+  const uint32_t actual = crc32c::Value(body.data(), body.size());
+  if (crc32c::Unmask(masked_crc) != actual) {
+    return Status::Corruption("record crc mismatch");
+  }
+
+  Slice cursor = body;
+  uint64_t offset = 0, timestamp = 0, producer_id = 0;
+  uint32_t sequence = 0, leader_epoch = 0;
+  LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &offset));
+  LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &timestamp));
+  LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &producer_id));
+  LIQUID_RETURN_NOT_OK(GetFixed32(&cursor, &sequence));
+  LIQUID_RETURN_NOT_OK(GetFixed32(&cursor, &leader_epoch));
+  if (cursor.empty()) return Status::Corruption("record attributes missing");
+  const uint8_t attrs = static_cast<uint8_t>(cursor[0]);
+  cursor.RemovePrefix(1);
+  Slice key, value;
+  LIQUID_RETURN_NOT_OK(GetLengthPrefixed(&cursor, &key));
+  LIQUID_RETURN_NOT_OK(GetLengthPrefixed(&cursor, &value));
+
+  record->offset = static_cast<int64_t>(offset);
+  record->timestamp_ms = static_cast<int64_t>(timestamp);
+  record->producer_id = static_cast<int64_t>(producer_id);
+  record->sequence = static_cast<int32_t>(sequence);
+  record->leader_epoch = static_cast<int32_t>(leader_epoch);
+  record->is_tombstone = (attrs & kAttrTombstone) != 0;
+  record->has_key = (attrs & kAttrHasKey) != 0;
+  record->is_control = (attrs & kAttrControl) != 0;
+  record->key = key.ToString();
+  record->value = value.ToString();
+
+  input->RemovePrefix(4 + length);
+  return Status::OK();
+}
+
+Status DecodeRecords(Slice input, std::vector<Record>* records) {
+  while (!input.empty()) {
+    // A truncated tail (from a size-limited fetch) is expected: stop cleanly
+    // when the remaining bytes cannot hold the next full record.
+    if (input.size() < 4) break;
+    const uint32_t length = DecodeFixed32(input.data());
+    if (input.size() < 4 + static_cast<size_t>(length)) break;
+    Record record;
+    LIQUID_RETURN_NOT_OK(DecodeRecord(&input, &record));
+    records->push_back(std::move(record));
+  }
+  return Status::OK();
+}
+
+}  // namespace liquid::storage

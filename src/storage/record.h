@@ -1,0 +1,104 @@
+#ifndef LIQUID_STORAGE_RECORD_H_
+#define LIQUID_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace liquid::storage {
+
+/// Producer identity for idempotent publishing (the "exactly-once effort"
+/// the paper mentions in §4.3). kNoProducerId means plain at-least-once.
+constexpr int64_t kNoProducerId = -1;
+
+/// A message in the commit log (§3.1 "data is divided into messages").
+///
+/// Records are keyed (possibly with an absent key), carry a timestamp used
+/// for metadata-based access and retention, and may be tombstones (value
+/// absent), which log compaction uses to delete keys.
+struct Record {
+  int64_t offset = -1;  // Assigned by the log on append.
+  int64_t timestamp_ms = 0;
+  std::string key;
+  std::string value;
+  bool has_key = true;
+  bool is_tombstone = false;
+  /// Control records are protocol-internal (transaction commit/abort
+  /// markers); they occupy offsets but are never delivered to applications.
+  bool is_control = false;
+
+  // Idempotent-producer metadata (optional extension).
+  int64_t producer_id = kNoProducerId;
+  int32_t sequence = -1;
+  /// Epoch of the leader that appended this record (KIP-101-style log
+  /// reconciliation); -1 before a leader stamps it.
+  int32_t leader_epoch = -1;
+
+  static Record KeyValue(std::string k, std::string v, int64_t ts_ms = 0) {
+    Record r;
+    r.key = std::move(k);
+    r.value = std::move(v);
+    r.timestamp_ms = ts_ms;
+    return r;
+  }
+
+  static Record ValueOnly(std::string v, int64_t ts_ms = 0) {
+    Record r;
+    r.has_key = false;
+    r.value = std::move(v);
+    r.timestamp_ms = ts_ms;
+    return r;
+  }
+
+  static Record Tombstone(std::string k, int64_t ts_ms = 0) {
+    Record r;
+    r.key = std::move(k);
+    r.is_tombstone = true;
+    r.timestamp_ms = ts_ms;
+    return r;
+  }
+
+  /// Transaction end marker for `pid` ("commit" or "abort" in the value).
+  static Record ControlMarker(int64_t pid, bool committed) {
+    Record r;
+    r.has_key = false;
+    r.is_control = true;
+    r.producer_id = pid;
+    r.value = committed ? "commit" : "abort";
+    return r;
+  }
+
+  /// On-disk size of this record including framing.
+  size_t EncodedSize() const;
+};
+
+/// Appends the wire encoding of `record` to *dst. Layout:
+///   fixed32 length          (bytes after this field)
+///   fixed32 crc             (masked CRC32C of everything after this field)
+///   fixed64 offset
+///   fixed64 timestamp_ms
+///   fixed64 producer_id
+///   fixed32 sequence
+///   fixed32 leader_epoch
+///   byte    attributes      (bit0 tombstone, bit1 has_key, bit2 control)
+///   varint  key_len,  key bytes
+///   varint  value_len, value bytes
+void EncodeRecord(const Record& record, std::string* dst);
+
+/// Decodes one record from the front of `input`, advancing past it.
+/// Returns Corruption on CRC mismatch or truncation; OutOfRange if `input`
+/// is empty.
+Status DecodeRecord(Slice* input, Record* record);
+
+/// Decodes as many complete records as `input` holds, stopping cleanly at a
+/// truncated tail (which fetch responses produce by design).
+Status DecodeRecords(Slice input, std::vector<Record>* records);
+
+}  // namespace liquid::storage
+
+#endif  // LIQUID_STORAGE_RECORD_H_

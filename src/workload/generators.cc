@@ -1,0 +1,110 @@
+#include "workload/generators.h"
+
+namespace liquid::workload {
+
+std::map<std::string, std::string> ParseEvent(const std::string& payload) {
+  std::map<std::string, std::string> out;
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    const size_t semi = payload.find(';', pos);
+    const size_t end = semi == std::string::npos ? payload.size() : semi;
+    const size_t eq = payload.find('=', pos);
+    if (eq != std::string::npos && eq < end) {
+      out[payload.substr(pos, eq - pos)] = payload.substr(eq + 1, end - eq - 1);
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+std::string EncodeEvent(const std::map<std::string, std::string>& fields) {
+  std::string out;
+  for (const auto& [key, value] : fields) {
+    if (!out.empty()) out += ';';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+RumEventGenerator::RumEventGenerator(Options options)
+    : options_(options), rng_(options.seed) {}
+
+storage::Record RumEventGenerator::Next(int64_t timestamp_ms) {
+  const int cdn = static_cast<int>(rng_.Uniform(options_.num_cdns));
+  int64_t load_ms =
+      options_.base_load_ms +
+      static_cast<int64_t>(rng_.Uniform(options_.load_jitter_ms + 1));
+  if (count_ >= options_.anomaly_start_event &&
+      count_ < options_.anomaly_end_event && cdn == options_.anomalous_cdn) {
+    load_ms = options_.anomaly_load_ms;
+  }
+  std::map<std::string, std::string> fields;
+  fields["page"] = "page" + std::to_string(rng_.Uniform(options_.num_pages));
+  fields["load_ms"] = std::to_string(load_ms);
+  fields["region"] =
+      "region" + std::to_string(rng_.Uniform(options_.num_regions));
+  fields["cdn"] = "cdn" + std::to_string(cdn);
+  const std::string session = "session" + std::to_string(rng_.Uniform(100000));
+  ++count_;
+  return storage::Record::KeyValue(session, EncodeEvent(fields), timestamp_ms);
+}
+
+CallGraphGenerator::CallGraphGenerator(Options options)
+    : options_(options), rng_(options.seed) {}
+
+void CallGraphGenerator::EmitSpans(const std::string& request_id,
+                                   int span_counter_base, int parent, int depth,
+                                   int64_t timestamp_ms,
+                                   std::vector<storage::Record>* out,
+                                   int* next_span) {
+  const int span = (*next_span)++;
+  const int service = static_cast<int>(rng_.Uniform(options_.num_services));
+  int64_t latency_us =
+      options_.base_latency_us + static_cast<int64_t>(rng_.Uniform(1000));
+  if (service == options_.slow_service) latency_us = options_.slow_latency_us;
+
+  std::map<std::string, std::string> fields;
+  fields["span"] = std::to_string(span);
+  fields["parent"] = std::to_string(parent);
+  fields["service"] = "svc" + std::to_string(service);
+  fields["latency_us"] = std::to_string(latency_us);
+  out->push_back(
+      storage::Record::KeyValue(request_id, EncodeEvent(fields), timestamp_ms));
+
+  if (depth >= options_.max_depth) return;
+  const int children = static_cast<int>(rng_.Uniform(options_.max_fanout + 1));
+  for (int i = 0; i < children; ++i) {
+    EmitSpans(request_id, span_counter_base, span, depth + 1, timestamp_ms, out,
+              next_span);
+  }
+}
+
+std::vector<storage::Record> CallGraphGenerator::NextRequest(
+    int64_t timestamp_ms) {
+  const std::string request_id = "req" + std::to_string(requests_++);
+  std::vector<storage::Record> out;
+  int next_span = 0;
+  EmitSpans(request_id, 0, -1, 1, timestamp_ms, &out, &next_span);
+  // Shuffle to mimic out-of-order arrival from distributed services.
+  for (size_t i = out.size(); i > 1; --i) {
+    std::swap(out[i - 1], out[rng_.Uniform(i)]);
+  }
+  return out;
+}
+
+ProfileUpdateGenerator::ProfileUpdateGenerator(Options options)
+    : options_(options),
+      zipf_(options.num_users, options.zipf_theta, options.seed),
+      rng_(options.seed * 31 + 1) {}
+
+storage::Record ProfileUpdateGenerator::Next(int64_t timestamp_ms) {
+  const uint64_t user = zipf_.Next();
+  ++count_;
+  return storage::Record::KeyValue("user" + std::to_string(user),
+                                   rng_.Bytes(options_.value_bytes),
+                                   timestamp_ms);
+}
+
+}  // namespace liquid::workload

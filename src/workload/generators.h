@@ -1,0 +1,114 @@
+#ifndef LIQUID_WORKLOAD_GENERATORS_H_
+#define LIQUID_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/record.h"
+
+namespace liquid::workload {
+
+/// Parses "k1=v1;k2=v2;..." event payloads produced by the generators.
+std::map<std::string, std::string> ParseEvent(const std::string& payload);
+std::string EncodeEvent(const std::map<std::string, std::string>& fields);
+
+/// Real-user-monitoring page-load events (§5.1 "site speed monitoring"):
+/// each event has a timestamp, page, load time, client region and serving
+/// CDN. A configurable anomaly window makes one CDN pathologically slow so
+/// detection latency can be measured.
+class RumEventGenerator {
+ public:
+  struct Options {
+    int num_pages = 50;
+    int num_regions = 8;
+    int num_cdns = 4;
+    int64_t base_load_ms = 200;
+    int64_t load_jitter_ms = 150;
+    /// Events in [anomaly_start_event, anomaly_end_event) served by
+    /// `anomalous_cdn` take anomaly_load_ms.
+    int64_t anomaly_start_event = -1;
+    int64_t anomaly_end_event = -1;
+    int anomalous_cdn = 0;
+    int64_t anomaly_load_ms = 5000;
+    uint64_t seed = 42;
+  };
+
+  explicit RumEventGenerator(Options options);
+
+  /// Next event; key = session id, value = encoded fields
+  /// (page, load_ms, region, cdn), timestamp = event time.
+  storage::Record Next(int64_t timestamp_ms);
+
+  int64_t events_generated() const { return count_; }
+
+ private:
+  Options options_;
+  Random rng_;
+  int64_t count_ = 0;
+};
+
+/// REST call-tree events (§5.1 "call graph assembly"): each user request
+/// fans out into a tree of spans sharing the request's unique id. Spans of a
+/// request are emitted contiguously but child-shuffled; the assembly job
+/// groups them by request id and rebuilds the tree.
+class CallGraphGenerator {
+ public:
+  struct Options {
+    int max_fanout = 3;
+    int max_depth = 3;
+    int num_services = 20;
+    int64_t base_latency_us = 500;
+    /// One service can be made slow to exercise slow-call detection.
+    int slow_service = -1;
+    int64_t slow_latency_us = 50000;
+    uint64_t seed = 7;
+  };
+
+  explicit CallGraphGenerator(Options options);
+
+  /// Generates all spans of one request. Key = request id; value = encoded
+  /// fields (span, parent, service, latency_us).
+  std::vector<storage::Record> NextRequest(int64_t timestamp_ms);
+
+  int64_t requests_generated() const { return requests_; }
+
+ private:
+  void EmitSpans(const std::string& request_id, int span_counter_base,
+                 int parent, int depth, int64_t timestamp_ms,
+                 std::vector<storage::Record>* out, int* next_span);
+
+  Options options_;
+  Random rng_;
+  int64_t requests_ = 0;
+};
+
+/// Keyed user-content updates with Zipf-skewed popularity (§5.1 "data
+/// cleaning and normalization", §4.1 log compaction: "only a small percentage
+/// of data changes periodically, such as user profile updates").
+class ProfileUpdateGenerator {
+ public:
+  struct Options {
+    uint64_t num_users = 10000;
+    double zipf_theta = 0.9;
+    size_t value_bytes = 64;
+    uint64_t seed = 99;
+  };
+
+  explicit ProfileUpdateGenerator(Options options);
+
+  /// Key = "user<N>", value = fresh profile payload.
+  storage::Record Next(int64_t timestamp_ms);
+
+ private:
+  Options options_;
+  ZipfGenerator zipf_;
+  Random rng_;
+  int64_t count_ = 0;
+};
+
+}  // namespace liquid::workload
+
+#endif  // LIQUID_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,135 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace liquid {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed32(&buf, std::numeric_limits<uint32_t>::max());
+  ASSERT_EQ(buf.size(), 16u);
+  EXPECT_EQ(DecodeFixed32(buf.data()), 0u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 4), 1u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 8), 0xdeadbeefu);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 12), std::numeric_limits<uint32_t>::max());
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0);
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  PutFixed64(&buf, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(DecodeFixed64(buf.data()), 0u);
+  EXPECT_EQ(DecodeFixed64(buf.data() + 8), 0x0123456789abcdefull);
+  EXPECT_EQ(DecodeFixed64(buf.data() + 16), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(CodingTest, Fixed32IsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x01020304);
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0x01);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, Encodes) {
+  const uint64_t value = GetParam();
+  std::string buf;
+  PutVarint64(&buf, value);
+  EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(value));
+  Slice input(buf);
+  uint64_t decoded = 0;
+  ASSERT_TRUE(GetVarint64(&input, &decoded).ok());
+  EXPECT_EQ(decoded, value);
+  EXPECT_TRUE(input.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+                      (1ull << 21) - 1, 1ull << 21, (1ull << 28) - 1,
+                      1ull << 35, 1ull << 56,
+                      std::numeric_limits<uint64_t>::max()));
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  Slice input(buf);
+  uint32_t value = 0;
+  EXPECT_TRUE(GetVarint32(&input, &value).IsCorruption());
+}
+
+TEST(CodingTest, VarintTruncatedIsCorruption) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.resize(2);  // Chop continuation bytes.
+  Slice input(buf);
+  uint64_t value = 0;
+  EXPECT_TRUE(GetVarint64(&input, &value).IsCorruption());
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'z'));
+  Slice input(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&input, &a).ok());
+  ASSERT_TRUE(GetLengthPrefixed(&input, &b).ok());
+  ASSERT_TRUE(GetLengthPrefixed(&input, &c).ok());
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedIsCorruption) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello world");
+  buf.resize(buf.size() - 3);
+  Slice input(buf);
+  Slice out;
+  EXPECT_TRUE(GetLengthPrefixed(&input, &out).IsCorruption());
+}
+
+TEST(CodingTest, GetFixedFromShortInputIsCorruption) {
+  std::string buf = "abc";
+  Slice input(buf);
+  uint32_t v32 = 0;
+  EXPECT_TRUE(GetFixed32(&input, &v32).IsCorruption());
+  uint64_t v64 = 0;
+  EXPECT_TRUE(GetFixed64(&input, &v64).IsCorruption());
+}
+
+TEST(CodingTest, VarintLengthMatchesSpec) {
+  EXPECT_EQ(VarintLength(0), 1);
+  EXPECT_EQ(VarintLength(127), 1);
+  EXPECT_EQ(VarintLength(128), 2);
+  EXPECT_EQ(VarintLength(std::numeric_limits<uint64_t>::max()), 10);
+}
+
+TEST(SliceTest, CompareOrdersLexicographically) {
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").Compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").Compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);  // Prefix sorts first.
+}
+
+TEST(SliceTest, StartsWithAndRemovePrefix) {
+  Slice s("topic-partition");
+  EXPECT_TRUE(s.StartsWith("topic"));
+  EXPECT_FALSE(s.StartsWith("partition"));
+  s.RemovePrefix(6);
+  EXPECT_EQ(s.ToString(), "partition");
+}
+
+}  // namespace
+}  // namespace liquid

@@ -1,0 +1,57 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace liquid {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC32C test vector: "123456789" -> 0xe3069283.
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xe3069283u);
+  // All-zero 32 bytes -> 0x8a9136aa (iSCSI test vector).
+  std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c::Value(zeros.data(), zeros.size()), 0x8a9136aau);
+}
+
+TEST(Crc32cTest, EmptyInput) {
+  EXPECT_EQ(crc32c::Value("", 0), 0u);
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(crc32c::Value("hello", 5), crc32c::Value("hellp", 5));
+  EXPECT_NE(crc32c::Value("hello", 5), crc32c::Value("hell", 4));
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = crc32c::Value(data.data(), data.size());
+  for (size_t split : {size_t{0}, size_t{1}, size_t{10}, data.size()}) {
+    const uint32_t part1 = crc32c::Value(data.data(), split);
+    const uint32_t combined =
+        crc32c::Extend(part1, data.data() + split, data.size() - split);
+    EXPECT_EQ(combined, whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32cTest, MaskUnmaskRoundTrip) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu, 0xe3069283u}) {
+    EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+    EXPECT_NE(crc32c::Mask(crc), crc);  // Masking actually changes the value.
+  }
+}
+
+TEST(Crc32cTest, SensitiveToEveryByte) {
+  std::string data(64, 'a');
+  const uint32_t base = crc32c::Value(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); i += 7) {
+    std::string mutated = data;
+    mutated[i] = 'b';
+    EXPECT_NE(crc32c::Value(mutated.data(), mutated.size()), base)
+        << "flip at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace liquid

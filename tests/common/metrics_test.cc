@@ -1,0 +1,116 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace liquid {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(5);
+  EXPECT_EQ(c.value(), 6);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  Gauge g;
+  g.Set(10);
+  g.Set(3);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 100);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 100);
+}
+
+TEST(HistogramTest, QuantilesAreApproximatelyRight) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Record(i);
+  // Log-bucketed: allow ~5% relative error.
+  EXPECT_NEAR(static_cast<double>(h.ValueAtQuantile(0.5)), 5000.0, 300.0);
+  EXPECT_NEAR(static_cast<double>(h.ValueAtQuantile(0.99)), 9900.0, 600.0);
+  EXPECT_EQ(h.max(), 10000);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_NEAR(h.mean(), 5000.5, 1.0);  // Mean is exact (sum/count).
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 32; ++i) h.Record(i);
+  // Values below 2^kSubBucketBits land in exact buckets.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0);
+  EXPECT_EQ(h.max(), 31);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), -5);  // min/max track raw values...
+  EXPECT_EQ(h.ValueAtQuantile(0.5), -5);  // ...and quantiles clamp to them.
+}
+
+TEST(HistogramTest, SummaryMentionsFields) {
+  Histogram h;
+  h.Record(42);
+  const std::string summary = h.Summary();
+  EXPECT_NE(summary.find("count=1"), std::string::npos);
+  EXPECT_NE(summary.find("p99="), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SameNameSameInstance) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->value(), 1);
+}
+
+TEST(MetricsRegistryTest, CounterValuesSnapshot) {
+  MetricsRegistry registry;
+  registry.GetCounter("a")->Increment(3);
+  registry.GetCounter("b")->Increment(7);
+  auto snapshot = registry.CounterValues();
+  EXPECT_EQ(snapshot.at("a"), 3);
+  EXPECT_EQ(snapshot.at("b"), 7);
+}
+
+TEST(MetricsRegistryTest, DistinctKindsDoNotCollide) {
+  MetricsRegistry registry;
+  registry.GetCounter("name")->Increment();
+  registry.GetGauge("name")->Set(5);
+  registry.GetHistogram("name")->Record(1);
+  EXPECT_EQ(registry.GetCounter("name")->value(), 1);
+  EXPECT_EQ(registry.GetGauge("name")->value(), 5);
+  EXPECT_EQ(registry.GetHistogram("name")->count(), 1);
+}
+
+}  // namespace
+}  // namespace liquid

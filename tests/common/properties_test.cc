@@ -1,0 +1,48 @@
+#include "common/properties.h"
+
+#include <gtest/gtest.h>
+
+namespace liquid {
+namespace {
+
+TEST(PropertiesTest, MissingKeyReturnsFallback) {
+  Properties props;
+  EXPECT_EQ(props.Get("absent", "fallback"), "fallback");
+  EXPECT_EQ(props.GetInt("absent", 42), 42);
+  EXPECT_DOUBLE_EQ(props.GetDouble("absent", 1.5), 1.5);
+  EXPECT_TRUE(props.GetBool("absent", true));
+  EXPECT_FALSE(props.Has("absent"));
+}
+
+TEST(PropertiesTest, TypedRoundTrips) {
+  Properties props;
+  props.Set("s", "text");
+  props.SetInt("i", -17);
+  props.SetDouble("d", 2.75);
+  props.SetBool("b1", true);
+  props.SetBool("b0", false);
+  EXPECT_EQ(props.Get("s"), "text");
+  EXPECT_EQ(props.GetInt("i", 0), -17);
+  EXPECT_DOUBLE_EQ(props.GetDouble("d", 0), 2.75);
+  EXPECT_TRUE(props.GetBool("b1", false));
+  EXPECT_FALSE(props.GetBool("b0", true));
+}
+
+TEST(PropertiesTest, BoolAcceptsOneAsTrue) {
+  Properties props;
+  props.Set("flag", "1");
+  EXPECT_TRUE(props.GetBool("flag", false));
+  props.Set("flag", "yes");  // Anything else is false.
+  EXPECT_FALSE(props.GetBool("flag", true));
+}
+
+TEST(PropertiesTest, OverwriteReplaces) {
+  Properties props;
+  props.SetInt("key", 1);
+  props.SetInt("key", 2);
+  EXPECT_EQ(props.GetInt("key", 0), 2);
+  EXPECT_EQ(props.values().size(), 1u);
+}
+
+}  // namespace
+}  // namespace liquid

@@ -1,0 +1,97 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace liquid {
+namespace {
+
+TEST(RandomTest, Deterministic) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliRespectsP) {
+  Random rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits, 3000, 300);
+}
+
+TEST(RandomTest, BytesHasRequestedLength) {
+  Random rng(7);
+  EXPECT_EQ(rng.Bytes(0).size(), 0u);
+  EXPECT_EQ(rng.Bytes(57).size(), 57u);
+}
+
+TEST(RandomTest, ZeroSeedStillWorks) {
+  Random rng(0);
+  EXPECT_NE(rng.Next(), rng.Next());
+}
+
+TEST(ZipfTest, ValuesInRange) {
+  ZipfGenerator zipf(1000, 0.9, 42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnHeadKeys) {
+  ZipfGenerator zipf(10000, 0.99, 42);
+  std::map<uint64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[zipf.Next()]++;
+  // The most popular key should take far more than the uniform share.
+  int max_count = 0;
+  for (const auto& [key, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, n / 1000);  // Uniform share would be n/10000.
+  // And the distinct-key count should be well below n (heavy reuse).
+  EXPECT_LT(counts.size(), static_cast<size_t>(n) / 2);
+}
+
+TEST(ZipfTest, LowThetaIsCloserToUniform) {
+  ZipfGenerator skewed(1000, 0.99, 1), flat(1000, 0.1, 1);
+  std::map<uint64_t, int> skew_counts, flat_counts;
+  for (int i = 0; i < 20000; ++i) {
+    skew_counts[skewed.Next()]++;
+    flat_counts[flat.Next()]++;
+  }
+  int skew_max = 0, flat_max = 0;
+  for (const auto& [k, c] : skew_counts) skew_max = std::max(skew_max, c);
+  for (const auto& [k, c] : flat_counts) flat_max = std::max(flat_max, c);
+  EXPECT_GT(skew_max, flat_max);
+}
+
+}  // namespace
+}  // namespace liquid

@@ -1,0 +1,88 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace liquid {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueue) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, MinimumOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DoubleShutdownIsSafe) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();
+}
+
+TEST(ClockTest, SimulatedClockAdvancesManually) {
+  SimulatedClock clock(1000);
+  EXPECT_EQ(clock.NowMs(), 1000);
+  clock.AdvanceMs(500);
+  EXPECT_EQ(clock.NowMs(), 1500);
+  clock.SleepMs(250);  // Sleep = advance for the simulated clock.
+  EXPECT_EQ(clock.NowMs(), 1750);
+  clock.SetMs(10);
+  EXPECT_EQ(clock.NowMs(), 10);
+  EXPECT_EQ(clock.NowUs(), 10000);
+}
+
+TEST(ClockTest, SystemClockMonotonic) {
+  SystemClock clock;
+  const int64_t a = clock.NowUs();
+  const int64_t b = clock.NowUs();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace liquid

@@ -1,0 +1,198 @@
+#include "coord/coordination_service.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace liquid::coord {
+namespace {
+
+class CoordinationTest : public ::testing::Test {
+ protected:
+  CoordinationService coord_;
+};
+
+TEST_F(CoordinationTest, CreateGetSetDelete) {
+  const int64_t session = coord_.CreateSession();
+  ASSERT_TRUE(coord_.Create(session, "/a", "v1", NodeKind::kPersistent).ok());
+  EXPECT_EQ(*coord_.Get("/a"), "v1");
+  ASSERT_TRUE(coord_.Set("/a", "v2").ok());
+  EXPECT_EQ(*coord_.Get("/a"), "v2");
+  ASSERT_TRUE(coord_.Delete("/a").ok());
+  EXPECT_TRUE(coord_.Get("/a").status().IsNotFound());
+}
+
+TEST_F(CoordinationTest, CreateRequiresParent) {
+  const int64_t session = coord_.CreateSession();
+  EXPECT_TRUE(
+      coord_.Create(session, "/a/b", "", NodeKind::kPersistent).status().IsNotFound());
+  ASSERT_TRUE(coord_.Create(session, "/a", "", NodeKind::kPersistent).ok());
+  EXPECT_TRUE(coord_.Create(session, "/a/b", "", NodeKind::kPersistent).ok());
+}
+
+TEST_F(CoordinationTest, CreateDuplicateFails) {
+  const int64_t session = coord_.CreateSession();
+  ASSERT_TRUE(coord_.Create(session, "/a", "", NodeKind::kPersistent).ok());
+  EXPECT_TRUE(coord_.Create(session, "/a", "", NodeKind::kPersistent)
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(CoordinationTest, InvalidPathsRejected) {
+  const int64_t session = coord_.CreateSession();
+  EXPECT_TRUE(coord_.Create(session, "no-slash", "", NodeKind::kPersistent)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(coord_.Create(session, "/trailing/", "", NodeKind::kPersistent)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(coord_.Create(session, "//double", "", NodeKind::kPersistent)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(CoordinationTest, VersionedSetAndDelete) {
+  const int64_t session = coord_.CreateSession();
+  ASSERT_TRUE(coord_.Create(session, "/a", "v0", NodeKind::kPersistent).ok());
+  EXPECT_EQ(coord_.Stat("/a")->version, 0);
+  ASSERT_TRUE(coord_.Set("/a", "v1", 0).ok());
+  EXPECT_EQ(coord_.Stat("/a")->version, 1);
+  // Stale expected version fails.
+  EXPECT_TRUE(coord_.Set("/a", "v2", 0).IsFailedPrecondition());
+  EXPECT_TRUE(coord_.Delete("/a", 0).IsFailedPrecondition());
+  EXPECT_TRUE(coord_.Delete("/a", 1).ok());
+}
+
+TEST_F(CoordinationTest, DeleteWithChildrenFails) {
+  const int64_t session = coord_.CreateSession();
+  coord_.Create(session, "/a", "", NodeKind::kPersistent);
+  coord_.Create(session, "/a/b", "", NodeKind::kPersistent);
+  EXPECT_TRUE(coord_.Delete("/a").IsFailedPrecondition());
+  ASSERT_TRUE(coord_.Delete("/a/b").ok());
+  EXPECT_TRUE(coord_.Delete("/a").ok());
+}
+
+TEST_F(CoordinationTest, GetChildrenSorted) {
+  const int64_t session = coord_.CreateSession();
+  coord_.Create(session, "/parent", "", NodeKind::kPersistent);
+  coord_.Create(session, "/parent/c", "", NodeKind::kPersistent);
+  coord_.Create(session, "/parent/a", "", NodeKind::kPersistent);
+  coord_.Create(session, "/parent/b", "", NodeKind::kPersistent);
+  auto children = coord_.GetChildren("/parent");
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(*children, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(CoordinationTest, EphemeralNodesDieWithSession) {
+  const int64_t s1 = coord_.CreateSession();
+  const int64_t s2 = coord_.CreateSession();
+  coord_.Create(s1, "/e1", "", NodeKind::kEphemeral);
+  coord_.Create(s2, "/e2", "", NodeKind::kEphemeral);
+  coord_.Create(s1, "/p", "", NodeKind::kPersistent);
+  coord_.CloseSession(s1);
+  EXPECT_FALSE(coord_.Exists("/e1"));
+  EXPECT_TRUE(coord_.Exists("/e2"));
+  EXPECT_TRUE(coord_.Exists("/p"));  // Persistent nodes survive.
+}
+
+TEST_F(CoordinationTest, EphemeralCannotHaveChildren) {
+  const int64_t session = coord_.CreateSession();
+  coord_.Create(session, "/e", "", NodeKind::kEphemeral);
+  EXPECT_TRUE(coord_.Create(session, "/e/child", "", NodeKind::kPersistent)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(CoordinationTest, ExpiredSessionCannotCreate) {
+  const int64_t session = coord_.CreateSession();
+  coord_.ExpireSession(session);
+  EXPECT_FALSE(coord_.SessionAlive(session));
+  EXPECT_TRUE(coord_.Create(session, "/x", "", NodeKind::kPersistent)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(CoordinationTest, SequentialNodesGetIncreasingSuffixes) {
+  const int64_t session = coord_.CreateSession();
+  coord_.Create(session, "/q", "", NodeKind::kPersistent);
+  auto a = coord_.Create(session, "/q/n", "", NodeKind::kPersistentSequential);
+  auto b = coord_.Create(session, "/q/n", "", NodeKind::kPersistentSequential);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_LT(*a, *b);  // Zero-padded suffixes sort in creation order.
+  EXPECT_EQ(*a, "/q/n0000000000");
+}
+
+TEST_F(CoordinationTest, DataWatchFiresOnceOnChange) {
+  const int64_t session = coord_.CreateSession();
+  coord_.Create(session, "/w", "v0", NodeKind::kPersistent);
+  int fires = 0;
+  ASSERT_TRUE(coord_
+                  .Get("/w",
+                       [&fires](const WatchEvent& event) {
+                         EXPECT_EQ(event.type, EventType::kDataChanged);
+                         EXPECT_EQ(event.path, "/w");
+                         ++fires;
+                       })
+                  .ok());
+  coord_.Set("/w", "v1");
+  coord_.Set("/w", "v2");  // One-shot: second change does not fire.
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(CoordinationTest, DataWatchFiresOnDelete) {
+  const int64_t session = coord_.CreateSession();
+  coord_.Create(session, "/w", "", NodeKind::kPersistent);
+  EventType seen = EventType::kCreated;
+  coord_.Get("/w", [&seen](const WatchEvent& event) { seen = event.type; });
+  coord_.Delete("/w");
+  EXPECT_EQ(seen, EventType::kDeleted);
+}
+
+TEST_F(CoordinationTest, ChildWatchFiresOnCreateAndDelete) {
+  const int64_t session = coord_.CreateSession();
+  coord_.Create(session, "/parent", "", NodeKind::kPersistent);
+  int fires = 0;
+  coord_.GetChildren("/parent", [&fires](const WatchEvent&) { ++fires; });
+  coord_.Create(session, "/parent/a", "", NodeKind::kPersistent);
+  EXPECT_EQ(fires, 1);
+  coord_.GetChildren("/parent", [&fires](const WatchEvent&) { ++fires; });
+  coord_.Delete("/parent/a");
+  EXPECT_EQ(fires, 2);
+}
+
+TEST_F(CoordinationTest, ExistsWatchOnAbsentNodeFiresOnCreation) {
+  const int64_t session = coord_.CreateSession();
+  bool fired = false;
+  EXPECT_FALSE(coord_.Exists("/future", [&fired](const WatchEvent& event) {
+    EXPECT_EQ(event.type, EventType::kCreated);
+    fired = true;
+  }));
+  coord_.Create(session, "/future", "", NodeKind::kPersistent);
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(CoordinationTest, SessionExpiryFiresWatches) {
+  const int64_t owner = coord_.CreateSession();
+  coord_.Create(owner, "/lock", "", NodeKind::kEphemeral);
+  bool fired = false;
+  coord_.Get("/lock", [&fired](const WatchEvent& event) {
+    fired = event.type == EventType::kDeleted;
+  });
+  coord_.ExpireSession(owner);
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(CoordinationTest, NodeCountTracksTree) {
+  const int64_t session = coord_.CreateSession();
+  EXPECT_EQ(coord_.NodeCount(), 0u);
+  coord_.Create(session, "/a", "", NodeKind::kPersistent);
+  coord_.Create(session, "/a/b", "", NodeKind::kPersistent);
+  EXPECT_EQ(coord_.NodeCount(), 2u);
+  coord_.Delete("/a/b");
+  EXPECT_EQ(coord_.NodeCount(), 1u);
+}
+
+}  // namespace
+}  // namespace liquid::coord

@@ -1,0 +1,93 @@
+#include "coord/leader_election.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace liquid::coord {
+namespace {
+
+TEST(LeaderElectionTest, FirstContenderWins) {
+  CoordinationService coord;
+  const int64_t session = coord.CreateSession();
+  LeaderElection election(&coord, "/controller", "node-1", session);
+  EXPECT_TRUE(election.Contend(nullptr));
+  EXPECT_TRUE(election.IsLeader());
+  EXPECT_EQ(*election.CurrentLeader(), "node-1");
+}
+
+TEST(LeaderElectionTest, SecondContenderWaits) {
+  CoordinationService coord;
+  const int64_t s1 = coord.CreateSession();
+  const int64_t s2 = coord.CreateSession();
+  LeaderElection first(&coord, "/controller", "node-1", s1);
+  LeaderElection second(&coord, "/controller", "node-2", s2);
+  ASSERT_TRUE(first.Contend(nullptr));
+  EXPECT_FALSE(second.Contend(nullptr));
+  EXPECT_FALSE(second.IsLeader());
+  EXPECT_EQ(*second.CurrentLeader(), "node-1");
+}
+
+TEST(LeaderElectionTest, FailoverOnSessionExpiry) {
+  CoordinationService coord;
+  const int64_t s1 = coord.CreateSession();
+  const int64_t s2 = coord.CreateSession();
+  LeaderElection first(&coord, "/controller", "node-1", s1);
+  LeaderElection second(&coord, "/controller", "node-2", s2);
+  ASSERT_TRUE(first.Contend(nullptr));
+  bool elected = false;
+  second.Contend([&elected] { elected = true; });
+  coord.ExpireSession(s1);  // Leader crashes.
+  EXPECT_TRUE(elected);
+  EXPECT_TRUE(second.IsLeader());
+  EXPECT_EQ(*second.CurrentLeader(), "node-2");
+}
+
+TEST(LeaderElectionTest, ResignHandsOver) {
+  CoordinationService coord;
+  const int64_t s1 = coord.CreateSession();
+  const int64_t s2 = coord.CreateSession();
+  LeaderElection first(&coord, "/controller", "node-1", s1);
+  LeaderElection second(&coord, "/controller", "node-2", s2);
+  ASSERT_TRUE(first.Contend(nullptr));
+  second.Contend(nullptr);
+  first.Resign();
+  EXPECT_FALSE(first.IsLeader());
+  EXPECT_TRUE(second.IsLeader());
+}
+
+TEST(LeaderElectionTest, ResignedCandidateDoesNotRecontend) {
+  CoordinationService coord;
+  const int64_t s1 = coord.CreateSession();
+  const int64_t s2 = coord.CreateSession();
+  LeaderElection first(&coord, "/controller", "node-1", s1);
+  LeaderElection second(&coord, "/controller", "node-2", s2);
+  ASSERT_TRUE(first.Contend(nullptr));
+  second.Contend(nullptr);
+  second.Resign();  // Gives up while waiting.
+  first.Resign();
+  EXPECT_FALSE(second.IsLeader());
+  EXPECT_TRUE(first.CurrentLeader().status().IsNotFound());
+}
+
+TEST(LeaderElectionTest, ThreeWayChain) {
+  CoordinationService coord;
+  std::vector<int64_t> sessions;
+  std::vector<std::unique_ptr<LeaderElection>> elections;
+  for (int i = 0; i < 3; ++i) {
+    sessions.push_back(coord.CreateSession());
+    elections.push_back(std::make_unique<LeaderElection>(
+        &coord, "/controller", "node-" + std::to_string(i), sessions[i]));
+    elections[i]->Contend(nullptr);
+  }
+  EXPECT_TRUE(elections[0]->IsLeader());
+  coord.ExpireSession(sessions[0]);
+  EXPECT_TRUE(elections[1]->IsLeader() || elections[2]->IsLeader());
+  const int next = elections[1]->IsLeader() ? 1 : 2;
+  coord.ExpireSession(sessions[next]);
+  EXPECT_TRUE(elections[3 - next]->IsLeader());
+}
+
+}  // namespace
+}  // namespace liquid::coord

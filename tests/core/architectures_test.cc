@@ -1,0 +1,84 @@
+#include "core/architectures.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/clock.h"
+
+namespace liquid::core {
+namespace {
+
+/// Lambda / Kappa / Liquid comparison (§2.2, experiment E11). These tests
+/// assert the qualitative shape the paper claims; the bench measures sizes.
+class ArchitecturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Liquid::Options options;
+    options.cluster.num_brokers = 3;
+    options.clock = &clock_;
+    auto liquid = Liquid::Start(options);
+    ASSERT_TRUE(liquid.ok());
+    liquid_ = std::move(liquid).value();
+
+    dfs::DfsConfig dfs_config;
+    dfs_config.num_datanodes = 2;
+    dfs_config.replication = 1;
+    fs_ = std::make_unique<dfs::DistributedFileSystem>(dfs_config);
+    engine_ = std::make_unique<mapreduce::MapReduceEngine>(fs_.get(), &clock_);
+  }
+
+  SimulatedClock clock_{1000};
+  std::unique_ptr<Liquid> liquid_;
+  std::unique_ptr<dfs::DistributedFileSystem> fs_;
+  std::unique_ptr<mapreduce::MapReduceEngine> engine_;
+};
+
+TEST_F(ArchitecturesTest, LambdaIsCorrectButCostsTwoCodePaths) {
+  ArchitectureComparison comparison(liquid_.get(), 300, 10);
+  auto report = comparison.RunLambda(fs_.get(), engine_.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->architecture, "lambda");
+  EXPECT_EQ(report->code_paths, 2);  // The Lambda maintenance tax.
+  EXPECT_EQ(report->correct_keys, report->total_keys);
+  EXPECT_GT(report->bytes_materialized, 0u);  // DFS dump + MR output.
+  EXPECT_GE(report->records_processed, 600);  // Stream + batch over all data.
+  EXPECT_TRUE(report->serving_fresh_during_reprocess);
+}
+
+TEST_F(ArchitecturesTest, KappaSingleCodePathDoubleTransientFootprint) {
+  ArchitectureComparison comparison(liquid_.get(), 300, 10);
+  auto report = comparison.RunKappa();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->code_paths, 1);
+  EXPECT_EQ(report->correct_keys, report->total_keys);
+  EXPECT_GE(report->records_processed, 600);  // v1 full + v2 full re-read.
+  EXPECT_TRUE(report->serving_fresh_during_reprocess);
+  EXPECT_GT(report->bytes_materialized, 0u);  // Two live state copies.
+}
+
+TEST_F(ArchitecturesTest, LiquidSingleCodePathNoExtraMaterialization) {
+  ArchitectureComparison comparison(liquid_.get(), 300, 10);
+  auto report = comparison.RunLiquid();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->code_paths, 1);
+  EXPECT_EQ(report->correct_keys, report->total_keys);
+  EXPECT_EQ(report->bytes_materialized, 0u);  // Rewind in place.
+  EXPECT_GE(report->records_processed, 600);  // v1 pass + v2 replay.
+}
+
+TEST_F(ArchitecturesTest, AllThreeProduceIdenticalResults) {
+  ArchitectureComparison comparison(liquid_.get(), 120, 6);
+  auto lambda = comparison.RunLambda(fs_.get(), engine_.get());
+  auto kappa = comparison.RunKappa();
+  auto liquid = comparison.RunLiquid();
+  ASSERT_TRUE(lambda.ok());
+  ASSERT_TRUE(kappa.ok());
+  ASSERT_TRUE(liquid.ok());
+  EXPECT_EQ(lambda->correct_keys, lambda->total_keys);
+  EXPECT_EQ(kappa->correct_keys, kappa->total_keys);
+  EXPECT_EQ(liquid->correct_keys, liquid->total_keys);
+}
+
+}  // namespace
+}  // namespace liquid::core

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "common/clock.h"
+#include "core/liquid.h"
+#include "processing/operators.h"
+#include "workload/generators.h"
+
+namespace liquid::core {
+namespace {
+
+using storage::Record;
+
+/// End-to-end scenarios from §5.1 running through the full stack: source
+/// feed -> processing job(s) -> derived feed -> back-end consumer.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Liquid::Options options;
+    options.cluster.num_brokers = 3;
+    options.clock = &clock_;
+    auto liquid = Liquid::Start(options);
+    ASSERT_TRUE(liquid.ok());
+    liquid_ = std::move(liquid).value();
+  }
+
+  std::map<std::string, std::string> Drain(const std::string& feed,
+                                           const std::string& group) {
+    std::map<std::string, std::string> out;
+    auto consumer = liquid_->NewConsumer(group, group + "-m");
+    consumer->Subscribe({feed});
+    while (true) {
+      auto records = consumer->Poll(256);
+      if (!records.ok() || records->empty()) break;
+      for (const auto& envelope : *records) {
+        out[envelope.record.key] = envelope.record.value;
+      }
+    }
+    return out;
+  }
+
+  SimulatedClock clock_{1000};
+  std::unique_ptr<Liquid> liquid_;
+};
+
+TEST_F(IntegrationTest, SiteSpeedMonitoringDetectsSlowCdn) {
+  // §5.1 "site speed monitoring": RUM events grouped by CDN; a job keeps
+  // per-CDN aggregate load times and flags anomalies nearline.
+  ASSERT_TRUE(liquid_->CreateSourceFeed("rum-events", FeedOptions{}).ok());
+  ASSERT_TRUE(liquid_
+                  ->CreateDerivedFeed("cdn-latency", FeedOptions{}, "rum-agg",
+                                      "v1", {"rum-events"})
+                  .ok());
+
+  workload::RumEventGenerator::Options gen_options;
+  gen_options.anomaly_start_event = 0;
+  gen_options.anomaly_end_event = 1000;
+  gen_options.anomalous_cdn = 2;
+  gen_options.anomaly_load_ms = 8000;
+  workload::RumEventGenerator generator(gen_options);
+  auto producer = liquid_->NewProducer();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(producer->Send("rum-events", generator.Next(1000 + i)).ok());
+  }
+  producer->Flush();
+
+  // Aggregation job: sum(load_ms) and count per CDN.
+  class CdnAggTask : public processing::StreamTask {
+   public:
+    Status Init(processing::TaskContext* context) override {
+      store_ = context->GetStore("agg");
+      return Status::OK();
+    }
+    Status Process(const messaging::ConsumerRecord& envelope,
+                   processing::MessageCollector* collector,
+                   processing::TaskCoordinator*) override {
+      auto fields = workload::ParseEvent(envelope.record.value);
+      const std::string cdn = fields["cdn"];
+      const int64_t load = std::strtoll(fields["load_ms"].c_str(), nullptr, 10);
+      auto current = store_->Get(cdn);
+      int64_t sum = 0, count = 0;
+      if (current.ok()) {
+        auto parts = workload::ParseEvent(*current);
+        sum = std::strtoll(parts["sum"].c_str(), nullptr, 10);
+        count = std::strtoll(parts["count"].c_str(), nullptr, 10);
+      }
+      sum += load;
+      ++count;
+      const std::string value = workload::EncodeEvent(
+          {{"sum", std::to_string(sum)}, {"count", std::to_string(count)}});
+      LIQUID_RETURN_NOT_OK(store_->Put(cdn, value));
+      // Publish running averages downstream.
+      return collector->Send("cdn-latency",
+                             Record::KeyValue(cdn, std::to_string(sum / count)));
+    }
+    processing::KeyValueStore* store_ = nullptr;
+  };
+
+  processing::JobConfig config;
+  config.name = "rum-agg";
+  config.inputs = {"rum-events"};
+  config.stores = {{"agg", processing::StoreConfig::Kind::kInMemory, true}};
+  auto job = liquid_->SubmitJob(config, [] {
+    return std::make_unique<CdnAggTask>();
+  });
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->RunUntilIdle().ok());
+
+  // Back-end anomaly detector consumes the derived feed.
+  auto averages = Drain("cdn-latency", "anomaly-detector");
+  ASSERT_TRUE(averages.count("cdn2"));
+  const int64_t slow = std::strtoll(averages["cdn2"].c_str(), nullptr, 10);
+  for (const auto& [cdn, value] : averages) {
+    if (cdn == "cdn2") continue;
+    const int64_t normal = std::strtoll(value.c_str(), nullptr, 10);
+    EXPECT_GT(slow, normal * 5) << cdn;  // Clear anomaly.
+  }
+}
+
+TEST_F(IntegrationTest, CallGraphAssemblyGroupsSpansByRequest) {
+  // §5.1 "call graph assembly": spans share a request id; the job assembles
+  // per-request graphs and reports span counts + total latency.
+  ASSERT_TRUE(liquid_->CreateSourceFeed("rest-calls", FeedOptions{}).ok());
+  ASSERT_TRUE(liquid_
+                  ->CreateDerivedFeed("call-graphs", FeedOptions{}, "assembler",
+                                      "v1", {"rest-calls"})
+                  .ok());
+  workload::CallGraphGenerator generator(workload::CallGraphGenerator::Options{});
+  auto producer = liquid_->NewProducer();
+  std::map<std::string, int> expected_spans;
+  for (int i = 0; i < 50; ++i) {
+    for (auto& span : generator.NextRequest(1000 + i)) {
+      expected_spans[span.key]++;
+      ASSERT_TRUE(producer->Send("rest-calls", std::move(span)).ok());
+    }
+  }
+  producer->Flush();
+
+  class AssembleTask : public processing::StreamTask {
+   public:
+    Status Init(processing::TaskContext* context) override {
+      store_ = context->GetStore("graphs");
+      return Status::OK();
+    }
+    Status Process(const messaging::ConsumerRecord& envelope,
+                   processing::MessageCollector* collector,
+                   processing::TaskCoordinator*) override {
+      auto fields = workload::ParseEvent(envelope.record.value);
+      const std::string& request = envelope.record.key;
+      auto current = store_->Get(request);
+      int64_t spans = 0, latency = 0;
+      if (current.ok()) {
+        auto parts = workload::ParseEvent(*current);
+        spans = std::strtoll(parts["spans"].c_str(), nullptr, 10);
+        latency = std::strtoll(parts["latency_us"].c_str(), nullptr, 10);
+      }
+      ++spans;
+      latency += std::strtoll(fields["latency_us"].c_str(), nullptr, 10);
+      const std::string value =
+          workload::EncodeEvent({{"spans", std::to_string(spans)},
+                                 {"latency_us", std::to_string(latency)}});
+      LIQUID_RETURN_NOT_OK(store_->Put(request, value));
+      return collector->Send("call-graphs", Record::KeyValue(request, value));
+    }
+    processing::KeyValueStore* store_ = nullptr;
+  };
+
+  processing::JobConfig config;
+  config.name = "assembler";
+  config.inputs = {"rest-calls"};
+  config.stores = {{"graphs", processing::StoreConfig::Kind::kInMemory, true}};
+  auto job = liquid_->SubmitJob(config, [] {
+    return std::make_unique<AssembleTask>();
+  });
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->RunUntilIdle().ok());
+
+  auto graphs = Drain("call-graphs", "capacity-planner");
+  ASSERT_EQ(graphs.size(), expected_spans.size());
+  for (const auto& [request, value] : graphs) {
+    auto parts = workload::ParseEvent(value);
+    EXPECT_EQ(std::atoi(parts["spans"].c_str()), expected_spans.at(request))
+        << request;
+  }
+}
+
+TEST_F(IntegrationTest, DataCleaningPipelineWithReprocessing) {
+  // §5.1 "data cleaning and normalization": clean nearline, then the
+  // algorithm changes and history is re-processed with the new version.
+  ASSERT_TRUE(liquid_->CreateSourceFeed("user-content", FeedOptions{}).ok());
+  ASSERT_TRUE(liquid_
+                  ->CreateDerivedFeed("cleaned-content", FeedOptions{},
+                                      "cleaner", "v1", {"user-content"})
+                  .ok());
+  auto producer = liquid_->NewProducer();
+  for (int i = 0; i < 10; ++i) {
+    producer->Send("user-content", Record::KeyValue(
+                                       "doc" + std::to_string(i), "  TeXT  "));
+  }
+  producer->Flush();
+
+  auto make_cleaner = [](const std::string& version) {
+    return [version]() -> std::unique_ptr<processing::StreamTask> {
+      return std::make_unique<processing::MapTask>(
+          "cleaned-content",
+          [version](const messaging::ConsumerRecord& envelope) {
+            Record out = envelope.record;
+            // v1 trims; v2 trims AND lowercases.
+            std::string text = envelope.record.value;
+            const auto begin = text.find_first_not_of(' ');
+            const auto end = text.find_last_not_of(' ');
+            text = text.substr(begin, end - begin + 1);
+            if (version == "v2") {
+              for (char& c : text) c = static_cast<char>(std::tolower(c));
+            }
+            out.value = version + ":" + text;
+            return std::optional<Record>(std::move(out));
+          });
+    };
+  };
+
+  processing::JobConfig config;
+  config.name = "cleaner";
+  config.inputs = {"user-content"};
+  config.checkpoint_annotations = {{"version", "v1"}};
+  auto v1 = liquid_->SubmitJob(config, make_cleaner("v1"));
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE((*v1)->RunUntilIdle().ok());
+  auto cleaned = Drain("cleaned-content", "search-indexer");
+  EXPECT_EQ(cleaned.at("doc0"), "v1:TeXT");
+
+  // Algorithm changes: stop v1, rewind via the offset manager, rerun as v2.
+  ASSERT_TRUE(liquid_->StopJob("cleaner").ok());
+  messaging::OffsetCommit rewind;
+  rewind.offset = 0;
+  rewind.annotations = {{"version", "v2"}, {"reason", "algorithm change"}};
+  ASSERT_TRUE(liquid_->offsets()
+                  ->Commit("job.cleaner", messaging::TopicPartition{"user-content", 0},
+                           rewind)
+                  .ok());
+  config.checkpoint_annotations = {{"version", "v2"}};
+  auto v2 = liquid_->SubmitJob(config, make_cleaner("v2"));
+  ASSERT_TRUE(v2.ok());
+  ASSERT_TRUE((*v2)->RunUntilIdle().ok());
+
+  // All documents re-cleaned with v2 (latest value per key).
+  auto recleaned = Drain("cleaned-content", "search-indexer-2");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(recleaned.at("doc" + std::to_string(i)), "v2:text");
+  }
+}
+
+TEST_F(IntegrationTest, OperationalAnalysisAggregatesBrokerMetrics) {
+  // §5.1 "operational analysis": infrastructure metrics flow through the
+  // stack like any other feed and are aggregated for dashboards.
+  ASSERT_TRUE(liquid_->CreateSourceFeed("metrics", FeedOptions{}).ok());
+  ASSERT_TRUE(liquid_->CreateSourceFeed("ops-summary", FeedOptions{}).ok());
+
+  // Publish per-broker produce counters as metric events.
+  auto producer = liquid_->NewProducer();
+  for (int id : liquid_->cluster()->AliveBrokerIds()) {
+    auto counters = liquid_->cluster()->broker(id)->metrics()->CounterValues();
+    for (const auto& [name, value] : counters) {
+      producer->Send("metrics",
+                     Record::KeyValue("broker" + std::to_string(id) + "." + name,
+                                      std::to_string(value)));
+    }
+    // Ensure there is at least one metric per broker.
+    producer->Send("metrics", Record::KeyValue(
+                                  "broker" + std::to_string(id) + ".up", "1"));
+  }
+  producer->Flush();
+
+  processing::JobConfig config;
+  config.name = "ops";
+  config.inputs = {"metrics"};
+  config.stores = {{"sums", processing::StoreConfig::Kind::kInMemory, false}};
+  auto job = liquid_->SubmitJob(config, [] {
+    return std::make_unique<processing::KeyedCounterTask>("sums", "ops-summary");
+  });
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE((*job)->RunUntilIdle().ok());
+  auto* store = (*job)->GetStore(0, "sums");
+  ASSERT_NE(store, nullptr);
+  EXPECT_GE(*store->Count(), 3);  // At least one metric per broker.
+}
+
+}  // namespace
+}  // namespace liquid::core

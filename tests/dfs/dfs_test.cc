@@ -1,0 +1,126 @@
+#include "dfs/dfs.h"
+
+#include <gtest/gtest.h>
+
+namespace liquid::dfs {
+namespace {
+
+DfsConfig SmallConfig() {
+  DfsConfig config;
+  config.num_datanodes = 3;
+  config.replication = 2;
+  config.block_size = 64;  // Tiny blocks to exercise splitting.
+  return config;
+}
+
+TEST(DfsTest, WriteReadRoundTrip) {
+  DistributedFileSystem fs(SmallConfig());
+  const std::string data(1000, 'x');
+  ASSERT_TRUE(fs.WriteFile("/a/b", data).ok());
+  auto read = fs.ReadFile("/a/b");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST(DfsTest, FilesSplitIntoBlocks) {
+  DistributedFileSystem fs(SmallConfig());
+  fs.WriteFile("/f", std::string(300, 'y'));
+  auto info = fs.GetFileInfo("/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->blocks.size(), 5u);  // ceil(300/64).
+  EXPECT_EQ(info->size_bytes, 300u);
+  for (const auto& block : info->blocks) {
+    EXPECT_EQ(block.datanodes.size(), 2u);  // Replication factor.
+  }
+}
+
+TEST(DfsTest, WriteExistingFails) {
+  DistributedFileSystem fs(SmallConfig());
+  fs.WriteFile("/f", "1");
+  EXPECT_TRUE(fs.WriteFile("/f", "2").IsAlreadyExists());
+}
+
+TEST(DfsTest, ReadMissingIsNotFound) {
+  DistributedFileSystem fs(SmallConfig());
+  EXPECT_TRUE(fs.ReadFile("/ghost").status().IsNotFound());
+  EXPECT_TRUE(fs.GetFileInfo("/ghost").status().IsNotFound());
+}
+
+TEST(DfsTest, DeleteRemovesBlocksAndMetadata) {
+  DistributedFileSystem fs(SmallConfig());
+  fs.WriteFile("/f", std::string(200, 'z'));
+  const uint64_t stored = fs.total_stored_bytes();
+  EXPECT_GT(stored, 0u);
+  ASSERT_TRUE(fs.DeleteFile("/f").ok());
+  EXPECT_FALSE(fs.Exists("/f"));
+  EXPECT_EQ(fs.total_stored_bytes(), 0u);
+  EXPECT_TRUE(fs.DeleteFile("/f").IsNotFound());
+}
+
+TEST(DfsTest, ListFilesByPrefix) {
+  DistributedFileSystem fs(SmallConfig());
+  fs.WriteFile("/logs/a", "1");
+  fs.WriteFile("/logs/b", "2");
+  fs.WriteFile("/data/c", "3");
+  EXPECT_EQ(fs.ListFiles("/logs/").size(), 2u);
+  EXPECT_EQ(fs.ListFiles("/").size(), 3u);
+  EXPECT_TRUE(fs.ListFiles("/none/").empty());
+}
+
+TEST(DfsTest, SurvivesDatanodeFailureWithReplication) {
+  DistributedFileSystem fs(SmallConfig());
+  const std::string data(500, 'r');
+  fs.WriteFile("/f", data);
+  ASSERT_TRUE(fs.StopDatanode(0).ok());
+  auto read = fs.ReadFile("/f");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+}
+
+TEST(DfsTest, UnreplicatedDataUnavailableWhenAllReplicasDown) {
+  DfsConfig config = SmallConfig();
+  config.replication = 1;
+  DistributedFileSystem fs(config);
+  fs.WriteFile("/f", std::string(500, 'u'));  // Blocks spread over nodes.
+  fs.StopDatanode(0);
+  fs.StopDatanode(1);
+  fs.StopDatanode(2);
+  EXPECT_TRUE(fs.ReadFile("/f").status().IsUnavailable());
+  // Restart: data is back (disks survive).
+  fs.RestartDatanode(0);
+  fs.RestartDatanode(1);
+  fs.RestartDatanode(2);
+  EXPECT_TRUE(fs.ReadFile("/f").ok());
+}
+
+TEST(DfsTest, WriteFailsWithNoAliveNodes) {
+  DistributedFileSystem fs(SmallConfig());
+  fs.StopDatanode(0);
+  fs.StopDatanode(1);
+  fs.StopDatanode(2);
+  EXPECT_TRUE(fs.WriteFile("/f", "data").IsUnavailable());
+}
+
+TEST(DfsTest, EmptyFileRoundTrips) {
+  DistributedFileSystem fs(SmallConfig());
+  ASSERT_TRUE(fs.WriteFile("/empty", "").ok());
+  auto read = fs.ReadFile("/empty");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+}
+
+TEST(DfsTest, ReplicationMultipliesStorageFootprint) {
+  DfsConfig r1 = SmallConfig();
+  r1.replication = 1;
+  DfsConfig r3 = SmallConfig();
+  r3.replication = 3;
+  DistributedFileSystem fs1(r1), fs3(r3);
+  const std::string data(640, 'd');
+  fs1.WriteFile("/f", data);
+  fs3.WriteFile("/f", data);
+  EXPECT_EQ(fs1.total_stored_bytes(), 640u);
+  EXPECT_EQ(fs3.total_stored_bytes(), 3 * 640u);
+}
+
+}  // namespace
+}  // namespace liquid::dfs

@@ -1,0 +1,72 @@
+#include "kv/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace liquid::kv {
+namespace {
+
+std::vector<std::string> Keys(int n, const std::string& prefix) {
+  std::vector<std::string> out;
+  for (int i = 0; i < n; ++i) out.push_back(prefix + std::to_string(i));
+  return out;
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  const auto keys = Keys(1000, "key");
+  const std::string filter = BloomFilter::Build(keys, 10);
+  for (const auto& key : keys) {
+    EXPECT_TRUE(BloomFilter::MayContain(filter, key)) << key;
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  const auto keys = Keys(1000, "present");
+  const std::string filter = BloomFilter::Build(keys, 10);
+  int false_positives = 0;
+  for (const auto& absent : Keys(10000, "absent")) {
+    if (BloomFilter::MayContain(filter, absent)) ++false_positives;
+  }
+  // 10 bits/key targets ~1%; allow 3%.
+  EXPECT_LT(false_positives, 300);
+}
+
+TEST(BloomTest, MoreBitsFewerFalsePositives) {
+  const auto keys = Keys(2000, "k");
+  const std::string small = BloomFilter::Build(keys, 4);
+  const std::string large = BloomFilter::Build(keys, 16);
+  int small_fp = 0, large_fp = 0;
+  for (const auto& absent : Keys(5000, "x")) {
+    if (BloomFilter::MayContain(small, absent)) ++small_fp;
+    if (BloomFilter::MayContain(large, absent)) ++large_fp;
+  }
+  EXPECT_LT(large_fp, small_fp);
+}
+
+TEST(BloomTest, EmptyKeySetMatchesNothing) {
+  const std::string filter = BloomFilter::Build({}, 10);
+  EXPECT_FALSE(BloomFilter::MayContain(filter, "anything"));
+}
+
+TEST(BloomTest, EmptyFilterDataMatchesNothing) {
+  EXPECT_FALSE(BloomFilter::MayContain(Slice("", size_t{0}), "key"));
+  EXPECT_FALSE(BloomFilter::MayContain(Slice("x", 1), "key"));
+}
+
+TEST(BloomTest, EmptyStringKeyWorks) {
+  const std::string filter = BloomFilter::Build({""}, 10);
+  EXPECT_TRUE(BloomFilter::MayContain(filter, ""));
+}
+
+TEST(BloomTest, BinaryKeysWork) {
+  std::vector<std::string> keys{std::string("\x00\x01\x02", 3),
+                                std::string("\xff\xfe", 2)};
+  const std::string filter = BloomFilter::Build(keys, 10);
+  EXPECT_TRUE(BloomFilter::MayContain(filter, Slice(keys[0])));
+  EXPECT_TRUE(BloomFilter::MayContain(filter, Slice(keys[1])));
+}
+
+}  // namespace
+}  // namespace liquid::kv

@@ -1,0 +1,173 @@
+#include "kv/sstable.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "storage/disk.h"
+
+namespace liquid::kv {
+namespace {
+
+std::vector<Entry> SortedEntries(int count, const std::string& value = "v") {
+  std::vector<Entry> out;
+  for (int i = 0; i < count; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key%06d", i);
+    Entry e;
+    e.key = buf;
+    e.value = value + std::to_string(i);
+    e.sequence = static_cast<uint64_t>(i + 1);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+class SSTableTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<SSTable> WriteAndOpen(const std::vector<Entry>& entries,
+                                        SSTable::Options options = {}) {
+    EXPECT_TRUE(SSTable::Write(&disk_, "t.sst", entries, options).ok());
+    auto table = SSTable::Open(&disk_, "t.sst");
+    EXPECT_TRUE(table.ok()) << table.status().ToString();
+    return std::move(table).value();
+  }
+
+  storage::MemDisk disk_;
+};
+
+TEST_F(SSTableTest, GetFindsEveryKey) {
+  const auto entries = SortedEntries(500);
+  auto table = WriteAndOpen(entries);
+  EXPECT_EQ(table->entry_count(), 500u);
+  for (const auto& entry : entries) {
+    auto found = table->Get(entry.key);
+    ASSERT_TRUE(found.ok()) << entry.key;
+    EXPECT_EQ(found->value, entry.value);
+    EXPECT_EQ(found->sequence, entry.sequence);
+  }
+}
+
+TEST_F(SSTableTest, GetMissingIsNotFound) {
+  auto table = WriteAndOpen(SortedEntries(100));
+  EXPECT_TRUE(table->Get("nope").status().IsNotFound());
+  EXPECT_TRUE(table->Get("key999999").status().IsNotFound());
+  EXPECT_TRUE(table->Get("").status().IsNotFound());
+}
+
+TEST_F(SSTableTest, MinMaxKeys) {
+  auto table = WriteAndOpen(SortedEntries(100));
+  EXPECT_EQ(table->min_key(), "key000000");
+  EXPECT_EQ(table->max_key(), "key000099");
+}
+
+TEST_F(SSTableTest, DeleteEntriesAreFoundAsDeletes) {
+  std::vector<Entry> entries = SortedEntries(10);
+  entries[3].type = EntryType::kDelete;
+  auto table = WriteAndOpen(entries);
+  auto found = table->Get(entries[3].key);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->type, EntryType::kDelete);
+}
+
+TEST_F(SSTableTest, SmallBlocksStillFindEverything) {
+  SSTable::Options options;
+  options.block_size = 64;  // Many blocks.
+  const auto entries = SortedEntries(300);
+  auto table = WriteAndOpen(entries, options);
+  for (int i = 0; i < 300; i += 17) {
+    auto found = table->Get(entries[i].key);
+    ASSERT_TRUE(found.ok()) << i;
+    EXPECT_EQ(found->value, entries[i].value);
+  }
+}
+
+TEST_F(SSTableTest, IteratorVisitsAllInOrder) {
+  const auto entries = SortedEntries(200);
+  auto table = WriteAndOpen(entries);
+  int i = 0;
+  for (auto it = table->NewIterator(); it.Valid(); it.Next()) {
+    ASSERT_LT(i, 200);
+    EXPECT_EQ(it.entry().key, entries[i].key);
+    EXPECT_EQ(it.entry().value, entries[i].value);
+    ++i;
+  }
+  EXPECT_EQ(i, 200);
+}
+
+TEST_F(SSTableTest, IteratorSeek) {
+  const auto entries = SortedEntries(100);
+  auto table = WriteAndOpen(entries);
+  auto it = table->NewIterator();
+  it.Seek("key000050");
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.entry().key, "key000050");
+
+  it.Seek("key0000505");  // Between 50 and 51.
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.entry().key, "key000051");
+
+  it.Seek("zzz");
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(SSTableTest, EmptyTable) {
+  auto table = WriteAndOpen({});
+  EXPECT_EQ(table->entry_count(), 0u);
+  EXPECT_TRUE(table->Get("any").status().IsNotFound());
+  auto it = table->NewIterator();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(SSTableTest, RejectsUnsortedEntries) {
+  std::vector<Entry> bad;
+  Entry a, b;
+  a.key = "b";
+  b.key = "a";
+  bad.push_back(a);
+  bad.push_back(b);
+  EXPECT_TRUE(SSTable::Write(&disk_, "bad.sst", bad, {}).IsInvalidArgument());
+}
+
+TEST_F(SSTableTest, RejectsDuplicateKeys) {
+  std::vector<Entry> bad(2);
+  bad[0].key = bad[1].key = "same";
+  EXPECT_TRUE(SSTable::Write(&disk_, "dup.sst", bad, {}).IsInvalidArgument());
+}
+
+TEST_F(SSTableTest, OpenCorruptFileFails) {
+  auto file = disk_.OpenOrCreate("junk.sst");
+  (*file)->Append("this is not a table");
+  EXPECT_TRUE(SSTable::Open(&disk_, "junk.sst").status().IsCorruption());
+}
+
+TEST_F(SSTableTest, OpenWithBadMagicFails) {
+  ASSERT_TRUE(SSTable::Write(&disk_, "t.sst", SortedEntries(10), {}).ok());
+  auto file = disk_.OpenOrCreate("t.sst");
+  const uint64_t size = (*file)->Size();
+  (*file)->Truncate(size - 8);
+  (*file)->Append("XXXXXXXX");  // Clobber the magic.
+  EXPECT_TRUE(SSTable::Open(&disk_, "t.sst").status().IsCorruption());
+}
+
+TEST_F(SSTableTest, WriteToNonEmptyFileFails) {
+  auto file = disk_.OpenOrCreate("used.sst");
+  (*file)->Append("existing");
+  EXPECT_TRUE(
+      SSTable::Write(&disk_, "used.sst", SortedEntries(1), {}).IsAlreadyExists());
+}
+
+TEST_F(SSTableTest, LargeValues) {
+  std::vector<Entry> entries(2);
+  entries[0].key = "a";
+  entries[0].value = std::string(100000, 'A');
+  entries[1].key = "b";
+  entries[1].value = std::string(50000, 'B');
+  auto table = WriteAndOpen(entries);
+  EXPECT_EQ(table->Get("a")->value.size(), 100000u);
+  EXPECT_EQ(table->Get("b")->value.size(), 50000u);
+}
+
+}  // namespace
+}  // namespace liquid::kv

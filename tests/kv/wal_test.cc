@@ -1,0 +1,126 @@
+#include "kv/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/disk.h"
+
+namespace liquid::kv {
+namespace {
+
+Entry MakeEntry(const std::string& key, const std::string& value, uint64_t seq,
+                EntryType type = EntryType::kPut) {
+  Entry e;
+  e.key = key;
+  e.value = value;
+  e.sequence = seq;
+  e.type = type;
+  return e;
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  storage::MemDisk disk_;
+};
+
+TEST_F(WalTest, AppendAndReplayInOrder) {
+  auto wal = WriteAheadLog::Open(&disk_, "WAL");
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        (*wal)->Append(MakeEntry("k" + std::to_string(i), "v", i + 1)).ok());
+  }
+  std::vector<Entry> replayed;
+  ASSERT_TRUE((*wal)->Replay([&](const Entry& e) { replayed.push_back(e); }).ok());
+  ASSERT_EQ(replayed.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(replayed[i].key, "k" + std::to_string(i));
+    EXPECT_EQ(replayed[i].sequence, static_cast<uint64_t>(i + 1));
+  }
+}
+
+TEST_F(WalTest, ReplayAfterReopen) {
+  {
+    auto wal = WriteAheadLog::Open(&disk_, "WAL");
+    (*wal)->Append(MakeEntry("persist", "value", 1));
+  }
+  auto wal = WriteAheadLog::Open(&disk_, "WAL");
+  int count = 0;
+  (*wal)->Replay([&](const Entry& e) {
+    EXPECT_EQ(e.key, "persist");
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(WalTest, DeletesReplayWithType) {
+  auto wal = WriteAheadLog::Open(&disk_, "WAL");
+  (*wal)->Append(MakeEntry("k", "v", 1));
+  (*wal)->Append(MakeEntry("k", "", 2, EntryType::kDelete));
+  std::vector<Entry> replayed;
+  (*wal)->Replay([&](const Entry& e) { replayed.push_back(e); });
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].type, EntryType::kPut);
+  EXPECT_EQ(replayed[1].type, EntryType::kDelete);
+}
+
+TEST_F(WalTest, TornTailIgnored) {
+  auto wal = WriteAheadLog::Open(&disk_, "WAL");
+  (*wal)->Append(MakeEntry("good", "v", 1));
+  (*wal)->Append(MakeEntry("alsogood", "v", 2));
+  // Simulate a crash mid-write: chop bytes off the end.
+  auto file = disk_.OpenOrCreate("WAL");
+  (*file)->Truncate((*file)->Size() - 4);
+
+  auto reopened = WriteAheadLog::Open(&disk_, "WAL");
+  std::vector<Entry> replayed;
+  ASSERT_TRUE(
+      (*reopened)->Replay([&](const Entry& e) { replayed.push_back(e); }).ok());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].key, "good");
+}
+
+TEST_F(WalTest, CorruptedRecordStopsReplay) {
+  auto wal = WriteAheadLog::Open(&disk_, "WAL");
+  (*wal)->Append(MakeEntry("first", "v", 1));
+  const uint64_t intact = (*wal)->size_bytes();
+  (*wal)->Append(MakeEntry("second", "v", 2));
+  // Flip a byte inside the second record's payload.
+  auto file = disk_.OpenOrCreate("WAL");
+  std::string bytes;
+  (*file)->ReadAt(0, (*file)->Size(), &bytes);
+  bytes[intact + 10] ^= 0x40;
+  (*file)->Truncate(0);
+  (*file)->Append(bytes);
+
+  int count = 0;
+  ASSERT_TRUE((*wal)->Replay([&](const Entry&) { ++count; }).ok());
+  EXPECT_EQ(count, 1);  // Only the intact prefix.
+}
+
+TEST_F(WalTest, ResetEmptiesLog) {
+  auto wal = WriteAheadLog::Open(&disk_, "WAL");
+  (*wal)->Append(MakeEntry("k", "v", 1));
+  EXPECT_GT((*wal)->size_bytes(), 0u);
+  ASSERT_TRUE((*wal)->Reset().ok());
+  EXPECT_EQ((*wal)->size_bytes(), 0u);
+  int count = 0;
+  (*wal)->Replay([&](const Entry&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(WalTest, EmptyValuesAndKeys) {
+  auto wal = WriteAheadLog::Open(&disk_, "WAL");
+  (*wal)->Append(MakeEntry("", "", 1));
+  int count = 0;
+  (*wal)->Replay([&](const Entry& e) {
+    EXPECT_TRUE(e.key.empty());
+    EXPECT_TRUE(e.value.empty());
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace liquid::kv

@@ -1,0 +1,189 @@
+#include "mapreduce/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "common/clock.h"
+
+namespace liquid::mapreduce {
+namespace {
+
+class MapReduceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dfs::DfsConfig config;
+    config.num_datanodes = 3;
+    config.replication = 1;
+    fs_ = std::make_unique<dfs::DistributedFileSystem>(config);
+    engine_ = std::make_unique<MapReduceEngine>(fs_.get(), &clock_);
+  }
+
+  void WriteInput(const std::string& path, const std::vector<KeyValue>& records) {
+    ASSERT_TRUE(
+        fs_->WriteFile(path, MapReduceEngine::EncodeRecords(records)).ok());
+  }
+
+  std::map<std::string, std::string> ReadOutput(const std::string& dir) {
+    std::map<std::string, std::string> out;
+    for (const std::string& part : fs_->ListFiles(dir)) {
+      auto data = fs_->ReadFile(part);
+      for (const auto& kv : MapReduceEngine::DecodeRecords(*data)) {
+        out[kv.key] = kv.value;
+      }
+    }
+    return out;
+  }
+
+  SimulatedClock clock_{0};
+  std::unique_ptr<dfs::DistributedFileSystem> fs_;
+  std::unique_ptr<MapReduceEngine> engine_;
+};
+
+TEST_F(MapReduceTest, RecordCodecRoundTrip) {
+  std::vector<KeyValue> records{{"a", "1"}, {"b", "two"}, {"", "empty-key"}};
+  const std::string encoded = MapReduceEngine::EncodeRecords(records);
+  auto decoded = MapReduceEngine::DecodeRecords(encoded);
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0].key, "a");
+  EXPECT_EQ(decoded[1].value, "two");
+  EXPECT_EQ(decoded[2].key, "");
+}
+
+TEST_F(MapReduceTest, WordCount) {
+  WriteInput("/in/part0", {{"1", "the quick fox"}, {"2", "the lazy dog"}});
+  WriteInput("/in/part1", {{"3", "the fox"}});
+
+  MrJobConfig config;
+  config.name = "wordcount";
+  config.startup_overhead_ms = 0;
+  auto stats = engine_->RunJob(
+      config, "/in", "/out",
+      [](const KeyValue& kv) {
+        std::vector<KeyValue> out;
+        size_t pos = 0;
+        while (pos < kv.value.size()) {
+          size_t space = kv.value.find(' ', pos);
+          if (space == std::string::npos) space = kv.value.size();
+          if (space > pos) out.push_back({kv.value.substr(pos, space - pos), "1"});
+          pos = space + 1;
+        }
+        return out;
+      },
+      [](const std::string&, const std::vector<std::string>& values) {
+        return std::to_string(values.size());
+      });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->input_records, 3);
+  EXPECT_EQ(stats->intermediate_records, 8);
+
+  auto out = ReadOutput("/out");
+  EXPECT_EQ(out.at("the"), "3");
+  EXPECT_EQ(out.at("fox"), "2");
+  EXPECT_EQ(out.at("lazy"), "1");
+}
+
+TEST_F(MapReduceTest, ManyReducersPartitionByKey) {
+  std::vector<KeyValue> input;
+  for (int i = 0; i < 100; ++i) {
+    input.push_back({"key" + std::to_string(i % 10), "1"});
+  }
+  WriteInput("/in/part0", input);
+  MrJobConfig config;
+  config.name = "sum";
+  config.num_reducers = 4;
+  config.startup_overhead_ms = 0;
+  auto stats = engine_->RunJob(
+      config, "/in", "/out",
+      [](const KeyValue& kv) { return std::vector<KeyValue>{kv}; },
+      [](const std::string&, const std::vector<std::string>& values) {
+        int64_t sum = 0;
+        for (const auto& v : values) sum += std::strtoll(v.c_str(), nullptr, 10);
+        return std::to_string(sum);
+      });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->output_records, 10);
+  auto out = ReadOutput("/out");
+  ASSERT_EQ(out.size(), 10u);
+  for (const auto& [key, value] : out) EXPECT_EQ(value, "10") << key;
+}
+
+TEST_F(MapReduceTest, IntermediatesMaterializedToDfsAndCleaned) {
+  WriteInput("/in/part0", {{"k", "v"}});
+  MrJobConfig config;
+  config.name = "mat";
+  config.startup_overhead_ms = 0;
+  auto stats = engine_->RunJob(
+      config, "/in", "/out",
+      [](const KeyValue& kv) { return std::vector<KeyValue>{kv}; },
+      [](const std::string&, const std::vector<std::string>& values) {
+        return values.back();
+      });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->dfs_bytes_written, 0u);  // The per-stage DFS tax (§1).
+  EXPECT_TRUE(fs_->ListFiles("/tmp/").empty());  // Intermediates cleaned.
+}
+
+TEST_F(MapReduceTest, StartupOverheadChargedPerJob) {
+  WriteInput("/in/part0", {{"k", "v"}});
+  MrJobConfig config;
+  config.name = "slow";
+  config.startup_overhead_ms = 250;
+  const int64_t before = clock_.NowMs();
+  auto stats = engine_->RunJob(
+      config, "/in", "/out",
+      [](const KeyValue& kv) { return std::vector<KeyValue>{kv}; },
+      [](const std::string&, const std::vector<std::string>& values) {
+        return values.back();
+      });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(clock_.NowMs() - before, 250);
+  EXPECT_GE(stats->wall_ms, 250);
+}
+
+TEST_F(MapReduceTest, ChainLatencyGrowsWithStageCount) {
+  // The paper's core complaint about MR/DFS pipelines (§1 limitation 1).
+  WriteInput("/in/part0", {{"k", "v"}});
+  const MapFn identity = [](const KeyValue& kv) {
+    return std::vector<KeyValue>{kv};
+  };
+
+  MrJobConfig config;
+  config.name = "chain";
+  config.startup_overhead_ms = 100;
+
+  auto two = engine_->RunChain(config, "/in", "/out2", {identity, identity});
+  ASSERT_TRUE(two.ok());
+  config.name = "chain4";
+  auto four = engine_->RunChain(config, "/in", "/out4",
+                                {identity, identity, identity, identity});
+  ASSERT_TRUE(four.ok());
+  EXPECT_GE(two->wall_ms, 200);
+  EXPECT_GE(four->wall_ms, 400);
+  EXPECT_GT(four->wall_ms, two->wall_ms);
+  EXPECT_GT(four->dfs_bytes_written, two->dfs_bytes_written);
+}
+
+TEST_F(MapReduceTest, ChainPreservesData) {
+  std::vector<KeyValue> input;
+  for (int i = 0; i < 20; ++i) input.push_back({"k" + std::to_string(i), "0"});
+  WriteInput("/in/part0", input);
+  const MapFn increment = [](const KeyValue& kv) {
+    return std::vector<KeyValue>{
+        {kv.key, std::to_string(std::strtoll(kv.value.c_str(), nullptr, 10) + 1)}};
+  };
+  MrJobConfig config;
+  config.name = "inc";
+  config.startup_overhead_ms = 0;
+  auto stats = engine_->RunChain(config, "/in", "/out",
+                                 {increment, increment, increment});
+  ASSERT_TRUE(stats.ok());
+  auto out = ReadOutput("/out");
+  ASSERT_EQ(out.size(), 20u);
+  for (const auto& [key, value] : out) EXPECT_EQ(value, "3") << key;
+}
+
+}  // namespace
+}  // namespace liquid::mapreduce

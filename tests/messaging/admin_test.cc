@@ -1,0 +1,220 @@
+#include "messaging/admin.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/clock.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+#include "messaging/consumer.h"
+#include "messaging/producer.h"
+
+namespace liquid::messaging {
+namespace {
+
+class AdminTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_brokers = 4;
+    cluster_ = std::make_unique<Cluster>(config, &clock_);
+    ASSERT_TRUE(cluster_->Start().ok());
+    offsets_ =
+        std::move(OffsetManager::Open(&offsets_disk_, "o/", &clock_)).value();
+    coordinator_ = std::make_unique<GroupCoordinator>(cluster_.get());
+    admin_ = std::make_unique<Admin>(cluster_.get(), offsets_.get());
+  }
+
+  void CreateTopic(const std::string& name, int partitions, int rf) {
+    TopicConfig config;
+    config.partitions = partitions;
+    config.replication_factor = rf;
+    ASSERT_TRUE(cluster_->CreateTopic(name, config).ok());
+  }
+
+  void Produce(const std::string& topic, int count) {
+    Producer producer(cluster_.get(), ProducerConfig{});
+    for (int i = 0; i < count; ++i) {
+      ASSERT_TRUE(
+          producer.Send(topic, storage::Record::KeyValue("k", "v")).ok());
+    }
+    ASSERT_TRUE(producer.Flush().ok());
+  }
+
+  SimulatedClock clock_{1000};
+  std::unique_ptr<Cluster> cluster_;
+  storage::MemDisk offsets_disk_;
+  std::unique_ptr<OffsetManager> offsets_;
+  std::unique_ptr<GroupCoordinator> coordinator_;
+  std::unique_ptr<Admin> admin_;
+};
+
+TEST_F(AdminTest, DescribeHealthyCluster) {
+  CreateTopic("t", 4, 2);
+  auto description = admin_->DescribeCluster();
+  EXPECT_EQ(description.alive_brokers.size(), 4u);
+  EXPECT_TRUE(description.dead_brokers.empty());
+  EXPECT_GE(description.controller_id, 0);
+  EXPECT_EQ(description.topics, 1);
+  EXPECT_EQ(description.partitions, 4);
+  EXPECT_EQ(description.offline_partitions, 0);
+  EXPECT_EQ(description.under_replicated_partitions, 0);
+}
+
+TEST_F(AdminTest, DescribeDegradedCluster) {
+  CreateTopic("t", 2, 3);
+  const TopicPartition tp{"t", 0};
+  // Kill one broker and shrink an ISR via a produce.
+  auto state = cluster_->GetPartitionState(tp);
+  int victim = -1;
+  for (int replica : state->replicas) {
+    if (replica != state->leader) victim = replica;
+  }
+  cluster_->StopBroker(victim);
+  Produce("t", 10);  // acks=all shrinks ISRs excluding the dead broker.
+
+  auto description = admin_->DescribeCluster();
+  EXPECT_EQ(description.alive_brokers.size(), 3u);
+  EXPECT_EQ(description.dead_brokers.size(), 1u);
+  EXPECT_GT(description.under_replicated_partitions, 0);
+}
+
+TEST_F(AdminTest, DescribeTopicListsAllPartitions) {
+  CreateTopic("t", 3, 2);
+  auto states = admin_->DescribeTopic("t");
+  ASSERT_TRUE(states.ok());
+  ASSERT_EQ(states->size(), 3u);
+  for (const auto& state : *states) {
+    EXPECT_GE(state.leader, 0);
+    EXPECT_EQ(state.replicas.size(), 2u);
+  }
+  EXPECT_TRUE(admin_->DescribeTopic("ghost").status().IsNotFound());
+}
+
+TEST_F(AdminTest, ConsumerLagTracksConsumption) {
+  CreateTopic("t", 1, 1);
+  Produce("t", 100);
+  const TopicPartition tp{"t", 0};
+
+  // Never-committed group: lag = full log.
+  auto lag = admin_->ConsumerLag("readers", "t");
+  ASSERT_TRUE(lag.ok());
+  ASSERT_EQ(lag->size(), 1u);
+  EXPECT_EQ((*lag)[0].committed_offset, -1);
+  EXPECT_EQ((*lag)[0].lag, 100);
+
+  // Consume 40, commit: lag = 60.
+  ConsumerConfig consumer_config;
+  consumer_config.group = "readers";
+  Consumer consumer(cluster_.get(), offsets_.get(), coordinator_.get(), "m",
+                    consumer_config);
+  consumer.Subscribe({"t"});
+  consumer.Poll(40);
+  consumer.Commit();
+  lag = admin_->ConsumerLag("readers", "t");
+  EXPECT_EQ((*lag)[0].committed_offset, 40);
+  EXPECT_EQ((*lag)[0].lag, 60);
+}
+
+TEST_F(AdminTest, ReassignPartitionMovesDataAndLeadership) {
+  CreateTopic("t", 1, 2);
+  Produce("t", 50);
+  const TopicPartition tp{"t", 0};
+  auto before = cluster_->GetPartitionState(tp);
+
+  // Pick two brokers disjoint from the current replica set.
+  std::vector<int> targets;
+  for (int id : cluster_->AliveBrokerIds()) {
+    if (std::find(before->replicas.begin(), before->replicas.end(), id) ==
+        before->replicas.end()) {
+      targets.push_back(id);
+    }
+  }
+  ASSERT_EQ(targets.size(), 2u);
+
+  ASSERT_TRUE(admin_->ReassignPartition(tp, targets).ok());
+  auto after = cluster_->GetPartitionState(tp);
+  EXPECT_EQ(after->replicas, targets);
+  EXPECT_TRUE(std::find(targets.begin(), targets.end(), after->leader) !=
+              targets.end());
+  EXPECT_GT(after->leader_epoch, before->leader_epoch);
+
+  // All data still readable from the new leader.
+  auto leader = cluster_->LeaderFor(tp);
+  auto fetch = (*leader)->Fetch(tp, 0, 1 << 20, -1);
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch->log_end_offset, 50);
+  // Old replicas no longer host the partition.
+  for (int id : before->replicas) {
+    EXPECT_FALSE(cluster_->broker(id)->HostsPartition(tp)) << id;
+  }
+  // New replica set serves new produces.
+  Produce("t", 10);
+  EXPECT_EQ(*(*cluster_->LeaderFor(tp))->LogEndOffset(tp), 60);
+}
+
+TEST_F(AdminTest, ReassignValidatesTargets) {
+  CreateTopic("t", 1, 1);
+  const TopicPartition tp{"t", 0};
+  EXPECT_TRUE(admin_->ReassignPartition(tp, {}).IsInvalidArgument());
+  EXPECT_TRUE(admin_->ReassignPartition(tp, {99}).IsInvalidArgument());
+  cluster_->StopBroker(3);
+  EXPECT_TRUE(admin_->ReassignPartition(tp, {3}).IsInvalidArgument());
+}
+
+TEST_F(AdminTest, ReassignKeepingLeaderIsStable) {
+  CreateTopic("t", 1, 2);
+  Produce("t", 20);
+  const TopicPartition tp{"t", 0};
+  auto before = cluster_->GetPartitionState(tp);
+  // Keep the leader, swap the follower for a new broker.
+  int new_follower = -1;
+  for (int id : cluster_->AliveBrokerIds()) {
+    if (std::find(before->replicas.begin(), before->replicas.end(), id) ==
+        before->replicas.end()) {
+      new_follower = id;
+      break;
+    }
+  }
+  ASSERT_TRUE(
+      admin_->ReassignPartition(tp, {before->leader, new_follower}).ok());
+  auto after = cluster_->GetPartitionState(tp);
+  EXPECT_EQ(after->leader, before->leader);  // Leadership did not move.
+  EXPECT_EQ(*cluster_->broker(new_follower)->LogEndOffset(tp), 20);
+}
+
+TEST_F(AdminTest, DrainBrokerEmptiesIt) {
+  CreateTopic("a", 2, 2);
+  CreateTopic("b", 2, 2);
+  Produce("a", 20);
+  Produce("b", 20);
+
+  // Find a broker hosting at least one partition.
+  int victim = -1;
+  for (int id : cluster_->AliveBrokerIds()) {
+    if (!cluster_->broker(id)->HostedPartitions().empty()) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  ASSERT_TRUE(admin_->DrainBroker(victim).ok());
+  EXPECT_TRUE(cluster_->broker(victim)->HostedPartitions().empty());
+
+  // Every partition still healthy and fully replicated elsewhere.
+  auto description = admin_->DescribeCluster();
+  EXPECT_EQ(description.offline_partitions, 0);
+  for (const char* topic : {"a", "b"}) {
+    auto states = admin_->DescribeTopic(topic);
+    ASSERT_TRUE(states.ok());
+    for (const auto& state : *states) {
+      EXPECT_EQ(state.replicas.size(), 2u);
+      for (int replica : state.replicas) EXPECT_NE(replica, victim);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace liquid::messaging

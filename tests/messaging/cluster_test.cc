@@ -1,0 +1,165 @@
+#include "messaging/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/clock.h"
+
+namespace liquid::messaging {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_brokers = 3;
+    cluster_ = std::make_unique<Cluster>(config, &clock_);
+    ASSERT_TRUE(cluster_->Start().ok());
+  }
+
+  SimulatedClock clock_{1000};
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ClusterTest, StartsAllBrokersAndElectsController) {
+  EXPECT_EQ(cluster_->BrokerIds().size(), 3u);
+  EXPECT_EQ(cluster_->AliveBrokerIds().size(), 3u);
+  EXPECT_GE(cluster_->ControllerId(), 0);
+  int controllers = 0;
+  for (int id : cluster_->BrokerIds()) {
+    if (cluster_->broker(id)->IsController()) ++controllers;
+  }
+  EXPECT_EQ(controllers, 1);  // Exactly one controller.
+}
+
+TEST_F(ClusterTest, CreateTopicAssignsLeadersAndReplicas) {
+  TopicConfig config;
+  config.partitions = 4;
+  config.replication_factor = 2;
+  ASSERT_TRUE(cluster_->CreateTopic("events", config).ok());
+
+  for (int p = 0; p < 4; ++p) {
+    const TopicPartition tp{"events", p};
+    auto state = cluster_->GetPartitionState(tp);
+    ASSERT_TRUE(state.ok());
+    EXPECT_EQ(state->replicas.size(), 2u);
+    EXPECT_EQ(state->isr.size(), 2u);
+    EXPECT_EQ(state->leader, state->replicas.front());
+    auto leader = cluster_->LeaderFor(tp);
+    ASSERT_TRUE(leader.ok());
+    EXPECT_TRUE((*leader)->IsLeaderFor(tp));
+  }
+}
+
+TEST_F(ClusterTest, PartitionsSpreadAcrossBrokers) {
+  TopicConfig config;
+  config.partitions = 6;
+  config.replication_factor = 1;
+  ASSERT_TRUE(cluster_->CreateTopic("spread", config).ok());
+  std::set<int> leaders;
+  for (int p = 0; p < 6; ++p) {
+    auto state = cluster_->GetPartitionState(TopicPartition{"spread", p});
+    leaders.insert(state->leader);
+  }
+  EXPECT_EQ(leaders.size(), 3u);  // Round-robin uses every broker.
+}
+
+TEST_F(ClusterTest, DuplicateTopicRejected) {
+  TopicConfig config;
+  ASSERT_TRUE(cluster_->CreateTopic("t", config).ok());
+  EXPECT_TRUE(cluster_->CreateTopic("t", config).IsAlreadyExists());
+}
+
+TEST_F(ClusterTest, ReplicationFactorBoundedByBrokers) {
+  TopicConfig config;
+  config.replication_factor = 5;
+  EXPECT_TRUE(cluster_->CreateTopic("t", config).IsInvalidArgument());
+}
+
+TEST_F(ClusterTest, InvalidTopicConfigRejected) {
+  TopicConfig config;
+  config.partitions = 0;
+  EXPECT_TRUE(cluster_->CreateTopic("t", config).IsInvalidArgument());
+}
+
+TEST_F(ClusterTest, UnknownTopicQueriesFail) {
+  EXPECT_TRUE(cluster_->GetTopicConfig("ghost").status().IsNotFound());
+  EXPECT_TRUE(cluster_->PartitionsOf("ghost").status().IsNotFound());
+  EXPECT_TRUE(cluster_->GetPartitionState(TopicPartition{"ghost", 0})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ClusterTest, BrokerStopAndRestartLifecycle) {
+  TopicConfig config;
+  config.partitions = 1;
+  config.replication_factor = 3;
+  ASSERT_TRUE(cluster_->CreateTopic("t", config).ok());
+
+  ASSERT_TRUE(cluster_->StopBroker(2).ok());
+  EXPECT_EQ(cluster_->AliveBrokerIds().size(), 2u);
+  EXPECT_FALSE(cluster_->broker(2)->alive());
+
+  ASSERT_TRUE(cluster_->RestartBroker(2).ok());
+  EXPECT_EQ(cluster_->AliveBrokerIds().size(), 3u);
+  EXPECT_TRUE(cluster_->broker(2)->alive());
+  // Restarted broker resumed its replica.
+  EXPECT_TRUE(cluster_->broker(2)->HostsPartition(TopicPartition{"t", 0}));
+}
+
+TEST_F(ClusterTest, ControllerFailoverElectsNewController) {
+  const int old_controller = cluster_->ControllerId();
+  ASSERT_GE(old_controller, 0);
+  cluster_->StopBroker(old_controller);
+  const int new_controller = cluster_->ControllerId();
+  EXPECT_GE(new_controller, 0);
+  EXPECT_NE(new_controller, old_controller);
+}
+
+TEST_F(ClusterTest, PartitionStateSerializationRoundTrip) {
+  PartitionState state;
+  state.leader = 2;
+  state.leader_epoch = 7;
+  state.replicas = {2, 0, 1};
+  state.isr = {2, 1};
+  auto parsed = PartitionState::Parse(state.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->leader, 2);
+  EXPECT_EQ(parsed->leader_epoch, 7);
+  EXPECT_EQ(parsed->replicas, state.replicas);
+  EXPECT_EQ(parsed->isr, state.isr);
+}
+
+TEST_F(ClusterTest, PartitionStateEmptyIsrParses) {
+  PartitionState state;
+  state.leader = -1;
+  state.leader_epoch = 3;
+  state.replicas = {0, 1};
+  state.isr = {};
+  auto parsed = PartitionState::Parse(state.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->isr.empty());
+  EXPECT_EQ(parsed->leader, -1);
+}
+
+TEST_F(ClusterTest, ManyTopicsManyPartitions) {
+  // Scaled-down version of the paper's 25k-topic deployment shape (§5).
+  TopicConfig config;
+  config.partitions = 4;
+  config.replication_factor = 2;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(cluster_->CreateTopic("topic" + std::to_string(i), config).ok());
+  }
+  EXPECT_EQ(cluster_->Topics().size(), 50u);
+  for (int i = 0; i < 50; i += 7) {
+    auto partitions = cluster_->PartitionsOf("topic" + std::to_string(i));
+    for (const auto& tp : *partitions) {
+      EXPECT_TRUE(cluster_->LeaderFor(tp).ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace liquid::messaging

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/clock.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+#include "messaging/producer.h"
+
+namespace liquid::messaging {
+namespace {
+
+/// Broker-failure handling: leader re-election from the ISR, durability
+/// trade-offs across ack levels, unclean election (§4.3, experiment E8).
+class FailoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_brokers = 3;
+    cluster_ = std::make_unique<Cluster>(config, &clock_);
+    ASSERT_TRUE(cluster_->Start().ok());
+  }
+
+  void CreateTopic(const std::string& name, int rf, bool unclean = false) {
+    TopicConfig config;
+    config.partitions = 1;
+    config.replication_factor = rf;
+    config.unclean_leader_election = unclean;
+    ASSERT_TRUE(cluster_->CreateTopic(name, config).ok());
+  }
+
+  int Produce(const TopicPartition& tp, int count, AckMode acks) {
+    int succeeded = 0;
+    for (int i = 0; i < count; ++i) {
+      auto leader = cluster_->LeaderFor(tp);
+      if (!leader.ok()) continue;
+      std::vector<storage::Record> batch{
+          storage::Record::KeyValue("k", "v" + std::to_string(i))};
+      if ((*leader)->Produce(tp, batch, acks).ok()) ++succeeded;
+    }
+    return succeeded;
+  }
+
+  int64_t CommittedRecords(const TopicPartition& tp) {
+    auto leader = cluster_->LeaderFor(tp);
+    if (!leader.ok()) return -1;
+    int64_t total = 0;
+    int64_t cursor = 0;
+    while (true) {
+      auto fetch = (*leader)->Fetch(tp, cursor, 1 << 20, -1);
+      if (!fetch.ok() || fetch->records.empty()) break;
+      total += static_cast<int64_t>(fetch->records.size());
+      cursor = fetch->records.back().offset + 1;
+    }
+    return total;
+  }
+
+  SimulatedClock clock_{1000};
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(FailoverTest, LeaderDeathTriggersReElectionFromIsr) {
+  CreateTopic("t", 3);
+  const TopicPartition tp{"t", 0};
+  ASSERT_EQ(Produce(tp, 5, AckMode::kAll), 5);
+
+  auto before = cluster_->GetPartitionState(tp);
+  cluster_->StopBroker(before->leader);
+  cluster_->ReplicationTick();  // Surviving followers fetch from the new
+  cluster_->ReplicationTick();  // leader, re-advancing the high-watermark.
+
+  auto after = cluster_->GetPartitionState(tp);
+  EXPECT_NE(after->leader, before->leader);
+  EXPECT_GT(after->leader_epoch, before->leader_epoch);
+  // The new leader came from the old ISR.
+  EXPECT_TRUE(std::find(before->isr.begin(), before->isr.end(), after->leader) !=
+              before->isr.end());
+  // No committed data lost (acks=all).
+  EXPECT_EQ(CommittedRecords(tp), 5);
+}
+
+TEST_F(FailoverTest, AcksAllLosesNothingAcrossFailover) {
+  CreateTopic("t", 3);
+  const TopicPartition tp{"t", 0};
+  const int acked = Produce(tp, 20, AckMode::kAll);
+  cluster_->StopBroker(cluster_->GetPartitionState(tp)->leader);
+  cluster_->ReplicationTick();
+  cluster_->ReplicationTick();
+  EXPECT_EQ(CommittedRecords(tp), acked);
+}
+
+TEST_F(FailoverTest, AcksLeaderMayLoseUnreplicatedRecords) {
+  CreateTopic("t", 3);
+  const TopicPartition tp{"t", 0};
+  // No replication ticks: records sit only on the leader.
+  const int acked = Produce(tp, 20, AckMode::kLeader);
+  ASSERT_EQ(acked, 20);
+  cluster_->StopBroker(cluster_->GetPartitionState(tp)->leader);
+  const int64_t survived = CommittedRecords(tp);
+  // The durability trade-off (§4.3): acknowledged-but-unreplicated data is
+  // gone after failover.
+  EXPECT_LT(survived, acked);
+}
+
+TEST_F(FailoverTest, AcksLeaderKeepsReplicatedRecords) {
+  CreateTopic("t", 3);
+  const TopicPartition tp{"t", 0};
+  Produce(tp, 20, AckMode::kLeader);
+  cluster_->ReplicationTick();  // Replicate...
+  cluster_->ReplicationTick();  // ...and advance the HW.
+  cluster_->StopBroker(cluster_->GetPartitionState(tp)->leader);
+  cluster_->ReplicationTick();
+  cluster_->ReplicationTick();
+  EXPECT_EQ(CommittedRecords(tp), 20);
+}
+
+TEST_F(FailoverTest, PartitionGoesOfflineWithoutIsrCandidates) {
+  CreateTopic("t", 2, /*unclean=*/false);
+  const TopicPartition tp{"t", 0};
+  auto state = cluster_->GetPartitionState(tp);
+  // Kill both replicas.
+  for (int replica : state->replicas) cluster_->StopBroker(replica);
+  auto offline = cluster_->GetPartitionState(tp);
+  EXPECT_EQ(offline->leader, -1);
+  EXPECT_TRUE(cluster_->LeaderFor(tp).status().IsUnavailable());
+}
+
+TEST_F(FailoverTest, OfflinePartitionRecoversWhenReplicaReturns) {
+  CreateTopic("t", 2);
+  const TopicPartition tp{"t", 0};
+  ASSERT_EQ(Produce(tp, 3, AckMode::kAll), 3);
+  auto state = cluster_->GetPartitionState(tp);
+  for (int replica : state->replicas) cluster_->StopBroker(replica);
+  ASSERT_EQ(cluster_->GetPartitionState(tp)->leader, -1);
+
+  // Sequential failures shrink the ISR: by the time the second replica dies
+  // it is the sole ISR member, so recovery requires it (or both) back.
+  for (int replica : state->replicas) {
+    ASSERT_TRUE(cluster_->RestartBroker(replica).ok());
+  }
+  auto recovered = cluster_->GetPartitionState(tp);
+  EXPECT_NE(recovered->leader, -1);
+  EXPECT_EQ(CommittedRecords(tp), 3);  // Data survived on disk.
+}
+
+TEST_F(FailoverTest, UncleanElectionTradesDataForAvailability) {
+  CreateTopic("t", 2, /*unclean=*/true);
+  const TopicPartition tp{"t", 0};
+  auto state = cluster_->GetPartitionState(tp);
+  const int leader = state->leader;
+  int follower = -1;
+  for (int replica : state->replicas) {
+    if (replica != leader) follower = replica;
+  }
+
+  // Isolate the follower (it falls out of the ISR), then keep writing.
+  cluster_->StopBroker(follower);
+  ASSERT_EQ(Produce(tp, 10, AckMode::kAll), 10);
+  ASSERT_EQ(cluster_->GetPartitionState(tp)->isr.size(), 1u);
+
+  // Bring the stale follower back, then kill the leader: only a NON-ISR
+  // replica is available.
+  ASSERT_TRUE(cluster_->RestartBroker(follower).ok());
+  cluster_->StopBroker(leader);
+
+  auto after = cluster_->GetPartitionState(tp);
+  EXPECT_EQ(after->leader, follower);  // Unclean: stale replica leads.
+  EXPECT_LT(CommittedRecords(tp), 10);  // Data loss is the price.
+}
+
+TEST_F(FailoverTest, CleanConfigKeepsPartitionOfflineInsteadOfLosingData) {
+  CreateTopic("t", 2, /*unclean=*/false);
+  const TopicPartition tp{"t", 0};
+  auto state = cluster_->GetPartitionState(tp);
+  const int leader = state->leader;
+  int follower = -1;
+  for (int replica : state->replicas) {
+    if (replica != leader) follower = replica;
+  }
+  cluster_->StopBroker(follower);
+  ASSERT_EQ(Produce(tp, 10, AckMode::kAll), 10);
+  ASSERT_TRUE(cluster_->RestartBroker(follower).ok());
+  // The restarted follower is not yet back in the ISR; the leader dies.
+  cluster_->StopBroker(leader);
+  EXPECT_EQ(cluster_->GetPartitionState(tp)->leader, -1);  // Offline, no loss.
+}
+
+TEST_F(FailoverTest, RestartedLeaderComesBackAsFollowerAndCatchesUp) {
+  CreateTopic("t", 3);
+  const TopicPartition tp{"t", 0};
+  ASSERT_EQ(Produce(tp, 5, AckMode::kAll), 5);
+  const int old_leader = cluster_->GetPartitionState(tp)->leader;
+  cluster_->StopBroker(old_leader);
+  ASSERT_EQ(Produce(tp, 5, AckMode::kAll), 5);  // New leader takes writes.
+
+  ASSERT_TRUE(cluster_->RestartBroker(old_leader).ok());
+  const int new_leader = cluster_->GetPartitionState(tp)->leader;
+  EXPECT_NE(new_leader, old_leader);
+  cluster_->ReplicationTick();
+  cluster_->ReplicationTick();
+  EXPECT_EQ(*cluster_->broker(old_leader)->LogEndOffset(tp), 10);
+  // And it rejoined the ISR.
+  auto state = cluster_->GetPartitionState(tp);
+  EXPECT_TRUE(std::find(state->isr.begin(), state->isr.end(), old_leader) !=
+              state->isr.end());
+}
+
+TEST_F(FailoverTest, EpochFencingPreventsZombieLeader) {
+  CreateTopic("t", 3);
+  const TopicPartition tp{"t", 0};
+  ASSERT_EQ(Produce(tp, 2, AckMode::kAll), 2);
+  auto before = cluster_->GetPartitionState(tp);
+  Broker* old_leader = cluster_->broker(before->leader);
+  cluster_->StopBroker(before->leader);
+
+  // The dead ("zombie") leader cannot serve anything.
+  std::vector<storage::Record> batch{storage::Record::KeyValue("k", "zombie")};
+  EXPECT_TRUE(old_leader->Produce(tp, batch, AckMode::kLeader)
+                  .status()
+                  .IsUnavailable());
+  EXPECT_TRUE(old_leader->Fetch(tp, 0, 1024, -1).status().IsUnavailable());
+}
+
+}  // namespace
+}  // namespace liquid::messaging

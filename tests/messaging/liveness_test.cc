@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/clock.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+#include "messaging/consumer.h"
+#include "messaging/producer.h"
+
+namespace liquid::messaging {
+namespace {
+
+/// Consumer liveness: crashed members (no polls) are evicted after the
+/// session timeout so their partitions are redistributed and the group keeps
+/// draining its feeds.
+class LivenessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_brokers = 3;
+    cluster_ = std::make_unique<Cluster>(config, &clock_);
+    ASSERT_TRUE(cluster_->Start().ok());
+    offsets_ =
+        std::move(OffsetManager::Open(&offsets_disk_, "o/", &clock_)).value();
+    coordinator_ = std::make_unique<GroupCoordinator>(
+        cluster_.get(), /*session_timeout_ms=*/10'000);
+    TopicConfig topic;
+    topic.partitions = 4;
+    topic.replication_factor = 1;
+    ASSERT_TRUE(cluster_->CreateTopic("t", topic).ok());
+  }
+
+  std::unique_ptr<Consumer> NewConsumer(const std::string& member) {
+    ConsumerConfig config;
+    config.group = "g";
+    return std::make_unique<Consumer>(cluster_.get(), offsets_.get(),
+                                      coordinator_.get(), member, config);
+  }
+
+  SimulatedClock clock_{1000};
+  std::unique_ptr<Cluster> cluster_;
+  storage::MemDisk offsets_disk_;
+  std::unique_ptr<OffsetManager> offsets_;
+  std::unique_ptr<GroupCoordinator> coordinator_;
+};
+
+TEST_F(LivenessTest, ActiveMembersAreNotEvicted) {
+  auto c1 = NewConsumer("m1");
+  auto c2 = NewConsumer("m2");
+  c1->Subscribe({"t"});
+  c2->Subscribe({"t"});
+  for (int i = 0; i < 5; ++i) {
+    clock_.AdvanceMs(5'000);  // Under the timeout between polls.
+    c1->Poll(1);
+    c2->Poll(1);
+    EXPECT_EQ(coordinator_->EvictExpiredMembers(), 0);
+  }
+  EXPECT_EQ(coordinator_->MemberCount("g"), 2);
+}
+
+TEST_F(LivenessTest, SilentMemberEvictedAndPartitionsRedistributed) {
+  auto c1 = NewConsumer("m1");
+  auto c2 = NewConsumer("m2");
+  c1->Subscribe({"t"});
+  c2->Subscribe({"t"});
+  c1->Poll(0);
+  EXPECT_EQ(c1->Assignment().size(), 2u);
+
+  // m2 "crashes" (never polls again); m1 keeps polling.
+  clock_.AdvanceMs(15'000);
+  c1->Poll(0);
+  EXPECT_EQ(coordinator_->EvictExpiredMembers(), 1);
+  EXPECT_EQ(coordinator_->MemberCount("g"), 1);
+  c1->Poll(0);  // Picks up the new generation.
+  EXPECT_EQ(c1->Assignment().size(), 4u);  // m1 owns everything now.
+}
+
+TEST_F(LivenessTest, EvictedMembersPartitionsKeepDraining) {
+  Producer producer(cluster_.get(), ProducerConfig{});
+  for (int i = 0; i < 40; ++i) {
+    producer.Send("t", storage::Record::KeyValue("k" + std::to_string(i), "v"));
+  }
+  producer.Flush();
+
+  auto c1 = NewConsumer("m1");
+  auto c2 = NewConsumer("m2");
+  c1->Subscribe({"t"});
+  c2->Subscribe({"t"});
+  // m2 consumes a little, commits, then dies.
+  c2->Poll(5);
+  c2->Commit();
+  clock_.AdvanceMs(15'000);
+  c1->Poll(0);
+  ASSERT_EQ(coordinator_->EvictExpiredMembers(), 1);
+
+  // m1 takes over m2's partitions from the committed offsets and drains all.
+  int64_t total = 5;  // m2's share before dying.
+  for (int round = 0; round < 50; ++round) {
+    auto records = c1->Poll(64);
+    if (records.ok()) total += static_cast<int64_t>(records->size());
+  }
+  EXPECT_GE(total, 40);  // At-least-once: everything delivered.
+}
+
+TEST_F(LivenessTest, DisabledTimeoutNeverEvicts) {
+  GroupCoordinator no_timeout(cluster_.get(), /*session_timeout_ms=*/-1);
+  ConsumerConfig config;
+  config.group = "g2";
+  Consumer consumer(cluster_.get(), offsets_.get(), &no_timeout, "m", config);
+  consumer.Subscribe({"t"});
+  clock_.AdvanceMs(1'000'000);
+  EXPECT_EQ(no_timeout.EvictExpiredMembers(), 0);
+  EXPECT_EQ(no_timeout.MemberCount("g2"), 1);
+}
+
+TEST_F(LivenessTest, RejoinAfterEvictionWorks) {
+  auto c1 = NewConsumer("m1");
+  c1->Subscribe({"t"});
+  clock_.AdvanceMs(20'000);
+  ASSERT_EQ(coordinator_->EvictExpiredMembers(), 1);
+  EXPECT_EQ(coordinator_->MemberCount("g"), 0);
+  // The "recovered" consumer re-subscribes (new session) and gets everything.
+  ASSERT_TRUE(c1->Subscribe({"t"}).ok());
+  EXPECT_EQ(coordinator_->MemberCount("g"), 1);
+  c1->Poll(0);
+  EXPECT_EQ(c1->Assignment().size(), 4u);
+}
+
+}  // namespace
+}  // namespace liquid::messaging

@@ -1,0 +1,172 @@
+#include "messaging/offset_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/clock.h"
+
+namespace liquid::messaging {
+namespace {
+
+/// The metadata-annotated offset manager (§3.1, §4.2).
+class OffsetManagerTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<OffsetManager> OpenManager() {
+    auto manager = OffsetManager::Open(&disk_, "om/", &clock_);
+    EXPECT_TRUE(manager.ok());
+    return std::move(manager).value();
+  }
+
+  storage::MemDisk disk_;
+  SimulatedClock clock_{5000};
+};
+
+TEST_F(OffsetManagerTest, CommitAndFetch) {
+  auto manager = OpenManager();
+  const TopicPartition tp{"t", 0};
+  OffsetCommit commit;
+  commit.offset = 42;
+  ASSERT_TRUE(manager->Commit("g", tp, commit).ok());
+  auto fetched = manager->Fetch("g", tp);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->offset, 42);
+  EXPECT_EQ(fetched->committed_at_ms, 5000);  // Stamped with clock time.
+}
+
+TEST_F(OffsetManagerTest, FetchUnknownIsNotFound) {
+  auto manager = OpenManager();
+  EXPECT_TRUE(manager->Fetch("g", TopicPartition{"t", 0}).status().IsNotFound());
+}
+
+TEST_F(OffsetManagerTest, LatestCommitWins) {
+  auto manager = OpenManager();
+  const TopicPartition tp{"t", 0};
+  for (int64_t offset : {10, 20, 30}) {
+    OffsetCommit commit;
+    commit.offset = offset;
+    manager->Commit("g", tp, commit);
+  }
+  EXPECT_EQ(manager->Fetch("g", tp)->offset, 30);
+}
+
+TEST_F(OffsetManagerTest, GroupsAndPartitionsAreIndependent) {
+  auto manager = OpenManager();
+  OffsetCommit c1, c2, c3;
+  c1.offset = 1;
+  c2.offset = 2;
+  c3.offset = 3;
+  manager->Commit("g1", TopicPartition{"t", 0}, c1);
+  manager->Commit("g2", TopicPartition{"t", 0}, c2);
+  manager->Commit("g1", TopicPartition{"t", 1}, c3);
+  EXPECT_EQ(manager->Fetch("g1", TopicPartition{"t", 0})->offset, 1);
+  EXPECT_EQ(manager->Fetch("g2", TopicPartition{"t", 0})->offset, 2);
+  EXPECT_EQ(manager->Fetch("g1", TopicPartition{"t", 1})->offset, 3);
+}
+
+TEST_F(OffsetManagerTest, AnnotationsRoundTrip) {
+  auto manager = OpenManager();
+  const TopicPartition tp{"t", 0};
+  OffsetCommit commit;
+  commit.offset = 7;
+  commit.annotations = {{"version", "v2"}, {"host", "node-3"}};
+  manager->Commit("g", tp, commit);
+  auto fetched = manager->Fetch("g", tp);
+  EXPECT_EQ(fetched->annotations.at("version"), "v2");
+  EXPECT_EQ(fetched->annotations.at("host"), "node-3");
+}
+
+TEST_F(OffsetManagerTest, LabeledCommitsSurviveLaterPlainCommits) {
+  // The §4.2 use case: mark "where algorithm v2 started" and rewind to it
+  // later even though normal checkpoints kept advancing.
+  auto manager = OpenManager();
+  const TopicPartition tp{"t", 0};
+  OffsetCommit marker;
+  marker.offset = 100;
+  marker.annotations = {{"version", "v2"}};
+  ASSERT_TRUE(manager->CommitLabeled("g", tp, "v2-start", marker).ok());
+
+  for (int64_t offset : {150, 200, 250}) {
+    OffsetCommit commit;
+    commit.offset = offset;
+    manager->Commit("g", tp, commit);
+  }
+  EXPECT_EQ(manager->Fetch("g", tp)->offset, 250);
+  auto labeled = manager->FetchLabeled("g", tp, "v2-start");
+  ASSERT_TRUE(labeled.ok());
+  EXPECT_EQ(labeled->offset, 100);
+  EXPECT_EQ(labeled->annotations.at("version"), "v2");
+}
+
+TEST_F(OffsetManagerTest, EmptyLabelRejected) {
+  auto manager = OpenManager();
+  OffsetCommit commit;
+  commit.offset = 1;
+  EXPECT_TRUE(manager->CommitLabeled("g", TopicPartition{"t", 0}, "", commit)
+                  .IsInvalidArgument());
+}
+
+TEST_F(OffsetManagerTest, RecoversFromBackingLogAfterRestart) {
+  {
+    auto manager = OpenManager();
+    OffsetCommit commit;
+    commit.offset = 64;
+    commit.annotations = {{"version", "v1"}};
+    manager->Commit("g", TopicPartition{"t", 2}, commit);
+    OffsetCommit labeled;
+    labeled.offset = 10;
+    manager->CommitLabeled("g", TopicPartition{"t", 2}, "mark", labeled);
+  }
+  // "Failure": new manager instance over the same disk (§4.2: fetching from
+  // the offset manager is only necessary after a failure).
+  auto recovered = OpenManager();
+  auto fetched = recovered->Fetch("g", TopicPartition{"t", 2});
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->offset, 64);
+  EXPECT_EQ(fetched->annotations.at("version"), "v1");
+  EXPECT_EQ(recovered->FetchLabeled("g", TopicPartition{"t", 2}, "mark")->offset,
+            10);
+}
+
+TEST_F(OffsetManagerTest, CompactionShrinksBackingLog) {
+  auto manager = OpenManager();
+  const TopicPartition tp{"t", 0};
+  for (int i = 0; i < 20000; ++i) {
+    OffsetCommit commit;
+    commit.offset = i;
+    manager->Commit("g", tp, commit);
+  }
+  const uint64_t before = manager->backing_log_bytes();
+  auto stats = manager->CompactBackingLog();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(manager->backing_log_bytes(), before / 2);
+  // Latest commit still intact after compaction.
+  EXPECT_EQ(manager->Fetch("g", tp)->offset, 19999);
+}
+
+TEST_F(OffsetManagerTest, RecoveryAfterCompaction) {
+  {
+    auto manager = OpenManager();
+    const TopicPartition tp{"t", 0};
+    for (int i = 0; i < 5000; ++i) {
+      OffsetCommit commit;
+      commit.offset = i;
+      manager->Commit("g", tp, commit);
+    }
+    manager->CompactBackingLog();
+  }
+  auto recovered = OpenManager();
+  EXPECT_EQ(recovered->Fetch("g", TopicPartition{"t", 0})->offset, 4999);
+}
+
+TEST_F(OffsetManagerTest, CommitsTotalCounts) {
+  auto manager = OpenManager();
+  OffsetCommit commit;
+  commit.offset = 1;
+  manager->Commit("g", TopicPartition{"t", 0}, commit);
+  manager->Commit("g", TopicPartition{"t", 1}, commit);
+  EXPECT_EQ(manager->commits_total(), 2);
+}
+
+}  // namespace
+}  // namespace liquid::messaging

@@ -1,0 +1,140 @@
+#include "messaging/quota.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/clock.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+#include "messaging/producer.h"
+
+namespace liquid::messaging {
+namespace {
+
+/// Multi-tenancy byte-rate quotas (§4.5).
+TEST(QuotaManagerTest, UnquotedClientsNeverThrottled) {
+  SimulatedClock clock(0);
+  QuotaManager quotas(&clock);
+  EXPECT_EQ(quotas.Charge("anyone", 1 << 30), 0);
+  EXPECT_EQ(quotas.Charge("", 1 << 30), 0);  // Internal traffic.
+  EXPECT_EQ(quotas.throttled_requests(), 0);
+}
+
+TEST(QuotaManagerTest, BurstThenThrottle) {
+  SimulatedClock clock(0);
+  QuotaManager quotas(&clock);
+  quotas.SetQuota("tenant", 1000);  // 1000 B/s, 1000 B burst.
+  EXPECT_EQ(quotas.Charge("tenant", 800), 0);   // Within the burst.
+  const int64_t delay = quotas.Charge("tenant", 800);  // 600 B over.
+  EXPECT_GT(delay, 0);
+  EXPECT_LE(delay, 1000);  // At most ~600ms of debt (+1).
+  EXPECT_EQ(quotas.throttled_requests(), 1);
+}
+
+TEST(QuotaManagerTest, BucketRefillsOverTime) {
+  SimulatedClock clock(0);
+  QuotaManager quotas(&clock);
+  quotas.SetQuota("tenant", 1000);
+  EXPECT_EQ(quotas.Charge("tenant", 1000), 0);  // Burst drained.
+  EXPECT_GT(quotas.Charge("tenant", 500), 0);   // Over.
+  clock.AdvanceMs(2000);                        // Fully refilled (capped).
+  EXPECT_EQ(quotas.Charge("tenant", 900), 0);
+}
+
+TEST(QuotaManagerTest, RemovingQuotaStopsThrottling) {
+  SimulatedClock clock(0);
+  QuotaManager quotas(&clock);
+  quotas.SetQuota("tenant", 10);
+  EXPECT_GT(quotas.Charge("tenant", 1000), 0);
+  quotas.SetQuota("tenant", 0);  // Remove.
+  EXPECT_EQ(quotas.Charge("tenant", 1000), 0);
+}
+
+TEST(QuotaManagerTest, TenantsAreIndependent) {
+  SimulatedClock clock(0);
+  QuotaManager quotas(&clock);
+  quotas.SetQuota("noisy", 100);
+  quotas.SetQuota("quiet", 100);
+  EXPECT_GT(quotas.Charge("noisy", 10000), 0);
+  EXPECT_EQ(quotas.Charge("quiet", 50), 0);  // Unaffected by the neighbour.
+}
+
+class BrokerQuotaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_brokers = 1;
+    cluster_ = std::make_unique<Cluster>(config, &clock_);
+    ASSERT_TRUE(cluster_->Start().ok());
+    TopicConfig topic;
+    topic.partitions = 1;
+    topic.replication_factor = 1;
+    ASSERT_TRUE(cluster_->CreateTopic("t", topic).ok());
+  }
+
+  SimulatedClock clock_{0};
+  std::unique_ptr<Cluster> cluster_;
+  const TopicPartition tp_{"t", 0};
+};
+
+TEST_F(BrokerQuotaTest, ProduceOverQuotaIsDelayed) {
+  Broker* broker = *cluster_->LeaderFor(tp_);
+  broker->quotas()->SetQuota("tenant-a", 1000);
+
+  std::vector<storage::Record> batch{
+      storage::Record::KeyValue("k", std::string(600, 'x'))};
+  const int64_t before = clock_.NowMs();
+  ASSERT_TRUE(
+      broker->Produce(tp_, batch, AckMode::kLeader, -1, -1, "tenant-a").ok());
+  EXPECT_EQ(clock_.NowMs(), before);  // First burst: no delay.
+  ASSERT_TRUE(
+      broker->Produce(tp_, batch, AckMode::kLeader, -1, -1, "tenant-a").ok());
+  // Over quota: the simulated clock advanced by the throttle delay.
+  EXPECT_GT(clock_.NowMs(), before);
+  EXPECT_GT(broker->metrics()->GetCounter("quota.produce_throttles")->value(),
+            0);
+}
+
+TEST_F(BrokerQuotaTest, FetchOverQuotaIsDelayed) {
+  Broker* broker = *cluster_->LeaderFor(tp_);
+  broker->quotas()->SetQuota("tenant-b", 1024);
+  std::vector<storage::Record> batch{storage::Record::KeyValue("k", "v")};
+  broker->Produce(tp_, batch, AckMode::kLeader);
+
+  const int64_t before = clock_.NowMs();
+  ASSERT_TRUE(broker->Fetch(tp_, 0, 64 * 1024, -1, "tenant-b").ok());
+  ASSERT_TRUE(broker->Fetch(tp_, 0, 64 * 1024, -1, "tenant-b").ok());
+  EXPECT_GT(clock_.NowMs(), before);
+  EXPECT_GT(broker->metrics()->GetCounter("quota.fetch_throttles")->value(), 0);
+}
+
+TEST_F(BrokerQuotaTest, ReplicationTrafficNeverThrottled) {
+  Broker* broker = *cluster_->LeaderFor(tp_);
+  broker->quotas()->SetQuota("tenant", 1);  // Absurdly tight.
+  std::vector<storage::Record> batch{storage::Record::KeyValue("k", "v")};
+  broker->Produce(tp_, batch, AckMode::kLeader);  // client_id="" internal.
+  const int64_t before = clock_.NowMs();
+  // Replica fetches carry no client id: never delayed.
+  ASSERT_TRUE(broker->Fetch(tp_, 0, 1 << 20, /*replica_id=*/5).ok());
+  EXPECT_EQ(clock_.NowMs(), before);
+}
+
+TEST_F(BrokerQuotaTest, ProducerClientIdFlowsThrough) {
+  Broker* broker = *cluster_->LeaderFor(tp_);
+  broker->quotas()->SetQuota("app1", 200);
+  ProducerConfig config;
+  config.client_id = "app1";
+  config.batch_max_records = 1;
+  Producer producer(cluster_.get(), config);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        producer.Send("t", storage::Record::KeyValue("k", std::string(100, 'x')))
+            .ok());
+  }
+  EXPECT_GT(broker->metrics()->GetCounter("quota.produce_throttles")->value(),
+            0);
+}
+
+}  // namespace
+}  // namespace liquid::messaging

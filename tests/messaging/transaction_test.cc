@@ -1,0 +1,240 @@
+#include "messaging/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/clock.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+#include "messaging/consumer.h"
+#include "messaging/producer.h"
+
+namespace liquid::messaging {
+namespace {
+
+/// Transactions / exactly-once (§4.3 "ongoing effort"): atomic multi-
+/// partition publishing, read_committed isolation, zombie fencing, and
+/// offsets-in-transaction.
+class TransactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_brokers = 3;
+    cluster_ = std::make_unique<Cluster>(config, &clock_);
+    ASSERT_TRUE(cluster_->Start().ok());
+    offsets_ =
+        std::move(OffsetManager::Open(&offsets_disk_, "o/", &clock_)).value();
+    group_coordinator_ = std::make_unique<GroupCoordinator>(cluster_.get());
+    txn_ = std::make_unique<TransactionCoordinator>(cluster_.get(),
+                                                    offsets_.get());
+    TopicConfig topic;
+    topic.partitions = 2;
+    topic.replication_factor = 2;
+    ASSERT_TRUE(cluster_->CreateTopic("out", topic).ok());
+  }
+
+  std::unique_ptr<Producer> NewTxnProducer(const std::string& txn_id) {
+    ProducerConfig config;
+    config.transactional_id = txn_id;
+    config.partitioner = PartitionerType::kRoundRobin;
+    config.batch_max_records = 1;
+    auto producer = std::make_unique<Producer>(cluster_.get(), config);
+    EXPECT_TRUE(producer->InitTransactions(txn_.get()).ok());
+    return producer;
+  }
+
+  std::vector<std::string> ReadCommitted(const std::string& group) {
+    ConsumerConfig config;
+    config.group = group;
+    config.read_committed = true;
+    Consumer consumer(cluster_.get(), offsets_.get(), group_coordinator_.get(),
+                      group + "-m", config);
+    consumer.Subscribe({"out"});
+    std::vector<std::string> values;
+    for (int i = 0; i < 20; ++i) {
+      auto records = consumer.Poll(256);
+      if (!records.ok()) break;
+      for (const auto& envelope : *records) {
+        values.push_back(envelope.record.value);
+      }
+    }
+    return values;
+  }
+
+  SimulatedClock clock_{1000};
+  std::unique_ptr<Cluster> cluster_;
+  storage::MemDisk offsets_disk_;
+  std::unique_ptr<OffsetManager> offsets_;
+  std::unique_ptr<GroupCoordinator> group_coordinator_;
+  std::unique_ptr<TransactionCoordinator> txn_;
+};
+
+TEST_F(TransactionTest, CommittedDataVisibleToReadCommitted) {
+  auto producer = NewTxnProducer("t1");
+  ASSERT_TRUE(producer->BeginTransaction().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        producer->Send("out", storage::Record::KeyValue("k", "v" + std::to_string(i)))
+            .ok());
+  }
+  ASSERT_TRUE(producer->CommitTransaction().ok());
+  EXPECT_EQ(ReadCommitted("g1").size(), 10u);
+}
+
+TEST_F(TransactionTest, OpenTransactionInvisibleUntilCommit) {
+  auto producer = NewTxnProducer("t1");
+  ASSERT_TRUE(producer->BeginTransaction().ok());
+  producer->Send("out", storage::Record::KeyValue("k", "pending"));
+  producer->Flush();
+  // read_committed sees nothing; read_uncommitted (default) sees the record.
+  EXPECT_TRUE(ReadCommitted("g1").empty());
+  ConsumerConfig dirty_config;
+  dirty_config.group = "dirty";
+  Consumer dirty(cluster_.get(), offsets_.get(), group_coordinator_.get(), "m",
+                 dirty_config);
+  dirty.Subscribe({"out"});
+  size_t uncommitted_seen = 0;
+  for (int i = 0; i < 10; ++i) uncommitted_seen += dirty.Poll(64)->size();
+  EXPECT_EQ(uncommitted_seen, 1u);
+
+  ASSERT_TRUE(producer->CommitTransaction().ok());
+  EXPECT_EQ(ReadCommitted("g2").size(), 1u);
+}
+
+TEST_F(TransactionTest, AbortedDataNeverVisible) {
+  auto producer = NewTxnProducer("t1");
+  ASSERT_TRUE(producer->BeginTransaction().ok());
+  for (int i = 0; i < 5; ++i) {
+    producer->Send("out", storage::Record::KeyValue("k", "doomed"));
+  }
+  ASSERT_TRUE(producer->AbortTransaction().ok());
+
+  // Next transaction commits normally: only its data shows.
+  ASSERT_TRUE(producer->BeginTransaction().ok());
+  producer->Send("out", storage::Record::KeyValue("k", "survivor"));
+  ASSERT_TRUE(producer->CommitTransaction().ok());
+
+  auto values = ReadCommitted("g1");
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], "survivor");
+}
+
+TEST_F(TransactionTest, MultiPartitionAtomicity) {
+  auto producer = NewTxnProducer("t1");
+  // Round-robin spreads the batch over both partitions; abort removes all.
+  ASSERT_TRUE(producer->BeginTransaction().ok());
+  for (int i = 0; i < 8; ++i) {
+    producer->Send("out", storage::Record::KeyValue("k", "none"));
+  }
+  ASSERT_TRUE(producer->AbortTransaction().ok());
+  ASSERT_TRUE(producer->BeginTransaction().ok());
+  for (int i = 0; i < 8; ++i) {
+    producer->Send("out", storage::Record::KeyValue("k", "all"));
+  }
+  ASSERT_TRUE(producer->CommitTransaction().ok());
+
+  auto values = ReadCommitted("g1");
+  ASSERT_EQ(values.size(), 8u);
+  for (const auto& value : values) EXPECT_EQ(value, "all");
+}
+
+TEST_F(TransactionTest, ZombieFencingAbortsPredecessor) {
+  auto zombie = NewTxnProducer("shared-id");
+  ASSERT_TRUE(zombie->BeginTransaction().ok());
+  zombie->Send("out", storage::Record::KeyValue("k", "zombie-write"));
+  zombie->Flush();
+  // The zombie stalls; a new incarnation with the SAME transactional id
+  // initializes — the coordinator aborts the zombie's open transaction.
+  auto successor = NewTxnProducer("shared-id");
+  ASSERT_TRUE(successor->BeginTransaction().ok());
+  successor->Send("out", storage::Record::KeyValue("k", "successor-write"));
+  ASSERT_TRUE(successor->CommitTransaction().ok());
+
+  auto values = ReadCommitted("g1");
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], "successor-write");
+}
+
+TEST_F(TransactionTest, OffsetsCommitAtomicallyWithOutputs) {
+  const TopicPartition input{"in", 0};
+  TopicConfig topic;
+  topic.partitions = 1;
+  ASSERT_TRUE(cluster_->CreateTopic("in", topic).ok());
+
+  // Committed transaction applies the buffered offsets.
+  ASSERT_TRUE(txn_->InitProducer("rw").ok());
+  ASSERT_TRUE(txn_->Begin("rw").ok());
+  OffsetCommit commit;
+  commit.offset = 42;
+  ASSERT_TRUE(txn_->AddOffsets("rw", "job", input, commit).ok());
+  ASSERT_TRUE(txn_->End("rw", /*commit=*/true).ok());
+  EXPECT_EQ(offsets_->Fetch("job", input)->offset, 42);
+
+  // Aborted transaction discards them.
+  ASSERT_TRUE(txn_->Begin("rw").ok());
+  commit.offset = 99;
+  ASSERT_TRUE(txn_->AddOffsets("rw", "job", input, commit).ok());
+  ASSERT_TRUE(txn_->End("rw", /*commit=*/false).ok());
+  EXPECT_EQ(offsets_->Fetch("job", input)->offset, 42);  // Unchanged.
+}
+
+TEST_F(TransactionTest, LastStableOffsetTracksOngoingTxns) {
+  TopicConfig topic;
+  topic.partitions = 1;
+  topic.replication_factor = 1;
+  ASSERT_TRUE(cluster_->CreateTopic("lso", topic).ok());
+  const TopicPartition tp{"lso", 0};
+  Broker* leader = *cluster_->LeaderFor(tp);
+
+  // Plain committed record first.
+  std::vector<storage::Record> plain{storage::Record::KeyValue("k", "v")};
+  leader->Produce(tp, plain, AckMode::kAll);
+  EXPECT_EQ(*leader->LastStableOffset(tp), 1);
+
+  // Ongoing txn pins the LSO at its first offset.
+  ASSERT_TRUE(leader->BeginPartitionTxn(tp, 777).ok());
+  std::vector<storage::Record> txn_rec{storage::Record::KeyValue("k", "t")};
+  txn_rec[0].producer_id = 777;
+  leader->Produce(tp, txn_rec, AckMode::kAll);
+  leader->Produce(tp, plain, AckMode::kAll);  // Later plain write.
+  EXPECT_EQ(*leader->LastStableOffset(tp), 1);  // Still pinned.
+
+  ASSERT_TRUE(leader->WriteTxnMarker(tp, 777, /*committed=*/true).ok());
+  EXPECT_EQ(*leader->LastStableOffset(tp), *leader->HighWatermark(tp));
+}
+
+TEST_F(TransactionTest, ControlMarkersNeverDelivered) {
+  auto producer = NewTxnProducer("t1");
+  producer->BeginTransaction();
+  producer->Send("out", storage::Record::KeyValue("k", "v"));
+  producer->CommitTransaction();
+  // Even a read_uncommitted consumer never sees control markers.
+  ConsumerConfig config;
+  config.group = "g";
+  config.read_committed = true;
+  Consumer consumer(cluster_.get(), offsets_.get(), group_coordinator_.get(),
+                    "m", config);
+  consumer.Subscribe({"out"});
+  for (int i = 0; i < 10; ++i) {
+    auto records = consumer.Poll(64);
+    for (const auto& envelope : *records) {
+      EXPECT_FALSE(envelope.record.is_control);
+    }
+  }
+}
+
+TEST_F(TransactionTest, CoordinatorStateMachineGuards) {
+  EXPECT_TRUE(txn_->Begin("unknown").IsNotFound());
+  ASSERT_TRUE(txn_->InitProducer("t").ok());
+  EXPECT_TRUE(txn_->End("t", true).IsFailedPrecondition());  // Nothing open.
+  ASSERT_TRUE(txn_->Begin("t").ok());
+  EXPECT_TRUE(txn_->Begin("t").IsFailedPrecondition());  // Already open.
+  EXPECT_TRUE(txn_->InFlight("t"));
+  ASSERT_TRUE(txn_->End("t", false).ok());
+  EXPECT_FALSE(txn_->InFlight("t"));
+}
+
+}  // namespace
+}  // namespace liquid::messaging

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "processing/job.h"
+#include "processing/operators.h"
+#include "processing_test_util.h"
+
+namespace liquid::processing {
+namespace {
+
+using messaging::TopicPartition;
+using storage::Record;
+
+/// Exactly-once read-process-write (§4.3 "ongoing effort to design and
+/// implement support for exactly-once semantics"): outputs, changelog updates
+/// and input checkpoints commit atomically; a crash mid-cycle leaves an
+/// aborted transaction whose effects are invisible, so replay produces no
+/// duplicates for read_committed consumers.
+class ExactlyOnceTest : public ProcessingTestBase {
+ protected:
+  void SetUp() override {
+    ProcessingTestBase::SetUp();
+    txn_ = std::make_unique<messaging::TransactionCoordinator>(cluster_.get(),
+                                                               offsets_.get());
+    CreateTopic("in", 1);
+    CreateTopic("out", 1);
+  }
+
+  JobConfig ForwarderConfig(bool exactly_once) {
+    JobConfig config;
+    config.name = "fwd";
+    config.inputs = {"in"};
+    config.exactly_once = exactly_once;
+    return config;
+  }
+
+  TaskFactory Forwarder() {
+    return [] {
+      return std::make_unique<MapTask>(
+          "out", [](const messaging::ConsumerRecord& envelope) {
+            return std::optional<Record>(envelope.record);
+          });
+    };
+  }
+
+  std::unique_ptr<Job> MakeEoJob(const JobConfig& config) {
+    auto job = Job::Create(cluster_.get(), offsets_.get(), coordinator_.get(),
+                           &state_disk_, config, Forwarder(), "0", txn_.get());
+    EXPECT_TRUE(job.ok()) << job.status().ToString();
+    return std::move(job).value();
+  }
+
+  /// Values visible to a read_committed consumer of "out".
+  std::vector<std::string> CommittedOutput(const std::string& group) {
+    messaging::ConsumerConfig config;
+    config.group = group;
+    config.read_committed = true;
+    messaging::Consumer consumer(cluster_.get(), offsets_.get(),
+                                 coordinator_.get(), group + "-m", config);
+    consumer.Subscribe({"out"});
+    std::vector<std::string> values;
+    for (int i = 0; i < 20; ++i) {
+      auto records = consumer.Poll(256);
+      if (!records.ok()) break;
+      for (const auto& envelope : *records) {
+        values.push_back(envelope.record.value);
+      }
+    }
+    return values;
+  }
+
+  std::unique_ptr<messaging::TransactionCoordinator> txn_;
+};
+
+TEST_F(ExactlyOnceTest, RequiresCoordinator) {
+  auto job = Job::Create(cluster_.get(), offsets_.get(), coordinator_.get(),
+                         &state_disk_, ForwarderConfig(true), Forwarder());
+  EXPECT_TRUE(job.status().IsInvalidArgument());
+}
+
+TEST_F(ExactlyOnceTest, HappyPathDeliversEverythingOnce) {
+  std::vector<Record> input;
+  for (int i = 0; i < 25; ++i) {
+    input.push_back(Record::KeyValue("k", "v" + std::to_string(i)));
+  }
+  Produce("in", input);
+
+  auto job = MakeEoJob(ForwarderConfig(true));
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  ASSERT_TRUE(job->Stop().ok());
+  EXPECT_EQ(CommittedOutput("check").size(), 25u);
+}
+
+TEST_F(ExactlyOnceTest, CrashBeforeCommitProducesNoDuplicates) {
+  std::vector<Record> input;
+  for (int i = 0; i < 10; ++i) {
+    input.push_back(Record::KeyValue("k", "v" + std::to_string(i)));
+  }
+  Produce("in", input);
+
+  {
+    // First incarnation processes everything but CRASHES before committing:
+    // its transaction stays open, its offsets were never checkpointed.
+    auto job = MakeEoJob(ForwarderConfig(true));
+    ASSERT_TRUE(job->RunOnce().ok());  // Processes + produces inside the txn.
+    ASSERT_TRUE(job->Kill().ok());     // SIGKILL: no commit.
+  }
+  // Nothing is visible: the transaction never committed.
+  EXPECT_TRUE(CommittedOutput("mid").empty());
+
+  // The next incarnation fences the zombie (aborting its txn), re-reads the
+  // input from the last committed offset (0) and commits.
+  auto job = MakeEoJob(ForwarderConfig(true));
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  ASSERT_TRUE(job->Stop().ok());
+
+  auto values = CommittedOutput("final");
+  ASSERT_EQ(values.size(), 10u);  // Exactly once, despite the replay.
+  std::map<std::string, int> counts;
+  for (const auto& value : values) counts[value]++;
+  for (const auto& [value, count] : counts) {
+    EXPECT_EQ(count, 1) << value;
+  }
+}
+
+TEST_F(ExactlyOnceTest, AtLeastOnceBaselineDuplicatesUnderSameCrash) {
+  // The contrast case: without exactly_once the same crash yields duplicates
+  // (output flushed, offsets not committed -> replay re-emits).
+  std::vector<Record> input;
+  for (int i = 0; i < 10; ++i) {
+    input.push_back(Record::KeyValue("k", "v" + std::to_string(i)));
+  }
+  Produce("in", input);
+
+  {
+    auto job = MakeJob(ForwarderConfig(false), Forwarder());
+    ASSERT_TRUE(job->RunOnce().ok());  // Outputs flushed immediately.
+    ASSERT_TRUE(job->Kill().ok());     // Crash before checkpoint.
+  }
+  auto job = MakeJob(ForwarderConfig(false), Forwarder());
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  ASSERT_TRUE(job->Stop().ok());
+
+  EXPECT_EQ(CommittedOutput("dup-check").size(), 20u);  // Each record twice.
+}
+
+TEST_F(ExactlyOnceTest, OffsetsAdvanceOnlyOnCommit) {
+  std::vector<Record> input{Record::KeyValue("k", "v")};
+  Produce("in", input);
+  const TopicPartition tp{"in", 0};
+
+  {
+    auto job = MakeEoJob(ForwarderConfig(true));
+    ASSERT_TRUE(job->RunOnce().ok());
+    // Crash: offsets must NOT have advanced.
+    ASSERT_TRUE(job->Kill().ok());
+  }
+  EXPECT_TRUE(offsets_->Fetch("job.fwd", tp).status().IsNotFound());
+
+  auto job = MakeEoJob(ForwarderConfig(true));
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  ASSERT_TRUE(job->Stop().ok());
+  EXPECT_EQ(offsets_->Fetch("job.fwd", tp)->offset, 1);
+}
+
+TEST_F(ExactlyOnceTest, StatefulExactlyOnceCountsAreExact) {
+  JobConfig config;
+  config.name = "eo-counter";
+  config.inputs = {"in"};
+  config.exactly_once = true;
+  config.stores = {{"counts", StoreConfig::Kind::kInMemory, true}};
+
+  std::vector<Record> input;
+  for (int i = 0; i < 12; ++i) input.push_back(Record::KeyValue("user", "e"));
+  Produce("in", input);
+
+  auto factory = [] { return std::make_unique<KeyedCounterTask>("counts"); };
+  {
+    auto job = Job::Create(cluster_.get(), offsets_.get(), coordinator_.get(),
+                           &state_disk_, config, factory, "0", txn_.get());
+    ASSERT_TRUE((*job)->RunOnce().ok());
+    ASSERT_TRUE((*job)->Kill().ok());  // Crash: txn (incl. changelog) aborted.
+  }
+  // Restart on a fresh machine: the aborted changelog entries are invisible
+  // to the read_committed restore, so the count is rebuilt exactly.
+  storage::MemDisk fresh;
+  auto job = Job::Create(cluster_.get(), offsets_.get(), coordinator_.get(),
+                         &fresh, config, factory, "0", txn_.get());
+  ASSERT_TRUE((*job)->RunUntilIdle().ok());
+  KeyValueStore* store = (*job)->GetStore(0, "counts");
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(*store->Get("user"), "12");  // Not 24.
+  ASSERT_TRUE((*job)->Stop().ok());
+}
+
+}  // namespace
+}  // namespace liquid::processing

@@ -1,0 +1,249 @@
+#include "processing/job.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "processing/operators.h"
+#include "processing_test_util.h"
+
+namespace liquid::processing {
+namespace {
+
+using messaging::TopicPartition;
+using storage::Record;
+
+class JobTest : public ProcessingTestBase {};
+
+/// Counts invocations; optionally asks for shutdown after N records.
+class ProbeTask : public StreamTask {
+ public:
+  ProbeTask(std::atomic<int>* processed, int shutdown_after = -1)
+      : processed_(processed), shutdown_after_(shutdown_after) {}
+
+  Status Process(const messaging::ConsumerRecord&, MessageCollector*,
+                 TaskCoordinator* coordinator) override {
+    const int n = ++*processed_;
+    if (shutdown_after_ > 0 && n >= shutdown_after_) {
+      coordinator->RequestShutdown();
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<int>* processed_;
+  int shutdown_after_;
+};
+
+TEST_F(JobTest, ProcessesAllInputRecords) {
+  CreateTopic("in", 2);
+  std::vector<Record> records;
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(Record::KeyValue("k" + std::to_string(i), "v"));
+  }
+  Produce("in", records);
+
+  std::atomic<int> processed{0};
+  JobConfig config;
+  config.name = "probe";
+  config.inputs = {"in"};
+  auto job = MakeJob(config, [&] { return std::make_unique<ProbeTask>(&processed); });
+  auto total = job->RunUntilIdle();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 50);
+  EXPECT_EQ(processed.load(), 50);
+}
+
+TEST_F(JobTest, OneTaskPerInputPartition) {
+  CreateTopic("in", 3);
+  std::vector<Record> records;
+  for (int i = 0; i < 30; ++i) {
+    records.push_back(Record::KeyValue("k" + std::to_string(i), "v"));
+  }
+  Produce("in", records);
+
+  std::atomic<int> processed{0};
+  std::atomic<int> tasks_created{0};
+  JobConfig config;
+  config.name = "tasks";
+  config.inputs = {"in"};
+  auto job = MakeJob(config, [&] {
+    ++tasks_created;
+    return std::make_unique<ProbeTask>(&processed);
+  });
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  EXPECT_EQ(tasks_created.load(), 3);  // One task per partition (§3.2).
+  EXPECT_EQ(job->AssignedPartitions().size(), 3u);
+}
+
+TEST_F(JobTest, MapJobWritesDerivedFeed) {
+  CreateTopic("in", 1);
+  CreateTopic("out", 1);
+  Produce("in", {Record::KeyValue("a", "1"), Record::KeyValue("b", "2"),
+                 Record::KeyValue("c", "3")});
+
+  JobConfig config;
+  config.name = "upper";
+  config.inputs = {"in"};
+  auto job = MakeJob(config, [] {
+    return std::make_unique<MapTask>(
+        "out", [](const messaging::ConsumerRecord& envelope) {
+          Record mapped = envelope.record;
+          mapped.value = "mapped-" + mapped.value;
+          return std::optional<Record>(std::move(mapped));
+        });
+  });
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  auto out = ReadAll(TopicPartition{"out", 0});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].value.substr(0, 7), "mapped-");
+}
+
+TEST_F(JobTest, FilterDropsRecords) {
+  CreateTopic("in", 1);
+  CreateTopic("out", 1);
+  std::vector<Record> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(Record::KeyValue("k", std::to_string(i)));
+  }
+  Produce("in", records);
+
+  JobConfig config;
+  config.name = "filter";
+  config.inputs = {"in"};
+  auto job = MakeJob(config, [] {
+    return std::make_unique<MapTask>(
+        "out", [](const messaging::ConsumerRecord& envelope)
+                   -> std::optional<Record> {
+          if (std::stoi(envelope.record.value) % 2 != 0) return std::nullopt;
+          return envelope.record;
+        });
+  });
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  EXPECT_EQ(ReadAll(TopicPartition{"out", 0}).size(), 5u);
+}
+
+TEST_F(JobTest, CheckpointsResumeAcrossJobRestarts) {
+  CreateTopic("in", 1);
+  std::vector<Record> first;
+  for (int i = 0; i < 10; ++i) first.push_back(Record::KeyValue("k", "v"));
+  Produce("in", first);
+
+  std::atomic<int> processed{0};
+  JobConfig config;
+  config.name = "resume";
+  config.inputs = {"in"};
+  {
+    auto job = MakeJob(config, [&] { return std::make_unique<ProbeTask>(&processed); });
+    ASSERT_TRUE(job->RunUntilIdle().ok());
+    EXPECT_EQ(processed.load(), 10);
+    ASSERT_TRUE(job->Stop().ok());
+  }
+  // New data arrives while the job is down.
+  Produce("in", first);
+  // A fresh job instance resumes from the checkpoint: only new data.
+  processed = 0;
+  auto job = MakeJob(config, [&] { return std::make_unique<ProbeTask>(&processed); });
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  EXPECT_EQ(processed.load(), 10);
+}
+
+TEST_F(JobTest, CheckpointAnnotationsVisibleInOffsetManager) {
+  CreateTopic("in", 1);
+  Produce("in", {Record::KeyValue("k", "v")});
+  JobConfig config;
+  config.name = "annotated";
+  config.inputs = {"in"};
+  config.checkpoint_annotations = {{"version", "v7"}};
+  std::atomic<int> processed{0};
+  auto job = MakeJob(config, [&] { return std::make_unique<ProbeTask>(&processed); });
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+
+  auto commit = offsets_->Fetch("job.annotated", TopicPartition{"in", 0});
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->offset, 1);
+  EXPECT_EQ(commit->annotations.at("version"), "v7");
+}
+
+TEST_F(JobTest, TaskRequestedShutdownStopsJob) {
+  CreateTopic("in", 1);
+  std::vector<Record> records;
+  for (int i = 0; i < 20; ++i) records.push_back(Record::KeyValue("k", "v"));
+  Produce("in", records);
+
+  std::atomic<int> processed{0};
+  JobConfig config;
+  config.name = "shutdown";
+  config.inputs = {"in"};
+  config.poll_max_records = 5;
+  auto job = MakeJob(config, [&] {
+    return std::make_unique<ProbeTask>(&processed, /*shutdown_after=*/10);
+  });
+  auto total = job->RunUntilIdle();
+  ASSERT_TRUE(total.ok());
+  EXPECT_LT(processed.load(), 20);
+  // Further RunOnce fails: the job is stopped.
+  EXPECT_TRUE(job->RunOnce().status().IsFailedPrecondition());
+}
+
+TEST_F(JobTest, TwoInstancesSplitPartitions) {
+  CreateTopic("in", 4);
+  std::vector<Record> records;
+  for (int i = 0; i < 40; ++i) {
+    records.push_back(Record::KeyValue("k" + std::to_string(i), "v"));
+  }
+  Produce("in", records);
+
+  std::atomic<int> p1{0}, p2{0};
+  JobConfig config;
+  config.name = "shared";
+  config.inputs = {"in"};
+  auto job1 = MakeJob(config, [&] { return std::make_unique<ProbeTask>(&p1); },
+                      nullptr, "0");
+  auto job2 = MakeJob(config, [&] { return std::make_unique<ProbeTask>(&p2); },
+                      nullptr, "1");
+  for (int round = 0; round < 30; ++round) {
+    job1->RunOnce();
+    job2->RunOnce();
+  }
+  EXPECT_EQ(p1.load() + p2.load(), 40);
+  EXPECT_GT(p1.load(), 0);
+  EXPECT_GT(p2.load(), 0);
+  EXPECT_EQ(job1->AssignedPartitions().size(), 2u);
+  EXPECT_EQ(job2->AssignedPartitions().size(), 2u);
+}
+
+TEST_F(JobTest, WindowCalledOnInterval) {
+  CreateTopic("in", 1);
+  CreateTopic("counts", 1);
+  Produce("in", {Record::KeyValue("x", "1"), Record::KeyValue("x", "1"),
+                 Record::KeyValue("y", "1")});
+
+  JobConfig config;
+  config.name = "windowed";
+  config.inputs = {"in"};
+  config.stores = {{"state", StoreConfig::Kind::kInMemory, false}};
+  config.window_interval_ms = 100;
+  auto job = MakeJob(config, [] {
+    return std::make_unique<KeyedCounterTask>("state", "counts");
+  });
+  ASSERT_TRUE(job->RunOnce().ok());  // Processes data; no window yet.
+  EXPECT_TRUE(ReadAll(TopicPartition{"counts", 0}).empty());
+
+  clock_.AdvanceMs(150);
+  ASSERT_TRUE(job->RunOnce().ok());  // Window fires.
+  ASSERT_TRUE(job->Commit().ok());
+  auto out = ReadAll(TopicPartition{"counts", 0});
+  ASSERT_EQ(out.size(), 2u);  // One record per key.
+}
+
+TEST_F(JobTest, InvalidConfigRejected) {
+  JobConfig config;  // No name, no inputs.
+  auto job = Job::Create(cluster_.get(), offsets_.get(), coordinator_.get(),
+                         &state_disk_, config,
+                         [] { return nullptr; });
+  EXPECT_TRUE(job.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace liquid::processing

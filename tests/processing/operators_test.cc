@@ -1,0 +1,190 @@
+#include "processing/operators.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "processing_test_util.h"
+
+namespace liquid::processing {
+namespace {
+
+using messaging::TopicPartition;
+using storage::Record;
+
+class OperatorsTest : public ProcessingTestBase {
+ protected:
+  std::map<std::string, std::string> OutputAsMap(const std::string& topic,
+                                                 int partitions = 1) {
+    std::map<std::string, std::string> out;
+    for (int p = 0; p < partitions; ++p) {
+      for (const auto& record : ReadAll(TopicPartition{topic, p})) {
+        out[record.key] = record.value;
+      }
+    }
+    return out;
+  }
+};
+
+TEST_F(OperatorsTest, WindowedAggregateSumsPerWindowAndKey) {
+  CreateTopic("in", 1);
+  CreateTopic("out", 1);
+  std::vector<Record> records;
+  // Window size 1000ms: events at 100..900 in window 0, 1100.. in window 1000.
+  records.push_back(Record::KeyValue("cdn0", "5", 100));
+  records.push_back(Record::KeyValue("cdn0", "7", 900));
+  records.push_back(Record::KeyValue("cdn1", "3", 500));
+  records.push_back(Record::KeyValue("cdn0", "11", 1100));
+  records.push_back(Record::KeyValue("cdn0", "1", 2500));  // Closes window 1000.
+  Produce("in", records);
+
+  JobConfig config;
+  config.name = "agg";
+  config.inputs = {"in"};
+  config.stores = {{"windows", StoreConfig::Kind::kInMemory, false}};
+  config.window_interval_ms = 1;
+  auto job = MakeJob(config, [] {
+    return std::make_unique<WindowedAggregateTask>("windows", "out", 1000);
+  });
+  ASSERT_TRUE(job->RunOnce().ok());
+  clock_.AdvanceMs(10);
+  ASSERT_TRUE(job->RunOnce().ok());  // Window() emits closed windows.
+  ASSERT_TRUE(job->Commit().ok());
+
+  auto out = OutputAsMap("out");
+  // Window [0,1000) closed: cdn0=12, cdn1=3. Window [1000,2000) closed: 11.
+  EXPECT_EQ(out.at(WindowedAggregateTask::WindowKey(0, "cdn0")), "12");
+  EXPECT_EQ(out.at(WindowedAggregateTask::WindowKey(0, "cdn1")), "3");
+  EXPECT_EQ(out.at(WindowedAggregateTask::WindowKey(1000, "cdn0")), "11");
+  // Window [2000,3000) still open: not emitted.
+  EXPECT_EQ(out.count(WindowedAggregateTask::WindowKey(2000, "cdn0")), 0u);
+}
+
+TEST_F(OperatorsTest, WindowedAggregateEmitsEachWindowOnce) {
+  CreateTopic("in", 1);
+  CreateTopic("out", 1);
+  Produce("in", {Record::KeyValue("k", "1", 100),
+                 Record::KeyValue("k", "1", 5000)});
+  JobConfig config;
+  config.name = "agg-once";
+  config.inputs = {"in"};
+  config.stores = {{"windows", StoreConfig::Kind::kInMemory, false}};
+  config.window_interval_ms = 1;
+  auto job = MakeJob(config, [] {
+    return std::make_unique<WindowedAggregateTask>("windows", "out", 1000);
+  });
+  for (int i = 0; i < 5; ++i) {
+    job->RunOnce();
+    clock_.AdvanceMs(5);
+  }
+  job->Commit();
+  EXPECT_EQ(ReadAll(TopicPartition{"out", 0}).size(), 1u);  // Emitted once.
+}
+
+TEST_F(OperatorsTest, StreamTableJoinEnrichesStream) {
+  CreateTopic("profiles", 1);  // Table side.
+  CreateTopic("clicks", 1);    // Stream side.
+  CreateTopic("joined", 1);
+  Produce("profiles", {Record::KeyValue("u1", "alice"),
+                       Record::KeyValue("u2", "bob")});
+
+  JobConfig config;
+  config.name = "join";
+  config.inputs = {"profiles", "clicks"};
+  config.stores = {{"table", StoreConfig::Kind::kInMemory, true}};
+  auto job = MakeJob(config, [] {
+    return std::make_unique<StreamTableJoinTask>("table", "profiles", "joined");
+  });
+  ASSERT_TRUE(job->RunUntilIdle().ok());  // Table loaded.
+
+  Produce("clicks", {Record::KeyValue("u1", "click-home"),
+                     Record::KeyValue("u3", "click-feed"),  // No profile.
+                     Record::KeyValue("u2", "click-jobs")});
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+
+  auto out = OutputAsMap("joined");
+  EXPECT_EQ(out.at("u1"), "click-home|alice");
+  EXPECT_EQ(out.at("u2"), "click-jobs|bob");
+  EXPECT_EQ(out.count("u3"), 0u);  // Unmatched stream records dropped.
+}
+
+TEST_F(OperatorsTest, StreamTableJoinSeesTableUpdates) {
+  CreateTopic("profiles", 1);
+  CreateTopic("clicks", 1);
+  CreateTopic("joined", 1);
+  JobConfig config;
+  config.name = "join-upd";
+  config.inputs = {"profiles", "clicks"};
+  config.stores = {{"table", StoreConfig::Kind::kInMemory, false}};
+  auto job = MakeJob(config, [] {
+    return std::make_unique<StreamTableJoinTask>("table", "profiles", "joined");
+  });
+
+  Produce("profiles", {Record::KeyValue("u1", "old-name")});
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  Produce("profiles", {Record::KeyValue("u1", "new-name")});
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  Produce("clicks", {Record::KeyValue("u1", "click")});
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  EXPECT_EQ(OutputAsMap("joined").at("u1"), "click|new-name");
+}
+
+TEST_F(OperatorsTest, StreamTableJoinHonoursTombstones) {
+  CreateTopic("profiles", 1);
+  CreateTopic("clicks", 1);
+  CreateTopic("joined", 1);
+  JobConfig config;
+  config.name = "join-del";
+  config.inputs = {"profiles", "clicks"};
+  config.stores = {{"table", StoreConfig::Kind::kInMemory, false}};
+  auto job = MakeJob(config, [] {
+    return std::make_unique<StreamTableJoinTask>("table", "profiles", "joined");
+  });
+  Produce("profiles", {Record::KeyValue("u1", "alice")});
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  Produce("profiles", {Record::Tombstone("u1")});
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  Produce("clicks", {Record::KeyValue("u1", "click")});
+  ASSERT_TRUE(job->RunUntilIdle().ok());
+  EXPECT_TRUE(OutputAsMap("joined").empty());  // Deleted: no join.
+}
+
+TEST_F(OperatorsTest, KeyedCounterWindowEmitsCurrentCounts) {
+  CreateTopic("in", 1);
+  CreateTopic("out", 1);
+  Produce("in", {Record::KeyValue("a", "e"), Record::KeyValue("a", "e"),
+                 Record::KeyValue("b", "e")});
+  JobConfig config;
+  config.name = "kc";
+  config.inputs = {"in"};
+  config.stores = {{"c", StoreConfig::Kind::kInMemory, false}};
+  config.window_interval_ms = 1;
+  auto job = MakeJob(config, [] {
+    return std::make_unique<KeyedCounterTask>("c", "out");
+  });
+  job->RunOnce();
+  clock_.AdvanceMs(5);
+  job->RunOnce();
+  job->Commit();
+  auto out = OutputAsMap("out");
+  EXPECT_EQ(out.at("a"), "2");
+  EXPECT_EQ(out.at("b"), "1");
+}
+
+TEST_F(OperatorsTest, MissingStoreFailsInit) {
+  CreateTopic("in", 1);
+  Produce("in", {Record::KeyValue("k", "v")});
+  JobConfig config;
+  config.name = "broken";
+  config.inputs = {"in"};  // No stores declared.
+  auto job = MakeJob(config, [] {
+    return std::make_unique<KeyedCounterTask>("undeclared");
+  });
+  auto result = job->RunOnce();
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace liquid::processing

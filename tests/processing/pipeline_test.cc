@@ -1,0 +1,139 @@
+#include "processing/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "processing_test_util.h"
+
+namespace liquid::processing {
+namespace {
+
+using messaging::TopicPartition;
+using storage::Record;
+
+/// Multi-stage dataflow graphs chained through the messaging layer (§3.2).
+class PipelineTest : public ProcessingTestBase {};
+
+TEST_F(PipelineTest, ThreeStageChainTransformsEndToEnd) {
+  CreateTopic("raw", 1);
+  CreateTopic("s1", 1);
+  CreateTopic("s2", 1);
+  CreateTopic("final", 1);
+  std::vector<Record> records;
+  for (int i = 0; i < 20; ++i) {
+    records.push_back(Record::KeyValue("k" + std::to_string(i), "x"));
+  }
+  Produce("raw", records);
+
+  Pipeline pipeline(cluster_.get(), offsets_.get(), coordinator_.get(),
+                    &state_disk_);
+  auto append_stage = [](const std::string& tag) {
+    return [tag](const messaging::ConsumerRecord& envelope) {
+      Record out = envelope.record;
+      out.value += "-" + tag;
+      return std::optional<Record>(std::move(out));
+    };
+  };
+  ASSERT_TRUE(pipeline.AddMapStage("stage-a", "raw", "s1", append_stage("a")).ok());
+  ASSERT_TRUE(pipeline.AddMapStage("stage-b", "s1", "s2", append_stage("b")).ok());
+  ASSERT_TRUE(
+      pipeline.AddMapStage("stage-c", "s2", "final", append_stage("c")).ok());
+  EXPECT_EQ(pipeline.stage_count(), 3u);
+
+  auto total = pipeline.RunUntilAllIdle();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 60);  // 20 records through 3 stages.
+
+  auto out = ReadAll(TopicPartition{"final", 0});
+  ASSERT_EQ(out.size(), 20u);
+  for (const auto& record : out) EXPECT_EQ(record.value, "x-a-b-c");
+}
+
+TEST_F(PipelineTest, StagesDecoupledThroughLog) {
+  // A slow (not-yet-run) downstream stage does not block the upstream one:
+  // the intermediate feed buffers everything (§3: "a job at the processing
+  // layer can consume from a feed more slowly than the rate at which another
+  // job published the data").
+  CreateTopic("raw", 1);
+  CreateTopic("mid", 1);
+  CreateTopic("final", 1);
+  std::vector<Record> records;
+  for (int i = 0; i < 50; ++i) records.push_back(Record::KeyValue("k", "v"));
+  Produce("raw", records);
+
+  Pipeline pipeline(cluster_.get(), offsets_.get(), coordinator_.get(),
+                    &state_disk_);
+  pipeline.AddMapStage("fast", "raw", "mid",
+                       [](const messaging::ConsumerRecord& envelope) {
+                         return std::optional<Record>(envelope.record);
+                       });
+  pipeline.AddMapStage("slow", "mid", "final",
+                       [](const messaging::ConsumerRecord& envelope) {
+                         return std::optional<Record>(envelope.record);
+                       });
+
+  // Run only the upstream stage to completion.
+  Job* fast = pipeline.stage(0);
+  while (*fast->RunOnce() > 0) {
+  }
+  ASSERT_TRUE(fast->Commit().ok());
+  EXPECT_EQ(ReadAll(TopicPartition{"mid", 0}).size(), 50u);
+  EXPECT_TRUE(ReadAll(TopicPartition{"final", 0}).empty());
+
+  // The downstream stage catches up later, nothing lost.
+  Job* slow = pipeline.stage(1);
+  while (*slow->RunOnce() > 0) {
+  }
+  ASSERT_TRUE(slow->Commit().ok());
+  EXPECT_EQ(ReadAll(TopicPartition{"final", 0}).size(), 50u);
+}
+
+TEST_F(PipelineTest, FanOutTwoConsumersOfOneFeed) {
+  // One derived feed consumed by two independent jobs (different groups).
+  CreateTopic("raw", 1);
+  CreateTopic("out-a", 1);
+  CreateTopic("out-b", 1);
+  std::vector<Record> records;
+  for (int i = 0; i < 10; ++i) records.push_back(Record::KeyValue("k", "v"));
+  Produce("raw", records);
+
+  Pipeline pipeline(cluster_.get(), offsets_.get(), coordinator_.get(),
+                    &state_disk_);
+  pipeline.AddMapStage("branch-a", "raw", "out-a",
+                       [](const messaging::ConsumerRecord& envelope) {
+                         return std::optional<Record>(envelope.record);
+                       });
+  pipeline.AddMapStage("branch-b", "raw", "out-b",
+                       [](const messaging::ConsumerRecord& envelope) {
+                         return std::optional<Record>(envelope.record);
+                       });
+  ASSERT_TRUE(pipeline.RunUntilAllIdle().ok());
+  EXPECT_EQ(ReadAll(TopicPartition{"out-a", 0}).size(), 10u);
+  EXPECT_EQ(ReadAll(TopicPartition{"out-b", 0}).size(), 10u);
+}
+
+TEST_F(PipelineTest, LongChainPropagatesIncrementally) {
+  const int kStages = 6;
+  CreateTopic("stage0", 1);
+  for (int i = 1; i <= kStages; ++i) {
+    CreateTopic("stage" + std::to_string(i), 1);
+  }
+  Pipeline pipeline(cluster_.get(), offsets_.get(), coordinator_.get(),
+                    &state_disk_);
+  for (int i = 0; i < kStages; ++i) {
+    pipeline.AddMapStage("hop" + std::to_string(i), "stage" + std::to_string(i),
+                         "stage" + std::to_string(i + 1),
+                         [](const messaging::ConsumerRecord& envelope) {
+                           return std::optional<Record>(envelope.record);
+                         });
+  }
+  // Two waves of input; each fully traverses the chain.
+  for (int wave = 0; wave < 2; ++wave) {
+    Produce("stage0", {Record::KeyValue("k", "wave" + std::to_string(wave))});
+    ASSERT_TRUE(pipeline.RunUntilAllIdle().ok());
+    EXPECT_EQ(ReadAll(TopicPartition{"stage" + std::to_string(kStages), 0}).size(),
+              static_cast<size_t>(wave + 1));
+  }
+}
+
+}  // namespace
+}  // namespace liquid::processing

@@ -1,0 +1,158 @@
+#include "storage/disk.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+
+namespace liquid::storage {
+namespace {
+
+/// Both Disk implementations must satisfy the same contract.
+enum class DiskKind { kMem, kFs };
+
+class DiskContractTest : public ::testing::TestWithParam<DiskKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == DiskKind::kMem) {
+      disk_ = std::make_unique<MemDisk>();
+    } else {
+      root_ = std::filesystem::temp_directory_path() /
+              ("liquid_disk_test_" + std::to_string(::getpid()));
+      std::filesystem::remove_all(root_);
+      disk_ = std::make_unique<FsDisk>(root_.string());
+    }
+  }
+
+  void TearDown() override {
+    disk_.reset();
+    if (GetParam() == DiskKind::kFs) std::filesystem::remove_all(root_);
+  }
+
+  std::unique_ptr<Disk> disk_;
+  std::filesystem::path root_;
+};
+
+TEST_P(DiskContractTest, AppendAndReadBack) {
+  auto file = disk_->OpenOrCreate("f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  EXPECT_EQ((*file)->Size(), 11u);
+  std::string out;
+  ASSERT_TRUE((*file)->ReadAt(0, 11, &out).ok());
+  EXPECT_EQ(out, "hello world");
+}
+
+TEST_P(DiskContractTest, ReadAtOffsetAndShortRead) {
+  auto file = disk_->OpenOrCreate("f");
+  (*file)->Append("abcdefgh");
+  std::string out;
+  ASSERT_TRUE((*file)->ReadAt(4, 100, &out).ok());
+  EXPECT_EQ(out, "efgh");  // Short read at EOF is not an error.
+  ASSERT_TRUE((*file)->ReadAt(100, 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(DiskContractTest, TruncateDiscardsTail) {
+  auto file = disk_->OpenOrCreate("f");
+  (*file)->Append("0123456789");
+  ASSERT_TRUE((*file)->Truncate(4).ok());
+  EXPECT_EQ((*file)->Size(), 4u);
+  std::string out;
+  (*file)->ReadAt(0, 10, &out);
+  EXPECT_EQ(out, "0123");
+}
+
+TEST_P(DiskContractTest, ExistsRemoveList) {
+  EXPECT_FALSE(disk_->Exists("a"));
+  disk_->OpenOrCreate("a");
+  disk_->OpenOrCreate("ab");
+  disk_->OpenOrCreate("b");
+  EXPECT_TRUE(disk_->Exists("a"));
+  auto listed = disk_->List("a");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), 2u);
+  ASSERT_TRUE(disk_->Remove("a").ok());
+  EXPECT_FALSE(disk_->Exists("a"));
+  EXPECT_TRUE(disk_->Remove("a").IsNotFound());
+}
+
+TEST_P(DiskContractTest, RenameMovesContent) {
+  auto file = disk_->OpenOrCreate("old");
+  (*file)->Append("payload");
+  file->reset();
+  ASSERT_TRUE(disk_->Rename("old", "new").ok());
+  EXPECT_FALSE(disk_->Exists("old"));
+  auto renamed = disk_->OpenOrCreate("new");
+  std::string out;
+  (*renamed)->ReadAt(0, 100, &out);
+  EXPECT_EQ(out, "payload");
+}
+
+TEST_P(DiskContractTest, ReopenSeesSameBytes) {
+  {
+    auto file = disk_->OpenOrCreate("persist");
+    (*file)->Append("durable");
+  }
+  auto again = disk_->OpenOrCreate("persist");
+  std::string out;
+  (*again)->ReadAt(0, 100, &out);
+  EXPECT_EQ(out, "durable");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDisks, DiskContractTest,
+                         ::testing::Values(DiskKind::kMem, DiskKind::kFs),
+                         [](const auto& info) {
+                           return info.param == DiskKind::kMem ? "Mem" : "Fs";
+                         });
+
+TEST(MemDiskTest, TracksIoCounters) {
+  MemDisk disk;
+  auto file = disk.OpenOrCreate("f");
+  (*file)->Append("12345");
+  std::string out;
+  (*file)->ReadAt(0, 5, &out);
+  EXPECT_EQ(disk.bytes_written(), 5);
+  EXPECT_EQ(disk.bytes_read(), 5);
+  EXPECT_EQ(disk.read_ops(), 1);
+}
+
+TEST(MemDiskTest, LatencyModelChargesReads) {
+  DiskLatencyModel model;
+  model.read_seek_us = 200;
+  MemDisk slow(model);
+  MemDisk fast;
+  auto sf = slow.OpenOrCreate("f");
+  auto ff = fast.OpenOrCreate("f");
+  (*sf)->Append(std::string(4096, 'x'));
+  (*ff)->Append(std::string(4096, 'x'));
+
+  auto time_reads = [](File* file) {
+    const auto start = std::chrono::steady_clock::now();
+    std::string out;
+    for (int i = 0; i < 20; ++i) file->ReadAt(0, 4096, &out);
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  const auto slow_us = time_reads(sf->get());
+  const auto fast_us = time_reads(ff->get());
+  EXPECT_GT(slow_us, fast_us);
+  EXPECT_GE(slow_us, 20 * 200 / 2);  // At least half the nominal charge.
+}
+
+TEST(MemDiskTest, TotalBytesSumsPrefix) {
+  MemDisk disk;
+  (*disk.OpenOrCreate("logs/a"))->Append("12345");
+  (*disk.OpenOrCreate("logs/b"))->Append("123");
+  (*disk.OpenOrCreate("other"))->Append("1234567");
+  EXPECT_EQ(*disk.TotalBytes("logs/"), 8u);
+  EXPECT_EQ(*disk.TotalBytes(""), 15u);
+}
+
+}  // namespace
+}  // namespace liquid::storage

@@ -1,0 +1,248 @@
+#include "storage/log.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/clock.h"
+
+namespace liquid::storage {
+namespace {
+
+std::vector<Record> KeyedBatch(int count, const std::string& prefix = "k") {
+  std::vector<Record> out;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(
+        Record::KeyValue(prefix + std::to_string(i), "v" + std::to_string(i)));
+  }
+  return out;
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Log> OpenLog(const LogConfig& config,
+                               const std::string& prefix = "p0/") {
+    auto log = Log::Open(&disk_, nullptr, prefix, config, &clock_);
+    EXPECT_TRUE(log.ok()) << log.status().ToString();
+    return std::move(log).value();
+  }
+
+  MemDisk disk_;
+  SimulatedClock clock_{1000};
+};
+
+TEST_F(LogTest, AppendAssignsConsecutiveOffsets) {
+  auto log = OpenLog(LogConfig{});
+  auto batch = KeyedBatch(5);
+  ASSERT_TRUE(log->Append(&batch).ok());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(batch[i].offset, i);
+  EXPECT_EQ(log->end_offset(), 5);
+
+  auto batch2 = KeyedBatch(3);
+  auto base = log->Append(&batch2);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(*base, 5);
+  EXPECT_EQ(log->end_offset(), 8);
+}
+
+TEST_F(LogTest, AppendStampsClockTime) {
+  auto log = OpenLog(LogConfig{});
+  clock_.SetMs(123456);
+  auto batch = KeyedBatch(1);
+  log->Append(&batch);
+  EXPECT_EQ(batch[0].timestamp_ms, 123456);
+}
+
+TEST_F(LogTest, ExplicitTimestampPreserved) {
+  auto log = OpenLog(LogConfig{});
+  std::vector<Record> batch{Record::KeyValue("k", "v", 42)};
+  log->Append(&batch);
+  std::vector<Record> out;
+  log->Read(0, 1 << 20, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].timestamp_ms, 42);
+}
+
+TEST_F(LogTest, RollsSegmentsAtConfiguredSize) {
+  LogConfig config;
+  config.segment_bytes = 512;
+  auto log = OpenLog(config);
+  for (int i = 0; i < 20; ++i) {
+    auto batch = KeyedBatch(5);
+    ASSERT_TRUE(log->Append(&batch).ok());
+  }
+  EXPECT_GT(log->segment_count(), 3);
+  // All data still readable across segment boundaries.
+  std::vector<Record> out;
+  ASSERT_TRUE(log->Read(0, 10 << 20, &out).ok());
+  EXPECT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i].offset, i);
+}
+
+TEST_F(LogTest, ReadPastEndReturnsEmpty) {
+  auto log = OpenLog(LogConfig{});
+  auto batch = KeyedBatch(3);
+  log->Append(&batch);
+  std::vector<Record> out;
+  ASSERT_TRUE(log->Read(3, 1 << 20, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(log->Read(1000, 1 << 20, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LogTest, ReopenRecoversAcrossSegments) {
+  LogConfig config;
+  config.segment_bytes = 512;
+  {
+    auto log = OpenLog(config);
+    for (int i = 0; i < 10; ++i) {
+      auto batch = KeyedBatch(5);
+      log->Append(&batch);
+    }
+    EXPECT_EQ(log->end_offset(), 50);
+  }
+  auto reopened = OpenLog(config);
+  EXPECT_EQ(reopened->end_offset(), 50);
+  EXPECT_GT(reopened->segment_count(), 1);
+  std::vector<Record> out;
+  reopened->Read(17, 10 << 20, &out);
+  ASSERT_EQ(out.size(), 33u);
+  EXPECT_EQ(out.front().offset, 17);
+}
+
+TEST_F(LogTest, AppendWithOffsetsFollowsLeader) {
+  auto leader = OpenLog(LogConfig{}, "leader/");
+  auto follower = OpenLog(LogConfig{}, "follower/");
+  auto batch = KeyedBatch(10);
+  leader->Append(&batch);
+  ASSERT_TRUE(follower->AppendWithOffsets(batch).ok());
+  EXPECT_EQ(follower->end_offset(), 10);
+
+  // Overlapping replication is rejected.
+  EXPECT_TRUE(follower->AppendWithOffsets(batch).IsInvalidArgument());
+}
+
+TEST_F(LogTest, TruncateDropsSuffix) {
+  LogConfig config;
+  config.segment_bytes = 512;
+  auto log = OpenLog(config);
+  for (int i = 0; i < 10; ++i) {
+    auto batch = KeyedBatch(5);
+    log->Append(&batch);
+  }
+  ASSERT_TRUE(log->Truncate(23).ok());
+  EXPECT_EQ(log->end_offset(), 23);
+  std::vector<Record> out;
+  log->Read(0, 10 << 20, &out);
+  ASSERT_EQ(out.size(), 23u);
+  EXPECT_EQ(out.back().offset, 22);
+
+  // New appends continue from the truncation point.
+  auto batch = KeyedBatch(2);
+  auto base = log->Append(&batch);
+  EXPECT_EQ(*base, 23);
+}
+
+TEST_F(LogTest, TruncateToZeroEmptiesLog) {
+  auto log = OpenLog(LogConfig{});
+  auto batch = KeyedBatch(5);
+  log->Append(&batch);
+  ASSERT_TRUE(log->Truncate(0).ok());
+  EXPECT_EQ(log->end_offset(), 0);
+  std::vector<Record> out;
+  log->Read(0, 1 << 20, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LogTest, TruncatePastEndIsNoOp) {
+  auto log = OpenLog(LogConfig{});
+  auto batch = KeyedBatch(5);
+  log->Append(&batch);
+  ASSERT_TRUE(log->Truncate(100).ok());
+  EXPECT_EQ(log->end_offset(), 5);
+}
+
+TEST_F(LogTest, OffsetForTimestampAcrossSegments) {
+  LogConfig config;
+  config.segment_bytes = 512;
+  auto log = OpenLog(config);
+  for (int i = 0; i < 10; ++i) {
+    clock_.SetMs(10000 + i * 100);
+    auto batch = KeyedBatch(5);
+    log->Append(&batch);
+  }
+  // Each batch of 5 shares its timestamp: 10000, 10100, ...
+  EXPECT_EQ(*log->OffsetForTimestamp(10000), 0);
+  EXPECT_EQ(*log->OffsetForTimestamp(10250), 15);
+  EXPECT_EQ(*log->OffsetForTimestamp(10900), 45);
+  EXPECT_TRUE(log->OffsetForTimestamp(99999).status().IsNotFound());
+}
+
+TEST_F(LogTest, SizeBytesGrowsWithData) {
+  auto log = OpenLog(LogConfig{});
+  EXPECT_EQ(log->size_bytes(), 0u);
+  auto batch = KeyedBatch(10);
+  log->Append(&batch);
+  EXPECT_GT(log->size_bytes(), 100u);
+}
+
+TEST_F(LogTest, TimeRetentionDeletesOldSegments) {
+  LogConfig config;
+  config.segment_bytes = 512;
+  config.retention_ms = 10000;
+  auto log = OpenLog(config);
+  clock_.SetMs(1000);
+  for (int i = 0; i < 10; ++i) {
+    auto batch = KeyedBatch(5);
+    log->Append(&batch);
+  }
+  const int before = log->segment_count();
+  ASSERT_GT(before, 2);
+
+  clock_.SetMs(1000 + 20000);  // Everything is now older than retention.
+  auto deleted = log->ApplyRetention();
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, before - 1);  // Active segment never deleted.
+  EXPECT_EQ(log->segment_count(), 1);
+  EXPECT_GT(log->start_offset(), 0);
+
+  // Reads below the new start offset are clamped forward.
+  std::vector<Record> out;
+  ASSERT_TRUE(log->Read(0, 10 << 20, &out).ok());
+  if (!out.empty()) EXPECT_GE(out.front().offset, log->start_offset());
+}
+
+TEST_F(LogTest, SizeRetentionBoundsLog) {
+  LogConfig config;
+  config.segment_bytes = 512;
+  config.retention_bytes = 2048;
+  auto log = OpenLog(config);
+  for (int i = 0; i < 40; ++i) {
+    auto batch = KeyedBatch(5);
+    log->Append(&batch);
+    log->ApplyRetention();
+  }
+  EXPECT_LE(log->size_bytes(), 3000u);  // Bounded near the target.
+  EXPECT_GT(log->start_offset(), 0);
+}
+
+TEST_F(LogTest, RetentionKeepsFreshData) {
+  LogConfig config;
+  config.segment_bytes = 512;
+  config.retention_ms = 1000000;
+  auto log = OpenLog(config);
+  auto batch = KeyedBatch(50);
+  log->Append(&batch);
+  auto deleted = log->ApplyRetention();
+  EXPECT_EQ(*deleted, 0);
+  EXPECT_EQ(log->start_offset(), 0);
+}
+
+TEST_F(LogTest, EmptyAppendRejected) {
+  auto log = OpenLog(LogConfig{});
+  std::vector<Record> empty;
+  EXPECT_TRUE(log->Append(&empty).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace liquid::storage

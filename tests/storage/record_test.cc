@@ -1,0 +1,186 @@
+#include "storage/record.h"
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+
+namespace liquid::storage {
+namespace {
+
+TEST(RecordTest, KeyValueRoundTrip) {
+  Record in = Record::KeyValue("user42", "profile-data", 1234);
+  in.offset = 99;
+  std::string buf;
+  EncodeRecord(in, &buf);
+  EXPECT_EQ(buf.size(), in.EncodedSize());
+
+  Slice input(buf);
+  Record out;
+  ASSERT_TRUE(DecodeRecord(&input, &out).ok());
+  EXPECT_EQ(out.offset, 99);
+  EXPECT_EQ(out.timestamp_ms, 1234);
+  EXPECT_EQ(out.key, "user42");
+  EXPECT_EQ(out.value, "profile-data");
+  EXPECT_TRUE(out.has_key);
+  EXPECT_FALSE(out.is_tombstone);
+  EXPECT_EQ(out.producer_id, kNoProducerId);
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(RecordTest, TombstoneRoundTrip) {
+  Record in = Record::Tombstone("deleted-key", 5);
+  in.offset = 1;
+  std::string buf;
+  EncodeRecord(in, &buf);
+  Slice input(buf);
+  Record out;
+  ASSERT_TRUE(DecodeRecord(&input, &out).ok());
+  EXPECT_TRUE(out.is_tombstone);
+  EXPECT_EQ(out.key, "deleted-key");
+  EXPECT_TRUE(out.value.empty());
+}
+
+TEST(RecordTest, ValueOnlyHasNoKey) {
+  Record in = Record::ValueOnly("payload");
+  in.offset = 0;
+  std::string buf;
+  EncodeRecord(in, &buf);
+  Slice input(buf);
+  Record out;
+  ASSERT_TRUE(DecodeRecord(&input, &out).ok());
+  EXPECT_FALSE(out.has_key);
+  EXPECT_EQ(out.value, "payload");
+}
+
+TEST(RecordTest, ProducerMetadataRoundTrip) {
+  Record in = Record::KeyValue("k", "v");
+  in.offset = 7;
+  in.producer_id = 12345;
+  in.sequence = 42;
+  std::string buf;
+  EncodeRecord(in, &buf);
+  Slice input(buf);
+  Record out;
+  ASSERT_TRUE(DecodeRecord(&input, &out).ok());
+  EXPECT_EQ(out.producer_id, 12345);
+  EXPECT_EQ(out.sequence, 42);
+}
+
+TEST(RecordTest, LeaderEpochAndControlRoundTrip) {
+  Record in = Record::ControlMarker(555, /*committed=*/true);
+  in.offset = 3;
+  in.leader_epoch = 12;
+  std::string buf;
+  EncodeRecord(in, &buf);
+  Slice input(buf);
+  Record out;
+  ASSERT_TRUE(DecodeRecord(&input, &out).ok());
+  EXPECT_TRUE(out.is_control);
+  EXPECT_EQ(out.producer_id, 555);
+  EXPECT_EQ(out.leader_epoch, 12);
+  EXPECT_EQ(out.value, "commit");
+  EXPECT_FALSE(out.has_key);
+}
+
+TEST(RecordTest, DefaultLeaderEpochIsMinusOne) {
+  Record in = Record::KeyValue("k", "v");
+  in.offset = 0;
+  std::string buf;
+  EncodeRecord(in, &buf);
+  Slice input(buf);
+  Record out;
+  ASSERT_TRUE(DecodeRecord(&input, &out).ok());
+  EXPECT_EQ(out.leader_epoch, -1);
+  EXPECT_FALSE(out.is_control);
+}
+
+TEST(RecordTest, EmptyKeyAndValue) {
+  Record in = Record::KeyValue("", "");
+  in.offset = 0;
+  std::string buf;
+  EncodeRecord(in, &buf);
+  Slice input(buf);
+  Record out;
+  ASSERT_TRUE(DecodeRecord(&input, &out).ok());
+  EXPECT_TRUE(out.key.empty());
+  EXPECT_TRUE(out.value.empty());
+  EXPECT_TRUE(out.has_key);
+}
+
+TEST(RecordTest, CorruptedByteDetectedByCrc) {
+  Record in = Record::KeyValue("key", "value");
+  in.offset = 3;
+  std::string buf;
+  EncodeRecord(in, &buf);
+  // Flip one byte in the body (past length+crc framing).
+  buf[buf.size() - 1] ^= 0x01;
+  Slice input(buf);
+  Record out;
+  EXPECT_TRUE(DecodeRecord(&input, &out).IsCorruption());
+}
+
+TEST(RecordTest, TruncatedBodyDetected) {
+  Record in = Record::KeyValue("key", "a longer value to truncate");
+  in.offset = 3;
+  std::string buf;
+  EncodeRecord(in, &buf);
+  buf.resize(buf.size() - 5);
+  Slice input(buf);
+  Record out;
+  EXPECT_TRUE(DecodeRecord(&input, &out).IsCorruption());
+}
+
+TEST(RecordTest, EmptyInputIsOutOfRange) {
+  Slice input("");
+  Record out;
+  EXPECT_TRUE(DecodeRecord(&input, &out).IsOutOfRange());
+}
+
+TEST(RecordTest, DecodeRecordsStopsAtTruncatedTail) {
+  std::string buf;
+  for (int i = 0; i < 3; ++i) {
+    Record r = Record::KeyValue("k" + std::to_string(i), "v");
+    r.offset = i;
+    EncodeRecord(r, &buf);
+  }
+  const size_t full = buf.size();
+  buf.resize(full - 7);  // Chop into the last record.
+  std::vector<Record> records;
+  ASSERT_TRUE(DecodeRecords(Slice(buf), &records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, "k0");
+  EXPECT_EQ(records[1].key, "k1");
+}
+
+TEST(RecordTest, DecodeRecordsAll) {
+  std::string buf;
+  for (int i = 0; i < 10; ++i) {
+    Record r = Record::KeyValue("k", std::string(i * 10, 'x'));
+    r.offset = i;
+    EncodeRecord(r, &buf);
+  }
+  std::vector<Record> records;
+  ASSERT_TRUE(DecodeRecords(Slice(buf), &records).ok());
+  ASSERT_EQ(records.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(records[i].offset, i);
+    EXPECT_EQ(records[i].value.size(), static_cast<size_t>(i * 10));
+  }
+}
+
+TEST(RecordTest, BinarySafeKeyAndValue) {
+  std::string key("\x00\x01\xff\x7f", 4);
+  std::string value("\xde\xad\xbe\xef\x00", 5);
+  Record in = Record::KeyValue(key, value);
+  in.offset = 0;
+  std::string buf;
+  EncodeRecord(in, &buf);
+  Slice input(buf);
+  Record out;
+  ASSERT_TRUE(DecodeRecord(&input, &out).ok());
+  EXPECT_EQ(out.key, key);
+  EXPECT_EQ(out.value, value);
+}
+
+}  // namespace
+}  // namespace liquid::storage

@@ -1,0 +1,147 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+namespace liquid::workload {
+namespace {
+
+TEST(EventCodecTest, RoundTrip) {
+  std::map<std::string, std::string> fields{
+      {"page", "home"}, {"load_ms", "123"}, {"cdn", "cdn2"}};
+  auto parsed = ParseEvent(EncodeEvent(fields));
+  EXPECT_EQ(parsed, fields);
+}
+
+TEST(EventCodecTest, EmptyAndMalformedTolerated) {
+  EXPECT_TRUE(ParseEvent("").empty());
+  auto parsed = ParseEvent("novalue;k=v;;also-no-value");
+  EXPECT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.at("k"), "v");
+}
+
+TEST(RumGeneratorTest, EventsHaveAllFields) {
+  RumEventGenerator generator(RumEventGenerator::Options{});
+  for (int i = 0; i < 100; ++i) {
+    auto record = generator.Next(1000 + i);
+    EXPECT_EQ(record.timestamp_ms, 1000 + i);
+    EXPECT_FALSE(record.key.empty());  // Session id.
+    auto fields = ParseEvent(record.value);
+    EXPECT_EQ(fields.count("page"), 1u);
+    EXPECT_EQ(fields.count("load_ms"), 1u);
+    EXPECT_EQ(fields.count("region"), 1u);
+    EXPECT_EQ(fields.count("cdn"), 1u);
+  }
+  EXPECT_EQ(generator.events_generated(), 100);
+}
+
+TEST(RumGeneratorTest, AnomalyWindowMakesOneCdnSlow) {
+  RumEventGenerator::Options options;
+  options.anomaly_start_event = 0;
+  options.anomaly_end_event = 2000;
+  options.anomalous_cdn = 1;
+  options.anomaly_load_ms = 9999;
+  RumEventGenerator generator(options);
+  int64_t slow_on_bad_cdn = 0, slow_on_other = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto fields = ParseEvent(generator.Next(i).value);
+    const int64_t load = std::strtoll(fields["load_ms"].c_str(), nullptr, 10);
+    if (load == 9999) {
+      if (fields["cdn"] == "cdn1") ++slow_on_bad_cdn;
+      else ++slow_on_other;
+    }
+  }
+  EXPECT_GT(slow_on_bad_cdn, 300);  // Roughly a quarter of events.
+  EXPECT_EQ(slow_on_other, 0);
+}
+
+TEST(RumGeneratorTest, NormalLoadTimesWithinJitterRange) {
+  RumEventGenerator::Options options;
+  options.base_load_ms = 100;
+  options.load_jitter_ms = 50;
+  RumEventGenerator generator(options);  // No anomaly window.
+  for (int i = 0; i < 500; ++i) {
+    auto fields = ParseEvent(generator.Next(i).value);
+    const int64_t load = std::strtoll(fields["load_ms"].c_str(), nullptr, 10);
+    EXPECT_GE(load, 100);
+    EXPECT_LE(load, 150);
+  }
+}
+
+TEST(CallGraphGeneratorTest, SpansShareRequestIdAndFormTree) {
+  CallGraphGenerator generator(CallGraphGenerator::Options{});
+  auto spans = generator.NextRequest(5000);
+  ASSERT_FALSE(spans.empty());
+  const std::string request_id = spans[0].key;
+  std::set<int> span_ids;
+  int roots = 0;
+  for (const auto& record : spans) {
+    EXPECT_EQ(record.key, request_id);
+    auto fields = ParseEvent(record.value);
+    const int span = std::atoi(fields.at("span").c_str());
+    const int parent = std::atoi(fields.at("parent").c_str());
+    span_ids.insert(span);
+    if (parent == -1) ++roots;
+    else EXPECT_NE(span, parent);
+  }
+  EXPECT_EQ(roots, 1);  // Exactly one root span.
+  EXPECT_EQ(span_ids.size(), spans.size());  // Unique span ids.
+  // Every non-root parent exists in the set.
+  for (const auto& record : spans) {
+    auto fields = ParseEvent(record.value);
+    const int parent = std::atoi(fields.at("parent").c_str());
+    if (parent >= 0) EXPECT_TRUE(span_ids.count(parent));
+  }
+}
+
+TEST(CallGraphGeneratorTest, DistinctRequestsDistinctIds) {
+  CallGraphGenerator generator(CallGraphGenerator::Options{});
+  auto a = generator.NextRequest(0);
+  auto b = generator.NextRequest(0);
+  EXPECT_NE(a[0].key, b[0].key);
+  EXPECT_EQ(generator.requests_generated(), 2);
+}
+
+TEST(CallGraphGeneratorTest, SlowServiceGetsSlowSpans) {
+  CallGraphGenerator::Options options;
+  options.slow_service = 0;
+  options.slow_latency_us = 777777;
+  options.num_services = 2;  // Make the slow one frequent.
+  CallGraphGenerator generator(options);
+  bool saw_slow = false;
+  for (int i = 0; i < 50 && !saw_slow; ++i) {
+    for (const auto& record : generator.NextRequest(0)) {
+      auto fields = ParseEvent(record.value);
+      if (fields.at("service") == "svc0") {
+        EXPECT_EQ(fields.at("latency_us"), "777777");
+        saw_slow = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_slow);
+}
+
+TEST(ProfileGeneratorTest, KeysZipfSkewed) {
+  ProfileUpdateGenerator::Options options;
+  options.num_users = 1000;
+  options.zipf_theta = 0.99;
+  ProfileUpdateGenerator generator(options);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 5000; ++i) {
+    auto record = generator.Next(i);
+    EXPECT_EQ(record.key.substr(0, 4), "user");
+    EXPECT_EQ(record.value.size(), options.value_bytes);
+    counts[record.key]++;
+  }
+  // Skew: far fewer distinct users than events.
+  EXPECT_LT(counts.size(), 2500u);
+  int max_count = 0;
+  for (const auto& [key, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 50);
+}
+
+}  // namespace
+}  // namespace liquid::workload
