@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_anticaching"
+  "../bench/bench_anticaching.pdb"
+  "CMakeFiles/bench_anticaching.dir/bench_anticaching.cc.o"
+  "CMakeFiles/bench_anticaching.dir/bench_anticaching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anticaching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_architectures"
+  "../bench/bench_architectures.pdb"
+  "CMakeFiles/bench_architectures.dir/bench_architectures.cc.o"
+  "CMakeFiles/bench_architectures.dir/bench_architectures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

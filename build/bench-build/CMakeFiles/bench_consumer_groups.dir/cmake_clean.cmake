@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_consumer_groups"
+  "../bench/bench_consumer_groups.pdb"
+  "CMakeFiles/bench_consumer_groups.dir/bench_consumer_groups.cc.o"
+  "CMakeFiles/bench_consumer_groups.dir/bench_consumer_groups.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consumer_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

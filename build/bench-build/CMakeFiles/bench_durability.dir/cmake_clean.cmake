@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_durability"
+  "../bench/bench_durability.pdb"
+  "CMakeFiles/bench_durability.dir/bench_durability.cc.o"
+  "CMakeFiles/bench_durability.dir/bench_durability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_durability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_log_throughput"
+  "../bench/bench_log_throughput.pdb"
+  "CMakeFiles/bench_log_throughput.dir/bench_log_throughput.cc.o"
+  "CMakeFiles/bench_log_throughput.dir/bench_log_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_log_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

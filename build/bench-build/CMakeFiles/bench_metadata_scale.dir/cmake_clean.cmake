@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_metadata_scale"
+  "../bench/bench_metadata_scale.pdb"
+  "CMakeFiles/bench_metadata_scale.dir/bench_metadata_scale.cc.o"
+  "CMakeFiles/bench_metadata_scale.dir/bench_metadata_scale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metadata_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

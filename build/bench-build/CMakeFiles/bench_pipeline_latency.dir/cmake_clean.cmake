@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pipeline_latency"
+  "../bench/bench_pipeline_latency.pdb"
+  "CMakeFiles/bench_pipeline_latency.dir/bench_pipeline_latency.cc.o"
+  "CMakeFiles/bench_pipeline_latency.dir/bench_pipeline_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rum"
+  "../bench/bench_rum.pdb"
+  "CMakeFiles/bench_rum.dir/bench_rum.cc.o"
+  "CMakeFiles/bench_rum.dir/bench_rum.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_state_recovery"
+  "../bench/bench_state_recovery.pdb"
+  "CMakeFiles/bench_state_recovery.dir/bench_state_recovery.cc.o"
+  "CMakeFiles/bench_state_recovery.dir/bench_state_recovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

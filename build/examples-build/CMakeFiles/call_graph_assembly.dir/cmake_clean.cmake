@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/call_graph_assembly"
+  "../examples/call_graph_assembly.pdb"
+  "CMakeFiles/call_graph_assembly.dir/call_graph_assembly.cpp.o"
+  "CMakeFiles/call_graph_assembly.dir/call_graph_assembly.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_graph_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

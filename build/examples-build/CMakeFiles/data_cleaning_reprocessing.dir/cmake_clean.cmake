@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/data_cleaning_reprocessing"
+  "../examples/data_cleaning_reprocessing.pdb"
+  "CMakeFiles/data_cleaning_reprocessing.dir/data_cleaning_reprocessing.cpp.o"
+  "CMakeFiles/data_cleaning_reprocessing.dir/data_cleaning_reprocessing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_cleaning_reprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

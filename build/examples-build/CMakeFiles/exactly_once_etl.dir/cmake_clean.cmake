@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/exactly_once_etl"
+  "../examples/exactly_once_etl.pdb"
+  "CMakeFiles/exactly_once_etl.dir/exactly_once_etl.cpp.o"
+  "CMakeFiles/exactly_once_etl.dir/exactly_once_etl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exactly_once_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

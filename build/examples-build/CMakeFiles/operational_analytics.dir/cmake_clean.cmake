@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/operational_analytics"
+  "../examples/operational_analytics.pdb"
+  "CMakeFiles/operational_analytics.dir/operational_analytics.cpp.o"
+  "CMakeFiles/operational_analytics.dir/operational_analytics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operational_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/site_speed_monitoring.cpp" "examples-build/CMakeFiles/site_speed_monitoring.dir/site_speed_monitoring.cpp.o" "gcc" "examples-build/CMakeFiles/site_speed_monitoring.dir/site_speed_monitoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/liquid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/processing/CMakeFiles/liquid_processing.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/liquid_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/messaging/CMakeFiles/liquid_messaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/liquid_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/isolation/CMakeFiles/liquid_isolation.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/liquid_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/liquid_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/liquid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/liquid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/liquid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

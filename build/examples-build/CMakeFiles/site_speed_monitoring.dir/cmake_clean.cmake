@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/site_speed_monitoring"
+  "../examples/site_speed_monitoring.pdb"
+  "CMakeFiles/site_speed_monitoring.dir/site_speed_monitoring.cpp.o"
+  "CMakeFiles/site_speed_monitoring.dir/site_speed_monitoring.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_speed_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_common.dir/clock.cc.o"
+  "CMakeFiles/liquid_common.dir/clock.cc.o.d"
+  "CMakeFiles/liquid_common.dir/coding.cc.o"
+  "CMakeFiles/liquid_common.dir/coding.cc.o.d"
+  "CMakeFiles/liquid_common.dir/crc32c.cc.o"
+  "CMakeFiles/liquid_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/liquid_common.dir/logging.cc.o"
+  "CMakeFiles/liquid_common.dir/logging.cc.o.d"
+  "CMakeFiles/liquid_common.dir/metrics.cc.o"
+  "CMakeFiles/liquid_common.dir/metrics.cc.o.d"
+  "CMakeFiles/liquid_common.dir/properties.cc.o"
+  "CMakeFiles/liquid_common.dir/properties.cc.o.d"
+  "CMakeFiles/liquid_common.dir/random.cc.o"
+  "CMakeFiles/liquid_common.dir/random.cc.o.d"
+  "CMakeFiles/liquid_common.dir/status.cc.o"
+  "CMakeFiles/liquid_common.dir/status.cc.o.d"
+  "CMakeFiles/liquid_common.dir/thread_pool.cc.o"
+  "CMakeFiles/liquid_common.dir/thread_pool.cc.o.d"
+  "libliquid_common.a"
+  "libliquid_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coord/coordination_service.cc" "src/coord/CMakeFiles/liquid_coord.dir/coordination_service.cc.o" "gcc" "src/coord/CMakeFiles/liquid_coord.dir/coordination_service.cc.o.d"
+  "/root/repo/src/coord/leader_election.cc" "src/coord/CMakeFiles/liquid_coord.dir/leader_election.cc.o" "gcc" "src/coord/CMakeFiles/liquid_coord.dir/leader_election.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/liquid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_coord.dir/coordination_service.cc.o"
+  "CMakeFiles/liquid_coord.dir/coordination_service.cc.o.d"
+  "CMakeFiles/liquid_coord.dir/leader_election.cc.o"
+  "CMakeFiles/liquid_coord.dir/leader_election.cc.o.d"
+  "libliquid_coord.a"
+  "libliquid_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

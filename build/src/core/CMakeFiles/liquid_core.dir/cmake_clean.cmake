@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_core.dir/architectures.cc.o"
+  "CMakeFiles/liquid_core.dir/architectures.cc.o.d"
+  "CMakeFiles/liquid_core.dir/liquid.cc.o"
+  "CMakeFiles/liquid_core.dir/liquid.cc.o.d"
+  "libliquid_core.a"
+  "libliquid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

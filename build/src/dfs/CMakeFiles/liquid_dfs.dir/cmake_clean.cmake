@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_dfs.dir/dfs.cc.o"
+  "CMakeFiles/liquid_dfs.dir/dfs.cc.o.d"
+  "libliquid_dfs.a"
+  "libliquid_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

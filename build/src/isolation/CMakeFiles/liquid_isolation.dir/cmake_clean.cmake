@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_isolation.dir/container.cc.o"
+  "CMakeFiles/liquid_isolation.dir/container.cc.o.d"
+  "CMakeFiles/liquid_isolation.dir/scheduler.cc.o"
+  "CMakeFiles/liquid_isolation.dir/scheduler.cc.o.d"
+  "libliquid_isolation.a"
+  "libliquid_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

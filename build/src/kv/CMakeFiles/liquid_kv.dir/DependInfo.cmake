@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/bloom.cc" "src/kv/CMakeFiles/liquid_kv.dir/bloom.cc.o" "gcc" "src/kv/CMakeFiles/liquid_kv.dir/bloom.cc.o.d"
+  "/root/repo/src/kv/kv_store.cc" "src/kv/CMakeFiles/liquid_kv.dir/kv_store.cc.o" "gcc" "src/kv/CMakeFiles/liquid_kv.dir/kv_store.cc.o.d"
+  "/root/repo/src/kv/sstable.cc" "src/kv/CMakeFiles/liquid_kv.dir/sstable.cc.o" "gcc" "src/kv/CMakeFiles/liquid_kv.dir/sstable.cc.o.d"
+  "/root/repo/src/kv/wal.cc" "src/kv/CMakeFiles/liquid_kv.dir/wal.cc.o" "gcc" "src/kv/CMakeFiles/liquid_kv.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/liquid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/liquid_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_kv.dir/bloom.cc.o"
+  "CMakeFiles/liquid_kv.dir/bloom.cc.o.d"
+  "CMakeFiles/liquid_kv.dir/kv_store.cc.o"
+  "CMakeFiles/liquid_kv.dir/kv_store.cc.o.d"
+  "CMakeFiles/liquid_kv.dir/sstable.cc.o"
+  "CMakeFiles/liquid_kv.dir/sstable.cc.o.d"
+  "CMakeFiles/liquid_kv.dir/wal.cc.o"
+  "CMakeFiles/liquid_kv.dir/wal.cc.o.d"
+  "libliquid_kv.a"
+  "libliquid_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_mapreduce.dir/mapreduce.cc.o"
+  "CMakeFiles/liquid_mapreduce.dir/mapreduce.cc.o.d"
+  "libliquid_mapreduce.a"
+  "libliquid_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/messaging/access_control.cc" "src/messaging/CMakeFiles/liquid_messaging.dir/access_control.cc.o" "gcc" "src/messaging/CMakeFiles/liquid_messaging.dir/access_control.cc.o.d"
+  "/root/repo/src/messaging/admin.cc" "src/messaging/CMakeFiles/liquid_messaging.dir/admin.cc.o" "gcc" "src/messaging/CMakeFiles/liquid_messaging.dir/admin.cc.o.d"
+  "/root/repo/src/messaging/broker.cc" "src/messaging/CMakeFiles/liquid_messaging.dir/broker.cc.o" "gcc" "src/messaging/CMakeFiles/liquid_messaging.dir/broker.cc.o.d"
+  "/root/repo/src/messaging/cluster.cc" "src/messaging/CMakeFiles/liquid_messaging.dir/cluster.cc.o" "gcc" "src/messaging/CMakeFiles/liquid_messaging.dir/cluster.cc.o.d"
+  "/root/repo/src/messaging/consumer.cc" "src/messaging/CMakeFiles/liquid_messaging.dir/consumer.cc.o" "gcc" "src/messaging/CMakeFiles/liquid_messaging.dir/consumer.cc.o.d"
+  "/root/repo/src/messaging/controller.cc" "src/messaging/CMakeFiles/liquid_messaging.dir/controller.cc.o" "gcc" "src/messaging/CMakeFiles/liquid_messaging.dir/controller.cc.o.d"
+  "/root/repo/src/messaging/group_coordinator.cc" "src/messaging/CMakeFiles/liquid_messaging.dir/group_coordinator.cc.o" "gcc" "src/messaging/CMakeFiles/liquid_messaging.dir/group_coordinator.cc.o.d"
+  "/root/repo/src/messaging/metadata.cc" "src/messaging/CMakeFiles/liquid_messaging.dir/metadata.cc.o" "gcc" "src/messaging/CMakeFiles/liquid_messaging.dir/metadata.cc.o.d"
+  "/root/repo/src/messaging/offset_manager.cc" "src/messaging/CMakeFiles/liquid_messaging.dir/offset_manager.cc.o" "gcc" "src/messaging/CMakeFiles/liquid_messaging.dir/offset_manager.cc.o.d"
+  "/root/repo/src/messaging/producer.cc" "src/messaging/CMakeFiles/liquid_messaging.dir/producer.cc.o" "gcc" "src/messaging/CMakeFiles/liquid_messaging.dir/producer.cc.o.d"
+  "/root/repo/src/messaging/quota.cc" "src/messaging/CMakeFiles/liquid_messaging.dir/quota.cc.o" "gcc" "src/messaging/CMakeFiles/liquid_messaging.dir/quota.cc.o.d"
+  "/root/repo/src/messaging/transaction.cc" "src/messaging/CMakeFiles/liquid_messaging.dir/transaction.cc.o" "gcc" "src/messaging/CMakeFiles/liquid_messaging.dir/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/liquid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/liquid_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/liquid_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_messaging.dir/access_control.cc.o"
+  "CMakeFiles/liquid_messaging.dir/access_control.cc.o.d"
+  "CMakeFiles/liquid_messaging.dir/admin.cc.o"
+  "CMakeFiles/liquid_messaging.dir/admin.cc.o.d"
+  "CMakeFiles/liquid_messaging.dir/broker.cc.o"
+  "CMakeFiles/liquid_messaging.dir/broker.cc.o.d"
+  "CMakeFiles/liquid_messaging.dir/cluster.cc.o"
+  "CMakeFiles/liquid_messaging.dir/cluster.cc.o.d"
+  "CMakeFiles/liquid_messaging.dir/consumer.cc.o"
+  "CMakeFiles/liquid_messaging.dir/consumer.cc.o.d"
+  "CMakeFiles/liquid_messaging.dir/controller.cc.o"
+  "CMakeFiles/liquid_messaging.dir/controller.cc.o.d"
+  "CMakeFiles/liquid_messaging.dir/group_coordinator.cc.o"
+  "CMakeFiles/liquid_messaging.dir/group_coordinator.cc.o.d"
+  "CMakeFiles/liquid_messaging.dir/metadata.cc.o"
+  "CMakeFiles/liquid_messaging.dir/metadata.cc.o.d"
+  "CMakeFiles/liquid_messaging.dir/offset_manager.cc.o"
+  "CMakeFiles/liquid_messaging.dir/offset_manager.cc.o.d"
+  "CMakeFiles/liquid_messaging.dir/producer.cc.o"
+  "CMakeFiles/liquid_messaging.dir/producer.cc.o.d"
+  "CMakeFiles/liquid_messaging.dir/quota.cc.o"
+  "CMakeFiles/liquid_messaging.dir/quota.cc.o.d"
+  "CMakeFiles/liquid_messaging.dir/transaction.cc.o"
+  "CMakeFiles/liquid_messaging.dir/transaction.cc.o.d"
+  "libliquid_messaging.a"
+  "libliquid_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

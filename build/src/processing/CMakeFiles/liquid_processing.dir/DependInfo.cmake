@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/processing/job.cc" "src/processing/CMakeFiles/liquid_processing.dir/job.cc.o" "gcc" "src/processing/CMakeFiles/liquid_processing.dir/job.cc.o.d"
+  "/root/repo/src/processing/operators.cc" "src/processing/CMakeFiles/liquid_processing.dir/operators.cc.o" "gcc" "src/processing/CMakeFiles/liquid_processing.dir/operators.cc.o.d"
+  "/root/repo/src/processing/pipeline.cc" "src/processing/CMakeFiles/liquid_processing.dir/pipeline.cc.o" "gcc" "src/processing/CMakeFiles/liquid_processing.dir/pipeline.cc.o.d"
+  "/root/repo/src/processing/state_store.cc" "src/processing/CMakeFiles/liquid_processing.dir/state_store.cc.o" "gcc" "src/processing/CMakeFiles/liquid_processing.dir/state_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/liquid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/liquid_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/messaging/CMakeFiles/liquid_messaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/liquid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/liquid_coord.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_processing.dir/job.cc.o"
+  "CMakeFiles/liquid_processing.dir/job.cc.o.d"
+  "CMakeFiles/liquid_processing.dir/operators.cc.o"
+  "CMakeFiles/liquid_processing.dir/operators.cc.o.d"
+  "CMakeFiles/liquid_processing.dir/pipeline.cc.o"
+  "CMakeFiles/liquid_processing.dir/pipeline.cc.o.d"
+  "CMakeFiles/liquid_processing.dir/state_store.cc.o"
+  "CMakeFiles/liquid_processing.dir/state_store.cc.o.d"
+  "libliquid_processing.a"
+  "libliquid_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk.cc" "src/storage/CMakeFiles/liquid_storage.dir/disk.cc.o" "gcc" "src/storage/CMakeFiles/liquid_storage.dir/disk.cc.o.d"
+  "/root/repo/src/storage/log.cc" "src/storage/CMakeFiles/liquid_storage.dir/log.cc.o" "gcc" "src/storage/CMakeFiles/liquid_storage.dir/log.cc.o.d"
+  "/root/repo/src/storage/log_segment.cc" "src/storage/CMakeFiles/liquid_storage.dir/log_segment.cc.o" "gcc" "src/storage/CMakeFiles/liquid_storage.dir/log_segment.cc.o.d"
+  "/root/repo/src/storage/page_cache.cc" "src/storage/CMakeFiles/liquid_storage.dir/page_cache.cc.o" "gcc" "src/storage/CMakeFiles/liquid_storage.dir/page_cache.cc.o.d"
+  "/root/repo/src/storage/record.cc" "src/storage/CMakeFiles/liquid_storage.dir/record.cc.o" "gcc" "src/storage/CMakeFiles/liquid_storage.dir/record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/liquid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

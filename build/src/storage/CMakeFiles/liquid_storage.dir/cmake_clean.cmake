@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_storage.dir/disk.cc.o"
+  "CMakeFiles/liquid_storage.dir/disk.cc.o.d"
+  "CMakeFiles/liquid_storage.dir/log.cc.o"
+  "CMakeFiles/liquid_storage.dir/log.cc.o.d"
+  "CMakeFiles/liquid_storage.dir/log_segment.cc.o"
+  "CMakeFiles/liquid_storage.dir/log_segment.cc.o.d"
+  "CMakeFiles/liquid_storage.dir/page_cache.cc.o"
+  "CMakeFiles/liquid_storage.dir/page_cache.cc.o.d"
+  "CMakeFiles/liquid_storage.dir/record.cc.o"
+  "CMakeFiles/liquid_storage.dir/record.cc.o.d"
+  "libliquid_storage.a"
+  "libliquid_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

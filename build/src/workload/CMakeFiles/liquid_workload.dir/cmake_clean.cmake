@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liquid_workload.dir/generators.cc.o"
+  "CMakeFiles/liquid_workload.dir/generators.cc.o.d"
+  "libliquid_workload.a"
+  "libliquid_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liquid_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coord_tests.dir/coord/coordination_test.cc.o"
+  "CMakeFiles/coord_tests.dir/coord/coordination_test.cc.o.d"
+  "CMakeFiles/coord_tests.dir/coord/leader_election_test.cc.o"
+  "CMakeFiles/coord_tests.dir/coord/leader_election_test.cc.o.d"
+  "coord_tests"
+  "coord_tests.pdb"
+  "coord_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coord_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

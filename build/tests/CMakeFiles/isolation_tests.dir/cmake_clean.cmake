@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_tests.dir/isolation/scheduler_test.cc.o"
+  "CMakeFiles/isolation_tests.dir/isolation/scheduler_test.cc.o.d"
+  "isolation_tests"
+  "isolation_tests.pdb"
+  "isolation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kv/bloom_test.cc" "tests/CMakeFiles/kv_tests.dir/kv/bloom_test.cc.o" "gcc" "tests/CMakeFiles/kv_tests.dir/kv/bloom_test.cc.o.d"
+  "/root/repo/tests/kv/kv_store_test.cc" "tests/CMakeFiles/kv_tests.dir/kv/kv_store_test.cc.o" "gcc" "tests/CMakeFiles/kv_tests.dir/kv/kv_store_test.cc.o.d"
+  "/root/repo/tests/kv/sstable_test.cc" "tests/CMakeFiles/kv_tests.dir/kv/sstable_test.cc.o" "gcc" "tests/CMakeFiles/kv_tests.dir/kv/sstable_test.cc.o.d"
+  "/root/repo/tests/kv/wal_test.cc" "tests/CMakeFiles/kv_tests.dir/kv/wal_test.cc.o" "gcc" "tests/CMakeFiles/kv_tests.dir/kv/wal_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/liquid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/processing/CMakeFiles/liquid_processing.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/liquid_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/messaging/CMakeFiles/liquid_messaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/liquid_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/isolation/CMakeFiles/liquid_isolation.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/liquid_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/liquid_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/liquid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/liquid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/liquid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

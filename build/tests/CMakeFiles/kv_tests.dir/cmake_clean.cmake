@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_tests.dir/kv/bloom_test.cc.o"
+  "CMakeFiles/kv_tests.dir/kv/bloom_test.cc.o.d"
+  "CMakeFiles/kv_tests.dir/kv/kv_store_test.cc.o"
+  "CMakeFiles/kv_tests.dir/kv/kv_store_test.cc.o.d"
+  "CMakeFiles/kv_tests.dir/kv/sstable_test.cc.o"
+  "CMakeFiles/kv_tests.dir/kv/sstable_test.cc.o.d"
+  "CMakeFiles/kv_tests.dir/kv/wal_test.cc.o"
+  "CMakeFiles/kv_tests.dir/kv/wal_test.cc.o.d"
+  "kv_tests"
+  "kv_tests.pdb"
+  "kv_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/messaging/access_control_test.cc" "tests/CMakeFiles/messaging_tests.dir/messaging/access_control_test.cc.o" "gcc" "tests/CMakeFiles/messaging_tests.dir/messaging/access_control_test.cc.o.d"
+  "/root/repo/tests/messaging/admin_test.cc" "tests/CMakeFiles/messaging_tests.dir/messaging/admin_test.cc.o" "gcc" "tests/CMakeFiles/messaging_tests.dir/messaging/admin_test.cc.o.d"
+  "/root/repo/tests/messaging/cluster_test.cc" "tests/CMakeFiles/messaging_tests.dir/messaging/cluster_test.cc.o" "gcc" "tests/CMakeFiles/messaging_tests.dir/messaging/cluster_test.cc.o.d"
+  "/root/repo/tests/messaging/consumer_group_test.cc" "tests/CMakeFiles/messaging_tests.dir/messaging/consumer_group_test.cc.o" "gcc" "tests/CMakeFiles/messaging_tests.dir/messaging/consumer_group_test.cc.o.d"
+  "/root/repo/tests/messaging/failover_test.cc" "tests/CMakeFiles/messaging_tests.dir/messaging/failover_test.cc.o" "gcc" "tests/CMakeFiles/messaging_tests.dir/messaging/failover_test.cc.o.d"
+  "/root/repo/tests/messaging/idempotence_test.cc" "tests/CMakeFiles/messaging_tests.dir/messaging/idempotence_test.cc.o" "gcc" "tests/CMakeFiles/messaging_tests.dir/messaging/idempotence_test.cc.o.d"
+  "/root/repo/tests/messaging/liveness_test.cc" "tests/CMakeFiles/messaging_tests.dir/messaging/liveness_test.cc.o" "gcc" "tests/CMakeFiles/messaging_tests.dir/messaging/liveness_test.cc.o.d"
+  "/root/repo/tests/messaging/offset_manager_test.cc" "tests/CMakeFiles/messaging_tests.dir/messaging/offset_manager_test.cc.o" "gcc" "tests/CMakeFiles/messaging_tests.dir/messaging/offset_manager_test.cc.o.d"
+  "/root/repo/tests/messaging/produce_consume_test.cc" "tests/CMakeFiles/messaging_tests.dir/messaging/produce_consume_test.cc.o" "gcc" "tests/CMakeFiles/messaging_tests.dir/messaging/produce_consume_test.cc.o.d"
+  "/root/repo/tests/messaging/quota_test.cc" "tests/CMakeFiles/messaging_tests.dir/messaging/quota_test.cc.o" "gcc" "tests/CMakeFiles/messaging_tests.dir/messaging/quota_test.cc.o.d"
+  "/root/repo/tests/messaging/replication_property_test.cc" "tests/CMakeFiles/messaging_tests.dir/messaging/replication_property_test.cc.o" "gcc" "tests/CMakeFiles/messaging_tests.dir/messaging/replication_property_test.cc.o.d"
+  "/root/repo/tests/messaging/replication_test.cc" "tests/CMakeFiles/messaging_tests.dir/messaging/replication_test.cc.o" "gcc" "tests/CMakeFiles/messaging_tests.dir/messaging/replication_test.cc.o.d"
+  "/root/repo/tests/messaging/transaction_test.cc" "tests/CMakeFiles/messaging_tests.dir/messaging/transaction_test.cc.o" "gcc" "tests/CMakeFiles/messaging_tests.dir/messaging/transaction_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/liquid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/processing/CMakeFiles/liquid_processing.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/liquid_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/messaging/CMakeFiles/liquid_messaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/liquid_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/isolation/CMakeFiles/liquid_isolation.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/liquid_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/liquid_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/liquid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/liquid_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/liquid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/messaging_tests.dir/messaging/access_control_test.cc.o"
+  "CMakeFiles/messaging_tests.dir/messaging/access_control_test.cc.o.d"
+  "CMakeFiles/messaging_tests.dir/messaging/admin_test.cc.o"
+  "CMakeFiles/messaging_tests.dir/messaging/admin_test.cc.o.d"
+  "CMakeFiles/messaging_tests.dir/messaging/cluster_test.cc.o"
+  "CMakeFiles/messaging_tests.dir/messaging/cluster_test.cc.o.d"
+  "CMakeFiles/messaging_tests.dir/messaging/consumer_group_test.cc.o"
+  "CMakeFiles/messaging_tests.dir/messaging/consumer_group_test.cc.o.d"
+  "CMakeFiles/messaging_tests.dir/messaging/failover_test.cc.o"
+  "CMakeFiles/messaging_tests.dir/messaging/failover_test.cc.o.d"
+  "CMakeFiles/messaging_tests.dir/messaging/idempotence_test.cc.o"
+  "CMakeFiles/messaging_tests.dir/messaging/idempotence_test.cc.o.d"
+  "CMakeFiles/messaging_tests.dir/messaging/liveness_test.cc.o"
+  "CMakeFiles/messaging_tests.dir/messaging/liveness_test.cc.o.d"
+  "CMakeFiles/messaging_tests.dir/messaging/offset_manager_test.cc.o"
+  "CMakeFiles/messaging_tests.dir/messaging/offset_manager_test.cc.o.d"
+  "CMakeFiles/messaging_tests.dir/messaging/produce_consume_test.cc.o"
+  "CMakeFiles/messaging_tests.dir/messaging/produce_consume_test.cc.o.d"
+  "CMakeFiles/messaging_tests.dir/messaging/quota_test.cc.o"
+  "CMakeFiles/messaging_tests.dir/messaging/quota_test.cc.o.d"
+  "CMakeFiles/messaging_tests.dir/messaging/replication_property_test.cc.o"
+  "CMakeFiles/messaging_tests.dir/messaging/replication_property_test.cc.o.d"
+  "CMakeFiles/messaging_tests.dir/messaging/replication_test.cc.o"
+  "CMakeFiles/messaging_tests.dir/messaging/replication_test.cc.o.d"
+  "CMakeFiles/messaging_tests.dir/messaging/transaction_test.cc.o"
+  "CMakeFiles/messaging_tests.dir/messaging/transaction_test.cc.o.d"
+  "messaging_tests"
+  "messaging_tests.pdb"
+  "messaging_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/messaging_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processing_tests.dir/processing/exactly_once_test.cc.o"
+  "CMakeFiles/processing_tests.dir/processing/exactly_once_test.cc.o.d"
+  "CMakeFiles/processing_tests.dir/processing/incremental_test.cc.o"
+  "CMakeFiles/processing_tests.dir/processing/incremental_test.cc.o.d"
+  "CMakeFiles/processing_tests.dir/processing/job_test.cc.o"
+  "CMakeFiles/processing_tests.dir/processing/job_test.cc.o.d"
+  "CMakeFiles/processing_tests.dir/processing/operators_test.cc.o"
+  "CMakeFiles/processing_tests.dir/processing/operators_test.cc.o.d"
+  "CMakeFiles/processing_tests.dir/processing/pipeline_test.cc.o"
+  "CMakeFiles/processing_tests.dir/processing/pipeline_test.cc.o.d"
+  "CMakeFiles/processing_tests.dir/processing/recovery_test.cc.o"
+  "CMakeFiles/processing_tests.dir/processing/recovery_test.cc.o.d"
+  "CMakeFiles/processing_tests.dir/processing/state_store_test.cc.o"
+  "CMakeFiles/processing_tests.dir/processing/state_store_test.cc.o.d"
+  "processing_tests"
+  "processing_tests.pdb"
+  "processing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

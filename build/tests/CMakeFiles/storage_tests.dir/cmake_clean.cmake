@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tests.dir/storage/disk_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/disk_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/log_compaction_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/log_compaction_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/log_property_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/log_property_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/log_segment_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/log_segment_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/log_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/log_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/page_cache_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/page_cache_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/record_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/record_test.cc.o.d"
+  "storage_tests"
+  "storage_tests.pdb"
+  "storage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
