@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Pre-merge concurrency gate (see ROADMAP.md "Open items").
+#
+# Runs, in order:
+#   1. Clang thread-safety annotation build (-Wthread-safety as errors).
+#   2. clang-tidy over src/ with the checks pinned in .clang-tidy.
+#   3. ThreadSanitizer build + the full ctest suite.
+#
+# Any thread-safety warning, clang-tidy error, or TSan report fails the
+# script (non-zero exit). Steps that need Clang tooling are skipped with a
+# notice when the tools are not installed — the TSan step works with GCC and
+# always runs.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAILURES=0
+
+note() { printf '\n== %s ==\n' "$*"; }
+skip() { printf 'SKIP: %s\n' "$*"; }
+fail() { printf 'FAIL: %s\n' "$*"; FAILURES=$((FAILURES + 1)); }
+
+# ---- 1. Clang thread-safety annotation build -------------------------------
+note "thread-safety annotation build (clang)"
+if command -v clang++ >/dev/null 2>&1; then
+  if cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+        -DCMAKE_BUILD_TYPE=Release >/dev/null \
+     && cmake --build build-tsa -j "${JOBS}"; then
+    echo "OK: annotation build clean"
+  else
+    fail "thread-safety annotation build reported warnings/errors"
+  fi
+else
+  skip "clang++ not installed; annotations are no-ops under this compiler"
+fi
+
+# ---- 2. clang-tidy ---------------------------------------------------------
+note "clang-tidy (.clang-tidy: bugprone/concurrency/performance/modernize)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # A plain compilation database (no sanitizers) for the tidy run.
+  if ! cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        >/dev/null; then
+    fail "cmake configure for clang-tidy failed"
+  elif find src -name '*.cc' -print0 \
+       | xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build-tidy --quiet \
+         --warnings-as-errors='*'; then
+    echo "OK: clang-tidy clean"
+  else
+    fail "clang-tidy reported errors"
+  fi
+else
+  skip "clang-tidy not installed"
+fi
+
+# ---- 3. ThreadSanitizer build + full test suite ----------------------------
+note "ThreadSanitizer build + ctest"
+# halt_on_error: make any race a test failure, not just a log line.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+if cmake -B build-tsan -S . -DLIQUID_SANITIZE=thread >/dev/null \
+   && cmake --build build-tsan -j "${JOBS}" \
+   && ctest --test-dir build-tsan --output-on-failure -j "${JOBS}"; then
+  echo "OK: TSan suite clean"
+else
+  fail "ThreadSanitizer build/test reported failures"
+fi
+
+# ----------------------------------------------------------------------------
+if [ "${FAILURES}" -ne 0 ]; then
+  note "check.sh: ${FAILURES} gate(s) failed"
+  exit 1
+fi
+note "check.sh: all gates passed"

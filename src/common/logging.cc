@@ -2,14 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace liquid {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_write_mutex;
+Mutex g_write_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,7 +36,7 @@ LogLevel Logger::GetLevel() { return g_level.load(); }
 
 void Logger::Write(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  MutexLock lock(&g_write_mutex);
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }
 

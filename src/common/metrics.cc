@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <sstream>
+#include <utility>
 
 namespace liquid {
 
@@ -29,7 +31,7 @@ int64_t Histogram::BucketMidpoint(int bucket) {
 }
 
 void Histogram::Record(int64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (count_ == 0) {
     min_ = max_ = value;
   } else {
@@ -41,9 +43,7 @@ void Histogram::Record(int64_t value) {
   ++buckets_[BucketFor(value)];
 }
 
-void Histogram::Merge(const Histogram& other) {
-  std::lock_guard<std::mutex> lock_other(other.mu_);
-  std::lock_guard<std::mutex> lock(mu_);
+void Histogram::MergeFromLocked(const Histogram& other) {
   if (other.count_ == 0) return;
   if (count_ == 0) {
     min_ = other.min_;
@@ -57,34 +57,56 @@ void Histogram::Merge(const Histogram& other) {
   for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
 }
 
+// Address-ordered two-lock acquisition is beyond the analysis; the invariant
+// (both locks held before MergeFromLocked) is upheld manually here.
+void Histogram::Merge(const Histogram& other) NO_THREAD_SAFETY_ANALYSIS {
+  if (&other == this) {
+    // Self-merge: double every sample. The two-lock path below would
+    // self-deadlock (and std::mutex double-lock is UB).
+    MutexLock lock(&mu_);
+    count_ *= 2;
+    sum_ *= 2;
+    for (int i = 0; i < kNumBuckets; ++i) buckets_[i] *= 2;
+    return;
+  }
+  // Lock in address order so concurrent a.Merge(b) / b.Merge(a) cannot
+  // deadlock on the AB/BA cycle.
+  Mutex* first = &mu_;
+  Mutex* second = &other.mu_;
+  if (std::less<Mutex*>()(second, first)) std::swap(first, second);
+  MutexLock lock_first(first);
+  MutexLock lock_second(second);
+  MergeFromLocked(other);
+}
+
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = sum_ = min_ = max_ = 0;
 }
 
 int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return count_;
 }
 
 int64_t Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return min_;
 }
 
 int64_t Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return max_;
 }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
 int64_t Histogram::ValueAtQuantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   int64_t target = static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
@@ -108,28 +130,28 @@ std::string Histogram::Summary() const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 std::map<std::string, int64_t> MetricsRegistry::CounterValues() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, int64_t> out;
   for (const auto& [name, counter] : counters_) {
     out[name] = counter->value();

@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace liquid {
 
@@ -39,19 +40,21 @@ class Histogram {
  public:
   Histogram();
 
-  void Record(int64_t value);
+  void Record(int64_t value) EXCLUDES(mu_);
+  /// Adds `other`'s samples to this histogram. Safe against concurrent
+  /// cross-merges (locks are taken in address order) and self-merge.
   void Merge(const Histogram& other);
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
-  int64_t count() const;
-  int64_t min() const;
-  int64_t max() const;
-  double mean() const;
+  int64_t count() const EXCLUDES(mu_);
+  int64_t min() const EXCLUDES(mu_);
+  int64_t max() const EXCLUDES(mu_);
+  double mean() const EXCLUDES(mu_);
   /// q in [0, 1]; e.g. ValueAtQuantile(0.99) is p99.
-  int64_t ValueAtQuantile(double q) const;
+  int64_t ValueAtQuantile(double q) const EXCLUDES(mu_);
 
   /// "count=... mean=... p50=... p95=... p99=... max=..."
-  std::string Summary() const;
+  std::string Summary() const EXCLUDES(mu_);
 
  private:
   static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per power of two.
@@ -60,30 +63,32 @@ class Histogram {
   static int BucketFor(int64_t value);
   static int64_t BucketMidpoint(int bucket);
 
-  mutable std::mutex mu_;
-  std::vector<int64_t> buckets_;
-  int64_t count_ = 0;
-  int64_t sum_ = 0;
-  int64_t min_ = 0;
-  int64_t max_ = 0;
+  void MergeFromLocked(const Histogram& other) REQUIRES(mu_, other.mu_);
+
+  mutable Mutex mu_;
+  std::vector<int64_t> buckets_ GUARDED_BY(mu_);
+  int64_t count_ GUARDED_BY(mu_) = 0;
+  int64_t sum_ GUARDED_BY(mu_) = 0;
+  int64_t min_ GUARDED_BY(mu_) = 0;
+  int64_t max_ GUARDED_BY(mu_) = 0;
 };
 
 /// Named registry so subsystems (brokers, jobs, caches) can expose metrics to
 /// tests/benches without plumbing every object through.
 class MetricsRegistry {
  public:
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) EXCLUDES(mu_);
 
   /// Snapshot of all counter values, for operational-analysis examples.
-  std::map<std::string, int64_t> CounterValues() const;
+  std::map<std::string, int64_t> CounterValues() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace liquid

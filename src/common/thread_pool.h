@@ -1,12 +1,12 @@
 #ifndef LIQUID_COMMON_THREAD_POOL_H_
 #define LIQUID_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace liquid {
 
@@ -22,26 +22,27 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task`; returns false if the pool is shutting down.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and all workers are idle.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Stops accepting tasks, drains the queue, joins workers. Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  // Construction-time only after that point; joined by Shutdown without mu_.
   std::vector<std::thread> workers_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  int active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace liquid

@@ -33,7 +33,7 @@ std::string CoordinationService::BaseName(const std::string& path) {
 }
 
 int64_t CoordinationService::CreateSession() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t id = next_session_++;
   live_sessions_.insert(id);
   return id;
@@ -42,7 +42,7 @@ int64_t CoordinationService::CreateSession() {
 void CoordinationService::CloseSession(int64_t session_id) {
   std::vector<FiredWatch> fired;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     live_sessions_.erase(session_id);
     auto it = session_nodes_.find(session_id);
     if (it != session_nodes_.end()) {
@@ -62,7 +62,7 @@ void CoordinationService::CloseSession(int64_t session_id) {
 }
 
 bool CoordinationService::SessionAlive(int64_t session_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return live_sessions_.count(session_id) > 0;
 }
 
@@ -73,7 +73,7 @@ Result<std::string> CoordinationService::Create(int64_t session_id,
   std::vector<FiredWatch> fired;
   std::string actual_path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!ValidPath(path)) {
       return Status::InvalidArgument("bad znode path: " + path);
     }
@@ -162,7 +162,7 @@ Status CoordinationService::Delete(const std::string& path,
   std::vector<FiredWatch> fired;
   Status st;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     st = DeleteLocked(path, expected_version, &fired);
   }
   for (auto& [watcher, event] : fired) watcher(event);
@@ -171,7 +171,7 @@ Status CoordinationService::Delete(const std::string& path,
 
 Result<std::string> CoordinationService::Get(const std::string& path,
                                              Watcher watcher) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end()) return Status::NotFound("znode missing: " + path);
   if (watcher) it->second.data_watchers.push_back(std::move(watcher));
@@ -179,7 +179,7 @@ Result<std::string> CoordinationService::Get(const std::string& path,
 }
 
 Result<NodeStat> CoordinationService::Stat(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end()) return Status::NotFound("znode missing: " + path);
   return it->second.stat;
@@ -189,7 +189,7 @@ Status CoordinationService::Set(const std::string& path, const std::string& data
                                 int64_t expected_version) {
   std::vector<FiredWatch> fired;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = nodes_.find(path);
     if (it == nodes_.end()) return Status::NotFound("znode missing: " + path);
     Node& node = it->second;
@@ -206,7 +206,7 @@ Status CoordinationService::Set(const std::string& path, const std::string& data
 
 Result<std::vector<std::string>> CoordinationService::GetChildren(
     const std::string& path, Watcher watcher) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end()) return Status::NotFound("znode missing: " + path);
   if (watcher) it->second.child_watchers.push_back(std::move(watcher));
@@ -215,7 +215,7 @@ Result<std::vector<std::string>> CoordinationService::GetChildren(
 }
 
 bool CoordinationService::Exists(const std::string& path, Watcher watcher) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = nodes_.find(path);
   if (it != nodes_.end()) {
     if (watcher) it->second.data_watchers.push_back(std::move(watcher));
@@ -226,7 +226,7 @@ bool CoordinationService::Exists(const std::string& path, Watcher watcher) {
 }
 
 size_t CoordinationService::NodeCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return nodes_.size();
 }
 

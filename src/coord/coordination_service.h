@@ -5,13 +5,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace liquid::coord {
 
@@ -119,23 +119,23 @@ class CoordinationService {
   static std::string BaseName(const std::string& path);
 
   Status DeleteLocked(const std::string& path, int64_t expected_version,
-                      std::vector<FiredWatch>* fired);
+                      std::vector<FiredWatch>* fired) REQUIRES(mu_);
   void FireDataWatchers(Node* node, EventType type, const std::string& path,
-                        std::vector<FiredWatch>* fired);
+                        std::vector<FiredWatch>* fired) REQUIRES(mu_);
   void FireChildWatchers(Node* node, const std::string& path,
-                         std::vector<FiredWatch>* fired);
+                         std::vector<FiredWatch>* fired) REQUIRES(mu_);
   void FireExistsWatchers(const std::string& path, EventType type,
-                          std::vector<FiredWatch>* fired);
+                          std::vector<FiredWatch>* fired) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Node> nodes_;
+  mutable Mutex mu_;
+  std::map<std::string, Node> nodes_ GUARDED_BY(mu_);
   // Watches armed on paths that do not exist yet (Exists() on absent node).
-  std::map<std::string, std::vector<Watcher>> absent_watchers_;
-  std::map<int64_t, std::set<std::string>> session_nodes_;
-  std::set<int64_t> live_sessions_;
-  int64_t next_session_ = 1;
+  std::map<std::string, std::vector<Watcher>> absent_watchers_ GUARDED_BY(mu_);
+  std::map<int64_t, std::set<std::string>> session_nodes_ GUARDED_BY(mu_);
+  std::set<int64_t> live_sessions_ GUARDED_BY(mu_);
+  int64_t next_session_ GUARDED_BY(mu_) = 1;
   // Sequence counter for sequential nodes created directly under "/".
-  int64_t root_sequence_fallback_ = 0;
+  int64_t root_sequence_fallback_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace liquid::coord

@@ -14,7 +14,7 @@ LeaderElection::~LeaderElection() { alive_token_->store(false); }
 
 bool LeaderElection::Contend(LeadershipCallback on_elected) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     contending_ = true;
     on_elected_ = std::move(on_elected);
   }
@@ -29,7 +29,7 @@ bool LeaderElection::TryAcquire() {
   if (result.ok()) {
     LeadershipCallback cb;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!contending_) {
         // Resigned while acquiring: give the node back.
         coord_->Delete(path_);
@@ -56,7 +56,7 @@ void LeaderElection::ArmWatch() {
     }
     bool still_contending;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       still_contending = contending_ && !is_leader_;
     }
     if (!still_contending) return;
@@ -66,7 +66,7 @@ void LeaderElection::ArmWatch() {
     // Node vanished between TryAcquire and Exists: contend again.
     bool still_contending;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       still_contending = contending_ && !is_leader_;
     }
     if (still_contending && !TryAcquire()) {
@@ -80,7 +80,7 @@ void LeaderElection::ArmWatch() {
 void LeaderElection::Resign() {
   bool was_leader;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     was_leader = is_leader_;
     is_leader_ = false;
     contending_ = false;
@@ -90,7 +90,7 @@ void LeaderElection::Resign() {
 }
 
 bool LeaderElection::IsLeader() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return is_leader_;
 }
 

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "coord/coordination_service.h"
 
 namespace liquid::coord {
@@ -52,10 +52,10 @@ class LeaderElection {
   const std::string candidate_id_;
   const int64_t session_id_;
 
-  mutable std::mutex mu_;
-  bool is_leader_ = false;
-  bool contending_ = false;
-  LeadershipCallback on_elected_;
+  mutable Mutex mu_;
+  bool is_leader_ GUARDED_BY(mu_) = false;
+  bool contending_ GUARDED_BY(mu_) = false;
+  LeadershipCallback on_elected_ GUARDED_BY(mu_);
   // Armed watches live in the coordination service and can outlive this
   // object; callbacks bail out once the token reads false.
   std::shared_ptr<std::atomic<bool>> alive_token_;

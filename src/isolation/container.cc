@@ -3,7 +3,7 @@
 namespace liquid::isolation {
 
 Status Container::ChargeMemory(int64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (memory_used_ + bytes > config_.memory_limit_bytes) {
     return Status::ResourceExhausted("container over memory limit: " +
                                      config_.name);
@@ -13,28 +13,28 @@ Status Container::ChargeMemory(int64_t bytes) {
 }
 
 void Container::ReleaseMemory(int64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   memory_used_ -= bytes;
   if (memory_used_ < 0) memory_used_ = 0;
 }
 
 int64_t Container::memory_used() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return memory_used_;
 }
 
 void Container::ChargeCpuUs(int64_t micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   cpu_used_us_ += micros;
 }
 
 int64_t Container::cpu_used_us() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cpu_used_us_;
 }
 
 double Container::vruntime() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const double share = config_.cpu_share <= 0 ? 0.001 : config_.cpu_share;
   return static_cast<double>(cpu_used_us_) / share;
 }

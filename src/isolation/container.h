@@ -2,10 +2,10 @@
 #define LIQUID_ISOLATION_CONTAINER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace liquid::isolation {
 
@@ -48,9 +48,9 @@ class Container {
 
  private:
   ContainerConfig config_;
-  mutable std::mutex mu_;
-  int64_t memory_used_ = 0;
-  int64_t cpu_used_us_ = 0;
+  mutable Mutex mu_;
+  int64_t memory_used_ GUARDED_BY(mu_) = 0;
+  int64_t cpu_used_us_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace liquid::isolation

@@ -8,7 +8,7 @@ FairScheduler::FairScheduler(bool isolation_enabled, Clock* clock)
     : isolation_enabled_(isolation_enabled), clock_(clock) {}
 
 int FairScheduler::RegisterContainer(ContainerConfig config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry entry;
   entry.container = std::make_unique<Container>(std::move(config));
   entries_.push_back(std::move(entry));
@@ -16,13 +16,13 @@ int FairScheduler::RegisterContainer(ContainerConfig config) {
 }
 
 Container* FairScheduler::container(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id < 0 || id >= static_cast<int>(entries_.size())) return nullptr;
   return entries_[id].container.get();
 }
 
 Status FairScheduler::Submit(int container_id, WorkItem item) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (container_id < 0 || container_id >= static_cast<int>(entries_.size())) {
     return Status::InvalidArgument("no such container");
   }
@@ -61,7 +61,7 @@ bool FairScheduler::RunOne() {
   Container* container = nullptr;
   int id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     id = PickNextLocked();
     if (id < 0) return false;
     item = std::move(entries_[id].queue.front());
@@ -73,7 +73,7 @@ bool FairScheduler::RunOne() {
   item();
   container->ChargeCpuUs(clock_->NowUs() - start_us);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     entries_[id].completed++;
   }
   return true;
@@ -87,7 +87,7 @@ std::map<int, int64_t> FairScheduler::RunUntilIdle(int64_t budget_ms) {
     if (!RunOne()) break;
   }
   std::map<int, int64_t> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (size_t i = 0; i < entries_.size(); ++i) {
     out[static_cast<int>(i)] = entries_[i].completed;
   }
@@ -95,7 +95,7 @@ std::map<int, int64_t> FairScheduler::RunUntilIdle(int64_t budget_ms) {
 }
 
 int64_t FairScheduler::completed(int container_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (container_id < 0 || container_id >= static_cast<int>(entries_.size())) {
     return 0;
   }

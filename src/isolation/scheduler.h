@@ -5,13 +5,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "isolation/container.h"
 
 namespace liquid::isolation {
@@ -54,16 +54,16 @@ class FairScheduler {
   };
 
   /// Chooses the next container to run; -1 when all queues are empty.
-  int PickNextLocked();
+  int PickNextLocked() REQUIRES(mu_);
 
   const bool isolation_enabled_;
   Clock* clock_;
 
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
-  int64_t arrivals_ = 0;
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ GUARDED_BY(mu_);
+  int64_t arrivals_ GUARDED_BY(mu_) = 0;
   // FIFO mode: global arrival order of (container, item).
-  std::deque<int> fifo_order_;
+  std::deque<int> fifo_order_ GUARDED_BY(mu_);
 };
 
 }  // namespace liquid::isolation

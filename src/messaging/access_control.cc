@@ -3,31 +3,31 @@
 namespace liquid::messaging {
 
 void AccessController::SetEnforcing(bool enforcing) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   enforcing_ = enforcing;
 }
 
 bool AccessController::enforcing() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return enforcing_;
 }
 
 void AccessController::Allow(const std::string& principal,
                              const std::string& topic, AclOperation op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   grants_.insert(Key{principal, topic, op});
 }
 
 void AccessController::Revoke(const std::string& principal,
                               const std::string& topic, AclOperation op) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   grants_.erase(Key{principal, topic, op});
 }
 
 Status AccessController::Check(const std::string& principal,
                                const std::string& topic,
                                AclOperation op) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!enforcing_) return Status::OK();
   if (principal.empty()) return Status::OK();  // Internal traffic.
   if (grants_.count(Key{principal, topic, op}) ||
@@ -42,7 +42,7 @@ Status AccessController::Check(const std::string& principal,
 }
 
 int64_t AccessController::denials() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return denials_;
 }
 

@@ -2,11 +2,11 @@
 #define LIQUID_MESSAGING_ACCESS_CONTROL_H_
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace liquid::messaging {
 
@@ -57,10 +57,10 @@ class AccessController {
     }
   };
 
-  mutable std::mutex mu_;
-  bool enforcing_ = false;
-  std::set<Key> grants_;
-  mutable int64_t denials_ = 0;
+  mutable Mutex mu_;
+  bool enforcing_ GUARDED_BY(mu_) = false;
+  std::set<Key> grants_ GUARDED_BY(mu_);
+  mutable int64_t denials_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace liquid::messaging

@@ -42,36 +42,51 @@ Broker::Broker(int id, Cluster* cluster, storage::Disk* disk, Clock* clock,
 Broker::~Broker() = default;
 
 Status Broker::Start() {
+  int64_t session;
   {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    RecursiveMutexLock lock(&mu_);
     if (alive_) return Status::FailedPrecondition("broker already started");
     alive_ = true;
-    session_id_ = cluster_->coord()->CreateSession();
+    session = session_id_ = cluster_->coord()->CreateSession();
   }
-  auto created = cluster_->coord()->Create(session_id_, paths::Broker(id_),
+  auto created = cluster_->coord()->Create(session, paths::Broker(id_),
                                            std::to_string(id_),
                                            coord::NodeKind::kEphemeral);
   if (!created.ok()) return created.status();
 
   // Contend for the controller role; the winner handles broker failures.
-  election_ = std::make_unique<coord::LeaderElection>(
-      cluster_->coord(), paths::Controller(), std::to_string(id_), session_id_);
-  election_->Contend([this] {
-    if (!alive()) return;
-    controller_ = std::make_unique<Controller>(cluster_, this);
-    Status st = controller_->Start();
+  // Contending may elect synchronously, and election walks the whole cluster,
+  // so it cannot run under mu_ — the callback takes the lock itself.
+  auto election = std::make_unique<coord::LeaderElection>(
+      cluster_->coord(), paths::Controller(), std::to_string(id_), session);
+  election->Contend([this] {
+    std::shared_ptr<Controller> controller;
+    {
+      RecursiveMutexLock lock(&mu_);
+      if (!alive_) return;
+      controller_ = std::make_shared<Controller>(cluster_, this);
+      controller = controller_;
+    }
+    // Outside mu_: Start() elects leaders across every broker. The local
+    // shared_ptr keeps the controller alive if Stop() resets the member.
+    Status st = controller->Start();
     if (!st.ok()) {
       LIQUID_LOG_ERROR << "controller start failed on broker " << id_ << ": "
                        << st.ToString();
     }
   });
+  {
+    RecursiveMutexLock lock(&mu_);
+    // If Stop() raced in, dropping `election` here resigns immediately.
+    if (alive_) election_ = std::move(election);
+  }
   return Status::OK();
 }
 
 void Broker::Stop() {
   int64_t session;
   {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    RecursiveMutexLock lock(&mu_);
     if (!alive_) return;
     alive_ = false;
     session = session_id_;
@@ -83,12 +98,12 @@ void Broker::Stop() {
 }
 
 bool Broker::alive() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   return alive_;
 }
 
 bool Broker::IsController() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   return controller_ != nullptr;
 }
 
@@ -203,7 +218,7 @@ int Broker::LastLocalEpochLocked(const Replica& replica) {
 
 Result<std::pair<int, int64_t>> Broker::EndOffsetForEpoch(
     const TopicPartition& tp, int epoch) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
   if (!replica->is_leader) return Status::NotLeader("epoch query on follower");
   const auto& cache = replica->epoch_cache;
@@ -224,7 +239,7 @@ Result<std::pair<int, int64_t>> Broker::EndOffsetForEpoch(
 
 Status Broker::BecomeLeader(const TopicPartition& tp, const PartitionState& state,
                             const TopicConfig& config) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   if (!alive_) return Status::Unavailable("broker down");
   Replica& replica = replicas_[tp];
   replica.config = config;
@@ -249,59 +264,86 @@ Status Broker::BecomeLeader(const TopicPartition& tp, const PartitionState& stat
 Status Broker::BecomeFollower(const TopicPartition& tp,
                               const PartitionState& state,
                               const TopicConfig& config) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (!alive_) return Status::Unavailable("broker down");
-  Replica& replica = replicas_[tp];
-  replica.config = config;
-  LIQUID_RETURN_NOT_OK(EnsureLogLocked(tp, &replica));
-  if (state.leader_epoch < replica.leader_epoch) {
-    return Status::FailedPrecondition("stale leader epoch");
+  {
+    RecursiveMutexLock lock(&mu_);
+    if (!alive_) return Status::Unavailable("broker down");
+    Replica& replica = replicas_[tp];
+    replica.config = config;
+    LIQUID_RETURN_NOT_OK(EnsureLogLocked(tp, &replica));
+    if (state.leader_epoch < replica.leader_epoch) {
+      return Status::FailedPrecondition("stale leader epoch");
+    }
+    const bool epoch_changed = state.leader_epoch != replica.leader_epoch;
+    replica.is_leader = false;
+    replica.leader = state.leader;
+    replica.leader_epoch = state.leader_epoch;
+    replica.isr = state.isr;
+    replica.follower_leo.clear();
+    if (!epoch_changed) return Status::OK();
   }
-  const bool epoch_changed = state.leader_epoch != replica.leader_epoch;
-  replica.is_leader = false;
-  replica.leader = state.leader;
-  replica.leader_epoch = state.leader_epoch;
-  replica.isr = state.isr;
-  replica.follower_leo.clear();
-  if (!epoch_changed) return Status::OK();
 
   // KIP-101 reconciliation: walk our epoch cache against the new leader's
   // until we find the divergence point, truncating as we go. A plain
   // min(our LEO, leader LEO) cannot see a divergent suffix that lies BELOW
   // the leader's log end (e.g. an uncommitted record we appended while we
   // briefly led an older epoch).
+  //
+  // Leader queries happen without mu_ held: the leader may concurrently push
+  // to this broker (or lead one partition while following another), so broker
+  // locks must never nest across broker-to-broker calls. Each locked scope
+  // below re-validates that this leadership command is still current and
+  // bails out quietly when superseded.
   Broker* leader = state.leader >= 0 && state.leader != id_
                        ? cluster_->broker(state.leader)
                        : nullptr;
+  constexpr int64_t kTruncateToHw = -1;
   auto truncate_to = [&](int64_t offset) -> Status {
-    offset = std::min(offset, replica.log->end_offset());
-    if (replica.log->end_offset() > offset) {
-      LIQUID_RETURN_NOT_OK(replica.log->Truncate(offset));
-      TrimEpochCacheLocked(tp, &replica, offset);
-      if (replica.high_watermark > offset) {
-        replica.high_watermark = offset;
-        StoreHighWatermarkLocked(tp, &replica);
+    RecursiveMutexLock lock(&mu_);
+    auto found = FindReplicaLocked(tp);
+    if (!found.ok()) return Status::OK();  // Replica dropped meanwhile.
+    Replica* replica = *found;
+    if (replica->is_leader || replica->leader_epoch != state.leader_epoch) {
+      return Status::OK();  // Superseded by a newer leadership command.
+    }
+    if (offset == kTruncateToHw) offset = replica->high_watermark;
+    offset = std::min(offset, replica->log->end_offset());
+    if (replica->log->end_offset() > offset) {
+      LIQUID_RETURN_NOT_OK(replica->log->Truncate(offset));
+      TrimEpochCacheLocked(tp, replica, offset);
+      if (replica->high_watermark > offset) {
+        replica->high_watermark = offset;
+        StoreHighWatermarkLocked(tp, replica);
       }
     }
     return Status::OK();
+  };
+  auto local_epoch = [&]() -> int {
+    RecursiveMutexLock lock(&mu_);
+    auto found = FindReplicaLocked(tp);
+    if (!found.ok()) return -1;
+    Replica* replica = *found;
+    if (replica->is_leader || replica->leader_epoch != state.leader_epoch) {
+      return -1;
+    }
+    return LastLocalEpochLocked(*replica);
   };
 
   if (leader == nullptr || !leader->alive()) {
     // Leader unreachable: conservative fallback — everything at/above our own
     // HW may be divergent; it will be re-fetched once a leader is reachable.
-    return truncate_to(replica.high_watermark);
+    return truncate_to(kTruncateToHw);
   }
   for (int round = 0; round < 64; ++round) {
-    const int my_epoch = LastLocalEpochLocked(replica);
+    const int my_epoch = local_epoch();
     if (my_epoch < 0) break;  // Empty log (or pre-epoch data): nothing to do.
     auto answer = leader->EndOffsetForEpoch(tp, my_epoch);
     if (!answer.ok()) {
-      return truncate_to(replica.high_watermark);  // Fallback as above.
+      return truncate_to(kTruncateToHw);  // Fallback as above.
     }
     const auto [leader_epoch_found, end_offset] = *answer;
     LIQUID_RETURN_NOT_OK(truncate_to(end_offset));
     if (leader_epoch_found == my_epoch) break;  // Aligned.
-    if (LastLocalEpochLocked(replica) == my_epoch) {
+    if (local_epoch() == my_epoch) {
       // No progress (our whole last epoch lies below the boundary): the
       // remaining prefix is consistent with the leader's history.
       break;
@@ -311,7 +353,7 @@ Status Broker::BecomeFollower(const TopicPartition& tp,
 }
 
 Status Broker::StopReplica(const TopicPartition& tp, bool delete_data) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = replicas_.find(tp);
   if (it == replicas_.end()) {
     return Status::NotFound("replica not hosted: " + tp.ToString());
@@ -406,7 +448,7 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
   int64_t leo = 0;
   int64_t leader_hw = 0;
   {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    RecursiveMutexLock lock(&mu_);
     LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
     if (!replica->is_leader) {
       return Status::NotLeader("broker " + std::to_string(id_) +
@@ -471,7 +513,7 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
     if (!st.ok()) failed.push_back(member);
   }
 
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
   if (!replica->is_leader || replica->leader_epoch != epoch) {
     return Status::NotLeader("leadership lost during replication");
@@ -494,7 +536,7 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
 Status Broker::AppendAsFollower(const TopicPartition& tp,
                                 const std::vector<storage::Record>& records,
                                 int leader_epoch, int64_t leader_hw) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
   if (leader_epoch < replica->leader_epoch) {
     return Status::FailedPrecondition("push from stale leader epoch");
@@ -535,7 +577,7 @@ int64_t Broker::LastStableOffsetLocked(const Replica& replica) {
 }
 
 Status Broker::BeginPartitionTxn(const TopicPartition& tp, int64_t pid) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
   if (!replica->is_leader) return Status::NotLeader("txn begin on follower");
   replica->ongoing_txns.emplace(pid, replica->log->end_offset());
@@ -544,45 +586,59 @@ Status Broker::BeginPartitionTxn(const TopicPartition& tp, int64_t pid) {
 
 Status Broker::WriteTxnMarker(const TopicPartition& tp, int64_t pid,
                               bool committed) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
-  if (!replica->is_leader) return Status::NotLeader("txn marker on follower");
-  auto it = replica->ongoing_txns.find(pid);
-  if (it == replica->ongoing_txns.end()) {
-    return Status::NotFound("no ongoing txn for pid " + std::to_string(pid));
-  }
-  std::vector<storage::Record> marker{
-      storage::Record::ControlMarker(pid, committed)};
-  marker[0].leader_epoch = replica->leader_epoch;
-  auto base = replica->log->Append(&marker);
-  if (!base.ok()) return base.status();
-  if (!committed) {
-    replica->aborted_ranges.push_back(
-        AbortedRange{pid, it->second, marker.front().offset});
-  }
-  replica->ongoing_txns.erase(it);
-  // Synchronously replicate the marker to the ISR so the LSO advance is
-  // durable like any acks=all write.
-  const int64_t leo = replica->log->end_offset();
+  std::vector<storage::Record> marker;
   std::vector<int> targets;
-  for (int member : replica->isr) {
-    if (member != id_) targets.push_back(member);
+  int epoch = 0;
+  int64_t leo = 0;
+  int64_t hw = 0;
+  {
+    RecursiveMutexLock lock(&mu_);
+    LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+    if (!replica->is_leader) return Status::NotLeader("txn marker on follower");
+    auto it = replica->ongoing_txns.find(pid);
+    if (it == replica->ongoing_txns.end()) {
+      return Status::NotFound("no ongoing txn for pid " + std::to_string(pid));
+    }
+    marker.push_back(storage::Record::ControlMarker(pid, committed));
+    marker[0].leader_epoch = replica->leader_epoch;
+    auto base = replica->log->Append(&marker);
+    if (!base.ok()) return base.status();
+    if (!committed) {
+      replica->aborted_ranges.push_back(
+          AbortedRange{pid, it->second, marker.front().offset});
+    }
+    replica->ongoing_txns.erase(it);
+    leo = replica->log->end_offset();
+    for (int member : replica->isr) {
+      if (member != id_) targets.push_back(member);
+    }
+    epoch = replica->leader_epoch;
+    hw = replica->high_watermark;
   }
-  const int epoch = replica->leader_epoch;
-  const int64_t hw = replica->high_watermark;
+  // Synchronously replicate the marker to the ISR so the LSO advance is
+  // durable like any acks=all write — without holding our lock: a follower of
+  // this partition may simultaneously lead another partition and push to us,
+  // and broker locks must never be held across broker-to-broker calls.
+  std::vector<int> reached;
   for (int member : targets) {
     Broker* follower = cluster_->broker(member);
-    if (follower != nullptr) {
-      follower->AppendAsFollower(tp, marker, epoch, hw);
-      replica->follower_leo[member] = leo;
+    if (follower != nullptr &&
+        follower->AppendAsFollower(tp, marker, epoch, hw).ok()) {
+      reached.push_back(member);
     }
   }
+  RecursiveMutexLock lock(&mu_);
+  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+  if (!replica->is_leader || replica->leader_epoch != epoch) {
+    return Status::NotLeader("leadership lost during marker replication");
+  }
+  for (int member : reached) replica->follower_leo[member] = leo;
   AdvanceHighWatermarkLocked(tp, replica);
   return Status::OK();
 }
 
 Result<int64_t> Broker::LastStableOffset(const TopicPartition& tp) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
   return LastStableOffsetLocked(*replica);
 }
@@ -601,7 +657,7 @@ Result<FetchResponse> Broker::Fetch(const TopicPartition& tp, int64_t offset,
       clock_->SleepMs(throttle_ms);
     }
   }
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
   if (!replica->is_leader) {
     return Status::NotLeader("broker " + std::to_string(id_) +
@@ -659,14 +715,14 @@ Result<FetchResponse> Broker::Fetch(const TopicPartition& tp, int64_t offset,
 
 Result<int64_t> Broker::OffsetForTimestamp(const TopicPartition& tp,
                                            int64_t ts_ms) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
   return replica->log->OffsetForTimestamp(ts_ms);
 }
 
 Result<std::pair<int64_t, int64_t>> Broker::OffsetBounds(
     const TopicPartition& tp) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
   return std::make_pair(replica->log->start_offset(), replica->high_watermark);
 }
@@ -679,7 +735,7 @@ Status Broker::ReplicateFromLeaders() {
   };
   std::vector<PullTask> tasks;
   {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    RecursiveMutexLock lock(&mu_);
     if (!alive_) return Status::Unavailable("broker down");
     for (auto& [tp, replica] : replicas_) {
       if (replica.is_leader || replica.leader < 0) continue;
@@ -703,7 +759,7 @@ Status Broker::ReplicateFromLeaders() {
       }
       continue;
     }
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    RecursiveMutexLock lock(&mu_);
     auto replica_result = FindReplicaLocked(task.tp);
     if (!replica_result.ok()) continue;
     Replica* replica = *replica_result;
@@ -735,7 +791,7 @@ Status Broker::ReplicateFromLeaders() {
 Status Broker::RunLogMaintenance() {
   std::vector<TopicPartition> hosted = HostedPartitions();
   for (const auto& tp : hosted) {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    RecursiveMutexLock lock(&mu_);
     auto replica_result = FindReplicaLocked(tp);
     if (!replica_result.ok()) continue;
     Replica* replica = *replica_result;
@@ -751,37 +807,37 @@ Status Broker::RunLogMaintenance() {
 
 Result<storage::CompactionStats> Broker::CompactPartition(
     const TopicPartition& tp) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
   return replica->log->Compact();
 }
 
 Result<int64_t> Broker::LogEndOffset(const TopicPartition& tp) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
   return replica->log->end_offset();
 }
 
 Result<int64_t> Broker::HighWatermark(const TopicPartition& tp) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
   return replica->high_watermark;
 }
 
 std::vector<TopicPartition> Broker::HostedPartitions() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   std::vector<TopicPartition> out;
   for (const auto& [tp, replica] : replicas_) out.push_back(tp);
   return out;
 }
 
 bool Broker::HostsPartition(const TopicPartition& tp) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   return replicas_.count(tp) > 0;
 }
 
 bool Broker::IsLeaderFor(const TopicPartition& tp) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   auto it = replicas_.find(tp);
   return it != replicas_.end() && it->second.is_leader;
 }

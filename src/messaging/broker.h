@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "coord/coordination_service.h"
 #include "coord/leader_election.h"
 #include "messaging/metadata.h"
@@ -193,28 +193,39 @@ class Broker {
   };
 
   /// min(first offset over ongoing transactions, high watermark).
+  /// (Static helpers on a Replica cannot name the owning broker's mu_ in a
+  /// REQUIRES clause; callers reach the Replica via FindReplicaLocked, which
+  /// already demands the lock.)
   static int64_t LastStableOffsetLocked(const Replica& replica);
 
   // Replica lookup; all per-replica mutation happens under mu_.
-  Result<Replica*> FindReplicaLocked(const TopicPartition& tp);
-  Status EnsureLogLocked(const TopicPartition& tp, Replica* replica);
+  Result<Replica*> FindReplicaLocked(const TopicPartition& tp) REQUIRES(mu_);
+  Status EnsureLogLocked(const TopicPartition& tp, Replica* replica)
+      REQUIRES(mu_);
   /// Recomputes the leader HW = min(LEO over ISR members with known LEO).
-  void AdvanceHighWatermarkLocked(const TopicPartition& tp, Replica* replica);
+  void AdvanceHighWatermarkLocked(const TopicPartition& tp, Replica* replica)
+      REQUIRES(mu_);
   /// Removes `follower` from the ISR and publishes the shrunk state.
-  void ShrinkIsrLocked(const TopicPartition& tp, Replica* replica, int follower);
+  void ShrinkIsrLocked(const TopicPartition& tp, Replica* replica, int follower)
+      REQUIRES(mu_);
   void MaybeExpandIsrLocked(const TopicPartition& tp, Replica* replica,
-                            int follower);
-  void PublishIsrLocked(const TopicPartition& tp, Replica* replica);
-  Status LoadHighWatermarkLocked(const TopicPartition& tp, Replica* replica);
-  void StoreHighWatermarkLocked(const TopicPartition& tp, Replica* replica);
-  Status LoadEpochCacheLocked(const TopicPartition& tp, Replica* replica);
-  void StoreEpochCacheLocked(const TopicPartition& tp, Replica* replica);
+                            int follower) REQUIRES(mu_);
+  void PublishIsrLocked(const TopicPartition& tp, Replica* replica)
+      REQUIRES(mu_);
+  Status LoadHighWatermarkLocked(const TopicPartition& tp, Replica* replica)
+      REQUIRES(mu_);
+  void StoreHighWatermarkLocked(const TopicPartition& tp, Replica* replica)
+      REQUIRES(mu_);
+  Status LoadEpochCacheLocked(const TopicPartition& tp, Replica* replica)
+      REQUIRES(mu_);
+  void StoreEpochCacheLocked(const TopicPartition& tp, Replica* replica)
+      REQUIRES(mu_);
   /// Records that `epoch` starts at `start_offset` (no-op if already known).
   void NoteEpochLocked(const TopicPartition& tp, Replica* replica, int epoch,
-                       int64_t start_offset);
+                       int64_t start_offset) REQUIRES(mu_);
   /// Drops cache entries at/after `offset` after a truncation.
   void TrimEpochCacheLocked(const TopicPartition& tp, Replica* replica,
-                            int64_t offset);
+                            int64_t offset) REQUIRES(mu_);
   /// The epoch of the last record in the local log (-1 if empty).
   static int LastLocalEpochLocked(const Replica& replica);
 
@@ -228,12 +239,17 @@ class Broker {
   MetricsRegistry metrics_;
   QuotaManager quotas_;
 
-  mutable std::recursive_mutex mu_;
-  bool alive_ = false;
-  int64_t session_id_ = 0;
-  std::map<TopicPartition, Replica> replicas_;
-  std::unique_ptr<coord::LeaderElection> election_;
-  std::unique_ptr<Controller> controller_;
+  // Recursive because coordination-service watches re-enter the broker on the
+  // firing thread: PublishIsrLocked -> coord Set -> watch -> Controller ->
+  // BecomeLeader on this same broker, all while mu_ is held.
+  mutable RecursiveMutex mu_;
+  bool alive_ GUARDED_BY(mu_) = false;
+  int64_t session_id_ GUARDED_BY(mu_) = 0;
+  std::map<TopicPartition, Replica> replicas_ GUARDED_BY(mu_);
+  std::unique_ptr<coord::LeaderElection> election_ GUARDED_BY(mu_);
+  // shared_ptr: the election callback starts the controller outside mu_
+  // (election walks the whole cluster) while Stop() may reset this member.
+  std::shared_ptr<Controller> controller_ GUARDED_BY(mu_);
 };
 
 }  // namespace liquid::messaging

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -16,7 +17,7 @@ Cluster::~Cluster() {
   // Stop brokers gracefully so controller churn during teardown is bounded.
   std::vector<Broker*> to_stop;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& [id, broker] : brokers_) to_stop.push_back(broker.get());
   }
   for (Broker* broker : to_stop) broker->Stop();
@@ -29,7 +30,7 @@ Status Cluster::Start() {
   coord_.Create(session, paths::BrokerIds(), "", coord::NodeKind::kPersistent);
   coord_.Create(session, paths::TopicsRoot(), "", coord::NodeKind::kPersistent);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (int id = 0; id < config_.num_brokers; ++id) {
       disks_[id] = std::make_unique<storage::MemDisk>(config_.disk_latency);
       brokers_[id] = std::make_unique<Broker>(id, this, disks_[id].get(),
@@ -51,7 +52,7 @@ Status Cluster::CreateTopic(const std::string& name, const TopicConfig& config) 
     return Status::InvalidArgument("replication factor exceeds alive brokers");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (topics_.count(name)) {
       return Status::AlreadyExists("topic exists: " + name);
     }
@@ -100,14 +101,14 @@ Status Cluster::CreateTopic(const std::string& name, const TopicConfig& config) 
 }
 
 Result<TopicConfig> Cluster::GetTopicConfig(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound("no such topic: " + topic);
   return it->second;
 }
 
 std::vector<std::string> Cluster::Topics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (const auto& [name, config] : topics_) out.push_back(name);
   return out;
@@ -115,7 +116,7 @@ std::vector<std::string> Cluster::Topics() const {
 
 Result<std::vector<TopicPartition>> Cluster::PartitionsOf(
     const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end()) return Status::NotFound("no such topic: " + topic);
   std::vector<TopicPartition> out;
@@ -146,22 +147,32 @@ Result<Broker*> Cluster::LeaderFor(const TopicPartition& tp) {
 }
 
 Broker* Cluster::broker(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = brokers_.find(id);
   return it == brokers_.end() ? nullptr : it->second.get();
 }
 
 std::vector<int> Cluster::BrokerIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<int> out;
   for (const auto& [id, broker] : brokers_) out.push_back(id);
   return out;
 }
 
 std::vector<int> Cluster::AliveBrokerIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Query liveness after dropping mu_: Broker::alive() takes the broker's
+  // lock, and brokers call back into Cluster accessors while holding it
+  // (Broker::mu_ -> Cluster::mu_), so the reverse order would deadlock.
+  std::vector<std::pair<int, Broker*>> brokers;
+  {
+    MutexLock lock(&mu_);
+    brokers.reserve(brokers_.size());
+    for (const auto& [id, broker] : brokers_) {
+      brokers.emplace_back(id, broker.get());
+    }
+  }
   std::vector<int> out;
-  for (const auto& [id, broker] : brokers_) {
+  for (const auto& [id, broker] : brokers) {
     if (broker->alive()) out.push_back(id);
   }
   return out;
@@ -177,7 +188,7 @@ Status Cluster::StopBroker(int id) {
 Status Cluster::RestartBroker(int id) {
   storage::MemDisk* disk;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = disks_.find(id);
     if (it == disks_.end()) return Status::NotFound("no such broker");
     disk = it->second.get();

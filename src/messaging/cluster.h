@@ -4,7 +4,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "coord/coordination_service.h"
 #include "messaging/access_control.h"
 #include "messaging/broker.h"
@@ -95,10 +95,10 @@ class Cluster {
   coord::CoordinationService coord_;
   AccessController acls_;
 
-  mutable std::mutex mu_;
-  std::map<int, std::unique_ptr<storage::MemDisk>> disks_;
-  std::map<int, std::unique_ptr<Broker>> brokers_;
-  std::map<std::string, TopicConfig> topics_;
+  mutable Mutex mu_;
+  std::map<int, std::unique_ptr<storage::MemDisk>> disks_ GUARDED_BY(mu_);
+  std::map<int, std::unique_ptr<Broker>> brokers_ GUARDED_BY(mu_);
+  std::map<std::string, TopicConfig> topics_ GUARDED_BY(mu_);
 
   std::thread replication_thread_;
   std::atomic<bool> replication_running_{false};

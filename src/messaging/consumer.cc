@@ -20,7 +20,7 @@ Consumer::Consumer(Cluster* cluster, OffsetManager* offsets,
 Consumer::~Consumer() { Close(); }
 
 Status Consumer::Subscribe(const std::vector<std::string>& topics) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   topics_ = topics;
   auto generation = coordinator_->JoinGroup(config_.group, member_id_, topics);
   if (!generation.ok()) return generation.status();
@@ -64,7 +64,7 @@ Status Consumer::RefreshAssignmentLocked() {
 }
 
 Result<std::vector<ConsumerRecord>> Consumer::Poll(size_t max_records) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) return Status::FailedPrecondition("consumer closed");
   coordinator_->Heartbeat(config_.group, member_id_);  // Polling = liveness.
   LIQUID_RETURN_NOT_OK(RefreshAssignmentLocked());
@@ -104,7 +104,7 @@ Status Consumer::Commit() {
 
 Status Consumer::CommitWithAnnotations(
     const std::map<std::string, std::string>& annotations) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const TopicPartition& tp : assignment_) {
     OffsetCommit commit;
     commit.offset = positions_[tp];
@@ -115,7 +115,7 @@ Status Consumer::CommitWithAnnotations(
 }
 
 Status Consumer::Seek(const TopicPartition& tp, int64_t offset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (std::find(assignment_.begin(), assignment_.end(), tp) ==
       assignment_.end()) {
     return Status::InvalidArgument("partition not assigned: " + tp.ToString());
@@ -125,7 +125,7 @@ Status Consumer::Seek(const TopicPartition& tp, int64_t offset) {
 }
 
 Status Consumer::SeekToTimestamp(int64_t ts_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const TopicPartition& tp : assignment_) {
     auto leader = cluster_->LeaderFor(tp);
     if (!leader.ok()) return leader.status();
@@ -144,7 +144,7 @@ Status Consumer::SeekToTimestamp(int64_t ts_ms) {
 }
 
 Result<int64_t> Consumer::Position(const TopicPartition& tp) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = positions_.find(tp);
   if (it == positions_.end()) {
     return Status::NotFound("no position for " + tp.ToString());
@@ -153,24 +153,24 @@ Result<int64_t> Consumer::Position(const TopicPartition& tp) const {
 }
 
 std::map<TopicPartition, int64_t> Consumer::Positions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return positions_;
 }
 
 Status Consumer::CloseWithoutCommit() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) return Status::OK();
   closed_ = true;
   return coordinator_->LeaveGroup(config_.group, member_id_);
 }
 
 std::vector<TopicPartition> Consumer::Assignment() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return assignment_;
 }
 
 Status Consumer::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) return Status::OK();
   closed_ = true;
   return coordinator_->LeaveGroup(config_.group, member_id_);

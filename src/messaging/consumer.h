@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "messaging/group_coordinator.h"
 #include "messaging/metadata.h"
 #include "messaging/offset_manager.h"
@@ -92,7 +92,7 @@ class Consumer {
  private:
   /// Re-fetches the assignment if the group generation moved; initializes
   /// positions of newly assigned partitions from committed offsets.
-  Status RefreshAssignmentLocked();
+  Status RefreshAssignmentLocked() REQUIRES(mu_);
 
   Cluster* cluster_;
   OffsetManager* offsets_;
@@ -100,13 +100,14 @@ class Consumer {
   const std::string member_id_;
   ConsumerConfig config_;
 
-  mutable std::mutex mu_;
-  std::vector<std::string> topics_;
-  int64_t generation_ = -1;
-  std::vector<TopicPartition> assignment_;
-  std::map<TopicPartition, int64_t> positions_;
-  size_t poll_cursor_ = 0;  // Round-robin over assigned partitions.
-  bool closed_ = false;
+  mutable Mutex mu_;
+  std::vector<std::string> topics_ GUARDED_BY(mu_);
+  int64_t generation_ GUARDED_BY(mu_) = -1;
+  std::vector<TopicPartition> assignment_ GUARDED_BY(mu_);
+  std::map<TopicPartition, int64_t> positions_ GUARDED_BY(mu_);
+  // Round-robin over assigned partitions.
+  size_t poll_cursor_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace liquid::messaging

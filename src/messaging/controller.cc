@@ -42,7 +42,7 @@ void Controller::OnMembershipChange() {
 }
 
 Status Controller::ElectLeaders() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const std::vector<int> alive_ids = cluster_->AliveBrokerIds();
   const std::set<int> alive(alive_ids.begin(), alive_ids.end());
 

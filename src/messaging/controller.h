@@ -3,9 +3,9 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "messaging/metadata.h"
 
 namespace liquid::messaging {
@@ -31,7 +31,7 @@ class Controller {
 
   /// Re-elects leaders for every partition whose leader is not alive and
   /// brings restarted replicas back as followers.
-  Status ElectLeaders();
+  Status ElectLeaders() EXCLUDES(mu_);
 
  private:
   void ArmMembershipWatch();
@@ -39,7 +39,7 @@ class Controller {
 
   Cluster* cluster_;
   Broker* self_;
-  std::mutex mu_;  // Serializes election passes.
+  Mutex mu_;  // Serializes election passes.
   // Watch callbacks registered with the coordination service can outlive this
   // object; they hold the token and bail out once it reads false.
   std::shared_ptr<std::atomic<bool>> alive_token_;

@@ -13,7 +13,7 @@ GroupCoordinator::GroupCoordinator(Cluster* cluster, int64_t session_timeout_ms)
 Result<int64_t> GroupCoordinator::JoinGroup(
     const std::string& group, const std::string& member_id,
     const std::vector<std::string>& topics) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Group& g = groups_[group];
   g.members[member_id] = topics;
   g.last_heartbeat_ms[member_id] = cluster_->clock()->NowMs();
@@ -23,7 +23,7 @@ Result<int64_t> GroupCoordinator::JoinGroup(
 
 Status GroupCoordinator::LeaveGroup(const std::string& group,
                                     const std::string& member_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto git = groups_.find(group);
   if (git == groups_.end()) return Status::NotFound("no such group: " + group);
   if (git->second.members.erase(member_id) == 0) {
@@ -35,7 +35,7 @@ Status GroupCoordinator::LeaveGroup(const std::string& group,
 
 void GroupCoordinator::Heartbeat(const std::string& group,
                                  const std::string& member_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto git = groups_.find(group);
   if (git == groups_.end()) return;
   if (!git->second.members.count(member_id)) return;
@@ -44,7 +44,7 @@ void GroupCoordinator::Heartbeat(const std::string& group,
 
 int GroupCoordinator::EvictExpiredMembers() {
   if (session_timeout_ms_ <= 0) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const int64_t now = cluster_->clock()->NowMs();
   int evicted = 0;
   for (auto& [name, group] : groups_) {
@@ -104,7 +104,7 @@ Status GroupCoordinator::RebalanceLocked(Group* group) {
 
 Result<GroupAssignment> GroupCoordinator::GetAssignment(
     const std::string& group, const std::string& member_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto git = groups_.find(group);
   if (git == groups_.end()) return Status::NotFound("no such group: " + group);
   if (!git->second.members.count(member_id)) {
@@ -118,13 +118,13 @@ Result<GroupAssignment> GroupCoordinator::GetAssignment(
 }
 
 int64_t GroupCoordinator::Generation(const std::string& group) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto git = groups_.find(group);
   return git == groups_.end() ? 0 : git->second.generation;
 }
 
 int GroupCoordinator::MemberCount(const std::string& group) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto git = groups_.find(group);
   return git == groups_.end() ? 0 : static_cast<int>(git->second.members.size());
 }

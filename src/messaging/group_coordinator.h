@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "messaging/metadata.h"
 
 namespace liquid::messaging {
@@ -75,13 +75,13 @@ class GroupCoordinator {
   };
 
   /// Round-robin assignment of every subscribed partition over members,
-  /// deterministic in member-id order. Requires mu_ held.
-  Status RebalanceLocked(Group* group);
+  /// deterministic in member-id order.
+  Status RebalanceLocked(Group* group) REQUIRES(mu_);
 
   Cluster* cluster_;
   const int64_t session_timeout_ms_;
-  mutable std::mutex mu_;
-  std::map<std::string, Group> groups_;
+  mutable Mutex mu_;
+  std::map<std::string, Group> groups_ GUARDED_BY(mu_);
 };
 
 }  // namespace liquid::messaging

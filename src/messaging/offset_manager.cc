@@ -56,7 +56,7 @@ Result<std::unique_ptr<OffsetManager>> OffsetManager::Open(
 }
 
 Status OffsetManager::Recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t cursor = log_->start_offset();
   std::vector<storage::Record> chunk;
   while (cursor < log_->end_offset()) {
@@ -92,7 +92,7 @@ Status OffsetManager::Commit(const std::string& group, const TopicPartition& tp,
                              OffsetCommit commit) {
   if (commit.committed_at_ms == 0) commit.committed_at_ms = clock_->NowMs();
   const std::string key = CacheKey(group, tp, "");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   LIQUID_RETURN_NOT_OK(Persist(key, commit));
   cache_[key] = std::move(commit);
   ++commits_total_;
@@ -101,7 +101,7 @@ Status OffsetManager::Commit(const std::string& group, const TopicPartition& tp,
 
 Result<OffsetCommit> OffsetManager::Fetch(const std::string& group,
                                           const TopicPartition& tp) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = cache_.find(CacheKey(group, tp, ""));
   if (it == cache_.end()) {
     return Status::NotFound("no committed offset for " + group + "/" +
@@ -117,7 +117,7 @@ Status OffsetManager::CommitLabeled(const std::string& group,
   if (label.empty()) return Status::InvalidArgument("empty label");
   if (commit.committed_at_ms == 0) commit.committed_at_ms = clock_->NowMs();
   const std::string key = CacheKey(group, tp, label);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   LIQUID_RETURN_NOT_OK(Persist(key, commit));
   cache_[key] = std::move(commit);
   ++commits_total_;
@@ -127,7 +127,7 @@ Status OffsetManager::CommitLabeled(const std::string& group,
 Result<OffsetCommit> OffsetManager::FetchLabeled(const std::string& group,
                                                  const TopicPartition& tp,
                                                  const std::string& label) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = cache_.find(CacheKey(group, tp, label));
   if (it == cache_.end()) {
     return Status::NotFound("no labeled commit '" + label + "'");
@@ -140,7 +140,7 @@ Result<storage::CompactionStats> OffsetManager::CompactBackingLog() {
 }
 
 int64_t OffsetManager::commits_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return commits_total_;
 }
 

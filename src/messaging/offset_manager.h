@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "messaging/metadata.h"
 #include "storage/disk.h"
 #include "storage/log.h"
@@ -69,17 +69,20 @@ class OffsetManager {
  private:
   OffsetManager(std::unique_ptr<storage::Log> log, Clock* clock);
 
-  Status Recover();
-  Status Persist(const std::string& key, const OffsetCommit& commit);
+  Status Recover() EXCLUDES(mu_);
+  /// Appends the commit record; held under mu_ so the backing-log append and
+  /// the cache update of one commit are atomic with respect to readers.
+  Status Persist(const std::string& key, const OffsetCommit& commit)
+      REQUIRES(mu_);
   static std::string CacheKey(const std::string& group, const TopicPartition& tp,
                               const std::string& label);
 
   std::unique_ptr<storage::Log> log_;
   Clock* clock_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, OffsetCommit> cache_;
-  int64_t commits_total_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, OffsetCommit> cache_ GUARDED_BY(mu_);
+  int64_t commits_total_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace liquid::messaging

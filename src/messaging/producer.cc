@@ -46,7 +46,7 @@ Status Producer::Send(const std::string& topic, storage::Record record) {
   std::vector<storage::Record> to_send;
   TopicPartition tp;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto partition = PartitionFor(topic, record);
     if (!partition.ok()) return partition.status();
     tp = TopicPartition{topic, *partition};
@@ -61,7 +61,7 @@ Status Producer::Send(const std::string& topic, storage::Record record) {
 Status Producer::Flush() {
   std::map<TopicPartition, std::vector<storage::Record>> pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending.swap(batches_);
   }
   for (auto& [tp, records] : pending) {
@@ -77,7 +77,7 @@ Status Producer::InitTransactions(TransactionCoordinator* coordinator) {
   }
   LIQUID_ASSIGN_OR_RETURN(int64_t pid,
                           coordinator->InitProducer(config_.transactional_id));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   txn_coordinator_ = coordinator;
   producer_id_ = pid;
   next_sequence_.clear();
@@ -85,41 +85,47 @@ Status Producer::InitTransactions(TransactionCoordinator* coordinator) {
 }
 
 Status Producer::BeginTransaction() {
+  TransactionCoordinator* coordinator = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (txn_coordinator_ == nullptr) {
       return Status::FailedPrecondition("InitTransactions not called");
     }
     if (in_transaction_) {
       return Status::FailedPrecondition("transaction already open");
     }
+    coordinator = txn_coordinator_;
   }
-  LIQUID_RETURN_NOT_OK(txn_coordinator_->Begin(config_.transactional_id));
-  std::lock_guard<std::mutex> lock(mu_);
+  LIQUID_RETURN_NOT_OK(coordinator->Begin(config_.transactional_id));
+  MutexLock lock(&mu_);
   in_transaction_ = true;
   return Status::OK();
 }
 
 Status Producer::CommitTransaction() {
+  TransactionCoordinator* coordinator = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!in_transaction_) return Status::FailedPrecondition("no transaction");
+    coordinator = txn_coordinator_;
   }
   LIQUID_RETURN_NOT_OK(Flush());
-  Status st = txn_coordinator_->End(config_.transactional_id, /*commit=*/true);
-  std::lock_guard<std::mutex> lock(mu_);
+  Status st = coordinator->End(config_.transactional_id, /*commit=*/true);
+  MutexLock lock(&mu_);
   in_transaction_ = false;
   return st;
 }
 
 Status Producer::AbortTransaction() {
+  TransactionCoordinator* coordinator = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!in_transaction_) return Status::FailedPrecondition("no transaction");
+    coordinator = txn_coordinator_;
   }
   LIQUID_RETURN_NOT_OK(Flush());  // Records land, then get abort-marked.
-  Status st = txn_coordinator_->End(config_.transactional_id, /*commit=*/false);
-  std::lock_guard<std::mutex> lock(mu_);
+  Status st = coordinator->End(config_.transactional_id, /*commit=*/false);
+  MutexLock lock(&mu_);
   in_transaction_ = false;
   return st;
 }
@@ -127,21 +133,22 @@ Status Producer::AbortTransaction() {
 Result<ProduceResponse> Producer::SendBatch(
     const TopicPartition& tp, std::vector<storage::Record> records) {
   if (records.empty()) return Status::InvalidArgument("empty batch");
+  const bool sequenced =
+      config_.idempotent || !config_.transactional_id.empty();
+  int32_t first_sequence = -1;
+  int64_t producer_id = storage::kNoProducerId;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (in_transaction_) {
       // Register the partition with the coordinator before first write.
       Status st = txn_coordinator_->AddPartition(config_.transactional_id, tp);
       if (!st.ok()) return st;
     }
-  }
-  const bool sequenced =
-      config_.idempotent || !config_.transactional_id.empty();
-  int32_t first_sequence = -1;
-  if (sequenced) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = next_sequence_.find(tp);
-    first_sequence = it == next_sequence_.end() ? 0 : it->second;
+    producer_id = producer_id_;
+    if (sequenced) {
+      auto it = next_sequence_.find(tp);
+      first_sequence = it == next_sequence_.end() ? 0 : it->second;
+    }
   }
 
   Status last_error = Status::Unavailable("no attempt made");
@@ -151,15 +158,15 @@ Result<ProduceResponse> Producer::SendBatch(
       last_error = leader.status();
       cluster_->clock()->SleepMs(1);
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         ++send_retries_;
       }
       continue;
     }
-    auto resp = (*leader)->Produce(tp, records, config_.acks, producer_id_,
+    auto resp = (*leader)->Produce(tp, records, config_.acks, producer_id,
                                    first_sequence, config_.client_id);
     if (resp.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       records_sent_ += static_cast<int64_t>(records.size());
       if (sequenced) {
         next_sequence_[tp] =
@@ -172,7 +179,7 @@ Result<ProduceResponse> Producer::SendBatch(
       return last_error;  // Non-retriable.
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++send_retries_;
     }
     cluster_->clock()->SleepMs(1);
@@ -181,12 +188,12 @@ Result<ProduceResponse> Producer::SendBatch(
 }
 
 int64_t Producer::records_sent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return records_sent_;
 }
 
 int64_t Producer::send_retries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return send_retries_;
 }
 

@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "messaging/metadata.h"
 #include "messaging/transaction.h"
 #include "storage/record.h"
@@ -64,7 +64,8 @@ class Producer {
   Result<ProduceResponse> SendBatch(const TopicPartition& tp,
                                     std::vector<storage::Record> records);
 
-  void SetCustomPartitioner(CustomPartitioner partitioner) {
+  void SetCustomPartitioner(CustomPartitioner partitioner) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     custom_partitioner_ = std::move(partitioner);
   }
 
@@ -85,27 +86,32 @@ class Producer {
   /// from read_committed consumers forever.
   Status AbortTransaction();
 
-  int64_t records_sent() const;
-  int64_t send_retries() const;
-  int64_t producer_id() const { return producer_id_; }
+  int64_t records_sent() const EXCLUDES(mu_);
+  int64_t send_retries() const EXCLUDES(mu_);
+  int64_t producer_id() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return producer_id_;
+  }
 
  private:
   Result<int> PartitionFor(const std::string& topic,
-                           const storage::Record& record);
+                           const storage::Record& record) REQUIRES(mu_);
 
   Cluster* cluster_;
   ProducerConfig config_;
-  CustomPartitioner custom_partitioner_;
-  int64_t producer_id_;
-  TransactionCoordinator* txn_coordinator_ = nullptr;
-  bool in_transaction_ = false;
 
-  mutable std::mutex mu_;
-  std::map<TopicPartition, std::vector<storage::Record>> batches_;
-  std::map<TopicPartition, int32_t> next_sequence_;
-  std::map<std::string, uint64_t> round_robin_;
-  int64_t records_sent_ = 0;
-  int64_t send_retries_ = 0;
+  mutable Mutex mu_;
+  CustomPartitioner custom_partitioner_ GUARDED_BY(mu_);
+  // Assigned by InitTransactions after construction, so reads must hold mu_.
+  int64_t producer_id_ GUARDED_BY(mu_);
+  TransactionCoordinator* txn_coordinator_ GUARDED_BY(mu_) = nullptr;
+  bool in_transaction_ GUARDED_BY(mu_) = false;
+  std::map<TopicPartition, std::vector<storage::Record>> batches_
+      GUARDED_BY(mu_);
+  std::map<TopicPartition, int32_t> next_sequence_ GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> round_robin_ GUARDED_BY(mu_);
+  int64_t records_sent_ GUARDED_BY(mu_) = 0;
+  int64_t send_retries_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace liquid::messaging

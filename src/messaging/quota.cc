@@ -6,7 +6,7 @@ namespace liquid::messaging {
 
 void QuotaManager::SetQuota(const std::string& client_id,
                             int64_t bytes_per_sec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (bytes_per_sec <= 0) {
     buckets_.erase(client_id);
     return;
@@ -21,7 +21,7 @@ void QuotaManager::SetQuota(const std::string& client_id,
 
 int64_t QuotaManager::Charge(const std::string& client_id, int64_t bytes) {
   if (client_id.empty()) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = buckets_.find(client_id);
   if (it == buckets_.end()) return 0;
   Bucket& bucket = it->second;
@@ -45,7 +45,7 @@ int64_t QuotaManager::Charge(const std::string& client_id, int64_t bytes) {
 }
 
 int64_t QuotaManager::throttled_requests() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return throttled_requests_;
 }
 

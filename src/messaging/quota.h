@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 
 namespace liquid::messaging {
 
@@ -43,9 +43,9 @@ class QuotaManager {
   };
 
   Clock* clock_;
-  mutable std::mutex mu_;
-  std::map<std::string, Bucket> buckets_;
-  int64_t throttled_requests_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, Bucket> buckets_ GUARDED_BY(mu_);
+  int64_t throttled_requests_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace liquid::messaging

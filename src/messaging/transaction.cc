@@ -11,7 +11,7 @@ TransactionCoordinator::TransactionCoordinator(Cluster* cluster,
     : cluster_(cluster), offsets_(offsets) {}
 
 Result<int64_t> TransactionCoordinator::InitProducer(const std::string& txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) {
     TxnState state;
@@ -36,7 +36,7 @@ Result<int64_t> TransactionCoordinator::InitProducer(const std::string& txn_id) 
 }
 
 Status TransactionCoordinator::Begin(const std::string& txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) {
     return Status::NotFound("unknown transactional id: " + txn_id);
@@ -52,7 +52,7 @@ Status TransactionCoordinator::Begin(const std::string& txn_id) {
 
 Status TransactionCoordinator::AddPartition(const std::string& txn_id,
                                             const TopicPartition& tp) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) {
     return Status::NotFound("unknown transactional id: " + txn_id);
@@ -73,7 +73,7 @@ Status TransactionCoordinator::AddOffsets(const std::string& txn_id,
                                           const std::string& group,
                                           const TopicPartition& tp,
                                           OffsetCommit commit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) {
     return Status::NotFound("unknown transactional id: " + txn_id);
@@ -110,7 +110,7 @@ Status TransactionCoordinator::EndLocked(TxnState* state, bool commit) {
 }
 
 Status TransactionCoordinator::End(const std::string& txn_id, bool commit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) {
     return Status::NotFound("unknown transactional id: " + txn_id);
@@ -123,7 +123,7 @@ Status TransactionCoordinator::End(const std::string& txn_id, bool commit) {
 
 Result<int64_t> TransactionCoordinator::ProducerIdFor(
     const std::string& txn_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) {
     return Status::NotFound("unknown transactional id: " + txn_id);
@@ -132,7 +132,7 @@ Result<int64_t> TransactionCoordinator::ProducerIdFor(
 }
 
 bool TransactionCoordinator::InFlight(const std::string& txn_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = txns_.find(txn_id);
   return it != txns_.end() && it->second.in_flight;
 }

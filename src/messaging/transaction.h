@@ -3,13 +3,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "messaging/metadata.h"
 #include "messaging/offset_manager.h"
 
@@ -82,13 +82,14 @@ class TransactionCoordinator {
     std::vector<PendingOffset> pending_offsets;
   };
 
-  Status EndLocked(TxnState* state, bool commit);
+  Status EndLocked(TxnState* state, bool commit) REQUIRES(mu_);
 
   Cluster* cluster_;
   OffsetManager* offsets_;
-  mutable std::mutex mu_;
-  std::map<std::string, TxnState> txns_;
-  int64_t next_pid_ = 1'000'000;  // Disjoint from idempotent-producer ids.
+  mutable Mutex mu_;
+  std::map<std::string, TxnState> txns_ GUARDED_BY(mu_);
+  // Disjoint from idempotent-producer ids.
+  int64_t next_pid_ GUARDED_BY(mu_) = 1'000'000;
 };
 
 }  // namespace liquid::messaging

@@ -3,13 +3,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "kv/kv_store.h"
 #include "messaging/cluster.h"
 #include "messaging/consumer.h"
@@ -81,7 +81,7 @@ class Job {
   Job& operator=(const Job&) = delete;
 
   /// One poll-process cycle; returns the number of records processed.
-  Result<int> RunOnce();
+  Result<int> RunOnce() EXCLUDES(mu_);
 
   /// Runs until `idle_rounds` consecutive cycles process nothing, then
   /// commits. Returns total records processed.
@@ -89,15 +89,15 @@ class Job {
 
   /// Flushes outputs and changelogs, then checkpoints input offsets with the
   /// configured annotations (at-least-once order, §4.3).
-  Status Commit();
+  Status Commit() EXCLUDES(mu_);
 
   /// Commits and leaves the consumer group.
-  Status Stop();
+  Status Stop() EXCLUDES(mu_);
 
   /// SIGKILL semantics for failure-injection tests: leaves the group without
   /// committing anything; an open transaction is left dangling (the next
   /// incarnation's InitTransactions fences and aborts it).
-  Status Kill();
+  Status Kill() EXCLUDES(mu_);
 
   /// Background execution.
   Status StartThread(int poll_sleep_ms = 1);
@@ -105,7 +105,8 @@ class Job {
 
   /// The store of the task owning `partition`; null when absent. Tasks are
   /// keyed by partition id (shared across all input topics).
-  KeyValueStore* GetStore(int partition, const std::string& store_name);
+  KeyValueStore* GetStore(int partition, const std::string& store_name)
+      EXCLUDES(mu_);
   KeyValueStore* GetStore(const messaging::TopicPartition& partition,
                           const std::string& store_name) {
     return GetStore(partition.partition, store_name);
@@ -138,13 +139,13 @@ class Job {
       messaging::TransactionCoordinator* txn_coordinator);
 
   Status Init();
-  /// Flush + checkpoint, transactional or plain. Requires mu_ held.
-  Status CommitLocked();
+  /// Flush + checkpoint, transactional or plain.
+  Status CommitLocked() REQUIRES(mu_);
   Status EnsureChangelogTopics();
-  Status EnsureTask(int partition);
+  Status EnsureTask(int partition) REQUIRES(mu_);
   Status RestoreStore(int partition, const StoreConfig& store_config,
                       ChangelogStore* store);
-  Status FlushChangelogs();
+  Status FlushChangelogs() REQUIRES(mu_);
 
   messaging::Cluster* cluster_;
   messaging::OffsetManager* offsets_;
@@ -154,20 +155,20 @@ class Job {
   TaskFactory factory_;
   const std::string instance_id_;
   messaging::TransactionCoordinator* txn_coordinator_;
-  bool txn_open_ = false;
 
   std::unique_ptr<messaging::Consumer> consumer_;
   std::unique_ptr<messaging::Producer> producer_;
   std::unique_ptr<CollectorImpl> collector_;
   std::unique_ptr<CoordinatorImpl> coordinator_impl_;
 
-  mutable std::mutex mu_;
-  std::map<int, TaskState> tasks_;  // Keyed by partition id.
+  mutable Mutex mu_;
+  std::map<int, TaskState> tasks_ GUARDED_BY(mu_);  // Keyed by partition id.
   std::map<messaging::TopicPartition, std::vector<storage::Record>>
-      changelog_buffer_;
-  int64_t last_commit_ms_ = 0;
-  int64_t last_window_ms_ = 0;
-  bool stopped_ = false;
+      changelog_buffer_ GUARDED_BY(mu_);
+  int64_t last_commit_ms_ GUARDED_BY(mu_) = 0;
+  int64_t last_window_ms_ GUARDED_BY(mu_) = 0;
+  bool stopped_ GUARDED_BY(mu_) = false;
+  bool txn_open_ GUARDED_BY(mu_) = false;
 
   MetricsRegistry metrics_;
 

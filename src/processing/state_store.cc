@@ -3,19 +3,19 @@
 namespace liquid::processing {
 
 Status InMemoryStore::Put(const Slice& key, const Slice& value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   map_[key.ToString()] = value.ToString();
   return Status::OK();
 }
 
 Status InMemoryStore::Delete(const Slice& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   map_.erase(key.ToString());
   return Status::OK();
 }
 
 Result<std::string> InMemoryStore::Get(const Slice& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = map_.find(key.ToString());
   if (it == map_.end()) return Status::NotFound("no such key");
   return it->second;
@@ -23,7 +23,7 @@ Result<std::string> InMemoryStore::Get(const Slice& key) {
 
 Status InMemoryStore::ForEach(
     const std::function<void(const Slice&, const Slice&)>& fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [key, value] : map_) fn(key, value);
   return Status::OK();
 }
@@ -31,7 +31,7 @@ Status InMemoryStore::ForEach(
 Status InMemoryStore::ForEachInRange(
     const Slice& begin, const Slice& end,
     const std::function<void(const Slice&, const Slice&)>& fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = map_.lower_bound(begin.ToString());
   const auto stop = end.empty() ? map_.end() : map_.lower_bound(end.ToString());
   for (; it != stop; ++it) fn(it->first, it->second);
@@ -39,7 +39,7 @@ Status InMemoryStore::ForEachInRange(
 }
 
 Result<int64_t> InMemoryStore::Count() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(map_.size());
 }
 

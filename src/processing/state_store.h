@@ -3,9 +3,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "kv/kv_store.h"
 #include "messaging/metadata.h"
 #include "processing/task.h"
@@ -30,8 +30,8 @@ class InMemoryStore : public KeyValueStore {
   Result<int64_t> Count() override;
 
  private:
-  std::mutex mu_;
-  std::map<std::string, std::string> map_;
+  Mutex mu_;
+  std::map<std::string, std::string> map_ GUARDED_BY(mu_);
 };
 
 /// Durable store over the from-scratch LSM engine — the paper's "state

@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace liquid {
+namespace {
+
+// Concurrency stress for the pool's Submit/Wait/Shutdown surface. These tests
+// assert little beyond task counts — their real job is to put every lock
+// transition under ThreadSanitizer (scripts/check.sh runs the suite with
+// -DLIQUID_SANITIZE=thread).
+
+TEST(ThreadPoolStressTest, ConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 250;
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&pool, &executed] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        ASSERT_TRUE(pool.Submit([&executed] { executed.fetch_add(1); }));
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  pool.Wait();
+  EXPECT_EQ(executed.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPoolStressTest, WaitRacesWithSubmit) {
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  std::atomic<bool> stop{false};
+
+  // Waiters spin on Wait() while a submitter keeps the queue breathing.
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 2; ++t) {
+    waiters.emplace_back([&pool, &stop] {
+      while (!stop.load()) pool.Wait();
+    });
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(pool.Submit([&executed] { executed.fetch_add(1); }));
+  }
+  pool.Wait();
+  stop.store(true);
+  for (auto& thread : waiters) thread.join();
+  EXPECT_EQ(executed.load(), 500);
+}
+
+TEST(ThreadPoolStressTest, ShutdownRacesWithSubmit) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> accepted{0};
+    std::atomic<int> executed{0};
+
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&pool, &accepted, &executed] {
+        for (int i = 0; i < 50; ++i) {
+          if (pool.Submit([&executed] { executed.fetch_add(1); })) {
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    std::thread stopper([&pool] { pool.Shutdown(); });
+    for (auto& thread : submitters) thread.join();
+    stopper.join();
+    pool.Shutdown();
+    // Shutdown drains the queue: everything accepted must have run.
+    EXPECT_EQ(executed.load(), accepted.load());
+  }
+}
+
+TEST(ThreadPoolStressTest, TasksSubmittingTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&pool, &executed] {
+      executed.fetch_add(1);
+      pool.Submit([&executed] { executed.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(executed.load(), 200);
+}
+
+}  // namespace
+}  // namespace liquid

@@ -103,7 +103,9 @@ TEST_P(ReplicationPropertyTest, InvariantsHoldUnderRandomFaults) {
     ASSERT_TRUE(fetch.ok());
     if (fetch->records.empty()) break;
     for (const auto& record : fetch->records) {
-      if (!all.empty()) EXPECT_GT(record.offset, all.back().offset);
+      if (!all.empty()) {
+        EXPECT_GT(record.offset, all.back().offset);
+      }
       all.push_back(record);
     }
     cursor = all.back().offset + 1;

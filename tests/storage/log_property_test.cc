@@ -111,7 +111,9 @@ TEST_P(LogPropertyTest, ModelInvariantsHoldUnderRandomOps) {
     const auto all = ReadAll(log.get());
     // L1, L5.
     for (size_t i = 0; i < all.size(); ++i) {
-      if (i > 0) ASSERT_GT(all[i].offset, all[i - 1].offset);
+      if (i > 0) {
+        ASSERT_GT(all[i].offset, all[i - 1].offset);
+      }
       ASSERT_GE(all[i].offset, log->start_offset());
       ASSERT_LT(all[i].offset, log->end_offset());
     }

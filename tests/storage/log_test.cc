@@ -209,7 +209,9 @@ TEST_F(LogTest, TimeRetentionDeletesOldSegments) {
   // Reads below the new start offset are clamped forward.
   std::vector<Record> out;
   ASSERT_TRUE(log->Read(0, 10 << 20, &out).ok());
-  if (!out.empty()) EXPECT_GE(out.front().offset, log->start_offset());
+  if (!out.empty()) {
+    EXPECT_GE(out.front().offset, log->start_offset());
+  }
 }
 
 TEST_F(LogTest, SizeRetentionBoundsLog) {

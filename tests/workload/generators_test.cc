@@ -93,7 +93,9 @@ TEST(CallGraphGeneratorTest, SpansShareRequestIdAndFormTree) {
   for (const auto& record : spans) {
     auto fields = ParseEvent(record.value);
     const int parent = std::atoi(fields.at("parent").c_str());
-    if (parent >= 0) EXPECT_TRUE(span_ids.count(parent));
+    if (parent >= 0) {
+      EXPECT_TRUE(span_ids.count(parent));
+    }
   }
 }
 
