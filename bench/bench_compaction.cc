@@ -47,7 +47,7 @@ void RunSweep() {
         batch.push_back(Record::KeyValue("user" + std::to_string(k),
                                          rng.Bytes(64)));
       }
-      (*log)->Append(&batch);
+      LIQUID_CHECK_OK((*log)->Append(&batch));
     }
 
     // Recovery = replay every surviving record into a state map.
@@ -58,7 +58,7 @@ void RunSweep() {
       std::vector<Record> chunk;
       while (cursor < (*log)->end_offset()) {
         chunk.clear();
-        (*log)->Read(cursor, 1 << 20, &chunk);
+        LIQUID_CHECK_OK((*log)->Read(cursor, 1 << 20, &chunk));
         if (chunk.empty()) break;
         for (auto& record : chunk) state[record.key] = record.value;
         cursor = chunk.back().offset + 1;
@@ -111,12 +111,12 @@ void RunSkewed() {
       batch.push_back(Record::KeyValue("user" + std::to_string(zipf.Next()),
                                        rng.Bytes(64)));
       if (batch.size() == 1000) {
-        (*log)->Append(&batch);
+        LIQUID_CHECK_OK((*log)->Append(&batch));
         batch.clear();
       }
     }
     const uint64_t before = (*log)->size_bytes();
-    (*log)->Compact();
+    LIQUID_CHECK_OK((*log)->Compact());
     const uint64_t after = (*log)->size_bytes();
     table.AddRow({"zipf(theta=" + Fmt(theta, 2) + ")", std::to_string(total),
                   std::to_string(before), std::to_string(after),

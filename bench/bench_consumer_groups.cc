@@ -41,11 +41,11 @@ std::unique_ptr<Rig> BuildRig() {
   ClusterConfig config;
   config.num_brokers = 3;
   rig->cluster = std::make_unique<Cluster>(config, &rig->clock);
-  rig->cluster->Start();
+  LIQUID_CHECK_OK(rig->cluster->Start());
   TopicConfig topic;
   topic.partitions = kPartitions;
   topic.replication_factor = 1;
-  rig->cluster->CreateTopic("t", topic);
+  LIQUID_CHECK_OK(rig->cluster->CreateTopic("t", topic));
   rig->offsets =
       std::move(OffsetManager::Open(&rig->offsets_disk, "o/", &rig->clock))
           .value();
@@ -56,9 +56,9 @@ std::unique_ptr<Rig> BuildRig() {
   producer_config.batch_max_records = 256;
   Producer producer(rig->cluster.get(), producer_config);
   for (int i = 0; i < kRecords; ++i) {
-    producer.Send("t", storage::Record::KeyValue("k", std::string(64, 'v')));
+    LIQUID_CHECK_OK(producer.Send("t", storage::Record::KeyValue("k", std::string(64, 'v'))));
   }
-  producer.Flush();
+  LIQUID_CHECK_OK(producer.Flush());
   return rig;
 }
 
@@ -81,7 +81,7 @@ DrainResult DrainWithGroupSize(Rig* rig, int members, const std::string& group) 
     consumers.push_back(std::make_unique<Consumer>(
         rig->cluster.get(), rig->offsets.get(), rig->coordinator.get(),
         group + "-m" + std::to_string(i), config));
-    consumers.back()->Subscribe({"t"});
+    LIQUID_CHECK_OK(consumers.back()->Subscribe({"t"}));
   }
   std::vector<int64_t> per_member(members, 0);
   int idle = 0;
@@ -136,7 +136,7 @@ void Run() {
       config.group = "fan" + std::to_string(n) + "-" + std::to_string(g);
       Consumer consumer(rig->cluster.get(), rig->offsets.get(),
                         rig->coordinator.get(), "m", config);
-      consumer.Subscribe({"t"});
+      LIQUID_CHECK_OK(consumer.Subscribe({"t"}));
       while (true) {
         auto records = consumer.Poll(512);
         if (!records.ok() || records->empty()) break;

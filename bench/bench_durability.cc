@@ -40,11 +40,11 @@ double MeasureThroughput(AckMode acks, int rf) {
   ClusterConfig config;
   config.num_brokers = 3;
   Cluster cluster(config, &clock);
-  cluster.Start();
+  LIQUID_CHECK_OK(cluster.Start());
   TopicConfig topic;
   topic.partitions = 1;
   topic.replication_factor = rf;
-  cluster.CreateTopic("t", topic);
+  LIQUID_CHECK_OK(cluster.CreateTopic("t", topic));
 
   const TopicPartition tp{"t", 0};
   auto leader = cluster.LeaderFor(tp);
@@ -55,7 +55,7 @@ double MeasureThroughput(AckMode acks, int rf) {
   Stopwatch timer;
   for (int sent = 0; sent < kRecords; sent += 100) {
     for (auto& r : batch) r.offset = -1;
-    (*leader)->Produce(tp, batch, acks);
+    LIQUID_CHECK_OK((*leader)->Produce(tp, batch, acks));
   }
   const double seconds = static_cast<double>(timer.ElapsedUs()) / 1e6;
   return static_cast<double>(kRecords) / seconds;
@@ -67,11 +67,11 @@ int64_t MeasureLossOnFailover(AckMode acks, int rf) {
   ClusterConfig config;
   config.num_brokers = 3;
   Cluster cluster(config, &clock);
-  cluster.Start();
+  LIQUID_CHECK_OK(cluster.Start());
   TopicConfig topic;
   topic.partitions = 1;
   topic.replication_factor = rf;
-  cluster.CreateTopic("t", topic);
+  LIQUID_CHECK_OK(cluster.CreateTopic("t", topic));
   const TopicPartition tp{"t", 0};
 
   int64_t acked = 0;
@@ -82,7 +82,7 @@ int64_t MeasureLossOnFailover(AckMode acks, int rf) {
     if (resp.ok()) ++acked;
   }
   // Crash the leader before any pull-replication happens.
-  cluster.StopBroker(cluster.GetPartitionState(tp)->leader);
+  LIQUID_CHECK_OK(cluster.StopBroker(cluster.GetPartitionState(tp)->leader));
   cluster.ReplicationTick();
   cluster.ReplicationTick();
 

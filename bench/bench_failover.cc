@@ -30,11 +30,11 @@ void RunFailoverTimeline() {
     ClusterConfig config;
     config.num_brokers = 5;
     Cluster cluster(config, &clock);
-    cluster.Start();
+    LIQUID_CHECK_OK(cluster.Start());
     TopicConfig topic;
     topic.partitions = 1;
     topic.replication_factor = 3;
-    cluster.CreateTopic("t", topic);
+    LIQUID_CHECK_OK(cluster.CreateTopic("t", topic));
     const TopicPartition tp{"t", 0};
 
     ProducerConfig producer_config;
@@ -42,13 +42,13 @@ void RunFailoverTimeline() {
     producer_config.batch_max_records = 1;
     Producer producer(&cluster, producer_config);
     for (int i = 0; i < 500; ++i) {
-      producer.Send("t", storage::Record::KeyValue("k", "v"));
+      LIQUID_CHECK_OK(producer.Send("t", storage::Record::KeyValue("k", "v")));
     }
-    producer.Flush();
+    LIQUID_CHECK_OK(producer.Flush());
 
     auto before = cluster.GetPartitionState(tp);
     Stopwatch timer;
-    cluster.StopBroker(before->leader);
+    LIQUID_CHECK_OK(cluster.StopBroker(before->leader));
     // Time until a produce succeeds against the new leader.
     int64_t failover_us = -1;
     for (int attempt = 0; attempt < 1000; ++attempt) {
@@ -93,11 +93,11 @@ void RunSequentialFailures() {
   ClusterConfig config;
   config.num_brokers = 3;
   Cluster cluster(config, &clock);
-  cluster.Start();
+  LIQUID_CHECK_OK(cluster.Start());
   TopicConfig topic;
   topic.partitions = 1;
   topic.replication_factor = 3;
-  cluster.CreateTopic("t", topic);
+  LIQUID_CHECK_OK(cluster.CreateTopic("t", topic));
   const TopicPartition tp{"t", 0};
 
   Table table({"alive_replicas", "produce_ok", "committed_readable"});
@@ -123,10 +123,10 @@ void RunSequentialFailures() {
   auto replicas = cluster.GetPartitionState(tp)->replicas;
   auto [ok3, count3] = produce_and_count();
   table.AddRow({"3", ok3 ? "yes" : "no", std::to_string(count3)});
-  cluster.StopBroker(replicas[0]);
+  LIQUID_CHECK_OK(cluster.StopBroker(replicas[0]));
   auto [ok2, count2] = produce_and_count();
   table.AddRow({"2", ok2 ? "yes" : "no", std::to_string(count2)});
-  cluster.StopBroker(replicas[1]);
+  LIQUID_CHECK_OK(cluster.StopBroker(replicas[1]));
   auto [ok1, count1] = produce_and_count();
   table.AddRow({"1", ok1 ? "yes" : "no", std::to_string(count1)});
   table.Print(

@@ -29,16 +29,16 @@ void Run() {
 
   FeedOptions feed;
   feed.partitions = 1;
-  (*liquid)->CreateSourceFeed("events", feed);
+  LIQUID_CHECK_OK((*liquid)->CreateSourceFeed("events", feed));
 
   auto produce_batch = [&](int round) {
     auto producer = (*liquid)->NewProducer();
     for (int i = 0; i < kBatch; ++i) {
-      producer->Send("events",
+      LIQUID_CHECK_OK(producer->Send("events",
                      storage::Record::KeyValue(
-                         "k" + std::to_string((round * kBatch + i) % 500), "1"));
+                         "k" + std::to_string((round * kBatch + i) % 500), "1")));
     }
-    producer->Flush();
+    LIQUID_CHECK_OK(producer->Flush());
   };
 
   // Incremental job: one long-lived job with checkpoints + state.
@@ -75,7 +75,7 @@ void Run() {
     });
     auto full_processed = (*full_job)->RunUntilIdle();
     const int64_t full_us = full_timer.ElapsedUs();
-    (*liquid)->StopJob(full_config.name);
+    LIQUID_CHECK_OK((*liquid)->StopJob(full_config.name));
 
     table.AddRow({std::to_string(round), std::to_string(round * kBatch),
                   std::to_string(inc_us), std::to_string(*inc_processed),

@@ -32,11 +32,11 @@ Outcome RunScenario(bool isolation, double victim_share, double noisy_share) {
 
   // The noisy job floods the node with expensive items first.
   for (int i = 0; i < 200; ++i) {
-    scheduler.Submit(noisy, [] { storage::SpinFor(300 * 1000); });  // 300us.
+    LIQUID_CHECK_OK(scheduler.Submit(noisy, [] { storage::SpinFor(300 * 1000); }));  // 300us.
   }
   // The victim submits a steady trickle of cheap items.
   for (int i = 0; i < 50; ++i) {
-    scheduler.Submit(victim, [] { storage::SpinFor(20 * 1000); });  // 20us.
+    LIQUID_CHECK_OK(scheduler.Submit(victim, [] { storage::SpinFor(20 * 1000); }));  // 20us.
   }
 
   Outcome outcome;
@@ -77,8 +77,8 @@ void Run() {
     const int noisy = scheduler.RegisterContainer({"noisy", 1.0, 1 << 20});
     const int victim = scheduler.RegisterContainer({"victim", 1.0, 1 << 20});
     for (int i = 0; i < 10000; ++i) {
-      scheduler.Submit(noisy, [] { storage::SpinFor(200 * 1000); });
-      scheduler.Submit(victim, [] { storage::SpinFor(20 * 1000); });
+      LIQUID_CHECK_OK(scheduler.Submit(noisy, [] { storage::SpinFor(200 * 1000); }));
+      LIQUID_CHECK_OK(scheduler.Submit(victim, [] { storage::SpinFor(20 * 1000); }));
     }
     auto completed = scheduler.RunUntilIdle(/*budget_ms=*/10);
     budget.AddRow({isolation ? "containers (fair)" : "no isolation (FIFO)",

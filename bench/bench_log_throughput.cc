@@ -38,7 +38,7 @@ void BM_AppendAtLogSize(benchmark::State& state) {
   auto fill = MakeBatch(1000, &rng);
   for (int64_t have = 0; have < prefill; have += 1000) {
     for (auto& r : fill) r.offset = -1;
-    (*log)->Append(&fill);
+    LIQUID_CHECK_OK((*log)->Append(&fill));
   }
   auto batch = MakeBatch(100, &rng);
   for (auto _ : state) {
@@ -66,7 +66,7 @@ void BM_TailReadAtLogSize(benchmark::State& state) {
   auto fill = MakeBatch(1000, &rng);
   for (int64_t have = 0; have < prefill; have += 1000) {
     for (auto& r : fill) r.offset = -1;
-    (*log)->Append(&fill);
+    LIQUID_CHECK_OK((*log)->Append(&fill));
   }
   const int64_t end = (*log)->end_offset();
   std::vector<Record> out;
@@ -96,7 +96,7 @@ void BM_RandomReadIndexAblation(benchmark::State& state) {
   auto fill = MakeBatch(1000, &rng);
   for (int64_t have = 0; have < 200'000; have += 1000) {
     for (auto& r : fill) r.offset = -1;
-    (*log)->Append(&fill);
+    LIQUID_CHECK_OK((*log)->Append(&fill));
   }
   const int64_t end = (*log)->end_offset();
   std::vector<Record> out;

@@ -30,7 +30,7 @@ void Run() {
     ClusterConfig config;
     config.num_brokers = 5;
     Cluster cluster(config, &clock);
-    cluster.Start();
+    LIQUID_CHECK_OK(cluster.Start());
 
     TopicConfig topic_config;
     topic_config.partitions = 4;
@@ -38,7 +38,7 @@ void Run() {
 
     Stopwatch create_timer;
     for (int i = 0; i < topics; ++i) {
-      cluster.CreateTopic("topic" + std::to_string(i), topic_config);
+      LIQUID_CHECK_OK(cluster.CreateTopic("topic" + std::to_string(i), topic_config));
     }
     const int64_t create_us = create_timer.ElapsedUs() / topics;
 
@@ -46,8 +46,8 @@ void Run() {
     Stopwatch lookup_timer;
     constexpr int kLookups = 2000;
     for (int i = 0; i < kLookups; ++i) {
-      cluster.LeaderFor(
-          TopicPartition{"topic" + std::to_string(i % topics), i % 4});
+      LIQUID_CHECK_OK(cluster.LeaderFor(
+          TopicPartition{"topic" + std::to_string(i % topics), i % 4}));
     }
     const double lookup_us =
         static_cast<double>(lookup_timer.ElapsedUs()) / kLookups;
@@ -57,10 +57,10 @@ void Run() {
     Stopwatch produce_timer;
     constexpr int kProduces = 2000;
     for (int i = 0; i < kProduces; ++i) {
-      producer.Send("topic" + std::to_string(i % topics),
-                    storage::Record::KeyValue("k" + std::to_string(i), "v"));
+      LIQUID_CHECK_OK(producer.Send("topic" + std::to_string(i % topics),
+                    storage::Record::KeyValue("k" + std::to_string(i), "v")));
     }
-    producer.Flush();
+    LIQUID_CHECK_OK(producer.Flush());
     const double produce_us =
         static_cast<double>(produce_timer.ElapsedUs()) / kProduces;
 

@@ -36,27 +36,28 @@ int64_t RunLiquidPipeline(int stages) {
   FeedOptions feed;
   feed.partitions = 1;
   for (int i = 0; i <= stages; ++i) {
-    (*liquid)->CreateSourceFeed("s" + std::to_string(i), feed);
+    LIQUID_CHECK_OK((*liquid)->CreateSourceFeed("s" + std::to_string(i), feed));
   }
   processing::Pipeline pipeline((*liquid)->cluster(), (*liquid)->offsets(),
                                 (*liquid)->groups(), (*liquid)->state_disk());
   for (int i = 0; i < stages; ++i) {
-    pipeline.AddMapStage("hop" + std::to_string(i), "s" + std::to_string(i),
-                         "s" + std::to_string(i + 1),
-                         [](const messaging::ConsumerRecord& envelope) {
-                           storage::Record out = envelope.record;
-                           out.value += "x";  // The "ETL" transformation.
-                           return std::optional<storage::Record>(std::move(out));
-                         });
+    LIQUID_CHECK_OK(pipeline.AddMapStage(
+        "hop" + std::to_string(i), "s" + std::to_string(i),
+        "s" + std::to_string(i + 1),
+        [](const messaging::ConsumerRecord& envelope) {
+          storage::Record out = envelope.record;
+          out.value += "x";  // The "ETL" transformation.
+          return std::optional<storage::Record>(std::move(out));
+        }));
   }
 
   auto producer = (*liquid)->NewProducer();
   Stopwatch timer;
   for (int i = 0; i < kRecords; ++i) {
-    producer->Send("s0", storage::Record::KeyValue("k" + std::to_string(i), "v"));
+    LIQUID_CHECK_OK(producer->Send("s0", storage::Record::KeyValue("k" + std::to_string(i), "v")));
   }
-  producer->Flush();
-  pipeline.RunUntilAllIdle();
+  LIQUID_CHECK_OK(producer->Flush());
+  LIQUID_CHECK_OK(pipeline.RunUntilAllIdle());
   return timer.ElapsedUs();
 }
 
@@ -74,7 +75,7 @@ int64_t RunMrPipeline(int stages) {
   for (int i = 0; i < kRecords; ++i) {
     input.push_back({"k" + std::to_string(i), "v"});
   }
-  fs.WriteFile("/in/part0", mapreduce::MapReduceEngine::EncodeRecords(input));
+  LIQUID_CHECK_OK(fs.WriteFile("/in/part0", mapreduce::MapReduceEngine::EncodeRecords(input)));
 
   std::vector<mapreduce::MapFn> chain;
   for (int i = 0; i < stages; ++i) {
@@ -86,7 +87,7 @@ int64_t RunMrPipeline(int stages) {
   config.name = "etl";
   config.startup_overhead_ms = kMrStartupMs;
   Stopwatch timer;
-  engine.RunChain(config, "/in", "/out", chain);
+  LIQUID_CHECK_OK(engine.RunChain(config, "/in", "/out", chain));
   return timer.ElapsedUs();
 }
 
@@ -116,39 +117,39 @@ void RunDecouplingAblation() {
   auto liquid = Liquid::Start(options);
   FeedOptions feed;
   feed.partitions = 1;
-  (*liquid)->CreateSourceFeed("in", feed);
-  (*liquid)->CreateSourceFeed("mid", feed);
-  (*liquid)->CreateSourceFeed("out", feed);
+  LIQUID_CHECK_OK((*liquid)->CreateSourceFeed("in", feed));
+  LIQUID_CHECK_OK((*liquid)->CreateSourceFeed("mid", feed));
+  LIQUID_CHECK_OK((*liquid)->CreateSourceFeed("out", feed));
 
   processing::Pipeline pipeline((*liquid)->cluster(), (*liquid)->offsets(),
                                 (*liquid)->groups(), (*liquid)->state_disk());
-  pipeline.AddMapStage("fast", "in", "mid",
-                       [](const messaging::ConsumerRecord& e) {
-                         return std::optional<storage::Record>(e.record);
-                       });
-  pipeline.AddMapStage("slow", "mid", "out",
-                       [](const messaging::ConsumerRecord& e) {
-                         storage::SpinFor(50 * 1000);  // 50us per record.
-                         return std::optional<storage::Record>(e.record);
-                       });
+  LIQUID_CHECK_OK(pipeline.AddMapStage(
+      "fast", "in", "mid", [](const messaging::ConsumerRecord& e) {
+        return std::optional<storage::Record>(e.record);
+      }));
+  LIQUID_CHECK_OK(pipeline.AddMapStage(
+      "slow", "mid", "out", [](const messaging::ConsumerRecord& e) {
+        storage::SpinFor(50 * 1000);  // 50us per record.
+        return std::optional<storage::Record>(e.record);
+      }));
 
   auto producer = (*liquid)->NewProducer();
   for (int i = 0; i < 2000; ++i) {
-    producer->Send("in", storage::Record::KeyValue("k", "v"));
+    LIQUID_CHECK_OK(producer->Send("in", storage::Record::KeyValue("k", "v")));
   }
-  producer->Flush();
+  LIQUID_CHECK_OK(producer->Flush());
 
   // Upstream completes at full speed regardless of the slow downstream.
   Stopwatch fast_timer;
   while (*pipeline.stage(0)->RunOnce() > 0) {
   }
-  pipeline.stage(0)->Commit();
+  LIQUID_CHECK_OK(pipeline.stage(0)->Commit());
   const int64_t fast_us = fast_timer.ElapsedUs();
 
   Stopwatch slow_timer;
   while (*pipeline.stage(1)->RunOnce() > 0) {
   }
-  pipeline.stage(1)->Commit();
+  LIQUID_CHECK_OK(pipeline.stage(1)->Commit());
   const int64_t slow_us = slow_timer.ElapsedUs();
 
   Table table({"stage", "records", "wall_us", "blocked_by_downstream"});

@@ -36,7 +36,7 @@ int64_t RunNearline(SimulatedClock* clock) {
   auto liquid = Liquid::Start(options);
   FeedOptions feed;
   feed.partitions = 1;
-  (*liquid)->CreateSourceFeed("rum", feed);
+  LIQUID_CHECK_OK((*liquid)->CreateSourceFeed("rum", feed));
 
   workload::RumEventGenerator::Options gen;
   gen.anomaly_start_event = 500;
@@ -66,9 +66,9 @@ int64_t RunNearline(SimulatedClock* clock) {
       }
       sum += load;
       ++count;
-      store->Put(cdn, workload::EncodeEvent(
+      LIQUID_CHECK_OK(store->Put(cdn, workload::EncodeEvent(
                           {{"sum", std::to_string(sum)},
-                           {"count", std::to_string(count)}}));
+                           {"count", std::to_string(count)}})));
       if (count >= 20 && sum / count > kAnomalyThresholdMs &&
           detected_at_ms < 0) {
         detected_at_ms = envelope.record.timestamp_ms;
@@ -100,11 +100,11 @@ int64_t RunNearline(SimulatedClock* clock) {
       clock->AdvanceMs(1);
       auto record = generator.Next(clock->NowMs());
       if (events == 500) anomaly_start_ms = clock->NowMs();
-      producer->Send("rum", std::move(record));
+      LIQUID_CHECK_OK(producer->Send("rum", std::move(record)));
       ++events;
     }
-    producer->Flush();
-    (*job)->RunOnce();
+    LIQUID_CHECK_OK(producer->Flush());
+    LIQUID_CHECK_OK((*job)->RunOnce());
   }
   if (detector_ptr == nullptr || detector_ptr->detected_at_ms < 0) return -1;
   return detector_ptr->detected_at_ms - anomaly_start_ms;
@@ -140,8 +140,8 @@ int64_t RunBatch(SimulatedClock* clock, int64_t interval_ms) {
       buffer.push_back({record.key, record.value});
       ++events;
     }
-    fs.WriteFile("/rum/in/dump" + std::to_string(dump++),
-                 mapreduce::MapReduceEngine::EncodeRecords(buffer));
+    LIQUID_CHECK_OK(fs.WriteFile("/rum/in/dump" + std::to_string(dump++),
+                 mapreduce::MapReduceEngine::EncodeRecords(buffer)));
     buffer.clear();
 
     // The periodic batch job runs over ALL accumulated data.

@@ -29,17 +29,17 @@ void Run() {
     auto liquid = Liquid::Start(options);
     FeedOptions feed;
     feed.partitions = 1;
-    (*liquid)->CreateSourceFeed("events", feed);
+    LIQUID_CHECK_OK((*liquid)->CreateSourceFeed("events", feed));
 
     const int keys = 1000;
     auto producer = (*liquid)->NewProducer();
     for (int round = 0; round < updates_per_key; ++round) {
       for (int k = 0; k < keys; ++k) {
-        producer->Send("events", storage::Record::KeyValue(
-                                     "user" + std::to_string(k), "e"));
+        LIQUID_CHECK_OK(producer->Send("events", storage::Record::KeyValue(
+                                     "user" + std::to_string(k), "e")));
       }
     }
-    producer->Flush();
+    LIQUID_CHECK_OK(producer->Flush());
 
     processing::JobConfig config;
     config.name = "counter";
@@ -50,8 +50,8 @@ void Run() {
       auto job = (*liquid)->SubmitJob(config, [] {
         return std::make_unique<processing::KeyedCounterTask>("counts");
       });
-      (*job)->RunUntilIdle();
-      (*liquid)->StopJob("counter");
+      LIQUID_CHECK_OK((*job)->RunUntilIdle());
+      LIQUID_CHECK_OK((*liquid)->StopJob("counter"));
     }
 
     const std::string changelog =
@@ -70,15 +70,15 @@ void Run() {
           &fresh_disk, config, [] {
             return std::make_unique<processing::KeyedCounterTask>("counts");
           });
-      (*job)->RunOnce();  // Triggers eager task creation + restore.
+      LIQUID_CHECK_OK((*job)->RunOnce());  // Triggers eager task creation + restore.
       const int64_t us = timer.ElapsedUs();
-      (*job)->Stop();
+      LIQUID_CHECK_OK((*job)->Stop());
       return us;
     };
 
     const int64_t restore_us = measure_restore();
     // Compact the changelog (broker-side maintenance, §4.1), then restore.
-    (*leader)->CompactPartition(changelog_tp);
+    LIQUID_CHECK_OK((*leader)->CompactPartition(changelog_tp));
     const int64_t compacted_us = measure_restore();
 
     table.AddRow({std::to_string(updates_per_key),

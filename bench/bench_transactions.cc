@@ -37,11 +37,11 @@ std::unique_ptr<Rig> BuildRig() {
   ClusterConfig config;
   config.num_brokers = 3;
   rig->cluster = std::make_unique<Cluster>(config, &rig->clock);
-  rig->cluster->Start();
+  LIQUID_CHECK_OK(rig->cluster->Start());
   TopicConfig topic;
   topic.partitions = 2;
   topic.replication_factor = 2;
-  rig->cluster->CreateTopic("t", topic);
+  LIQUID_CHECK_OK(rig->cluster->CreateTopic("t", topic));
   rig->offsets =
       std::move(OffsetManager::Open(&rig->offsets_disk, "o/", &rig->clock))
           .value();
@@ -56,9 +56,9 @@ double PlainThroughput(Rig* rig) {
   Producer producer(rig->cluster.get(), config);
   Stopwatch timer;
   for (int i = 0; i < kRecords; ++i) {
-    producer.Send("t", storage::Record::KeyValue("k", std::string(100, 'v')));
+    LIQUID_CHECK_OK(producer.Send("t", storage::Record::KeyValue("k", std::string(100, 'v'))));
   }
-  producer.Flush();
+  LIQUID_CHECK_OK(producer.Flush());
   return kRecords * 1e6 / static_cast<double>(timer.ElapsedUs());
 }
 
@@ -67,19 +67,19 @@ double TransactionalThroughput(Rig* rig, int records_per_txn) {
   config.batch_max_records = 128;
   config.transactional_id = "bench-" + std::to_string(records_per_txn);
   Producer producer(rig->cluster.get(), config);
-  producer.InitTransactions(rig->txn.get());
+  LIQUID_CHECK_OK(producer.InitTransactions(rig->txn.get()));
   Stopwatch timer;
   int in_txn = 0;
-  producer.BeginTransaction();
+  LIQUID_CHECK_OK(producer.BeginTransaction());
   for (int i = 0; i < kRecords; ++i) {
-    producer.Send("t", storage::Record::KeyValue("k", std::string(100, 'v')));
+    LIQUID_CHECK_OK(producer.Send("t", storage::Record::KeyValue("k", std::string(100, 'v'))));
     if (++in_txn == records_per_txn) {
-      producer.CommitTransaction();
-      producer.BeginTransaction();
+      LIQUID_CHECK_OK(producer.CommitTransaction());
+      LIQUID_CHECK_OK(producer.BeginTransaction());
       in_txn = 0;
     }
   }
-  producer.CommitTransaction();
+  LIQUID_CHECK_OK(producer.CommitTransaction());
   return kRecords * 1e6 / static_cast<double>(timer.ElapsedUs());
 }
 

@@ -82,9 +82,9 @@ int main() {
 
   FeedOptions feed;
   feed.partitions = 2;
-  (*liquid)->CreateSourceFeed("rest-calls", feed);
-  (*liquid)->CreateDerivedFeed("call-graphs", feed, "assembler", "v1",
-                               {"rest-calls"});
+  LIQUID_CHECK_OK((*liquid)->CreateSourceFeed("rest-calls", feed));
+  LIQUID_CHECK_OK((*liquid)->CreateDerivedFeed("call-graphs", feed, "assembler", "v1",
+                               {"rest-calls"}));
 
   // Front-end traffic: 200 requests, service svc5 is pathologically slow.
   liquid::workload::CallGraphGenerator::Options gen;
@@ -98,10 +98,10 @@ int main() {
   for (int request = 0; request < 200; ++request) {
     for (auto& span : generator.NextRequest(1000 + request)) {
       ++spans_published;
-      producer->Send("rest-calls", std::move(span));
+      LIQUID_CHECK_OK(producer->Send("rest-calls", std::move(span)));
     }
   }
-  producer->Flush();
+  LIQUID_CHECK_OK(producer->Flush());
   std::printf("published %lld spans for 200 requests\n",
               static_cast<long long>(spans_published));
 
@@ -121,7 +121,7 @@ int main() {
 
   // Capacity-planning back-end reads assembled graphs.
   auto planner = (*liquid)->NewConsumer("capacity-planning", "planner-1");
-  planner->Subscribe({"call-graphs"});
+  LIQUID_CHECK_OK(planner->Subscribe({"call-graphs"}));
   std::map<std::string, std::string> graphs;
   while (true) {
     auto records = planner->Poll(1024);
@@ -138,11 +138,12 @@ int main() {
   for (int p = 0; p < 2; ++p) {
     auto* store = (*job)->GetStore(p, "service-latency");
     if (store == nullptr) continue;
-    store->ForEach([](const liquid::Slice& service, const liquid::Slice& count) {
-      std::printf("  %-8s %s\n", service.ToString().c_str(),
-                  count.ToString().c_str());
-    });
+    LIQUID_CHECK_OK(store->ForEach(
+        [](const liquid::Slice& service, const liquid::Slice& count) {
+          std::printf("  %-8s %s\n", service.ToString().c_str(),
+                      count.ToString().c_str());
+        }));
   }
-  (*liquid)->StopJob("assembler");
+  LIQUID_CHECK_OK((*liquid)->StopJob("assembler"));
   return graphs.size() == 200 ? 0 : 1;
 }

@@ -65,7 +65,7 @@ std::map<std::string, std::string> LatestCleaned(Liquid* liquid,
                                                  const std::string& group) {
   std::map<std::string, std::string> out;
   auto consumer = liquid->NewConsumer(group, group + "-m");
-  consumer->Subscribe({"cleaned-content"});
+  LIQUID_CHECK_OK(consumer->Subscribe({"cleaned-content"}));
   while (true) {
     auto records = consumer->Poll(512);
     if (!records.ok() || records->empty()) break;
@@ -90,18 +90,18 @@ int main() {
   // always see exactly one (latest) cleaned version per document.
   FeedOptions cleaned_feed = feed;
   cleaned_feed.log.compaction_enabled = true;
-  (*liquid)->CreateSourceFeed("user-content", feed);
-  (*liquid)->CreateDerivedFeed("cleaned-content", cleaned_feed, "cleaner", "v1",
-                               {"user-content"});
+  LIQUID_CHECK_OK((*liquid)->CreateSourceFeed("user-content", feed));
+  LIQUID_CHECK_OK((*liquid)->CreateDerivedFeed("cleaned-content", cleaned_feed, "cleaner", "v1",
+                               {"user-content"}));
 
   // Users generate content continuously.
   auto producer = (*liquid)->NewProducer();
   for (int i = 0; i < 500; ++i) {
-    producer->Send("user-content",
+    LIQUID_CHECK_OK(producer->Send("user-content",
                    Record::KeyValue("doc" + std::to_string(i),
-                                    "  Senior  C++   Engineer  "));
+                                    "  Senior  C++   Engineer  ")));
   }
-  producer->Flush();
+  LIQUID_CHECK_OK(producer->Flush());
 
   // --- Phase 1: nearline cleaning with algorithm v1. ---
   liquid::processing::JobConfig config;
@@ -109,27 +109,27 @@ int main() {
   config.inputs = {"user-content"};
   config.checkpoint_annotations = {{"version", "v1"}};
   auto v1 = (*liquid)->SubmitJob(config, CleanerFactory("v1"));
-  (*v1)->RunUntilIdle();
+  LIQUID_CHECK_OK((*v1)->RunUntilIdle());
   auto after_v1 = LatestCleaned(liquid->get(), "check-v1");
   std::printf("v1 cleaned %zu docs; doc0 = \"%s\"\n", after_v1.size(),
               after_v1["doc0"].c_str());
 
   // New content keeps flowing and is cleaned with low latency.
-  producer->Send("user-content", Record::KeyValue("doc500", "  NEW Post "));
-  producer->Flush();
-  (*v1)->RunUntilIdle();
+  LIQUID_CHECK_OK(producer->Send("user-content", Record::KeyValue("doc500", "  NEW Post ")));
+  LIQUID_CHECK_OK(producer->Flush());
+  LIQUID_CHECK_OK((*v1)->RunUntilIdle());
 
   // --- Phase 2: engineers ship algorithm v2 -> re-process history. ---
   // Mark the rewind point in the offset manager with annotations (§4.2),
   // stop v1, reset the job's checkpoint to offset 0, start the same job with
   // the v2 logic.
-  (*liquid)->StopJob("cleaner");
+  LIQUID_CHECK_OK((*liquid)->StopJob("cleaner"));
   const TopicPartition tp{"user-content", 0};
   liquid::messaging::OffsetCommit rewind;
   rewind.offset = 0;
   rewind.annotations = {{"version", "v2"}, {"reason", "algorithm upgrade"}};
-  (*liquid)->offsets()->CommitLabeled("job.cleaner", tp, "v2-start", rewind);
-  (*liquid)->offsets()->Commit("job.cleaner", tp, rewind);
+  LIQUID_CHECK_OK((*liquid)->offsets()->CommitLabeled("job.cleaner", tp, "v2-start", rewind));
+  LIQUID_CHECK_OK((*liquid)->offsets()->Commit("job.cleaner", tp, rewind));
 
   config.checkpoint_annotations = {{"version", "v2"}};
   auto v2 = (*liquid)->SubmitJob(config, CleanerFactory("v2"));
@@ -147,7 +147,7 @@ int main() {
               static_cast<long long>(marker->offset),
               marker->annotations.at("reason").c_str());
 
-  (*liquid)->StopJob("cleaner");
+  LIQUID_CHECK_OK((*liquid)->StopJob("cleaner"));
   const bool ok = after_v2["doc0"] == "v2:senior c++ engineer" &&
                   after_v2["doc500"] == "v2:new post";
   std::printf(ok ? "reprocessing example OK\n" : "FAILED\n");

@@ -41,15 +41,15 @@ std::map<std::string, int> RunScenario(Liquid* liquid,
                                        bool exactly_once) {
   FeedOptions feed;
   feed.partitions = 1;
-  liquid->CreateSourceFeed(input, feed);
-  liquid->CreateDerivedFeed(output, feed, "payments-etl", "v1", {input});
+  LIQUID_CHECK_OK(liquid->CreateSourceFeed(input, feed));
+  LIQUID_CHECK_OK(liquid->CreateDerivedFeed(output, feed, "payments-etl", "v1", {input}));
 
   auto producer = liquid->NewProducer();
   for (int i = 0; i < 8; ++i) {
-    producer->Send(input, Record::KeyValue("payment" + std::to_string(i),
-                                           "$" + std::to_string(100 + i)));
+    LIQUID_CHECK_OK(producer->Send(input, Record::KeyValue("payment" + std::to_string(i),
+                                           "$" + std::to_string(100 + i))));
   }
-  producer->Flush();
+  LIQUID_CHECK_OK(producer->Flush());
 
   liquid::processing::JobConfig config;
   config.name = "etl-" + output;
@@ -61,16 +61,16 @@ std::map<std::string, int> RunScenario(Liquid* liquid,
     auto job = liquid::processing::Job::Create(
         liquid->cluster(), liquid->offsets(), liquid->groups(),
         liquid->state_disk(), config, Enricher(output), "0", txn);
-    (*job)->RunOnce();  // Outputs produced (at-least-once flushes them now).
-    (*job)->Kill();     // SIGKILL: no checkpoint, open txn left dangling.
+    LIQUID_CHECK_OK((*job)->RunOnce());  // Outputs produced (at-least-once flushes them now).
+    LIQUID_CHECK_OK((*job)->Kill());     // SIGKILL: no checkpoint, open txn left dangling.
   }
   // Second incarnation: fences the zombie (exactly-once) and replays.
   {
     auto job = liquid::processing::Job::Create(
         liquid->cluster(), liquid->offsets(), liquid->groups(),
         liquid->state_disk(), config, Enricher(output), "0", txn);
-    (*job)->RunUntilIdle();
-    (*job)->Stop();
+    LIQUID_CHECK_OK((*job)->RunUntilIdle());
+    LIQUID_CHECK_OK((*job)->Stop());
   }
 
   // What does the downstream settlement system actually see?
@@ -82,7 +82,7 @@ std::map<std::string, int> RunScenario(Liquid* liquid,
   liquid::messaging::Consumer committed_reader(
       liquid->cluster(), liquid->offsets(), liquid->groups(), "s1",
       consumer_config);
-  committed_reader.Subscribe({output});
+  LIQUID_CHECK_OK(committed_reader.Subscribe({output}));
   std::map<std::string, int> seen;
   for (int i = 0; i < 20; ++i) {
     auto records = committed_reader.Poll(256);

@@ -30,10 +30,10 @@ int main() {
 
   FeedOptions feed;
   feed.partitions = 1;
-  (*liquid)->CreateSourceFeed("infra-metrics", feed);
-  (*liquid)->CreateSourceFeed("app-traffic", feed);  // Generates broker load.
-  (*liquid)->CreateDerivedFeed("metric-summaries", feed, "metric-agg", "v1",
-                               {"infra-metrics"});
+  LIQUID_CHECK_OK((*liquid)->CreateSourceFeed("infra-metrics", feed));
+  LIQUID_CHECK_OK((*liquid)->CreateSourceFeed("app-traffic", feed));  // Generates broker load.
+  LIQUID_CHECK_OK((*liquid)->CreateDerivedFeed("metric-summaries", feed, "metric-agg", "v1",
+                               {"infra-metrics"}));
 
   // Windowed aggregation job: tumbling 60s windows summing each metric.
   liquid::processing::JobConfig config;
@@ -53,9 +53,9 @@ int main() {
   // Simulate 5 "minutes" of operation: traffic + a metrics scrape per minute.
   for (int minute = 0; minute < 5; ++minute) {
     for (int i = 0; i < 200 * (minute + 1); ++i) {  // Rising load.
-      traffic_producer->Send("app-traffic", Record::KeyValue("k", "payload"));
+      LIQUID_CHECK_OK(traffic_producer->Send("app-traffic", Record::KeyValue("k", "payload")));
     }
-    traffic_producer->Flush();
+    LIQUID_CHECK_OK(traffic_producer->Flush());
     clock.AdvanceMs(60'000);
 
     // Scrape every broker's counters into the metrics feed (delta encoding
@@ -64,25 +64,25 @@ int main() {
       auto counters =
           (*liquid)->cluster()->broker(id)->metrics()->CounterValues();
       for (const auto& [name, value] : counters) {
-        metric_producer->Send(
+        LIQUID_CHECK_OK(metric_producer->Send(
             "infra-metrics",
-            Record::KeyValue(name, std::to_string(value), clock.NowMs()));
+            Record::KeyValue(name, std::to_string(value), clock.NowMs())));
       }
     }
-    metric_producer->Flush();
-    (*job)->RunOnce();
-    (*job)->Commit();
+    LIQUID_CHECK_OK(metric_producer->Flush());
+    LIQUID_CHECK_OK((*job)->RunOnce());
+    LIQUID_CHECK_OK((*job)->Commit());
   }
   // Close the final windows.
   clock.AdvanceMs(120'000);
-  metric_producer->Send("infra-metrics", Record::KeyValue("heartbeat", "0",
-                                                          clock.NowMs()));
-  metric_producer->Flush();
-  (*job)->RunUntilIdle();
+  LIQUID_CHECK_OK(metric_producer->Send("infra-metrics", Record::KeyValue("heartbeat", "0",
+                                                          clock.NowMs())));
+  LIQUID_CHECK_OK(metric_producer->Flush());
+  LIQUID_CHECK_OK((*job)->RunUntilIdle());
 
   // The dashboard consumes per-window summaries.
   auto dashboard = (*liquid)->NewConsumer("dashboard", "ui-1");
-  dashboard->Subscribe({"metric-summaries"});
+  LIQUID_CHECK_OK(dashboard->Subscribe({"metric-summaries"}));
   std::map<std::string, std::string> summaries;
   while (true) {
     auto records = dashboard->Poll(512);
@@ -100,7 +100,7 @@ int main() {
     std::printf("  %s = %s\n", window_key.c_str(), value.c_str());
     if (++shown == 5) break;
   }
-  (*liquid)->StopJob("metric-agg");
+  LIQUID_CHECK_OK((*liquid)->StopJob("metric-agg"));
   std::printf(summaries.empty() ? "FAILED\n" : "operational analytics OK\n");
   return summaries.empty() ? 1 : 0;
 }

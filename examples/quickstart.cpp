@@ -30,20 +30,20 @@ int main() {
   FeedOptions feed;
   feed.partitions = 2;
   feed.replication_factor = 2;
-  (*liquid)->CreateSourceFeed("page-views", feed);
-  (*liquid)->CreateDerivedFeed("page-views-clean", feed,
+  LIQUID_CHECK_OK((*liquid)->CreateSourceFeed("page-views", feed));
+  LIQUID_CHECK_OK((*liquid)->CreateDerivedFeed("page-views-clean", feed,
                                /*producer_job=*/"cleaner",
                                /*code_version=*/"v1",
-                               /*upstream_feeds=*/{"page-views"});
+                               /*upstream_feeds=*/{"page-views"}));
 
   // 3. Publish some raw events.
   auto producer = (*liquid)->NewProducer();
   for (int i = 0; i < 1000; ++i) {
-    producer->Send("page-views",
+    LIQUID_CHECK_OK(producer->Send("page-views",
                    Record::KeyValue("user" + std::to_string(i % 50),
-                                    "  /jobs?q=c%2B%2B  "));
+                                    "  /jobs?q=c%2B%2B  ")));
   }
-  producer->Flush();
+  LIQUID_CHECK_OK(producer->Flush());
   std::printf("published 1000 raw events to 'page-views'\n");
 
   // 4. Submit an ETL job (ETL-as-a-service): trim whitespace, drop empties.
@@ -71,14 +71,14 @@ int main() {
 
   // 5. A back-end system consumes the derived feed.
   auto consumer = (*liquid)->NewConsumer("search-indexer", "indexer-1");
-  consumer->Subscribe({"page-views-clean"});
+  LIQUID_CHECK_OK(consumer->Subscribe({"page-views-clean"}));
   int64_t consumed = 0;
   while (true) {
     auto records = consumer->Poll(256);
     if (!records.ok() || records->empty()) break;
     consumed += static_cast<int64_t>(records->size());
   }
-  consumer->Commit();
+  LIQUID_CHECK_OK(consumer->Commit());
   std::printf("back-end consumed %lld cleaned records\n",
               static_cast<long long>(consumed));
 
@@ -89,7 +89,7 @@ int main() {
               metadata->code_version.c_str(),
               metadata->upstream_feeds.front().c_str());
 
-  (*liquid)->StopJob("cleaner");
+  LIQUID_CHECK_OK((*liquid)->StopJob("cleaner"));
   std::printf("quickstart OK\n");
   return 0;
 }

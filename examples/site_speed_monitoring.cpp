@@ -64,9 +64,9 @@ int main() {
 
   FeedOptions feed;
   feed.partitions = 1;
-  (*liquid)->CreateSourceFeed("rum-events", feed);
-  (*liquid)->CreateDerivedFeed("cdn-latency", feed, "cdn-monitor", "v1",
-                               {"rum-events"});
+  LIQUID_CHECK_OK((*liquid)->CreateSourceFeed("rum-events", feed));
+  LIQUID_CHECK_OK((*liquid)->CreateDerivedFeed("cdn-latency", feed, "cdn-monitor", "v1",
+                               {"rum-events"}));
 
   // RUM traffic: cdn3 degrades badly from event 2000 on.
   liquid::workload::RumEventGenerator::Options gen;
@@ -88,17 +88,17 @@ int main() {
 
   // Ops back-end: watches the derived feed and alerts on threshold crossing.
   auto ops = (*liquid)->NewConsumer("ops-alerting", "ops-1");
-  ops->Subscribe({"cdn-latency"});
+  LIQUID_CHECK_OK(ops->Subscribe({"cdn-latency"}));
   std::map<std::string, int64_t> latest_avg;
   bool alerted = false;
 
   auto producer = (*liquid)->NewProducer();
   for (int batch = 0; batch < 40; ++batch) {
     for (int i = 0; i < 100; ++i) {
-      producer->Send("rum-events", generator.Next(batch * 100 + i));
+      LIQUID_CHECK_OK(producer->Send("rum-events", generator.Next(batch * 100 + i)));
     }
-    producer->Flush();
-    (*job)->RunOnce();
+    LIQUID_CHECK_OK(producer->Flush());
+    LIQUID_CHECK_OK((*job)->RunOnce());
 
     auto updates = ops->Poll(1024);
     for (const auto& envelope : *updates) {
@@ -120,6 +120,6 @@ int main() {
     std::printf("  %-6s %6lld ms%s\n", cdn.c_str(), static_cast<long long>(avg),
                 avg > 2000 ? "  <-- degraded" : "");
   }
-  (*liquid)->StopJob("cdn-monitor");
+  LIQUID_CHECK_OK((*liquid)->StopJob("cdn-monitor"));
   return alerted ? 0 : 1;
 }

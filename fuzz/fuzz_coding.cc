@@ -1,0 +1,59 @@
+/// Fuzz target: varint / fixed-width / length-prefixed codecs
+/// (common/coding.cc) — the primitives every other decode surface is built
+/// on. Decoders must reject truncated and overflowing input with a Status,
+/// and every accepted value must round-trip canonically.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "common/nodiscard.h"
+#include "common/slice.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const liquid::Slice input(reinterpret_cast<const char*>(data), size);
+
+  {
+    liquid::Slice cursor = input;
+    uint64_t v = 0;
+    if (liquid::GetVarint64(&cursor, &v).ok()) {
+      std::string encoded;
+      liquid::PutVarint64(&encoded, v);
+      liquid::Slice again(encoded);
+      uint64_t v2 = 0;
+      if (!liquid::GetVarint64(&again, &v2).ok() || v2 != v ||
+          !again.empty() ||
+          static_cast<size_t>(liquid::VarintLength(v)) != encoded.size()) {
+        __builtin_trap();
+      }
+    }
+  }
+  {
+    liquid::Slice cursor = input;
+    uint32_t v = 0;
+    if (liquid::GetVarint32(&cursor, &v).ok()) {
+      std::string encoded;
+      liquid::PutVarint32(&encoded, v);
+      liquid::Slice again(encoded);
+      uint32_t v2 = 0;
+      if (!liquid::GetVarint32(&again, &v2).ok() || v2 != v) __builtin_trap();
+    }
+  }
+  {
+    // Chained length-prefixed slices: must consume forward or stop, never
+    // loop or overrun.
+    liquid::Slice cursor = input;
+    liquid::Slice piece;
+    while (liquid::GetLengthPrefixed(&cursor, &piece).ok()) {
+    }
+  }
+  {
+    liquid::Slice cursor = input;
+    uint32_t f32 = 0;
+    uint64_t f64 = 0;
+    LIQUID_IGNORE_ERROR(liquid::GetFixed32(&cursor, &f32));
+    LIQUID_IGNORE_ERROR(liquid::GetFixed64(&cursor, &f64));
+  }
+  return 0;
+}

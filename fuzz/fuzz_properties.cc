@@ -1,0 +1,21 @@
+/// Fuzz target: Properties config parser (common/properties.cc).
+///
+/// Config files are operator-supplied text; the parser must reject malformed
+/// lines with a Status and accept the rest. A bag that parsed must survive a
+/// Serialize -> Parse round trip unchanged.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/properties.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto parsed = liquid::Properties::Parse(text);
+  if (!parsed.ok()) return 0;
+
+  auto again = liquid::Properties::Parse(parsed->Serialize());
+  if (!again.ok() || again->values() != parsed->values()) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,110 @@
+/// Deterministic driver for the fuzz targets on toolchains without libFuzzer
+/// (GCC-only boxes). Links against the same LLVMFuzzerTestOneInput entry
+/// point the libFuzzer build uses.
+///
+/// Usage: <fuzzer> [-runs=N] <corpus file or dir>...
+///
+/// Every corpus input is replayed once; then N additional runs execute
+/// deterministic mutations (bit flips, byte sets, truncations, extensions) of
+/// the seeds using a fixed-seed xorshift PRNG, so a given binary + corpus
+/// always exercises the same inputs — suitable for a CI smoke gate.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+uint64_t XorShift(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void RunOne(const std::vector<uint8_t>& bytes) {
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long runs = 0;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "-runs=", 6) == 0) {
+      runs = std::strtol(argv[i] + 6, nullptr, 10);
+    } else if (argv[i][0] == '-') {
+      // Ignore unknown libFuzzer-style flags so invocations written for the
+      // clang build still work here.
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+
+  std::vector<std::vector<uint8_t>> seeds;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::string> files;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+      std::sort(files.begin(), files.end());  // Directory order is not stable.
+      for (const auto& file : files) seeds.push_back(ReadFile(file));
+    } else {
+      seeds.push_back(ReadFile(path));
+    }
+  }
+
+  for (const auto& seed : seeds) RunOne(seed);
+  std::fprintf(stderr, "replayed %zu corpus inputs\n", seeds.size());
+
+  if (runs > 0 && !seeds.empty()) {
+    uint64_t state = 0x9e3779b97f4a7c15ull;
+    for (long i = 0; i < runs; ++i) {
+      std::vector<uint8_t> input = seeds[static_cast<size_t>(i) % seeds.size()];
+      switch (XorShift(&state) % 4) {
+        case 0:  // Flip one bit.
+          if (!input.empty()) {
+            input[XorShift(&state) % input.size()] ^=
+                static_cast<uint8_t>(1u << (XorShift(&state) % 8));
+          }
+          break;
+        case 1:  // Overwrite one byte.
+          if (!input.empty()) {
+            input[XorShift(&state) % input.size()] =
+                static_cast<uint8_t>(XorShift(&state));
+          }
+          break;
+        case 2:  // Truncate.
+          if (!input.empty()) input.resize(XorShift(&state) % input.size());
+          break;
+        case 3:  // Extend with pseudo-random bytes.
+          for (uint64_t n = XorShift(&state) % 16; n > 0; --n) {
+            input.push_back(static_cast<uint8_t>(XorShift(&state)));
+          }
+          break;
+      }
+      RunOne(input);
+    }
+    std::fprintf(stderr, "executed %ld deterministic mutation runs\n", runs);
+  }
+  return 0;
+}

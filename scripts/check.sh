@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Pre-merge concurrency gate (see ROADMAP.md "Open items").
+# Pre-merge correctness gate (see ROADMAP.md "Open items").
 #
 # Runs, in order:
 #   1. Clang thread-safety annotation build (-Wthread-safety as errors).
 #   2. clang-tidy over src/ with the checks pinned in .clang-tidy.
 #   3. ThreadSanitizer build + the full ctest suite.
+#   4. AddressSanitizer build + the full ctest suite.
+#   5. UndefinedBehaviorSanitizer build + the full ctest suite.
+#   6. Deterministic fuzz smoke: every fuzz/ harness replays its checked-in
+#      corpus, then runs a bounded batch of deterministic mutations.
 #
-# Any thread-safety warning, clang-tidy error, or TSan report fails the
-# script (non-zero exit). Steps that need Clang tooling are skipped with a
-# notice when the tools are not installed — the TSan step works with GCC and
-# always runs.
+# Any thread-safety warning, clang-tidy error, sanitizer report, or fuzzer
+# crash fails the script (non-zero exit). Steps that need Clang tooling are
+# skipped with a notice when the tools are not installed — the sanitizer and
+# fuzz-smoke steps work with GCC and always run.
 set -u -o pipefail
 
 cd "$(dirname "$0")/.."
@@ -64,6 +68,55 @@ if cmake -B build-tsan -S . -DLIQUID_SANITIZE=thread >/dev/null \
 else
   fail "ThreadSanitizer build/test reported failures"
 fi
+
+# ---- 4. AddressSanitizer build + full test suite ---------------------------
+note "AddressSanitizer build + ctest"
+# Fail loudly on any leak or heap error; abort so ctest sees a bad exit.
+export ASAN_OPTIONS="halt_on_error=1 abort_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
+if cmake -B build-asan -S . -DLIQUID_SANITIZE=address >/dev/null \
+   && cmake --build build-asan -j "${JOBS}" \
+   && ctest --test-dir build-asan --output-on-failure -j "${JOBS}"; then
+  echo "OK: ASan suite clean"
+else
+  fail "AddressSanitizer build/test reported failures"
+fi
+
+# ---- 5. UndefinedBehaviorSanitizer build + full test suite -----------------
+note "UndefinedBehaviorSanitizer build + ctest"
+# Default UBSan only logs; halt_on_error turns any report into a test failure.
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+if cmake -B build-ubsan -S . -DLIQUID_SANITIZE=undefined >/dev/null \
+   && cmake --build build-ubsan -j "${JOBS}" \
+   && ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}"; then
+  echo "OK: UBSan suite clean"
+else
+  fail "UndefinedBehaviorSanitizer build/test reported failures"
+fi
+
+# ---- 6. Deterministic fuzz smoke -------------------------------------------
+# The fuzz targets build with the standalone driver by default (no libFuzzer
+# needed), so this leg runs under GCC too. The ASan build from leg 4 is
+# reused so any fuzz-triggered memory error is caught, not just crashes.
+# Runs are deterministic (fixed mutation seed) — a failure is reproducible.
+note "fuzz smoke (corpus replay + bounded deterministic mutations)"
+FUZZ_RUNS="${FUZZ_RUNS:-20000}"
+FUZZ_BUILD="build-asan/fuzz-build"
+fuzz_smoke_ok=1
+for target in fuzz_record_decode fuzz_coding fuzz_sstable fuzz_properties; do
+  corpus="fuzz/corpus/${target#fuzz_}"
+  if [ ! -x "${FUZZ_BUILD}/${target}" ]; then
+    fail "fuzz target ${target} missing (did leg 4's build fail?)"
+    fuzz_smoke_ok=0
+    continue
+  fi
+  if "${FUZZ_BUILD}/${target}" "-runs=${FUZZ_RUNS}" "${corpus}"; then
+    echo "OK: ${target}"
+  else
+    fail "${target} reported a crash or sanitizer error"
+    fuzz_smoke_ok=0
+  fi
+done
+[ "${fuzz_smoke_ok}" -eq 1 ] && echo "OK: fuzz smoke clean"
 
 # ----------------------------------------------------------------------------
 if [ "${FAILURES}" -ne 0 ]; then

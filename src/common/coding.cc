@@ -63,6 +63,11 @@ Status GetVarint64(Slice* input, uint64_t* value) {
   for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
     uint64_t byte = static_cast<unsigned char>(*p);
     ++p;
+    // The 10th byte (shift 63) contributes a single bit; any higher payload
+    // bit would be shifted out of the uint64 silently — reject it instead.
+    if (shift == 63 && (byte & 0x7e) != 0) {
+      return Status::Corruption("varint64 overflow");
+    }
     if (byte & 0x80) {
       result |= (byte & 0x7f) << shift;
     } else {

@@ -1,0 +1,51 @@
+#ifndef LIQUID_COMMON_NODISCARD_H_
+#define LIQUID_COMMON_NODISCARD_H_
+
+/// Error-path enforcement macros, the error-propagation counterpart to
+/// thread_annotations.h.
+///
+/// Liquid does not use exceptions: every fallible operation returns a
+/// liquid::Status or liquid::Result<T>. A silently dropped Status from a WAL
+/// append, a log-segment flush or an offset commit quietly voids the
+/// durability guarantees the system is built around, so discarding one is a
+/// build error, not a code-review nit.
+///
+/// Two layers enforce this:
+///   - `Status` and `Result<T>` are declared with LIQUID_NODISCARD at the
+///     class level, so ANY function returning them by value warns when the
+///     return value is ignored — including future functions nobody remembered
+///     to annotate.
+///   - Individual fallible APIs additionally carry LIQUID_NODISCARD for
+///     documentation value and for tooling (clang-tidy
+///     bugprone-unused-return-value / cert-err33-c) that keys off per-function
+///     attributes.
+///
+/// The warning is promoted to an error with -Werror=unused-result (see the
+/// top-level CMakeLists.txt), under both GCC and Clang.
+///
+/// The rare call site that genuinely may drop an error must say so:
+///
+///   LIQUID_IGNORE_ERROR(file->Truncate(0));  // best-effort cleanup
+///
+/// which keeps the discard grep-able and forces a comment-sized justification
+/// to survive review.
+
+#if defined(__has_cpp_attribute)
+#if __has_cpp_attribute(nodiscard)
+#define LIQUID_NODISCARD [[nodiscard]]
+#endif
+#endif
+#ifndef LIQUID_NODISCARD
+#define LIQUID_NODISCARD
+#endif
+
+/// Explicitly discards a Status/Result, documenting that the error is
+/// intentionally ignored. Prefer propagating; use this only where failure is
+/// acceptable by design (best-effort cleanup, metrics, shutdown paths) and
+/// say why in a trailing comment.
+#define LIQUID_IGNORE_ERROR(expr) \
+  do {                            \
+    (void)(expr);                 \
+  } while (0)
+
+#endif  // LIQUID_COMMON_NODISCARD_H_

@@ -1,8 +1,64 @@
 #include "common/properties.h"
 
 #include <cstdlib>
+#include <string_view>
 
 namespace liquid {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<Properties> Properties::Parse(const std::string& text) {
+  Properties props;
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const size_t end = eol == std::string::npos ? text.size() : eol;
+    ++line_no;
+    const std::string_view line = Trim(std::string_view(text).substr(pos, end - pos));
+    pos = end + 1;
+    if (eol == std::string::npos && line.empty()) break;
+    if (line.empty() || line.front() == '#' || line.front() == '!') continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::Corruption("properties line " + std::to_string(line_no) +
+                                ": missing '='");
+    }
+    const std::string_view key = Trim(line.substr(0, eq));
+    if (key.empty()) {
+      return Status::Corruption("properties line " + std::to_string(line_no) +
+                                ": empty key");
+    }
+    props.Set(std::string(key), std::string(Trim(line.substr(eq + 1))));
+    if (eol == std::string::npos) break;
+  }
+  return props;
+}
+
+std::string Properties::Serialize() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    out.append(key);
+    out.push_back('=');
+    out.append(value);
+    out.push_back('\n');
+  }
+  return out;
+}
 
 std::string Properties::Get(const std::string& key,
                             const std::string& fallback) const {

@@ -5,6 +5,9 @@
 #include <map>
 #include <string>
 
+#include "common/result.h"
+#include "common/status.h"
+
 namespace liquid {
 
 /// String-keyed configuration bag with typed accessors, in the style of the
@@ -27,6 +30,16 @@ class Properties {
   }
 
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Parses `key=value` lines (java.util.Properties subset): surrounding
+  /// whitespace is trimmed, blank lines and lines starting with '#' or '!'
+  /// are skipped. A line without '=' or with an empty key is Corruption —
+  /// config files come from operators, and a silently dropped line is a
+  /// misconfigured broker.
+  static Result<Properties> Parse(const std::string& text);
+
+  /// Inverse of Parse: one sorted "key=value" line per entry.
+  std::string Serialize() const;
 
   std::string Get(const std::string& key, const std::string& fallback = "") const;
   int64_t GetInt(const std::string& key, int64_t fallback) const;

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/nodiscard.h"
 #include "common/status.h"
 
 namespace liquid {
@@ -13,8 +14,11 @@ namespace liquid {
 ///
 /// A Result<T> holds either a T (status is OK) or a non-OK Status. Callers
 /// must check ok() before dereferencing.
+///
+/// Like Status, the class is [[nodiscard]]: dropping a returned Result<T> on
+/// the floor is a compile error under -Werror=unused-result.
 template <typename T>
-class Result {
+class LIQUID_NODISCARD Result {
  public:
   /// Implicit from value: enables `return value;` in functions returning Result.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -1,6 +1,21 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace liquid {
+
+namespace internal {
+
+void DieBecauseCheckOkFailed(const char* expr, const char* file, int line,
+                             const Status& status) {
+  std::fprintf(stderr, "%s:%d: LIQUID_CHECK_OK failed: %s: %s\n", file, line,
+               expr, status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 std::string_view StatusCodeToString(StatusCode code) {
   switch (code) {

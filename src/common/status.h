@@ -5,6 +5,8 @@
 #include <string_view>
 #include <utility>
 
+#include "common/nodiscard.h"
+
 namespace liquid {
 
 /// Canonical error codes used across every Liquid module.
@@ -34,7 +36,11 @@ std::string_view StatusCodeToString(StatusCode code);
 /// Liquid does not use exceptions (per the project style rules); every fallible
 /// operation returns a Status or a Result<T>. The OK status carries no
 /// allocation; error statuses carry a code and a message.
-class Status {
+///
+/// The class is [[nodiscard]]: ignoring the return value of any function that
+/// returns a Status by value is a compile error (-Werror=unused-result). Use
+/// LIQUID_IGNORE_ERROR (common/nodiscard.h) for the rare deliberate discard.
+class LIQUID_NODISCARD Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -127,6 +133,34 @@ class Status {
   do {                                             \
     ::liquid::Status _st = (expr);                 \
     if (!_st.ok()) return _st;                     \
+  } while (0)
+
+namespace internal {
+
+/// Prints "<file>:<line>: CHECK_OK failed: <expr>: <status>" and aborts.
+[[noreturn]] void DieBecauseCheckOkFailed(const char* expr, const char* file,
+                                          int line, const Status& status);
+
+inline const Status& ToStatus(const Status& status) { return status; }
+
+/// Matches Result<T> (anything exposing status()) without needing result.h.
+template <typename R>
+auto ToStatus(const R& result) -> decltype(result.status()) {
+  return result.status();
+}
+
+}  // namespace internal
+
+/// Aborts the process when a Status or Result<T> expression is not OK.
+/// For main()-adjacent code (benchmarks, examples, fuzz drivers) where
+/// failure means the run is meaningless; library code must propagate instead.
+#define LIQUID_CHECK_OK(expr)                                                \
+  do {                                                                       \
+    auto&& _liquid_ck = (expr);                                              \
+    if (!_liquid_ck.ok()) {                                                  \
+      ::liquid::internal::DieBecauseCheckOkFailed(                           \
+          #expr, __FILE__, __LINE__, ::liquid::internal::ToStatus(_liquid_ck)); \
+    }                                                                        \
   } while (0)
 
 }  // namespace liquid

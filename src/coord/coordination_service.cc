@@ -53,7 +53,9 @@ void CoordinationService::CloseSession(int64_t session_id) {
                   return a.size() > b.size();
                 });
       for (const auto& path : paths) {
-        DeleteLocked(path, -1, &fired);
+        // Session teardown is best-effort: a node may already have been
+        // deleted by its owner or a concurrent session close.
+        LIQUID_IGNORE_ERROR(DeleteLocked(path, -1, &fired));
       }
       session_nodes_.erase(it);
     }

@@ -31,8 +31,9 @@ bool LeaderElection::TryAcquire() {
     {
       MutexLock lock(&mu_);
       if (!contending_) {
-        // Resigned while acquiring: give the node back.
-        coord_->Delete(path_);
+        // Resigned while acquiring: give the node back. Best-effort — if the
+        // delete fails the ephemeral node dies with the session anyway.
+        LIQUID_IGNORE_ERROR(coord_->Delete(path_));
         return false;
       }
       is_leader_ = true;
@@ -86,7 +87,9 @@ void LeaderElection::Resign() {
     contending_ = false;
     on_elected_ = nullptr;
   }
-  if (was_leader) coord_->Delete(path_);
+  // Best-effort: the node may already be gone (session expiry races resign),
+  // and an ephemeral node is reclaimed with the session either way.
+  if (was_leader) LIQUID_IGNORE_ERROR(coord_->Delete(path_));
 }
 
 bool LeaderElection::IsLeader() const {

@@ -159,7 +159,7 @@ Result<ArchitectureReport> ArchitectureComparison::RunLambda(
     truth["k" + std::to_string(i)] = ExpectedCountV2(raw);
   }
   report.correct_keys = CountCorrect(served, truth);
-  liquid_->StopJob("lambda-speed");
+  LIQUID_RETURN_NOT_OK(liquid_->StopJob("lambda-speed"));
   return report;
 }
 
@@ -210,8 +210,8 @@ Result<ArchitectureReport> ArchitectureComparison::RunKappa() {
     truth["k" + std::to_string(i)] = ExpectedCountV2(raw);
   }
   report.correct_keys = CountCorrect(served, truth);
-  liquid_->StopJob("kappa-v1");
-  liquid_->StopJob("kappa-v2");
+  LIQUID_RETURN_NOT_OK(liquid_->StopJob("kappa-v1"));
+  LIQUID_RETURN_NOT_OK(liquid_->StopJob("kappa-v2"));
   return report;
 }
 
@@ -267,7 +267,7 @@ Result<ArchitectureReport> ArchitectureComparison::RunLiquid() {
     truth["k" + std::to_string(i)] = ExpectedCountV2(raw);
   }
   report.correct_keys = CountCorrect(served, truth);
-  liquid_->StopJob("liquid-counts");
+  LIQUID_RETURN_NOT_OK(liquid_->StopJob("liquid-counts"));
   return report;
 }
 

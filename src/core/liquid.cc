@@ -70,14 +70,20 @@ Status Liquid::Init() {
   state_disk_ = std::make_unique<storage::MemDisk>();
 
   feed_session_ = cluster_->coord()->CreateSession();
-  cluster_->coord()->Create(feed_session_, kFeedsRoot, "",
-                            coord::NodeKind::kPersistent);
+  // Idempotent bootstrap: the root may survive from a previous incarnation.
+  auto feeds_root = cluster_->coord()->Create(feed_session_, kFeedsRoot, "",
+                                              coord::NodeKind::kPersistent);
+  if (!feeds_root.ok() && !feeds_root.status().IsAlreadyExists()) {
+    return feeds_root.status();
+  }
   return Status::OK();
 }
 
 Liquid::~Liquid() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, job] : jobs_) job->Stop();
+  // Destructors cannot propagate the jobs' final-commit Status; callers who
+  // need commit guarantees must StopJob() explicitly before teardown.
+  for (auto& [name, job] : jobs_) LIQUID_IGNORE_ERROR(job->Stop());
   jobs_.clear();
 }
 

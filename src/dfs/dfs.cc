@@ -94,7 +94,11 @@ Status DistributedFileSystem::DeleteFile(const std::string& path) {
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   for (const BlockLocation& location : it->second.blocks) {
     for (int node_id : location.datanodes) {
-      datanodes_[node_id].disk->Remove(BlockFileName(location.block_id));
+      // Best-effort replica GC: the namespace entry below is the source of
+      // truth; a replica missing on one datanode (already re-replicated or
+      // lost) must not block deleting the file.
+      LIQUID_IGNORE_ERROR(
+          datanodes_[node_id].disk->Remove(BlockFileName(location.block_id)));
     }
   }
   files_.erase(it);

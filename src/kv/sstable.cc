@@ -26,7 +26,11 @@ Status DecodeEntry(Slice* input, Entry* entry) {
   uint64_t sequence = 0;
   LIQUID_RETURN_NOT_OK(GetFixed64(input, &sequence));
   if (input->empty()) return Status::Corruption("entry type missing");
-  entry->type = static_cast<EntryType>((*input)[0]);
+  const uint8_t type_byte = static_cast<uint8_t>((*input)[0]);
+  if (type_byte > static_cast<uint8_t>(EntryType::kDelete)) {
+    return Status::Corruption("invalid entry type byte");
+  }
+  entry->type = static_cast<EntryType>(type_byte);
   input->RemovePrefix(1);
   entry->key = key.ToString();
   entry->value = value.ToString();

@@ -43,27 +43,38 @@ Status WriteAheadLog::Replay(const std::function<void(const Entry&)>& fn) const 
     const uint32_t length = DecodeFixed32(cursor.data() + 4);
     if (cursor.size() < 8 + static_cast<size_t>(length)) break;  // Torn tail.
     const Slice payload(cursor.data() + 8, length);
+    // A complete frame that fails its CRC is not a torn write — something
+    // altered bytes we already acknowledged. Surface it.
     if (crc32c::Unmask(masked_crc) !=
         crc32c::Value(payload.data(), payload.size())) {
-      break;  // Corrupt tail; everything before it was intact.
+      return Status::Corruption("wal frame crc mismatch: " + name_);
     }
     Slice body = payload;
     Entry entry;
     uint64_t sequence = 0;
-    if (!GetFixed64(&body, &sequence).ok() || body.empty()) break;
+    if (!GetFixed64(&body, &sequence).ok() || body.empty()) {
+      return Status::Corruption("wal frame body truncated: " + name_);
+    }
     entry.sequence = sequence;
-    entry.type = static_cast<EntryType>(body[0]);
+    // An out-of-range type byte is corruption the CRC did not catch (e.g. a
+    // bug writing the frame); never materialize an invalid enum value.
+    const uint8_t type_byte = static_cast<uint8_t>(body[0]);
+    if (type_byte > static_cast<uint8_t>(EntryType::kDelete)) {
+      return Status::Corruption("wal entry type invalid: " + name_);
+    }
+    entry.type = static_cast<EntryType>(type_byte);
     body.RemovePrefix(1);
     Slice key, value;
     if (!GetLengthPrefixed(&body, &key).ok() ||
         !GetLengthPrefixed(&body, &value).ok()) {
-      break;
+      return Status::Corruption("wal entry fields truncated: " + name_);
     }
     entry.key = key.ToString();
     entry.value = value.ToString();
     fn(entry);
     cursor.RemovePrefix(8 + length);
   }
+  // Whatever remains is a torn final frame — the expected crash artifact.
   return Status::OK();
 }
 

@@ -26,8 +26,12 @@ class WriteAheadLog {
   /// Appends one mutation record.
   Status Append(const Entry& entry);
 
-  /// Invokes `fn` for every intact record in order; stops cleanly at a
-  /// corrupt/truncated tail (crash artifact).
+  /// Invokes `fn` for every intact record in order. A truncated final frame
+  /// (torn write from a crash) ends the replay cleanly with OK — that is the
+  /// expected crash artifact. A *complete* frame that fails its CRC or does
+  /// not decode is real corruption: the intact prefix is still delivered,
+  /// then Corruption is returned so the caller never silently serves a store
+  /// missing acknowledged writes.
   Status Replay(const std::function<void(const Entry&)>& fn) const;
 
   /// Truncates the log to empty (after a successful memtable flush).

@@ -148,12 +148,22 @@ Status Broker::LoadHighWatermarkLocked(const TopicPartition& tp,
 
 void Broker::StoreHighWatermarkLocked(const TopicPartition& tp,
                                       Replica* replica) {
-  auto file = disk_->OpenOrCreate(HwCheckpointName(tp));
-  if (!file.ok()) return;
-  std::string bytes;
-  PutFixed64(&bytes, static_cast<uint64_t>(replica->high_watermark));
-  (*file)->Truncate(0);
-  (*file)->Append(bytes);
+  auto write = [&]() -> Status {
+    auto file = disk_->OpenOrCreate(HwCheckpointName(tp));
+    if (!file.ok()) return file.status();
+    std::string bytes;
+    PutFixed64(&bytes, static_cast<uint64_t>(replica->high_watermark));
+    LIQUID_RETURN_NOT_OK((*file)->Truncate(0));
+    return (*file)->Append(bytes);
+  };
+  // Checkpoint stores are write-behind recovery hints: a failed store never
+  // affects in-memory correctness, and every store rewrites the full value,
+  // so the next successful one self-heals. Worst case a restart recovers
+  // from an older HW and re-fetches. Hence: log, don't fail the caller.
+  if (const Status st = write(); !st.ok()) {
+    LIQUID_LOG_WARN << "broker " << id_ << ": hw checkpoint store failed for "
+                    << tp.ToString() << ": " << st.ToString();
+  }
 }
 
 Status Broker::LoadEpochCacheLocked(const TopicPartition& tp,
@@ -178,15 +188,23 @@ Status Broker::LoadEpochCacheLocked(const TopicPartition& tp,
 }
 
 void Broker::StoreEpochCacheLocked(const TopicPartition& tp, Replica* replica) {
-  auto file = disk_->OpenOrCreate(EpochCacheName(tp));
-  if (!file.ok()) return;
-  std::string bytes;
-  for (const auto& [epoch, start] : replica->epoch_cache) {
-    PutFixed32(&bytes, static_cast<uint32_t>(epoch));
-    PutFixed64(&bytes, static_cast<uint64_t>(start));
+  auto write = [&]() -> Status {
+    auto file = disk_->OpenOrCreate(EpochCacheName(tp));
+    if (!file.ok()) return file.status();
+    std::string bytes;
+    for (const auto& [epoch, start] : replica->epoch_cache) {
+      PutFixed32(&bytes, static_cast<uint32_t>(epoch));
+      PutFixed64(&bytes, static_cast<uint64_t>(start));
+    }
+    LIQUID_RETURN_NOT_OK((*file)->Truncate(0));
+    return (*file)->Append(bytes);
+  };
+  // Same write-behind contract as the HW checkpoint: full rewrite each time,
+  // so a failed store degrades recovery freshness only and is self-healing.
+  if (const Status st = write(); !st.ok()) {
+    LIQUID_LOG_WARN << "broker " << id_ << ": epoch cache store failed for "
+                    << tp.ToString() << ": " << st.ToString();
   }
-  (*file)->Truncate(0);
-  (*file)->Append(bytes);
 }
 
 void Broker::NoteEpochLocked(const TopicPartition& tp, Replica* replica,
@@ -360,13 +378,24 @@ Status Broker::StopReplica(const TopicPartition& tp, bool delete_data) {
   }
   replicas_.erase(it);
   if (delete_data) {
+    // Propagate the first cleanup failure so callers know on-disk data may
+    // be orphaned; the replica itself is already dropped either way.
+    Status cleanup = Status::OK();
     auto names = disk_->List(LogPrefix(tp));
     if (names.ok()) {
-      for (const auto& name : *names) disk_->Remove(name);
+      for (const auto& name : *names) {
+        if (Status st = disk_->Remove(name); !st.ok() && cleanup.ok()) {
+          cleanup = std::move(st);
+        }
+      }
     }
     if (disk_->Exists(HwCheckpointName(tp))) {
-      disk_->Remove(HwCheckpointName(tp));
+      if (Status st = disk_->Remove(HwCheckpointName(tp));
+          !st.ok() && cleanup.ok()) {
+        cleanup = std::move(st);
+      }
     }
+    return cleanup;
   }
   return Status::OK();
 }
@@ -395,7 +424,14 @@ void Broker::PublishIsrLocked(const TopicPartition& tp, Replica* replica) {
   auto state = PartitionState::Parse(*state_result);
   if (!state.ok()) return;
   state->isr = replica->isr;
-  cluster_->coord()->Set(paths::PartitionStatePath(tp), state->Serialize());
+  // The ISR in the coordination service is advisory (re-published on every
+  // change and re-derived by the controller on election); log and move on.
+  if (Status st =
+          cluster_->coord()->Set(paths::PartitionStatePath(tp), state->Serialize());
+      !st.ok()) {
+    LIQUID_LOG_WARN << "broker " << id_ << ": ISR publish failed for "
+                    << tp.ToString() << ": " << st.ToString();
+  }
 }
 
 void Broker::ShrinkIsrLocked(const TopicPartition& tp, Replica* replica,
@@ -755,7 +791,11 @@ Status Broker::ReplicateFromLeaders() {
         if (!state.ok() || state->leader < 0 || state->leader == id_) continue;
         auto config = cluster_->GetTopicConfig(task.tp.topic);
         if (!config.ok()) continue;
-        BecomeFollower(task.tp, *state, *config);
+        if (Status st = BecomeFollower(task.tp, *state, *config); !st.ok()) {
+          // Retried on the next replication tick with a fresh metadata read.
+          LIQUID_LOG_WARN << "broker " << id_ << ": become-follower failed for "
+                          << task.tp.ToString() << ": " << st.ToString();
+        }
       }
       continue;
     }
@@ -780,9 +820,14 @@ Status Broker::ReplicateFromLeaders() {
     }
     // If retention deleted our fetch position on the leader, jump forward.
     if (resp->records.empty() && task.from < resp->log_start_offset) {
-      replica->log->Truncate(replica->log->start_offset());
       // Restart the local log at the leader's start offset.
       // (Simplified out-of-range handling.)
+      if (Status st = replica->log->Truncate(replica->log->start_offset());
+          !st.ok()) {
+        LIQUID_LOG_WARN << "broker " << id_ << ": out-of-range truncate failed"
+                        << " for " << task.tp.ToString() << ": "
+                        << st.ToString();
+      }
     }
   }
   return Status::OK();

@@ -24,11 +24,19 @@ Cluster::~Cluster() {
 }
 
 Status Cluster::Start() {
-  // Bootstrap the persistent coordination namespace.
+  // Bootstrap the persistent coordination namespace. Creation is idempotent
+  // across restarts: AlreadyExists is fine, anything else is fatal.
   const int64_t session = coord_.CreateSession();
-  coord_.Create(session, paths::BrokersRoot(), "", coord::NodeKind::kPersistent);
-  coord_.Create(session, paths::BrokerIds(), "", coord::NodeKind::kPersistent);
-  coord_.Create(session, paths::TopicsRoot(), "", coord::NodeKind::kPersistent);
+  auto bootstrap = [&](const std::string& path) -> Status {
+    auto created = coord_.Create(session, path, "", coord::NodeKind::kPersistent);
+    if (!created.ok() && !created.status().IsAlreadyExists()) {
+      return created.status();
+    }
+    return Status::OK();
+  };
+  LIQUID_RETURN_NOT_OK(bootstrap(paths::BrokersRoot()));
+  LIQUID_RETURN_NOT_OK(bootstrap(paths::BrokerIds()));
+  LIQUID_RETURN_NOT_OK(bootstrap(paths::TopicsRoot()));
   {
     MutexLock lock(&mu_);
     for (int id = 0; id < config_.num_brokers; ++id) {
@@ -62,7 +70,10 @@ Status Cluster::CreateTopic(const std::string& name, const TopicConfig& config) 
   // Admin session for persistent metadata nodes.
   const int64_t session = coord_.CreateSession();
   if (!coord_.Exists(paths::TopicsRoot())) {
-    coord_.Create(session, paths::TopicsRoot(), "", coord::NodeKind::kPersistent);
+    auto root = coord_.Create(session, paths::TopicsRoot(), "",
+                              coord::NodeKind::kPersistent);
+    // A concurrent CreateTopic may have won the race; that is fine.
+    if (!root.ok() && !root.status().IsAlreadyExists()) return root.status();
   }
   auto created = coord_.Create(session, paths::Topic(name), "",
                                coord::NodeKind::kPersistent);
@@ -226,14 +237,25 @@ Status Cluster::RestartBroker(int id) {
 void Cluster::ReplicationTick() {
   for (int id : AliveBrokerIds()) {
     Broker* b = broker(id);
-    if (b != nullptr) b->ReplicateFromLeaders();
+    if (b == nullptr) continue;
+    // Periodic: a failed pass is retried on the next tick; log so repeated
+    // failures are visible rather than silently stalling replication.
+    if (Status st = b->ReplicateFromLeaders(); !st.ok()) {
+      LIQUID_LOG_WARN << "replication tick failed on broker " << id << ": "
+                      << st.ToString();
+    }
   }
 }
 
 void Cluster::RunLogMaintenance() {
   for (int id : AliveBrokerIds()) {
     Broker* b = broker(id);
-    if (b != nullptr) b->RunLogMaintenance();
+    if (b == nullptr) continue;
+    // Periodic, same retry-next-tick contract as replication.
+    if (Status st = b->RunLogMaintenance(); !st.ok()) {
+      LIQUID_LOG_WARN << "log maintenance failed on broker " << id << ": "
+                      << st.ToString();
+    }
   }
 }
 

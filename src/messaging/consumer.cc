@@ -17,7 +17,9 @@ Consumer::Consumer(Cluster* cluster, OffsetManager* offsets,
       member_id_(std::move(member_id)),
       config_(std::move(config)) {}
 
-Consumer::~Consumer() { Close(); }
+// A destructor cannot propagate the final auto-commit's Status; users who
+// care about the last commit must call Close() explicitly and check it.
+Consumer::~Consumer() { LIQUID_IGNORE_ERROR(Close()); }
 
 Status Consumer::Subscribe(const std::vector<std::string>& topics) {
   MutexLock lock(&mu_);

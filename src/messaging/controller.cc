@@ -25,12 +25,15 @@ void Controller::ArmMembershipWatch() {
   // The watch may fire after this Controller is destroyed (the service owns
   // the callback); the token guards the dangling `this`.
   auto token = alive_token_;
-  cluster_->coord()->GetChildren(
+  // Called for the watch side effect only; the children list itself is
+  // re-read inside the election pass, so the value (and a transient error)
+  // can be dropped here.
+  LIQUID_IGNORE_ERROR(cluster_->coord()->GetChildren(
       paths::BrokerIds(), [this, token](const coord::WatchEvent&) {
         if (!token->load()) return;
         if (!self_->alive()) return;
         OnMembershipChange();
-      });
+      }));
 }
 
 void Controller::OnMembershipChange() {
@@ -45,6 +48,9 @@ Status Controller::ElectLeaders() {
   MutexLock lock(&mu_);
   const std::vector<int> alive_ids = cluster_->AliveBrokerIds();
   const std::set<int> alive(alive_ids.begin(), alive_ids.end());
+  // One partition's failure must not starve the rest of the pass; remember
+  // the first error and keep going, so the caller still sees the failure.
+  Status pass_status = Status::OK();
 
   for (const std::string& topic : cluster_->Topics()) {
     auto config = cluster_->GetTopicConfig(topic);
@@ -85,8 +91,16 @@ Status Controller::ElectLeaders() {
           changed = true;
         }
         if (changed) {
-          cluster_->coord()->Set(paths::PartitionStatePath(tp),
-                                 state.Serialize());
+          // The published state IS the election result; if it cannot be
+          // stored, do not tell brokers about a leadership nobody can see.
+          if (Status st = cluster_->coord()->Set(
+                  paths::PartitionStatePath(tp), state.Serialize());
+              !st.ok()) {
+            if (pass_status.ok()) pass_status = st;
+            LIQUID_LOG_WARN << "controller: state publish failed for "
+                            << tp.ToString() << ": " << st.ToString();
+            continue;
+          }
           LIQUID_LOG_DEBUG << "controller: " << tp.ToString() << " leader -> "
                            << state.leader << " epoch " << state.leader_epoch;
         }
@@ -112,7 +126,7 @@ Status Controller::ElectLeaders() {
       }
     }
   }
-  return Status::OK();
+  return pass_status;
 }
 
 }  // namespace liquid::messaging

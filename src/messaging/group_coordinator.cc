@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/logging.h"
 #include "messaging/cluster.h"
 
 namespace liquid::messaging {
@@ -57,7 +58,15 @@ int GroupCoordinator::EvictExpiredMembers() {
       group.last_heartbeat_ms.erase(member);
       ++evicted;
     }
-    if (!dead.empty()) RebalanceLocked(&group);
+    if (!dead.empty()) {
+      // The sweep returns an eviction count, not a Status; a failed
+      // rebalance is retried when the next join/leave/eviction triggers one.
+      if (Status st = RebalanceLocked(&group); !st.ok()) {
+        LIQUID_LOG_WARN << "group " << name
+                        << ": rebalance after eviction failed: "
+                        << st.ToString();
+      }
+    }
   }
   return evicted;
 }

@@ -74,7 +74,10 @@ Job::Job(messaging::Cluster* cluster, messaging::OffsetManager* offsets,
       txn_coordinator_(txn_coordinator) {}
 
 Job::~Job() {
-  Stop();  // Joins the run thread first; no-op when already stopped.
+  // Joins the run thread first; no-op when already stopped. A destructor
+  // cannot propagate the final commit's Status — callers who need it must
+  // Stop() explicitly and check.
+  LIQUID_IGNORE_ERROR(Stop());
 }
 
 std::string Job::ChangelogTopic(const std::string& job, const std::string& store) {
@@ -285,7 +288,7 @@ Result<int> Job::RunOnce() {
   }
   if (coordinator_impl_->shutdown_requested) {
     stopped_ = true;
-    consumer_->Close();
+    LIQUID_RETURN_NOT_OK(consumer_->Close());
   }
   return processed;
 }
@@ -354,8 +357,12 @@ Status Job::Stop() {
   MutexLock lock(&mu_);
   if (stopped_) return Status::OK();
   stopped_ = true;
-  CommitLocked();
-  return consumer_->Close();
+  // Always close the consumer, even when the final commit fails — but
+  // report the commit failure first: lost offsets outrank a close error.
+  const Status commit = CommitLocked();
+  const Status close = consumer_->Close();
+  LIQUID_RETURN_NOT_OK(commit);
+  return close;
 }
 
 Status Job::Kill() {

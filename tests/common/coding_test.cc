@@ -66,6 +66,23 @@ TEST(CodingTest, Varint32RejectsOverflow) {
   EXPECT_TRUE(GetVarint32(&input, &value).IsCorruption());
 }
 
+TEST(CodingTest, Varint64OverflowIsCorruption) {
+  // Nine continuation bytes consume shifts 0..56; a 10th byte may only
+  // contribute bit 63. Anything larger used to be silently shifted away.
+  std::string buf(9, '\x80');
+  buf.push_back('\x02');
+  Slice input(buf);
+  uint64_t value = 0;
+  EXPECT_TRUE(GetVarint64(&input, &value).IsCorruption());
+
+  // The canonical encoding of UINT64_MAX (10th byte == 0x01) still decodes.
+  std::string max_buf;
+  PutVarint64(&max_buf, std::numeric_limits<uint64_t>::max());
+  Slice max_input(max_buf);
+  ASSERT_TRUE(GetVarint64(&max_input, &value).ok());
+  EXPECT_EQ(value, std::numeric_limits<uint64_t>::max());
+}
+
 TEST(CodingTest, VarintTruncatedIsCorruption) {
   std::string buf;
   PutVarint64(&buf, 1ull << 40);

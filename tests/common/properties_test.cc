@@ -44,5 +44,45 @@ TEST(PropertiesTest, OverwriteReplaces) {
   EXPECT_EQ(props.values().size(), 1u);
 }
 
+TEST(PropertiesTest, ParseAcceptsCommentsBlanksAndTrimming) {
+  auto props = Properties::Parse(
+      "# a comment\n"
+      "! another comment style\n"
+      "\n"
+      "broker.id = 7\n"
+      "  log.dirs\t=\t/data  \n"
+      "equals.in.value=a=b=c\n"
+      "empty.value=\n"
+      "no.trailing.newline=yes");
+  ASSERT_TRUE(props.ok()) << props.status().ToString();
+  EXPECT_EQ(props->GetInt("broker.id", 0), 7);
+  EXPECT_EQ(props->Get("log.dirs"), "/data");
+  EXPECT_EQ(props->Get("equals.in.value"), "a=b=c");
+  EXPECT_TRUE(props->Has("empty.value"));
+  EXPECT_EQ(props->Get("empty.value"), "");
+  EXPECT_EQ(props->Get("no.trailing.newline"), "yes");
+  EXPECT_EQ(props->values().size(), 5u);
+}
+
+TEST(PropertiesTest, ParseRejectsLineWithoutSeparator) {
+  auto props = Properties::Parse("ok=1\njust-some-words\n");
+  EXPECT_TRUE(props.status().IsCorruption());
+}
+
+TEST(PropertiesTest, ParseRejectsEmptyKey) {
+  auto props = Properties::Parse("=value\n");
+  EXPECT_TRUE(props.status().IsCorruption());
+}
+
+TEST(PropertiesTest, SerializeParseRoundTrip) {
+  Properties props;
+  props.Set("b", "2");
+  props.Set("a", "1");
+  props.SetBool("c", true);
+  auto reparsed = Properties::Parse(props.Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->values(), props.values());
+}
+
 }  // namespace
 }  // namespace liquid

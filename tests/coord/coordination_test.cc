@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "test_util.h"
+
 namespace liquid::coord {
 namespace {
 
@@ -65,8 +67,8 @@ TEST_F(CoordinationTest, VersionedSetAndDelete) {
 
 TEST_F(CoordinationTest, DeleteWithChildrenFails) {
   const int64_t session = coord_.CreateSession();
-  coord_.Create(session, "/a", "", NodeKind::kPersistent);
-  coord_.Create(session, "/a/b", "", NodeKind::kPersistent);
+  LIQUID_ASSERT_OK(coord_.Create(session, "/a", "", NodeKind::kPersistent));
+  LIQUID_ASSERT_OK(coord_.Create(session, "/a/b", "", NodeKind::kPersistent));
   EXPECT_TRUE(coord_.Delete("/a").IsFailedPrecondition());
   ASSERT_TRUE(coord_.Delete("/a/b").ok());
   EXPECT_TRUE(coord_.Delete("/a").ok());
@@ -74,10 +76,10 @@ TEST_F(CoordinationTest, DeleteWithChildrenFails) {
 
 TEST_F(CoordinationTest, GetChildrenSorted) {
   const int64_t session = coord_.CreateSession();
-  coord_.Create(session, "/parent", "", NodeKind::kPersistent);
-  coord_.Create(session, "/parent/c", "", NodeKind::kPersistent);
-  coord_.Create(session, "/parent/a", "", NodeKind::kPersistent);
-  coord_.Create(session, "/parent/b", "", NodeKind::kPersistent);
+  LIQUID_ASSERT_OK(coord_.Create(session, "/parent", "", NodeKind::kPersistent));
+  LIQUID_ASSERT_OK(coord_.Create(session, "/parent/c", "", NodeKind::kPersistent));
+  LIQUID_ASSERT_OK(coord_.Create(session, "/parent/a", "", NodeKind::kPersistent));
+  LIQUID_ASSERT_OK(coord_.Create(session, "/parent/b", "", NodeKind::kPersistent));
   auto children = coord_.GetChildren("/parent");
   ASSERT_TRUE(children.ok());
   EXPECT_EQ(*children, (std::vector<std::string>{"a", "b", "c"}));
@@ -86,9 +88,9 @@ TEST_F(CoordinationTest, GetChildrenSorted) {
 TEST_F(CoordinationTest, EphemeralNodesDieWithSession) {
   const int64_t s1 = coord_.CreateSession();
   const int64_t s2 = coord_.CreateSession();
-  coord_.Create(s1, "/e1", "", NodeKind::kEphemeral);
-  coord_.Create(s2, "/e2", "", NodeKind::kEphemeral);
-  coord_.Create(s1, "/p", "", NodeKind::kPersistent);
+  LIQUID_ASSERT_OK(coord_.Create(s1, "/e1", "", NodeKind::kEphemeral));
+  LIQUID_ASSERT_OK(coord_.Create(s2, "/e2", "", NodeKind::kEphemeral));
+  LIQUID_ASSERT_OK(coord_.Create(s1, "/p", "", NodeKind::kPersistent));
   coord_.CloseSession(s1);
   EXPECT_FALSE(coord_.Exists("/e1"));
   EXPECT_TRUE(coord_.Exists("/e2"));
@@ -97,7 +99,7 @@ TEST_F(CoordinationTest, EphemeralNodesDieWithSession) {
 
 TEST_F(CoordinationTest, EphemeralCannotHaveChildren) {
   const int64_t session = coord_.CreateSession();
-  coord_.Create(session, "/e", "", NodeKind::kEphemeral);
+  LIQUID_ASSERT_OK(coord_.Create(session, "/e", "", NodeKind::kEphemeral));
   EXPECT_TRUE(coord_.Create(session, "/e/child", "", NodeKind::kPersistent)
                   .status()
                   .IsFailedPrecondition());
@@ -114,7 +116,7 @@ TEST_F(CoordinationTest, ExpiredSessionCannotCreate) {
 
 TEST_F(CoordinationTest, SequentialNodesGetIncreasingSuffixes) {
   const int64_t session = coord_.CreateSession();
-  coord_.Create(session, "/q", "", NodeKind::kPersistent);
+  LIQUID_ASSERT_OK(coord_.Create(session, "/q", "", NodeKind::kPersistent));
   auto a = coord_.Create(session, "/q/n", "", NodeKind::kPersistentSequential);
   auto b = coord_.Create(session, "/q/n", "", NodeKind::kPersistentSequential);
   ASSERT_TRUE(a.ok());
@@ -126,7 +128,7 @@ TEST_F(CoordinationTest, SequentialNodesGetIncreasingSuffixes) {
 
 TEST_F(CoordinationTest, DataWatchFiresOnceOnChange) {
   const int64_t session = coord_.CreateSession();
-  coord_.Create(session, "/w", "v0", NodeKind::kPersistent);
+  LIQUID_ASSERT_OK(coord_.Create(session, "/w", "v0", NodeKind::kPersistent));
   int fires = 0;
   ASSERT_TRUE(coord_
                   .Get("/w",
@@ -136,29 +138,29 @@ TEST_F(CoordinationTest, DataWatchFiresOnceOnChange) {
                          ++fires;
                        })
                   .ok());
-  coord_.Set("/w", "v1");
-  coord_.Set("/w", "v2");  // One-shot: second change does not fire.
+  LIQUID_ASSERT_OK(coord_.Set("/w", "v1"));
+  LIQUID_ASSERT_OK(coord_.Set("/w", "v2"));  // One-shot: second change does not fire.
   EXPECT_EQ(fires, 1);
 }
 
 TEST_F(CoordinationTest, DataWatchFiresOnDelete) {
   const int64_t session = coord_.CreateSession();
-  coord_.Create(session, "/w", "", NodeKind::kPersistent);
+  LIQUID_ASSERT_OK(coord_.Create(session, "/w", "", NodeKind::kPersistent));
   EventType seen = EventType::kCreated;
-  coord_.Get("/w", [&seen](const WatchEvent& event) { seen = event.type; });
-  coord_.Delete("/w");
+  LIQUID_ASSERT_OK(coord_.Get("/w", [&seen](const WatchEvent& event) { seen = event.type; }));
+  LIQUID_ASSERT_OK(coord_.Delete("/w"));
   EXPECT_EQ(seen, EventType::kDeleted);
 }
 
 TEST_F(CoordinationTest, ChildWatchFiresOnCreateAndDelete) {
   const int64_t session = coord_.CreateSession();
-  coord_.Create(session, "/parent", "", NodeKind::kPersistent);
+  LIQUID_ASSERT_OK(coord_.Create(session, "/parent", "", NodeKind::kPersistent));
   int fires = 0;
-  coord_.GetChildren("/parent", [&fires](const WatchEvent&) { ++fires; });
-  coord_.Create(session, "/parent/a", "", NodeKind::kPersistent);
+  LIQUID_ASSERT_OK(coord_.GetChildren("/parent", [&fires](const WatchEvent&) { ++fires; }));
+  LIQUID_ASSERT_OK(coord_.Create(session, "/parent/a", "", NodeKind::kPersistent));
   EXPECT_EQ(fires, 1);
-  coord_.GetChildren("/parent", [&fires](const WatchEvent&) { ++fires; });
-  coord_.Delete("/parent/a");
+  LIQUID_ASSERT_OK(coord_.GetChildren("/parent", [&fires](const WatchEvent&) { ++fires; }));
+  LIQUID_ASSERT_OK(coord_.Delete("/parent/a"));
   EXPECT_EQ(fires, 2);
 }
 
@@ -169,17 +171,17 @@ TEST_F(CoordinationTest, ExistsWatchOnAbsentNodeFiresOnCreation) {
     EXPECT_EQ(event.type, EventType::kCreated);
     fired = true;
   }));
-  coord_.Create(session, "/future", "", NodeKind::kPersistent);
+  LIQUID_ASSERT_OK(coord_.Create(session, "/future", "", NodeKind::kPersistent));
   EXPECT_TRUE(fired);
 }
 
 TEST_F(CoordinationTest, SessionExpiryFiresWatches) {
   const int64_t owner = coord_.CreateSession();
-  coord_.Create(owner, "/lock", "", NodeKind::kEphemeral);
+  LIQUID_ASSERT_OK(coord_.Create(owner, "/lock", "", NodeKind::kEphemeral));
   bool fired = false;
-  coord_.Get("/lock", [&fired](const WatchEvent& event) {
+  LIQUID_ASSERT_OK(coord_.Get("/lock", [&fired](const WatchEvent& event) {
     fired = event.type == EventType::kDeleted;
-  });
+  }));
   coord_.ExpireSession(owner);
   EXPECT_TRUE(fired);
 }
@@ -187,10 +189,10 @@ TEST_F(CoordinationTest, SessionExpiryFiresWatches) {
 TEST_F(CoordinationTest, NodeCountTracksTree) {
   const int64_t session = coord_.CreateSession();
   EXPECT_EQ(coord_.NodeCount(), 0u);
-  coord_.Create(session, "/a", "", NodeKind::kPersistent);
-  coord_.Create(session, "/a/b", "", NodeKind::kPersistent);
+  LIQUID_ASSERT_OK(coord_.Create(session, "/a", "", NodeKind::kPersistent));
+  LIQUID_ASSERT_OK(coord_.Create(session, "/a/b", "", NodeKind::kPersistent));
   EXPECT_EQ(coord_.NodeCount(), 2u);
-  coord_.Delete("/a/b");
+  LIQUID_ASSERT_OK(coord_.Delete("/a/b"));
   EXPECT_EQ(coord_.NodeCount(), 1u);
 }
 

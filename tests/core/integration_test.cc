@@ -9,6 +9,8 @@
 #include "processing/operators.h"
 #include "workload/generators.h"
 
+#include "test_util.h"
+
 namespace liquid::core {
 namespace {
 
@@ -31,7 +33,7 @@ class IntegrationTest : public ::testing::Test {
                                            const std::string& group) {
     std::map<std::string, std::string> out;
     auto consumer = liquid_->NewConsumer(group, group + "-m");
-    consumer->Subscribe({feed});
+    LIQUID_EXPECT_OK(consumer->Subscribe({feed}));
     while (true) {
       auto records = consumer->Poll(256);
       if (!records.ok() || records->empty()) break;
@@ -65,7 +67,7 @@ TEST_F(IntegrationTest, SiteSpeedMonitoringDetectsSlowCdn) {
   for (int i = 0; i < 1000; ++i) {
     ASSERT_TRUE(producer->Send("rum-events", generator.Next(1000 + i)).ok());
   }
-  producer->Flush();
+  LIQUID_ASSERT_OK(producer->Flush());
 
   // Aggregation job: sum(load_ms) and count per CDN.
   class CdnAggTask : public processing::StreamTask {
@@ -137,7 +139,7 @@ TEST_F(IntegrationTest, CallGraphAssemblyGroupsSpansByRequest) {
       ASSERT_TRUE(producer->Send("rest-calls", std::move(span)).ok());
     }
   }
-  producer->Flush();
+  LIQUID_ASSERT_OK(producer->Flush());
 
   class AssembleTask : public processing::StreamTask {
    public:
@@ -197,10 +199,10 @@ TEST_F(IntegrationTest, DataCleaningPipelineWithReprocessing) {
                   .ok());
   auto producer = liquid_->NewProducer();
   for (int i = 0; i < 10; ++i) {
-    producer->Send("user-content", Record::KeyValue(
-                                       "doc" + std::to_string(i), "  TeXT  "));
+    LIQUID_ASSERT_OK(producer->Send("user-content", Record::KeyValue(
+                                       "doc" + std::to_string(i), "  TeXT  ")));
   }
-  producer->Flush();
+  LIQUID_ASSERT_OK(producer->Flush());
 
   auto make_cleaner = [](const std::string& version) {
     return [version]() -> std::unique_ptr<processing::StreamTask> {
@@ -264,15 +266,15 @@ TEST_F(IntegrationTest, OperationalAnalysisAggregatesBrokerMetrics) {
   for (int id : liquid_->cluster()->AliveBrokerIds()) {
     auto counters = liquid_->cluster()->broker(id)->metrics()->CounterValues();
     for (const auto& [name, value] : counters) {
-      producer->Send("metrics",
+      LIQUID_ASSERT_OK(producer->Send("metrics",
                      Record::KeyValue("broker" + std::to_string(id) + "." + name,
-                                      std::to_string(value)));
+                                      std::to_string(value))));
     }
     // Ensure there is at least one metric per broker.
-    producer->Send("metrics", Record::KeyValue(
-                                  "broker" + std::to_string(id) + ".up", "1"));
+    LIQUID_ASSERT_OK(producer->Send("metrics", Record::KeyValue(
+                                  "broker" + std::to_string(id) + ".up", "1")));
   }
-  producer->Flush();
+  LIQUID_ASSERT_OK(producer->Flush());
 
   processing::JobConfig config;
   config.name = "ops";

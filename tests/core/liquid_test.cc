@@ -9,6 +9,8 @@
 #include "common/clock.h"
 #include "processing/operators.h"
 
+#include "test_util.h"
+
 namespace liquid::core {
 namespace {
 
@@ -61,10 +63,10 @@ TEST_F(LiquidTest, DerivedFeedCarriesLineage) {
 }
 
 TEST_F(LiquidTest, LineageWalksTransitively) {
-  liquid_->CreateSourceFeed("raw", FeedOptions{});
-  liquid_->CreateDerivedFeed("normalized", FeedOptions{}, "norm", "v1", {"raw"});
-  liquid_->CreateDerivedFeed("sessions", FeedOptions{}, "sess", "v1",
-                             {"normalized"});
+  LIQUID_ASSERT_OK(liquid_->CreateSourceFeed("raw", FeedOptions{}));
+  LIQUID_ASSERT_OK(liquid_->CreateDerivedFeed("normalized", FeedOptions{}, "norm", "v1", {"raw"}));
+  LIQUID_ASSERT_OK(liquid_->CreateDerivedFeed("sessions", FeedOptions{}, "sess", "v1",
+                             {"normalized"}));
   auto lineage = liquid_->GetLineage("sessions");
   ASSERT_TRUE(lineage.ok());
   EXPECT_EQ(lineage->size(), 3u);
@@ -109,7 +111,7 @@ TEST_F(LiquidTest, ProduceConsumeThroughFacade) {
 }
 
 TEST_F(LiquidTest, SubmitAndStopJob) {
-  liquid_->CreateSourceFeed("in", FeedOptions{});
+  LIQUID_ASSERT_OK(liquid_->CreateSourceFeed("in", FeedOptions{}));
   processing::JobConfig config;
   config.name = "etl";
   config.inputs = {"in"};
@@ -132,12 +134,12 @@ TEST_F(LiquidTest, SubmitAndStopJob) {
 }
 
 TEST_F(LiquidTest, SubmittedJobProcessesData) {
-  liquid_->CreateSourceFeed("in", FeedOptions{});
+  LIQUID_ASSERT_OK(liquid_->CreateSourceFeed("in", FeedOptions{}));
   auto producer = liquid_->NewProducer();
   for (int i = 0; i < 20; ++i) {
-    producer->Send("in", storage::Record::KeyValue("user", "e"));
+    LIQUID_ASSERT_OK(producer->Send("in", storage::Record::KeyValue("user", "e")));
   }
-  producer->Flush();
+  LIQUID_ASSERT_OK(producer->Flush());
 
   processing::JobConfig config;
   config.name = "count";
@@ -163,13 +165,13 @@ TEST_F(LiquidTest, FacadeExposesAllCoordinators) {
 }
 
 TEST_F(LiquidTest, ExactlyOnceJobThroughFacade) {
-  liquid_->CreateSourceFeed("in", FeedOptions{});
-  liquid_->CreateSourceFeed("out", FeedOptions{});
+  LIQUID_ASSERT_OK(liquid_->CreateSourceFeed("in", FeedOptions{}));
+  LIQUID_ASSERT_OK(liquid_->CreateSourceFeed("out", FeedOptions{}));
   auto producer = liquid_->NewProducer();
   for (int i = 0; i < 5; ++i) {
-    producer->Send("in", storage::Record::KeyValue("k", std::to_string(i)));
+    LIQUID_ASSERT_OK(producer->Send("in", storage::Record::KeyValue("k", std::to_string(i))));
   }
-  producer->Flush();
+  LIQUID_ASSERT_OK(producer->Flush());
 
   processing::JobConfig config;
   config.name = "eo";
@@ -190,7 +192,7 @@ TEST_F(LiquidTest, ExactlyOnceJobThroughFacade) {
   consumer_config.read_committed = true;
   messaging::Consumer consumer(liquid_->cluster(), liquid_->offsets(),
                                liquid_->groups(), "m", consumer_config);
-  consumer.Subscribe({"out"});
+  LIQUID_ASSERT_OK(consumer.Subscribe({"out"}));
   size_t seen = 0;
   for (int i = 0; i < 10; ++i) seen += consumer.Poll(64)->size();
   EXPECT_EQ(seen, 5u);
@@ -200,15 +202,15 @@ TEST_F(LiquidTest, RunMaintenanceCompactsAndEvicts) {
   core::FeedOptions compacted;
   compacted.log.compaction_enabled = true;
   compacted.log.segment_bytes = 2048;
-  liquid_->CreateSourceFeed("keyed", compacted);
+  LIQUID_ASSERT_OK(liquid_->CreateSourceFeed("keyed", compacted));
   auto producer = liquid_->NewProducer();
   for (int round = 0; round < 50; ++round) {
     for (int k = 0; k < 20; ++k) {
-      producer->Send("keyed", storage::Record::KeyValue(
-                                  "key" + std::to_string(k), "update"));
+      LIQUID_ASSERT_OK(producer->Send("keyed", storage::Record::KeyValue(
+                                  "key" + std::to_string(k), "update")));
     }
   }
-  producer->Flush();
+  LIQUID_ASSERT_OK(producer->Flush());
   const messaging::TopicPartition tp{"keyed", 0};
   auto leader = liquid_->cluster()->LeaderFor(tp);
   // Capture the broker's log size before and after maintenance: the compactor

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 namespace liquid::dfs {
 namespace {
 
@@ -24,7 +26,7 @@ TEST(DfsTest, WriteReadRoundTrip) {
 
 TEST(DfsTest, FilesSplitIntoBlocks) {
   DistributedFileSystem fs(SmallConfig());
-  fs.WriteFile("/f", std::string(300, 'y'));
+  LIQUID_ASSERT_OK(fs.WriteFile("/f", std::string(300, 'y')));
   auto info = fs.GetFileInfo("/f");
   ASSERT_TRUE(info.ok());
   EXPECT_EQ(info->blocks.size(), 5u);  // ceil(300/64).
@@ -36,7 +38,7 @@ TEST(DfsTest, FilesSplitIntoBlocks) {
 
 TEST(DfsTest, WriteExistingFails) {
   DistributedFileSystem fs(SmallConfig());
-  fs.WriteFile("/f", "1");
+  LIQUID_ASSERT_OK(fs.WriteFile("/f", "1"));
   EXPECT_TRUE(fs.WriteFile("/f", "2").IsAlreadyExists());
 }
 
@@ -48,7 +50,7 @@ TEST(DfsTest, ReadMissingIsNotFound) {
 
 TEST(DfsTest, DeleteRemovesBlocksAndMetadata) {
   DistributedFileSystem fs(SmallConfig());
-  fs.WriteFile("/f", std::string(200, 'z'));
+  LIQUID_ASSERT_OK(fs.WriteFile("/f", std::string(200, 'z')));
   const uint64_t stored = fs.total_stored_bytes();
   EXPECT_GT(stored, 0u);
   ASSERT_TRUE(fs.DeleteFile("/f").ok());
@@ -59,9 +61,9 @@ TEST(DfsTest, DeleteRemovesBlocksAndMetadata) {
 
 TEST(DfsTest, ListFilesByPrefix) {
   DistributedFileSystem fs(SmallConfig());
-  fs.WriteFile("/logs/a", "1");
-  fs.WriteFile("/logs/b", "2");
-  fs.WriteFile("/data/c", "3");
+  LIQUID_ASSERT_OK(fs.WriteFile("/logs/a", "1"));
+  LIQUID_ASSERT_OK(fs.WriteFile("/logs/b", "2"));
+  LIQUID_ASSERT_OK(fs.WriteFile("/data/c", "3"));
   EXPECT_EQ(fs.ListFiles("/logs/").size(), 2u);
   EXPECT_EQ(fs.ListFiles("/").size(), 3u);
   EXPECT_TRUE(fs.ListFiles("/none/").empty());
@@ -70,7 +72,7 @@ TEST(DfsTest, ListFilesByPrefix) {
 TEST(DfsTest, SurvivesDatanodeFailureWithReplication) {
   DistributedFileSystem fs(SmallConfig());
   const std::string data(500, 'r');
-  fs.WriteFile("/f", data);
+  LIQUID_ASSERT_OK(fs.WriteFile("/f", data));
   ASSERT_TRUE(fs.StopDatanode(0).ok());
   auto read = fs.ReadFile("/f");
   ASSERT_TRUE(read.ok()) << read.status().ToString();
@@ -81,23 +83,23 @@ TEST(DfsTest, UnreplicatedDataUnavailableWhenAllReplicasDown) {
   DfsConfig config = SmallConfig();
   config.replication = 1;
   DistributedFileSystem fs(config);
-  fs.WriteFile("/f", std::string(500, 'u'));  // Blocks spread over nodes.
-  fs.StopDatanode(0);
-  fs.StopDatanode(1);
-  fs.StopDatanode(2);
+  LIQUID_ASSERT_OK(fs.WriteFile("/f", std::string(500, 'u')));  // Blocks spread over nodes.
+  LIQUID_ASSERT_OK(fs.StopDatanode(0));
+  LIQUID_ASSERT_OK(fs.StopDatanode(1));
+  LIQUID_ASSERT_OK(fs.StopDatanode(2));
   EXPECT_TRUE(fs.ReadFile("/f").status().IsUnavailable());
   // Restart: data is back (disks survive).
-  fs.RestartDatanode(0);
-  fs.RestartDatanode(1);
-  fs.RestartDatanode(2);
+  LIQUID_ASSERT_OK(fs.RestartDatanode(0));
+  LIQUID_ASSERT_OK(fs.RestartDatanode(1));
+  LIQUID_ASSERT_OK(fs.RestartDatanode(2));
   EXPECT_TRUE(fs.ReadFile("/f").ok());
 }
 
 TEST(DfsTest, WriteFailsWithNoAliveNodes) {
   DistributedFileSystem fs(SmallConfig());
-  fs.StopDatanode(0);
-  fs.StopDatanode(1);
-  fs.StopDatanode(2);
+  LIQUID_ASSERT_OK(fs.StopDatanode(0));
+  LIQUID_ASSERT_OK(fs.StopDatanode(1));
+  LIQUID_ASSERT_OK(fs.StopDatanode(2));
   EXPECT_TRUE(fs.WriteFile("/f", "data").IsUnavailable());
 }
 
@@ -116,8 +118,8 @@ TEST(DfsTest, ReplicationMultipliesStorageFootprint) {
   r3.replication = 3;
   DistributedFileSystem fs1(r1), fs3(r3);
   const std::string data(640, 'd');
-  fs1.WriteFile("/f", data);
-  fs3.WriteFile("/f", data);
+  LIQUID_ASSERT_OK(fs1.WriteFile("/f", data));
+  LIQUID_ASSERT_OK(fs3.WriteFile("/f", data));
   EXPECT_EQ(fs1.total_stored_bytes(), 640u);
   EXPECT_EQ(fs3.total_stored_bytes(), 3 * 640u);
 }

@@ -5,6 +5,8 @@
 #include "common/clock.h"
 #include "storage/disk.h"
 
+#include "test_util.h"
+
 namespace liquid::isolation {
 namespace {
 
@@ -42,8 +44,8 @@ TEST_F(SchedulerTest, RunsEverythingEventually) {
   const int b = scheduler.RegisterContainer({"b", 1.0, 1 << 20});
   int done = 0;
   for (int i = 0; i < 10; ++i) {
-    scheduler.Submit(a, [&done] { ++done; });
-    scheduler.Submit(b, [&done] { ++done; });
+    LIQUID_ASSERT_OK(scheduler.Submit(a, [&done] { ++done; }));
+    LIQUID_ASSERT_OK(scheduler.Submit(b, [&done] { ++done; }));
   }
   auto completed = scheduler.RunUntilIdle();
   EXPECT_EQ(done, 20);
@@ -68,15 +70,15 @@ TEST_F(SchedulerTest, FairSchedulingInterleavesDespiteNoisyNeighbour) {
     std::vector<int> completion_order;  // 0 = noisy item, 1 = victim item.
     // The noisy job floods first.
     for (int i = 0; i < 50; ++i) {
-      scheduler.Submit(noisy, [&completion_order] {
+      LIQUID_EXPECT_OK(scheduler.Submit(noisy, [&completion_order] {
         storage::SpinFor(200 * 1000);
         completion_order.push_back(0);
-      });
+      }));
     }
     for (int i = 0; i < 5; ++i) {
-      scheduler.Submit(victim, [&completion_order] {
+      LIQUID_EXPECT_OK(scheduler.Submit(victim, [&completion_order] {
         completion_order.push_back(1);
-      });
+      }));
     }
     scheduler.RunUntilIdle();
     // Position by which all victim items finished.
@@ -101,8 +103,8 @@ TEST_F(SchedulerTest, SharesProportionallyFavourHigherShare) {
   const int bronze = scheduler.RegisterContainer({"bronze", 1.0, 1 << 20});
   // Equal work per item for both.
   for (int i = 0; i < 100; ++i) {
-    scheduler.Submit(gold, [] { storage::SpinFor(50 * 1000); });
-    scheduler.Submit(bronze, [] { storage::SpinFor(50 * 1000); });
+    LIQUID_ASSERT_OK(scheduler.Submit(gold, [] { storage::SpinFor(50 * 1000); }));
+    LIQUID_ASSERT_OK(scheduler.Submit(bronze, [] { storage::SpinFor(50 * 1000); }));
   }
   // Run a bounded number of dispatches.
   for (int i = 0; i < 40; ++i) scheduler.RunOne();
@@ -121,7 +123,7 @@ TEST_F(SchedulerTest, BudgetedRunStopsAtDeadline) {
   FairScheduler scheduler(true, &clock_);
   const int a = scheduler.RegisterContainer({"a", 1.0, 1 << 20});
   for (int i = 0; i < 1000; ++i) {
-    scheduler.Submit(a, [] { storage::SpinFor(2 * 1000 * 1000); });  // 2ms.
+    LIQUID_ASSERT_OK(scheduler.Submit(a, [] { storage::SpinFor(2 * 1000 * 1000); }));  // 2ms.
   }
   auto completed = scheduler.RunUntilIdle(/*budget_ms=*/20);
   EXPECT_LT(completed[a], 1000);  // Ran out of budget long before the queue.

@@ -8,6 +8,8 @@
 #include "common/random.h"
 #include "storage/disk.h"
 
+#include "test_util.h"
+
 namespace liquid::kv {
 namespace {
 
@@ -40,9 +42,9 @@ TEST_F(KvStoreTest, PutGetDelete) {
 
 TEST_F(KvStoreTest, OverwriteKeepsLatest) {
   auto store = OpenStore();
-  store->Put("k", "v1");
-  store->Put("k", "v2");
-  store->Put("k", "v3");
+  LIQUID_ASSERT_OK(store->Put("k", "v1"));
+  LIQUID_ASSERT_OK(store->Put("k", "v2"));
+  LIQUID_ASSERT_OK(store->Put("k", "v3"));
   EXPECT_EQ(*store->Get("k"), "v3");
 }
 
@@ -66,30 +68,34 @@ TEST_F(KvStoreTest, SurvivesFlushAndLookupFromTables) {
 
 TEST_F(KvStoreTest, DeleteShadowsOlderTableVersion) {
   auto store = OpenStore();
-  store->Put("k", "old");
-  store->Flush();  // "old" now in a table.
-  store->Delete("k");
+  LIQUID_ASSERT_OK(store->Put("k", "old"));
+  LIQUID_ASSERT_OK(store->Flush());  // "old" now in a table.
+  LIQUID_ASSERT_OK(store->Delete("k"));
   EXPECT_TRUE(store->Get("k").status().IsNotFound());
-  store->Flush();  // Tombstone now in a newer table.
+  LIQUID_ASSERT_OK(store->Flush());  // Tombstone now in a newer table.
   EXPECT_TRUE(store->Get("k").status().IsNotFound());
 }
 
 TEST_F(KvStoreTest, NewerTableShadowsOlder) {
   auto store = OpenStore();
-  store->Put("k", "v1");
-  store->Flush();
-  store->Put("k", "v2");
-  store->Flush();
+  LIQUID_ASSERT_OK(store->Put("k", "v1"));
+  LIQUID_ASSERT_OK(store->Flush());
+  LIQUID_ASSERT_OK(store->Put("k", "v2"));
+  LIQUID_ASSERT_OK(store->Flush());
   EXPECT_EQ(store->l0_table_count(), 2);
   EXPECT_EQ(*store->Get("k"), "v2");
 }
 
 TEST_F(KvStoreTest, CompactionMergesAndDropsTombstones) {
   auto store = OpenStore();
-  for (int i = 0; i < 100; ++i) store->Put("k" + std::to_string(i), "v");
-  store->Flush();
-  for (int i = 0; i < 50; ++i) store->Delete("k" + std::to_string(i));
-  store->Flush();
+  for (int i = 0; i < 100; ++i) {
+    LIQUID_ASSERT_OK(store->Put("k" + std::to_string(i), "v"));
+  }
+  LIQUID_ASSERT_OK(store->Flush());
+  for (int i = 0; i < 50; ++i) {
+    LIQUID_ASSERT_OK(store->Delete("k" + std::to_string(i)));
+  }
+  LIQUID_ASSERT_OK(store->Flush());
   ASSERT_TRUE(store->CompactAll().ok());
   EXPECT_EQ(store->l0_table_count(), 0);
   EXPECT_GE(store->l1_table_count(), 1);
@@ -118,8 +124,8 @@ TEST_F(KvStoreTest, AutomaticFlushAndCompactionUnderLoad) {
 TEST_F(KvStoreTest, RecoveryFromWalAfterCrash) {
   {
     auto store = OpenStore();
-    store->Put("durable", "yes");
-    store->Put("also", "this");
+    LIQUID_ASSERT_OK(store->Put("durable", "yes"));
+    LIQUID_ASSERT_OK(store->Put("also", "this"));
     // No flush: data only in WAL + memtable. "Crash" = drop the object.
   }
   auto reopened = OpenStore();
@@ -131,11 +137,11 @@ TEST_F(KvStoreTest, RecoveryFromManifestAndTables) {
   {
     auto store = OpenStore();
     for (int i = 0; i < 500; ++i) {
-      store->Put("key" + std::to_string(i), "v" + std::to_string(i));
+      LIQUID_ASSERT_OK(store->Put("key" + std::to_string(i), "v" + std::to_string(i)));
     }
-    store->Flush();
-    store->CompactAll();
-    store->Put("in-wal", "tail");
+    LIQUID_ASSERT_OK(store->Flush());
+    LIQUID_ASSERT_OK(store->CompactAll());
+    LIQUID_ASSERT_OK(store->Put("in-wal", "tail"));
   }
   auto reopened = OpenStore();
   for (int i = 0; i < 500; ++i) {
@@ -147,9 +153,9 @@ TEST_F(KvStoreTest, RecoveryFromManifestAndTables) {
 TEST_F(KvStoreTest, DeleteSurvivesRecovery) {
   {
     auto store = OpenStore();
-    store->Put("k", "v");
-    store->Flush();
-    store->Delete("k");
+    LIQUID_ASSERT_OK(store->Put("k", "v"));
+    LIQUID_ASSERT_OK(store->Flush());
+    LIQUID_ASSERT_OK(store->Delete("k"));
   }
   auto reopened = OpenStore();
   EXPECT_TRUE(reopened->Get("k").status().IsNotFound());
@@ -157,13 +163,13 @@ TEST_F(KvStoreTest, DeleteSurvivesRecovery) {
 
 TEST_F(KvStoreTest, ForEachVisitsLiveKeysInOrder) {
   auto store = OpenStore();
-  store->Put("c", "3");
-  store->Put("a", "1");
-  store->Put("b", "2");
-  store->Put("d", "4");
-  store->Delete("b");
-  store->Flush();
-  store->Put("e", "5");  // Mixed: tables + memtable.
+  LIQUID_ASSERT_OK(store->Put("c", "3"));
+  LIQUID_ASSERT_OK(store->Put("a", "1"));
+  LIQUID_ASSERT_OK(store->Put("b", "2"));
+  LIQUID_ASSERT_OK(store->Put("d", "4"));
+  LIQUID_ASSERT_OK(store->Delete("b"));
+  LIQUID_ASSERT_OK(store->Flush());
+  LIQUID_ASSERT_OK(store->Put("e", "5"));  // Mixed: tables + memtable.
   std::vector<std::string> keys;
   ASSERT_TRUE(store
                   ->ForEach([&](const Slice& key, const Slice&) {
@@ -180,15 +186,15 @@ TEST_F(KvStoreTest, RandomizedAgainstReferenceMap) {
   for (int op = 0; op < 3000; ++op) {
     const std::string key = "k" + std::to_string(rng.Uniform(200));
     if (rng.Bernoulli(0.25)) {
-      store->Delete(key);
+      LIQUID_ASSERT_OK(store->Delete(key));
       reference.erase(key);
     } else {
       const std::string value = rng.Bytes(16);
-      store->Put(key, value);
+      LIQUID_ASSERT_OK(store->Put(key, value));
       reference[key] = value;
     }
-    if (rng.Bernoulli(0.01)) store->Flush();
-    if (rng.Bernoulli(0.005)) store->CompactAll();
+    if (rng.Bernoulli(0.01)) LIQUID_ASSERT_OK(store->Flush());
+    if (rng.Bernoulli(0.005)) LIQUID_ASSERT_OK(store->CompactAll());
   }
   for (const auto& [key, value] : reference) {
     auto got = store->Get(key);
@@ -206,11 +212,11 @@ TEST_F(KvStoreTest, RandomizedSurvivesReopen) {
     for (int op = 0; op < 1500; ++op) {
       const std::string key = "k" + std::to_string(rng.Uniform(100));
       if (rng.Bernoulli(0.2)) {
-        store->Delete(key);
+        LIQUID_ASSERT_OK(store->Delete(key));
         reference.erase(key);
       } else {
         const std::string value = rng.Bytes(8);
-        store->Put(key, value);
+        LIQUID_ASSERT_OK(store->Put(key, value));
         reference[key] = value;
       }
     }
@@ -227,13 +233,13 @@ TEST_F(KvStoreTest, RangeScanAcrossLevels) {
   auto store = OpenStore();
   // Spread keys over L1, L0 and the memtable.
   for (int i = 0; i < 30; ++i) {
-    store->Put("key" + std::string(1, static_cast<char>('a' + i % 26)), "v");
+    LIQUID_ASSERT_OK(store->Put("key" + std::string(1, static_cast<char>('a' + i % 26)), "v"));
   }
-  store->Flush();
-  store->CompactAll();  // -> L1
-  store->Put("keyb", "updated");  // memtable shadows L1
-  store->Delete("keyc");
-  store->Flush();  // -> L0
+  LIQUID_ASSERT_OK(store->Flush());
+  LIQUID_ASSERT_OK(store->CompactAll());  // -> L1
+  LIQUID_ASSERT_OK(store->Put("keyb", "updated"));  // memtable shadows L1
+  LIQUID_ASSERT_OK(store->Delete("keyc"));
+  LIQUID_ASSERT_OK(store->Flush());  // -> L0
 
   std::vector<std::string> keys;
   std::map<std::string, std::string> values;
@@ -252,7 +258,7 @@ TEST_F(KvStoreTest, ApproximateSizeGrows) {
   auto store = OpenStore();
   auto empty = store->ApproximateSizeBytes();
   for (int i = 0; i < 100; ++i) {
-    store->Put("k" + std::to_string(i), std::string(32, 'x'));
+    LIQUID_ASSERT_OK(store->Put("k" + std::to_string(i), std::string(32, 'x')));
   }
   auto full = store->ApproximateSizeBytes();
   EXPECT_GT(*full, *empty);

@@ -7,6 +7,8 @@
 
 #include "storage/disk.h"
 
+#include "test_util.h"
+
 namespace liquid::kv {
 namespace {
 
@@ -138,7 +140,7 @@ TEST_F(SSTableTest, RejectsDuplicateKeys) {
 
 TEST_F(SSTableTest, OpenCorruptFileFails) {
   auto file = disk_.OpenOrCreate("junk.sst");
-  (*file)->Append("this is not a table");
+  LIQUID_ASSERT_OK((*file)->Append("this is not a table"));
   EXPECT_TRUE(SSTable::Open(&disk_, "junk.sst").status().IsCorruption());
 }
 
@@ -146,14 +148,35 @@ TEST_F(SSTableTest, OpenWithBadMagicFails) {
   ASSERT_TRUE(SSTable::Write(&disk_, "t.sst", SortedEntries(10), {}).ok());
   auto file = disk_.OpenOrCreate("t.sst");
   const uint64_t size = (*file)->Size();
-  (*file)->Truncate(size - 8);
-  (*file)->Append("XXXXXXXX");  // Clobber the magic.
+  LIQUID_ASSERT_OK((*file)->Truncate(size - 8));
+  LIQUID_ASSERT_OK((*file)->Append("XXXXXXXX"));  // Clobber the magic.
+  EXPECT_TRUE(SSTable::Open(&disk_, "t.sst").status().IsCorruption());
+}
+
+TEST_F(SSTableTest, InvalidEntryTypeByteIsCorruption) {
+  // One entry, key "a" / value "v": the type byte lives at file offset
+  // 1 (keylen varint) + 1 (key) + 1 (vallen varint) + 1 (value) + 8 (seq).
+  std::vector<Entry> entries(1);
+  entries[0].key = "a";
+  entries[0].value = "v";
+  entries[0].sequence = 1;
+  ASSERT_TRUE(SSTable::Write(&disk_, "t.sst", entries, {}).ok());
+
+  auto file = disk_.OpenOrCreate("t.sst");
+  std::string bytes;
+  LIQUID_ASSERT_OK((*file)->ReadAt(0, (*file)->Size(), &bytes));
+  bytes[12] = 0x07;  // Not a valid EntryType.
+  LIQUID_ASSERT_OK((*file)->Truncate(0));
+  LIQUID_ASSERT_OK((*file)->Append(bytes));
+
+  // Open decodes the first entry (for min_key) and must reject the bogus
+  // type byte instead of materializing an out-of-range enum.
   EXPECT_TRUE(SSTable::Open(&disk_, "t.sst").status().IsCorruption());
 }
 
 TEST_F(SSTableTest, WriteToNonEmptyFileFails) {
   auto file = disk_.OpenOrCreate("used.sst");
-  (*file)->Append("existing");
+  LIQUID_ASSERT_OK((*file)->Append("existing"));
   EXPECT_TRUE(
       SSTable::Write(&disk_, "used.sst", SortedEntries(1), {}).IsAlreadyExists());
 }

@@ -6,6 +6,8 @@
 
 #include "storage/disk.h"
 
+#include "test_util.h"
+
 namespace liquid::kv {
 namespace {
 
@@ -43,23 +45,23 @@ TEST_F(WalTest, AppendAndReplayInOrder) {
 TEST_F(WalTest, ReplayAfterReopen) {
   {
     auto wal = WriteAheadLog::Open(&disk_, "WAL");
-    (*wal)->Append(MakeEntry("persist", "value", 1));
+    LIQUID_ASSERT_OK((*wal)->Append(MakeEntry("persist", "value", 1)));
   }
   auto wal = WriteAheadLog::Open(&disk_, "WAL");
   int count = 0;
-  (*wal)->Replay([&](const Entry& e) {
+  LIQUID_ASSERT_OK((*wal)->Replay([&](const Entry& e) {
     EXPECT_EQ(e.key, "persist");
     ++count;
-  });
+  }));
   EXPECT_EQ(count, 1);
 }
 
 TEST_F(WalTest, DeletesReplayWithType) {
   auto wal = WriteAheadLog::Open(&disk_, "WAL");
-  (*wal)->Append(MakeEntry("k", "v", 1));
-  (*wal)->Append(MakeEntry("k", "", 2, EntryType::kDelete));
+  LIQUID_ASSERT_OK((*wal)->Append(MakeEntry("k", "v", 1)));
+  LIQUID_ASSERT_OK((*wal)->Append(MakeEntry("k", "", 2, EntryType::kDelete)));
   std::vector<Entry> replayed;
-  (*wal)->Replay([&](const Entry& e) { replayed.push_back(e); });
+  LIQUID_ASSERT_OK((*wal)->Replay([&](const Entry& e) { replayed.push_back(e); }));
   ASSERT_EQ(replayed.size(), 2u);
   EXPECT_EQ(replayed[0].type, EntryType::kPut);
   EXPECT_EQ(replayed[1].type, EntryType::kDelete);
@@ -67,11 +69,11 @@ TEST_F(WalTest, DeletesReplayWithType) {
 
 TEST_F(WalTest, TornTailIgnored) {
   auto wal = WriteAheadLog::Open(&disk_, "WAL");
-  (*wal)->Append(MakeEntry("good", "v", 1));
-  (*wal)->Append(MakeEntry("alsogood", "v", 2));
+  LIQUID_ASSERT_OK((*wal)->Append(MakeEntry("good", "v", 1)));
+  LIQUID_ASSERT_OK((*wal)->Append(MakeEntry("alsogood", "v", 2)));
   // Simulate a crash mid-write: chop bytes off the end.
   auto file = disk_.OpenOrCreate("WAL");
-  (*file)->Truncate((*file)->Size() - 4);
+  LIQUID_ASSERT_OK((*file)->Truncate((*file)->Size() - 4));
 
   auto reopened = WriteAheadLog::Open(&disk_, "WAL");
   std::vector<Entry> replayed;
@@ -81,44 +83,63 @@ TEST_F(WalTest, TornTailIgnored) {
   EXPECT_EQ(replayed[0].key, "good");
 }
 
-TEST_F(WalTest, CorruptedRecordStopsReplay) {
+TEST_F(WalTest, BitFlippedCompleteFrameIsCorruption) {
   auto wal = WriteAheadLog::Open(&disk_, "WAL");
-  (*wal)->Append(MakeEntry("first", "v", 1));
+  LIQUID_ASSERT_OK((*wal)->Append(MakeEntry("first", "v", 1)));
   const uint64_t intact = (*wal)->size_bytes();
-  (*wal)->Append(MakeEntry("second", "v", 2));
-  // Flip a byte inside the second record's payload.
+  LIQUID_ASSERT_OK((*wal)->Append(MakeEntry("second", "v", 2)));
+  // Flip a byte inside the second record's payload. Unlike a torn tail, the
+  // frame is complete, so this is bit rot on acknowledged data — replay must
+  // report it instead of silently dropping the write.
   auto file = disk_.OpenOrCreate("WAL");
   std::string bytes;
-  (*file)->ReadAt(0, (*file)->Size(), &bytes);
+  LIQUID_ASSERT_OK((*file)->ReadAt(0, (*file)->Size(), &bytes));
   bytes[intact + 10] ^= 0x40;
-  (*file)->Truncate(0);
-  (*file)->Append(bytes);
+  LIQUID_ASSERT_OK((*file)->Truncate(0));
+  LIQUID_ASSERT_OK((*file)->Append(bytes));
 
   int count = 0;
-  ASSERT_TRUE((*wal)->Replay([&](const Entry&) { ++count; }).ok());
-  EXPECT_EQ(count, 1);  // Only the intact prefix.
+  const Status replay = (*wal)->Replay([&](const Entry&) { ++count; });
+  EXPECT_TRUE(replay.IsCorruption()) << replay.ToString();
+  EXPECT_EQ(count, 1);  // The intact prefix was still delivered.
+}
+
+TEST_F(WalTest, TruncatedTailReplaysIntactPrefixCleanly) {
+  auto wal = WriteAheadLog::Open(&disk_, "WAL");
+  LIQUID_ASSERT_OK((*wal)->Append(MakeEntry("acked", "v", 1)));
+  LIQUID_ASSERT_OK((*wal)->Append(MakeEntry("torn", "v", 2)));
+  // Chop a single byte: the final frame is incomplete, which is exactly what
+  // a crash mid-Append leaves behind. That must NOT read as corruption.
+  auto file = disk_.OpenOrCreate("WAL");
+  LIQUID_ASSERT_OK((*file)->Truncate((*file)->Size() - 1));
+
+  std::vector<Entry> replayed;
+  LIQUID_ASSERT_OK(
+      (*wal)->Replay([&](const Entry& e) { replayed.push_back(e); }));
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].key, "acked");
 }
 
 TEST_F(WalTest, ResetEmptiesLog) {
   auto wal = WriteAheadLog::Open(&disk_, "WAL");
-  (*wal)->Append(MakeEntry("k", "v", 1));
+  LIQUID_ASSERT_OK((*wal)->Append(MakeEntry("k", "v", 1)));
   EXPECT_GT((*wal)->size_bytes(), 0u);
   ASSERT_TRUE((*wal)->Reset().ok());
   EXPECT_EQ((*wal)->size_bytes(), 0u);
   int count = 0;
-  (*wal)->Replay([&](const Entry&) { ++count; });
+  LIQUID_ASSERT_OK((*wal)->Replay([&](const Entry&) { ++count; }));
   EXPECT_EQ(count, 0);
 }
 
 TEST_F(WalTest, EmptyValuesAndKeys) {
   auto wal = WriteAheadLog::Open(&disk_, "WAL");
-  (*wal)->Append(MakeEntry("", "", 1));
+  LIQUID_ASSERT_OK((*wal)->Append(MakeEntry("", "", 1)));
   int count = 0;
-  (*wal)->Replay([&](const Entry& e) {
+  LIQUID_ASSERT_OK((*wal)->Replay([&](const Entry& e) {
     EXPECT_TRUE(e.key.empty());
     EXPECT_TRUE(e.value.empty());
     ++count;
-  });
+  }));
   EXPECT_EQ(count, 1);
 }
 

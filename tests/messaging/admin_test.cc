@@ -11,6 +11,8 @@
 #include "messaging/consumer.h"
 #include "messaging/producer.h"
 
+#include "test_util.h"
+
 namespace liquid::messaging {
 namespace {
 
@@ -72,7 +74,7 @@ TEST_F(AdminTest, DescribeDegradedCluster) {
   for (int replica : state->replicas) {
     if (replica != state->leader) victim = replica;
   }
-  cluster_->StopBroker(victim);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(victim));
   Produce("t", 10);  // acks=all shrinks ISRs excluding the dead broker.
 
   auto description = admin_->DescribeCluster();
@@ -110,9 +112,9 @@ TEST_F(AdminTest, ConsumerLagTracksConsumption) {
   consumer_config.group = "readers";
   Consumer consumer(cluster_.get(), offsets_.get(), coordinator_.get(), "m",
                     consumer_config);
-  consumer.Subscribe({"t"});
-  consumer.Poll(40);
-  consumer.Commit();
+  LIQUID_ASSERT_OK(consumer.Subscribe({"t"}));
+  LIQUID_ASSERT_OK(consumer.Poll(40));
+  LIQUID_ASSERT_OK(consumer.Commit());
   lag = admin_->ConsumerLag("readers", "t");
   EXPECT_EQ((*lag)[0].committed_offset, 40);
   EXPECT_EQ((*lag)[0].lag, 60);
@@ -160,7 +162,7 @@ TEST_F(AdminTest, ReassignValidatesTargets) {
   const TopicPartition tp{"t", 0};
   EXPECT_TRUE(admin_->ReassignPartition(tp, {}).IsInvalidArgument());
   EXPECT_TRUE(admin_->ReassignPartition(tp, {99}).IsInvalidArgument());
-  cluster_->StopBroker(3);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(3));
   EXPECT_TRUE(admin_->ReassignPartition(tp, {3}).IsInvalidArgument());
 }
 

@@ -12,6 +12,8 @@
 #include "messaging/metadata.h"
 #include "storage/record.h"
 
+#include "test_util.h"
+
 namespace liquid::messaging {
 namespace {
 
@@ -143,8 +145,8 @@ TEST_F(BrokerStressTest, ConcurrentReplicationAndMaintenance) {
       while (!stop.load()) {
         auto broker = cluster_->broker(id);
         if (broker == nullptr) break;
-        broker->ReplicateFromLeaders();
-        broker->RunLogMaintenance();
+        LIQUID_ASSERT_OK(broker->ReplicateFromLeaders());
+        LIQUID_ASSERT_OK(broker->RunLogMaintenance());
       }
     });
   }

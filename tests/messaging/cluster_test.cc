@@ -7,6 +7,8 @@
 
 #include "common/clock.h"
 
+#include "test_util.h"
+
 namespace liquid::messaging {
 namespace {
 
@@ -112,7 +114,7 @@ TEST_F(ClusterTest, BrokerStopAndRestartLifecycle) {
 TEST_F(ClusterTest, ControllerFailoverElectsNewController) {
   const int old_controller = cluster_->ControllerId();
   ASSERT_GE(old_controller, 0);
-  cluster_->StopBroker(old_controller);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(old_controller));
   const int new_controller = cluster_->ControllerId();
   EXPECT_GE(new_controller, 0);
   EXPECT_NE(new_controller, old_controller);

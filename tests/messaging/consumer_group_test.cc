@@ -12,6 +12,8 @@
 #include "messaging/consumer.h"
 #include "messaging/producer.h"
 
+#include "test_util.h"
+
 namespace liquid::messaging {
 namespace {
 
@@ -72,7 +74,7 @@ TEST_F(ConsumerGroupTest, PartitionsSplitAcrossMembers) {
   auto c2 = NewConsumer("g", "m2");
   ASSERT_TRUE(c1->Subscribe({"t"}).ok());
   ASSERT_TRUE(c2->Subscribe({"t"}).ok());
-  c1->Poll(0);  // Refresh assignment after m2 joined.
+  LIQUID_ASSERT_OK(c1->Poll(0));  // Refresh assignment after m2 joined.
 
   auto a1 = c1->Assignment();
   auto a2 = c2->Assignment();
@@ -88,8 +90,8 @@ TEST_F(ConsumerGroupTest, QueueSemanticsEachMessageToOneMember) {
   Produce("t", 40);
   auto c1 = NewConsumer("g", "m1");
   auto c2 = NewConsumer("g", "m2");
-  c1->Subscribe({"t"});
-  c2->Subscribe({"t"});
+  LIQUID_ASSERT_OK(c1->Subscribe({"t"}));
+  LIQUID_ASSERT_OK(c2->Subscribe({"t"}));
 
   std::multiset<std::string> seen;
   for (int round = 0; round < 20; ++round) {
@@ -108,13 +110,13 @@ TEST_F(ConsumerGroupTest, RebalanceOnMemberLeave) {
   CreateTopic("t", 4);
   auto c1 = NewConsumer("g", "m1");
   auto c2 = NewConsumer("g", "m2");
-  c1->Subscribe({"t"});
-  c2->Subscribe({"t"});
+  LIQUID_ASSERT_OK(c1->Subscribe({"t"}));
+  LIQUID_ASSERT_OK(c2->Subscribe({"t"}));
   const int64_t generation_before = coordinator_->Generation("g");
 
   ASSERT_TRUE(c2->Close().ok());
   EXPECT_GT(coordinator_->Generation("g"), generation_before);
-  c1->Poll(0);  // Pick up the new assignment.
+  LIQUID_ASSERT_OK(c1->Poll(0));  // Pick up the new assignment.
   EXPECT_EQ(c1->Assignment().size(), 4u);  // m1 owns everything now.
 }
 
@@ -122,14 +124,14 @@ TEST_F(ConsumerGroupTest, RebalanceOnMemberJoinPreservesConsumption) {
   CreateTopic("t", 4);
   Produce("t", 20);
   auto c1 = NewConsumer("g", "m1");
-  c1->Subscribe({"t"});
+  LIQUID_ASSERT_OK(c1->Subscribe({"t"}));
   // Consume some, commit.
   auto first = c1->Poll(8);
   ASSERT_EQ(first->size(), 8u);
   ASSERT_TRUE(c1->Commit().ok());
 
   auto c2 = NewConsumer("g", "m2");
-  c2->Subscribe({"t"});
+  LIQUID_ASSERT_OK(c2->Subscribe({"t"}));
 
   // Drain the rest with both members; count total unique records consumed
   // AFTER the commit.
@@ -150,12 +152,12 @@ TEST_F(ConsumerGroupTest, MoreMembersThanPartitionsLeavesSomeIdle) {
   auto c1 = NewConsumer("g", "m1");
   auto c2 = NewConsumer("g", "m2");
   auto c3 = NewConsumer("g", "m3");
-  c1->Subscribe({"t"});
-  c2->Subscribe({"t"});
-  c3->Subscribe({"t"});
-  c1->Poll(0);
-  c2->Poll(0);
-  c3->Poll(0);
+  LIQUID_ASSERT_OK(c1->Subscribe({"t"}));
+  LIQUID_ASSERT_OK(c2->Subscribe({"t"}));
+  LIQUID_ASSERT_OK(c3->Subscribe({"t"}));
+  LIQUID_ASSERT_OK(c1->Poll(0));
+  LIQUID_ASSERT_OK(c2->Poll(0));
+  LIQUID_ASSERT_OK(c3->Poll(0));
   size_t total = c1->Assignment().size() + c2->Assignment().size() +
                  c3->Assignment().size();
   EXPECT_EQ(total, 2u);
@@ -167,10 +169,10 @@ TEST_F(ConsumerGroupTest, MixedTopicSubscriptions) {
   CreateTopic("b", 2);
   auto ca = NewConsumer("g", "only-a");
   auto cb = NewConsumer("g", "only-b");
-  ca->Subscribe({"a"});
-  cb->Subscribe({"b"});
-  ca->Poll(0);
-  cb->Poll(0);
+  LIQUID_ASSERT_OK(ca->Subscribe({"a"}));
+  LIQUID_ASSERT_OK(cb->Subscribe({"b"}));
+  LIQUID_ASSERT_OK(ca->Poll(0));
+  LIQUID_ASSERT_OK(cb->Poll(0));
   for (const auto& tp : ca->Assignment()) EXPECT_EQ(tp.topic, "a");
   for (const auto& tp : cb->Assignment()) EXPECT_EQ(tp.topic, "b");
   EXPECT_EQ(ca->Assignment().size(), 2u);
@@ -195,14 +197,14 @@ TEST_F(ConsumerGroupTest, GenerationIncreasesMonotonically) {
   CreateTopic("t", 2);
   EXPECT_EQ(coordinator_->Generation("g"), 0);
   auto c1 = NewConsumer("g", "m1");
-  c1->Subscribe({"t"});
+  LIQUID_ASSERT_OK(c1->Subscribe({"t"}));
   const int64_t g1 = coordinator_->Generation("g");
   EXPECT_GT(g1, 0);
   auto c2 = NewConsumer("g", "m2");
-  c2->Subscribe({"t"});
+  LIQUID_ASSERT_OK(c2->Subscribe({"t"}));
   const int64_t g2 = coordinator_->Generation("g");
   EXPECT_GT(g2, g1);
-  c2->Close();
+  LIQUID_ASSERT_OK(c2->Close());
   EXPECT_GT(coordinator_->Generation("g"), g2);
 }
 
@@ -210,7 +212,7 @@ TEST_F(ConsumerGroupTest, LeaveUnknownGroupOrMemberFails) {
   EXPECT_TRUE(coordinator_->LeaveGroup("ghost", "m").IsNotFound());
   CreateTopic("t", 1);
   auto c1 = NewConsumer("g", "m1");
-  c1->Subscribe({"t"});
+  LIQUID_ASSERT_OK(c1->Subscribe({"t"}));
   EXPECT_TRUE(coordinator_->LeaveGroup("g", "ghost-member").IsNotFound());
 }
 
@@ -218,7 +220,7 @@ TEST_F(ConsumerGroupTest, PollDistributesFairlyAcrossPartitions) {
   CreateTopic("t", 3);
   Produce("t", 30);
   auto consumer = NewConsumer("g", "m1");
-  consumer->Subscribe({"t"});
+  LIQUID_ASSERT_OK(consumer->Subscribe({"t"}));
   // Small polls should still eventually cover all partitions (round-robin
   // poll cursor), not starve one.
   std::set<int> partitions_seen;

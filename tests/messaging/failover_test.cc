@@ -8,6 +8,8 @@
 #include "messaging/cluster.h"
 #include "messaging/producer.h"
 
+#include "test_util.h"
+
 namespace liquid::messaging {
 namespace {
 
@@ -66,7 +68,7 @@ TEST_F(FailoverTest, LeaderDeathTriggersReElectionFromIsr) {
   ASSERT_EQ(Produce(tp, 5, AckMode::kAll), 5);
 
   auto before = cluster_->GetPartitionState(tp);
-  cluster_->StopBroker(before->leader);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(before->leader));
   cluster_->ReplicationTick();  // Surviving followers fetch from the new
   cluster_->ReplicationTick();  // leader, re-advancing the high-watermark.
 
@@ -84,7 +86,7 @@ TEST_F(FailoverTest, AcksAllLosesNothingAcrossFailover) {
   CreateTopic("t", 3);
   const TopicPartition tp{"t", 0};
   const int acked = Produce(tp, 20, AckMode::kAll);
-  cluster_->StopBroker(cluster_->GetPartitionState(tp)->leader);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(cluster_->GetPartitionState(tp)->leader));
   cluster_->ReplicationTick();
   cluster_->ReplicationTick();
   EXPECT_EQ(CommittedRecords(tp), acked);
@@ -96,7 +98,7 @@ TEST_F(FailoverTest, AcksLeaderMayLoseUnreplicatedRecords) {
   // No replication ticks: records sit only on the leader.
   const int acked = Produce(tp, 20, AckMode::kLeader);
   ASSERT_EQ(acked, 20);
-  cluster_->StopBroker(cluster_->GetPartitionState(tp)->leader);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(cluster_->GetPartitionState(tp)->leader));
   const int64_t survived = CommittedRecords(tp);
   // The durability trade-off (§4.3): acknowledged-but-unreplicated data is
   // gone after failover.
@@ -109,7 +111,7 @@ TEST_F(FailoverTest, AcksLeaderKeepsReplicatedRecords) {
   Produce(tp, 20, AckMode::kLeader);
   cluster_->ReplicationTick();  // Replicate...
   cluster_->ReplicationTick();  // ...and advance the HW.
-  cluster_->StopBroker(cluster_->GetPartitionState(tp)->leader);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(cluster_->GetPartitionState(tp)->leader));
   cluster_->ReplicationTick();
   cluster_->ReplicationTick();
   EXPECT_EQ(CommittedRecords(tp), 20);
@@ -120,7 +122,9 @@ TEST_F(FailoverTest, PartitionGoesOfflineWithoutIsrCandidates) {
   const TopicPartition tp{"t", 0};
   auto state = cluster_->GetPartitionState(tp);
   // Kill both replicas.
-  for (int replica : state->replicas) cluster_->StopBroker(replica);
+  for (int replica : state->replicas) {
+    LIQUID_ASSERT_OK(cluster_->StopBroker(replica));
+  }
   auto offline = cluster_->GetPartitionState(tp);
   EXPECT_EQ(offline->leader, -1);
   EXPECT_TRUE(cluster_->LeaderFor(tp).status().IsUnavailable());
@@ -131,7 +135,9 @@ TEST_F(FailoverTest, OfflinePartitionRecoversWhenReplicaReturns) {
   const TopicPartition tp{"t", 0};
   ASSERT_EQ(Produce(tp, 3, AckMode::kAll), 3);
   auto state = cluster_->GetPartitionState(tp);
-  for (int replica : state->replicas) cluster_->StopBroker(replica);
+  for (int replica : state->replicas) {
+    LIQUID_ASSERT_OK(cluster_->StopBroker(replica));
+  }
   ASSERT_EQ(cluster_->GetPartitionState(tp)->leader, -1);
 
   // Sequential failures shrink the ISR: by the time the second replica dies
@@ -155,14 +161,14 @@ TEST_F(FailoverTest, UncleanElectionTradesDataForAvailability) {
   }
 
   // Isolate the follower (it falls out of the ISR), then keep writing.
-  cluster_->StopBroker(follower);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(follower));
   ASSERT_EQ(Produce(tp, 10, AckMode::kAll), 10);
   ASSERT_EQ(cluster_->GetPartitionState(tp)->isr.size(), 1u);
 
   // Bring the stale follower back, then kill the leader: only a NON-ISR
   // replica is available.
   ASSERT_TRUE(cluster_->RestartBroker(follower).ok());
-  cluster_->StopBroker(leader);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(leader));
 
   auto after = cluster_->GetPartitionState(tp);
   EXPECT_EQ(after->leader, follower);  // Unclean: stale replica leads.
@@ -178,11 +184,11 @@ TEST_F(FailoverTest, CleanConfigKeepsPartitionOfflineInsteadOfLosingData) {
   for (int replica : state->replicas) {
     if (replica != leader) follower = replica;
   }
-  cluster_->StopBroker(follower);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(follower));
   ASSERT_EQ(Produce(tp, 10, AckMode::kAll), 10);
   ASSERT_TRUE(cluster_->RestartBroker(follower).ok());
   // The restarted follower is not yet back in the ISR; the leader dies.
-  cluster_->StopBroker(leader);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(leader));
   EXPECT_EQ(cluster_->GetPartitionState(tp)->leader, -1);  // Offline, no loss.
 }
 
@@ -191,7 +197,7 @@ TEST_F(FailoverTest, RestartedLeaderComesBackAsFollowerAndCatchesUp) {
   const TopicPartition tp{"t", 0};
   ASSERT_EQ(Produce(tp, 5, AckMode::kAll), 5);
   const int old_leader = cluster_->GetPartitionState(tp)->leader;
-  cluster_->StopBroker(old_leader);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(old_leader));
   ASSERT_EQ(Produce(tp, 5, AckMode::kAll), 5);  // New leader takes writes.
 
   ASSERT_TRUE(cluster_->RestartBroker(old_leader).ok());
@@ -212,7 +218,7 @@ TEST_F(FailoverTest, EpochFencingPreventsZombieLeader) {
   ASSERT_EQ(Produce(tp, 2, AckMode::kAll), 2);
   auto before = cluster_->GetPartitionState(tp);
   Broker* old_leader = cluster_->broker(before->leader);
-  cluster_->StopBroker(before->leader);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(before->leader));
 
   // The dead ("zombie") leader cannot serve anything.
   std::vector<storage::Record> batch{storage::Record::KeyValue("k", "zombie")};

@@ -8,6 +8,8 @@
 #include "messaging/consumer.h"
 #include "messaging/producer.h"
 
+#include "test_util.h"
+
 namespace liquid::messaging {
 namespace {
 
@@ -48,12 +50,12 @@ class LivenessTest : public ::testing::Test {
 TEST_F(LivenessTest, ActiveMembersAreNotEvicted) {
   auto c1 = NewConsumer("m1");
   auto c2 = NewConsumer("m2");
-  c1->Subscribe({"t"});
-  c2->Subscribe({"t"});
+  LIQUID_ASSERT_OK(c1->Subscribe({"t"}));
+  LIQUID_ASSERT_OK(c2->Subscribe({"t"}));
   for (int i = 0; i < 5; ++i) {
     clock_.AdvanceMs(5'000);  // Under the timeout between polls.
-    c1->Poll(1);
-    c2->Poll(1);
+    LIQUID_ASSERT_OK(c1->Poll(1));
+    LIQUID_ASSERT_OK(c2->Poll(1));
     EXPECT_EQ(coordinator_->EvictExpiredMembers(), 0);
   }
   EXPECT_EQ(coordinator_->MemberCount("g"), 2);
@@ -62,36 +64,36 @@ TEST_F(LivenessTest, ActiveMembersAreNotEvicted) {
 TEST_F(LivenessTest, SilentMemberEvictedAndPartitionsRedistributed) {
   auto c1 = NewConsumer("m1");
   auto c2 = NewConsumer("m2");
-  c1->Subscribe({"t"});
-  c2->Subscribe({"t"});
-  c1->Poll(0);
+  LIQUID_ASSERT_OK(c1->Subscribe({"t"}));
+  LIQUID_ASSERT_OK(c2->Subscribe({"t"}));
+  LIQUID_ASSERT_OK(c1->Poll(0));
   EXPECT_EQ(c1->Assignment().size(), 2u);
 
   // m2 "crashes" (never polls again); m1 keeps polling.
   clock_.AdvanceMs(15'000);
-  c1->Poll(0);
+  LIQUID_ASSERT_OK(c1->Poll(0));
   EXPECT_EQ(coordinator_->EvictExpiredMembers(), 1);
   EXPECT_EQ(coordinator_->MemberCount("g"), 1);
-  c1->Poll(0);  // Picks up the new generation.
+  LIQUID_ASSERT_OK(c1->Poll(0));  // Picks up the new generation.
   EXPECT_EQ(c1->Assignment().size(), 4u);  // m1 owns everything now.
 }
 
 TEST_F(LivenessTest, EvictedMembersPartitionsKeepDraining) {
   Producer producer(cluster_.get(), ProducerConfig{});
   for (int i = 0; i < 40; ++i) {
-    producer.Send("t", storage::Record::KeyValue("k" + std::to_string(i), "v"));
+    LIQUID_ASSERT_OK(producer.Send("t", storage::Record::KeyValue("k" + std::to_string(i), "v")));
   }
-  producer.Flush();
+  LIQUID_ASSERT_OK(producer.Flush());
 
   auto c1 = NewConsumer("m1");
   auto c2 = NewConsumer("m2");
-  c1->Subscribe({"t"});
-  c2->Subscribe({"t"});
+  LIQUID_ASSERT_OK(c1->Subscribe({"t"}));
+  LIQUID_ASSERT_OK(c2->Subscribe({"t"}));
   // m2 consumes a little, commits, then dies.
-  c2->Poll(5);
-  c2->Commit();
+  LIQUID_ASSERT_OK(c2->Poll(5));
+  LIQUID_ASSERT_OK(c2->Commit());
   clock_.AdvanceMs(15'000);
-  c1->Poll(0);
+  LIQUID_ASSERT_OK(c1->Poll(0));
   ASSERT_EQ(coordinator_->EvictExpiredMembers(), 1);
 
   // m1 takes over m2's partitions from the committed offsets and drains all.
@@ -108,7 +110,7 @@ TEST_F(LivenessTest, DisabledTimeoutNeverEvicts) {
   ConsumerConfig config;
   config.group = "g2";
   Consumer consumer(cluster_.get(), offsets_.get(), &no_timeout, "m", config);
-  consumer.Subscribe({"t"});
+  LIQUID_ASSERT_OK(consumer.Subscribe({"t"}));
   clock_.AdvanceMs(1'000'000);
   EXPECT_EQ(no_timeout.EvictExpiredMembers(), 0);
   EXPECT_EQ(no_timeout.MemberCount("g2"), 1);
@@ -116,14 +118,14 @@ TEST_F(LivenessTest, DisabledTimeoutNeverEvicts) {
 
 TEST_F(LivenessTest, RejoinAfterEvictionWorks) {
   auto c1 = NewConsumer("m1");
-  c1->Subscribe({"t"});
+  LIQUID_ASSERT_OK(c1->Subscribe({"t"}));
   clock_.AdvanceMs(20'000);
   ASSERT_EQ(coordinator_->EvictExpiredMembers(), 1);
   EXPECT_EQ(coordinator_->MemberCount("g"), 0);
   // The "recovered" consumer re-subscribes (new session) and gets everything.
   ASSERT_TRUE(c1->Subscribe({"t"}).ok());
   EXPECT_EQ(coordinator_->MemberCount("g"), 1);
-  c1->Poll(0);
+  LIQUID_ASSERT_OK(c1->Poll(0));
   EXPECT_EQ(c1->Assignment().size(), 4u);
 }
 

@@ -6,6 +6,8 @@
 
 #include "common/clock.h"
 
+#include "test_util.h"
+
 namespace liquid::messaging {
 namespace {
 
@@ -45,7 +47,7 @@ TEST_F(OffsetManagerTest, LatestCommitWins) {
   for (int64_t offset : {10, 20, 30}) {
     OffsetCommit commit;
     commit.offset = offset;
-    manager->Commit("g", tp, commit);
+    LIQUID_ASSERT_OK(manager->Commit("g", tp, commit));
   }
   EXPECT_EQ(manager->Fetch("g", tp)->offset, 30);
 }
@@ -56,9 +58,9 @@ TEST_F(OffsetManagerTest, GroupsAndPartitionsAreIndependent) {
   c1.offset = 1;
   c2.offset = 2;
   c3.offset = 3;
-  manager->Commit("g1", TopicPartition{"t", 0}, c1);
-  manager->Commit("g2", TopicPartition{"t", 0}, c2);
-  manager->Commit("g1", TopicPartition{"t", 1}, c3);
+  LIQUID_ASSERT_OK(manager->Commit("g1", TopicPartition{"t", 0}, c1));
+  LIQUID_ASSERT_OK(manager->Commit("g2", TopicPartition{"t", 0}, c2));
+  LIQUID_ASSERT_OK(manager->Commit("g1", TopicPartition{"t", 1}, c3));
   EXPECT_EQ(manager->Fetch("g1", TopicPartition{"t", 0})->offset, 1);
   EXPECT_EQ(manager->Fetch("g2", TopicPartition{"t", 0})->offset, 2);
   EXPECT_EQ(manager->Fetch("g1", TopicPartition{"t", 1})->offset, 3);
@@ -70,7 +72,7 @@ TEST_F(OffsetManagerTest, AnnotationsRoundTrip) {
   OffsetCommit commit;
   commit.offset = 7;
   commit.annotations = {{"version", "v2"}, {"host", "node-3"}};
-  manager->Commit("g", tp, commit);
+  LIQUID_ASSERT_OK(manager->Commit("g", tp, commit));
   auto fetched = manager->Fetch("g", tp);
   EXPECT_EQ(fetched->annotations.at("version"), "v2");
   EXPECT_EQ(fetched->annotations.at("host"), "node-3");
@@ -89,7 +91,7 @@ TEST_F(OffsetManagerTest, LabeledCommitsSurviveLaterPlainCommits) {
   for (int64_t offset : {150, 200, 250}) {
     OffsetCommit commit;
     commit.offset = offset;
-    manager->Commit("g", tp, commit);
+    LIQUID_ASSERT_OK(manager->Commit("g", tp, commit));
   }
   EXPECT_EQ(manager->Fetch("g", tp)->offset, 250);
   auto labeled = manager->FetchLabeled("g", tp, "v2-start");
@@ -112,10 +114,10 @@ TEST_F(OffsetManagerTest, RecoversFromBackingLogAfterRestart) {
     OffsetCommit commit;
     commit.offset = 64;
     commit.annotations = {{"version", "v1"}};
-    manager->Commit("g", TopicPartition{"t", 2}, commit);
+    LIQUID_ASSERT_OK(manager->Commit("g", TopicPartition{"t", 2}, commit));
     OffsetCommit labeled;
     labeled.offset = 10;
-    manager->CommitLabeled("g", TopicPartition{"t", 2}, "mark", labeled);
+    LIQUID_ASSERT_OK(manager->CommitLabeled("g", TopicPartition{"t", 2}, "mark", labeled));
   }
   // "Failure": new manager instance over the same disk (§4.2: fetching from
   // the offset manager is only necessary after a failure).
@@ -134,7 +136,7 @@ TEST_F(OffsetManagerTest, CompactionShrinksBackingLog) {
   for (int i = 0; i < 20000; ++i) {
     OffsetCommit commit;
     commit.offset = i;
-    manager->Commit("g", tp, commit);
+    LIQUID_ASSERT_OK(manager->Commit("g", tp, commit));
   }
   const uint64_t before = manager->backing_log_bytes();
   auto stats = manager->CompactBackingLog();
@@ -151,9 +153,9 @@ TEST_F(OffsetManagerTest, RecoveryAfterCompaction) {
     for (int i = 0; i < 5000; ++i) {
       OffsetCommit commit;
       commit.offset = i;
-      manager->Commit("g", tp, commit);
+      LIQUID_ASSERT_OK(manager->Commit("g", tp, commit));
     }
-    manager->CompactBackingLog();
+    LIQUID_ASSERT_OK(manager->CompactBackingLog());
   }
   auto recovered = OpenManager();
   EXPECT_EQ(recovered->Fetch("g", TopicPartition{"t", 0})->offset, 4999);
@@ -163,8 +165,8 @@ TEST_F(OffsetManagerTest, CommitsTotalCounts) {
   auto manager = OpenManager();
   OffsetCommit commit;
   commit.offset = 1;
-  manager->Commit("g", TopicPartition{"t", 0}, commit);
-  manager->Commit("g", TopicPartition{"t", 1}, commit);
+  LIQUID_ASSERT_OK(manager->Commit("g", TopicPartition{"t", 0}, commit));
+  LIQUID_ASSERT_OK(manager->Commit("g", TopicPartition{"t", 1}, commit));
   EXPECT_EQ(manager->commits_total(), 2);
 }
 

@@ -10,6 +10,8 @@
 #include "messaging/offset_manager.h"
 #include "messaging/producer.h"
 
+#include "test_util.h"
+
 namespace liquid::messaging {
 namespace {
 
@@ -82,9 +84,9 @@ TEST_F(ProduceConsumeTest, HashPartitioningIsStableByKey) {
   Producer producer(cluster_.get(), ProducerConfig{});
   // Same key many times: always the same partition.
   for (int i = 0; i < 20; ++i) {
-    producer.Send("t", storage::Record::KeyValue("stable-key", "v"));
+    LIQUID_ASSERT_OK(producer.Send("t", storage::Record::KeyValue("stable-key", "v")));
   }
-  producer.Flush();
+  LIQUID_ASSERT_OK(producer.Flush());
   int partitions_with_data = 0;
   for (int p = 0; p < 4; ++p) {
     auto leader = cluster_->LeaderFor(TopicPartition{"t", p});
@@ -102,9 +104,9 @@ TEST_F(ProduceConsumeTest, RoundRobinSpreadsLoad) {
   config.batch_max_records = 1;  // Send immediately.
   Producer producer(cluster_.get(), config);
   for (int i = 0; i < 40; ++i) {
-    producer.Send("t", storage::Record::KeyValue("k", "v"));
+    LIQUID_ASSERT_OK(producer.Send("t", storage::Record::KeyValue("k", "v")));
   }
-  producer.Flush();
+  LIQUID_ASSERT_OK(producer.Flush());
   for (int p = 0; p < 4; ++p) {
     auto leader = cluster_->LeaderFor(TopicPartition{"t", p});
     EXPECT_EQ(*(*leader)->LogEndOffset(TopicPartition{"t", p}), 10);
@@ -118,9 +120,9 @@ TEST_F(ProduceConsumeTest, CustomPartitionerRoutesSemantically) {
       [](const storage::Record& record, int) {
         return record.key.size() % 2 == 0 ? 0 : 1;
       });
-  producer.Send("t", storage::Record::KeyValue("ab", "v"));   // -> 0
-  producer.Send("t", storage::Record::KeyValue("abc", "v"));  // -> 1
-  producer.Flush();
+  LIQUID_ASSERT_OK(producer.Send("t", storage::Record::KeyValue("ab", "v")));   // -> 0
+  LIQUID_ASSERT_OK(producer.Send("t", storage::Record::KeyValue("abc", "v")));  // -> 1
+  LIQUID_ASSERT_OK(producer.Flush());
   auto l0 = cluster_->LeaderFor(TopicPartition{"t", 0});
   auto l1 = cluster_->LeaderFor(TopicPartition{"t", 1});
   EXPECT_EQ(*(*l0)->LogEndOffset(TopicPartition{"t", 0}), 1);
@@ -147,12 +149,12 @@ TEST_F(ProduceConsumeTest, ConsumerSeekRewindsAndRereads) {
   CreateTopic("t", 1);
   Producer producer(cluster_.get(), ProducerConfig{});
   for (int i = 0; i < 10; ++i) {
-    producer.Send("t", storage::Record::KeyValue("k", std::to_string(i)));
+    LIQUID_ASSERT_OK(producer.Send("t", storage::Record::KeyValue("k", std::to_string(i))));
   }
-  producer.Flush();
+  LIQUID_ASSERT_OK(producer.Flush());
 
   auto consumer = NewConsumer("g", "c1");
-  consumer->Subscribe({"t"});
+  LIQUID_ASSERT_OK(consumer->Subscribe({"t"}));
   auto first = consumer->Poll(100);
   ASSERT_EQ(first->size(), 10u);
   // Rewindability (§3.1): seek back and read the same data again.
@@ -166,14 +168,14 @@ TEST_F(ProduceConsumeTest, SeekToTimestampFindsData) {
   CreateTopic("t", 1);
   Producer producer(cluster_.get(), ProducerConfig{});
   clock_.SetMs(10000);
-  producer.Send("t", storage::Record::KeyValue("k", "early"));
-  producer.Flush();
+  LIQUID_ASSERT_OK(producer.Send("t", storage::Record::KeyValue("k", "early")));
+  LIQUID_ASSERT_OK(producer.Flush());
   clock_.SetMs(20000);
-  producer.Send("t", storage::Record::KeyValue("k", "late"));
-  producer.Flush();
+  LIQUID_ASSERT_OK(producer.Send("t", storage::Record::KeyValue("k", "late")));
+  LIQUID_ASSERT_OK(producer.Flush());
 
   auto consumer = NewConsumer("g", "c1");
-  consumer->Subscribe({"t"});
+  LIQUID_ASSERT_OK(consumer->Subscribe({"t"}));
   ASSERT_TRUE(consumer->SeekToTimestamp(15000).ok());
   auto records = consumer->Poll(10);
   ASSERT_EQ(records->size(), 1u);
@@ -184,21 +186,21 @@ TEST_F(ProduceConsumeTest, CommitAndResumeAfterConsumerRestart) {
   CreateTopic("t", 1);
   Producer producer(cluster_.get(), ProducerConfig{});
   for (int i = 0; i < 10; ++i) {
-    producer.Send("t", storage::Record::KeyValue("k", std::to_string(i)));
+    LIQUID_ASSERT_OK(producer.Send("t", storage::Record::KeyValue("k", std::to_string(i))));
   }
-  producer.Flush();
+  LIQUID_ASSERT_OK(producer.Flush());
 
   {
     auto consumer = NewConsumer("g", "c1");
-    consumer->Subscribe({"t"});
+    LIQUID_ASSERT_OK(consumer->Subscribe({"t"}));
     auto records = consumer->Poll(4);
     ASSERT_EQ(records->size(), 4u);
     ASSERT_TRUE(consumer->Commit().ok());
-    consumer->Close();
+    LIQUID_ASSERT_OK(consumer->Close());
   }
   // New member of the same group resumes from the committed offset.
   auto consumer = NewConsumer("g", "c2");
-  consumer->Subscribe({"t"});
+  LIQUID_ASSERT_OK(consumer->Subscribe({"t"}));
   auto records = consumer->Poll(100);
   ASSERT_EQ(records->size(), 6u);
   EXPECT_EQ(records->front().record.offset, 4);
@@ -209,14 +211,14 @@ TEST_F(ProduceConsumeTest, TwoGroupsEachSeeAllData) {
   CreateTopic("t", 2);
   Producer producer(cluster_.get(), ProducerConfig{});
   for (int i = 0; i < 20; ++i) {
-    producer.Send("t", storage::Record::KeyValue("k" + std::to_string(i), "v"));
+    LIQUID_ASSERT_OK(producer.Send("t", storage::Record::KeyValue("k" + std::to_string(i), "v")));
   }
-  producer.Flush();
+  LIQUID_ASSERT_OK(producer.Flush());
 
   for (const char* group_name : {"g1", "g2"}) {
     const std::string group(group_name);
     auto consumer = NewConsumer(group, group + "-member");
-    consumer->Subscribe({"t"});
+    LIQUID_ASSERT_OK(consumer->Subscribe({"t"}));
     size_t total = 0;
     while (true) {
       auto records = consumer->Poll(64);
@@ -256,7 +258,7 @@ TEST_F(ProduceConsumeTest, ProducerRetriesAfterLeaderFailover) {
   ASSERT_TRUE(producer.Send("t", storage::Record::KeyValue("k", "v1")).ok());
 
   const int old_leader = cluster_->GetPartitionState(tp)->leader;
-  cluster_->StopBroker(old_leader);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(old_leader));
   // The producer refreshes metadata and retries transparently.
   ASSERT_TRUE(producer.Send("t", storage::Record::KeyValue("k", "v2")).ok());
   ASSERT_TRUE(producer.Flush().ok());

@@ -9,6 +9,8 @@
 #include "messaging/cluster.h"
 #include "messaging/producer.h"
 
+#include "test_util.h"
+
 namespace liquid::messaging {
 namespace {
 
@@ -100,7 +102,7 @@ TEST_F(BrokerQuotaTest, FetchOverQuotaIsDelayed) {
   Broker* broker = *cluster_->LeaderFor(tp_);
   broker->quotas()->SetQuota("tenant-b", 1024);
   std::vector<storage::Record> batch{storage::Record::KeyValue("k", "v")};
-  broker->Produce(tp_, batch, AckMode::kLeader);
+  LIQUID_ASSERT_OK(broker->Produce(tp_, batch, AckMode::kLeader));
 
   const int64_t before = clock_.NowMs();
   ASSERT_TRUE(broker->Fetch(tp_, 0, 64 * 1024, -1, "tenant-b").ok());
@@ -113,7 +115,7 @@ TEST_F(BrokerQuotaTest, ReplicationTrafficNeverThrottled) {
   Broker* broker = *cluster_->LeaderFor(tp_);
   broker->quotas()->SetQuota("tenant", 1);  // Absurdly tight.
   std::vector<storage::Record> batch{storage::Record::KeyValue("k", "v")};
-  broker->Produce(tp_, batch, AckMode::kLeader);  // client_id="" internal.
+  LIQUID_ASSERT_OK(broker->Produce(tp_, batch, AckMode::kLeader));  // client_id="" internal.
   const int64_t before = clock_.NowMs();
   // Replica fetches carry no client id: never delayed.
   ASSERT_TRUE(broker->Fetch(tp_, 0, 1 << 20, /*replica_id=*/5).ok());

@@ -9,6 +9,8 @@
 #include "messaging/broker.h"
 #include "messaging/cluster.h"
 
+#include "test_util.h"
+
 namespace liquid::messaging {
 namespace {
 
@@ -59,8 +61,8 @@ TEST_P(ReplicationPropertyTest, InvariantsHoldUnderRandomFaults) {
       // Crash a random alive broker — but never the last replica alive.
       auto alive = cluster.AliveBrokerIds();
       if (alive.size() <= 1) continue;
-      cluster.StopBroker(
-          alive[rng.Uniform(static_cast<uint64_t>(alive.size()))]);
+      LIQUID_ASSERT_OK(cluster.StopBroker(
+          alive[rng.Uniform(static_cast<uint64_t>(alive.size()))]));
     } else {
       // Restart a random dead broker.
       std::vector<int> dead;
@@ -68,14 +70,16 @@ TEST_P(ReplicationPropertyTest, InvariantsHoldUnderRandomFaults) {
         if (!cluster.broker(id)->alive()) dead.push_back(id);
       }
       if (dead.empty()) continue;
-      cluster.RestartBroker(
-          dead[rng.Uniform(static_cast<uint64_t>(dead.size()))]);
+      LIQUID_ASSERT_OK(cluster.RestartBroker(
+          dead[rng.Uniform(static_cast<uint64_t>(dead.size()))]));
     }
   }
 
   // Quiesce: revive everyone and let replication converge.
   for (int id : cluster.BrokerIds()) {
-    if (!cluster.broker(id)->alive()) cluster.RestartBroker(id);
+    if (!cluster.broker(id)->alive()) {
+      LIQUID_ASSERT_OK(cluster.RestartBroker(id));
+    }
   }
   for (int i = 0; i < 6; ++i) cluster.ReplicationTick();
 

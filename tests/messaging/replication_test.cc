@@ -7,6 +7,8 @@
 #include "messaging/cluster.h"
 #include "messaging/producer.h"
 
+#include "test_util.h"
+
 namespace liquid::messaging {
 namespace {
 
@@ -245,7 +247,7 @@ TEST_F(ReplicationTest, Kip101TruncatesDivergentSuffixBelowLeaderLeo) {
 
   // First leader dies; a new leader (from the ISR) takes over and commits
   // DIFFERENT records at the same offsets.
-  cluster_->StopBroker(first_leader);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(first_leader));
   ASSERT_TRUE(ProduceOne(tp, AckMode::kAll, "committed-1").ok());
   ASSERT_TRUE(ProduceOne(tp, AckMode::kAll, "committed-2").ok());
 
@@ -263,7 +265,7 @@ TEST_F(ReplicationTest, Kip101TruncatesDivergentSuffixBelowLeaderLeo) {
   // And if every OTHER broker dies, the restored replica serves the committed
   // records, not its divergent ghost.
   for (int id : cluster_->AliveBrokerIds()) {
-    if (id != first_leader) cluster_->StopBroker(id);
+    if (id != first_leader) LIQUID_ASSERT_OK(cluster_->StopBroker(id));
   }
   auto leader = cluster_->LeaderFor(tp);
   ASSERT_TRUE(leader.ok());
@@ -311,7 +313,7 @@ TEST_F(ReplicationTest, RecordsCarryLeaderEpoch) {
   const TopicPartition tp{"t", 0};
   ASSERT_TRUE(ProduceOne(tp, AckMode::kAll, "before").ok());
   const int old_leader = cluster_->GetPartitionState(tp)->leader;
-  cluster_->StopBroker(old_leader);
+  LIQUID_ASSERT_OK(cluster_->StopBroker(old_leader));
   ASSERT_TRUE(ProduceOne(tp, AckMode::kAll, "after").ok());
 
   auto leader = cluster_->LeaderFor(tp);

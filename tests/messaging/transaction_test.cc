@@ -11,6 +11,8 @@
 #include "messaging/consumer.h"
 #include "messaging/producer.h"
 
+#include "test_util.h"
+
 namespace liquid::messaging {
 namespace {
 
@@ -51,7 +53,7 @@ class TransactionTest : public ::testing::Test {
     config.read_committed = true;
     Consumer consumer(cluster_.get(), offsets_.get(), group_coordinator_.get(),
                       group + "-m", config);
-    consumer.Subscribe({"out"});
+    LIQUID_EXPECT_OK(consumer.Subscribe({"out"}));
     std::vector<std::string> values;
     for (int i = 0; i < 20; ++i) {
       auto records = consumer.Poll(256);
@@ -86,15 +88,15 @@ TEST_F(TransactionTest, CommittedDataVisibleToReadCommitted) {
 TEST_F(TransactionTest, OpenTransactionInvisibleUntilCommit) {
   auto producer = NewTxnProducer("t1");
   ASSERT_TRUE(producer->BeginTransaction().ok());
-  producer->Send("out", storage::Record::KeyValue("k", "pending"));
-  producer->Flush();
+  LIQUID_ASSERT_OK(producer->Send("out", storage::Record::KeyValue("k", "pending")));
+  LIQUID_ASSERT_OK(producer->Flush());
   // read_committed sees nothing; read_uncommitted (default) sees the record.
   EXPECT_TRUE(ReadCommitted("g1").empty());
   ConsumerConfig dirty_config;
   dirty_config.group = "dirty";
   Consumer dirty(cluster_.get(), offsets_.get(), group_coordinator_.get(), "m",
                  dirty_config);
-  dirty.Subscribe({"out"});
+  LIQUID_ASSERT_OK(dirty.Subscribe({"out"}));
   size_t uncommitted_seen = 0;
   for (int i = 0; i < 10; ++i) uncommitted_seen += dirty.Poll(64)->size();
   EXPECT_EQ(uncommitted_seen, 1u);
@@ -107,13 +109,13 @@ TEST_F(TransactionTest, AbortedDataNeverVisible) {
   auto producer = NewTxnProducer("t1");
   ASSERT_TRUE(producer->BeginTransaction().ok());
   for (int i = 0; i < 5; ++i) {
-    producer->Send("out", storage::Record::KeyValue("k", "doomed"));
+    LIQUID_ASSERT_OK(producer->Send("out", storage::Record::KeyValue("k", "doomed")));
   }
   ASSERT_TRUE(producer->AbortTransaction().ok());
 
   // Next transaction commits normally: only its data shows.
   ASSERT_TRUE(producer->BeginTransaction().ok());
-  producer->Send("out", storage::Record::KeyValue("k", "survivor"));
+  LIQUID_ASSERT_OK(producer->Send("out", storage::Record::KeyValue("k", "survivor")));
   ASSERT_TRUE(producer->CommitTransaction().ok());
 
   auto values = ReadCommitted("g1");
@@ -126,12 +128,12 @@ TEST_F(TransactionTest, MultiPartitionAtomicity) {
   // Round-robin spreads the batch over both partitions; abort removes all.
   ASSERT_TRUE(producer->BeginTransaction().ok());
   for (int i = 0; i < 8; ++i) {
-    producer->Send("out", storage::Record::KeyValue("k", "none"));
+    LIQUID_ASSERT_OK(producer->Send("out", storage::Record::KeyValue("k", "none")));
   }
   ASSERT_TRUE(producer->AbortTransaction().ok());
   ASSERT_TRUE(producer->BeginTransaction().ok());
   for (int i = 0; i < 8; ++i) {
-    producer->Send("out", storage::Record::KeyValue("k", "all"));
+    LIQUID_ASSERT_OK(producer->Send("out", storage::Record::KeyValue("k", "all")));
   }
   ASSERT_TRUE(producer->CommitTransaction().ok());
 
@@ -143,13 +145,13 @@ TEST_F(TransactionTest, MultiPartitionAtomicity) {
 TEST_F(TransactionTest, ZombieFencingAbortsPredecessor) {
   auto zombie = NewTxnProducer("shared-id");
   ASSERT_TRUE(zombie->BeginTransaction().ok());
-  zombie->Send("out", storage::Record::KeyValue("k", "zombie-write"));
-  zombie->Flush();
+  LIQUID_ASSERT_OK(zombie->Send("out", storage::Record::KeyValue("k", "zombie-write")));
+  LIQUID_ASSERT_OK(zombie->Flush());
   // The zombie stalls; a new incarnation with the SAME transactional id
   // initializes — the coordinator aborts the zombie's open transaction.
   auto successor = NewTxnProducer("shared-id");
   ASSERT_TRUE(successor->BeginTransaction().ok());
-  successor->Send("out", storage::Record::KeyValue("k", "successor-write"));
+  LIQUID_ASSERT_OK(successor->Send("out", storage::Record::KeyValue("k", "successor-write")));
   ASSERT_TRUE(successor->CommitTransaction().ok());
 
   auto values = ReadCommitted("g1");
@@ -190,15 +192,15 @@ TEST_F(TransactionTest, LastStableOffsetTracksOngoingTxns) {
 
   // Plain committed record first.
   std::vector<storage::Record> plain{storage::Record::KeyValue("k", "v")};
-  leader->Produce(tp, plain, AckMode::kAll);
+  LIQUID_ASSERT_OK(leader->Produce(tp, plain, AckMode::kAll));
   EXPECT_EQ(*leader->LastStableOffset(tp), 1);
 
   // Ongoing txn pins the LSO at its first offset.
   ASSERT_TRUE(leader->BeginPartitionTxn(tp, 777).ok());
   std::vector<storage::Record> txn_rec{storage::Record::KeyValue("k", "t")};
   txn_rec[0].producer_id = 777;
-  leader->Produce(tp, txn_rec, AckMode::kAll);
-  leader->Produce(tp, plain, AckMode::kAll);  // Later plain write.
+  LIQUID_ASSERT_OK(leader->Produce(tp, txn_rec, AckMode::kAll));
+  LIQUID_ASSERT_OK(leader->Produce(tp, plain, AckMode::kAll));  // Later plain write.
   EXPECT_EQ(*leader->LastStableOffset(tp), 1);  // Still pinned.
 
   ASSERT_TRUE(leader->WriteTxnMarker(tp, 777, /*committed=*/true).ok());
@@ -207,16 +209,16 @@ TEST_F(TransactionTest, LastStableOffsetTracksOngoingTxns) {
 
 TEST_F(TransactionTest, ControlMarkersNeverDelivered) {
   auto producer = NewTxnProducer("t1");
-  producer->BeginTransaction();
-  producer->Send("out", storage::Record::KeyValue("k", "v"));
-  producer->CommitTransaction();
+  LIQUID_ASSERT_OK(producer->BeginTransaction());
+  LIQUID_ASSERT_OK(producer->Send("out", storage::Record::KeyValue("k", "v")));
+  LIQUID_ASSERT_OK(producer->CommitTransaction());
   // Even a read_uncommitted consumer never sees control markers.
   ConsumerConfig config;
   config.group = "g";
   config.read_committed = true;
   Consumer consumer(cluster_.get(), offsets_.get(), group_coordinator_.get(),
                     "m", config);
-  consumer.Subscribe({"out"});
+  LIQUID_ASSERT_OK(consumer.Subscribe({"out"}));
   for (int i = 0; i < 10; ++i) {
     auto records = consumer.Poll(64);
     for (const auto& envelope : *records) {

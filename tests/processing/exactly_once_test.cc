@@ -59,7 +59,7 @@ class ExactlyOnceTest : public ProcessingTestBase {
     config.read_committed = true;
     messaging::Consumer consumer(cluster_.get(), offsets_.get(),
                                  coordinator_.get(), group + "-m", config);
-    consumer.Subscribe({"out"});
+    LIQUID_EXPECT_OK(consumer.Subscribe({"out"}));
     std::vector<std::string> values;
     for (int i = 0; i < 20; ++i) {
       auto records = consumer.Poll(256);

@@ -68,7 +68,7 @@ TEST_F(IncrementalTest, FullReprocessingCostGrowsLinearly) {
     ASSERT_TRUE(processed.ok());
     EXPECT_EQ(*processed, round * 100);  // Work grows with total data size.
     cumulative_work += *processed;
-    job->Stop();
+    LIQUID_ASSERT_OK(job->Stop());
   }
   EXPECT_EQ(cumulative_work, 100 + 200 + 300 + 400 + 500);
 }

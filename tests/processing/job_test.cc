@@ -203,8 +203,8 @@ TEST_F(JobTest, TwoInstancesSplitPartitions) {
   auto job2 = MakeJob(config, [&] { return std::make_unique<ProbeTask>(&p2); },
                       nullptr, "1");
   for (int round = 0; round < 30; ++round) {
-    job1->RunOnce();
-    job2->RunOnce();
+    LIQUID_ASSERT_OK(job1->RunOnce());
+    LIQUID_ASSERT_OK(job2->RunOnce());
   }
   EXPECT_EQ(p1.load() + p2.load(), 40);
   EXPECT_GT(p1.load(), 0);

@@ -75,10 +75,10 @@ TEST_F(OperatorsTest, WindowedAggregateEmitsEachWindowOnce) {
     return std::make_unique<WindowedAggregateTask>("windows", "out", 1000);
   });
   for (int i = 0; i < 5; ++i) {
-    job->RunOnce();
+    LIQUID_ASSERT_OK(job->RunOnce());
     clock_.AdvanceMs(5);
   }
-  job->Commit();
+  LIQUID_ASSERT_OK(job->Commit());
   EXPECT_EQ(ReadAll(TopicPartition{"out", 0}).size(), 1u);  // Emitted once.
 }
 
@@ -163,10 +163,10 @@ TEST_F(OperatorsTest, KeyedCounterWindowEmitsCurrentCounts) {
   auto job = MakeJob(config, [] {
     return std::make_unique<KeyedCounterTask>("c", "out");
   });
-  job->RunOnce();
+  LIQUID_ASSERT_OK(job->RunOnce());
   clock_.AdvanceMs(5);
-  job->RunOnce();
-  job->Commit();
+  LIQUID_ASSERT_OK(job->RunOnce());
+  LIQUID_ASSERT_OK(job->Commit());
   auto out = OutputAsMap("out");
   EXPECT_EQ(out.at("a"), "2");
   EXPECT_EQ(out.at("b"), "1");

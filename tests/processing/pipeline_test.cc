@@ -62,14 +62,14 @@ TEST_F(PipelineTest, StagesDecoupledThroughLog) {
 
   Pipeline pipeline(cluster_.get(), offsets_.get(), coordinator_.get(),
                     &state_disk_);
-  pipeline.AddMapStage("fast", "raw", "mid",
-                       [](const messaging::ConsumerRecord& envelope) {
-                         return std::optional<Record>(envelope.record);
-                       });
-  pipeline.AddMapStage("slow", "mid", "final",
-                       [](const messaging::ConsumerRecord& envelope) {
-                         return std::optional<Record>(envelope.record);
-                       });
+  LIQUID_ASSERT_OK(pipeline.AddMapStage(
+      "fast", "raw", "mid", [](const messaging::ConsumerRecord& envelope) {
+        return std::optional<Record>(envelope.record);
+      }));
+  LIQUID_ASSERT_OK(pipeline.AddMapStage(
+      "slow", "mid", "final", [](const messaging::ConsumerRecord& envelope) {
+        return std::optional<Record>(envelope.record);
+      }));
 
   // Run only the upstream stage to completion.
   Job* fast = pipeline.stage(0);
@@ -98,14 +98,14 @@ TEST_F(PipelineTest, FanOutTwoConsumersOfOneFeed) {
 
   Pipeline pipeline(cluster_.get(), offsets_.get(), coordinator_.get(),
                     &state_disk_);
-  pipeline.AddMapStage("branch-a", "raw", "out-a",
-                       [](const messaging::ConsumerRecord& envelope) {
-                         return std::optional<Record>(envelope.record);
-                       });
-  pipeline.AddMapStage("branch-b", "raw", "out-b",
-                       [](const messaging::ConsumerRecord& envelope) {
-                         return std::optional<Record>(envelope.record);
-                       });
+  LIQUID_ASSERT_OK(pipeline.AddMapStage(
+      "branch-a", "raw", "out-a", [](const messaging::ConsumerRecord& envelope) {
+        return std::optional<Record>(envelope.record);
+      }));
+  LIQUID_ASSERT_OK(pipeline.AddMapStage(
+      "branch-b", "raw", "out-b", [](const messaging::ConsumerRecord& envelope) {
+        return std::optional<Record>(envelope.record);
+      }));
   ASSERT_TRUE(pipeline.RunUntilAllIdle().ok());
   EXPECT_EQ(ReadAll(TopicPartition{"out-a", 0}).size(), 10u);
   EXPECT_EQ(ReadAll(TopicPartition{"out-b", 0}).size(), 10u);
@@ -120,11 +120,12 @@ TEST_F(PipelineTest, LongChainPropagatesIncrementally) {
   Pipeline pipeline(cluster_.get(), offsets_.get(), coordinator_.get(),
                     &state_disk_);
   for (int i = 0; i < kStages; ++i) {
-    pipeline.AddMapStage("hop" + std::to_string(i), "stage" + std::to_string(i),
-                         "stage" + std::to_string(i + 1),
-                         [](const messaging::ConsumerRecord& envelope) {
-                           return std::optional<Record>(envelope.record);
-                         });
+    LIQUID_ASSERT_OK(pipeline.AddMapStage(
+        "hop" + std::to_string(i), "stage" + std::to_string(i),
+        "stage" + std::to_string(i + 1),
+        [](const messaging::ConsumerRecord& envelope) {
+          return std::optional<Record>(envelope.record);
+        }));
   }
   // Two waves of input; each fully traverses the chain.
   for (int wave = 0; wave < 2; ++wave) {

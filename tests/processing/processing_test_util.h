@@ -12,6 +12,7 @@
 #include "messaging/cluster.h"
 #include "messaging/producer.h"
 #include "processing/job.h"
+#include "test_util.h"
 
 namespace liquid::processing {
 

@@ -7,6 +7,8 @@
 
 #include "storage/disk.h"
 
+#include "test_util.h"
+
 namespace liquid::processing {
 namespace {
 
@@ -37,16 +39,16 @@ TEST_P(StoreContractTest, PutGetDelete) {
 }
 
 TEST_P(StoreContractTest, OverwriteKeepsLatest) {
-  store_->Put("k", "v1");
-  store_->Put("k", "v2");
+  LIQUID_ASSERT_OK(store_->Put("k", "v1"));
+  LIQUID_ASSERT_OK(store_->Put("k", "v2"));
   EXPECT_EQ(*store_->Get("k"), "v2");
   EXPECT_EQ(*store_->Count(), 1);
 }
 
 TEST_P(StoreContractTest, ForEachVisitsAllInKeyOrder) {
-  store_->Put("b", "2");
-  store_->Put("a", "1");
-  store_->Put("c", "3");
+  LIQUID_ASSERT_OK(store_->Put("b", "2"));
+  LIQUID_ASSERT_OK(store_->Put("a", "1"));
+  LIQUID_ASSERT_OK(store_->Put("c", "3"));
   std::vector<std::string> keys;
   ASSERT_TRUE(store_
                   ->ForEach([&](const Slice& key, const Slice&) {
@@ -57,7 +59,9 @@ TEST_P(StoreContractTest, ForEachVisitsAllInKeyOrder) {
 }
 
 TEST_P(StoreContractTest, RangeScanHonoursBounds) {
-  for (const char* key : {"a", "b", "c", "d", "e"}) store_->Put(key, key);
+  for (const char* key : {"a", "b", "c", "d", "e"}) {
+    LIQUID_ASSERT_OK(store_->Put(key, key));
+  }
   std::vector<std::string> seen;
   ASSERT_TRUE(store_
                   ->ForEachInRange("b", "d",
@@ -69,7 +73,9 @@ TEST_P(StoreContractTest, RangeScanHonoursBounds) {
 }
 
 TEST_P(StoreContractTest, RangeScanEmptyEndIsUnbounded) {
-  for (const char* key : {"a", "b", "c"}) store_->Put(key, key);
+  for (const char* key : {"a", "b", "c"}) {
+    LIQUID_ASSERT_OK(store_->Put(key, key));
+  }
   std::vector<std::string> seen;
   ASSERT_TRUE(store_
                   ->ForEachInRange("b", "",
@@ -81,9 +87,9 @@ TEST_P(StoreContractTest, RangeScanEmptyEndIsUnbounded) {
 }
 
 TEST_P(StoreContractTest, RangeScanSkipsDeleted) {
-  store_->Put("a", "1");
-  store_->Put("b", "2");
-  store_->Delete("a");
+  LIQUID_ASSERT_OK(store_->Put("a", "1"));
+  LIQUID_ASSERT_OK(store_->Put("b", "2"));
+  LIQUID_ASSERT_OK(store_->Delete("a"));
   std::vector<std::string> seen;
   ASSERT_TRUE(store_
                   ->ForEachInRange("", "",
@@ -100,9 +106,11 @@ TEST_P(StoreContractTest, DeleteMissingIsOk) {
 
 TEST_P(StoreContractTest, CountTracksLiveKeys) {
   EXPECT_EQ(*store_->Count(), 0);
-  for (int i = 0; i < 10; ++i) store_->Put("k" + std::to_string(i), "v");
+  for (int i = 0; i < 10; ++i) {
+    LIQUID_ASSERT_OK(store_->Put("k" + std::to_string(i), "v"));
+  }
   EXPECT_EQ(*store_->Count(), 10);
-  store_->Delete("k3");
+  LIQUID_ASSERT_OK(store_->Delete("k3"));
   EXPECT_EQ(*store_->Count(), 9);
 }
 
@@ -119,7 +127,7 @@ TEST(PersistentStoreTest, SurvivesReopen) {
   storage::MemDisk disk;
   {
     auto store = PersistentStore::Open(&disk, "s/", kv::KvOptions{});
-    (*store)->Put("durable", "yes");
+    LIQUID_ASSERT_OK((*store)->Put("durable", "yes"));
   }
   auto reopened = PersistentStore::Open(&disk, "s/", kv::KvOptions{});
   EXPECT_EQ(*(*reopened)->Get("durable"), "yes");
@@ -132,9 +140,9 @@ TEST(ChangelogStoreTest, MutationsEmitChangelogRecords) {
                          emitted.push_back(std::move(record));
                          return Status::OK();
                        });
-  store.Put("k1", "v1");
-  store.Put("k2", "v2");
-  store.Delete("k1");
+  LIQUID_ASSERT_OK(store.Put("k1", "v1"));
+  LIQUID_ASSERT_OK(store.Put("k2", "v2"));
+  LIQUID_ASSERT_OK(store.Delete("k1"));
   ASSERT_EQ(emitted.size(), 3u);
   EXPECT_EQ(emitted[0].key, "k1");
   EXPECT_EQ(emitted[0].value, "v1");
@@ -150,10 +158,10 @@ TEST(ChangelogStoreTest, ReadsDoNotEmit) {
                          ++emissions;
                          return Status::OK();
                        });
-  store.Put("k", "v");
-  store.Get("k");
-  store.Count();
-  store.ForEach([](const Slice&, const Slice&) {});
+  LIQUID_ASSERT_OK(store.Put("k", "v"));
+  LIQUID_ASSERT_OK(store.Get("k"));
+  LIQUID_ASSERT_OK(store.Count());
+  LIQUID_ASSERT_OK(store.ForEach([](const Slice&, const Slice&) {}));
   EXPECT_EQ(emissions, 1);
 }
 
@@ -180,11 +188,11 @@ TEST(ChangelogStoreTest, ReplayingFullChangelogRebuildsState) {
                             changelog.push_back(std::move(record));
                             return Status::OK();
                           });
-  original.Put("a", "1");
-  original.Put("b", "2");
-  original.Put("a", "updated");
-  original.Delete("b");
-  original.Put("c", "3");
+  LIQUID_ASSERT_OK(original.Put("a", "1"));
+  LIQUID_ASSERT_OK(original.Put("b", "2"));
+  LIQUID_ASSERT_OK(original.Put("a", "updated"));
+  LIQUID_ASSERT_OK(original.Delete("b"));
+  LIQUID_ASSERT_OK(original.Put("c", "3"));
 
   ChangelogStore restored(std::make_unique<InMemoryStore>(),
                           [](storage::Record) { return Status::OK(); });

@@ -8,6 +8,8 @@
 #include <filesystem>
 #include <memory>
 
+#include "test_util.h"
+
 namespace liquid::storage {
 namespace {
 
@@ -49,7 +51,7 @@ TEST_P(DiskContractTest, AppendAndReadBack) {
 
 TEST_P(DiskContractTest, ReadAtOffsetAndShortRead) {
   auto file = disk_->OpenOrCreate("f");
-  (*file)->Append("abcdefgh");
+  LIQUID_ASSERT_OK((*file)->Append("abcdefgh"));
   std::string out;
   ASSERT_TRUE((*file)->ReadAt(4, 100, &out).ok());
   EXPECT_EQ(out, "efgh");  // Short read at EOF is not an error.
@@ -59,19 +61,19 @@ TEST_P(DiskContractTest, ReadAtOffsetAndShortRead) {
 
 TEST_P(DiskContractTest, TruncateDiscardsTail) {
   auto file = disk_->OpenOrCreate("f");
-  (*file)->Append("0123456789");
+  LIQUID_ASSERT_OK((*file)->Append("0123456789"));
   ASSERT_TRUE((*file)->Truncate(4).ok());
   EXPECT_EQ((*file)->Size(), 4u);
   std::string out;
-  (*file)->ReadAt(0, 10, &out);
+  LIQUID_ASSERT_OK((*file)->ReadAt(0, 10, &out));
   EXPECT_EQ(out, "0123");
 }
 
 TEST_P(DiskContractTest, ExistsRemoveList) {
   EXPECT_FALSE(disk_->Exists("a"));
-  disk_->OpenOrCreate("a");
-  disk_->OpenOrCreate("ab");
-  disk_->OpenOrCreate("b");
+  LIQUID_ASSERT_OK(disk_->OpenOrCreate("a"));
+  LIQUID_ASSERT_OK(disk_->OpenOrCreate("ab"));
+  LIQUID_ASSERT_OK(disk_->OpenOrCreate("b"));
   EXPECT_TRUE(disk_->Exists("a"));
   auto listed = disk_->List("a");
   ASSERT_TRUE(listed.ok());
@@ -83,24 +85,24 @@ TEST_P(DiskContractTest, ExistsRemoveList) {
 
 TEST_P(DiskContractTest, RenameMovesContent) {
   auto file = disk_->OpenOrCreate("old");
-  (*file)->Append("payload");
+  LIQUID_ASSERT_OK((*file)->Append("payload"));
   file->reset();
   ASSERT_TRUE(disk_->Rename("old", "new").ok());
   EXPECT_FALSE(disk_->Exists("old"));
   auto renamed = disk_->OpenOrCreate("new");
   std::string out;
-  (*renamed)->ReadAt(0, 100, &out);
+  LIQUID_ASSERT_OK((*renamed)->ReadAt(0, 100, &out));
   EXPECT_EQ(out, "payload");
 }
 
 TEST_P(DiskContractTest, ReopenSeesSameBytes) {
   {
     auto file = disk_->OpenOrCreate("persist");
-    (*file)->Append("durable");
+    LIQUID_ASSERT_OK((*file)->Append("durable"));
   }
   auto again = disk_->OpenOrCreate("persist");
   std::string out;
-  (*again)->ReadAt(0, 100, &out);
+  LIQUID_ASSERT_OK((*again)->ReadAt(0, 100, &out));
   EXPECT_EQ(out, "durable");
 }
 
@@ -113,9 +115,9 @@ INSTANTIATE_TEST_SUITE_P(AllDisks, DiskContractTest,
 TEST(MemDiskTest, TracksIoCounters) {
   MemDisk disk;
   auto file = disk.OpenOrCreate("f");
-  (*file)->Append("12345");
+  LIQUID_ASSERT_OK((*file)->Append("12345"));
   std::string out;
-  (*file)->ReadAt(0, 5, &out);
+  LIQUID_ASSERT_OK((*file)->ReadAt(0, 5, &out));
   EXPECT_EQ(disk.bytes_written(), 5);
   EXPECT_EQ(disk.bytes_read(), 5);
   EXPECT_EQ(disk.read_ops(), 1);
@@ -128,13 +130,15 @@ TEST(MemDiskTest, LatencyModelChargesReads) {
   MemDisk fast;
   auto sf = slow.OpenOrCreate("f");
   auto ff = fast.OpenOrCreate("f");
-  (*sf)->Append(std::string(4096, 'x'));
-  (*ff)->Append(std::string(4096, 'x'));
+  LIQUID_ASSERT_OK((*sf)->Append(std::string(4096, 'x')));
+  LIQUID_ASSERT_OK((*ff)->Append(std::string(4096, 'x')));
 
   auto time_reads = [](File* file) {
     const auto start = std::chrono::steady_clock::now();
     std::string out;
-    for (int i = 0; i < 20; ++i) file->ReadAt(0, 4096, &out);
+    for (int i = 0; i < 20; ++i) {
+      LIQUID_EXPECT_OK(file->ReadAt(0, 4096, &out));
+    }
     return std::chrono::duration_cast<std::chrono::microseconds>(
                std::chrono::steady_clock::now() - start)
         .count();
@@ -147,9 +151,9 @@ TEST(MemDiskTest, LatencyModelChargesReads) {
 
 TEST(MemDiskTest, TotalBytesSumsPrefix) {
   MemDisk disk;
-  (*disk.OpenOrCreate("logs/a"))->Append("12345");
-  (*disk.OpenOrCreate("logs/b"))->Append("123");
-  (*disk.OpenOrCreate("other"))->Append("1234567");
+  LIQUID_ASSERT_OK((*disk.OpenOrCreate("logs/a"))->Append("12345"));
+  LIQUID_ASSERT_OK((*disk.OpenOrCreate("logs/b"))->Append("123"));
+  LIQUID_ASSERT_OK((*disk.OpenOrCreate("other"))->Append("1234567"));
   EXPECT_EQ(*disk.TotalBytes("logs/"), 8u);
   EXPECT_EQ(*disk.TotalBytes(""), 15u);
 }

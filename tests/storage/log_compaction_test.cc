@@ -8,6 +8,8 @@
 #include "common/random.h"
 #include "storage/log.h"
 
+#include "test_util.h"
+
 namespace liquid::storage {
 namespace {
 
@@ -28,7 +30,7 @@ class LogCompactionTest : public ::testing::Test {
   std::map<std::string, std::pair<std::string, bool>> Materialize(Log* log) {
     std::map<std::string, std::pair<std::string, bool>> view;
     std::vector<Record> out;
-    log->Read(log->start_offset(), 100 << 20, &out);
+    LIQUID_EXPECT_OK(log->Read(log->start_offset(), 100 << 20, &out));
     for (const Record& r : out) {
       view[r.key] = {r.value, r.is_tombstone};
     }
@@ -72,13 +74,13 @@ TEST_F(LogCompactionTest, OffsetsPreservedWithGaps) {
     for (int k = 0; k < 5; ++k) {
       batch.push_back(Record::KeyValue("key" + std::to_string(k), "x"));
     }
-    log->Append(&batch);
+    LIQUID_ASSERT_OK(log->Append(&batch));
   }
   const int64_t end_before = log->end_offset();
-  log->Compact();
+  LIQUID_ASSERT_OK(log->Compact());
   EXPECT_EQ(log->end_offset(), end_before);  // End offset untouched.
   std::vector<Record> out;
-  log->Read(0, 100 << 20, &out);
+  LIQUID_ASSERT_OK(log->Read(0, 100 << 20, &out));
   // Offsets strictly increasing (gaps allowed).
   for (size_t i = 1; i < out.size(); ++i) {
     EXPECT_LT(out[i - 1].offset, out[i].offset);
@@ -89,12 +91,12 @@ TEST_F(LogCompactionTest, ActiveSegmentNeverRewritten) {
   auto log = OpenCompactedLog(1 << 20);  // One big segment: nothing closed.
   std::vector<Record> batch{Record::KeyValue("a", "1"),
                             Record::KeyValue("a", "2")};
-  log->Append(&batch);
+  LIQUID_ASSERT_OK(log->Append(&batch));
   auto stats = log->Compact();
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->segments_cleaned, 0);
   std::vector<Record> out;
-  log->Read(0, 1 << 20, &out);
+  LIQUID_ASSERT_OK(log->Read(0, 1 << 20, &out));
   EXPECT_EQ(out.size(), 2u);  // Both survive: active segment untouched.
 }
 
@@ -105,16 +107,16 @@ TEST_F(LogCompactionTest, TombstonesKeptByDefault) {
     for (int k = 0; k < 5; ++k) {
       batch.push_back(Record::KeyValue("key" + std::to_string(k), "x"));
     }
-    log->Append(&batch);
+    LIQUID_ASSERT_OK(log->Append(&batch));
   }
   std::vector<Record> del{Record::Tombstone("key0")};
-  log->Append(&del);
+  LIQUID_ASSERT_OK(log->Append(&del));
   // Push the tombstone out of the active segment.
   for (int i = 0; i < 10; ++i) {
     std::vector<Record> filler{Record::KeyValue("other", "y")};
-    log->Append(&filler);
+    LIQUID_ASSERT_OK(log->Append(&filler));
   }
-  log->Compact();
+  LIQUID_ASSERT_OK(log->Compact());
   const auto view = Materialize(log.get());
   ASSERT_TRUE(view.count("key0"));
   EXPECT_TRUE(view.at("key0").second);  // Still a tombstone.
@@ -127,17 +129,17 @@ TEST_F(LogCompactionTest, TombstonesDroppedWhenConfigured) {
     for (int k = 0; k < 5; ++k) {
       batch.push_back(Record::KeyValue("key" + std::to_string(k), "x"));
     }
-    log->Append(&batch);
+    LIQUID_ASSERT_OK(log->Append(&batch));
   }
   std::vector<Record> del{Record::Tombstone("key0")};
-  log->Append(&del);
+  LIQUID_ASSERT_OK(log->Append(&del));
   // Enough filler to roll the tombstone's segment out of the active position.
   for (int i = 0; i < 60; ++i) {
     std::vector<Record> filler{Record::KeyValue("other", "y")};
-    log->Append(&filler);
+    LIQUID_ASSERT_OK(log->Append(&filler));
   }
   ASSERT_GT(log->segment_count(), 2);
-  log->Compact();
+  LIQUID_ASSERT_OK(log->Compact());
   const auto view = Materialize(log.get());
   EXPECT_FALSE(view.count("key0"));  // Tombstone gone entirely.
 }
@@ -150,12 +152,12 @@ TEST_F(LogCompactionTest, DisabledCompactionIsNoOp) {
   for (int i = 0; i < 100; ++i) {
     batch.push_back(Record::KeyValue("samekey", "v"));
   }
-  (*log)->Append(&batch);
+  LIQUID_ASSERT_OK((*log)->Append(&batch));
   auto stats = (*log)->Compact();
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->segments_cleaned, 0);
   std::vector<Record> out;
-  (*log)->Read(0, 100 << 20, &out);
+  LIQUID_ASSERT_OK((*log)->Read(0, 100 << 20, &out));
   EXPECT_EQ(out.size(), 100u);
 }
 
@@ -167,9 +169,9 @@ TEST_F(LogCompactionTest, RepeatedCompactionIsIdempotent) {
       batch.push_back(Record::KeyValue("key" + std::to_string(k),
                                        "r" + std::to_string(round)));
     }
-    log->Append(&batch);
+    LIQUID_ASSERT_OK(log->Append(&batch));
   }
-  log->Compact();
+  LIQUID_ASSERT_OK(log->Compact());
   const auto first = Materialize(log.get());
   auto stats = log->Compact();
   ASSERT_TRUE(stats.ok());
@@ -181,7 +183,7 @@ TEST_F(LogCompactionTest, ValueOnlyRecordsSurviveCompaction) {
   auto log = OpenCompactedLog();
   for (int i = 0; i < 50; ++i) {
     std::vector<Record> batch{Record::ValueOnly("event" + std::to_string(i))};
-    log->Append(&batch);
+    LIQUID_ASSERT_OK(log->Append(&batch));
   }
   auto stats = log->Compact();
   ASSERT_TRUE(stats.ok());
@@ -198,10 +200,10 @@ TEST_F(LogCompactionTest, ZipfWorkloadShrinksDramatically) {
       batch.push_back(Record::KeyValue("user" + std::to_string(zipf.Next()),
                                        "profile-update"));
     }
-    log->Append(&batch);
+    LIQUID_ASSERT_OK(log->Append(&batch));
   }
   const uint64_t before = log->size_bytes();
-  log->Compact();
+  LIQUID_ASSERT_OK(log->Compact());
   const uint64_t after = log->size_bytes();
   // 2000 skewed updates over <=100 keys: compaction removes the bulk.
   EXPECT_LT(after * 2, before);
@@ -216,9 +218,9 @@ TEST_F(LogCompactionTest, ReadAfterCompactionAcrossReopen) {
         batch.push_back(Record::KeyValue("key" + std::to_string(k),
                                          "r" + std::to_string(round)));
       }
-      log->Append(&batch);
+      LIQUID_ASSERT_OK(log->Append(&batch));
     }
-    log->Compact();
+    LIQUID_ASSERT_OK(log->Compact());
   }
   auto log = OpenCompactedLog();
   const auto view = Materialize(log.get());

@@ -4,6 +4,8 @@
 
 #include <memory>
 
+#include "test_util.h"
+
 namespace liquid::storage {
 namespace {
 
@@ -39,7 +41,7 @@ TEST_F(LogSegmentTest, AppendAndReadAll) {
 
 TEST_F(LogSegmentTest, ReadFromMiddle) {
   auto segment = LogSegment::Open(&disk_, nullptr, "t/", 0, config_);
-  (*segment)->Append(MakeRecords(0, 100));
+  LIQUID_ASSERT_OK((*segment)->Append(MakeRecords(0, 100)));
   std::vector<Record> out;
   ASSERT_TRUE((*segment)->Read(73, 1 << 20, &out).ok());
   ASSERT_FALSE(out.empty());
@@ -49,7 +51,7 @@ TEST_F(LogSegmentTest, ReadFromMiddle) {
 
 TEST_F(LogSegmentTest, MaxBytesLimitsBatchButReturnsAtLeastOne) {
   auto segment = LogSegment::Open(&disk_, nullptr, "t/", 0, config_);
-  (*segment)->Append(MakeRecords(0, 100));
+  LIQUID_ASSERT_OK((*segment)->Append(MakeRecords(0, 100)));
   std::vector<Record> out;
   ASSERT_TRUE((*segment)->Read(0, 1, &out).ok());
   EXPECT_EQ(out.size(), 1u);  // At least one even when max_bytes tiny.
@@ -66,14 +68,14 @@ TEST_F(LogSegmentTest, NonZeroBaseOffset) {
   EXPECT_EQ((*segment)->base_offset(), 1000);
   EXPECT_EQ((*segment)->next_offset(), 1010);
   std::vector<Record> out;
-  (*segment)->Read(1005, 1 << 20, &out);
+  LIQUID_ASSERT_OK((*segment)->Read(1005, 1 << 20, &out));
   ASSERT_EQ(out.size(), 5u);
   EXPECT_EQ(out.front().offset, 1005);
 }
 
 TEST_F(LogSegmentTest, RejectsNonMonotonicAppend) {
   auto segment = LogSegment::Open(&disk_, nullptr, "t/", 0, config_);
-  (*segment)->Append(MakeRecords(0, 10));
+  LIQUID_ASSERT_OK((*segment)->Append(MakeRecords(0, 10)));
   EXPECT_TRUE((*segment)->Append(MakeRecords(5, 3)).IsInvalidArgument());
 }
 
@@ -98,14 +100,14 @@ TEST_F(LogSegmentTest, OffsetGapsAreLegal) {
 }
 
 TEST_F(LogSegmentTest, RecoverRebuildsStateFromDisk) {
-  (*LogSegment::Open(&disk_, nullptr, "t/", 0, config_))
-      ->Append(MakeRecords(0, 40));
+  LIQUID_ASSERT_OK((*LogSegment::Open(&disk_, nullptr, "t/", 0, config_))
+      ->Append(MakeRecords(0, 40)));
   // Reopen: Recover() scans the file.
   auto reopened = LogSegment::Open(&disk_, nullptr, "t/", 0, config_);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ((*reopened)->next_offset(), 40);
   std::vector<Record> out;
-  (*reopened)->Read(20, 1 << 20, &out);
+  LIQUID_ASSERT_OK((*reopened)->Read(20, 1 << 20, &out));
   ASSERT_EQ(out.size(), 20u);
   EXPECT_EQ(out.front().offset, 20);
 }
@@ -113,18 +115,18 @@ TEST_F(LogSegmentTest, RecoverRebuildsStateFromDisk) {
 TEST_F(LogSegmentTest, RecoverTruncatesCorruptTail) {
   {
     auto segment = LogSegment::Open(&disk_, nullptr, "t/", 0, config_);
-    (*segment)->Append(MakeRecords(0, 10));
+    LIQUID_ASSERT_OK((*segment)->Append(MakeRecords(0, 10)));
   }
   // Simulate a torn write: append garbage to the raw file.
   {
     auto file = disk_.OpenOrCreate("t/00000000000000000000.log");
-    (*file)->Append("garbage-that-is-not-a-record");
+    LIQUID_ASSERT_OK((*file)->Append("garbage-that-is-not-a-record"));
   }
   auto reopened = LogSegment::Open(&disk_, nullptr, "t/", 0, config_);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ((*reopened)->next_offset(), 10);  // Garbage dropped.
   std::vector<Record> out;
-  (*reopened)->Read(0, 1 << 20, &out);
+  LIQUID_ASSERT_OK((*reopened)->Read(0, 1 << 20, &out));
   EXPECT_EQ(out.size(), 10u);
 
   // The file itself was truncated back to the last intact record.
@@ -132,9 +134,28 @@ TEST_F(LogSegmentTest, RecoverTruncatesCorruptTail) {
   EXPECT_EQ((*file)->Size(), (*reopened)->size_bytes());
 }
 
+TEST_F(LogSegmentTest, BitFlippedRecordSurfacesAsCorruptionOnRead) {
+  auto segment = LogSegment::Open(&disk_, nullptr, "t/", 0, config_);
+  LIQUID_ASSERT_OK((*segment)->Append(MakeRecords(0, 10)));
+
+  // Flip one bit inside the first record's body (past the 4-byte length and
+  // 4-byte CRC header) on the shared in-memory file. The already-open segment
+  // sees it on the next read and must report Corruption, not return bad data.
+  auto file = disk_.OpenOrCreate((*segment)->file_name());
+  std::string bytes;
+  LIQUID_ASSERT_OK((*file)->ReadAt(0, (*file)->Size(), &bytes));
+  bytes[10] ^= 0x01;
+  LIQUID_ASSERT_OK((*file)->Truncate(0));
+  LIQUID_ASSERT_OK((*file)->Append(bytes));
+
+  std::vector<Record> out;
+  const Status read = (*segment)->Read(0, 1 << 20, &out);
+  EXPECT_TRUE(read.IsCorruption()) << read.ToString();
+}
+
 TEST_F(LogSegmentTest, OffsetForTimestampFindsFirstAtOrAfter) {
   auto segment = LogSegment::Open(&disk_, nullptr, "t/", 0, config_);
-  (*segment)->Append(MakeRecords(0, 100, 5000));  // ts 5000..5099.
+  LIQUID_ASSERT_OK((*segment)->Append(MakeRecords(0, 100, 5000)));  // ts 5000..5099.
   EXPECT_EQ(*(*segment)->OffsetForTimestamp(5000), 0);
   EXPECT_EQ(*(*segment)->OffsetForTimestamp(5050), 50);
   EXPECT_EQ(*(*segment)->OffsetForTimestamp(4000), 0);
@@ -143,7 +164,7 @@ TEST_F(LogSegmentTest, OffsetForTimestampFindsFirstAtOrAfter) {
 
 TEST_F(LogSegmentTest, DropRemovesFile) {
   auto segment = LogSegment::Open(&disk_, nullptr, "t/", 0, config_);
-  (*segment)->Append(MakeRecords(0, 5));
+  LIQUID_ASSERT_OK((*segment)->Append(MakeRecords(0, 5)));
   const std::string name = (*segment)->file_name();
   EXPECT_TRUE(disk_.Exists(name));
   ASSERT_TRUE((*segment)->Drop().ok());
@@ -156,7 +177,7 @@ TEST_P(IndexIntervalTest, ReadsCorrectAtAnyIndexGranularity) {
   MemDisk disk;
   LogSegment::Config config{GetParam()};
   auto segment = LogSegment::Open(&disk, nullptr, "t/", 0, config);
-  (*segment)->Append(MakeRecords(0, 200));
+  LIQUID_ASSERT_OK((*segment)->Append(MakeRecords(0, 200)));
   for (int64_t from : {0, 1, 50, 123, 199}) {
     std::vector<Record> out;
     ASSERT_TRUE((*segment)->Read(from, 1 << 20, &out).ok());

@@ -6,6 +6,8 @@
 
 #include "common/clock.h"
 
+#include "test_util.h"
+
 namespace liquid::storage {
 namespace {
 
@@ -49,16 +51,16 @@ TEST_F(LogTest, AppendStampsClockTime) {
   auto log = OpenLog(LogConfig{});
   clock_.SetMs(123456);
   auto batch = KeyedBatch(1);
-  log->Append(&batch);
+  LIQUID_ASSERT_OK(log->Append(&batch));
   EXPECT_EQ(batch[0].timestamp_ms, 123456);
 }
 
 TEST_F(LogTest, ExplicitTimestampPreserved) {
   auto log = OpenLog(LogConfig{});
   std::vector<Record> batch{Record::KeyValue("k", "v", 42)};
-  log->Append(&batch);
+  LIQUID_ASSERT_OK(log->Append(&batch));
   std::vector<Record> out;
-  log->Read(0, 1 << 20, &out);
+  LIQUID_ASSERT_OK(log->Read(0, 1 << 20, &out));
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].timestamp_ms, 42);
 }
@@ -82,7 +84,7 @@ TEST_F(LogTest, RollsSegmentsAtConfiguredSize) {
 TEST_F(LogTest, ReadPastEndReturnsEmpty) {
   auto log = OpenLog(LogConfig{});
   auto batch = KeyedBatch(3);
-  log->Append(&batch);
+  LIQUID_ASSERT_OK(log->Append(&batch));
   std::vector<Record> out;
   ASSERT_TRUE(log->Read(3, 1 << 20, &out).ok());
   EXPECT_TRUE(out.empty());
@@ -97,7 +99,7 @@ TEST_F(LogTest, ReopenRecoversAcrossSegments) {
     auto log = OpenLog(config);
     for (int i = 0; i < 10; ++i) {
       auto batch = KeyedBatch(5);
-      log->Append(&batch);
+      LIQUID_ASSERT_OK(log->Append(&batch));
     }
     EXPECT_EQ(log->end_offset(), 50);
   }
@@ -105,7 +107,7 @@ TEST_F(LogTest, ReopenRecoversAcrossSegments) {
   EXPECT_EQ(reopened->end_offset(), 50);
   EXPECT_GT(reopened->segment_count(), 1);
   std::vector<Record> out;
-  reopened->Read(17, 10 << 20, &out);
+  LIQUID_ASSERT_OK(reopened->Read(17, 10 << 20, &out));
   ASSERT_EQ(out.size(), 33u);
   EXPECT_EQ(out.front().offset, 17);
 }
@@ -114,7 +116,7 @@ TEST_F(LogTest, AppendWithOffsetsFollowsLeader) {
   auto leader = OpenLog(LogConfig{}, "leader/");
   auto follower = OpenLog(LogConfig{}, "follower/");
   auto batch = KeyedBatch(10);
-  leader->Append(&batch);
+  LIQUID_ASSERT_OK(leader->Append(&batch));
   ASSERT_TRUE(follower->AppendWithOffsets(batch).ok());
   EXPECT_EQ(follower->end_offset(), 10);
 
@@ -128,12 +130,12 @@ TEST_F(LogTest, TruncateDropsSuffix) {
   auto log = OpenLog(config);
   for (int i = 0; i < 10; ++i) {
     auto batch = KeyedBatch(5);
-    log->Append(&batch);
+    LIQUID_ASSERT_OK(log->Append(&batch));
   }
   ASSERT_TRUE(log->Truncate(23).ok());
   EXPECT_EQ(log->end_offset(), 23);
   std::vector<Record> out;
-  log->Read(0, 10 << 20, &out);
+  LIQUID_ASSERT_OK(log->Read(0, 10 << 20, &out));
   ASSERT_EQ(out.size(), 23u);
   EXPECT_EQ(out.back().offset, 22);
 
@@ -146,18 +148,18 @@ TEST_F(LogTest, TruncateDropsSuffix) {
 TEST_F(LogTest, TruncateToZeroEmptiesLog) {
   auto log = OpenLog(LogConfig{});
   auto batch = KeyedBatch(5);
-  log->Append(&batch);
+  LIQUID_ASSERT_OK(log->Append(&batch));
   ASSERT_TRUE(log->Truncate(0).ok());
   EXPECT_EQ(log->end_offset(), 0);
   std::vector<Record> out;
-  log->Read(0, 1 << 20, &out);
+  LIQUID_ASSERT_OK(log->Read(0, 1 << 20, &out));
   EXPECT_TRUE(out.empty());
 }
 
 TEST_F(LogTest, TruncatePastEndIsNoOp) {
   auto log = OpenLog(LogConfig{});
   auto batch = KeyedBatch(5);
-  log->Append(&batch);
+  LIQUID_ASSERT_OK(log->Append(&batch));
   ASSERT_TRUE(log->Truncate(100).ok());
   EXPECT_EQ(log->end_offset(), 5);
 }
@@ -169,7 +171,7 @@ TEST_F(LogTest, OffsetForTimestampAcrossSegments) {
   for (int i = 0; i < 10; ++i) {
     clock_.SetMs(10000 + i * 100);
     auto batch = KeyedBatch(5);
-    log->Append(&batch);
+    LIQUID_ASSERT_OK(log->Append(&batch));
   }
   // Each batch of 5 shares its timestamp: 10000, 10100, ...
   EXPECT_EQ(*log->OffsetForTimestamp(10000), 0);
@@ -182,7 +184,7 @@ TEST_F(LogTest, SizeBytesGrowsWithData) {
   auto log = OpenLog(LogConfig{});
   EXPECT_EQ(log->size_bytes(), 0u);
   auto batch = KeyedBatch(10);
-  log->Append(&batch);
+  LIQUID_ASSERT_OK(log->Append(&batch));
   EXPECT_GT(log->size_bytes(), 100u);
 }
 
@@ -194,7 +196,7 @@ TEST_F(LogTest, TimeRetentionDeletesOldSegments) {
   clock_.SetMs(1000);
   for (int i = 0; i < 10; ++i) {
     auto batch = KeyedBatch(5);
-    log->Append(&batch);
+    LIQUID_ASSERT_OK(log->Append(&batch));
   }
   const int before = log->segment_count();
   ASSERT_GT(before, 2);
@@ -221,8 +223,8 @@ TEST_F(LogTest, SizeRetentionBoundsLog) {
   auto log = OpenLog(config);
   for (int i = 0; i < 40; ++i) {
     auto batch = KeyedBatch(5);
-    log->Append(&batch);
-    log->ApplyRetention();
+    LIQUID_ASSERT_OK(log->Append(&batch));
+    LIQUID_ASSERT_OK(log->ApplyRetention());
   }
   EXPECT_LE(log->size_bytes(), 3000u);  // Bounded near the target.
   EXPECT_GT(log->start_offset(), 0);
@@ -234,7 +236,7 @@ TEST_F(LogTest, RetentionKeepsFreshData) {
   config.retention_ms = 1000000;
   auto log = OpenLog(config);
   auto batch = KeyedBatch(50);
-  log->Append(&batch);
+  LIQUID_ASSERT_OK(log->Append(&batch));
   auto deleted = log->ApplyRetention();
   EXPECT_EQ(*deleted, 0);
   EXPECT_EQ(log->start_offset(), 0);

@@ -6,6 +6,8 @@
 
 #include "common/clock.h"
 
+#include "test_util.h"
+
 namespace liquid::storage {
 namespace {
 
@@ -28,7 +30,7 @@ TEST_F(PageCacheTest, AppendPopulatesCacheSoTailReadsAreHits) {
   PageCache cache(SmallConfig(), &clock_);
   auto base = disk_.OpenOrCreate("f");
   CachedFile file(std::move(base).value(), &cache);
-  file.Append(std::string(256, 'a'));
+  LIQUID_ASSERT_OK(file.Append(std::string(256, 'a')));
 
   std::string out;
   ASSERT_TRUE(file.ReadAt(0, 256, &out).ok());
@@ -43,7 +45,7 @@ TEST_F(PageCacheTest, ColdReadMissesThenHits) {
   // Write the file directly (bypassing the cache): a pre-existing cold log.
   {
     auto raw = disk_.OpenOrCreate("f");
-    (*raw)->Append(std::string(512, 'b'));
+    LIQUID_ASSERT_OK((*raw)->Append(std::string(512, 'b')));
   }
   auto base = disk_.OpenOrCreate("f");
   CachedFile file(std::move(base).value(), &cache);
@@ -66,17 +68,17 @@ TEST_F(PageCacheTest, ReadAheadWarmsFollowingPages) {
   PageCache cache(config, &clock_);
   {
     auto raw = disk_.OpenOrCreate("f");
-    (*raw)->Append(std::string(1024, 'c'));
+    LIQUID_ASSERT_OK((*raw)->Append(std::string(1024, 'c')));
   }
   auto base = disk_.OpenOrCreate("f");
   CachedFile file(std::move(base).value(), &cache);
 
   std::string out;
-  file.ReadAt(0, 128, &out);  // Miss; prefetches pages 0..3.
+  LIQUID_ASSERT_OK(file.ReadAt(0, 128, &out));  // Miss; prefetches pages 0..3.
   EXPECT_EQ(cache.misses(), 1);
-  file.ReadAt(128, 128, &out);  // Prefetched: hit.
-  file.ReadAt(256, 128, &out);
-  file.ReadAt(384, 128, &out);
+  LIQUID_ASSERT_OK(file.ReadAt(128, 128, &out));  // Prefetched: hit.
+  LIQUID_ASSERT_OK(file.ReadAt(256, 128, &out));
+  LIQUID_ASSERT_OK(file.ReadAt(384, 128, &out));
   EXPECT_EQ(cache.misses(), 1);
   EXPECT_GE(cache.hits(), 3);
 }
@@ -86,9 +88,9 @@ TEST_F(PageCacheTest, EvictionKeepsCapacityBounded) {
   auto base = disk_.OpenOrCreate("f");
   CachedFile file(std::move(base).value(), &cache);
   clock_.SetMs(0);
-  file.Append(std::string(4096, 'd'));  // 32 pages >> 8-page capacity.
+  LIQUID_ASSERT_OK(file.Append(std::string(4096, 'd')));  // 32 pages >> 8-page capacity.
   clock_.AdvanceMs(1000);               // Everything flushed (evictable).
-  file.Append(std::string(512, 'e'));   // Forces eviction passes.
+  LIQUID_ASSERT_OK(file.Append(std::string(512, 'e')));   // Forces eviction passes.
   EXPECT_LE(cache.bytes_cached(), 1024u + 128u);
   EXPECT_GT(cache.evictions(), 0);
 }
@@ -99,22 +101,24 @@ TEST_F(PageCacheTest, DirtyHeadProtectedUntilFlushTimeout) {
   PageCache cache(config, &clock_);
   {
     auto raw = disk_.OpenOrCreate("f");
-    (*raw)->Append(std::string(2048, 'x'));  // Cold data on disk.
+    LIQUID_ASSERT_OK((*raw)->Append(std::string(2048, 'x')));  // Cold data on disk.
   }
   auto base = disk_.OpenOrCreate("f");
   CachedFile file(std::move(base).value(), &cache);
 
   // Freshly appended pages (dirty, within flush window).
   clock_.SetMs(10);
-  file.Append(std::string(256, 'h'));  // Pages 16,17 dirty.
+  LIQUID_ASSERT_OK(file.Append(std::string(256, 'h')));  // Pages 16,17 dirty.
 
   // Reading cold pages evicts clean pages first, not the dirty head.
   std::string out;
-  for (int p = 0; p < 8; ++p) file.ReadAt(p * 128, 128, &out);
+  for (int p = 0; p < 8; ++p) {
+    LIQUID_ASSERT_OK(file.ReadAt(p * 128, 128, &out));
+  }
 
   // The fresh head must still be a hit (was not evicted).
   const int64_t misses_before = cache.misses();
-  file.ReadAt(2048, 128, &out);
+  LIQUID_ASSERT_OK(file.ReadAt(2048, 128, &out));
   EXPECT_EQ(out, std::string(128, 'h'));
   EXPECT_EQ(cache.misses(), misses_before);
 }
@@ -126,7 +130,7 @@ TEST_F(PageCacheTest, ForcedEvictionWhenAllDirty) {
   PageCache cache(config, &clock_);
   auto base = disk_.OpenOrCreate("f");
   CachedFile file(std::move(base).value(), &cache);
-  file.Append(std::string(1024, 'z'));  // 8 dirty pages, capacity 2.
+  LIQUID_ASSERT_OK(file.Append(std::string(1024, 'z')));  // 8 dirty pages, capacity 2.
   EXPECT_GT(cache.forced_evictions(), 0);
   EXPECT_LE(cache.bytes_cached(), 256u + 128u);
 }
@@ -135,11 +139,11 @@ TEST_F(PageCacheTest, TruncateInvalidatesCachedPages) {
   PageCache cache(SmallConfig(), &clock_);
   auto base = disk_.OpenOrCreate("f");
   CachedFile file(std::move(base).value(), &cache);
-  file.Append(std::string(256, 'a'));
+  LIQUID_ASSERT_OK(file.Append(std::string(256, 'a')));
   ASSERT_TRUE(file.Truncate(0).ok());
-  file.Append(std::string(256, 'b'));
+  LIQUID_ASSERT_OK(file.Append(std::string(256, 'b')));
   std::string out;
-  file.ReadAt(0, 256, &out);
+  LIQUID_ASSERT_OK(file.ReadAt(0, 256, &out));
   EXPECT_EQ(out, std::string(256, 'b'));  // No stale 'a' pages.
 }
 
@@ -149,7 +153,7 @@ TEST_F(PageCacheTest, ReadAcrossPageBoundary) {
   CachedFile file(std::move(base).value(), &cache);
   std::string data;
   for (int i = 0; i < 512; ++i) data.push_back(static_cast<char>('a' + i % 26));
-  file.Append(data);
+  LIQUID_ASSERT_OK(file.Append(data));
   std::string out;
   ASSERT_TRUE(file.ReadAt(100, 200, &out).ok());
   EXPECT_EQ(out, data.substr(100, 200));
@@ -159,7 +163,7 @@ TEST_F(PageCacheTest, PartialTailPageReadable) {
   PageCache cache(SmallConfig(), &clock_);
   auto base = disk_.OpenOrCreate("f");
   CachedFile file(std::move(base).value(), &cache);
-  file.Append("short");  // 5 bytes, far below one page.
+  LIQUID_ASSERT_OK(file.Append("short"));  // 5 bytes, far below one page.
   std::string out;
   ASSERT_TRUE(file.ReadAt(0, 128, &out).ok());
   EXPECT_EQ(out, "short");
@@ -171,12 +175,12 @@ TEST_F(PageCacheTest, MultipleFilesDoNotCollide) {
   auto f2 = disk_.OpenOrCreate("f2");
   CachedFile a(std::move(f1).value(), &cache);
   CachedFile b(std::move(f2).value(), &cache);
-  a.Append(std::string(128, 'A'));
-  b.Append(std::string(128, 'B'));
+  LIQUID_ASSERT_OK(a.Append(std::string(128, 'A')));
+  LIQUID_ASSERT_OK(b.Append(std::string(128, 'B')));
   std::string out;
-  a.ReadAt(0, 128, &out);
+  LIQUID_ASSERT_OK(a.ReadAt(0, 128, &out));
   EXPECT_EQ(out, std::string(128, 'A'));
-  b.ReadAt(0, 128, &out);
+  LIQUID_ASSERT_OK(b.ReadAt(0, 128, &out));
   EXPECT_EQ(out, std::string(128, 'B'));
 }
 

@@ -1,0 +1,30 @@
+#ifndef LIQUID_TESTS_TEST_UTIL_H_
+#define LIQUID_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// GTest helpers for Status/Result expressions. Status and Result<T> are
+/// [[nodiscard]] (see common/nodiscard.h), so a test that exercises a
+/// fallible API for its side effect must still check the outcome — these
+/// macros make that one line and produce a readable failure message.
+
+#define LIQUID_ASSERT_OK(expr)                                          \
+  do {                                                                  \
+    auto&& _liquid_st = (expr);                                         \
+    ASSERT_TRUE(_liquid_st.ok())                                        \
+        << #expr << " -> "                                              \
+        << ::liquid::internal::ToStatus(_liquid_st).ToString();         \
+  } while (0)
+
+#define LIQUID_EXPECT_OK(expr)                                          \
+  do {                                                                  \
+    auto&& _liquid_st = (expr);                                         \
+    EXPECT_TRUE(_liquid_st.ok())                                        \
+        << #expr << " -> "                                              \
+        << ::liquid::internal::ToStatus(_liquid_st).ToString();         \
+  } while (0)
+
+#endif  // LIQUID_TESTS_TEST_UTIL_H_
