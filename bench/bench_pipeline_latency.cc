@@ -8,8 +8,13 @@
 // of magnitude larger (minutes/hours vs seconds at LinkedIn; here scaled
 // milliseconds vs microseconds).
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/clock.h"
@@ -91,12 +96,23 @@ int64_t RunMrPipeline(int stages) {
   return timer.ElapsedUs();
 }
 
-void Run() {
+struct StageResult {
+  int stages;
+  int64_t liquid_us;
+  int64_t mr_us;
+};
+
+/// Runs E6 and returns the per-stage-count measurements (also printed as a
+/// table). When `json_path` is non-null, the results are additionally written
+/// there as a machine-readable JSON document for CI trend tracking.
+void Run(const char* json_path) {
+  std::vector<StageResult> results;
   Table table({"stages", "liquid_us", "mr_dfs_us", "mr/liquid",
                "liquid_us_per_stage", "mr_us_per_stage"});
   for (int stages : {1, 2, 4, 8}) {
     const int64_t liquid_us = RunLiquidPipeline(stages);
     const int64_t mr_us = RunMrPipeline(stages);
+    results.push_back({stages, liquid_us, mr_us});
     table.AddRow(
         {std::to_string(stages), std::to_string(liquid_us),
          std::to_string(mr_us),
@@ -107,6 +123,28 @@ void Run() {
   table.Print(
       "E6: end-to-end pipeline latency vs stage count (500 records; MR "
       "startup overhead scaled to 20ms/job)");
+
+  if (json_path != nullptr) {
+    std::ofstream out(json_path, std::ios::trunc);
+    out << "{\n  \"benchmark\": \"pipeline_latency\",\n  \"records\": "
+        << kRecords << ",\n  \"mr_startup_ms\": " << kMrStartupMs
+        << ",\n  \"results\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const StageResult& r = results[i];
+      out << "    {\"stages\": " << r.stages
+          << ", \"liquid_us\": " << r.liquid_us << ", \"mr_dfs_us\": " << r.mr_us
+          << ", \"speedup\": "
+          << Fmt(static_cast<double>(r.mr_us) / static_cast<double>(r.liquid_us),
+                 1)
+          << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    if (!out) {
+      std::fprintf(stderr, "warning: could not write %s\n", json_path);
+    } else {
+      std::printf("wrote %s\n", json_path);
+    }
+  }
 }
 
 /// Ablation: decoupling through the log means a slow consumer does not apply
@@ -162,8 +200,21 @@ void RunDecouplingAblation() {
 }  // namespace
 }  // namespace liquid::core
 
-int main() {
-  liquid::core::Run();
+int main(int argc, char** argv) {
+  // --json[=path]: also emit the E6 results as JSON (default path
+  // BENCH_pipeline_latency.json in the working directory).
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_pipeline_latency.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json[=path]]\n", argv[0]);
+      return 2;
+    }
+  }
+  liquid::core::Run(json_path);
   liquid::core::RunDecouplingAblation();
   return 0;
 }

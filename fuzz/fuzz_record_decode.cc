@@ -26,10 +26,17 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     liquid::storage::EncodeRecord(record, &encoded);
     liquid::Slice again(encoded);
     liquid::storage::Record copy;
+    // Trace fields round-trip too. A frame with the traced attribute bit set
+    // but trace_id == 0 decodes to a logically untraced record, which
+    // re-encodes WITHOUT the trace block — that is still the same logical
+    // record, so comparing the decoded fields (not the bytes) is correct.
     if (!liquid::storage::DecodeRecord(&again, &copy).ok() ||
         copy.offset != record.offset || copy.key != record.key ||
         copy.value != record.value || copy.is_tombstone != record.is_tombstone ||
-        copy.has_key != record.has_key || copy.is_control != record.is_control) {
+        copy.has_key != record.has_key || copy.is_control != record.is_control ||
+        copy.trace_id != record.trace_id ||
+        (record.traced() && (copy.span_id != record.span_id ||
+                             copy.ingest_us != record.ingest_us))) {
       __builtin_trap();
     }
   }

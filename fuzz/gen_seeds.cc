@@ -61,6 +61,17 @@ int main(int argc, char** argv) {
     liquid::storage::EncodeRecord(
         liquid::storage::Record::ControlMarker(7, /*committed=*/true), &control);
     WriteSeed(root + "/record_decode", "control", control);
+
+    // A traced record: the attributes byte has the trace bit set and the
+    // header carries the {trace_id, span_id, ingest_us} block.
+    std::string traced;
+    liquid::storage::Record tr =
+        liquid::storage::Record::KeyValue("user-42", "traced", 1700000000000);
+    tr.trace_id = 0x1122334455667788ull;
+    tr.span_id = 42;
+    tr.ingest_us = 1700000000000123;
+    liquid::storage::EncodeRecord(tr, &traced);
+    WriteSeed(root + "/record_decode", "traced", traced);
   }
 
   // --- coding: varints, length-prefixed chains, fixed-width values. ---

@@ -9,6 +9,10 @@
 #   5. UndefinedBehaviorSanitizer build + the full ctest suite.
 #   6. Deterministic fuzz smoke: every fuzz/ harness replays its checked-in
 #      corpus, then runs a bounded batch of deterministic mutations.
+#   7. Docs gate: broken intra-repo markdown links and public headers whose
+#      classes lack /// doc comments (scripts/check_docs.sh).
+#   8. Bench emission: a Release build of bench_pipeline_latency runs with
+#      --json and must produce BENCH_pipeline_latency.json.
 #
 # Any thread-safety warning, clang-tidy error, sanitizer report, or fuzzer
 # crash fails the script (non-zero exit). Steps that need Clang tooling are
@@ -117,6 +121,27 @@ for target in fuzz_record_decode fuzz_coding fuzz_sstable fuzz_properties; do
   fi
 done
 [ "${fuzz_smoke_ok}" -eq 1 ] && echo "OK: fuzz smoke clean"
+
+# ---- 7. Docs gate ----------------------------------------------------------
+note "docs gate (markdown links + public API doc comments)"
+if scripts/check_docs.sh; then
+  echo "OK: docs gate clean"
+else
+  fail "docs gate reported problems (see lines above)"
+fi
+
+# ---- 8. Bench emission -----------------------------------------------------
+# A Release build keeps the numbers meaningful; the gate only asserts the
+# JSON artifact appears — trend analysis happens outside this script.
+note "bench emission (bench_pipeline_latency --json)"
+if cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null \
+   && cmake --build build-bench -j "${JOBS}" --target bench_pipeline_latency \
+   && (cd build-bench && bench/bench_pipeline_latency --json) \
+   && [ -s build-bench/BENCH_pipeline_latency.json ]; then
+  echo "OK: build-bench/BENCH_pipeline_latency.json written"
+else
+  fail "bench_pipeline_latency --json did not produce the JSON artifact"
+fi
 
 # ----------------------------------------------------------------------------
 if [ "${FAILURES}" -ne 0 ]; then

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Documentation gate, called from check.sh (also runnable standalone).
+#
+# Two checks, both plain POSIX tooling so they run everywhere:
+#   1. Intra-repo markdown links: every relative link target in a checked-in
+#      .md file must exist on disk (external http(s)/mailto links and pure
+#      #anchors are not checked).
+#   2. Public API doc comments: every top-level `class`/`struct` declared at
+#      column 0 of a public header under src/common, src/messaging, and
+#      src/processing must be immediately preceded by a `///` doc comment
+#      (or carry one inline). Forward declarations and test/detail headers
+#      are exempt.
+#
+# Exit status is the number of failing checks (0 = clean).
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+FAILURES=0
+
+# ---- 1. Broken intra-repo markdown links -----------------------------------
+echo "-- markdown link check"
+broken=0
+while IFS= read -r -d '' md; do
+  dir="$(dirname "${md}")"
+  # Pull out ](target) link targets, one per line.
+  while IFS= read -r target; do
+    case "${target}" in
+      http://*|https://*|mailto:*|'#'*|'') continue ;;
+      *' '*|*'	'*) continue ;;  # C++ lambdas in code blocks look like ](...).
+    esac
+    # Strip a trailing #anchor before checking the path.
+    path="${target%%#*}"
+    [ -z "${path}" ] && continue
+    if [ ! -e "${dir}/${path}" ] && [ ! -e "${path}" ]; then
+      echo "BROKEN LINK: ${md}: (${target})"
+      broken=$((broken + 1))
+    fi
+  done < <(grep -o ']([^)]*)' "${md}" 2>/dev/null | sed 's/^](//; s/)$//')
+done < <(find . -name '*.md' -not -path './build*' -not -path './.git/*' -print0)
+if [ "${broken}" -eq 0 ]; then
+  echo "OK: all intra-repo markdown links resolve"
+else
+  echo "FAIL: ${broken} broken markdown link(s)"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# ---- 2. Public classes without /// doc comments ----------------------------
+echo "-- public API doc-comment check"
+undocumented=0
+for dir in src/common src/messaging src/processing; do
+  [ -d "${dir}" ] || continue
+  while IFS= read -r -d '' header; do
+    # awk state machine: remember whether the previous non-blank line was a
+    # /// comment; flag column-0 class/struct declarations that are neither
+    # preceded by one nor forward declarations (ending in ';') nor carrying
+    # an inline /// on the same line.
+    while IFS= read -r hit; do
+      echo "UNDOCUMENTED: ${header}:${hit}"
+      undocumented=$((undocumented + 1))
+    done < <(awk '
+      /^\/\/\// { prev_doc = 1; next }
+      /^template[ \t<]/ { next }  # doc comment may precede the template line
+      /^(class|struct) [A-Za-z]/ {
+        if ($0 !~ /;[ \t]*$/ && $0 !~ /\/\/\// && !prev_doc) {
+          print NR ": " $0
+        }
+      }
+      /[^ \t]/ { prev_doc = 0 }
+    ' "${header}")
+  done < <(find "${dir}" -name '*.h' -print0)
+done
+if [ "${undocumented}" -eq 0 ]; then
+  echo "OK: every public class/struct in src/{common,messaging,processing} has a /// doc comment"
+else
+  echo "FAIL: ${undocumented} undocumented public class(es)"
+  FAILURES=$((FAILURES + 1))
+fi
+
+exit "${FAILURES}"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <sstream>
 #include <utility>
@@ -105,8 +106,7 @@ double Histogram::mean() const {
   return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
-int64_t Histogram::ValueAtQuantile(double q) const {
-  MutexLock lock(&mu_);
+int64_t Histogram::ValueAtQuantileLocked(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   int64_t target = static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
@@ -121,12 +121,43 @@ int64_t Histogram::ValueAtQuantile(double q) const {
   return max_;
 }
 
+int64_t Histogram::ValueAtQuantile(double q) const {
+  MutexLock lock(&mu_);
+  return ValueAtQuantileLocked(q);
+}
+
+HistogramStats Histogram::Stats() const {
+  MutexLock lock(&mu_);
+  HistogramStats stats;
+  stats.count = count_;
+  stats.sum = sum_;
+  stats.min = min_;
+  stats.max = max_;
+  stats.mean =
+      count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  stats.p50 = ValueAtQuantileLocked(0.5);
+  stats.p90 = ValueAtQuantileLocked(0.9);
+  stats.p95 = ValueAtQuantileLocked(0.95);
+  stats.p99 = ValueAtQuantileLocked(0.99);
+  return stats;
+}
+
+// Rendered from one Stats() snapshot: composing the individual accessors
+// (each taking the lock separately) produced torn summaries under concurrent
+// Record()/Reset()/Merge() — e.g. a count from before a Reset next to
+// quantiles from after it (see HistogramStressTest).
 std::string Histogram::Summary() const {
+  const HistogramStats stats = Stats();
   std::ostringstream out;
-  out << "count=" << count() << " mean=" << mean() << " p50=" << ValueAtQuantile(0.5)
-      << " p95=" << ValueAtQuantile(0.95) << " p99=" << ValueAtQuantile(0.99)
-      << " max=" << max();
+  out << "count=" << stats.count << " mean=" << stats.mean
+      << " p50=" << stats.p50 << " p95=" << stats.p95 << " p99=" << stats.p99
+      << " max=" << stats.max;
   return out.str();
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
@@ -157,6 +188,163 @@ std::map<std::string, int64_t> MetricsRegistry::CounterValues() const {
     out[name] = counter->value();
   }
   return out;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::GaugeValues() const {
+  MutexLock lock(&mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, gauge] : gauges_) {
+    out[name] = gauge->value();
+  }
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; Liquid's dotted hierarchy
+/// maps onto it by rewriting every other character to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  // Histogram pointers are copied out so their (per-histogram) locks are
+  // taken after mu_ is released; entries are never erased, so the pointers
+  // stay valid.
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram*> histograms;
+  {
+    MutexLock lock(&mu_);
+    for (const auto& [name, counter] : counters_) counters[name] = counter->value();
+    for (const auto& [name, gauge] : gauges_) gauges[name] = gauge->value();
+    for (const auto& [name, histogram] : histograms_) {
+      histograms[name] = histogram.get();
+    }
+  }
+
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, histogram] : histograms) {
+    const std::string prom = PrometheusName(name);
+    const HistogramStats stats = histogram->Stats();
+    out << "# TYPE " << prom << " summary\n";
+    out << prom << "{quantile=\"0.5\"} " << stats.p50 << "\n";
+    out << prom << "{quantile=\"0.9\"} " << stats.p90 << "\n";
+    out << prom << "{quantile=\"0.95\"} " << stats.p95 << "\n";
+    out << prom << "{quantile=\"0.99\"} " << stats.p99 << "\n";
+    out << prom << "_sum " << stats.sum << "\n";
+    out << prom << "_count " << stats.count << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram*> histograms;
+  {
+    MutexLock lock(&mu_);
+    for (const auto& [name, counter] : counters_) counters[name] = counter->value();
+    for (const auto& [name, gauge] : gauges_) gauges[name] = gauge->value();
+    for (const auto& [name, histogram] : histograms_) {
+      histograms[name] = histogram.get();
+    }
+  }
+
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms) {
+    if (!first) out << ",";
+    first = false;
+    const HistogramStats stats = histogram->Stats();
+    out << "\"" << JsonEscape(name) << "\":{"
+        << "\"count\":" << stats.count << ",\"sum\":" << stats.sum
+        << ",\"min\":" << stats.min << ",\"max\":" << stats.max
+        << ",\"mean\":" << FormatDouble(stats.mean) << ",\"p50\":" << stats.p50
+        << ",\"p90\":" << stats.p90 << ",\"p95\":" << stats.p95
+        << ",\"p99\":" << stats.p99 << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  // Pointer copies, same validity argument as RenderPrometheus; histogram
+  // locks nest inside mu_ (never the reverse), so ordering is safe.
+  std::vector<Counter*> counters;
+  std::vector<Gauge*> gauges;
+  std::vector<Histogram*> histograms;
+  {
+    MutexLock lock(&mu_);
+    for (const auto& [name, counter] : counters_) counters.push_back(counter.get());
+    for (const auto& [name, gauge] : gauges_) gauges.push_back(gauge.get());
+    for (const auto& [name, histogram] : histograms_) {
+      histograms.push_back(histogram.get());
+    }
+  }
+  for (Counter* counter : counters) counter->Reset();
+  for (Gauge* gauge : gauges) gauge->Reset();
+  for (Histogram* histogram : histograms) histogram->Reset();
 }
 
 }  // namespace liquid

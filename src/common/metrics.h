@@ -12,7 +12,7 @@
 
 namespace liquid {
 
-/// Monotonic counter.
+/// Monotonic counter (atomic; safe to share across threads).
 class Counter {
  public:
   void Increment(int64_t delta = 1) { value_.fetch_add(delta); }
@@ -23,14 +23,30 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
-/// Last-value gauge.
+/// Last-value gauge (atomic; safe to share across threads).
 class Gauge {
  public:
   void Set(int64_t v) { value_.store(v); }
   int64_t value() const { return value_.load(); }
+  void Reset() { value_.store(0); }
 
  private:
   std::atomic<int64_t> value_{0};
+};
+
+/// Consistent point-in-time view of a Histogram, taken under one lock
+/// acquisition so count/mean/quantiles describe the same sample set even
+/// while writers keep recording (reading each stat separately can tear).
+struct HistogramStats {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  double mean = 0.0;
+  int64_t p50 = 0;
+  int64_t p90 = 0;
+  int64_t p95 = 0;
+  int64_t p99 = 0;
 };
 
 /// Log-bucketed latency/size histogram (HdrHistogram-style precision/cost
@@ -53,7 +69,14 @@ class Histogram {
   /// q in [0, 1]; e.g. ValueAtQuantile(0.99) is p99.
   int64_t ValueAtQuantile(double q) const EXCLUDES(mu_);
 
-  /// "count=... mean=... p50=... p95=... p99=... max=..."
+  /// All stats from one consistent snapshot. Prefer this over calling the
+  /// individual accessors when writers may be concurrent: each accessor
+  /// locks separately, so e.g. count() and mean() can disagree about which
+  /// samples they describe.
+  HistogramStats Stats() const EXCLUDES(mu_);
+
+  /// "count=... mean=... p50=... p95=... p99=... max=..." — rendered from
+  /// one consistent snapshot.
   std::string Summary() const EXCLUDES(mu_);
 
  private:
@@ -64,6 +87,7 @@ class Histogram {
   static int64_t BucketMidpoint(int bucket);
 
   void MergeFromLocked(const Histogram& other) REQUIRES(mu_, other.mu_);
+  int64_t ValueAtQuantileLocked(double q) const REQUIRES(mu_);
 
   mutable Mutex mu_;
   std::vector<int64_t> buckets_ GUARDED_BY(mu_);
@@ -74,15 +98,44 @@ class Histogram {
 };
 
 /// Named registry so subsystems (brokers, jobs, caches) can expose metrics to
-/// tests/benches without plumbing every object through.
+/// tests/benches/operators without plumbing every object through.
+///
+/// Metric names are hierarchical dotted paths (see OBSERVABILITY.md for the
+/// full naming scheme), e.g. "liquid.broker.0.produce_records" or
+/// "liquid.consumer.job.wordcount.lag". Returned pointers stay valid for the
+/// registry's lifetime: entries are never erased, so callers may cache them
+/// and skip the name lookup on hot paths.
 class MetricsRegistry {
  public:
+  /// The process-wide registry that Liquid's own instrumentation (brokers,
+  /// producers, consumers, jobs, the offset manager) records into; scrape it
+  /// with RenderPrometheus()/RenderJson() or the liquid-top CLI.
+  static MetricsRegistry* Default();
+
   Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
   Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name) EXCLUDES(mu_);
 
   /// Snapshot of all counter values, for operational-analysis examples.
   std::map<std::string, int64_t> CounterValues() const EXCLUDES(mu_);
+
+  /// Snapshot of all gauge values.
+  std::map<std::string, int64_t> GaugeValues() const EXCLUDES(mu_);
+
+  /// Prometheus text exposition (version 0.0.4): counters and gauges as
+  /// single samples, histograms as summaries (quantile-labelled samples plus
+  /// _sum and _count). Dots and other non-metric characters in names are
+  /// rewritten to underscores.
+  std::string RenderPrometheus() const EXCLUDES(mu_);
+
+  /// The same snapshot as a single JSON object:
+  ///   {"counters": {...}, "gauges": {...}, "histograms": {name: {stats}}}.
+  std::string RenderJson() const EXCLUDES(mu_);
+
+  /// Zeroes every metric IN PLACE (pointers handed out stay valid — this is
+  /// what makes it test-safe where swapping the registry would not be).
+  /// Intended for test isolation against the process-wide Default() registry.
+  void ResetAllForTest() EXCLUDES(mu_);
 
  private:
   mutable Mutex mu_;

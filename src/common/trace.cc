@@ -1,0 +1,103 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace liquid {
+
+TraceCollector::TraceCollector(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+TraceCollector* TraceCollector::Default() {
+  static TraceCollector* collector = new TraceCollector();
+  return collector;
+}
+
+void TraceCollector::SetSampleRate(double rate) {
+  uint64_t stride = 0;
+  if (rate > 0.0) {
+    const double clamped = std::min(rate, 1.0);
+    stride = static_cast<uint64_t>(std::llround(1.0 / clamped));
+    stride = std::max<uint64_t>(stride, 1);
+  }
+  sample_stride_.store(stride, std::memory_order_relaxed);
+}
+
+double TraceCollector::sample_rate() const {
+  const uint64_t stride = sample_stride_.load(std::memory_order_relaxed);
+  return stride == 0 ? 0.0 : 1.0 / static_cast<double>(stride);
+}
+
+bool TraceCollector::ShouldSample() {
+  const uint64_t stride = sample_stride_.load(std::memory_order_relaxed);
+  if (stride == 0) return false;
+  if (stride == 1) return true;
+  return decision_counter_.fetch_add(1, std::memory_order_relaxed) % stride == 0;
+}
+
+void TraceCollector::Record(Span span) {
+  MutexLock lock(&mu_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  // Full: overwrite the oldest slot (next_slot_ walks the ring).
+  ring_[next_slot_] = std::move(span);
+  next_slot_ = (next_slot_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<Span> TraceCollector::Snapshot() const {
+  MutexLock lock(&mu_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  // Oldest first: the ring wraps at next_slot_ once it has filled up.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_slot_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<Span> TraceCollector::Trace(uint64_t trace_id) const {
+  std::vector<Span> out;
+  for (Span& span : Snapshot()) {
+    if (span.trace_id == trace_id) out.push_back(std::move(span));
+  }
+  return out;
+}
+
+void TraceCollector::Clear() {
+  MutexLock lock(&mu_);
+  ring_.clear();
+  next_slot_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+int64_t TraceCollector::recorded() const {
+  MutexLock lock(&mu_);
+  return recorded_;
+}
+
+int64_t TraceCollector::dropped() const {
+  MutexLock lock(&mu_);
+  return dropped_;
+}
+
+void TraceCollector::SetCapacity(size_t capacity) {
+  MutexLock lock(&mu_);
+  capacity_ = std::max<size_t>(capacity, 1);
+  if (ring_.size() <= capacity_) return;
+  // Shrink: keep the newest spans, restored to oldest-first order.
+  std::vector<Span> kept;
+  kept.reserve(capacity_);
+  const size_t drop = ring_.size() - capacity_;
+  for (size_t i = drop; i < ring_.size(); ++i) {
+    kept.push_back(std::move(ring_[(next_slot_ + i) % ring_.size()]));
+  }
+  ring_ = std::move(kept);
+  next_slot_ = 0;
+}
+
+}  // namespace liquid

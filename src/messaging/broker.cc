@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "messaging/cluster.h"
 #include "messaging/controller.h"
 
@@ -37,6 +38,17 @@ Broker::Broker(int id, Cluster* cluster, storage::Disk* disk, Clock* clock,
       quotas_(clock) {
   page_cache_ =
       std::make_unique<storage::PageCache>(config_.page_cache, clock_);
+  // Hot-path handles into the process-wide registry, resolved once here:
+  // registry entries are never erased, so the pointers stay valid and the
+  // produce/fetch paths skip the name lookup entirely.
+  MetricsRegistry* global = MetricsRegistry::Default();
+  const std::string prefix = "liquid.broker." + std::to_string(id_) + ".";
+  produce_records_ = global->GetCounter(prefix + "produce_records");
+  produce_bytes_ = global->GetCounter(prefix + "produce_bytes");
+  fetch_records_ = global->GetCounter(prefix + "fetch_records");
+  replicated_records_ = global->GetCounter(prefix + "replicated_records");
+  produce_us_ = global->GetHistogram(prefix + "produce_us");
+  fetch_us_ = global->GetHistogram(prefix + "fetch_us");
 }
 
 Broker::~Broker() = default;
@@ -464,6 +476,27 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
                                         int32_t first_sequence,
                                         const std::string& client_id) {
   if (records.empty()) return Status::InvalidArgument("empty produce");
+  const int64_t t0 = clock_->NowUs();
+  // Shared success-path bookkeeping: broker-level counters/latency plus one
+  // "append" span per traced record (leader log append hop). Runs before the
+  // response is returned on both the acks!=all and acks=all paths.
+  auto observe_append = [&](const std::vector<storage::Record>& appended) {
+    int64_t bytes = 0;
+    for (const auto& record : appended) {
+      bytes += static_cast<int64_t>(record.EncodedSize());
+    }
+    produce_records_->Increment(static_cast<int64_t>(appended.size()));
+    produce_bytes_->Increment(bytes);
+    const int64_t now_us = clock_->NowUs();
+    produce_us_->Record(now_us - t0);
+    TraceCollector* tracer = TraceCollector::Default();
+    if (!tracer->enabled()) return;
+    for (const auto& record : appended) {
+      if (!record.traced()) continue;
+      tracer->Record(Span{record.trace_id, tracer->NewSpanId(), record.span_id,
+                          t0, now_us, "append", tp.ToString()});
+    }
+  };
   LIQUID_RETURN_NOT_OK(
       cluster_->acls()->Check(client_id, tp.topic, AclOperation::kWrite));
   if (!client_id.empty()) {
@@ -526,6 +559,7 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
     metrics_.GetCounter("produce.records")->Increment(records.size());
     if (acks != AckMode::kAll) {
       AdvanceHighWatermarkLocked(tp, replica);
+      observe_append(records);
       ProduceResponse resp;
       resp.base_offset = base;
       resp.log_end_offset = leo;
@@ -563,6 +597,7 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
     return Status::Unavailable("ISR shrank below min.insync.replicas");
   }
   AdvanceHighWatermarkLocked(tp, replica);
+  observe_append(records);
   ProduceResponse resp;
   resp.base_offset = base;
   resp.log_end_offset = leo;
@@ -590,9 +625,21 @@ Status Broker::AppendAsFollower(const TopicPartition& tp,
     if (record.offset >= local_end) fresh.push_back(record);
   }
   if (!fresh.empty()) {
+    const int64_t t0 = clock_->NowUs();
     LIQUID_RETURN_NOT_OK(replica->log->AppendWithOffsets(fresh));
     for (const auto& record : fresh) {
       NoteEpochLocked(tp, replica, record.leader_epoch, record.offset);
+    }
+    replicated_records_->Increment(static_cast<int64_t>(fresh.size()));
+    TraceCollector* tracer = TraceCollector::Default();
+    if (tracer->enabled()) {
+      const int64_t now_us = clock_->NowUs();
+      for (const auto& record : fresh) {
+        if (!record.traced()) continue;
+        tracer->Record(Span{record.trace_id, tracer->NewSpanId(),
+                            record.span_id, t0, now_us, "replicate",
+                            tp.ToString() + " follower=" + std::to_string(id_)});
+      }
     }
   }
   const int64_t new_hw =
@@ -683,6 +730,7 @@ Result<FetchResponse> Broker::Fetch(const TopicPartition& tp, int64_t offset,
                                     size_t max_bytes, int replica_id,
                                     const std::string& client_id,
                                     bool read_committed) {
+  const int64_t t0 = clock_->NowUs();
   LIQUID_RETURN_NOT_OK(
       cluster_->acls()->Check(client_id, tp.topic, AclOperation::kRead));
   if (!client_id.empty()) {
@@ -742,6 +790,21 @@ Result<FetchResponse> Broker::Fetch(const TopicPartition& tp, int64_t offset,
       resp.records = std::move(visible);
     }
     metrics_.GetCounter("fetch.records")->Increment(resp.records.size());
+    fetch_records_->Increment(static_cast<int64_t>(resp.records.size()));
+    const int64_t now_us = clock_->NowUs();
+    fetch_us_->Record(now_us - t0);
+    // One "fetch" span per traced record handed to a consumer; the consumer
+    // (or job) parents its own span on the record's span_id afterwards, so
+    // the span_id field stays the record's last producer-side hop.
+    TraceCollector* tracer = TraceCollector::Default();
+    if (tracer->enabled()) {
+      for (const auto& record : resp.records) {
+        if (!record.traced()) continue;
+        tracer->Record(Span{record.trace_id, tracer->NewSpanId(),
+                            record.span_id, t0, now_us, "fetch",
+                            tp.ToString()});
+      }
+    }
   }
   resp.high_watermark = replica->high_watermark;
   resp.log_start_offset = replica->log->start_offset();

@@ -239,6 +239,17 @@ class Broker {
   MetricsRegistry metrics_;
   QuotaManager quotas_;
 
+  // Cached handles into MetricsRegistry::Default() ("liquid.broker.<id>.*"),
+  // resolved once in the constructor so the produce/fetch hot paths never
+  // re-do a name lookup. The registry never erases entries, so the pointers
+  // remain valid for the process lifetime.
+  Counter* produce_records_ = nullptr;
+  Counter* produce_bytes_ = nullptr;
+  Counter* fetch_records_ = nullptr;
+  Counter* replicated_records_ = nullptr;
+  Histogram* produce_us_ = nullptr;
+  Histogram* fetch_us_ = nullptr;
+
   // Recursive because coordination-service watches re-enter the broker on the
   // firing thread: PublishIsrLocked -> coord Set -> watch -> Controller ->
   // BecomeLeader on this same broker, all while mu_ is held.

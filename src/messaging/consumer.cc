@@ -15,7 +15,13 @@ Consumer::Consumer(Cluster* cluster, OffsetManager* offsets,
       offsets_(offsets),
       coordinator_(coordinator),
       member_id_(std::move(member_id)),
-      config_(std::move(config)) {}
+      config_(std::move(config)) {
+  MetricsRegistry* global = MetricsRegistry::Default();
+  const std::string prefix = "liquid.consumer." + config_.group + ".";
+  records_counter_ = global->GetCounter(prefix + "records");
+  lag_gauge_ = global->GetGauge(prefix + "lag");
+  e2e_latency_us_ = global->GetHistogram(prefix + "e2e_latency_us");
+}
 
 // A destructor cannot propagate the final auto-commit's Status; users who
 // care about the last commit must call Close() explicitly and check it.
@@ -95,8 +101,37 @@ Result<std::vector<ConsumerRecord>> Consumer::Poll(size_t max_records) {
       // Advance past filtered records (control markers, aborted data).
       positions_[tp] = std::max(positions_[tp], resp->next_fetch_offset);
     }
+    // Live lag for this partition: committed data not yet consumed. A dead
+    // (non-polling) member stops updating these; the lag monitor derives its
+    // view from committed offsets instead (see lag_monitor.h).
+    const int64_t lag =
+        std::max<int64_t>(0, resp->high_watermark - positions_[tp]);
+    partition_lag_[tp] = lag;
+    auto gauge = partition_lag_gauges_.find(tp);
+    if (gauge == partition_lag_gauges_.end()) {
+      gauge = partition_lag_gauges_
+                  .emplace(tp, MetricsRegistry::Default()->GetGauge(
+                                   "liquid.consumer." + config_.group +
+                                   ".lag." + tp.ToString()))
+                  .first;
+    }
+    gauge->second->Set(lag);
   }
   poll_cursor_ = (poll_cursor_ + 1) % std::max<size_t>(assignment_.size(), 1);
+  int64_t total_lag = 0;
+  for (const auto& [tp, lag] : partition_lag_) total_lag += lag;
+  lag_gauge_->Set(total_lag);
+  if (!out.empty()) {
+    records_counter_->Increment(static_cast<int64_t>(out.size()));
+    const int64_t now_us = cluster_->clock()->NowUs();
+    for (const ConsumerRecord& cr : out) {
+      // End-to-end latency is measured against the producer's ingest stamp,
+      // so it covers the full path: produce -> append -> (replicate) -> fetch.
+      if (cr.record.traced() && cr.record.ingest_us > 0) {
+        e2e_latency_us_->Record(now_us - cr.record.ingest_us);
+      }
+    }
+  }
   return out;
 }
 

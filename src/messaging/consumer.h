@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -24,6 +25,8 @@ struct ConsumerRecord {
   storage::Record record;
 };
 
+/// Consumer tuning knobs; the group name also scopes committed offsets and
+/// the `liquid.consumer.<group>.*` metrics.
 struct ConsumerConfig {
   std::string group = "default";
   size_t fetch_max_bytes = 1 << 20;
@@ -100,7 +103,19 @@ class Consumer {
   const std::string member_id_;
   ConsumerConfig config_;
 
+  // Cached handles into MetricsRegistry::Default()
+  // ("liquid.consumer.<group>.*"), resolved once in the constructor; the
+  // registry never erases entries so the pointers stay valid.
+  Counter* records_counter_ = nullptr;
+  Gauge* lag_gauge_ = nullptr;
+  Histogram* e2e_latency_us_ = nullptr;
+
   mutable Mutex mu_;
+  // Live per-partition lag gauges ("...lag.<topic>-<p>") plus the last
+  // observed lag values, so the group-total gauge can be recomputed as the
+  // sum over everything this member has seen.
+  std::map<TopicPartition, Gauge*> partition_lag_gauges_ GUARDED_BY(mu_);
+  std::map<TopicPartition, int64_t> partition_lag_ GUARDED_BY(mu_);
   std::vector<std::string> topics_ GUARDED_BY(mu_);
   int64_t generation_ GUARDED_BY(mu_) = -1;
   std::vector<TopicPartition> assignment_ GUARDED_BY(mu_);

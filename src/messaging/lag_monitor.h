@@ -1,0 +1,65 @@
+#ifndef LIQUID_MESSAGING_LAG_MONITOR_H_
+#define LIQUID_MESSAGING_LAG_MONITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "messaging/metadata.h"
+#include "messaging/offset_manager.h"
+
+namespace liquid::messaging {
+
+class Cluster;
+
+/// Lag of one consumer group on one partition, derived from durable state:
+/// the group's last *committed* offset versus the partition leader's high
+/// watermark. Because neither side depends on the consumer process being
+/// alive, a dead or stuck consumer shows monotonically growing lag here —
+/// the primary "is my nearline pipeline keeping up" signal of the paper's
+/// operability story (§4.2 offset metadata).
+struct GroupPartitionLag {
+  TopicPartition tp;
+  /// Last committed offset (next offset the group would resume from);
+  /// -1 when the group has never committed for this partition.
+  int64_t committed = -1;
+  /// Leader's high watermark (end of committed data consumers can see).
+  int64_t high_watermark = 0;
+  /// max(0, high_watermark - committed): records committed to the log that
+  /// the group has not yet checkpointed past.
+  int64_t lag = 0;
+  /// Milliseconds since the group last committed for this partition.
+  int64_t checkpoint_age_ms = 0;
+};
+
+/// Aggregated lag of one consumer group across all partitions it has
+/// committed offsets for.
+struct GroupLag {
+  std::string group;
+  std::vector<GroupPartitionLag> partitions;
+  /// Sum of per-partition lags.
+  int64_t total_lag = 0;
+  /// Staleness of the group's oldest checkpoint (max over partitions).
+  int64_t max_checkpoint_age_ms = 0;
+};
+
+/// Computes committed-offset lag for every group known to the offset manager
+/// and publishes it into MetricsRegistry::Default():
+///   liquid.consumer.<group>.lag                  (total, gauge)
+///   liquid.consumer.<group>.lag.<topic>-<p>      (per partition, gauge)
+///   liquid.consumer.<group>.checkpoint_age_ms    (max over partitions)
+/// The same gauge names are also refreshed live by Consumer::Poll; this
+/// function is the authoritative path when the consumer may be dead (it is
+/// what `liquid-top` calls each refresh). Partitions whose leader is
+/// unavailable are skipped.
+std::vector<GroupLag> CollectConsumerLag(Cluster* cluster,
+                                         OffsetManager* offsets, Clock* clock);
+
+/// Renders the result of CollectConsumerLag as a fixed-width operator table
+/// (one row per group/partition, with totals), as printed by `liquid-top`.
+std::string FormatLagTable(const std::vector<GroupLag>& groups);
+
+}  // namespace liquid::messaging
+
+#endif  // LIQUID_MESSAGING_LAG_MONITOR_H_

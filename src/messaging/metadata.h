@@ -28,6 +28,7 @@ struct TopicPartition {
   std::string ToString() const { return topic + "-" + std::to_string(partition); }
 };
 
+/// Hash functor so TopicPartition can key unordered containers.
 struct TopicPartitionHash {
   size_t operator()(const TopicPartition& tp) const {
     return std::hash<std::string>()(tp.topic) * 31 +
@@ -68,11 +69,14 @@ enum class AckMode {
   kAll = -1,    // Acknowledged after every ISR member has the data.
 };
 
+/// Broker reply to a produce request: where the batch landed in the log.
 struct ProduceResponse {
   int64_t base_offset = -1;
   int64_t log_end_offset = -1;
 };
 
+/// Broker reply to a fetch request: records plus the log offsets a consumer
+/// needs to track its position and compute lag (high_watermark − position).
 struct FetchResponse {
   std::vector<storage::Record> records;
   int64_t high_watermark = 0;

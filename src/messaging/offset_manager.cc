@@ -1,6 +1,10 @@
 #include "messaging/offset_manager.h"
 
+#include <cerrno>
+#include <cstdlib>
+
 #include "common/coding.h"
+#include "common/metrics.h"
 
 namespace liquid::messaging {
 
@@ -65,7 +69,13 @@ Status OffsetManager::Recover() {
     if (chunk.empty()) break;
     for (const auto& record : chunk) {
       auto commit = DecodeCommit(record.value);
-      if (commit.ok()) cache_[record.key] = std::move(commit).value();
+      if (!commit.ok()) continue;
+      std::string group;
+      TopicPartition tp;
+      if (ParseCacheKey(record.key, &group, &tp)) {
+        latest_[{group, tp}] = *commit;
+      }
+      cache_[record.key] = std::move(commit).value();
     }
     cursor = chunk.back().offset + 1;
   }
@@ -81,6 +91,47 @@ std::string OffsetManager::CacheKey(const std::string& group,
   return key;
 }
 
+bool OffsetManager::ParseCacheKey(const std::string& key, std::string* group,
+                                  TopicPartition* tp) {
+  const size_t first = key.find('\x01');
+  if (first == std::string::npos) return false;
+  const size_t second = key.find('\x01', first + 1);
+  if (second == std::string::npos) return false;
+  if (key.find('\x01', second + 1) != std::string::npos) {
+    return false;  // Three separators: a labeled checkpoint.
+  }
+  *group = key.substr(0, first);
+  tp->topic = key.substr(first + 1, second - first - 1);
+  errno = 0;
+  char* end = nullptr;
+  const long partition = std::strtol(key.c_str() + second + 1, &end, 10);
+  if (errno != 0 || end == key.c_str() + second + 1 || *end != '\0') {
+    return false;
+  }
+  tp->partition = static_cast<int>(partition);
+  return true;
+}
+
+void OffsetManager::NoteCommitLocked(const std::string& group,
+                                     const TopicPartition& tp,
+                                     const OffsetCommit& commit) {
+  latest_[{group, tp}] = commit;
+  MetricsRegistry* global = MetricsRegistry::Default();
+  global->GetCounter("liquid.offsets.commits")->Increment();
+  global->GetGauge("liquid.offsets." + group + ".last_commit_ms")
+      ->Set(commit.committed_at_ms);
+}
+
+std::vector<GroupCommit> OffsetManager::SnapshotCommits() const {
+  MutexLock lock(&mu_);
+  std::vector<GroupCommit> out;
+  out.reserve(latest_.size());
+  for (const auto& [key, commit] : latest_) {
+    out.push_back(GroupCommit{key.first, key.second, commit});
+  }
+  return out;
+}
+
 Status OffsetManager::Persist(const std::string& key,
                               const OffsetCommit& commit) {
   std::vector<storage::Record> batch;
@@ -94,6 +145,7 @@ Status OffsetManager::Commit(const std::string& group, const TopicPartition& tp,
   const std::string key = CacheKey(group, tp, "");
   MutexLock lock(&mu_);
   LIQUID_RETURN_NOT_OK(Persist(key, commit));
+  NoteCommitLocked(group, tp, commit);
   cache_[key] = std::move(commit);
   ++commits_total_;
   return Status::OK();

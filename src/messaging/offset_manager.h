@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/result.h"
@@ -24,6 +25,16 @@ struct OffsetCommit {
   int64_t offset = -1;
   int64_t committed_at_ms = 0;
   std::map<std::string, std::string> annotations;
+};
+
+/// One (group, partition) entry of SnapshotCommits(): the latest *unlabeled*
+/// commit, in structured form. Labeled checkpoints are excluded — they mark
+/// historical points, not current consumption progress, so including them
+/// would make lag look perpetually huge.
+struct GroupCommit {
+  std::string group;
+  TopicPartition tp;
+  OffsetCommit commit;
 };
 
 /// The highly-available, logically centralized offset manager (§3.1, §4.2).
@@ -59,6 +70,13 @@ class OffsetManager {
                                     const TopicPartition& tp,
                                     const std::string& label) const;
 
+  /// Latest unlabeled commit of every (group, partition) ever committed or
+  /// recovered. This is the observability surface the lag monitor builds on:
+  /// because it reflects *committed* progress (not live consumer positions),
+  /// lag derived from it keeps growing when a consumer dies — exactly the
+  /// signal an operator needs (see lag_monitor.h).
+  std::vector<GroupCommit> SnapshotCommits() const EXCLUDES(mu_);
+
   /// Compacts the backing log (it is keyed, so only the newest commit per
   /// (group, tp[, label]) survives).
   Result<storage::CompactionStats> CompactBackingLog();
@@ -76,12 +94,24 @@ class OffsetManager {
       REQUIRES(mu_);
   static std::string CacheKey(const std::string& group, const TopicPartition& tp,
                               const std::string& label);
+  /// Inverse of CacheKey for unlabeled keys; returns false for labeled ones
+  /// (used by Recover to rebuild the structured latest_ map).
+  static bool ParseCacheKey(const std::string& key, std::string* group,
+                            TopicPartition* tp);
+  /// Mirrors an unlabeled commit into latest_ and the commit metrics.
+  void NoteCommitLocked(const std::string& group, const TopicPartition& tp,
+                        const OffsetCommit& commit) REQUIRES(mu_);
 
   std::unique_ptr<storage::Log> log_;
   Clock* clock_;
 
   mutable Mutex mu_;
   std::map<std::string, OffsetCommit> cache_ GUARDED_BY(mu_);
+  /// Structured mirror of the *unlabeled* entries of cache_, keyed by
+  /// (group, partition); maintained by Commit and rebuilt by Recover. Kept
+  /// separate so SnapshotCommits never parses flat cache keys.
+  std::map<std::pair<std::string, TopicPartition>, OffsetCommit> latest_
+      GUARDED_BY(mu_);
   int64_t commits_total_ GUARDED_BY(mu_) = 0;
 };
 

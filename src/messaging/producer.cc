@@ -3,6 +3,8 @@
 #include <atomic>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "messaging/broker.h"
 #include "messaging/cluster.h"
 
@@ -43,6 +45,16 @@ Result<int> Producer::PartitionFor(const std::string& topic,
 }
 
 Status Producer::Send(const std::string& topic, storage::Record record) {
+  // Sampling decision happens exactly once per record, here at the system
+  // boundary. Records that already carry a context (a job re-publishing an
+  // input's context downstream) are never re-stamped, so one trace id covers
+  // the whole derivation chain.
+  TraceCollector* tracer = TraceCollector::Default();
+  if (!record.traced() && tracer->ShouldSample()) {
+    record.trace_id = tracer->NewTraceId();
+    record.span_id = tracer->NewSpanId();
+    record.ingest_us = cluster_->clock()->NowUs();
+  }
   std::vector<storage::Record> to_send;
   TopicPartition tp;
   {
@@ -151,6 +163,10 @@ Result<ProduceResponse> Producer::SendBatch(
     }
   }
 
+  TraceCollector* tracer = TraceCollector::Default();
+  const bool tracing = tracer->enabled();
+  const int64_t send_start_us = tracing ? cluster_->clock()->NowUs() : 0;
+
   Status last_error = Status::Unavailable("no attempt made");
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
     auto leader = cluster_->LeaderFor(tp);
@@ -166,6 +182,21 @@ Result<ProduceResponse> Producer::SendBatch(
     auto resp = (*leader)->Produce(tp, records, config_.acks, producer_id,
                                    first_sequence, config_.client_id);
     if (resp.ok()) {
+      MetricsRegistry::Default()
+          ->GetCounter("liquid.producer.records")
+          ->Increment(static_cast<int64_t>(records.size()));
+      if (tracing) {
+        // One "produce" span per traced record: producer hand-off to the
+        // partition leader, parented on the record's current span so the
+        // whole journey chains into one trace tree.
+        const int64_t now_us = cluster_->clock()->NowUs();
+        for (const storage::Record& record : records) {
+          if (!record.traced()) continue;
+          tracer->Record(Span{record.trace_id, tracer->NewSpanId(),
+                              record.span_id, send_start_us, now_us, "produce",
+                              tp.ToString()});
+        }
+      }
       MutexLock lock(&mu_);
       records_sent_ += static_cast<int64_t>(records.size());
       if (sequenced) {

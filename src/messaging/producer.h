@@ -23,6 +23,7 @@ class Cluster;
 /// function for load-balancing or semantic routing").
 enum class PartitionerType { kRoundRobin, kHashByKey };
 
+/// Producer tuning knobs: durability (acks), routing, retries, batching.
 struct ProducerConfig {
   AckMode acks = AckMode::kAll;
   PartitionerType partitioner = PartitionerType::kHashByKey;

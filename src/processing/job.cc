@@ -17,6 +17,7 @@ class Job::CollectorImpl : public MessageCollector {
 
   Status Send(const std::string& topic, storage::Record record) override {
     job_->metrics_.GetCounter("job." + job_->config_.name + ".sent")->Increment();
+    job_->StampTrace(&record);
     return job_->producer_->Send(topic, std::move(record));
   }
 
@@ -71,7 +72,13 @@ Job::Job(messaging::Cluster* cluster, messaging::OffsetManager* offsets,
       config_(std::move(config)),
       factory_(std::move(factory)),
       instance_id_(std::move(instance_id)),
-      txn_coordinator_(txn_coordinator) {}
+      txn_coordinator_(txn_coordinator) {
+  MetricsRegistry* global = MetricsRegistry::Default();
+  const std::string prefix = "liquid.job." + config_.name + ".";
+  processed_counter_ = global->GetCounter(prefix + "processed");
+  process_us_ = global->GetHistogram(prefix + "process_us");
+  e2e_latency_us_ = global->GetHistogram(prefix + "e2e_latency_us");
+}
 
 Job::~Job() {
   // Joins the run thread first; no-op when already stopped. A destructor
@@ -215,6 +222,10 @@ Status Job::EnsureTask(int partition) {
       // reached only through the type-erased ChangelogEmitter.
       auto emitter = [this, changelog_tp](storage::Record record) REQUIRES(
                          mu_) -> Status {
+        // Changelog entries derive from the input record being processed:
+        // they carry its trace context so restores and audits can tie a
+        // store mutation back to the message that caused it.
+        StampTrace(&record);
         changelog_buffer_[changelog_tp].push_back(std::move(record));
         return Status::OK();
       };
@@ -254,16 +265,35 @@ Result<int> Job::RunOnce() {
     txn_open_ = true;
   }
 
+  TraceCollector* tracer = TraceCollector::Default();
+  const bool tracing = tracer->enabled();
   int processed = 0;
   for (const ConsumerRecord& envelope : *records) {
     LIQUID_RETURN_NOT_OK(EnsureTask(envelope.tp.partition));
     TaskState& state = tasks_[envelope.tp.partition];
+    const storage::Record& in = envelope.record;
+    // Pre-allocate the "process" span id before calling the task: outputs
+    // stamped by StampTrace then parent onto the span that produced them.
+    current_trace_ = (tracing && in.traced())
+                         ? TraceContext{in.trace_id, tracer->NewSpanId(),
+                                        in.ingest_us}
+                         : TraceContext{};
+    const int64_t t0 = cluster_->clock()->NowUs();
     LIQUID_RETURN_NOT_OK(state.task->Process(envelope, collector_.get(),
                                              coordinator_impl_.get()));
+    const int64_t t1 = cluster_->clock()->NowUs();
+    process_us_->Record(t1 - t0);
+    if (current_trace_.active()) {
+      tracer->Record(Span{in.trace_id, current_trace_.span_id, in.span_id, t0,
+                          t1, "process", config_.name});
+      if (in.ingest_us > 0) e2e_latency_us_->Record(t1 - in.ingest_us);
+    }
     ++processed;
   }
+  current_trace_ = TraceContext{};  // Window/commit output: untraced.
   metrics_.GetCounter("job." + config_.name + ".processed")
       ->Increment(processed);
+  processed_counter_->Increment(processed);
   if (processed > 0) {
     // Make task output visible promptly so downstream jobs (decoupled through
     // the messaging layer) can pick it up; flushing more often than the
@@ -312,6 +342,16 @@ Result<int64_t> Job::RunUntilIdle(int idle_rounds) {
   }
   if (!stopped) LIQUID_RETURN_NOT_OK(Commit());
   return total;
+}
+
+void Job::StampTrace(storage::Record* record) {
+  // Records that already carry a context (a task forwarding its input
+  // verbatim) keep it; otherwise the output inherits the current input's
+  // trace so the trace id spans the whole derivation chain.
+  if (record->traced() || !current_trace_.active()) return;
+  record->trace_id = current_trace_.trace_id;
+  record->span_id = current_trace_.span_id;
+  record->ingest_us = current_trace_.ingest_us;
 }
 
 Status Job::FlushChangelogs() {

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "common/trace.h"
 #include "kv/kv_store.h"
 #include "messaging/cluster.h"
 #include "messaging/consumer.h"
@@ -146,6 +147,12 @@ class Job {
   Status RestoreStore(int partition, const StoreConfig& store_config,
                       ChangelogStore* store);
   Status FlushChangelogs() REQUIRES(mu_);
+  /// Stamps an outgoing record (task output or changelog entry) with the
+  /// trace context of the input record currently being processed, so the one
+  /// trace id follows the derivation chain downstream. Called only with mu_
+  /// held — from the collector/emitter reached through RunOnce's Process()
+  /// call — but the analysis cannot see that across the virtual boundary.
+  void StampTrace(storage::Record* record) NO_THREAD_SAFETY_ANALYSIS;
 
   messaging::Cluster* cluster_;
   messaging::OffsetManager* offsets_;
@@ -161,7 +168,17 @@ class Job {
   std::unique_ptr<CollectorImpl> collector_;
   std::unique_ptr<CoordinatorImpl> coordinator_impl_;
 
+  // Cached handles into MetricsRegistry::Default() ("liquid.job.<name>.*"),
+  // resolved once at construction; registry entries are never erased.
+  Counter* processed_counter_ = nullptr;
+  Histogram* process_us_ = nullptr;
+  Histogram* e2e_latency_us_ = nullptr;
+
   mutable Mutex mu_;
+  /// Trace context of the input record currently inside Process(); the
+  /// per-record "process" span is pre-allocated into span_id so everything
+  /// the task emits parents onto it. Inactive outside the processing loop.
+  TraceContext current_trace_ GUARDED_BY(mu_);
   std::map<int, TaskState> tasks_ GUARDED_BY(mu_);  // Keyed by partition id.
   std::map<messaging::TopicPartition, std::vector<storage::Record>>
       changelog_buffer_ GUARDED_BY(mu_);

@@ -9,14 +9,18 @@ namespace {
 constexpr uint8_t kAttrTombstone = 1u << 0;
 constexpr uint8_t kAttrHasKey = 1u << 1;
 constexpr uint8_t kAttrControl = 1u << 2;
+constexpr uint8_t kAttrTraced = 1u << 3;
 // length + crc + offset + timestamp + producer_id + sequence + leader_epoch
 // + attributes
 constexpr size_t kHeaderFixedBytes = 4 + 4 + 8 + 8 + 8 + 4 + 4 + 1;
+// trace_id + span_id + ingest_us, present only when kAttrTraced is set.
+constexpr size_t kTraceBlockBytes = 8 + 8 + 8;
 }  // namespace
 
 size_t Record::EncodedSize() const {
-  return kHeaderFixedBytes + VarintLength(key.size()) + key.size() +
-         VarintLength(value.size()) + value.size();
+  return kHeaderFixedBytes + (traced() ? kTraceBlockBytes : 0) +
+         VarintLength(key.size()) + key.size() + VarintLength(value.size()) +
+         value.size();
 }
 
 void EncodeRecord(const Record& record, std::string* dst) {
@@ -31,7 +35,13 @@ void EncodeRecord(const Record& record, std::string* dst) {
   if (record.is_tombstone) attrs |= kAttrTombstone;
   if (record.has_key) attrs |= kAttrHasKey;
   if (record.is_control) attrs |= kAttrControl;
+  if (record.traced()) attrs |= kAttrTraced;
   body.push_back(static_cast<char>(attrs));
+  if (record.traced()) {
+    PutFixed64(&body, record.trace_id);
+    PutFixed64(&body, record.span_id);
+    PutFixed64(&body, static_cast<uint64_t>(record.ingest_us));
+  }
   PutLengthPrefixed(&body, record.key);
   PutLengthPrefixed(&body, record.value);
 
@@ -71,6 +81,12 @@ Status DecodeRecord(Slice* input, Record* record) {
   if (cursor.empty()) return Status::Corruption("record attributes missing");
   const uint8_t attrs = static_cast<uint8_t>(cursor[0]);
   cursor.RemovePrefix(1);
+  uint64_t trace_id = 0, span_id = 0, ingest_us = 0;
+  if ((attrs & kAttrTraced) != 0) {
+    LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &trace_id));
+    LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &span_id));
+    LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &ingest_us));
+  }
   Slice key, value;
   LIQUID_RETURN_NOT_OK(GetLengthPrefixed(&cursor, &key));
   LIQUID_RETURN_NOT_OK(GetLengthPrefixed(&cursor, &value));
@@ -83,6 +99,9 @@ Status DecodeRecord(Slice* input, Record* record) {
   record->is_tombstone = (attrs & kAttrTombstone) != 0;
   record->has_key = (attrs & kAttrHasKey) != 0;
   record->is_control = (attrs & kAttrControl) != 0;
+  record->trace_id = trace_id;
+  record->span_id = span_id;
+  record->ingest_us = static_cast<int64_t>(ingest_us);
   record->key = key.ToString();
   record->value = value.ToString();
 

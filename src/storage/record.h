@@ -39,6 +39,20 @@ struct Record {
   /// reconciliation); -1 before a leader stamps it.
   int32_t leader_epoch = -1;
 
+  // Trace context (observability extension; see common/trace.h and
+  // OBSERVABILITY.md). Stamped by the producer when the record is sampled
+  // and propagated unchanged through replication, the processing layer and
+  // changelogs. trace_id == 0 means untraced: the wire encoding then omits
+  // the trace block entirely, so untraced records cost no extra bytes.
+  uint64_t trace_id = 0;
+  /// Span that last touched the record (the parent of the next hop's span).
+  uint64_t span_id = 0;
+  /// Microseconds when the record first entered the system (producer clock);
+  /// end-to-end latency gauges are derived from it.
+  int64_t ingest_us = 0;
+
+  bool traced() const { return trace_id != 0; }
+
   static Record KeyValue(std::string k, std::string v, int64_t ts_ms = 0) {
     Record r;
     r.key = std::move(k);
@@ -85,7 +99,10 @@ struct Record {
 ///   fixed64 producer_id
 ///   fixed32 sequence
 ///   fixed32 leader_epoch
-///   byte    attributes      (bit0 tombstone, bit1 has_key, bit2 control)
+///   byte    attributes      (bit0 tombstone, bit1 has_key, bit2 control,
+///                            bit3 traced)
+///   [fixed64 trace_id, fixed64 span_id, fixed64 ingest_us — only when the
+///    traced bit is set]
 ///   varint  key_len,  key bytes
 ///   varint  value_len, value bytes
 void EncodeRecord(const Record& record, std::string* dst);

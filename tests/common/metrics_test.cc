@@ -112,5 +112,89 @@ TEST(MetricsRegistryTest, DistinctKindsDoNotCollide) {
   EXPECT_EQ(registry.GetHistogram("name")->count(), 1);
 }
 
+TEST(HistogramTest, StatsIsOneConsistentSnapshot) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  const HistogramStats stats = h.Stats();
+  EXPECT_EQ(stats.count, 100);
+  EXPECT_EQ(stats.sum, 5050);
+  EXPECT_EQ(stats.min, 1);
+  EXPECT_EQ(stats.max, 100);
+  EXPECT_NEAR(stats.mean, 50.5, 1e-9);
+  EXPECT_LE(stats.p50, stats.p90);
+  EXPECT_LE(stats.p90, stats.p95);
+  EXPECT_LE(stats.p95, stats.p99);
+  EXPECT_LE(stats.p99, stats.max);
+}
+
+TEST(MetricsRegistryTest, DefaultIsProcessWideSingleton) {
+  EXPECT_EQ(MetricsRegistry::Default(), MetricsRegistry::Default());
+}
+
+TEST(MetricsRegistryTest, GaugeValuesSnapshot) {
+  MetricsRegistry registry;
+  registry.GetGauge("liquid.consumer.g.lag")->Set(42);
+  auto snapshot = registry.GaugeValues();
+  EXPECT_EQ(snapshot.at("liquid.consumer.g.lag"), 42);
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("liquid.broker.0.produce_records")->Increment(5);
+  registry.GetGauge("liquid.consumer.audit.lag")->Set(7);
+  registry.GetHistogram("liquid.job.enrich.process_us")->Record(100);
+
+  const std::string text = registry.RenderPrometheus();
+  // Dotted names are sanitized to the Prometheus charset.
+  EXPECT_NE(text.find("# TYPE liquid_broker_0_produce_records counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("liquid_broker_0_produce_records 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE liquid_consumer_audit_lag gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("liquid_consumer_audit_lag 7\n"), std::string::npos);
+  // Histograms render as summaries with quantile labels plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE liquid_job_enrich_process_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("liquid_job_enrich_process_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("liquid_job_enrich_process_us_sum 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("liquid_job_enrich_process_us_count 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RenderJsonDump) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(3);
+  registry.GetGauge("g")->Set(-2);
+  registry.GetHistogram("h")->Record(10);
+
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\":{\"c\":3}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"g\":-2}"), std::string::npos);
+  EXPECT_NE(json.find("\"h\":{\"count\":1,\"sum\":10"), std::string::npos);
+  // Names are JSON-escaped.
+  MetricsRegistry tricky;
+  tricky.GetCounter("a\"b")->Increment();
+  EXPECT_NE(tricky.RenderJson().find("\"a\\\"b\":1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllForTestZeroesInPlace) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  Gauge* gauge = registry.GetGauge("g");
+  Histogram* histogram = registry.GetHistogram("h");
+  counter->Increment(5);
+  gauge->Set(5);
+  histogram->Record(5);
+  registry.ResetAllForTest();
+  // Same instances (callers may have cached the pointers), zeroed values.
+  EXPECT_EQ(registry.GetCounter("c"), counter);
+  EXPECT_EQ(counter->value(), 0);
+  EXPECT_EQ(gauge->value(), 0);
+  EXPECT_EQ(histogram->count(), 0);
+}
+
 }  // namespace
 }  // namespace liquid

@@ -1,0 +1,181 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace liquid {
+namespace {
+
+Span MakeSpan(uint64_t trace_id, uint64_t span_id, int64_t start_us) {
+  Span span;
+  span.trace_id = trace_id;
+  span.span_id = span_id;
+  span.start_us = start_us;
+  span.end_us = start_us + 1;
+  span.name = "test";
+  return span;
+}
+
+TEST(TraceCollectorTest, DisabledByDefault) {
+  TraceCollector collector;
+  EXPECT_FALSE(collector.enabled());
+  EXPECT_DOUBLE_EQ(collector.sample_rate(), 0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(collector.ShouldSample());
+}
+
+TEST(TraceCollectorTest, FullSamplingTracesEveryRecord) {
+  TraceCollector collector;
+  collector.SetSampleRate(1.0);
+  EXPECT_TRUE(collector.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(collector.ShouldSample());
+}
+
+TEST(TraceCollectorTest, FractionalRateIsDeterministicStride) {
+  TraceCollector collector;
+  collector.SetSampleRate(0.25);  // Every 4th decision.
+  int sampled = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (collector.ShouldSample()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 100);
+}
+
+TEST(TraceCollectorTest, RateClampedToUnitInterval) {
+  TraceCollector collector;
+  collector.SetSampleRate(7.0);
+  EXPECT_DOUBLE_EQ(collector.sample_rate(), 1.0);
+  collector.SetSampleRate(-1.0);
+  EXPECT_FALSE(collector.enabled());
+}
+
+TEST(TraceCollectorTest, IdsAreUniqueAndNonZero) {
+  TraceCollector collector;
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = collector.NewTraceId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(ids.insert(id).second);
+  }
+}
+
+TEST(TraceCollectorTest, RecordAndSnapshotOldestFirst) {
+  TraceCollector collector;
+  for (int i = 0; i < 5; ++i) {
+    collector.Record(MakeSpan(1, static_cast<uint64_t>(i + 1), i * 10));
+  }
+  const auto spans = collector.Snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(spans[i].span_id, static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ(collector.recorded(), 5);
+  EXPECT_EQ(collector.dropped(), 0);
+}
+
+TEST(TraceCollectorTest, RingOverwritesOldestWhenFull) {
+  TraceCollector collector(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    collector.Record(MakeSpan(1, static_cast<uint64_t>(i + 1), i));
+  }
+  const auto spans = collector.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().span_id, 7u);  // 7, 8, 9, 10 survive.
+  EXPECT_EQ(spans.back().span_id, 10u);
+  EXPECT_EQ(collector.recorded(), 10);
+  EXPECT_EQ(collector.dropped(), 6);
+}
+
+TEST(TraceCollectorTest, TraceFiltersById) {
+  TraceCollector collector;
+  collector.Record(MakeSpan(7, 1, 0));
+  collector.Record(MakeSpan(8, 2, 1));
+  collector.Record(MakeSpan(7, 3, 2));
+  const auto spans = collector.Trace(7);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].span_id, 1u);
+  EXPECT_EQ(spans[1].span_id, 3u);
+}
+
+TEST(TraceCollectorTest, ClearDropsSpansKeepsIds) {
+  TraceCollector collector;
+  const uint64_t before = collector.NewTraceId();
+  collector.Record(MakeSpan(1, 1, 0));
+  collector.Clear();
+  EXPECT_TRUE(collector.Snapshot().empty());
+  EXPECT_GT(collector.NewTraceId(), before);
+}
+
+TEST(TraceCollectorTest, SetCapacityKeepsNewest) {
+  TraceCollector collector(/*capacity=*/8);
+  for (int i = 0; i < 8; ++i) {
+    collector.Record(MakeSpan(1, static_cast<uint64_t>(i + 1), i));
+  }
+  collector.SetCapacity(3);
+  const auto spans = collector.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans.front().span_id, 6u);
+  EXPECT_EQ(spans.back().span_id, 8u);
+}
+
+// TSan regression test: concurrent recording, sampling, snapshotting,
+// clearing and resizing must be race-free (the collector is process-wide and
+// hit from every producer/broker/consumer thread at once).
+TEST(TraceCollectorStressTest, ConcurrentRecordSnapshotClearResize) {
+  TraceCollector collector(/*capacity=*/128);
+  collector.SetSampleRate(0.5);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&collector, &stop, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (collector.ShouldSample()) {
+          collector.Record(
+              MakeSpan(collector.NewTraceId(), collector.NewSpanId(),
+                       static_cast<int64_t>(t * 1000 + i)));
+        }
+        ++i;
+      }
+    });
+  }
+  std::thread reader([&collector, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto spans = collector.Snapshot();
+      for (const Span& span : spans) {
+        ASSERT_NE(span.trace_id, 0u);
+        ASSERT_EQ(span.name, "test");
+      }
+      (void)collector.Trace(1);
+      (void)collector.recorded();
+      (void)collector.dropped();
+    }
+  });
+  std::thread mutator([&collector, &stop] {
+    size_t capacity = 64;
+    while (!stop.load(std::memory_order_relaxed)) {
+      collector.SetCapacity(capacity);
+      capacity = capacity == 64 ? 256 : 64;
+      collector.SetSampleRate(0.25);
+      collector.SetSampleRate(0.5);
+      collector.Clear();
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true);
+  for (auto& thread : writers) thread.join();
+  reader.join();
+  mutator.join();
+
+  // Counters stay coherent after the storm.
+  EXPECT_GE(collector.recorded(), 0);
+  EXPECT_GE(collector.dropped(), 0);
+}
+
+}  // namespace
+}  // namespace liquid

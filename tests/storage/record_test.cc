@@ -107,6 +107,54 @@ TEST(RecordTest, EmptyKeyAndValue) {
   EXPECT_TRUE(out.has_key);
 }
 
+TEST(RecordTest, TracedRecordRoundTrip) {
+  Record in = Record::KeyValue("k", "v", 99);
+  in.offset = 5;
+  in.trace_id = 0xfeedfacecafebeefull;
+  in.span_id = 77;
+  in.ingest_us = 1700000000000123;
+  ASSERT_TRUE(in.traced());
+
+  std::string buf;
+  EncodeRecord(in, &buf);
+  EXPECT_EQ(buf.size(), in.EncodedSize());
+
+  // The trace block adds exactly 24 bytes over the untraced encoding.
+  Record plain = in;
+  plain.trace_id = 0;
+  std::string plain_buf;
+  EncodeRecord(plain, &plain_buf);
+  EXPECT_EQ(buf.size(), plain_buf.size() + 24);
+
+  Slice input(buf);
+  Record out;
+  ASSERT_TRUE(DecodeRecord(&input, &out).ok());
+  EXPECT_TRUE(out.traced());
+  EXPECT_EQ(out.trace_id, 0xfeedfacecafebeefull);
+  EXPECT_EQ(out.span_id, 77u);
+  EXPECT_EQ(out.ingest_us, 1700000000000123);
+  EXPECT_EQ(out.key, "k");
+  EXPECT_EQ(out.value, "v");
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(RecordTest, UntracedEncodingUnchangedByTraceFields) {
+  // A record that never passed the sampler encodes byte-identically to the
+  // pre-tracing wire format: no traced attribute bit, no trace block.
+  Record in = Record::KeyValue("k", "v", 99);
+  in.offset = 5;
+  ASSERT_FALSE(in.traced());
+  std::string buf;
+  EncodeRecord(in, &buf);
+  Slice input(buf);
+  Record out;
+  ASSERT_TRUE(DecodeRecord(&input, &out).ok());
+  EXPECT_FALSE(out.traced());
+  EXPECT_EQ(out.trace_id, 0u);
+  EXPECT_EQ(out.span_id, 0u);
+  EXPECT_EQ(out.ingest_us, 0);
+}
+
 TEST(RecordTest, CorruptedByteDetectedByCrc) {
   Record in = Record::KeyValue("key", "value");
   in.offset = 3;
