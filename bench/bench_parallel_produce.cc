@@ -1,0 +1,209 @@
+// Contention benchmark for the broker hot path: N producer threads publish
+// into M partitions of one broker, sweeping N and M. A broker sharded by
+// partition (per-replica locks, encode-outside-lock appends) should scale
+// aggregate throughput with min(N, M); a broker serialized on one global
+// lock stays flat no matter how many partitions it hosts.
+//
+// Legs:
+//   - disjoint:   thread i owns partition (i % M) — the partition-parallel
+//                 best case the paper's topic sharding exists for (§3.1).
+//   - contended:  every thread round-robins over all partitions — mixed
+//                 ownership, exercises lock handoff between threads.
+//   - same-partition (M=1 column): all threads target one partition — the
+//                 worst case; only encode-outside-lock helps here.
+//
+// --json[=path] additionally emits BENCH_parallel_produce.json for CI trend
+// tracking (scripts/bench_compare.py diffs two such files).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+#include "messaging/metadata.h"
+#include "storage/record.h"
+
+namespace liquid::messaging {
+namespace {
+
+using bench::Fmt;
+using bench::Stopwatch;
+using bench::Table;
+
+constexpr int kRecordsPerBatch = 100;
+constexpr size_t kValueBytes = 100;
+
+struct SweepPoint {
+  int threads = 0;
+  int partitions = 0;
+  std::string mode;        // "disjoint" or "contended"
+  int64_t records = 0;
+  int64_t wall_us = 0;
+  double records_per_sec = 0;
+  /// Total time produce requests spent waiting to acquire their partition's
+  /// replica lock (sum over all requests of the sweep point). The direct
+  /// observable of broker-side serialization: on a single-CPU host — where
+  /// wall-clock cannot show parallel speedup at all — this is the number
+  /// that separates a sharded broker (near zero on disjoint partitions)
+  /// from a monolithic one (every request queues on the broker lock).
+  int64_t lock_wait_us = 0;
+};
+
+std::vector<storage::Record> MakeBatch(Random* rng) {
+  std::vector<storage::Record> batch;
+  batch.reserve(kRecordsPerBatch);
+  for (int i = 0; i < kRecordsPerBatch; ++i) {
+    batch.push_back(storage::Record::KeyValue(
+        "key" + std::to_string(rng->Uniform(1000)), rng->Bytes(kValueBytes)));
+  }
+  return batch;
+}
+
+/// One sweep point: `threads` producers × `partitions` partitions × 1 broker.
+/// When `disjoint`, thread i sticks to partition i % partitions; otherwise
+/// every thread cycles over all partitions (lock handoff between threads).
+SweepPoint RunPoint(int threads, int partitions, bool disjoint,
+                    int batches_per_thread) {
+  SystemClock clock;
+  ClusterConfig config;
+  config.num_brokers = 1;
+  Cluster cluster(config, &clock);
+  LIQUID_CHECK_OK(cluster.Start());
+  TopicConfig topic;
+  topic.partitions = partitions;
+  topic.replication_factor = 1;
+  LIQUID_CHECK_OK(cluster.CreateTopic("bench", topic));
+  Broker* broker = cluster.broker(0);
+
+  // Pre-build per-thread batches so the timed region measures the broker,
+  // not record construction.
+  std::vector<std::vector<storage::Record>> batches;
+  for (int t = 0; t < threads; ++t) {
+    Random rng(42 + t);
+    batches.push_back(MakeBatch(&rng));
+  }
+
+  // The registry is process-global and every point uses broker id 0, so the
+  // per-point lock wait is the histogram's delta across the timed region.
+  Histogram* lock_wait =
+      MetricsRegistry::Default()->GetHistogram("liquid.broker.0.produce_lock_wait_us");
+  const int64_t lock_wait_before = lock_wait->Stats().sum;
+
+  Stopwatch timer;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < batches_per_thread; ++i) {
+        const int p = disjoint ? t % partitions : (t + i) % partitions;
+        const TopicPartition tp{"bench", p};
+        std::vector<storage::Record> batch = batches[t];  // Fresh offsets.
+        auto resp = broker->Produce(tp, std::move(batch), AckMode::kLeader);
+        LIQUID_CHECK_OK(resp.status());
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  SweepPoint point;
+  point.threads = threads;
+  point.partitions = partitions;
+  point.mode = disjoint ? "disjoint" : "contended";
+  point.records =
+      static_cast<int64_t>(threads) * batches_per_thread * kRecordsPerBatch;
+  point.wall_us = timer.ElapsedUs();
+  point.records_per_sec =
+      static_cast<double>(point.records) * 1e6 /
+      static_cast<double>(point.wall_us > 0 ? point.wall_us : 1);
+  point.lock_wait_us = lock_wait->Stats().sum - lock_wait_before;
+  return point;
+}
+
+void Run(const char* json_path, bool quick) {
+  const int batches_per_thread = quick ? 50 : 500;
+  const std::vector<int> thread_counts = quick ? std::vector<int>{1, 4}
+                                               : std::vector<int>{1, 2, 4, 8};
+  const std::vector<int> partition_counts =
+      quick ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 8};
+
+  std::vector<SweepPoint> points;
+  Table table({"mode", "threads", "partitions", "records", "wall_us",
+               "records_per_sec", "speedup_vs_1thr", "lock_wait_us"});
+  for (const bool disjoint : {true, false}) {
+    for (int partitions : partition_counts) {
+      double base_rate = 0;
+      for (int threads : thread_counts) {
+        SweepPoint point =
+            RunPoint(threads, partitions, disjoint, batches_per_thread);
+        if (threads == 1) base_rate = point.records_per_sec;
+        points.push_back(point);
+        table.AddRow({point.mode, std::to_string(threads),
+                      std::to_string(partitions), std::to_string(point.records),
+                      std::to_string(point.wall_us),
+                      Fmt(point.records_per_sec, 0),
+                      Fmt(point.records_per_sec / base_rate, 2) + "x",
+                      std::to_string(point.lock_wait_us)});
+      }
+    }
+  }
+  table.Print(
+      "parallel produce: aggregate throughput, N producer threads x M "
+      "partitions x 1 broker (acks=leader, " +
+      std::to_string(kRecordsPerBatch) + "-record batches)");
+
+  if (json_path != nullptr) {
+    std::ofstream out(json_path, std::ios::trunc);
+    out << "{\n  \"benchmark\": \"parallel_produce\",\n"
+        << "  \"records_per_batch\": " << kRecordsPerBatch
+        << ",\n  \"value_bytes\": " << kValueBytes
+        << ",\n  \"batches_per_thread\": " << batches_per_thread
+        << ",\n  \"results\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      out << "    {\"name\": \"" << p.mode << "/t" << p.threads << "/p"
+          << p.partitions << "\", \"threads\": " << p.threads
+          << ", \"partitions\": " << p.partitions
+          << ", \"records\": " << p.records << ", \"wall_us\": " << p.wall_us
+          << ", \"records_per_sec\": " << Fmt(p.records_per_sec, 0)
+          << ", \"lock_wait_us\": " << p.lock_wait_us << "}"
+          << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    if (!out) {
+      std::fprintf(stderr, "warning: could not write %s\n", json_path);
+    } else {
+      std::printf("wrote %s\n", json_path);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace liquid::messaging
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_parallel_produce.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json[=path]] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  liquid::messaging::Run(json_path, quick);
+  return 0;
+}

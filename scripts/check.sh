@@ -11,8 +11,10 @@
 #      corpus, then runs a bounded batch of deterministic mutations.
 #   7. Docs gate: broken intra-repo markdown links and public headers whose
 #      classes lack /// doc comments (scripts/check_docs.sh).
-#   8. Bench emission: a Release build of bench_pipeline_latency runs with
-#      --json and must produce BENCH_pipeline_latency.json.
+#   8. Bench emission: Release builds of bench_pipeline_latency,
+#      bench_log_throughput and bench_parallel_produce run with --json and
+#      must produce their BENCH_*.json artifacts (diff two runs with
+#      scripts/bench_compare.py).
 #
 # Any thread-safety warning, clang-tidy error, sanitizer report, or fuzzer
 # crash fails the script (non-zero exit). Steps that need Clang tooling are
@@ -132,15 +134,25 @@ fi
 
 # ---- 8. Bench emission -----------------------------------------------------
 # A Release build keeps the numbers meaningful; the gate only asserts the
-# JSON artifact appears — trend analysis happens outside this script.
-note "bench emission (bench_pipeline_latency --json)"
+# JSON artifacts appear — trend analysis happens outside this script
+# (scripts/bench_compare.py diffs two emission runs and fails on >10%
+# regressions). bench_log_throughput is filtered to one cheap leg and
+# bench_parallel_produce runs --quick: the gate checks emission, not trends.
+note "bench emission (pipeline_latency, log_throughput, parallel_produce)"
 if cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null \
    && cmake --build build-bench -j "${JOBS}" --target bench_pipeline_latency \
+        bench_log_throughput bench_parallel_produce \
    && (cd build-bench && bench/bench_pipeline_latency --json) \
-   && [ -s build-bench/BENCH_pipeline_latency.json ]; then
-  echo "OK: build-bench/BENCH_pipeline_latency.json written"
+   && [ -s build-bench/BENCH_pipeline_latency.json ] \
+   && (cd build-bench && bench/bench_log_throughput --json \
+         --benchmark_filter='BM_AppendRecordSize/100$' \
+         --benchmark_min_time=0.05) \
+   && [ -s build-bench/BENCH_log_throughput.json ] \
+   && (cd build-bench && bench/bench_parallel_produce --quick --json) \
+   && [ -s build-bench/BENCH_parallel_produce.json ]; then
+  echo "OK: build-bench/BENCH_{pipeline_latency,log_throughput,parallel_produce}.json written"
 else
-  fail "bench_pipeline_latency --json did not produce the JSON artifact"
+  fail "bench --json emission did not produce all JSON artifacts"
 fi
 
 # ----------------------------------------------------------------------------

@@ -74,6 +74,7 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 
 namespace liquid {
 
@@ -120,6 +121,28 @@ class CAPABILITY("mutex") RecursiveMutex {
   std::recursive_mutex mu_;
 };
 
+/// Annotated std::shared_mutex: one writer or many readers. Used where a
+/// structure is read on hot paths and mutated rarely (e.g. the broker's
+/// replica-map membership: every produce/fetch takes it shared, only
+/// partition reassignment takes it exclusive).
+class CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
 /// RAII lock for Mutex (std::lock_guard replacement the analysis understands).
 class SCOPED_CAPABILITY MutexLock {
  public:
@@ -146,6 +169,36 @@ class SCOPED_CAPABILITY RecursiveMutexLock {
 
  private:
   RecursiveMutex* const mu_;
+};
+
+/// RAII exclusive (writer) lock for SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) lock for SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
 };
 
 /// Condition variable bound to a Mutex. Wait() must be called with the Mutex

@@ -1,6 +1,7 @@
 #include "messaging/broker.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/coding.h"
 #include "common/logging.h"
@@ -49,6 +50,9 @@ Broker::Broker(int id, Cluster* cluster, storage::Disk* disk, Clock* clock,
   replicated_records_ = global->GetCounter(prefix + "replicated_records");
   produce_us_ = global->GetHistogram(prefix + "produce_us");
   fetch_us_ = global->GetHistogram(prefix + "fetch_us");
+  produce_lock_wait_us_ = global->GetHistogram(prefix + "produce_lock_wait_us");
+  broker_produce_records_ = metrics_.GetCounter("produce.records");
+  broker_fetch_records_ = metrics_.GetCounter("fetch.records");
 }
 
 Broker::~Broker() = default;
@@ -56,7 +60,7 @@ Broker::~Broker() = default;
 Status Broker::Start() {
   int64_t session;
   {
-    RecursiveMutexLock lock(&mu_);
+    WriterMutexLock lock(&map_mu_);
     if (alive_) return Status::FailedPrecondition("broker already started");
     alive_ = true;
     session = session_id_ = cluster_->coord()->CreateSession();
@@ -68,18 +72,18 @@ Status Broker::Start() {
 
   // Contend for the controller role; the winner handles broker failures.
   // Contending may elect synchronously, and election walks the whole cluster,
-  // so it cannot run under mu_ — the callback takes the lock itself.
+  // so it cannot run under map_mu_ — the callback takes the lock itself.
   auto election = std::make_unique<coord::LeaderElection>(
       cluster_->coord(), paths::Controller(), std::to_string(id_), session);
   election->Contend([this] {
     std::shared_ptr<Controller> controller;
     {
-      RecursiveMutexLock lock(&mu_);
+      WriterMutexLock lock(&map_mu_);
       if (!alive_) return;
       controller_ = std::make_shared<Controller>(cluster_, this);
       controller = controller_;
     }
-    // Outside mu_: Start() elects leaders across every broker. The local
+    // Outside map_mu_: Start() elects leaders across every broker. The local
     // shared_ptr keeps the controller alive if Stop() resets the member.
     Status st = controller->Start();
     if (!st.ok()) {
@@ -88,7 +92,7 @@ Status Broker::Start() {
     }
   });
   {
-    RecursiveMutexLock lock(&mu_);
+    WriterMutexLock lock(&map_mu_);
     // If Stop() raced in, dropping `election` here resigns immediately.
     if (alive_) election_ = std::move(election);
   }
@@ -98,7 +102,7 @@ Status Broker::Start() {
 void Broker::Stop() {
   int64_t session;
   {
-    RecursiveMutexLock lock(&mu_);
+    WriterMutexLock lock(&map_mu_);
     if (!alive_) return;
     alive_ = false;
     session = session_id_;
@@ -110,16 +114,16 @@ void Broker::Stop() {
 }
 
 bool Broker::alive() const {
-  RecursiveMutexLock lock(&mu_);
+  ReaderMutexLock lock(&map_mu_);
   return alive_;
 }
 
 bool Broker::IsController() const {
-  RecursiveMutexLock lock(&mu_);
+  ReaderMutexLock lock(&map_mu_);
   return controller_ != nullptr;
 }
 
-Result<Broker::Replica*> Broker::FindReplicaLocked(const TopicPartition& tp) {
+Result<Broker::Replica*> Broker::FindReplicaShared(const TopicPartition& tp) {
   if (!alive_) return Status::Unavailable("broker down: " + std::to_string(id_));
   auto it = replicas_.find(tp);
   if (it == replicas_.end()) {
@@ -134,6 +138,9 @@ Status Broker::EnsureLogLocked(const TopicPartition& tp, Replica* replica) {
                                 replica->config.log, clock_);
   if (!log.ok()) return log.status();
   replica->log = std::move(log).value();
+  replica->append_records = MetricsRegistry::Default()->GetCounter(
+      "liquid.broker." + std::to_string(id_) + ".partition." + tp.ToString() +
+      ".append_records");
   LIQUID_RETURN_NOT_OK(LoadHighWatermarkLocked(tp, replica));
   return LoadEpochCacheLocked(tp, replica);
 }
@@ -248,8 +255,9 @@ int Broker::LastLocalEpochLocked(const Replica& replica) {
 
 Result<std::pair<int, int64_t>> Broker::EndOffsetForEpoch(
     const TopicPartition& tp, int epoch) {
-  RecursiveMutexLock lock(&mu_);
-  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+  ReaderMutexLock map_lock(&map_mu_);
+  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+  MutexLock lock(&replica->mu);
   if (!replica->is_leader) return Status::NotLeader("epoch query on follower");
   const auto& cache = replica->epoch_cache;
   // Largest local epoch <= requested; its end is the next entry's start (or
@@ -269,9 +277,10 @@ Result<std::pair<int, int64_t>> Broker::EndOffsetForEpoch(
 
 Status Broker::BecomeLeader(const TopicPartition& tp, const PartitionState& state,
                             const TopicConfig& config) {
-  RecursiveMutexLock lock(&mu_);
+  WriterMutexLock map_lock(&map_mu_);
   if (!alive_) return Status::Unavailable("broker down");
   Replica& replica = replicas_[tp];
+  MutexLock lock(&replica.mu);
   replica.config = config;
   LIQUID_RETURN_NOT_OK(EnsureLogLocked(tp, &replica));
   if (state.leader_epoch < replica.leader_epoch) {
@@ -295,9 +304,10 @@ Status Broker::BecomeFollower(const TopicPartition& tp,
                               const PartitionState& state,
                               const TopicConfig& config) {
   {
-    RecursiveMutexLock lock(&mu_);
+    WriterMutexLock map_lock(&map_mu_);
     if (!alive_) return Status::Unavailable("broker down");
     Replica& replica = replicas_[tp];
+    MutexLock lock(&replica.mu);
     replica.config = config;
     LIQUID_RETURN_NOT_OK(EnsureLogLocked(tp, &replica));
     if (state.leader_epoch < replica.leader_epoch) {
@@ -318,7 +328,7 @@ Status Broker::BecomeFollower(const TopicPartition& tp,
   // the leader's log end (e.g. an uncommitted record we appended while we
   // briefly led an older epoch).
   //
-  // Leader queries happen without mu_ held: the leader may concurrently push
+  // Leader queries happen with no lock held: the leader may concurrently push
   // to this broker (or lead one partition while following another), so broker
   // locks must never nest across broker-to-broker calls. Each locked scope
   // below re-validates that this leadership command is still current and
@@ -328,10 +338,11 @@ Status Broker::BecomeFollower(const TopicPartition& tp,
                        : nullptr;
   constexpr int64_t kTruncateToHw = -1;
   auto truncate_to = [&](int64_t offset) -> Status {
-    RecursiveMutexLock lock(&mu_);
-    auto found = FindReplicaLocked(tp);
+    ReaderMutexLock map_lock(&map_mu_);
+    auto found = FindReplicaShared(tp);
     if (!found.ok()) return Status::OK();  // Replica dropped meanwhile.
     Replica* replica = *found;
+    MutexLock lock(&replica->mu);
     if (replica->is_leader || replica->leader_epoch != state.leader_epoch) {
       return Status::OK();  // Superseded by a newer leadership command.
     }
@@ -348,10 +359,11 @@ Status Broker::BecomeFollower(const TopicPartition& tp,
     return Status::OK();
   };
   auto local_epoch = [&]() -> int {
-    RecursiveMutexLock lock(&mu_);
-    auto found = FindReplicaLocked(tp);
+    ReaderMutexLock map_lock(&map_mu_);
+    auto found = FindReplicaShared(tp);
     if (!found.ok()) return -1;
     Replica* replica = *found;
+    MutexLock lock(&replica->mu);
     if (replica->is_leader || replica->leader_epoch != state.leader_epoch) {
       return -1;
     }
@@ -383,33 +395,38 @@ Status Broker::BecomeFollower(const TopicPartition& tp,
 }
 
 Status Broker::StopReplica(const TopicPartition& tp, bool delete_data) {
-  RecursiveMutexLock lock(&mu_);
-  auto it = replicas_.find(tp);
-  if (it == replicas_.end()) {
-    return Status::NotFound("replica not hosted: " + tp.ToString());
-  }
-  replicas_.erase(it);
-  if (delete_data) {
-    // Propagate the first cleanup failure so callers know on-disk data may
-    // be orphaned; the replica itself is already dropped either way.
-    Status cleanup = Status::OK();
-    auto names = disk_->List(LogPrefix(tp));
-    if (names.ok()) {
-      for (const auto& name : *names) {
-        if (Status st = disk_->Remove(name); !st.ok() && cleanup.ok()) {
-          cleanup = std::move(st);
-        }
-      }
+  {
+    // Exclusive membership lock: once acquired, no request holds the replica
+    // (request paths pin it with a shared hold for their whole operation),
+    // so erasing — and destroying its Mutex — is safe.
+    WriterMutexLock map_lock(&map_mu_);
+    auto it = replicas_.find(tp);
+    if (it == replicas_.end()) {
+      return Status::NotFound("replica not hosted: " + tp.ToString());
     }
-    if (disk_->Exists(HwCheckpointName(tp))) {
-      if (Status st = disk_->Remove(HwCheckpointName(tp));
-          !st.ok() && cleanup.ok()) {
+    replicas_.erase(it);
+  }
+  if (!delete_data) return Status::OK();
+  // Disk cleanup needs no broker state — run it after unlocking so slow I/O
+  // never stalls the whole broker.
+  // Propagate the first cleanup failure so callers know on-disk data may
+  // be orphaned; the replica itself is already dropped either way.
+  Status cleanup = Status::OK();
+  auto names = disk_->List(LogPrefix(tp));
+  if (names.ok()) {
+    for (const auto& name : *names) {
+      if (Status st = disk_->Remove(name); !st.ok() && cleanup.ok()) {
         cleanup = std::move(st);
       }
     }
-    return cleanup;
   }
-  return Status::OK();
+  if (disk_->Exists(HwCheckpointName(tp))) {
+    if (Status st = disk_->Remove(HwCheckpointName(tp));
+        !st.ok() && cleanup.ok()) {
+      cleanup = std::move(st);
+    }
+  }
+  return cleanup;
 }
 
 void Broker::AdvanceHighWatermarkLocked(const TopicPartition& tp,
@@ -430,12 +447,12 @@ void Broker::AdvanceHighWatermarkLocked(const TopicPartition& tp,
   }
 }
 
-void Broker::PublishIsrLocked(const TopicPartition& tp, Replica* replica) {
+void Broker::PublishIsr(const TopicPartition& tp, const std::vector<int>& isr) {
   auto state_result = cluster_->coord()->Get(paths::PartitionStatePath(tp));
   if (!state_result.ok()) return;
   auto state = PartitionState::Parse(*state_result);
   if (!state.ok()) return;
-  state->isr = replica->isr;
+  state->isr = isr;
   // The ISR in the coordination service is advisory (re-published on every
   // change and re-derived by the controller on election); log and move on.
   if (Status st =
@@ -446,28 +463,30 @@ void Broker::PublishIsrLocked(const TopicPartition& tp, Replica* replica) {
   }
 }
 
-void Broker::ShrinkIsrLocked(const TopicPartition& tp, Replica* replica,
+bool Broker::ShrinkIsrLocked(const TopicPartition& tp, Replica* replica,
                              int follower) {
   auto it = std::find(replica->isr.begin(), replica->isr.end(), follower);
-  if (it == replica->isr.end()) return;
+  if (it == replica->isr.end()) return false;
   replica->isr.erase(it);
   metrics_.GetCounter("isr.shrinks")->Increment();
   LIQUID_LOG_DEBUG << "broker " << id_ << " shrinks ISR of " << tp.ToString()
                    << " removing " << follower;
-  PublishIsrLocked(tp, replica);
   AdvanceHighWatermarkLocked(tp, replica);
+  return true;
 }
 
-void Broker::MaybeExpandIsrLocked(const TopicPartition& tp, Replica* replica,
+bool Broker::MaybeExpandIsrLocked(const TopicPartition& tp, Replica* replica,
                                   int follower) {
-  if (Contains(replica->isr, follower)) return;
+  if (Contains(replica->isr, follower)) return false;
   auto it = replica->follower_leo.find(follower);
-  if (it == replica->follower_leo.end()) return;
-  if (it->second < replica->log->end_offset()) return;
+  if (it == replica->follower_leo.end()) return false;
+  if (it->second < replica->log->end_offset()) return false;
   replica->isr.push_back(follower);
   std::sort(replica->isr.begin(), replica->isr.end());
   metrics_.GetCounter("isr.expands")->Increment();
-  PublishIsrLocked(tp, replica);
+  LIQUID_LOG_DEBUG << "broker " << id_ << " expands ISR of " << tp.ToString()
+                   << " adding " << follower;
+  return true;
 }
 
 Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
@@ -499,16 +518,19 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
   };
   LIQUID_RETURN_NOT_OK(
       cluster_->acls()->Check(client_id, tp.topic, AclOperation::kWrite));
+  int64_t throttle_ms = 0;
   if (!client_id.empty()) {
     int64_t payload = 0;
     for (const auto& record : records) {
       payload += static_cast<int64_t>(record.EncodedSize());
     }
-    const int64_t throttle_ms = quotas_.Charge(client_id, payload);
+    throttle_ms = quotas_.Charge(client_id, payload);
     if (throttle_ms > 0) {
-      // Kafka delays the response; the caller experiences reduced rate.
+      // Kafka-style client throttling: the verdict rides back in the
+      // response and the PRODUCER backs off (see Producer::SendBatch). The
+      // broker thread stays available instead of sleeping on behalf of one
+      // tenant — essential now that partitions are served concurrently.
       metrics_.GetCounter("quota.produce_throttles")->Increment();
-      clock_->SleepMs(throttle_ms);
     }
   }
   std::vector<int> push_targets;
@@ -516,9 +538,13 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
   int64_t base = 0;
   int64_t leo = 0;
   int64_t leader_hw = 0;
+  storage::EncodedBatch batch;
   {
-    RecursiveMutexLock lock(&mu_);
-    LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+    ReaderMutexLock map_lock(&map_mu_);
+    LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+    const int64_t lock_t0 = clock_->NowUs();
+    MutexLock lock(&replica->mu);
+    produce_lock_wait_us_->Record(clock_->NowUs() - lock_t0);
     if (!replica->is_leader) {
       return Status::NotLeader("broker " + std::to_string(id_) +
                                " is not leader of " + tp.ToString());
@@ -538,6 +564,7 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
         ProduceResponse resp;
         resp.base_offset = -1;
         resp.log_end_offset = replica->log->end_offset();
+        resp.throttle_ms = throttle_ms;
         return resp;
       }
       if (first_sequence != last + 1) {
@@ -552,17 +579,22 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
       }
     }
     for (auto& record : records) record.leader_epoch = replica->leader_epoch;
-    auto base_result = replica->log->Append(&records);
-    if (!base_result.ok()) return base_result.status();
-    base = *base_result;
+    // Encode-once: the batch buffer produced here is the exact bytes on our
+    // disk, and the same buffer is forwarded to followers below.
+    auto batch_result = replica->log->AppendBatch(&records);
+    if (!batch_result.ok()) return batch_result.status();
+    batch = std::move(batch_result).value();
+    base = batch.base_offset();
     leo = replica->log->end_offset();
-    metrics_.GetCounter("produce.records")->Increment(records.size());
+    broker_produce_records_->Increment(static_cast<int64_t>(records.size()));
+    replica->append_records->Increment(static_cast<int64_t>(records.size()));
     if (acks != AckMode::kAll) {
       AdvanceHighWatermarkLocked(tp, replica);
       observe_append(records);
       ProduceResponse resp;
       resp.base_offset = base;
       resp.log_end_offset = leo;
+      resp.throttle_ms = throttle_ms;
       return resp;
     }
     epoch = replica->leader_epoch;
@@ -573,42 +605,59 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
   }
 
   // acks=all: synchronously replicate to ISR followers (their pull loop,
-  // executed inline) without holding our lock (avoids lock cycles).
+  // executed inline) without holding any lock (avoids lock cycles). The
+  // follower receives the leader's encoded bytes, not re-encoded Records.
   std::vector<int> failed;
   for (int member : push_targets) {
     Broker* follower = cluster_->broker(member);
     Status st = follower == nullptr
                     ? Status::Unavailable("no such broker")
-                    : follower->AppendAsFollower(tp, records, epoch, leader_hw);
+                    : follower->AppendEncodedAsFollower(tp, batch, epoch,
+                                                        leader_hw);
     if (!st.ok()) failed.push_back(member);
   }
 
-  RecursiveMutexLock lock(&mu_);
-  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
-  if (!replica->is_leader || replica->leader_epoch != epoch) {
-    return Status::NotLeader("leadership lost during replication");
-  }
-  for (int member : push_targets) {
-    if (!Contains(failed, member)) replica->follower_leo[member] = leo;
-  }
-  for (int member : failed) ShrinkIsrLocked(tp, replica, member);
-  if (static_cast<int>(replica->isr.size()) <
-      replica->config.min_insync_replicas) {
-    return Status::Unavailable("ISR shrank below min.insync.replicas");
-  }
-  AdvanceHighWatermarkLocked(tp, replica);
-  observe_append(records);
-  ProduceResponse resp;
-  resp.base_offset = base;
-  resp.log_end_offset = leo;
-  return resp;
+  std::optional<std::vector<int>> publish_isr;
+  auto result = [&]() -> Result<ProduceResponse> {
+    ReaderMutexLock map_lock(&map_mu_);
+    LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+    MutexLock lock(&replica->mu);
+    if (!replica->is_leader || replica->leader_epoch != epoch) {
+      return Status::NotLeader("leadership lost during replication");
+    }
+    for (int member : push_targets) {
+      if (!Contains(failed, member)) replica->follower_leo[member] = leo;
+    }
+    bool shrank = false;
+    for (int member : failed) {
+      shrank = ShrinkIsrLocked(tp, replica, member) || shrank;
+    }
+    if (shrank) publish_isr = replica->isr;
+    if (static_cast<int>(replica->isr.size()) <
+        replica->config.min_insync_replicas) {
+      return Status::Unavailable("ISR shrank below min.insync.replicas");
+    }
+    AdvanceHighWatermarkLocked(tp, replica);
+    observe_append(records);
+    ProduceResponse resp;
+    resp.base_offset = base;
+    resp.log_end_offset = leo;
+    resp.throttle_ms = throttle_ms;
+    return resp;
+  }();
+  // ISR changes reach the coordination service only after every broker lock
+  // is released: the coord write fires watches that re-enter brokers on this
+  // same thread.
+  if (publish_isr.has_value()) PublishIsr(tp, *publish_isr);
+  return result;
 }
 
 Status Broker::AppendAsFollower(const TopicPartition& tp,
                                 const std::vector<storage::Record>& records,
                                 int leader_epoch, int64_t leader_hw) {
-  RecursiveMutexLock lock(&mu_);
-  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+  ReaderMutexLock map_lock(&map_mu_);
+  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+  MutexLock lock(&replica->mu);
   if (leader_epoch < replica->leader_epoch) {
     return Status::FailedPrecondition("push from stale leader epoch");
   }
@@ -631,6 +680,7 @@ Status Broker::AppendAsFollower(const TopicPartition& tp,
       NoteEpochLocked(tp, replica, record.leader_epoch, record.offset);
     }
     replicated_records_->Increment(static_cast<int64_t>(fresh.size()));
+    replica->append_records->Increment(static_cast<int64_t>(fresh.size()));
     TraceCollector* tracer = TraceCollector::Default();
     if (tracer->enabled()) {
       const int64_t now_us = clock_->NowUs();
@@ -639,6 +689,63 @@ Status Broker::AppendAsFollower(const TopicPartition& tp,
         tracer->Record(Span{record.trace_id, tracer->NewSpanId(),
                             record.span_id, t0, now_us, "replicate",
                             tp.ToString() + " follower=" + std::to_string(id_)});
+      }
+    }
+  }
+  const int64_t new_hw =
+      std::min<int64_t>(leader_hw, replica->log->end_offset());
+  if (new_hw > replica->high_watermark) {
+    replica->high_watermark = new_hw;
+    StoreHighWatermarkLocked(tp, replica);
+  }
+  return Status::OK();
+}
+
+Status Broker::AppendEncodedAsFollower(const TopicPartition& tp,
+                                       const storage::EncodedBatch& batch,
+                                       int leader_epoch, int64_t leader_hw) {
+  ReaderMutexLock map_lock(&map_mu_);
+  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+  MutexLock lock(&replica->mu);
+  if (leader_epoch < replica->leader_epoch) {
+    return Status::FailedPrecondition("push from stale leader epoch");
+  }
+  replica->leader_epoch = leader_epoch;
+  if (!batch.empty()) {
+    const int64_t local_end = replica->log->end_offset();
+    if (batch.base_offset() > local_end) {
+      // We missed earlier data (e.g. we were out of the ISR); signal the
+      // leader so it shrinks the ISR; the pull path will catch us up.
+      return Status::OutOfRange("follower behind leader push");
+    }
+    // Drop frames we already store — a frame-metadata slice of the shared
+    // buffer, not a copy — then land the leader's bytes verbatim.
+    storage::EncodedBatch fresh = batch;
+    fresh.SliceFrom(local_end);
+    if (!fresh.empty()) {
+      const int64_t t0 = clock_->NowUs();
+      LIQUID_RETURN_NOT_OK(replica->log->AppendEncoded(fresh));
+      for (const auto& frame : fresh.frames()) {
+        NoteEpochLocked(tp, replica, frame.leader_epoch, frame.offset);
+      }
+      replicated_records_->Increment(
+          static_cast<int64_t>(fresh.record_count()));
+      replica->append_records->Increment(
+          static_cast<int64_t>(fresh.record_count()));
+      TraceCollector* tracer = TraceCollector::Default();
+      if (tracer->enabled()) {
+        // Only traced frames are decoded (to read their trace context); the
+        // untraced common case touches no payload bytes at all.
+        const int64_t now_us = clock_->NowUs();
+        for (size_t i = 0; i < fresh.frames().size(); ++i) {
+          if (!fresh.frames()[i].traced) continue;
+          auto record = fresh.DecodeFrame(i);
+          if (!record.ok()) continue;
+          tracer->Record(Span{record->trace_id, tracer->NewSpanId(),
+                              record->span_id, t0, now_us, "replicate",
+                              tp.ToString() + " follower=" +
+                                  std::to_string(id_)});
+        }
       }
     }
   }
@@ -660,8 +767,9 @@ int64_t Broker::LastStableOffsetLocked(const Replica& replica) {
 }
 
 Status Broker::BeginPartitionTxn(const TopicPartition& tp, int64_t pid) {
-  RecursiveMutexLock lock(&mu_);
-  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+  ReaderMutexLock map_lock(&map_mu_);
+  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+  MutexLock lock(&replica->mu);
   if (!replica->is_leader) return Status::NotLeader("txn begin on follower");
   replica->ongoing_txns.emplace(pid, replica->log->end_offset());
   return Status::OK();
@@ -675,8 +783,9 @@ Status Broker::WriteTxnMarker(const TopicPartition& tp, int64_t pid,
   int64_t leo = 0;
   int64_t hw = 0;
   {
-    RecursiveMutexLock lock(&mu_);
-    LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+    ReaderMutexLock map_lock(&map_mu_);
+    LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+    MutexLock lock(&replica->mu);
     if (!replica->is_leader) return Status::NotLeader("txn marker on follower");
     auto it = replica->ongoing_txns.find(pid);
     if (it == replica->ongoing_txns.end()) {
@@ -699,7 +808,7 @@ Status Broker::WriteTxnMarker(const TopicPartition& tp, int64_t pid,
     hw = replica->high_watermark;
   }
   // Synchronously replicate the marker to the ISR so the LSO advance is
-  // durable like any acks=all write — without holding our lock: a follower of
+  // durable like any acks=all write — without holding any lock: a follower of
   // this partition may simultaneously lead another partition and push to us,
   // and broker locks must never be held across broker-to-broker calls.
   std::vector<int> reached;
@@ -710,8 +819,9 @@ Status Broker::WriteTxnMarker(const TopicPartition& tp, int64_t pid,
       reached.push_back(member);
     }
   }
-  RecursiveMutexLock lock(&mu_);
-  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+  ReaderMutexLock map_lock(&map_mu_);
+  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+  MutexLock lock(&replica->mu);
   if (!replica->is_leader || replica->leader_epoch != epoch) {
     return Status::NotLeader("leadership lost during marker replication");
   }
@@ -721,8 +831,9 @@ Status Broker::WriteTxnMarker(const TopicPartition& tp, int64_t pid,
 }
 
 Result<int64_t> Broker::LastStableOffset(const TopicPartition& tp) {
-  RecursiveMutexLock lock(&mu_);
-  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+  ReaderMutexLock map_lock(&map_mu_);
+  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+  MutexLock lock(&replica->mu);
   return LastStableOffsetLocked(*replica);
 }
 
@@ -733,96 +844,114 @@ Result<FetchResponse> Broker::Fetch(const TopicPartition& tp, int64_t offset,
   const int64_t t0 = clock_->NowUs();
   LIQUID_RETURN_NOT_OK(
       cluster_->acls()->Check(client_id, tp.topic, AclOperation::kRead));
+  int64_t throttle_ms = 0;
   if (!client_id.empty()) {
-    const int64_t throttle_ms =
-        quotas_.Charge(client_id, static_cast<int64_t>(max_bytes));
+    throttle_ms = quotas_.Charge(client_id, static_cast<int64_t>(max_bytes));
     if (throttle_ms > 0) {
+      // Client-side throttle contract (see Produce): verdict in the
+      // response, enforcement in the consumer.
       metrics_.GetCounter("quota.fetch_throttles")->Increment();
-      clock_->SleepMs(throttle_ms);
     }
   }
-  RecursiveMutexLock lock(&mu_);
-  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
-  if (!replica->is_leader) {
-    return Status::NotLeader("broker " + std::to_string(id_) +
-                             " is not leader of " + tp.ToString());
-  }
-  FetchResponse resp;
-  if (replica_id >= 0) {
-    // A replica fetch at `offset` proves the follower has [.., offset).
-    replica->follower_leo[replica_id] = offset;
-    AdvanceHighWatermarkLocked(tp, replica);
-    if (offset >= replica->log->end_offset()) {
-      MaybeExpandIsrLocked(tp, replica, replica_id);
+  std::optional<std::vector<int>> publish_isr;
+  auto result = [&]() -> Result<FetchResponse> {
+    ReaderMutexLock map_lock(&map_mu_);
+    LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+    MutexLock lock(&replica->mu);
+    if (!replica->is_leader) {
+      return Status::NotLeader("broker " + std::to_string(id_) +
+                               " is not leader of " + tp.ToString());
     }
-    LIQUID_RETURN_NOT_OK(replica->log->Read(offset, max_bytes, &resp.records));
-    resp.next_fetch_offset =
-        resp.records.empty() ? offset : resp.records.back().offset + 1;
-  } else {
-    // Consumers see only committed data; read_committed additionally hides
-    // data of ongoing transactions (LSO clamp), aborted data and markers.
-    const int64_t visibility_bound = read_committed
-                                         ? LastStableOffsetLocked(*replica)
-                                         : replica->high_watermark;
-    LIQUID_RETURN_NOT_OK(replica->log->Read(offset, max_bytes, &resp.records));
-    while (!resp.records.empty() &&
-           resp.records.back().offset >= visibility_bound) {
-      resp.records.pop_back();
-    }
-    resp.next_fetch_offset =
-        resp.records.empty() ? std::max(offset, replica->log->start_offset())
-                             : resp.records.back().offset + 1;
-    if (read_committed) {
-      std::vector<storage::Record> visible;
-      for (auto& record : resp.records) {
-        if (record.is_control) continue;
-        bool aborted = false;
-        for (const AbortedRange& range : replica->aborted_ranges) {
-          if (record.producer_id == range.pid &&
-              record.offset >= range.first_offset &&
-              record.offset < range.last_offset) {
-            aborted = true;
-            break;
-          }
+    FetchResponse resp;
+    resp.throttle_ms = throttle_ms;
+    if (replica_id >= 0) {
+      // A replica fetch at `offset` proves the follower has [.., offset).
+      replica->follower_leo[replica_id] = offset;
+      AdvanceHighWatermarkLocked(tp, replica);
+      if (offset >= replica->log->end_offset()) {
+        if (MaybeExpandIsrLocked(tp, replica, replica_id)) {
+          publish_isr = replica->isr;
         }
-        if (!aborted) visible.push_back(std::move(record));
       }
-      resp.records = std::move(visible);
-    }
-    metrics_.GetCounter("fetch.records")->Increment(resp.records.size());
-    fetch_records_->Increment(static_cast<int64_t>(resp.records.size()));
-    const int64_t now_us = clock_->NowUs();
-    fetch_us_->Record(now_us - t0);
-    // One "fetch" span per traced record handed to a consumer; the consumer
-    // (or job) parents its own span on the record's span_id afterwards, so
-    // the span_id field stays the record's last producer-side hop.
-    TraceCollector* tracer = TraceCollector::Default();
-    if (tracer->enabled()) {
-      for (const auto& record : resp.records) {
-        if (!record.traced()) continue;
-        tracer->Record(Span{record.trace_id, tracer->NewSpanId(),
-                            record.span_id, t0, now_us, "fetch",
-                            tp.ToString()});
+      // Replica fetches return the shared encoded buffer: the follower
+      // appends these bytes verbatim (and they were themselves encoded just
+      // once, on the original produce path).
+      LIQUID_RETURN_NOT_OK(
+          replica->log->ReadEncoded(offset, max_bytes, &resp.batch));
+      resp.next_fetch_offset =
+          resp.batch.empty() ? offset : resp.batch.last_offset() + 1;
+    } else {
+      // Consumers see only committed data; read_committed additionally hides
+      // data of ongoing transactions (LSO clamp), aborted data and markers.
+      const int64_t visibility_bound = read_committed
+                                           ? LastStableOffsetLocked(*replica)
+                                           : replica->high_watermark;
+      LIQUID_RETURN_NOT_OK(replica->log->Read(offset, max_bytes, &resp.records));
+      while (!resp.records.empty() &&
+             resp.records.back().offset >= visibility_bound) {
+        resp.records.pop_back();
+      }
+      resp.next_fetch_offset =
+          resp.records.empty() ? std::max(offset, replica->log->start_offset())
+                               : resp.records.back().offset + 1;
+      if (read_committed) {
+        std::vector<storage::Record> visible;
+        for (auto& record : resp.records) {
+          if (record.is_control) continue;
+          bool aborted = false;
+          for (const AbortedRange& range : replica->aborted_ranges) {
+            if (record.producer_id == range.pid &&
+                record.offset >= range.first_offset &&
+                record.offset < range.last_offset) {
+              aborted = true;
+              break;
+            }
+          }
+          if (!aborted) visible.push_back(std::move(record));
+        }
+        resp.records = std::move(visible);
+      }
+      broker_fetch_records_->Increment(
+          static_cast<int64_t>(resp.records.size()));
+      fetch_records_->Increment(static_cast<int64_t>(resp.records.size()));
+      const int64_t now_us = clock_->NowUs();
+      fetch_us_->Record(now_us - t0);
+      // One "fetch" span per traced record handed to a consumer; the consumer
+      // (or job) parents its own span on the record's span_id afterwards, so
+      // the span_id field stays the record's last producer-side hop.
+      TraceCollector* tracer = TraceCollector::Default();
+      if (tracer->enabled()) {
+        for (const auto& record : resp.records) {
+          if (!record.traced()) continue;
+          tracer->Record(Span{record.trace_id, tracer->NewSpanId(),
+                              record.span_id, t0, now_us, "fetch",
+                              tp.ToString()});
+        }
       }
     }
-  }
-  resp.high_watermark = replica->high_watermark;
-  resp.log_start_offset = replica->log->start_offset();
-  resp.log_end_offset = replica->log->end_offset();
-  return resp;
+    resp.high_watermark = replica->high_watermark;
+    resp.log_start_offset = replica->log->start_offset();
+    resp.log_end_offset = replica->log->end_offset();
+    return resp;
+  }();
+  // Publish after every broker lock is released (coord watches re-enter).
+  if (publish_isr.has_value()) PublishIsr(tp, *publish_isr);
+  return result;
 }
 
 Result<int64_t> Broker::OffsetForTimestamp(const TopicPartition& tp,
                                            int64_t ts_ms) {
-  RecursiveMutexLock lock(&mu_);
-  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+  ReaderMutexLock map_lock(&map_mu_);
+  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+  MutexLock lock(&replica->mu);
   return replica->log->OffsetForTimestamp(ts_ms);
 }
 
 Result<std::pair<int64_t, int64_t>> Broker::OffsetBounds(
     const TopicPartition& tp) {
-  RecursiveMutexLock lock(&mu_);
-  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+  ReaderMutexLock map_lock(&map_mu_);
+  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+  MutexLock lock(&replica->mu);
   return std::make_pair(replica->log->start_offset(), replica->high_watermark);
 }
 
@@ -834,9 +963,10 @@ Status Broker::ReplicateFromLeaders() {
   };
   std::vector<PullTask> tasks;
   {
-    RecursiveMutexLock lock(&mu_);
+    ReaderMutexLock map_lock(&map_mu_);
     if (!alive_) return Status::Unavailable("broker down");
     for (auto& [tp, replica] : replicas_) {
+      MutexLock lock(&replica.mu);
       if (replica.is_leader || replica.leader < 0) continue;
       tasks.push_back(PullTask{tp, replica.log->end_offset(), replica.leader});
     }
@@ -862,18 +992,24 @@ Status Broker::ReplicateFromLeaders() {
       }
       continue;
     }
-    RecursiveMutexLock lock(&mu_);
-    auto replica_result = FindReplicaLocked(task.tp);
+    ReaderMutexLock map_lock(&map_mu_);
+    auto replica_result = FindReplicaShared(task.tp);
     if (!replica_result.ok()) continue;
     Replica* replica = *replica_result;
+    MutexLock lock(&replica->mu);
     if (replica->is_leader) continue;
-    if (!resp->records.empty() &&
-        resp->records.front().offset >= replica->log->end_offset()) {
-      Status st = replica->log->AppendWithOffsets(resp->records);
+    if (!resp->batch.empty() &&
+        resp->batch.base_offset() >= replica->log->end_offset()) {
+      // The leader's shared buffer lands here byte-for-byte.
+      Status st = replica->log->AppendEncoded(resp->batch);
       if (!st.ok()) continue;
-      for (const auto& record : resp->records) {
-        NoteEpochLocked(task.tp, replica, record.leader_epoch, record.offset);
+      for (const auto& frame : resp->batch.frames()) {
+        NoteEpochLocked(task.tp, replica, frame.leader_epoch, frame.offset);
       }
+      replicated_records_->Increment(
+          static_cast<int64_t>(resp->batch.record_count()));
+      replica->append_records->Increment(
+          static_cast<int64_t>(resp->batch.record_count()));
     }
     const int64_t new_hw =
         std::min<int64_t>(resp->high_watermark, replica->log->end_offset());
@@ -882,7 +1018,7 @@ Status Broker::ReplicateFromLeaders() {
       StoreHighWatermarkLocked(task.tp, replica);
     }
     // If retention deleted our fetch position on the leader, jump forward.
-    if (resp->records.empty() && task.from < resp->log_start_offset) {
+    if (resp->batch.empty() && task.from < resp->log_start_offset) {
       // Restart the local log at the leader's start offset.
       // (Simplified out-of-range handling.)
       if (Status st = replica->log->Truncate(replica->log->start_offset());
@@ -899,10 +1035,11 @@ Status Broker::ReplicateFromLeaders() {
 Status Broker::RunLogMaintenance() {
   std::vector<TopicPartition> hosted = HostedPartitions();
   for (const auto& tp : hosted) {
-    RecursiveMutexLock lock(&mu_);
-    auto replica_result = FindReplicaLocked(tp);
+    ReaderMutexLock map_lock(&map_mu_);
+    auto replica_result = FindReplicaShared(tp);
     if (!replica_result.ok()) continue;
     Replica* replica = *replica_result;
+    MutexLock lock(&replica->mu);
     auto deleted = replica->log->ApplyRetention();
     if (!deleted.ok()) return deleted.status();
     if (replica->config.log.compaction_enabled) {
@@ -915,39 +1052,44 @@ Status Broker::RunLogMaintenance() {
 
 Result<storage::CompactionStats> Broker::CompactPartition(
     const TopicPartition& tp) {
-  RecursiveMutexLock lock(&mu_);
-  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+  ReaderMutexLock map_lock(&map_mu_);
+  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+  MutexLock lock(&replica->mu);
   return replica->log->Compact();
 }
 
 Result<int64_t> Broker::LogEndOffset(const TopicPartition& tp) {
-  RecursiveMutexLock lock(&mu_);
-  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+  ReaderMutexLock map_lock(&map_mu_);
+  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+  MutexLock lock(&replica->mu);
   return replica->log->end_offset();
 }
 
 Result<int64_t> Broker::HighWatermark(const TopicPartition& tp) {
-  RecursiveMutexLock lock(&mu_);
-  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaLocked(tp));
+  ReaderMutexLock map_lock(&map_mu_);
+  LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
+  MutexLock lock(&replica->mu);
   return replica->high_watermark;
 }
 
 std::vector<TopicPartition> Broker::HostedPartitions() const {
-  RecursiveMutexLock lock(&mu_);
+  ReaderMutexLock lock(&map_mu_);
   std::vector<TopicPartition> out;
   for (const auto& [tp, replica] : replicas_) out.push_back(tp);
   return out;
 }
 
 bool Broker::HostsPartition(const TopicPartition& tp) const {
-  RecursiveMutexLock lock(&mu_);
+  ReaderMutexLock lock(&map_mu_);
   return replicas_.count(tp) > 0;
 }
 
 bool Broker::IsLeaderFor(const TopicPartition& tp) const {
-  RecursiveMutexLock lock(&mu_);
+  ReaderMutexLock lock(&map_mu_);
   auto it = replicas_.find(tp);
-  return it != replicas_.end() && it->second.is_leader;
+  if (it == replicas_.end()) return false;
+  MutexLock replica_lock(&it->second.mu);
+  return it->second.is_leader;
 }
 
 }  // namespace liquid::messaging

@@ -20,6 +20,7 @@
 #include "storage/disk.h"
 #include "storage/log.h"
 #include "storage/page_cache.h"
+#include "storage/record_batch.h"
 
 namespace liquid::messaging {
 
@@ -40,6 +41,14 @@ struct BrokerConfig {
 /// "RPCs" are direct method calls routed through the Cluster; the protocol
 /// semantics (leader checks, epochs, high-watermark, ISR membership) are the
 /// real ones.
+///
+/// Locking is sharded by partition (see DESIGN.md §messaging): a broker-level
+/// shared_mutex (map_mu_) guards only replica-map membership, liveness and
+/// controller state; every Replica owns a Mutex guarding its log and
+/// replication state. Hot-path requests take map_mu_ shared (concurrent with
+/// each other) and then exactly one replica lock, so producers on different
+/// partitions never contend. No broker lock is ever held across a
+/// coordination-service or broker-to-broker call.
 class Broker {
  public:
   Broker(int id, Cluster* cluster, storage::Disk* disk, Clock* clock,
@@ -84,7 +93,8 @@ class Broker {
   /// Unavailable if fewer than min_insync_replicas are in sync.
   /// `producer_id`/`first_sequence` enable idempotent deduplication;
   /// a non-empty `client_id` is charged against its byte-rate quota and the
-  /// request is throttled when over it (§4.5 multi-tenancy).
+  /// response carries the throttle delay the caller must observe before its
+  /// next request (§4.5 multi-tenancy) — the broker itself never sleeps.
   Result<ProduceResponse> Produce(const TopicPartition& tp,
                                   std::vector<storage::Record> records,
                                   AckMode acks,
@@ -94,8 +104,9 @@ class Broker {
 
   /// Reads records starting at `offset`. Consumers (`replica_id < 0`) see only
   /// committed data (below the high-watermark); replica fetches see the full
-  /// log and advance the leader's view of the follower (possibly expanding
-  /// the ISR and the high-watermark).
+  /// log — returned as the shared encoded buffer (FetchResponse::batch, the
+  /// encode-once path) — and advance the leader's view of the follower
+  /// (possibly expanding the ISR and the high-watermark).
   /// `read_committed` hides transactional data until its transaction commits
   /// (records are clamped to the last-stable-offset, aborted data and
   /// control markers are filtered out) — the exactly-once extension the
@@ -140,6 +151,13 @@ class Broker {
                           const std::vector<storage::Record>& records,
                           int leader_epoch, int64_t leader_hw);
 
+  /// Encode-once push path: the leader forwards the exact bytes it appended
+  /// locally; frames already stored here (offset < local end) are skipped by
+  /// slicing the shared buffer, never by re-encoding.
+  Status AppendEncodedAsFollower(const TopicPartition& tp,
+                                 const storage::EncodedBatch& batch,
+                                 int leader_epoch, int64_t leader_hw);
+
   /// Pull path: every follower partition fetches once from its leader
   /// (catch-up for acks<all and for restarted brokers).
   Status ReplicateFromLeaders();
@@ -172,62 +190,83 @@ class Broker {
     int64_t last_offset;  // The abort marker's offset (exclusive bound).
   };
 
+  /// One hosted partition. Each replica owns its lock: requests for
+  /// different partitions of the same broker proceed fully in parallel.
+  /// Non-movable (the Mutex pins it); replicas_ is a node-based map, so
+  /// entries are constructed in place and never relocate.
   struct Replica {
-    TopicConfig config;
-    std::unique_ptr<storage::Log> log;
-    bool is_leader = false;
-    int leader = -1;
-    int leader_epoch = -1;
-    int64_t high_watermark = 0;
-    std::vector<int> isr;
+    /// Guards everything below. Acquired after map_mu_ (held shared) and
+    /// before any Log-internal lock; never held across coordination-service
+    /// or broker-to-broker calls (snapshot-then-call rule).
+    mutable Mutex mu;
+
+    TopicConfig config GUARDED_BY(mu);
+    std::unique_ptr<storage::Log> log GUARDED_BY(mu);
+    bool is_leader GUARDED_BY(mu) = false;
+    int leader GUARDED_BY(mu) = -1;
+    int leader_epoch GUARDED_BY(mu) = -1;
+    int64_t high_watermark GUARDED_BY(mu) = 0;
+    std::vector<int> isr GUARDED_BY(mu);
     // Leader-side view of follower log-end offsets.
-    std::map<int, int64_t> follower_leo;
+    std::map<int, int64_t> follower_leo GUARDED_BY(mu);
     // Idempotent-producer dedup: last sequence accepted per producer id.
-    std::unordered_map<int64_t, int32_t> producer_last_seq;
+    std::unordered_map<int64_t, int32_t> producer_last_seq GUARDED_BY(mu);
     // Transactions: pid -> first offset of the ongoing transaction.
-    std::map<int64_t, int64_t> ongoing_txns;
-    std::vector<AbortedRange> aborted_ranges;
+    std::map<int64_t, int64_t> ongoing_txns GUARDED_BY(mu);
+    std::vector<AbortedRange> aborted_ranges GUARDED_BY(mu);
     // Leader-epoch cache (KIP-101): (epoch, start offset of that epoch),
     // ascending; persisted to "<tp>.epochs".
-    std::vector<std::pair<int, int64_t>> epoch_cache;
+    std::vector<std::pair<int, int64_t>> epoch_cache GUARDED_BY(mu);
+    // Cached handle for "liquid.broker.<id>.partition.<tp>.append_records"
+    // in the process-wide registry, resolved once when the log opens.
+    Counter* append_records GUARDED_BY(mu) = nullptr;
   };
 
   /// min(first offset over ongoing transactions, high watermark).
-  /// (Static helpers on a Replica cannot name the owning broker's mu_ in a
-  /// REQUIRES clause; callers reach the Replica via FindReplicaLocked, which
-  /// already demands the lock.)
-  static int64_t LastStableOffsetLocked(const Replica& replica);
+  static int64_t LastStableOffsetLocked(const Replica& replica)
+      REQUIRES(replica.mu);
 
-  // Replica lookup; all per-replica mutation happens under mu_.
-  Result<Replica*> FindReplicaLocked(const TopicPartition& tp) REQUIRES(mu_);
+  /// Replica lookup under the membership lock (shared suffices: the map is
+  /// not mutated and per-replica state is behind the replica's own lock).
+  /// Callers hold map_mu_ for the whole per-replica operation, which is what
+  /// keeps the Replica* alive (StopReplica needs map_mu_ exclusive to erase).
+  Result<Replica*> FindReplicaShared(const TopicPartition& tp)
+      REQUIRES_SHARED(map_mu_);
+
   Status EnsureLogLocked(const TopicPartition& tp, Replica* replica)
-      REQUIRES(mu_);
+      REQUIRES(replica->mu);
   /// Recomputes the leader HW = min(LEO over ISR members with known LEO).
   void AdvanceHighWatermarkLocked(const TopicPartition& tp, Replica* replica)
-      REQUIRES(mu_);
-  /// Removes `follower` from the ISR and publishes the shrunk state.
-  void ShrinkIsrLocked(const TopicPartition& tp, Replica* replica, int follower)
-      REQUIRES(mu_);
-  void MaybeExpandIsrLocked(const TopicPartition& tp, Replica* replica,
-                            int follower) REQUIRES(mu_);
-  void PublishIsrLocked(const TopicPartition& tp, Replica* replica)
-      REQUIRES(mu_);
+      REQUIRES(replica->mu);
+  /// Removes `follower` from the ISR; returns true if the ISR changed (the
+  /// caller publishes the new ISR via PublishIsr AFTER unlocking — publishing
+  /// talks to the coordination service, whose watches re-enter the broker).
+  bool ShrinkIsrLocked(const TopicPartition& tp, Replica* replica, int follower)
+      REQUIRES(replica->mu);
+  /// Adds a caught-up follower to the ISR; returns true if it changed (same
+  /// publish-after-unlock contract as ShrinkIsrLocked).
+  bool MaybeExpandIsrLocked(const TopicPartition& tp, Replica* replica,
+                            int follower) REQUIRES(replica->mu);
+  /// Publishes `isr` for `tp` to the coordination service. Must be called
+  /// with NO broker lock held: the coord write fires watches that re-enter
+  /// brokers on this thread (controller election, leadership changes).
+  void PublishIsr(const TopicPartition& tp, const std::vector<int>& isr);
   Status LoadHighWatermarkLocked(const TopicPartition& tp, Replica* replica)
-      REQUIRES(mu_);
+      REQUIRES(replica->mu);
   void StoreHighWatermarkLocked(const TopicPartition& tp, Replica* replica)
-      REQUIRES(mu_);
+      REQUIRES(replica->mu);
   Status LoadEpochCacheLocked(const TopicPartition& tp, Replica* replica)
-      REQUIRES(mu_);
+      REQUIRES(replica->mu);
   void StoreEpochCacheLocked(const TopicPartition& tp, Replica* replica)
-      REQUIRES(mu_);
+      REQUIRES(replica->mu);
   /// Records that `epoch` starts at `start_offset` (no-op if already known).
   void NoteEpochLocked(const TopicPartition& tp, Replica* replica, int epoch,
-                       int64_t start_offset) REQUIRES(mu_);
+                       int64_t start_offset) REQUIRES(replica->mu);
   /// Drops cache entries at/after `offset` after a truncation.
   void TrimEpochCacheLocked(const TopicPartition& tp, Replica* replica,
-                            int64_t offset) REQUIRES(mu_);
+                            int64_t offset) REQUIRES(replica->mu);
   /// The epoch of the last record in the local log (-1 if empty).
-  static int LastLocalEpochLocked(const Replica& replica);
+  static int LastLocalEpochLocked(const Replica& replica) REQUIRES(replica.mu);
 
   const int id_;
   Cluster* cluster_;
@@ -239,28 +278,41 @@ class Broker {
   MetricsRegistry metrics_;
   QuotaManager quotas_;
 
-  // Cached handles into MetricsRegistry::Default() ("liquid.broker.<id>.*"),
-  // resolved once in the constructor so the produce/fetch hot paths never
-  // re-do a name lookup. The registry never erases entries, so the pointers
-  // remain valid for the process lifetime.
+  // Cached handles into MetricsRegistry::Default() ("liquid.broker.<id>.*")
+  // and this broker's own registry, resolved once in the constructor so the
+  // produce/fetch hot paths never re-do a name lookup (the registry lookup
+  // takes a global lock — a cross-partition serialization point the sharded
+  // hot path must not touch). Registries never erase entries, so the
+  // pointers remain valid for the process lifetime.
   Counter* produce_records_ = nullptr;
   Counter* produce_bytes_ = nullptr;
   Counter* fetch_records_ = nullptr;
   Counter* replicated_records_ = nullptr;
   Histogram* produce_us_ = nullptr;
   Histogram* fetch_us_ = nullptr;
+  /// Time spent acquiring the replica lock in Produce — the direct
+  /// observable of broker lock contention ("liquid.broker.<id>.
+  /// produce_lock_wait_us", see OBSERVABILITY.md).
+  Histogram* produce_lock_wait_us_ = nullptr;
+  // Per-broker registry counters (kept for test/introspection compatibility).
+  Counter* broker_produce_records_ = nullptr;
+  Counter* broker_fetch_records_ = nullptr;
 
-  // Recursive because coordination-service watches re-enter the broker on the
-  // firing thread: PublishIsrLocked -> coord Set -> watch -> Controller ->
-  // BecomeLeader on this same broker, all while mu_ is held.
-  mutable RecursiveMutex mu_;
-  bool alive_ GUARDED_BY(mu_) = false;
-  int64_t session_id_ GUARDED_BY(mu_) = 0;
-  std::map<TopicPartition, Replica> replicas_ GUARDED_BY(mu_);
-  std::unique_ptr<coord::LeaderElection> election_ GUARDED_BY(mu_);
-  // shared_ptr: the election callback starts the controller outside mu_
+  /// Membership lock: guards which replicas exist plus broker liveness and
+  /// controller/election state. Request paths hold it SHARED for the whole
+  /// per-replica operation (pinning the Replica) and acquire the replica's
+  /// own lock under it; only Start/Stop, Become*, and StopReplica take it
+  /// exclusive. Lock order: map_mu_ -> Replica::mu -> Log internals.
+  mutable SharedMutex map_mu_;
+  bool alive_ GUARDED_BY(map_mu_) = false;
+  int64_t session_id_ GUARDED_BY(map_mu_) = 0;
+  // node-based: Replica is non-movable and pointers stay stable while
+  // map_mu_ is held (shared or exclusive).
+  std::map<TopicPartition, Replica> replicas_ GUARDED_BY(map_mu_);
+  std::unique_ptr<coord::LeaderElection> election_ GUARDED_BY(map_mu_);
+  // shared_ptr: the election callback starts the controller outside map_mu_
   // (election walks the whole cluster) while Stop() may reset this member.
-  std::shared_ptr<Controller> controller_ GUARDED_BY(mu_);
+  std::shared_ptr<Controller> controller_ GUARDED_BY(map_mu_);
 };
 
 }  // namespace liquid::messaging

@@ -88,6 +88,9 @@ Result<std::vector<ConsumerRecord>> Consumer::Poll(size_t max_records) {
     auto resp = (*leader)->Fetch(tp, positions_[tp], config_.fetch_max_bytes,
                                  -1, config_.client_id, config_.read_committed);
     if (!resp.ok()) continue;
+    // Same client-side quota contract as the producer: the broker never
+    // sleeps; an over-quota consumer serves its own throttle verdict here.
+    if (resp->throttle_ms > 0) cluster_->clock()->SleepMs(resp->throttle_ms);
     bool took_all = true;
     for (auto& record : resp->records) {
       if (out.size() >= max_records) {

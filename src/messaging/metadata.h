@@ -73,12 +73,20 @@ enum class AckMode {
 struct ProduceResponse {
   int64_t base_offset = -1;
   int64_t log_end_offset = -1;
+  /// Quota verdict (§4.5): how long the caller must back off before its next
+  /// request. The broker never sleeps on the request path — clients enforce
+  /// their own throttle (see Producer), keeping broker threads available.
+  int64_t throttle_ms = 0;
 };
 
 /// Broker reply to a fetch request: records plus the log offsets a consumer
 /// needs to track its position and compute lag (high_watermark − position).
 struct FetchResponse {
   std::vector<storage::Record> records;
+  /// Replica fetches get the raw encoded frames as a shared immutable buffer
+  /// instead of `records` (the encode-once path: the follower appends these
+  /// bytes verbatim — no decode/re-encode round trip, no deep copy).
+  storage::EncodedBatch batch;
   int64_t high_watermark = 0;
   int64_t log_start_offset = 0;
   int64_t log_end_offset = 0;
@@ -86,6 +94,8 @@ struct FetchResponse {
   /// record: read_committed fetches filter out control markers and aborted
   /// data, and the position must advance past them.
   int64_t next_fetch_offset = 0;
+  /// Same client-side throttle contract as ProduceResponse::throttle_ms.
+  int64_t throttle_ms = 0;
 };
 
 /// Coordination-service paths used by brokers and the controller.

@@ -197,11 +197,22 @@ Result<ProduceResponse> Producer::SendBatch(
                               tp.ToString()});
         }
       }
-      MutexLock lock(&mu_);
-      records_sent_ += static_cast<int64_t>(records.size());
-      if (sequenced) {
-        next_sequence_[tp] =
-            first_sequence + static_cast<int32_t>(records.size());
+      {
+        MutexLock lock(&mu_);
+        records_sent_ += static_cast<int64_t>(records.size());
+        if (sequenced) {
+          next_sequence_[tp] =
+              first_sequence + static_cast<int32_t>(records.size());
+        }
+      }
+      // Quota enforcement is client-side (§4.5): the broker reports the
+      // throttle in the response instead of sleeping on its request thread,
+      // and the producer backs off here before its next send.
+      if (resp->throttle_ms > 0) {
+        MetricsRegistry::Default()
+            ->GetCounter("liquid.producer.throttle_waits")
+            ->Increment();
+        cluster_->clock()->SleepMs(resp->throttle_ms);
       }
       return resp;
     }

@@ -38,6 +38,8 @@ Status Log::OpenExisting() {
   }
   std::sort(base_offsets.begin(), base_offsets.end());
 
+  MutexLock pipeline_lock(&append_mu_);
+  WriterMutexLock lock(&mu_);
   LogSegment::Config seg_config{config_.index_interval_bytes};
   for (int64_t base : base_offsets) {
     auto segment =
@@ -52,6 +54,8 @@ Status Log::OpenExisting() {
   }
   start_offset_ = segments_.front()->base_offset();
   next_offset_ = segments_.back()->next_offset();
+  reserved_offset_ = next_offset_;
+  committed_offset_ = next_offset_;
   return Status::OK();
 }
 
@@ -64,7 +68,7 @@ Status Log::RollLocked(int64_t base_offset) {
   return Status::OK();
 }
 
-Status Log::AppendEncodedLocked(const std::vector<Record>& records) {
+Status Log::AppendRecordsLocked(const std::vector<Record>& records) {
   // Large batches are split at segment boundaries so that a single huge
   // append (e.g. a changelog flush) still produces closed segments that
   // retention and compaction can work on.
@@ -88,33 +92,125 @@ Status Log::AppendEncodedLocked(const std::vector<Record>& records) {
   return Status::OK();
 }
 
+Status Log::AppendBatchLocked(const EncodedBatch& batch) {
+  // Same segment-boundary splitting as AppendRecordsLocked, but by frame:
+  // each chunk is a cheap view into the shared buffer, never a re-encode.
+  const std::vector<BatchFrame>& frames = batch.frames();
+  size_t i = 0;
+  while (i < frames.size()) {
+    if (ActiveLocked()->size_bytes() >= config_.segment_bytes) {
+      LIQUID_RETURN_NOT_OK(RollLocked(frames[i].offset));
+    }
+    uint64_t bytes = ActiveLocked()->size_bytes();
+    size_t j = i;
+    while (j < frames.size()) {
+      if (j > i && bytes + frames[j].len > config_.segment_bytes) break;
+      bytes += frames[j].len;
+      ++j;
+    }
+    const EncodedBatch chunk = EncodedBatch::FromParts(
+        batch.buffer(),
+        std::vector<BatchFrame>(frames.begin() + i, frames.begin() + j));
+    LIQUID_RETURN_NOT_OK(ActiveLocked()->AppendEncoded(chunk));
+    i = j;
+  }
+  return Status::OK();
+}
+
+void Log::DrainAppendsLocked() {
+  append_cv_.Wait([this]() REQUIRES(append_mu_) {
+    return committed_offset_ == reserved_offset_;
+  });
+}
+
 Result<int64_t> Log::Append(std::vector<Record>* records) {
+  LIQUID_ASSIGN_OR_RETURN(EncodedBatch batch, AppendBatch(records));
+  return batch.base_offset();
+}
+
+Result<EncodedBatch> Log::AppendBatch(std::vector<Record>* records) {
   if (records->empty()) return Status::InvalidArgument("empty append");
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  const int64_t base = next_offset_;
+
+  // Phase 1: reserve the offset range (short critical section).
+  int64_t base;
+  {
+    MutexLock lock(&append_mu_);
+    base = reserved_offset_;
+    reserved_offset_ += static_cast<int64_t>(records->size());
+  }
+
+  // Phase 2: stamp and encode with no lock held. This is where the CPU time
+  // goes (CRC32C over every payload byte), and concurrent appenders overlap
+  // here freely.
   const int64_t now = clock_->NowMs();
+  int64_t offset = base;
   for (Record& record : *records) {
-    record.offset = next_offset_++;
+    record.offset = offset++;
     if (record.timestamp_ms == 0) record.timestamp_ms = now;
   }
-  LIQUID_RETURN_NOT_OK(AppendEncodedLocked(*records));
-  return base;
+  const EncodedBatch batch = EncodedBatch::Encode(*records);
+
+  // Phase 3: wait for our turn, so bytes land on disk in offset order.
+  {
+    MutexLock lock(&append_mu_);
+    append_cv_.Wait([this, base]() REQUIRES(append_mu_) {
+      return committed_offset_ == base;
+    });
+  }
+
+  // Phase 4: write under the exclusive log lock.
+  Status write_status;
+  {
+    WriterMutexLock lock(&mu_);
+    write_status = AppendBatchLocked(batch);
+    if (write_status.ok()) next_offset_ = batch.last_offset() + 1;
+  }
+
+  // Phase 5: commit and wake successors. Committed advances even on a write
+  // error — otherwise every queued appender behind us would deadlock; the
+  // failed range simply becomes an offset gap (gaps are legal in this log).
+  {
+    MutexLock lock(&append_mu_);
+    committed_offset_ = base + static_cast<int64_t>(records->size());
+    append_cv_.SignalAll();
+  }
+  LIQUID_RETURN_NOT_OK(write_status);
+  return batch;
 }
 
 Status Log::AppendWithOffsets(const std::vector<Record>& records) {
   if (records.empty()) return Status::OK();
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  MutexLock pipeline_lock(&append_mu_);
+  DrainAppendsLocked();
+  WriterMutexLock lock(&mu_);
   if (records.front().offset < next_offset_) {
     return Status::InvalidArgument("offsets overlap existing log");
   }
-  LIQUID_RETURN_NOT_OK(AppendEncodedLocked(records));
+  LIQUID_RETURN_NOT_OK(AppendRecordsLocked(records));
   next_offset_ = records.back().offset + 1;
+  reserved_offset_ = next_offset_;
+  committed_offset_ = next_offset_;
+  return Status::OK();
+}
+
+Status Log::AppendEncoded(const EncodedBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  MutexLock pipeline_lock(&append_mu_);
+  DrainAppendsLocked();
+  WriterMutexLock lock(&mu_);
+  if (batch.base_offset() < next_offset_) {
+    return Status::InvalidArgument("offsets overlap existing log");
+  }
+  LIQUID_RETURN_NOT_OK(AppendBatchLocked(batch));
+  next_offset_ = batch.last_offset() + 1;
+  reserved_offset_ = next_offset_;
+  committed_offset_ = next_offset_;
   return Status::OK();
 }
 
 Status Log::Read(int64_t offset, size_t max_bytes,
                  std::vector<Record>* out) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   offset = std::max(offset, start_offset_);
   if (offset >= next_offset_) return Status::OK();
   // Find the segment containing `offset`: greatest base_offset <= offset.
@@ -138,8 +234,32 @@ Status Log::Read(int64_t offset, size_t max_bytes,
   return Status::OK();
 }
 
+Status Log::ReadEncoded(int64_t offset, size_t max_bytes,
+                        EncodedBatch* out) const {
+  ReaderMutexLock lock(&mu_);
+  *out = EncodedBatch();
+  offset = std::max(offset, start_offset_);
+  if (offset >= next_offset_) return Status::OK();
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), offset,
+                             [](int64_t target, const auto& seg) {
+                               return target < seg->base_offset();
+                             });
+  if (it != segments_.begin()) --it;
+  std::string bytes;
+  std::vector<BatchFrame> frames;
+  while (it != segments_.end() && bytes.size() < max_bytes) {
+    LIQUID_RETURN_NOT_OK(
+        (*it)->ReadEncoded(offset, max_bytes - bytes.size(), &bytes, &frames));
+    if (!frames.empty()) offset = frames.back().offset + 1;
+    ++it;
+  }
+  *out = EncodedBatch::FromParts(
+      std::make_shared<const std::string>(std::move(bytes)), std::move(frames));
+  return Status::OK();
+}
+
 Result<int64_t> Log::OffsetForTimestamp(int64_t ts_ms) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   for (const auto& segment : segments_) {
     if (segment->empty()) continue;
     if (segment->max_timestamp_ms() < ts_ms) continue;
@@ -151,29 +271,35 @@ Result<int64_t> Log::OffsetForTimestamp(int64_t ts_ms) const {
 }
 
 int64_t Log::start_offset() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return start_offset_;
 }
 
 int64_t Log::end_offset() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return next_offset_;
 }
 
 uint64_t Log::size_bytes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& segment : segments_) total += segment->size_bytes();
   return total;
 }
 
 int Log::segment_count() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return static_cast<int>(segments_.size());
 }
 
 Status Log::Truncate(int64_t offset) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  MutexLock pipeline_lock(&append_mu_);
+  DrainAppendsLocked();
+  WriterMutexLock lock(&mu_);
+  const auto resync = [this]() REQUIRES(append_mu_, mu_) {
+    reserved_offset_ = next_offset_;
+    committed_offset_ = next_offset_;
+  };
   if (offset >= next_offset_) return Status::OK();
   if (offset <= start_offset_) {
     // Everything goes: drop all segments and restart at `offset`.
@@ -181,6 +307,7 @@ Status Log::Truncate(int64_t offset) {
     segments_.clear();
     next_offset_ = offset;
     start_offset_ = offset;
+    resync();
     LIQUID_RETURN_NOT_OK(RollLocked(offset));
     return Status::OK();
   }
@@ -227,14 +354,18 @@ Status Log::Truncate(int64_t offset) {
   if (segments_.empty()) {
     next_offset_ = offset;
     start_offset_ = std::min(start_offset_, offset);
+    resync();
     LIQUID_RETURN_NOT_OK(RollLocked(offset));
   }
   next_offset_ = offset;
+  resync();
   return Status::OK();
 }
 
 Result<int> Log::ApplyRetention() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  MutexLock pipeline_lock(&append_mu_);
+  DrainAppendsLocked();
+  WriterMutexLock lock(&mu_);
   const int64_t now = clock_->NowMs();
   int deleted = 0;
   // Never delete the active (last) segment.
@@ -260,7 +391,9 @@ Result<int> Log::ApplyRetention() {
 }
 
 Result<CompactionStats> Log::Compact() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  MutexLock pipeline_lock(&append_mu_);
+  DrainAppendsLocked();
+  WriterMutexLock lock(&mu_);
   CompactionStats stats;
   if (!config_.compaction_enabled || segments_.size() < 2) return stats;
 

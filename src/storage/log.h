@@ -3,17 +3,18 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/disk.h"
 #include "storage/log_segment.h"
 #include "storage/page_cache.h"
 #include "storage/record.h"
+#include "storage/record_batch.h"
 
 namespace liquid::storage {
 
@@ -50,8 +51,13 @@ struct CompactionStats {
 /// commit log, in which each partition is append-only and keeps an ordered,
 /// immutable sequence of messages with a unique identifier called an offset").
 ///
-/// Thread-safe: appends/truncation/retention/compaction are exclusive,
-/// reads are shared.
+/// Thread-safe. Appends go through a reserve → encode → ordered-commit
+/// pipeline: offsets are reserved under a short-held mutex, record encoding
+/// (the CPU-heavy part — CRCs cover the offset field, so encoding can only
+/// happen after reservation) runs with no lock held, and writers then commit
+/// in reservation order under the exclusive lock. Concurrent appenders thus
+/// overlap their encoding work instead of serializing on it. Truncation,
+/// retention and compaction drain the pipeline first; reads are shared.
 class Log {
  public:
   /// Opens the log stored under `name_prefix` (e.g. "events-0/"), recovering
@@ -68,15 +74,28 @@ class Log {
   /// Returns the offset of the first record.
   Result<int64_t> Append(std::vector<Record>* records);
 
+  /// Like Append, but also returns the records' one-time wire encoding as a
+  /// shared immutable buffer (the encode-once hot path: the caller forwards
+  /// the same bytes to followers and replica fetches without re-encoding).
+  Result<EncodedBatch> AppendBatch(std::vector<Record>* records);
+
   /// Appends records that already carry offsets (replication path: followers
   /// copy the leader's records verbatim, preserving offsets and gaps).
   Status AppendWithOffsets(const std::vector<Record>& records);
+
+  /// Appends a pre-encoded batch carrying offsets (encode-once replication
+  /// path: the leader's bytes land on the follower's disk verbatim).
+  Status AppendEncoded(const EncodedBatch& batch);
 
   /// Reads records with offset in [offset, min(end, offset+...)), gathering up
   /// to `max_bytes` of encoded data, at least one record when any exists.
   /// Requests below start_offset() are clamped forward to it (retention may
   /// have deleted the prefix); requests at or past end_offset() return empty.
   Status Read(int64_t offset, size_t max_bytes, std::vector<Record>* out) const;
+
+  /// Like Read, but returns the raw encoded frames as a shared buffer without
+  /// materializing Record structs (replica-fetch fast path).
+  Status ReadEncoded(int64_t offset, size_t max_bytes, EncodedBatch* out) const;
 
   /// First offset with a timestamp >= ts_ms (metadata-based rewind, §3.1).
   Result<int64_t> OffsetForTimestamp(int64_t ts_ms) const;
@@ -108,9 +127,15 @@ class Log {
       Clock* clock);
 
   Status OpenExisting();
-  Status RollLocked(int64_t base_offset);
-  LogSegment* ActiveLocked() { return segments_.back().get(); }
-  Status AppendEncodedLocked(const std::vector<Record>& records);
+  Status RollLocked(int64_t base_offset) REQUIRES(mu_);
+  LogSegment* ActiveLocked() REQUIRES(mu_) { return segments_.back().get(); }
+  Status AppendRecordsLocked(const std::vector<Record>& records) REQUIRES(mu_);
+  Status AppendBatchLocked(const EncodedBatch& batch) REQUIRES(mu_);
+
+  /// Blocks until no append reservation is outstanding. Callers hold
+  /// append_mu_ through their whole mutation so no new reservation can slip
+  /// in, then resync the pipeline counters to next_offset_ when done.
+  void DrainAppendsLocked() REQUIRES(append_mu_);
 
   Disk* disk_;
   PageCache* cache_;
@@ -118,10 +143,23 @@ class Log {
   LogConfig config_;
   Clock* clock_;
 
-  mutable std::shared_mutex mu_;
-  std::vector<std::unique_ptr<LogSegment>> segments_;  // Ordered by base offset.
-  int64_t next_offset_ = 0;
-  int64_t start_offset_ = 0;
+  /// Guards log structure: one writer (committing appends, truncation,
+  /// retention, compaction) or many readers. Acquired after append_mu_ when
+  /// both are held.
+  mutable SharedMutex mu_;
+  std::vector<std::unique_ptr<LogSegment>> segments_ GUARDED_BY(mu_);
+  int64_t next_offset_ GUARDED_BY(mu_) = 0;
+  int64_t start_offset_ GUARDED_BY(mu_) = 0;
+
+  /// Guards the append pipeline's reservation window. Held only for counter
+  /// updates (never across encoding or I/O), so reservation is cheap even
+  /// under heavy producer concurrency.
+  mutable Mutex append_mu_;
+  CondVar append_cv_{&append_mu_};
+  /// Next offset to hand to a reserving appender.
+  int64_t reserved_offset_ GUARDED_BY(append_mu_) = 0;
+  /// All appends below this offset have committed (in reservation order).
+  int64_t committed_offset_ GUARDED_BY(append_mu_) = 0;
 };
 
 }  // namespace liquid::storage

@@ -120,6 +120,76 @@ Status LogSegment::Append(const std::vector<Record>& records) {
   return Status::OK();
 }
 
+Status LogSegment::AppendEncoded(const EncodedBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  const Slice bytes = batch.bytes();
+  const size_t base_pos = batch.frames().front().pos;
+  uint64_t pos = end_pos_;
+  for (const BatchFrame& frame : batch.frames()) {
+    if (frame.offset < next_offset_) {
+      return Status::InvalidArgument("non-monotonic offset in segment append");
+    }
+    MaybeIndex(frame.offset, pos + (frame.pos - base_pos), frame.timestamp_ms,
+               frame.len);
+    next_offset_ = frame.offset + 1;
+    max_timestamp_ms_ = std::max(max_timestamp_ms_, frame.timestamp_ms);
+  }
+  LIQUID_RETURN_NOT_OK(file_->Append(bytes));
+  end_pos_ = pos + bytes.size();
+  return Status::OK();
+}
+
+Status LogSegment::ReadEncoded(int64_t from_offset, size_t max_bytes,
+                               std::string* buf,
+                               std::vector<BatchFrame>* frames) const {
+  if (from_offset >= next_offset_) return Status::OK();
+  uint64_t pos = LookupPosition(from_offset);
+  size_t gathered = 0;
+  std::string buffer;
+  uint64_t buffer_base = 0;
+  bool have_buffer = false;
+  while (pos < end_pos_) {
+    if (!have_buffer || pos < buffer_base ||
+        pos - buffer_base + 4 > buffer.size()) {
+      LIQUID_RETURN_NOT_OK(file_->ReadAt(pos, kScanChunkBytes, &buffer));
+      buffer_base = pos;
+      have_buffer = true;
+      if (buffer.size() < 4) break;
+    }
+    Slice cursor(buffer.data() + (pos - buffer_base),
+                 buffer.size() - (pos - buffer_base));
+    const uint32_t length = DecodeFixed32(cursor.data());
+    if (cursor.size() < 4 + static_cast<size_t>(length)) {
+      LIQUID_RETURN_NOT_OK(file_->ReadAt(
+          pos, std::max<size_t>(kScanChunkBytes, 4 + length), &buffer));
+      buffer_base = pos;
+      cursor = Slice(buffer);
+      if (cursor.size() < 4 + static_cast<size_t>(length)) {
+        return Status::Corruption("segment read hit truncated record");
+      }
+    }
+    RecordFrameHeader header;
+    LIQUID_RETURN_NOT_OK(
+        DecodeRecordHeader(cursor, &header, /*verify_crc=*/true));
+    pos += header.encoded_size;
+    if (header.offset < from_offset) continue;
+    if (gathered > 0 && gathered + header.encoded_size > max_bytes) break;
+    BatchFrame frame;
+    frame.offset = header.offset;
+    frame.timestamp_ms = header.timestamp_ms;
+    frame.leader_epoch = header.leader_epoch;
+    frame.traced = header.traced;
+    frame.is_control = header.is_control;
+    frame.pos = buf->size();
+    frame.len = header.encoded_size;
+    buf->append(cursor.data(), header.encoded_size);
+    frames->push_back(frame);
+    gathered += header.encoded_size;
+    if (gathered >= max_bytes) break;
+  }
+  return Status::OK();
+}
+
 uint64_t LogSegment::LookupPosition(int64_t target_offset) const {
   if (index_.empty()) return 0;
   // Greatest entry with entry.offset <= target_offset.

@@ -11,6 +11,7 @@
 #include "storage/disk.h"
 #include "storage/page_cache.h"
 #include "storage/record.h"
+#include "storage/record_batch.h"
 
 namespace liquid::storage {
 
@@ -45,6 +46,17 @@ class LogSegment {
   /// Appends records whose offsets are already assigned (ascending, all
   /// >= next_offset()). Gaps are legal: compaction produces them.
   Status Append(const std::vector<Record>& records);
+
+  /// Appends a pre-encoded batch (encode-once path): the batch bytes go to
+  /// the file verbatim in one write, and the index is fed from the batch's
+  /// frame metadata — no re-encode, no Record materialization.
+  Status AppendEncoded(const EncodedBatch& batch);
+
+  /// Like Read, but collects the raw encoded frames into `buf` (appending)
+  /// plus their framing into `frames` (positions relative to `buf`), without
+  /// materializing key/value strings. CRCs are verified while scanning.
+  Status ReadEncoded(int64_t from_offset, size_t max_bytes, std::string* buf,
+                     std::vector<BatchFrame>* frames) const;
 
   /// Collects records with offset >= from_offset until `max_bytes` of encoded
   /// data have been gathered (at least one record if any qualifies).

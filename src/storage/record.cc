@@ -109,6 +109,42 @@ Status DecodeRecord(Slice* input, Record* record) {
   return Status::OK();
 }
 
+Status DecodeRecordHeader(Slice input, RecordFrameHeader* header,
+                          bool verify_crc) {
+  if (input.empty()) return Status::OutOfRange("no more records");
+  if (input.size() < 8) return Status::Corruption("record header truncated");
+  uint32_t length = 0;
+  LIQUID_RETURN_NOT_OK(GetFixed32(&input, &length));
+  if (length < 4 + 8 + 8 + 8 + 4 + 4 + 1 + 2) {
+    return Status::Corruption("record length too small");
+  }
+  if (input.size() < length) return Status::Corruption("record body truncated");
+  uint32_t masked_crc = 0;
+  LIQUID_RETURN_NOT_OK(GetFixed32(&input, &masked_crc));
+  const Slice body(input.data(), length - 4);
+  if (verify_crc &&
+      crc32c::Unmask(masked_crc) != crc32c::Value(body.data(), body.size())) {
+    return Status::Corruption("record crc mismatch");
+  }
+  Slice cursor = body;
+  uint64_t offset = 0, timestamp = 0, producer_id = 0;
+  uint32_t sequence = 0, leader_epoch = 0;
+  LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &offset));
+  LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &timestamp));
+  LIQUID_RETURN_NOT_OK(GetFixed64(&cursor, &producer_id));
+  LIQUID_RETURN_NOT_OK(GetFixed32(&cursor, &sequence));
+  LIQUID_RETURN_NOT_OK(GetFixed32(&cursor, &leader_epoch));
+  if (cursor.empty()) return Status::Corruption("record attributes missing");
+  const uint8_t attrs = static_cast<uint8_t>(cursor[0]);
+  header->offset = static_cast<int64_t>(offset);
+  header->timestamp_ms = static_cast<int64_t>(timestamp);
+  header->leader_epoch = static_cast<int32_t>(leader_epoch);
+  header->is_control = (attrs & kAttrControl) != 0;
+  header->traced = (attrs & kAttrTraced) != 0;
+  header->encoded_size = 4 + static_cast<size_t>(length);
+  return Status::OK();
+}
+
 Status DecodeRecords(Slice input, std::vector<Record>* records) {
   while (!input.empty()) {
     // A truncated tail (from a size-limited fetch) is expected: stop cleanly

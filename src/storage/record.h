@@ -116,6 +116,27 @@ Status DecodeRecord(Slice* input, Record* record);
 /// truncated tail (which fetch responses produce by design).
 Status DecodeRecords(Slice input, std::vector<Record>* records);
 
+/// Framing metadata of one encoded record, parsed without materializing the
+/// key/value strings. This is what the shared-buffer (encode-once) paths
+/// carry per record: enough to index, split at segment boundaries, clamp to
+/// visibility bounds and stamp replication epochs, with the payload bytes
+/// staying in the shared immutable buffer.
+struct RecordFrameHeader {
+  int64_t offset = -1;
+  int64_t timestamp_ms = 0;
+  int32_t leader_epoch = -1;
+  bool is_control = false;
+  bool traced = false;
+  /// Total frame size in bytes, including the length prefix.
+  size_t encoded_size = 0;
+};
+
+/// Parses the framing header of the record at the front of `input` without
+/// copying key/value bytes. When `verify_crc` is set the whole frame is
+/// checksummed (same Corruption contract as DecodeRecord).
+Status DecodeRecordHeader(Slice input, RecordFrameHeader* header,
+                          bool verify_crc);
+
 }  // namespace liquid::storage
 
 #endif  // LIQUID_STORAGE_RECORD_H_

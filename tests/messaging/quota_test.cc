@@ -80,35 +80,61 @@ class BrokerQuotaTest : public ::testing::Test {
   const TopicPartition tp_{"t", 0};
 };
 
-TEST_F(BrokerQuotaTest, ProduceOverQuotaIsDelayed) {
+TEST_F(BrokerQuotaTest, ProduceOverQuotaReturnsThrottle) {
   Broker* broker = *cluster_->LeaderFor(tp_);
   broker->quotas()->SetQuota("tenant-a", 1000);
 
   std::vector<storage::Record> batch{
       storage::Record::KeyValue("k", std::string(600, 'x'))};
   const int64_t before = clock_.NowMs();
-  ASSERT_TRUE(
-      broker->Produce(tp_, batch, AckMode::kLeader, -1, -1, "tenant-a").ok());
-  EXPECT_EQ(clock_.NowMs(), before);  // First burst: no delay.
-  ASSERT_TRUE(
-      broker->Produce(tp_, batch, AckMode::kLeader, -1, -1, "tenant-a").ok());
-  // Over quota: the simulated clock advanced by the throttle delay.
-  EXPECT_GT(clock_.NowMs(), before);
+  auto first = broker->Produce(tp_, batch, AckMode::kLeader, -1, -1, "tenant-a");
+  LIQUID_ASSERT_OK(first);
+  EXPECT_EQ(first->throttle_ms, 0);  // First burst: no throttle.
+  auto second =
+      broker->Produce(tp_, batch, AckMode::kLeader, -1, -1, "tenant-a");
+  LIQUID_ASSERT_OK(second);
+  // Over quota: the broker reports the throttle in the response (the producer
+  // enforces it) but never sleeps on the request path itself.
+  EXPECT_GT(second->throttle_ms, 0);
+  EXPECT_EQ(clock_.NowMs(), before);
   EXPECT_GT(broker->metrics()->GetCounter("quota.produce_throttles")->value(),
             0);
 }
 
-TEST_F(BrokerQuotaTest, FetchOverQuotaIsDelayed) {
+TEST_F(BrokerQuotaTest, FetchOverQuotaReturnsThrottle) {
   Broker* broker = *cluster_->LeaderFor(tp_);
   broker->quotas()->SetQuota("tenant-b", 1024);
   std::vector<storage::Record> batch{storage::Record::KeyValue("k", "v")};
   LIQUID_ASSERT_OK(broker->Produce(tp_, batch, AckMode::kLeader));
 
   const int64_t before = clock_.NowMs();
-  ASSERT_TRUE(broker->Fetch(tp_, 0, 64 * 1024, -1, "tenant-b").ok());
-  ASSERT_TRUE(broker->Fetch(tp_, 0, 64 * 1024, -1, "tenant-b").ok());
-  EXPECT_GT(clock_.NowMs(), before);
+  auto first = broker->Fetch(tp_, 0, 64 * 1024, -1, "tenant-b");
+  LIQUID_ASSERT_OK(first);
+  auto second = broker->Fetch(tp_, 0, 64 * 1024, -1, "tenant-b");
+  LIQUID_ASSERT_OK(second);
+  EXPECT_GT(second->throttle_ms, 0);
+  EXPECT_EQ(clock_.NowMs(), before);  // Broker thread never slept.
   EXPECT_GT(broker->metrics()->GetCounter("quota.fetch_throttles")->value(), 0);
+}
+
+TEST_F(BrokerQuotaTest, ProducerEnforcesThrottleClientSide) {
+  Broker* broker = *cluster_->LeaderFor(tp_);
+  broker->quotas()->SetQuota("app2", 500);
+  ProducerConfig config;
+  config.client_id = "app2";
+  config.batch_max_records = 1;
+  Producer producer(cluster_.get(), config);
+  const int64_t before = clock_.NowMs();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        producer.Send("t", storage::Record::KeyValue("k", std::string(300, 'x')))
+            .ok());
+  }
+  // The producer saw throttle verdicts and slept through them itself — the
+  // simulated clock only advances when a client calls SleepMs.
+  EXPECT_GT(broker->metrics()->GetCounter("quota.produce_throttles")->value(),
+            0);
+  EXPECT_GT(clock_.NowMs(), before);
 }
 
 TEST_F(BrokerQuotaTest, ReplicationTrafficNeverThrottled) {
