@@ -3,15 +3,20 @@
 #
 # Runs, in order:
 #   1. Clang thread-safety annotation build (-Wthread-safety as errors).
-#   2. clang-tidy over src/ with the checks pinned in .clang-tidy.
-#   3. ThreadSanitizer build + the full ctest suite.
-#   4. AddressSanitizer build + the full ctest suite.
-#   5. UndefinedBehaviorSanitizer build + the full ctest suite.
-#   6. Deterministic fuzz smoke: every fuzz/ harness replays its checked-in
+#   2. clang-tidy over src/, tools/, bench/ and fuzz/ with the checks pinned
+#      in .clang-tidy (per-directory overrides relax printf-heavy tool code).
+#   3. liquid-lint: project-semantic rules (snapshot-then-call, lock order,
+#      GUARDED_BY coverage, metric naming, hot-path metric lookups,
+#      suppression hygiene) via tools/lint/liquid_lint.py. Runs everywhere:
+#      libclang when available, a built-in structural parser otherwise.
+#   4. ThreadSanitizer build + the full ctest suite.
+#   5. AddressSanitizer build + the full ctest suite.
+#   6. UndefinedBehaviorSanitizer build + the full ctest suite.
+#   7. Deterministic fuzz smoke: every fuzz/ harness replays its checked-in
 #      corpus, then runs a bounded batch of deterministic mutations.
-#   7. Docs gate: broken intra-repo markdown links and public headers whose
+#   8. Docs gate: broken intra-repo markdown links and public headers whose
 #      classes lack /// doc comments (scripts/check_docs.sh).
-#   8. Bench emission: Release builds of bench_pipeline_latency,
+#   9. Bench emission: Release builds of bench_pipeline_latency,
 #      bench_log_throughput and bench_parallel_produce run with --json and
 #      must produce their BENCH_*.json artifacts (diff two runs with
 #      scripts/bench_compare.py).
@@ -52,7 +57,8 @@ if command -v clang-tidy >/dev/null 2>&1; then
   if ! cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
         >/dev/null; then
     fail "cmake configure for clang-tidy failed"
-  elif find src -name '*.cc' -print0 \
+  elif find src tools bench fuzz -name '*.cc' \
+         -not -path 'tools/lint/testdata/*' -print0 \
        | xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build-tidy --quiet \
          --warnings-as-errors='*'; then
     echo "OK: clang-tidy clean"
@@ -63,7 +69,26 @@ else
   skip "clang-tidy not installed"
 fi
 
-# ---- 3. ThreadSanitizer build + full test suite ----------------------------
+# ---- 3. liquid-lint --------------------------------------------------------
+# Needs only python3: the analyzer prefers the libclang bindings (fed by leg
+# 2's compilation database when present) and falls back to its built-in
+# structural parser, so this gate never silently goes dark on GCC-only boxes.
+note "liquid-lint (project-semantic concurrency/observability rules)"
+if command -v python3 >/dev/null 2>&1; then
+  LINT_COMPDB=""
+  if [ -f build-tidy/compile_commands.json ]; then
+    LINT_COMPDB="--compdb=build-tidy/compile_commands.json"
+  fi
+  if python3 tools/lint/liquid_lint.py ${LINT_COMPDB} src tools bench; then
+    echo "OK: liquid-lint clean"
+  else
+    fail "liquid-lint reported unsuppressed findings (suppress with '// liquid-lint: allow(<rule>): <reason>' only when the invariant genuinely holds)"
+  fi
+else
+  skip "python3 not installed"
+fi
+
+# ---- 4. ThreadSanitizer build + full test suite ----------------------------
 note "ThreadSanitizer build + ctest"
 # halt_on_error: make any race a test failure, not just a log line.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -75,7 +100,7 @@ else
   fail "ThreadSanitizer build/test reported failures"
 fi
 
-# ---- 4. AddressSanitizer build + full test suite ---------------------------
+# ---- 5. AddressSanitizer build + full test suite ---------------------------
 note "AddressSanitizer build + ctest"
 # Fail loudly on any leak or heap error; abort so ctest sees a bad exit.
 export ASAN_OPTIONS="halt_on_error=1 abort_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
@@ -87,7 +112,7 @@ else
   fail "AddressSanitizer build/test reported failures"
 fi
 
-# ---- 5. UndefinedBehaviorSanitizer build + full test suite -----------------
+# ---- 6. UndefinedBehaviorSanitizer build + full test suite -----------------
 note "UndefinedBehaviorSanitizer build + ctest"
 # Default UBSan only logs; halt_on_error turns any report into a test failure.
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
@@ -99,9 +124,9 @@ else
   fail "UndefinedBehaviorSanitizer build/test reported failures"
 fi
 
-# ---- 6. Deterministic fuzz smoke -------------------------------------------
+# ---- 7. Deterministic fuzz smoke -------------------------------------------
 # The fuzz targets build with the standalone driver by default (no libFuzzer
-# needed), so this leg runs under GCC too. The ASan build from leg 4 is
+# needed), so this leg runs under GCC too. The ASan build from leg 5 is
 # reused so any fuzz-triggered memory error is caught, not just crashes.
 # Runs are deterministic (fixed mutation seed) — a failure is reproducible.
 note "fuzz smoke (corpus replay + bounded deterministic mutations)"
@@ -111,7 +136,7 @@ fuzz_smoke_ok=1
 for target in fuzz_record_decode fuzz_coding fuzz_sstable fuzz_properties; do
   corpus="fuzz/corpus/${target#fuzz_}"
   if [ ! -x "${FUZZ_BUILD}/${target}" ]; then
-    fail "fuzz target ${target} missing (did leg 4's build fail?)"
+    fail "fuzz target ${target} missing (did leg 5's build fail?)"
     fuzz_smoke_ok=0
     continue
   fi
@@ -124,7 +149,7 @@ for target in fuzz_record_decode fuzz_coding fuzz_sstable fuzz_properties; do
 done
 [ "${fuzz_smoke_ok}" -eq 1 ] && echo "OK: fuzz smoke clean"
 
-# ---- 7. Docs gate ----------------------------------------------------------
+# ---- 8. Docs gate ----------------------------------------------------------
 note "docs gate (markdown links + public API doc comments)"
 if scripts/check_docs.sh; then
   echo "OK: docs gate clean"
@@ -132,7 +157,7 @@ else
   fail "docs gate reported problems (see lines above)"
 fi
 
-# ---- 8. Bench emission -----------------------------------------------------
+# ---- 9. Bench emission -----------------------------------------------------
 # A Release build keeps the numbers meaningful; the gate only asserts the
 # JSON artifacts appear — trend analysis happens outside this script
 # (scripts/bench_compare.py diffs two emission runs and fails on >10%

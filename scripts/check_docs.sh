@@ -6,8 +6,9 @@
 #      .md file must exist on disk (external http(s)/mailto links and pure
 #      #anchors are not checked).
 #   2. Public API doc comments: every top-level `class`/`struct` declared at
-#      column 0 of a public header under src/common, src/messaging, and
-#      src/processing must be immediately preceded by a `///` doc comment
+#      column 0 of a public header under src/common, src/messaging,
+#      src/processing, src/storage, and src/coord must be immediately
+#      preceded by a `///` doc comment
 #      (or carry one inline). Forward declarations and test/detail headers
 #      are exempt.
 #
@@ -48,7 +49,7 @@ fi
 # ---- 2. Public classes without /// doc comments ----------------------------
 echo "-- public API doc-comment check"
 undocumented=0
-for dir in src/common src/messaging src/processing; do
+for dir in src/common src/messaging src/processing src/storage src/coord; do
   [ -d "${dir}" ] || continue
   while IFS= read -r -d '' header; do
     # awk state machine: remember whether the previous non-blank line was a
@@ -71,7 +72,7 @@ for dir in src/common src/messaging src/processing; do
   done < <(find "${dir}" -name '*.h' -print0)
 done
 if [ "${undocumented}" -eq 0 ]; then
-  echo "OK: every public class/struct in src/{common,messaging,processing} has a /// doc comment"
+  echo "OK: every public class/struct in src/{common,messaging,processing,storage,coord} has a /// doc comment"
 else
   echo "FAIL: ${undocumented} undocumented public class(es)"
   FAILURES=$((FAILURES + 1))

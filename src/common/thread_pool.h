@@ -39,7 +39,7 @@ class ThreadPool {
   CondVar work_cv_;
   CondVar idle_cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
-  // Construction-time only after that point; joined by Shutdown without mu_.
+  // liquid-lint: allow(guarded-by): populated only in the constructor before any worker runs; joined by Shutdown without mu_.
   std::vector<std::thread> workers_;
   int active_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;

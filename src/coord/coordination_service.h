@@ -33,6 +33,7 @@ struct NodeStat {
 /// Watch notification types, mirroring ZooKeeper's one-shot watches.
 enum class EventType { kCreated, kDeleted, kDataChanged, kChildrenChanged };
 
+/// Payload delivered to a one-shot watcher: what happened, and where.
 struct WatchEvent {
   EventType type;
   std::string path;

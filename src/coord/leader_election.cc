@@ -28,16 +28,23 @@ bool LeaderElection::TryAcquire() {
       coord_->Create(session_id_, path_, candidate_id_, NodeKind::kEphemeral);
   if (result.ok()) {
     LeadershipCallback cb;
+    bool resigned = false;
     {
       MutexLock lock(&mu_);
       if (!contending_) {
-        // Resigned while acquiring: give the node back. Best-effort — if the
-        // delete fails the ephemeral node dies with the session anyway.
-        LIQUID_IGNORE_ERROR(coord_->Delete(path_));
-        return false;
+        resigned = true;
+      } else {
+        is_leader_ = true;
+        cb = on_elected_;
       }
-      is_leader_ = true;
-      cb = on_elected_;
+    }
+    if (resigned) {
+      // Resigned while acquiring: give the node back, outside the lock
+      // (section 5a). Best-effort — if the delete fails the ephemeral node
+      // dies with the session anyway, and once contending_ is false nothing
+      // re-creates the node, so deleting after unlock cannot race a re-win.
+      LIQUID_IGNORE_ERROR(coord_->Delete(path_));
+      return false;
     }
     if (cb) cb();
     return true;

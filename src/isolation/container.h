@@ -47,7 +47,7 @@ class Container {
   const ContainerConfig& config() const { return config_; }
 
  private:
-  ContainerConfig config_;
+  const ContainerConfig config_;
   mutable Mutex mu_;
   int64_t memory_used_ GUARDED_BY(mu_) = 0;
   int64_t cpu_used_us_ GUARDED_BY(mu_) = 0;

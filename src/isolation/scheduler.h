@@ -57,7 +57,7 @@ class FairScheduler {
   int PickNextLocked() REQUIRES(mu_);
 
   const bool isolation_enabled_;
-  Clock* clock_;
+  Clock* const clock_;
 
   mutable Mutex mu_;
   std::vector<Entry> entries_ GUARDED_BY(mu_);

@@ -95,6 +95,7 @@ Status KvStore::WriteManifestLocked() {
   auto file = disk_->OpenOrCreate(tmp_path);
   if (!file.ok()) return file.status();
   LIQUID_RETURN_NOT_OK((*file)->Append(bytes));
+  // liquid-lint: allow(snapshot-then-call): the manifest must be durable before the store lock is released -- unlocking first would let readers observe a table set a crash could not recover.
   LIQUID_RETURN_NOT_OK((*file)->Sync());
   return disk_->Rename(tmp_path, name_prefix_ + kManifestName);
 }

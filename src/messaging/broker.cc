@@ -36,9 +36,9 @@ Broker::Broker(int id, Cluster* cluster, storage::Disk* disk, Clock* clock,
       disk_(disk),
       clock_(clock),
       config_(config),
+      page_cache_(
+          std::make_unique<storage::PageCache>(config_.page_cache, clock)),
       quotas_(clock) {
-  page_cache_ =
-      std::make_unique<storage::PageCache>(config_.page_cache, clock_);
   // Hot-path handles into the process-wide registry, resolved once here:
   // registry entries are never erased, so the pointers stay valid and the
   // produce/fetch paths skip the name lookup entirely.
@@ -53,17 +53,32 @@ Broker::Broker(int id, Cluster* cluster, storage::Disk* disk, Clock* clock,
   produce_lock_wait_us_ = global->GetHistogram(prefix + "produce_lock_wait_us");
   broker_produce_records_ = metrics_.GetCounter("produce.records");
   broker_fetch_records_ = metrics_.GetCounter("fetch.records");
+  quota_produce_throttles_ = metrics_.GetCounter("quota.produce_throttles");
+  quota_fetch_throttles_ = metrics_.GetCounter("quota.fetch_throttles");
+  produce_duplicates_dropped_ =
+      metrics_.GetCounter("produce.duplicates_dropped");
 }
 
 Broker::~Broker() = default;
 
 Status Broker::Start() {
-  int64_t session;
+  // Session creation talks to the coordination service, so it must not run
+  // under map_mu_ (section 5a): create the session first, publish it under
+  // the lock, and release it again on the already-started path.
+  const int64_t session = cluster_->coord()->CreateSession();
+  bool already_started = false;
   {
     WriterMutexLock lock(&map_mu_);
-    if (alive_) return Status::FailedPrecondition("broker already started");
-    alive_ = true;
-    session = session_id_ = cluster_->coord()->CreateSession();
+    if (alive_) {
+      already_started = true;
+    } else {
+      alive_ = true;
+      session_id_ = session;
+    }
+  }
+  if (already_started) {
+    cluster_->coord()->CloseSession(session);
+    return Status::FailedPrecondition("broker already started");
   }
   auto created = cluster_->coord()->Create(session, paths::Broker(id_),
                                            std::to_string(id_),
@@ -530,7 +545,7 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
       // response and the PRODUCER backs off (see Producer::SendBatch). The
       // broker thread stays available instead of sleeping on behalf of one
       // tenant — essential now that partitions are served concurrently.
-      metrics_.GetCounter("quota.produce_throttles")->Increment();
+      quota_produce_throttles_->Increment();
     }
   }
   std::vector<int> push_targets;
@@ -560,7 +575,7 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
       const int32_t last = it == replica->producer_last_seq.end() ? -1 : it->second;
       if (first_sequence <= last) {
         // Duplicate batch (retry after a lost ack): deduplicate.
-        metrics_.GetCounter("produce.duplicates_dropped")->Increment();
+        produce_duplicates_dropped_->Increment();
         ProduceResponse resp;
         resp.base_offset = -1;
         resp.log_end_offset = replica->log->end_offset();
@@ -850,7 +865,7 @@ Result<FetchResponse> Broker::Fetch(const TopicPartition& tp, int64_t offset,
     if (throttle_ms > 0) {
       // Client-side throttle contract (see Produce): verdict in the
       // response, enforcement in the consumer.
-      metrics_.GetCounter("quota.fetch_throttles")->Increment();
+      quota_fetch_throttles_->Increment();
     }
   }
   std::optional<std::vector<int>> publish_isr;

@@ -270,11 +270,11 @@ class Broker {
 
   const int id_;
   Cluster* cluster_;
-  storage::Disk* disk_;
-  Clock* clock_;
-  BrokerConfig config_;
+  storage::Disk* const disk_;
+  Clock* const clock_;
+  const BrokerConfig config_;
 
-  std::unique_ptr<storage::PageCache> page_cache_;
+  const std::unique_ptr<storage::PageCache> page_cache_;
   MetricsRegistry metrics_;
   QuotaManager quotas_;
 
@@ -297,6 +297,9 @@ class Broker {
   // Per-broker registry counters (kept for test/introspection compatibility).
   Counter* broker_produce_records_ = nullptr;
   Counter* broker_fetch_records_ = nullptr;
+  Counter* quota_produce_throttles_ = nullptr;
+  Counter* quota_fetch_throttles_ = nullptr;
+  Counter* produce_duplicates_dropped_ = nullptr;
 
   /// Membership lock: guards which replicas exist plus broker liveness and
   /// controller/election state. Request paths hold it SHARED for the whole

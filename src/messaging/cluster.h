@@ -90,8 +90,8 @@ class Cluster {
   int ControllerId() const;
 
  private:
-  ClusterConfig config_;
-  Clock* clock_;
+  const ClusterConfig config_;
+  Clock* const clock_;
   coord::CoordinationService coord_;
   AccessController acls_;
 
@@ -100,6 +100,7 @@ class Cluster {
   std::map<int, std::unique_ptr<Broker>> brokers_ GUARDED_BY(mu_);
   std::map<std::string, TopicConfig> topics_ GUARDED_BY(mu_);
 
+  // liquid-lint: allow(guarded-by): written only by Start/StopReplicationThread, which serialize through the replication_running_ exchange.
   std::thread replication_thread_;
   std::atomic<bool> replication_running_{false};
 };

@@ -90,6 +90,7 @@ Result<std::vector<ConsumerRecord>> Consumer::Poll(size_t max_records) {
     if (!resp.ok()) continue;
     // Same client-side quota contract as the producer: the broker never
     // sleeps; an over-quota consumer serves its own throttle verdict here.
+    // liquid-lint: allow(snapshot-then-call): mu_ is the consumer's API lock and the poll is the throttle point; Close/Commit waiting out an in-flight poll is the documented contract.
     if (resp->throttle_ms > 0) cluster_->clock()->SleepMs(resp->throttle_ms);
     bool took_all = true;
     for (auto& record : resp->records) {
@@ -112,6 +113,7 @@ Result<std::vector<ConsumerRecord>> Consumer::Poll(size_t max_records) {
     partition_lag_[tp] = lag;
     auto gauge = partition_lag_gauges_.find(tp);
     if (gauge == partition_lag_gauges_.end()) {
+      // liquid-lint: allow(metric-hot-lookup): per-partition gauge names depend on the dynamic assignment; the lookup runs once per newly assigned partition and is cached in partition_lag_gauges_.
       gauge = partition_lag_gauges_
                   .emplace(tp, MetricsRegistry::Default()->GetGauge(
                                    "liquid.consumer." + config_.group +

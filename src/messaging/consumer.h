@@ -101,7 +101,7 @@ class Consumer {
   OffsetManager* offsets_;
   GroupCoordinator* coordinator_;
   const std::string member_id_;
-  ConsumerConfig config_;
+  const ConsumerConfig config_;
 
   // Cached handles into MetricsRegistry::Default()
   // ("liquid.consumer.<group>.*"), resolved once in the constructor; the

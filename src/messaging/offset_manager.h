@@ -103,7 +103,7 @@ class OffsetManager {
                         const OffsetCommit& commit) REQUIRES(mu_);
 
   std::unique_ptr<storage::Log> log_;
-  Clock* clock_;
+  Clock* const clock_;
 
   mutable Mutex mu_;
   std::map<std::string, OffsetCommit> cache_ GUARDED_BY(mu_);

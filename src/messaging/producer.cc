@@ -28,6 +28,10 @@ uint64_t HashKey(const std::string& key) {
 Producer::Producer(Cluster* cluster, ProducerConfig config)
     : cluster_(cluster),
       config_(config),
+      records_counter_(
+          MetricsRegistry::Default()->GetCounter("liquid.producer.records")),
+      throttle_waits_counter_(MetricsRegistry::Default()->GetCounter(
+          "liquid.producer.throttle_waits")),
       producer_id_(config.idempotent || !config.transactional_id.empty()
                        ? g_next_producer_id.fetch_add(1)
                        : storage::kNoProducerId) {}
@@ -149,18 +153,23 @@ Result<ProduceResponse> Producer::SendBatch(
       config_.idempotent || !config_.transactional_id.empty();
   int32_t first_sequence = -1;
   int64_t producer_id = storage::kNoProducerId;
+  TransactionCoordinator* txn = nullptr;
   {
     MutexLock lock(&mu_);
-    if (in_transaction_) {
-      // Register the partition with the coordinator before first write.
-      Status st = txn_coordinator_->AddPartition(config_.transactional_id, tp);
-      if (!st.ok()) return st;
-    }
+    if (in_transaction_) txn = txn_coordinator_;
     producer_id = producer_id_;
     if (sequenced) {
       auto it = next_sequence_.find(tp);
       first_sequence = it == next_sequence_.end() ? 0 : it->second;
     }
+  }
+  if (txn != nullptr) {
+    // Register the partition with the coordinator before the first write,
+    // outside mu_ (section 5a): the coordinator pointer was snapshotted and
+    // registration is idempotent, so a racing Commit/Abort sees either a
+    // registered partition with no data or the full write — same as before.
+    Status st = txn->AddPartition(config_.transactional_id, tp);
+    if (!st.ok()) return st;
   }
 
   TraceCollector* tracer = TraceCollector::Default();
@@ -182,9 +191,7 @@ Result<ProduceResponse> Producer::SendBatch(
     auto resp = (*leader)->Produce(tp, records, config_.acks, producer_id,
                                    first_sequence, config_.client_id);
     if (resp.ok()) {
-      MetricsRegistry::Default()
-          ->GetCounter("liquid.producer.records")
-          ->Increment(static_cast<int64_t>(records.size()));
+      records_counter_->Increment(static_cast<int64_t>(records.size()));
       if (tracing) {
         // One "produce" span per traced record: producer hand-off to the
         // partition leader, parented on the record's current span so the
@@ -209,9 +216,7 @@ Result<ProduceResponse> Producer::SendBatch(
       // throttle in the response instead of sleeping on its request thread,
       // and the producer backs off here before its next send.
       if (resp->throttle_ms > 0) {
-        MetricsRegistry::Default()
-            ->GetCounter("liquid.producer.throttle_waits")
-            ->Increment();
+        throttle_waits_counter_->Increment();
         cluster_->clock()->SleepMs(resp->throttle_ms);
       }
       return resp;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -99,7 +100,13 @@ class Producer {
                            const storage::Record& record) REQUIRES(mu_);
 
   Cluster* cluster_;
-  ProducerConfig config_;
+  const ProducerConfig config_;
+
+  // Cached handles into MetricsRegistry::Default(), resolved once at
+  // construction so SendBatch never takes the registry lock (entries are
+  // never erased, so the pointers stay valid for the process lifetime).
+  Counter* const records_counter_;
+  Counter* const throttle_waits_counter_;
 
   mutable Mutex mu_;
   CustomPartitioner custom_partitioner_ GUARDED_BY(mu_);

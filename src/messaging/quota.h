@@ -42,7 +42,7 @@ class QuotaManager {
     int64_t last_refill_ms = 0;
   };
 
-  Clock* clock_;
+  Clock* const clock_;
   mutable Mutex mu_;
   std::map<std::string, Bucket> buckets_ GUARDED_BY(mu_);
   int64_t throttled_requests_ GUARDED_BY(mu_) = 0;

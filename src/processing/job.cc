@@ -16,7 +16,7 @@ class Job::CollectorImpl : public MessageCollector {
   explicit CollectorImpl(Job* job) : job_(job) {}
 
   Status Send(const std::string& topic, storage::Record record) override {
-    job_->metrics_.GetCounter("job." + job_->config_.name + ".sent")->Increment();
+    job_->sent_counter_->Increment();
     job_->StampTrace(&record);
     return job_->producer_->Send(topic, std::move(record));
   }
@@ -78,6 +78,10 @@ Job::Job(messaging::Cluster* cluster, messaging::OffsetManager* offsets,
   processed_counter_ = global->GetCounter(prefix + "processed");
   process_us_ = global->GetHistogram(prefix + "process_us");
   e2e_latency_us_ = global->GetHistogram(prefix + "e2e_latency_us");
+  // Per-job-registry twins (kept for test/introspection compatibility).
+  sent_counter_ = metrics_.GetCounter("job." + config_.name + ".sent");
+  job_processed_counter_ =
+      metrics_.GetCounter("job." + config_.name + ".processed");
 }
 
 Job::~Job() {
@@ -250,6 +254,7 @@ Result<int> Job::RunOnce() {
   MutexLock lock(&mu_);
   if (stopped_) return Status::FailedPrecondition("job stopped");
 
+  // liquid-lint: allow(snapshot-then-call): mu_ serializes the run loop against Commit/Stop/Kill; the poll is the loop body, not a side call.
   auto records = consumer_->Poll(config_.poll_max_records);
   if (!records.ok()) return records.status();
 
@@ -261,6 +266,7 @@ Result<int> Job::RunOnce() {
   }
 
   if (config_.exactly_once && !records->empty() && !txn_open_) {
+    // liquid-lint: allow(snapshot-then-call): the transaction must open before the first Process() of this round; txn_open_ and the open transaction change together under mu_.
     LIQUID_RETURN_NOT_OK(producer_->BeginTransaction());
     txn_open_ = true;
   }
@@ -291,13 +297,13 @@ Result<int> Job::RunOnce() {
     ++processed;
   }
   current_trace_ = TraceContext{};  // Window/commit output: untraced.
-  metrics_.GetCounter("job." + config_.name + ".processed")
-      ->Increment(processed);
+  job_processed_counter_->Increment(processed);
   processed_counter_->Increment(processed);
   if (processed > 0) {
     // Make task output visible promptly so downstream jobs (decoupled through
     // the messaging layer) can pick it up; flushing more often than the
     // commit interval is always safe for at-least-once.
+    // liquid-lint: allow(snapshot-then-call): flushing inside the serialized run loop keeps output visibility ordered before the offsets a later commit publishes.
     LIQUID_RETURN_NOT_OK(producer_->Flush());
   }
 
@@ -318,6 +324,7 @@ Result<int> Job::RunOnce() {
   }
   if (coordinator_impl_->shutdown_requested) {
     stopped_ = true;
+    // liquid-lint: allow(snapshot-then-call): stopped_ and the closed consumer must change together, or a racing RunOnce could poll a closed consumer.
     LIQUID_RETURN_NOT_OK(consumer_->Close());
   }
   return processed;
@@ -357,6 +364,7 @@ void Job::StampTrace(storage::Record* record) {
 Status Job::FlushChangelogs() {
   for (auto& [tp, records] : changelog_buffer_) {
     if (records.empty()) continue;
+    // liquid-lint: allow(snapshot-then-call): changelog entries ride in the commit's transaction; draining the buffer is part of the atomic commit under mu_.
     LIQUID_RETURN_NOT_OK(producer_->SendBatch(tp, std::move(records)).status());
     records.clear();
   }
@@ -367,6 +375,7 @@ Status Job::CommitLocked() {
   LIQUID_RETURN_NOT_OK(FlushChangelogs());
   if (config_.exactly_once) {
     if (!txn_open_) return Status::OK();  // Nothing processed: nothing to do.
+    // liquid-lint: allow(snapshot-then-call): outputs, changelogs, offsets and the commit marker must land as one atomic unit (exactly-once); mu_ is what makes the unit atomic.
     LIQUID_RETURN_NOT_OK(producer_->Flush());
     // Input offsets ride inside the transaction: outputs, changelog updates
     // and checkpoints become visible atomically (exactly-once).
@@ -376,14 +385,18 @@ Status Job::CommitLocked() {
       messaging::OffsetCommit commit;
       commit.offset = position;
       commit.annotations = config_.checkpoint_annotations;
+      // liquid-lint: allow(snapshot-then-call): offsets ride inside the same transaction (see above); registering them is part of the atomic commit.
       LIQUID_RETURN_NOT_OK(
           txn_coordinator_->AddOffsets(txn_id, group, tp, std::move(commit)));
     }
+    // liquid-lint: allow(snapshot-then-call): txn_open_ and the committed transaction change together under mu_ -- releasing between them would let a racing RunOnce reuse a closed transaction.
     LIQUID_RETURN_NOT_OK(producer_->CommitTransaction());
     txn_open_ = false;
     return Status::OK();
   }
+  // liquid-lint: allow(snapshot-then-call): at-least-once commit = flush-then-commit with no interleaved processing; mu_ provides exactly that window.
   LIQUID_RETURN_NOT_OK(producer_->Flush());
+  // liquid-lint: allow(snapshot-then-call): same atomic flush-then-commit window as the flush above.
   return consumer_->CommitWithAnnotations(config_.checkpoint_annotations);
 }
 
@@ -400,6 +413,7 @@ Status Job::Stop() {
   // Always close the consumer, even when the final commit fails — but
   // report the commit failure first: lost offsets outrank a close error.
   const Status commit = CommitLocked();
+  // liquid-lint: allow(snapshot-then-call): final commit and close must complete before stopped_ becomes observable outside mu_, or a racing Commit() would touch a closed consumer.
   const Status close = consumer_->Close();
   LIQUID_RETURN_NOT_OK(commit);
   return close;
@@ -412,6 +426,7 @@ Status Job::Kill() {
   stopped_ = true;
   // No flush, no checkpoint: whatever transaction is open stays dangling and
   // will be aborted when the next incarnation fences this one.
+  // liquid-lint: allow(snapshot-then-call): same stop contract as Stop() -- the close happens inside the window that flips stopped_.
   return consumer_->CloseWithoutCommit();
 }
 

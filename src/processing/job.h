@@ -157,22 +157,27 @@ class Job {
   messaging::Cluster* cluster_;
   messaging::OffsetManager* offsets_;
   messaging::GroupCoordinator* coordinator_;
-  storage::Disk* state_disk_;
-  JobConfig config_;
-  TaskFactory factory_;
+  storage::Disk* const state_disk_;
+  const JobConfig config_;
+  const TaskFactory factory_;
   const std::string instance_id_;
   messaging::TransactionCoordinator* txn_coordinator_;
 
   std::unique_ptr<messaging::Consumer> consumer_;
   std::unique_ptr<messaging::Producer> producer_;
+  // liquid-lint: allow(guarded-by): set once in Init() before any thread touches the job; only dereferenced afterwards.
   std::unique_ptr<CollectorImpl> collector_;
+  // liquid-lint: allow(guarded-by): same Init()-once contract as collector_.
   std::unique_ptr<CoordinatorImpl> coordinator_impl_;
 
-  // Cached handles into MetricsRegistry::Default() ("liquid.job.<name>.*"),
-  // resolved once at construction; registry entries are never erased.
+  // Cached handles into MetricsRegistry::Default() ("liquid.job.<name>.*")
+  // and the job's own registry ("job.<name>.*"), resolved once at
+  // construction; registry entries are never erased.
   Counter* processed_counter_ = nullptr;
   Histogram* process_us_ = nullptr;
   Histogram* e2e_latency_us_ = nullptr;
+  Counter* sent_counter_ = nullptr;
+  Counter* job_processed_counter_ = nullptr;
 
   mutable Mutex mu_;
   /// Trace context of the input record currently inside Process(); the
@@ -189,6 +194,7 @@ class Job {
 
   MetricsRegistry metrics_;
 
+  // liquid-lint: allow(guarded-by): written only by StartThread/StopThread, which serialize through the thread_running_ exchange.
   std::thread run_thread_;
   std::atomic<bool> thread_running_{false};
 };

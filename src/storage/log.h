@@ -137,11 +137,11 @@ class Log {
   /// in, then resync the pipeline counters to next_offset_ when done.
   void DrainAppendsLocked() REQUIRES(append_mu_);
 
-  Disk* disk_;
-  PageCache* cache_;
+  Disk* const disk_;
+  PageCache* const cache_;
   const std::string name_prefix_;
-  LogConfig config_;
-  Clock* clock_;
+  const LogConfig config_;
+  Clock* const clock_;
 
   /// Guards log structure: one writer (committing appends, truncation,
   /// retention, compaction) or many readers. Acquired after append_mu_ when

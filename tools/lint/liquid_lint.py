@@ -1,0 +1,1319 @@
+#!/usr/bin/env python3
+"""liquid-lint: project-semantic static analysis for the Liquid tree.
+
+Machine-checks the repo's own concurrency, observability and error-path
+invariants -- the rules DESIGN.md and OBSERVABILITY.md state in prose but
+Clang TSA and clang-tidy cannot express:
+
+  snapshot-then-call   No coordination-service, broker-to-broker, transport,
+                       fsync or sleep call while a liquid::Mutex/SharedMutex
+                       is held (DESIGN.md section 5a). Lock scopes come from the
+                       RAII lock types (MutexLock, ReaderMutexLock,
+                       WriterMutexLock, RecursiveMutexLock), from REQUIRES()
+                       annotations on the declaration, and from the *Locked
+                       naming convention. The check is transitive one level
+                       deep: calling a project function that itself performs
+                       an (unsuppressed) blocking call counts.
+  lock-order           Section 5a hierarchy: a scope holding a per-replica lock
+                       (an expression ending in ->mu / .mu) may not acquire
+                       the broker-wide SharedMutex in write mode
+                       (WriterMutexLock on map_mu_), and no scope holds two
+                       replica locks at once.
+  guarded-by           In any class that owns a liquid::Mutex /
+                       liquid::SharedMutex / liquid::RecursiveMutex, every
+                       mutable data member must carry GUARDED_BY /
+                       PT_GUARDED_BY or be exempt (const, atomic, a lock or
+                       CondVar itself, or an internally-synchronized type --
+                       a project class that owns its own lock or whose data
+                       members are all atomic).
+  metric-name          Metric names registered against the process-wide
+                       MetricsRegistry::Default() must match
+                       liquid\\.[a-z_]+\\..* (OBSERVABILITY.md). Per-object
+                       registries (broker->metrics(), job->metrics()) are
+                       instance-scoped namespaces and stay unconstrained.
+  metric-hot-lookup    MetricsRegistry::Get{Counter,Gauge,Histogram} lookups
+                       (name -> pointer, takes the registry lock) may not
+                       appear inside hot-path methods
+                       (Produce*/Fetch*/Append*/Process*/Send*/Poll*/RunOnce):
+                       handles must be cached at construction.
+  suppression          `// liquid-lint: allow(<rule>): <reason>` silences a
+                       finding on the same or next line. The reason is
+                       mandatory, the rule id must exist, and the marker must
+                       be well-formed; violations of the syntax are findings
+                       themselves and cannot be self-suppressed.
+
+Front-ends: the analyzer prefers the libclang Python bindings (a real AST,
+driven by compile_commands.json) and falls back to a built-in structural
+parser tuned to this repo's idiom when libclang is unavailable -- e.g. on the
+GCC-only boxes where the other Clang gate legs self-skip. Either way the same
+rule core runs, so the gate never silently goes dark.
+
+Usage:
+  tools/lint/liquid_lint.py [--root DIR] [--compdb PATH] [--engine auto|clang|textual]
+                            [paths...]        # default: src tools bench
+Exit status: 0 clean, 1 unsuppressed findings, 2 usage/internal error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RULES = {
+    "snapshot-then-call": "blocking call while a liquid lock is held",
+    "lock-order": "section 5a lock-hierarchy violation",
+    "guarded-by": "mutable member of a lock-owning class lacks GUARDED_BY",
+    "metric-name": "global metric name must match liquid.<component>.<instance>.*",
+    "metric-hot-lookup": "metrics registry lookup on a hot path",
+    "suppression": "malformed liquid-lint suppression",
+}
+
+# ---------------------------------------------------------------------------
+# Shared vocabulary (kept in one place so both front-ends agree).
+# ---------------------------------------------------------------------------
+
+LOCK_TYPES = {
+    "MutexLock": "exclusive",
+    "RecursiveMutexLock": "exclusive",
+    "WriterMutexLock": "writer",
+    "ReaderMutexLock": "reader",
+}
+MUTEX_TYPES = ("Mutex", "SharedMutex", "RecursiveMutex")
+ANNOTATION_MACROS = (
+    "GUARDED_BY", "PT_GUARDED_BY", "REQUIRES", "REQUIRES_SHARED", "EXCLUDES",
+    "ACQUIRE", "ACQUIRE_SHARED", "RELEASE", "RELEASE_SHARED", "TRY_ACQUIRE",
+    "CAPABILITY", "SCOPED_CAPABILITY", "ASSERT_CAPABILITY", "RETURN_CAPABILITY",
+    "NO_THREAD_SAFETY_ANALYSIS", "LIQUID_NODISCARD",
+)
+
+# Hot-path methods for metric-hot-lookup: construction-cached handles only.
+HOT_PATH_RE = re.compile(r"^(Produce|Fetch|Append|Process|Send|Poll)\w*$|^RunOnce$")
+
+GLOBAL_METRIC_NAME_RE = re.compile(r"^liquid\.[a-z_]+\.")
+METRIC_LOOKUPS = ("GetCounter", "GetGauge", "GetHistogram")
+
+# Direct blocking-call categories for snapshot-then-call. Each entry:
+# (category, compiled regex over one statement of comment/string-blanked code).
+BLOCKING_PATTERNS = [
+    ("sleep", re.compile(r"\bsleep_(?:for|until)\s*\(")),
+    ("sleep", re.compile(r"\b(?:SleepMs|SleepFor|usleep)\s*\(")),
+    # Any call through a coordination-service handle: coord()->X(), coord_->X(),
+    # coord_.X(), coord->X().
+    ("coordination-service", re.compile(r"\bcoord(?:\(\)|_)?\s*(?:->|\.)\s*\w+\s*\(")),
+    # fsync-class: Sync() on anything, Flush() on file/segment/disk handles.
+    ("fsync", re.compile(r"(?:->|\.)\s*Sync\s*\(")),
+    ("fsync", re.compile(r"\b\w*(?:file|segment|disk)\w*\s*(?:->|\.)\s*Flush\s*\(")),
+    # Transport-class: client messaging calls that fan out to brokers.
+    ("transport", re.compile(
+        r"\bproducer_?\w*\s*(?:->|\.)\s*"
+        r"(?:Send|SendBatch|Flush|BeginTransaction|CommitTransaction|"
+        r"AbortTransaction)\s*\(")),
+    ("transport", re.compile(
+        r"\bconsumer_?\w*\s*(?:->|\.)\s*(?:Poll|Commit\w*|Close\w*)\s*\(")),
+    ("transport", re.compile(r"\btxn_coordinator_?\w*\s*(?:->|\.)\s*\w+\s*\(")),
+    # Direct broker-to-broker chain: ...->broker(id)->Method(...).
+    ("broker-to-broker", re.compile(r"->\s*broker\s*\([^()]*\)\s*->\s*\w+\s*\(")),
+]
+
+# Types that are internally synchronized but own no liquid lock the index can
+# see (atomics only, or synchronization below the project's lock types).
+INTERNALLY_SYNC_ALLOWLIST = {
+    "Counter", "Gauge", "std::atomic", "std::atomic_bool", "std::atomic_int",
+}
+
+SUPPRESS_RE = re.compile(
+    r"//\s*liquid-lint:\s*allow\(\s*([A-Za-z0-9_-]+)\s*\)\s*(?::\s*(.*?))?\s*$")
+# A comment is treated as an *attempted* suppression marker (and therefore
+# must be well-formed) when liquid-lint is followed by ':'/'(' or the comment
+# talks about allowing/suppressing. Plain prose mentions of the tool pass.
+SUPPRESS_MARKER_RE = re.compile(
+    r"//\s*liquid-lint\s*[:(]|//\s*liquid-lint\b.*\b(?:allow|suppress)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Suppression:
+    def __init__(self, path, line, rule, reason):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.reason = reason
+        self.used = False
+
+
+# ---------------------------------------------------------------------------
+# Intermediate representation shared by both front-ends.
+# ---------------------------------------------------------------------------
+
+class Member:
+    """One data member of a class: declaration text, name, line, annotations."""
+
+    def __init__(self, name, type_text, line, guarded, is_const, is_mutable_kw):
+        self.name = name
+        self.type_text = type_text
+        self.line = line
+        self.guarded = guarded          # carries GUARDED_BY / PT_GUARDED_BY
+        self.is_const = is_const        # immutable after construction
+        self.is_mutable_kw = is_mutable_kw
+
+
+class ClassInfo:
+    def __init__(self, name, qual_name, path, line):
+        self.name = name
+        self.qual_name = qual_name
+        self.path = path
+        self.line = line
+        self.members = []               # [Member]
+        self.member_types = {}          # member name -> type text
+
+    def owned_locks(self):
+        out = []
+        for m in self.members:
+            base = strip_wrappers(m.type_text)
+            if base.split("::")[-1] in MUTEX_TYPES and "*" not in m.type_text \
+                    and "&" not in m.type_text:
+                out.append(m.name)
+        return out
+
+
+class LockScope:
+    """An active RAII lock: kind, the lock expression, where it was taken."""
+
+    def __init__(self, kind, expr, line, scope_depth):
+        self.kind = kind                # exclusive | writer | reader | implied
+        self.expr = expr                # e.g. "&replica->mu", "&map_mu_"
+        self.line = line
+        self.scope_depth = scope_depth
+
+    def is_replica_lock(self):
+        # Per-replica locks are the only liquid mutexes reached through a
+        # member literally named `mu` (Broker::Replica::mu).
+        return bool(re.search(r"(?:->|\.)\s*mu\s*$", self.expr.lstrip("&").strip()))
+
+    def is_map_writer(self):
+        return self.kind == "writer" and "map_mu_" in self.expr
+
+
+class CallSite:
+    def __init__(self, line, stmt, locks, receiver=None, callee=None):
+        self.line = line
+        self.stmt = stmt                # blanked statement text
+        self.locks = locks              # [LockScope] active at this site
+        self.receiver = receiver
+        self.callee = callee
+
+
+class FunctionInfo:
+    def __init__(self, qual_name, path, line):
+        self.qual_name = qual_name      # e.g. "Broker::Produce"
+        self.path = path
+        self.line = line
+        self.statements = []            # [(line, stmt_text, [LockScope], depth)]
+        self.lock_acquisitions = []     # [(LockScope, [LockScope active before])]
+        self.local_types = {}           # var name -> type text
+        self.blocking = {}              # category -> (line, detail) set lazily
+
+
+class FileModel:
+    def __init__(self, path, raw_lines):
+        self.path = path
+        self.raw_lines = raw_lines
+        self.classes = []               # [ClassInfo]
+        self.functions = []             # [FunctionInfo]
+        self.suppressions = []          # [Suppression]
+        self.suppression_findings = []  # [Finding]
+
+
+def strip_wrappers(type_text):
+    """std::unique_ptr<Foo> / std::shared_ptr<Foo> / Foo* / const Foo& -> Foo."""
+    t = type_text.strip()
+    t = re.sub(r"\b(?:mutable|const|static|constexpr|inline|volatile)\b", "", t)
+    m = re.match(r"\s*std::(?:unique_ptr|shared_ptr|optional|atomic)\s*<(.*)>\s*[*&]*\s*$", t)
+    if m:
+        t = m.group(1)
+    t = t.replace("*", " ").replace("&", " ").strip()
+    return t.split("<")[0].strip()
+
+
+# ---------------------------------------------------------------------------
+# Suppressions (raw-text pass, front-end independent).
+# ---------------------------------------------------------------------------
+
+def scan_suppressions(path, raw_lines):
+    sups, findings = [], []
+    for i, line in enumerate(raw_lines, start=1):
+        if not SUPPRESS_MARKER_RE.search(line):
+            continue
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            findings.append(Finding(
+                path, i, "suppression",
+                "malformed marker; use `// liquid-lint: allow(<rule>): <reason>`"))
+            continue
+        rule, reason = m.group(1), (m.group(2) or "").strip()
+        if rule not in RULES:
+            findings.append(Finding(
+                path, i, "suppression",
+                f"unknown rule '{rule}' (known: {', '.join(sorted(RULES))})"))
+            continue
+        if not reason:
+            findings.append(Finding(
+                path, i, "suppression",
+                f"allow({rule}) without a reason; the reason is mandatory"))
+            continue
+        sups.append(Suppression(path, i, rule, reason))
+    return sups, findings
+
+
+# ---------------------------------------------------------------------------
+# Textual front-end: comment/string blanking, scope tracking, IR extraction.
+# Tuned to this repo's idiom (Google style, RAII locks, annotation macros);
+# used when libclang is unavailable so the gate never goes dark.
+# ---------------------------------------------------------------------------
+
+def blank_comments_and_strings(text):
+    """Replace comment/string/char contents with spaces, preserving layout."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = i
+            while j < n and text[j] != "\n":
+                out[j] = " "
+                j += 1
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = i + 2
+            while j + 1 < n and not (text[j] == "*" and text[j + 1] == "/"):
+                if text[j] != "\n":
+                    out[j] = " "
+                j += 1
+            for k in (i, i + 1, j, j + 1):
+                if k < n and text[k] != "\n":
+                    out[k] = " "
+            i = min(j + 2, n)
+        elif c == '"' and i >= 1 and text[i - 1] == "R":
+            m = re.match(r'R"([^()\s]{0,16})\(', text[i - 1:])
+            if not m:
+                i += 1
+                continue
+            delim = m.group(1)
+            close = text.find(f"){delim}\"", i)
+            if close == -1:
+                close = n
+            for k in range(i + len(delim) + 2, close):
+                if text[k] != "\n":
+                    out[k] = " "
+            i = close + len(delim) + 2
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    out[j] = " "
+                    j += 1
+                    if j < n and text[j] != "\n":
+                        out[j] = " "
+                    j += 1
+                    continue
+                if text[j] != "\n":
+                    out[j] = " "
+                j += 1
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def keep_string_literals(text):
+    """Like blank_comments_and_strings but KEEPS string contents (for metric
+    name extraction) while still blanking comments."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = i
+            while j + 1 < n and not (text[j] == "*" and text[j + 1] == "/"):
+                if text[j] != "\n":
+                    out[j] = " "
+                j += 1
+            for k in (j, j + 1):
+                if k < n and text[k] != "\n":
+                    out[k] = " "
+            i = min(j + 2, n)
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                j += 1
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+CONTROL_KEYWORDS = ("if", "for", "while", "switch", "catch", "do", "else")
+
+# Anchored to the statement start (modulo namespace qualification) so a
+# MutexLock inside a lambda passed as a call argument -- textually part of the
+# enclosing statement -- is not mistaken for a function-scope acquisition.
+LOCK_DECL_RE = re.compile(
+    r"^(?:liquid\s*::\s*)?(" + "|".join(LOCK_TYPES) +
+    r")\s+\w+\s*[({]\s*([^;{}]*?)\s*[)}]")
+
+FUNC_NAME_RE = re.compile(
+    r"((?:[A-Za-z_]\w*::)*(?:~?[A-Za-z_]\w*|operator[^\s(]{1,3}))\s*\($")
+
+
+class _Scope:
+    def __init__(self, kind, name="", line=0):
+        self.kind = kind        # namespace | class | function | block | enum | skip
+        self.name = name
+        self.line = line
+        self.locks = []         # LockScope taken directly in this scope
+        self.func = None        # FunctionInfo when kind == function
+
+
+_SCOPE_FORMER_FIRST = {"namespace", "class", "struct", "enum", "union",
+                       "try", "do", "else", "extern"}
+_BRACE_INIT_TAIL_RE = re.compile(r"[\w>\]=,]$")
+_CTOR_INIT_LIST_RE = re.compile(r"\)\s*:\s*\S")
+
+
+def _is_brace_init(head):
+    """True when a `{` after `head` starts a brace initializer rather than a
+    scope: the head ends in a declarator-ish token (`v_`, `>`, `]`, `=`, `,`)
+    and is not a scope former. Heads containing `(` are function/control
+    signatures unless they look like a constructor member-init list."""
+    if not head or not _BRACE_INIT_TAIL_RE.search(head):
+        return False
+    first = re.split(r"[\s<(:]", head, 1)[0]
+    if first in _SCOPE_FORMER_FIRST or first in CONTROL_KEYWORDS:
+        return False
+    if "(" in head and not _CTOR_INIT_LIST_RE.search(head):
+        return False
+    return True
+
+
+class TextualFrontend:
+    """Builds FileModels from blanked source using brace/paren tracking."""
+
+    def __init__(self, root):
+        self.root = root
+
+    def parse_file(self, path):
+        with open(os.path.join(self.root, path), encoding="utf-8",
+                  errors="replace") as f:
+            text = f.read()
+        raw_lines = text.splitlines()
+        model = FileModel(path, raw_lines)
+        model.suppressions, model.suppression_findings = scan_suppressions(
+            path, raw_lines)
+
+        blanked = blank_comments_and_strings(text)
+        literal = keep_string_literals(text)
+        self._walk(model, blanked, literal)
+        return model
+
+    # -- scope walk ---------------------------------------------------------
+
+    def _walk(self, model, blanked, literal):
+        stack = [_Scope("top")]
+        buf = []                 # chars of the current statement head
+        buf_has_content = False  # any non-whitespace seen since last reset
+        buf_start_line = 1
+        line = 1
+        paren = 0
+        i, n = 0, len(blanked)
+        while i < n:
+            c = blanked[i]
+            if c == "\n":
+                line += 1
+                buf.append(" ")
+                i += 1
+                continue
+            if c == "#" and not buf_has_content:
+                # Preprocessor directive: consume to end of line, honoring
+                # backslash continuations, without touching the statement buf.
+                while i < n:
+                    if blanked[i] == "\n":
+                        line += 1
+                        if i >= 1 and blanked[i - 1] == "\\":
+                            i += 1
+                            continue
+                        i += 1
+                        break
+                    i += 1
+                continue
+            if c == "(":
+                paren += 1
+            elif c == ")":
+                paren = max(0, paren - 1)
+            if c == "{" and paren == 0:
+                head = "".join(buf).strip()
+                if _is_brace_init(head):
+                    # Brace initializer (`std::atomic<bool> v_{false}`,
+                    # `int a[3] = {..}`, ctor member-init `: x_{1}`): part of
+                    # the current statement, not a new scope. Consume to the
+                    # matching brace, keeping line numbers accurate.
+                    depth = 0
+                    while i < n:
+                        ch = blanked[i]
+                        if ch == "\n":
+                            line += 1
+                            buf.append(" ")
+                        else:
+                            buf.append(ch)
+                            if ch == "{":
+                                depth += 1
+                            elif ch == "}":
+                                depth -= 1
+                                if depth == 0:
+                                    i += 1
+                                    break
+                        i += 1
+                    continue
+                stack.append(self._classify(model, stack, head, line,
+                                            buf_start_line))
+                buf = []
+                buf_has_content = False
+                buf_start_line = line
+                i += 1
+                continue
+            if c == "}" and paren == 0:
+                head = "".join(buf).strip()
+                if head:
+                    self._statement(model, stack, head, buf_start_line, literal)
+                if len(stack) > 1:
+                    closing = stack.pop()
+                    if closing.kind == "class":
+                        self._finish_class(closing)
+                buf = []
+                buf_has_content = False
+                buf_start_line = line
+                i += 1
+                continue
+            if c == ";" and paren == 0:
+                head = "".join(buf).strip()
+                if head:
+                    self._statement(model, stack, head, buf_start_line, literal)
+                buf = []
+                buf_has_content = False
+                buf_start_line = line
+                i += 1
+                continue
+            if not buf_has_content and c not in " \t":
+                buf_start_line = line
+                buf_has_content = True
+            buf.append(c)
+            i += 1
+
+    def _enclosing_function(self, stack):
+        for scope in reversed(stack):
+            if scope.kind == "function":
+                return scope.func
+        return None
+
+    def _enclosing_class(self, stack):
+        for scope in reversed(stack):
+            if scope.kind == "class":
+                return scope
+        return None
+
+    def _active_locks(self, stack):
+        locks = []
+        for scope in stack:
+            locks.extend(scope.locks)
+        return locks
+
+    def _classify(self, model, stack, head, line, head_line):
+        # Strip attributes, annotation macros, and any access-specifier label
+        # glued to the head (labels end with ':', not ';').
+        head = re.sub(r"^(?:\s*(?:public|private|protected)\s*:)+", " ", head)
+        head = re.sub(r"\[\[[^\]]*\]\]", " ", head)
+        for mac in ANNOTATION_MACROS:
+            head = re.sub(mac + r"\s*\([^()]*\)", " ", head)
+            head = re.sub(r"\b" + mac + r"\b", " ", head)
+        head = " ".join(head.split())
+
+        first = head.split(" ")[0] if head else ""
+        if first == "namespace":
+            name = head[len("namespace"):].strip()
+            return _Scope("namespace", name, line)
+        if first == "enum" or head.startswith("enum "):
+            return _Scope("enum", "", line)
+        if re.match(r"^(class|struct)\s+[A-Za-z_]", head) and "(" not in head \
+                and "=" not in head:
+            m = re.match(r"^(?:class|struct)\s+([A-Za-z_]\w*)", head)
+            name = m.group(1)
+            enc = self._enclosing_class(stack)
+            qual = f"{enc.name}::{name}" if enc else name
+            scope = _Scope("class", name, line)
+            scope.info = ClassInfo(name, qual, model.path, head_line)
+            model.classes.append(scope.info)
+            return scope
+        if first in CONTROL_KEYWORDS or head in ("try", "do", "else"):
+            return _Scope("block", "", line)
+        if self._enclosing_function(stack) is not None:
+            # Nested braces inside a function body: plain block or lambda --
+            # either way statements still belong to the enclosing function.
+            return _Scope("block", "", line)
+        # Candidate function definition: signature ends with ')' possibly
+        # followed by qualifiers.
+        sig = re.sub(r"\b(const|noexcept|override|final|mutable|->.*)\b", " ",
+                     head).strip()
+        m = re.search(r"((?:[A-Za-z_]\w*::)*(?:~?[A-Za-z_]\w*|operator\S{1,3}))"
+                      r"\s*\(", head)
+        if m and (sig.endswith(")") or head.rstrip().endswith(")")
+                  or re.search(r"\)\s*(const|noexcept|override|final)?\s*$", sig)):
+            name = m.group(1)
+            enc = self._enclosing_class(stack)
+            if enc and "::" not in name:
+                qual = f"{enc.name}::{name}"
+            else:
+                qual = name
+            scope = _Scope("function", qual, line)
+            func = FunctionInfo(qual, model.path, head_line)
+            scope.func = func
+            model.functions.append(func)
+            # Constructor-initializer lists never open lock scopes we track.
+            return scope
+        if self._enclosing_class(stack) is not None:
+            return _Scope("block", "", line)
+        return _Scope("block", "", line)
+
+    def _finish_class(self, scope):
+        pass
+
+    # -- statements ---------------------------------------------------------
+
+    def _statement(self, model, stack, head, line, literal):
+        func = self._enclosing_function(stack)
+        cls = self._enclosing_class(stack)
+        in_class_body = stack[-1].kind == "class"
+        if func is not None:
+            self._function_statement(model, stack, func, head, line, literal)
+        elif in_class_body and cls is not None:
+            self._member_statement(cls.info, head, line)
+
+    def _function_statement(self, model, stack, func, head, line, literal):
+        # Record local declarations of the form `Type* var = init` for
+        # receiver-type resolution.
+        m = re.match(r"^(?:auto|[\w:]+(?:<[^;=]*>)?)\s*[*&]?\s*(\w+)\s*=\s*(.*)$",
+                     head)
+        if m:
+            var, init = m.group(1), m.group(2)
+            tm = re.match(r"^([\w:]+(?:<[^;=]*>)?)\s*[*&]?\s*\w+\s*=", head)
+            if tm and tm.group(1) != "auto":
+                func.local_types[var] = tm.group(1)
+            if re.search(r"->\s*broker\s*\(", init) or \
+                    re.match(r"^\s*broker\s*\(", init):
+                func.local_types[var] = "Broker"
+            if re.search(r"MetricsRegistry\s*::\s*Default\s*\(\)", init):
+                func.local_types[var] = "@global-registry"
+            sm = re.match(r'^\s*"', self._raw_init(literal, line, head, init))
+            if sm is not None:
+                lit = self._leading_literal(literal, line, var)
+                if lit is not None:
+                    func.local_types.setdefault(f"@literal:{var}", lit)
+
+        # RAII lock acquisitions.
+        lm = LOCK_DECL_RE.search(head)
+        if lm:
+            kind = LOCK_TYPES[lm.group(1)]
+            expr = lm.group(2).strip()
+            active = self._active_locks(stack)
+            scope = LockScope(kind, expr, line, len(stack))
+            func.lock_acquisitions.append((scope, list(active)))
+            stack[-1].locks.append(scope)
+            return
+
+        active = self._active_locks(stack)
+        func.statements.append((line, head, list(active), len(stack)))
+
+    def _raw_init(self, literal, line, head, init):
+        # Best effort: the initializer text with string literals intact.
+        raw = literal.splitlines()[line - 1] if line - 1 < len(
+            literal.splitlines()) else ""
+        eq = raw.find("=")
+        return raw[eq + 1:] if eq != -1 else ""
+
+    def _leading_literal(self, literal, line, var):
+        lines = literal.splitlines()
+        if line - 1 >= len(lines):
+            return None
+        window = " ".join(lines[line - 1:line + 2])
+        m = re.search(re.escape(var) + r"\s*=\s*\"([^\"]*)\"", window)
+        return m.group(1) if m else None
+
+    def _member_statement(self, info, head, line):
+        # Skip anything that is not a data-member declaration.
+        h = " ".join(head.split())
+        h = re.sub(r"^(?:(?:public|private|protected)\s*:\s*)+", "", h)
+        if not h or h.endswith(":"):
+            return
+        first = h.split(" ")[0]
+        if first in ("public", "private", "protected", "using", "typedef",
+                     "friend", "static", "template", "class", "struct", "enum",
+                     "explicit", "virtual", "operator", "return"):
+            return
+        guarded = bool(re.search(r"\b(?:GUARDED_BY|PT_GUARDED_BY)\s*\(", h))
+        stripped = h
+        for mac in ANNOTATION_MACROS:
+            stripped = re.sub(mac + r"\s*\((?:[^()]|\([^()]*\))*\)", " ", stripped)
+        stripped = " ".join(stripped.split())
+        if re.search(r"=\s*(?:delete|default)\s*$", stripped) or \
+                re.search(r"\boperator\b", stripped):
+            return
+        # Drop default-member initializers.
+        stripped = re.split(r"\s*=\s*", stripped)[0].strip()
+        stripped = re.sub(r"\{[^}]*\}\s*$", "", stripped).strip()
+        if not stripped or "(" in stripped:
+            return  # method declaration (or macro call) -- not a data member
+        m = re.match(r"^(.*?)([A-Za-z_]\w*)(\s*\[[^\]]*\])?$", stripped)
+        if not m:
+            return
+        type_text, name = m.group(1).strip(), m.group(2)
+        if not type_text:
+            return
+        is_mutable_kw = bool(re.match(r"^mutable\b", type_text))
+        # Immutable-after-construction: `const T x`, `T* const x`,
+        # `const T* const x`; a leading const with * or & still mutable ptr.
+        toks = type_text.split()
+        is_const = False
+        if toks and toks[-1] == "const":
+            is_const = True
+        elif toks and toks[0] == "const" and "*" not in type_text \
+                and "&" not in type_text:
+            is_const = True
+        if "constexpr" in toks:
+            is_const = True
+        info.members.append(Member(name, type_text, line, guarded, is_const,
+                                   is_mutable_kw))
+        info.member_types[name] = type_text
+
+
+# ---------------------------------------------------------------------------
+# libclang front-end (optional). Builds the same IR via a real AST when the
+# clang Python bindings + a loadable libclang are present; any failure makes
+# the caller fall back to the textual front-end so the gate keeps running.
+# ---------------------------------------------------------------------------
+
+def load_libclang():
+    try:
+        import clang.cindex as cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+    except Exception:
+        for name in ("libclang.so", "libclang-14.so.1", "libclang.so.1"):
+            try:
+                cindex.Config.set_library_file(name)
+                cindex.Index.create()
+                break
+            except Exception:
+                continue
+        else:
+            return None
+    return cindex
+
+
+class ClangFrontend:
+    """AST-accurate front-end; mirrors TextualFrontend's IR contract."""
+
+    def __init__(self, root, compdb_dir):
+        self.root = root
+        self.cindex = load_libclang()
+        if self.cindex is None:
+            raise RuntimeError("libclang unavailable")
+        self.index = self.cindex.Index.create()
+        self.compdb = None
+        if compdb_dir and os.path.exists(
+                os.path.join(compdb_dir, "compile_commands.json")):
+            try:
+                self.compdb = self.cindex.CompilationDatabase.fromDirectory(
+                    compdb_dir)
+            except Exception:
+                self.compdb = None
+
+    def _args_for(self, abspath):
+        args = ["-std=c++20", "-I" + os.path.join(self.root, "src"),
+                "-I" + self.root]
+        if self.compdb is not None:
+            cmds = self.compdb.getCompileCommands(abspath)
+            if cmds:
+                got = [a for a in list(cmds[0].arguments)[1:-1]
+                       if a not in ("-c", "-o")]
+                # Drop the -o/-c operands the slice above may leave behind.
+                args = [a for a in got if not a.endswith((".cc", ".o"))] or args
+        return args
+
+    def parse_file(self, path):
+        abspath = os.path.join(self.root, path)
+        with open(abspath, encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().splitlines()
+        model = FileModel(path, raw_lines)
+        model.suppressions, model.suppression_findings = scan_suppressions(
+            path, raw_lines)
+        tu = self.index.parse(abspath, args=self._args_for(abspath))
+        ck = self.cindex.CursorKind
+        for cursor in tu.cursor.walk_preorder():
+            try:
+                if cursor.location.file is None or \
+                        os.path.abspath(cursor.location.file.name) != \
+                        os.path.abspath(abspath):
+                    continue
+                if cursor.kind in (ck.CLASS_DECL, ck.STRUCT_DECL) and \
+                        cursor.is_definition():
+                    self._class(model, cursor)
+                elif cursor.kind in (ck.CXX_METHOD, ck.FUNCTION_DECL,
+                                     ck.CONSTRUCTOR, ck.DESTRUCTOR) and \
+                        cursor.is_definition():
+                    self._function(model, cursor)
+            except Exception:
+                continue
+        return model
+
+    def _class(self, model, cursor):
+        ck = self.cindex.CursorKind
+        qual = cursor.spelling
+        parent = cursor.semantic_parent
+        if parent is not None and parent.kind in (ck.CLASS_DECL, ck.STRUCT_DECL):
+            qual = f"{parent.spelling}::{cursor.spelling}"
+        info = ClassInfo(cursor.spelling, qual, model.path,
+                         cursor.location.line)
+        for child in cursor.get_children():
+            if child.kind != ck.FIELD_DECL:
+                continue
+            tokens = [t.spelling for t in child.get_tokens()]
+            text = " ".join(tokens)
+            guarded = "GUARDED_BY" in text or "PT_GUARDED_BY" in text or \
+                "guarded_by" in text
+            type_text = child.type.spelling
+            is_const = child.type.is_const_qualified() or \
+                (child.type.kind == self.cindex.TypeKind.POINTER and
+                 "* const" in type_text)
+            info.members.append(Member(
+                child.spelling, type_text, child.location.line, guarded,
+                is_const, type_text.startswith("mutable")))
+            info.member_types[child.spelling] = type_text
+        model.classes.append(info)
+
+    def _function(self, model, cursor):
+        ck = self.cindex.CursorKind
+        qual = cursor.spelling
+        parent = cursor.semantic_parent
+        if parent is not None and parent.kind in (ck.CLASS_DECL, ck.STRUCT_DECL):
+            qual = f"{parent.spelling}::{cursor.spelling}"
+        func = FunctionInfo(qual, model.path, cursor.location.line)
+        model.functions.append(func)
+        # Walk the body tracking compound-statement nesting for lock extents.
+        self._body(func, cursor, [], 1)
+
+    def _body(self, func, cursor, locks, depth):
+        ck = self.cindex.CursorKind
+        for child in cursor.get_children():
+            if child.kind == ck.COMPOUND_STMT:
+                self._body(func, child, list(locks), depth + 1)
+                continue
+            if child.kind in (ck.DECL_STMT, ck.VAR_DECL):
+                decl = child
+                if child.kind == ck.DECL_STMT:
+                    kids = list(child.get_children())
+                    decl = kids[0] if kids else child
+                type_name = decl.type.spelling.split("::")[-1] if \
+                    decl.kind == ck.VAR_DECL else ""
+                if type_name in LOCK_TYPES:
+                    tokens = " ".join(t.spelling for t in decl.get_tokens())
+                    m = re.search(r"\(([^;]*)\)", tokens)
+                    expr = m.group(1).strip() if m else ""
+                    scope = LockScope(LOCK_TYPES[type_name], expr,
+                                      decl.location.line, depth)
+                    func.lock_acquisitions.append((scope, list(locks)))
+                    locks.append(scope)
+                    continue
+                if decl.kind == ck.VAR_DECL:
+                    func.local_types[decl.spelling] = decl.type.spelling
+            tokens = " ".join(t.spelling for t in child.get_tokens())
+            if tokens:
+                func.statements.append(
+                    (child.location.line, tokens, list(locks), depth))
+            self._body(func, child, list(locks), depth + 1)
+
+
+# ---------------------------------------------------------------------------
+# Project index: cross-file knowledge both rule passes need.
+# ---------------------------------------------------------------------------
+
+class ProjectIndex:
+    def __init__(self, models, header_models):
+        self.classes = {}            # class name -> ClassInfo (last wins)
+        self.requires = {}           # "Class::Method" -> requires-expr text
+        for model in list(header_models) + list(models):
+            for cls in model.classes:
+                self.classes[cls.name] = cls
+                self.classes[cls.qual_name] = cls
+        for model in header_models:
+            self._collect_requires(model)
+        self.internally_sync = self._derive_internally_sync()
+        self.blocking_functions = {}  # "Class::Method"/name -> (category, line)
+
+    def _collect_requires(self, model):
+        # REQUIRES annotations live on declarations in headers; map method
+        # name -> annotation so .cc definitions inherit the implied lock.
+        for i, raw in enumerate(model.raw_lines, start=1):
+            m = re.search(r"\b(\w+)\s*\([^;]*\)\s*(?:const\s*)?REQUIRES\s*\(([^)]*)\)",
+                          raw)
+            if m:
+                self.requires[m.group(1)] = m.group(2).strip()
+
+    def _derive_internally_sync(self):
+        sync = set(INTERNALLY_SYNC_ALLOWLIST)
+        changed = True
+        while changed:
+            changed = False
+            for name, cls in self.classes.items():
+                if name in sync:
+                    continue
+                if cls.owned_locks():
+                    sync.add(name)
+                    sync.add(cls.name)
+                    changed = True
+                    continue
+                if cls.members and all(
+                        "atomic" in m.type_text or m.is_const or
+                        strip_wrappers(m.type_text) in sync
+                        for m in cls.members):
+                    # All-atomic/const composition is safe to share.
+                    sync.add(name)
+                    sync.add(cls.name)
+                    changed = True
+        return sync
+
+
+# ---------------------------------------------------------------------------
+# Rule passes.
+# ---------------------------------------------------------------------------
+
+def resolve_receiver_type(func, index, receiver):
+    receiver = receiver.strip()
+    if receiver in func.local_types:
+        return strip_wrappers(func.local_types[receiver])
+    # Member of the enclosing class?
+    cls_name = func.qual_name.split("::")[0] if "::" in func.qual_name else None
+    if cls_name and cls_name in index.classes:
+        t = index.classes[cls_name].member_types.get(receiver)
+        if t:
+            return strip_wrappers(t)
+    return None
+
+
+def direct_blocking_hits(stmt):
+    hits = []
+    for category, pattern in BLOCKING_PATTERNS:
+        m = pattern.search(stmt)
+        if m:
+            hits.append((category, m.group(0).strip()))
+    return hits
+
+
+CALL_RE = re.compile(r"(?:\b([A-Za-z_]\w*)\s*(?:->|\.)\s*)?([A-Za-z_]\w*)\s*\(")
+
+# Callee names too generic to chase across the project by name alone.
+GENERIC_CALLEES = {
+    "Get", "Set", "Create", "Delete", "Start", "Stop", "Run", "Close", "Open",
+    "Wait", "Signal", "Lock", "Unlock", "ok", "value", "status", "size",
+    "begin", "end", "find", "push_back", "emplace", "emplace_back", "insert",
+    "erase", "clear", "empty", "count", "reset", "get", "at", "front", "back",
+}
+
+
+def compute_blocking_functions(models, index, suppressed_at):
+    """Fixpoint: function -> {category: (line, detail)} including one-level
+    project-call transitivity. Statements whose findings are suppressed do not
+    mark their function blocking (the written reason covers the design)."""
+    direct = {}
+    for model in models:
+        for func in model.functions:
+            cats = {}
+            for line, stmt, _locks, _d in func.statements:
+                if (model.path, line) in suppressed_at:
+                    continue
+                for category, detail in direct_blocking_hits(stmt):
+                    cats.setdefault(category, (line, detail))
+                # Broker-to-broker via a typed receiver.
+                cm = re.search(r"\b(\w+)\s*->\s*(\w+)\s*\(", stmt)
+                if cm:
+                    rtype = resolve_receiver_type(func, index, cm.group(1))
+                    if rtype == "Broker" and cm.group(1) not in ("this",):
+                        cats.setdefault("broker-to-broker",
+                                        (line, cm.group(0).strip()))
+            if cats:
+                direct[func.qual_name] = cats
+                direct.setdefault(func.qual_name.split("::")[-1], cats)
+
+    # One propagation round: calling a directly-blocking project function.
+    result = dict(direct)
+    for model in models:
+        for func in model.functions:
+            if func.qual_name in result:
+                continue
+            for line, stmt, _locks, _d in func.statements:
+                if (model.path, line) in suppressed_at:
+                    continue
+                for rm, callee in CALL_RE.findall(stmt):
+                    if callee in GENERIC_CALLEES or callee in LOCK_TYPES:
+                        continue
+                    target = None
+                    if rm:
+                        rtype = resolve_receiver_type(func, index, rm)
+                        if rtype and f"{rtype}::{callee}" in direct:
+                            target = f"{rtype}::{callee}"
+                    elif "::" in func.qual_name:
+                        qual = func.qual_name.split("::")[0] + "::" + callee
+                        if qual in direct:
+                            target = qual
+                    if target:
+                        cat, (_l, detail) = next(iter(direct[target].items()))
+                        result.setdefault(func.qual_name, {})[cat] = (
+                            line, f"{callee}() -> {detail}")
+                        break
+                if func.qual_name in result:
+                    break
+    return result
+
+
+def implied_locks(func, index):
+    """Locks held on entry: REQUIRES annotations or the *Locked convention."""
+    name = func.qual_name.split("::")[-1]
+    out = []
+    req = index.requires.get(name)
+    if req:
+        for part in req.split(","):
+            part = part.strip()
+            kind = "exclusive"
+            out.append(LockScope(kind, "&" + part.lstrip("&"), func.line, 0))
+    elif name.endswith("Locked"):
+        out.append(LockScope("exclusive", "&<caller-held>", func.line, 0))
+    return out
+
+
+def check_snapshot_then_call(models, index, blocking, emit):
+    for model in models:
+        for func in model.functions:
+            entry_locks = implied_locks(func, index)
+            for line, stmt, locks, _d in func.statements:
+                held = entry_locks + locks
+                if not held:
+                    continue
+                lock_desc = held[-1].expr or "<caller-held>"
+                for category, detail in direct_blocking_hits(stmt):
+                    emit(Finding(
+                        model.path, line, "snapshot-then-call",
+                        f"{category} call `{detail}...` while holding "
+                        f"`{lock_desc}` (snapshot state, release the lock, "
+                        f"then call; DESIGN.md section 5a)"))
+                for rm, callee in CALL_RE.findall(stmt):
+                    if callee in GENERIC_CALLEES or callee in LOCK_TYPES:
+                        continue
+                    target = None
+                    if rm:
+                        rtype = resolve_receiver_type(func, index, rm)
+                        if rtype == "Broker" and rm != "this":
+                            emit(Finding(
+                                model.path, line, "snapshot-then-call",
+                                f"broker-to-broker call `{rm}->{callee}(...)` "
+                                f"while holding `{lock_desc}`"))
+                            continue
+                        if rtype and f"{rtype}::{callee}" in blocking:
+                            target = f"{rtype}::{callee}"
+                    elif "::" in func.qual_name:
+                        qual = func.qual_name.split("::")[0] + "::" + callee
+                        if qual in blocking:
+                            target = qual
+                    if target:
+                        cat = next(iter(blocking[target]))
+                        _l, detail = blocking[target][cat]
+                        emit(Finding(
+                            model.path, line, "snapshot-then-call",
+                            f"call to `{callee}()` ({cat} via {detail}) while "
+                            f"holding `{lock_desc}`"))
+
+
+def check_lock_order(models, index, emit):
+    for model in models:
+        for func in model.functions:
+            entry = implied_locks(func, index)
+            entry_replica = any(
+                "mu" == re.split(r"->|\.", l.expr.lstrip("&"))[-1].strip()
+                for l in entry if "<caller-held>" not in l.expr)
+            for scope, active in func.lock_acquisitions:
+                held_replica = entry_replica or any(
+                    l.is_replica_lock() for l in active)
+                if scope.is_map_writer() and held_replica:
+                    emit(Finding(
+                        model.path, scope.line, "lock-order",
+                        "acquiring broker-wide SharedMutex in WRITE mode while "
+                        "a replica lock is held (section 5a: map_mu_ -> replica->mu, "
+                        "never the reverse)"))
+                if scope.is_replica_lock() and held_replica:
+                    emit(Finding(
+                        model.path, scope.line, "lock-order",
+                        "second replica lock acquired while one is already "
+                        "held (section 5a: never two replica locks in one scope)"))
+
+
+def check_guarded_by(models, index, emit):
+    seen = set()
+    for model in models:
+        for cls in model.classes:
+            if id(cls) in seen:
+                continue
+            seen.add(id(cls))
+            locks = cls.owned_locks()
+            if not locks:
+                continue
+            for member in cls.members:
+                if member.guarded or member.is_const:
+                    continue
+                base = strip_wrappers(member.type_text)
+                short = base.split("::")[-1]
+                if short in MUTEX_TYPES or short == "CondVar":
+                    continue
+                if "atomic" in member.type_text:
+                    continue
+                if base in index.internally_sync or \
+                        short in index.internally_sync:
+                    continue
+                emit(Finding(
+                    model.path, member.line, "guarded-by",
+                    f"mutable member `{member.name}` of lock-owning class "
+                    f"`{cls.qual_name}` (owns {', '.join(locks)}) has no "
+                    f"GUARDED_BY; annotate it, make it const/atomic, or add "
+                    f"an allow() with the invariant that protects it"))
+
+
+METRIC_CALL_RE = re.compile(
+    r"(?P<recv>(?:[\w:]+\s*::\s*)?[\w()]+(?:\s*(?:->|\.)\s*[\w()]+)*?)\s*"
+    r"(?:->|\.)\s*(?P<fn>GetCounter|GetGauge|GetHistogram)\s*\(")
+
+
+def metric_name_prefix(func, literal_line):
+    """First string-literal fragment of the Get* argument, resolving a
+    leading `prefix`-style local through its recorded literal."""
+    m = re.search(r"(?:GetCounter|GetGauge|GetHistogram)\s*\(\s*(.+)$",
+                  literal_line)
+    if not m:
+        return None
+    arg = m.group(1)
+    lm = re.match(r'^\s*"([^"]*)"', arg)
+    if lm:
+        return lm.group(1)
+    vm = re.match(r"^\s*(\w+)\s*\+", arg)
+    if vm:
+        return func.local_types.get(f"@literal:{vm.group(1)}")
+    return None
+
+
+def check_metrics(models, index, emit):
+    for model in models:
+        literal_lines = {}
+        for func in model.functions:
+            hot = bool(HOT_PATH_RE.match(func.qual_name.split("::")[-1]))
+            for line, stmt, _locks, _d in func.statements:
+                m = METRIC_CALL_RE.search(stmt)
+                if not m:
+                    continue
+                recv = m.group("recv").replace(" ", "")
+                fn = m.group("fn")
+                if hot:
+                    emit(Finding(
+                        model.path, line, "metric-hot-lookup",
+                        f"{fn}() lookup inside hot-path method "
+                        f"`{func.qual_name}`; cache the handle at "
+                        f"construction (OBSERVABILITY.md)"))
+                is_global = "MetricsRegistry::Default()" in recv.replace(" ", "")
+                if not is_global:
+                    rtype = func.local_types.get(recv.split("->")[0].split(".")[0])
+                    is_global = rtype == "@global-registry"
+                if not is_global:
+                    continue
+                if model.path not in literal_lines:
+                    with open(os.path.join(models_root(model), model.path),
+                              encoding="utf-8", errors="replace") as f:
+                        literal_lines[model.path] = keep_string_literals(
+                            f.read()).splitlines()
+                lines = literal_lines[model.path]
+                window = " ".join(lines[line - 1:min(line + 2, len(lines))])
+                prefix = metric_name_prefix(func, window)
+                if prefix is None:
+                    continue  # dynamic name we cannot resolve: not checkable
+                if not GLOBAL_METRIC_NAME_RE.match(prefix + "."):
+                    # prefix may already include the dots; check both ways.
+                    if not GLOBAL_METRIC_NAME_RE.match(prefix):
+                        emit(Finding(
+                            model.path, line, "metric-name",
+                            f"global metric name '{prefix}...' does not match "
+                            f"liquid.<component>.<instance>.* "
+                            f"(OBSERVABILITY.md naming scheme)"))
+
+
+_MODEL_ROOT = {}
+
+
+def models_root(model):
+    return _MODEL_ROOT.get(id(model), ".")
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+def gather_files(root, paths):
+    files = []
+    for p in paths:
+        ap = os.path.join(root, p)
+        if os.path.isfile(ap):
+            files.append(os.path.relpath(ap, root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(ap):
+            dirnames[:] = [d for d in dirnames
+                           if d not in ("corpus", "testdata", ".git")]
+            for fn in sorted(filenames):
+                if fn.endswith((".cc", ".h")):
+                    files.append(os.path.relpath(os.path.join(dirpath, fn),
+                                                 root))
+    return sorted(set(files))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories relative to --root "
+                             "(default: src tools bench)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this file)")
+    parser.add_argument("--compdb", default=None,
+                        help="directory containing compile_commands.json "
+                             "(used by the libclang engine)")
+    parser.add_argument("--engine", choices=("auto", "clang", "textual"),
+                        default="auto")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule:20} {desc}")
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    paths = args.paths or ["src", "tools", "bench"]
+    files = gather_files(root, paths)
+    if not files:
+        print("liquid-lint: no input files", file=sys.stderr)
+        return 2
+
+    engine_name = "textual"
+    frontend = None
+    if args.engine in ("auto", "clang"):
+        try:
+            frontend = ClangFrontend(root, args.compdb)
+            engine_name = "clang"
+        except Exception as exc:
+            if args.engine == "clang":
+                print(f"SKIP: liquid-lint clang engine unavailable ({exc}); "
+                      f"rerun with --engine=textual", file=sys.stderr)
+                return 0
+            frontend = None
+    if frontend is None:
+        frontend = TextualFrontend(root)
+
+    models = []
+    for path in files:
+        try:
+            model = frontend.parse_file(path)
+        except Exception as exc:
+            if engine_name == "clang":
+                # Never let a front-end crash take the gate dark: re-parse
+                # this file with the structural fallback.
+                model = TextualFrontend(root).parse_file(path)
+            else:
+                print(f"liquid-lint: internal error parsing {path}: {exc}",
+                      file=sys.stderr)
+                return 2
+        _MODEL_ROOT[id(model)] = root
+        models.append(model)
+
+    # Headers always contribute class/REQUIRES knowledge, even when only a
+    # subset of paths was requested.
+    header_models = [m for m in models if m.path.endswith(".h")]
+    index = ProjectIndex(models, header_models)
+
+    suppressions = []
+    findings = []
+    for model in models:
+        suppressions.extend(model.suppressions)
+        findings.extend(model.suppression_findings)
+    suppressed_at = {(s.path, s.line) for s in suppressions}
+    suppressed_at |= {(s.path, s.line + 1) for s in suppressions}
+
+    blocking = compute_blocking_functions(models, index, suppressed_at)
+
+    raw = []
+    emit = raw.append
+    check_snapshot_then_call(models, index, blocking, emit)
+    check_lock_order(models, index, emit)
+    check_guarded_by(models, index, emit)
+    check_metrics(models, index, emit)
+
+    # Apply suppressions: a finding is silenced by a matching-rule allow() on
+    # its own line or the line directly above.
+    by_site = {}
+    for s in suppressions:
+        by_site.setdefault((s.path, s.line), []).append(s)
+        by_site.setdefault((s.path, s.line + 1), []).append(s)
+    for f in raw:
+        matched = False
+        for s in by_site.get((f.path, f.line), []):
+            if s.rule == f.rule:
+                s.used = True
+                matched = True
+        if not matched:
+            findings.append(f)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for f in findings:
+        print(f)
+    if args.verbose:
+        for s in suppressions:
+            if not s.used:
+                print(f"note: {s.path}:{s.line}: allow({s.rule}) matched no "
+                      f"finding (stale suppression?)", file=sys.stderr)
+    n_sup = sum(1 for s in suppressions if s.used)
+    print(f"liquid-lint[{engine_name}]: {len(files)} files, "
+          f"{len(findings)} finding(s), {n_sup} suppressed", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+// Lint corpus: guarded-by MUST fire for `pending_` and `leader_`.
+#ifndef LIQUID_TOOLS_LINT_TESTDATA_GUARDED_BY_BAD_H_
+#define LIQUID_TOOLS_LINT_TESTDATA_GUARDED_BY_BAD_H_
+
+#include "lint_stubs.h"
+
+namespace liquid {
+
+/// Owns a Mutex but leaves two mutable members unannotated: exactly the
+/// shape PR 1 chased by hand and this rule now catches at the gate.
+class BadGuarded {
+ public:
+  void Advance();
+
+ private:
+  Mutex mu_;
+  long committed_ GUARDED_BY(mu_) = 0;  // annotated: fine
+  long pending_ = 0;                    // BAD: mutable, no GUARDED_BY
+  std::string leader_;                  // BAD: mutable, no GUARDED_BY
+};
+
+}  // namespace liquid
+
+#endif  // LIQUID_TOOLS_LINT_TESTDATA_GUARDED_BY_BAD_H_

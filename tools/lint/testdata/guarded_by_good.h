@@ -1,0 +1,39 @@
+// Lint corpus: guarded-by must stay SILENT on this file. Every member
+// of the lock-owning class is annotated, const, or exempt by type.
+#ifndef LIQUID_TOOLS_LINT_TESTDATA_GUARDED_BY_GOOD_H_
+#define LIQUID_TOOLS_LINT_TESTDATA_GUARDED_BY_GOOD_H_
+
+#include <atomic>
+
+#include "lint_stubs.h"
+
+namespace liquid {
+
+/// All-atomic classes count as internally synchronized when used as members.
+class SharedFlag {
+ public:
+  void Set();
+
+ private:
+  std::atomic<bool> value_{false};
+};
+
+/// The compliant twin of BadGuarded.
+class GoodGuarded {
+ public:
+  void Advance();
+
+ private:
+  Mutex mu_;
+  long committed_ GUARDED_BY(mu_) = 0;   // guarded state
+  std::string leader_ GUARDED_BY(mu_);   // guarded state
+  Coord* const coord_ = nullptr;         // immutable after construction
+  std::atomic<long> ticks_{0};           // atomic: safe unguarded
+  SharedFlag flag_;                      // internally synchronized type
+  // liquid-lint: allow(guarded-by): written once in Init() before any thread can observe this object.
+  long init_once_ = 0;
+};
+
+}  // namespace liquid
+
+#endif  // LIQUID_TOOLS_LINT_TESTDATA_GUARDED_BY_GOOD_H_

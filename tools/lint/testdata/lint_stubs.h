@@ -1,0 +1,83 @@
+#ifndef LIQUID_TOOLS_LINT_TESTDATA_LINT_STUBS_H_
+#define LIQUID_TOOLS_LINT_TESTDATA_LINT_STUBS_H_
+
+// Minimal self-contained stand-ins for the project types the lint corpus
+// exercises, so each testdata snippet parses under both liquid-lint engines
+// (the libclang engine compiles these files for real) without dragging in
+// the full source tree. Shapes mirror src/common/thread_annotations.h and
+// src/common/metrics.h; keep them in sync if those surfaces change.
+
+#include <string>
+
+#define GUARDED_BY(x)
+#define REQUIRES(...)
+
+namespace liquid {
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class SharedMutex {
+ public:
+  void Lock();
+  void Unlock();
+  void ReaderLock();
+  void ReaderUnlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+
+class ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu);
+  ~ReaderMutexLock();
+};
+
+class WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu);
+  ~WriterMutexLock();
+};
+
+class Counter {
+ public:
+  void Increment(long delta = 1);
+};
+
+class Gauge {
+ public:
+  void Set(long v);
+};
+
+class Histogram {
+ public:
+  void Record(long v);
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry* Default();
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+};
+
+/// In-process coordination-service handle (ZooKeeper-style).
+class Coord {
+ public:
+  void Set(const std::string& path, const std::string& data);
+  std::string Get(const std::string& path);
+};
+
+void SleepMs(long ms);
+
+}  // namespace liquid
+
+#endif  // LIQUID_TOOLS_LINT_TESTDATA_LINT_STUBS_H_

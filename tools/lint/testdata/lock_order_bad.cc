@@ -1,0 +1,33 @@
+// Lint corpus: lock-order MUST fire twice (writer-under-replica and
+// two replica locks at once).
+#include "lint_stubs.h"
+
+namespace liquid {
+
+struct Replica {
+  Mutex mu;
+  long high_watermark GUARDED_BY(mu) = 0;
+};
+
+class BadLockOrder {
+ public:
+  // Section 5a says map_mu_ -> replica->mu, never the reverse; taking the
+  // broker-wide lock in WRITE mode under a replica lock inverts the order.
+  void ReassignUnderReplicaLock(Replica* replica) {
+    MutexLock lock(&replica->mu);
+    WriterMutexLock map_lock(&map_mu_);
+  }
+
+  // No scope may hold two replica locks: produce to partition A must never
+  // stall partition B.
+  void CopyBetweenReplicas(Replica* from, Replica* to) {
+    MutexLock from_lock(&from->mu);
+    MutexLock to_lock(&to->mu);
+    to->high_watermark = from->high_watermark;
+  }
+
+ private:
+  SharedMutex map_mu_;
+};
+
+}  // namespace liquid

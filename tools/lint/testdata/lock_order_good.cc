@@ -1,0 +1,35 @@
+// Lint corpus: lock-order must stay SILENT on this file.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+struct Replica {
+  Mutex mu;
+  long high_watermark GUARDED_BY(mu) = 0;
+};
+
+class GoodLockOrder {
+ public:
+  // The section 5a order: membership lock (shared) first, replica lock under it.
+  void Produce(Replica* replica) {
+    ReaderMutexLock map_lock(&map_mu_);
+    MutexLock lock(&replica->mu);
+    replica->high_watermark += 1;
+  }
+
+  // Two replicas touched strictly one after the other, never both locked.
+  void CopyBetweenReplicas(Replica* from, Replica* to) {
+    long snapshot = 0;
+    {
+      MutexLock from_lock(&from->mu);
+      snapshot = from->high_watermark;
+    }
+    MutexLock to_lock(&to->mu);
+    to->high_watermark = snapshot;
+  }
+
+ private:
+  SharedMutex map_mu_;
+};
+
+}  // namespace liquid

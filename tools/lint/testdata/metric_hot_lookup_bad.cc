@@ -1,0 +1,29 @@
+// Lint corpus: metric-hot-lookup MUST fire in every method here.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class BadHotPath {
+ public:
+  // Name->pointer lookups take the registry lock; hot-path methods must use
+  // handles cached at construction instead.
+  void Produce() {
+    metrics_->GetCounter("produce.records")->Increment();
+  }
+
+  long Fetch() {
+    metrics_->GetHistogram("liquid.broker.0.fetch_us")->Record(1);
+    return 0;
+  }
+
+  void ProcessRecord() {
+    MetricsRegistry::Default()
+        ->GetCounter("liquid.job.wordcount.processed")
+        ->Increment();
+  }
+
+ private:
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace liquid

@@ -1,0 +1,29 @@
+// Lint corpus: metric-hot-lookup must stay SILENT on this file.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class GoodHotPath {
+ public:
+  // Handles are resolved once, at construction; hot paths only touch the
+  // cached pointers (registry entries are never erased, so they stay valid).
+  GoodHotPath() {
+    produce_records_ =
+        MetricsRegistry::Default()->GetCounter("liquid.broker.0.produce_records");
+    fetch_us_ =
+        MetricsRegistry::Default()->GetHistogram("liquid.broker.0.fetch_us");
+  }
+
+  void Produce() { produce_records_->Increment(); }
+
+  long Fetch() {
+    fetch_us_->Record(1);
+    return 0;
+  }
+
+ private:
+  Counter* produce_records_ = nullptr;
+  Histogram* fetch_us_ = nullptr;
+};
+
+}  // namespace liquid

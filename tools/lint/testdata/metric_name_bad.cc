@@ -1,0 +1,19 @@
+// Lint corpus: metric-name MUST fire in every function here.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+// Registered against the process-wide registry but outside the
+// liquid.<component>.<instance>.* namespace (OBSERVABILITY.md).
+void RegisterBare() {
+  MetricsRegistry::Default()->GetCounter("broker.produce_records")->Increment();
+}
+
+// Same mistake through a cached registry pointer and a prefix variable.
+void RegisterViaPrefix() {
+  MetricsRegistry* global = MetricsRegistry::Default();
+  std::string prefix = "Broker.0.";
+  global->GetGauge(prefix + "lag")->Set(0);
+}
+
+}  // namespace liquid

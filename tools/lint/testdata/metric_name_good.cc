@@ -1,0 +1,26 @@
+// Lint corpus: metric-name must stay SILENT on this file.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class Registry2 {
+ public:
+  Counter* GetCounter(const std::string& name);
+};
+
+// Global names in the documented liquid.<component>.<instance>.* namespace.
+void RegisterGlobal() {
+  MetricsRegistry::Default()
+      ->GetCounter("liquid.broker.0.produce_records")
+      ->Increment();
+  MetricsRegistry* global = MetricsRegistry::Default();
+  std::string prefix = "liquid.consumer.group7.";
+  global->GetGauge(prefix + "lag")->Set(0);
+}
+
+// Instance-scoped registries are their own namespaces: short names are fine.
+void RegisterInstanceScoped(Registry2* metrics) {
+  metrics->GetCounter("isr.shrinks")->Increment();
+}
+
+}  // namespace liquid

@@ -1,0 +1,31 @@
+// Lint corpus: snapshot-then-call MUST fire in every function here.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class BadBroker {
+ public:
+  // Coordination-service call while holding the lock.
+  void PublishState() {
+    MutexLock lock(&mu_);
+    coord_->Set("/liquid/partition/0", state_);
+  }
+
+  // Sleep while holding the lock.
+  void Backoff() {
+    MutexLock lock(&mu_);
+    SleepMs(5);
+  }
+
+  // Blocking call in a *Locked helper: the caller holds the lock by contract.
+  void RefreshLocked() {
+    state_ = coord_->Get("/liquid/partition/0");
+  }
+
+ private:
+  Mutex mu_;
+  Coord* coord_ GUARDED_BY(mu_);
+  std::string state_ GUARDED_BY(mu_);
+};
+
+}  // namespace liquid

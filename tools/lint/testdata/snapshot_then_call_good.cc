@@ -1,0 +1,34 @@
+// Lint corpus: snapshot-then-call must stay SILENT on this file.
+// The idiomatic shape: snapshot under the lock, release, then call out.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class GoodBroker {
+ public:
+  void PublishState() {
+    std::string snapshot;
+    {
+      MutexLock lock(&mu_);
+      snapshot = state_;
+    }  // Lock released: the coordination-service write runs unlocked.
+    coord_->Set("/liquid/partition/0", snapshot);
+  }
+
+  void Backoff() {
+    long wait_ms = 0;
+    {
+      MutexLock lock(&mu_);
+      wait_ms = backoff_ms_;
+    }
+    SleepMs(wait_ms);
+  }
+
+ private:
+  Mutex mu_;
+  Coord* coord_ GUARDED_BY(mu_);
+  std::string state_ GUARDED_BY(mu_);
+  long backoff_ms_ GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace liquid

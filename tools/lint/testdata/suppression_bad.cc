@@ -1,0 +1,31 @@
+// Lint corpus: suppression MUST fire three times in this file --
+// missing reason, unknown rule id, and a malformed marker.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class BadSuppressions {
+ public:
+  void NoReason() {
+    MutexLock lock(&mu_);
+    // liquid-lint: allow(snapshot-then-call)
+    SleepMs(1);
+  }
+
+  void UnknownRule() {
+    MutexLock lock(&mu_);
+    // liquid-lint: allow(sleep-is-fine): this rule id does not exist.
+    SleepMs(1);
+  }
+
+  void Malformed() {
+    MutexLock lock(&mu_);
+    // liquid-lint snapshot-then-call is suppressed here, promise.
+    SleepMs(1);
+  }
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace liquid

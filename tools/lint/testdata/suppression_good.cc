@@ -1,0 +1,19 @@
+// Lint corpus: must be fully CLEAN -- a well-formed suppression with a
+// written reason silences the finding on the next line.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class GoodSuppressions {
+ public:
+  void DeliberateSleepUnderLock() {
+    MutexLock lock(&mu_);
+    // liquid-lint: allow(snapshot-then-call): corpus twin of a deliberate backoff-under-lock.
+    SleepMs(1);
+  }
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace liquid
