@@ -18,7 +18,10 @@ Understands both JSON shapes the repo's benches emit:
 
 Exit status: 0 when no comparable metric regressed by more than the threshold
 (default 10%), 1 when at least one did, 2 on usage/parse errors. Benchmarks
-present on only one side are reported but never fail the gate (sweeps grow).
+or metrics present in the baseline but missing from the current report are
+warned about on stderr (coverage silently shrinking is how regressions hide);
+with --strict those warnings fail the gate too. Entries new in the current
+report are informational only (sweeps grow).
 """
 
 import argparse
@@ -81,6 +84,9 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=10.0,
                         help="regression threshold in percent (default 10)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail when a baseline benchmark or metric is "
+                             "missing from the current report")
     args = parser.parse_args()
 
     base = extract_metrics(load(args.baseline))
@@ -89,6 +95,7 @@ def main():
         sys.exit("bench_compare: no comparable benchmark entries found")
 
     regressions = []
+    missing = []
     rows = []
     for name in sorted(set(base) | set(curr)):
         if name not in base:
@@ -96,7 +103,11 @@ def main():
             continue
         if name not in curr:
             rows.append((name, "-", "(dropped from current)"))
+            missing.append(f"benchmark {name} missing from current report")
             continue
+        for metric in sorted(set(base[name]) - set(curr[name])):
+            missing.append(f"metric {name}:{metric} missing from current "
+                           f"report")
         for metric in sorted(set(base[name]) & set(curr[name])):
             old, higher_better = base[name][metric]
             new, _ = curr[name][metric]
@@ -115,6 +126,13 @@ def main():
     for name, delta, detail in rows:
         print(f"{name:<{width}}  {delta:>8}  {detail}")
 
+    for warning in missing:
+        print(f"bench_compare: warning: {warning}", file=sys.stderr)
+    if missing and args.strict:
+        print(f"\n--strict: {len(missing)} baseline entr"
+              f"{'y' if len(missing) == 1 else 'ies'} missing from the "
+              f"current report", file=sys.stderr)
+        return 1
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{args.threshold:.0f}%:", file=sys.stderr)

@@ -6,8 +6,11 @@
 #   2. clang-tidy over src/, tools/, bench/ and fuzz/ with the checks pinned
 #      in .clang-tidy (per-directory overrides relax printf-heavy tool code).
 #   3. liquid-lint: project-semantic rules (snapshot-then-call, lock order,
-#      GUARDED_BY coverage, metric naming, hot-path metric lookups,
-#      suppression hygiene) via tools/lint/liquid_lint.py. Runs everywhere:
+#      whole-program lock-graph vs. the declared hierarchy, hot-path
+#      allocation/blocking/atomic-ordering discipline, GUARDED_BY coverage,
+#      metric naming, hot-path metric lookups, suppression hygiene incl.
+#      stale suppressions) via tools/lint/liquid_lint.py. Emits the observed
+#      lock-order graph to build/lint/lock_graph.dot. Runs everywhere:
 #      libclang when available, a built-in structural parser otherwise.
 #   4. ThreadSanitizer build + the full ctest suite.
 #   5. AddressSanitizer build + the full ctest suite.
@@ -79,7 +82,8 @@ if command -v python3 >/dev/null 2>&1; then
   if [ -f build-tidy/compile_commands.json ]; then
     LINT_COMPDB="--compdb=build-tidy/compile_commands.json"
   fi
-  if python3 tools/lint/liquid_lint.py ${LINT_COMPDB} src tools bench; then
+  if python3 tools/lint/liquid_lint.py ${LINT_COMPDB} \
+       --dot build/lint/lock_graph.dot src tools bench; then
     echo "OK: liquid-lint clean"
   else
     fail "liquid-lint reported unsuppressed findings (suppress with '// liquid-lint: allow(<rule>): <reason>' only when the invariant genuinely holds)"

@@ -156,6 +156,7 @@ std::string Histogram::Summary() const {
 }
 
 MetricsRegistry* MetricsRegistry::Default() {
+  // liquid-lint: allow(hot-alloc): process-lifetime singleton; allocates exactly once, then every call is a plain pointer return.
   static MetricsRegistry* registry = new MetricsRegistry();
   return registry;
 }

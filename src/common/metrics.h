@@ -12,23 +12,29 @@
 
 namespace liquid {
 
-/// Monotonic counter (atomic; safe to share across threads).
+/// Monotonic counter (atomic; safe to share across threads). All accesses
+/// are relaxed: each counter is an independent statistic with no ordering
+/// contract against other memory — readers tolerate arbitrarily stale values.
 class Counter {
  public:
-  void Increment(int64_t delta = 1) { value_.fetch_add(delta); }
-  int64_t value() const { return value_.load(); }
-  void Reset() { value_.store(0); }
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<int64_t> value_{0};
 };
 
-/// Last-value gauge (atomic; safe to share across threads).
+/// Last-value gauge (atomic; safe to share across threads). Relaxed for the
+/// same reason as Counter: a gauge publishes an isolated scalar, not a
+/// happens-before edge.
 class Gauge {
  public:
-  void Set(int64_t v) { value_.store(v); }
-  int64_t value() const { return value_.load(); }
-  void Reset() { value_.store(0); }
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<int64_t> value_{0};

@@ -72,6 +72,20 @@
 #define NO_THREAD_SAFETY_ANALYSIS \
   LIQUID_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
 
+/// Marks a nearline hot-path root (DESIGN.md section 5a "hot-path
+/// discipline"): Broker::Produce/Fetch, Log::AppendBatch/ReadEncoded,
+/// Producer::Send, Consumer::Poll, Task::Process. liquid-lint propagates
+/// three rules transitively from these roots through everything they can
+/// call: hot-alloc (no allocation without a reasoned allow()), hot-block
+/// (no fsync/sleep/condvar wait), and atomic-order (every non-relaxed
+/// atomic needs an `// order: <why>` comment; bare seq_cst defaults are
+/// findings). Place the macro at the very start of the declaration.
+#if defined(__clang__)
+#define LIQUID_HOT_PATH __attribute__((annotate("liquid::hot_path")))
+#else
+#define LIQUID_HOT_PATH  // no-op outside Clang; liquid-lint reads the text
+#endif
+
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -219,6 +233,7 @@ class CondVar {
   /// Pre: the bound Mutex is held by the calling thread.
   void Wait() {
     std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    // liquid-lint: allow(hot-block): CondVar is the blocking primitive itself; hot-path callers must justify their waits at the call site.
     cv_.wait(lock);
     lock.release();
   }

@@ -9,6 +9,7 @@ TraceCollector::TraceCollector(size_t capacity)
     : capacity_(std::max<size_t>(capacity, 1)) {}
 
 TraceCollector* TraceCollector::Default() {
+  // liquid-lint: allow(hot-alloc): process-lifetime singleton; allocates exactly once.
   static TraceCollector* collector = new TraceCollector();
   return collector;
 }
@@ -39,6 +40,7 @@ void TraceCollector::Record(Span span) {
   MutexLock lock(&mu_);
   ++recorded_;
   if (ring_.size() < capacity_) {
+    // liquid-lint: allow(hot-alloc): the ring grows only until capacity_, then overwrites slots in place; steady state allocates nothing.
     ring_.push_back(std::move(span));
     return;
   }

@@ -85,9 +85,14 @@ class TraceCollector {
   /// trace for the record at hand.
   bool ShouldSample();
 
-  /// Fresh process-unique ids (monotonic; never 0).
-  uint64_t NewTraceId() { return next_trace_id_.fetch_add(1); }
-  uint64_t NewSpanId() { return next_span_id_.fetch_add(1); }
+  /// Fresh process-unique ids (monotonic; never 0). Uniqueness needs only
+  /// the atomic increment itself, so relaxed ordering suffices.
+  uint64_t NewTraceId() {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t NewSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Appends one hop to the ring (overwrites the oldest span when full).
   void Record(Span span) EXCLUDES(mu_);

@@ -29,6 +29,7 @@ class WeightedCounterTask : public processing::StreamTask {
     const int64_t count =
         (current.ok() ? std::strtoll(current->c_str(), nullptr, 10) : 0) +
         weight_;
+    // liquid-lint: allow(hot-alloc): the serialized store value is the task's output; KeyValueStore::Put requires owned bytes.
     return store_->Put(envelope.record.key, std::to_string(count));
   }
 

@@ -57,6 +57,8 @@ Broker::Broker(int id, Cluster* cluster, storage::Disk* disk, Clock* clock,
   quota_fetch_throttles_ = metrics_.GetCounter("quota.fetch_throttles");
   produce_duplicates_dropped_ =
       metrics_.GetCounter("produce.duplicates_dropped");
+  isr_shrinks_ = metrics_.GetCounter("isr.shrinks");
+  isr_expands_ = metrics_.GetCounter("isr.expands");
 }
 
 Broker::~Broker() = default;
@@ -248,6 +250,7 @@ void Broker::NoteEpochLocked(const TopicPartition& tp, Replica* replica,
       replica->epoch_cache.back().first >= epoch) {
     return;
   }
+  // liquid-lint: allow(hot-alloc): grows only on a leader-epoch bump (rare control-plane event), never per record.
   replica->epoch_cache.emplace_back(epoch, start_offset);
   StoreEpochCacheLocked(tp, replica);
 }
@@ -483,7 +486,7 @@ bool Broker::ShrinkIsrLocked(const TopicPartition& tp, Replica* replica,
   auto it = std::find(replica->isr.begin(), replica->isr.end(), follower);
   if (it == replica->isr.end()) return false;
   replica->isr.erase(it);
-  metrics_.GetCounter("isr.shrinks")->Increment();
+  isr_shrinks_->Increment();
   LIQUID_LOG_DEBUG << "broker " << id_ << " shrinks ISR of " << tp.ToString()
                    << " removing " << follower;
   AdvanceHighWatermarkLocked(tp, replica);
@@ -498,7 +501,7 @@ bool Broker::MaybeExpandIsrLocked(const TopicPartition& tp, Replica* replica,
   if (it->second < replica->log->end_offset()) return false;
   replica->isr.push_back(follower);
   std::sort(replica->isr.begin(), replica->isr.end());
-  metrics_.GetCounter("isr.expands")->Increment();
+  isr_expands_->Increment();
   LIQUID_LOG_DEBUG << "broker " << id_ << " expands ISR of " << tp.ToString()
                    << " adding " << follower;
   return true;
@@ -614,6 +617,7 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
     }
     epoch = replica->leader_epoch;
     leader_hw = replica->high_watermark;
+    push_targets.reserve(replica->isr.size());
     for (int member : replica->isr) {
       if (member != id_) push_targets.push_back(member);
     }
@@ -623,6 +627,7 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
   // executed inline) without holding any lock (avoids lock cycles). The
   // follower receives the leader's encoded bytes, not re-encoded Records.
   std::vector<int> failed;
+  failed.reserve(push_targets.size());
   for (int member : push_targets) {
     Broker* follower = cluster_->broker(member);
     Status st = follower == nullptr
@@ -756,6 +761,7 @@ Status Broker::AppendEncodedAsFollower(const TopicPartition& tp,
           if (!fresh.frames()[i].traced) continue;
           auto record = fresh.DecodeFrame(i);
           if (!record.ok()) continue;
+          // liquid-lint: allow(hot-alloc): span annotation built only for sampled traced frames with tracing enabled; the untraced common case skips this block.
           tracer->Record(Span{record->trace_id, tracer->NewSpanId(),
                               record->span_id, t0, now_us, "replicate",
                               tp.ToString() + " follower=" +
@@ -911,6 +917,7 @@ Result<FetchResponse> Broker::Fetch(const TopicPartition& tp, int64_t offset,
                                : resp.records.back().offset + 1;
       if (read_committed) {
         std::vector<storage::Record> visible;
+        visible.reserve(resp.records.size());
         for (auto& record : resp.records) {
           if (record.is_control) continue;
           bool aborted = false;

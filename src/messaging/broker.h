@@ -95,6 +95,7 @@ class Broker {
   /// a non-empty `client_id` is charged against its byte-rate quota and the
   /// response carries the throttle delay the caller must observe before its
   /// next request (§4.5 multi-tenancy) — the broker itself never sleeps.
+  LIQUID_HOT_PATH
   Result<ProduceResponse> Produce(const TopicPartition& tp,
                                   std::vector<storage::Record> records,
                                   AckMode acks,
@@ -111,6 +112,7 @@ class Broker {
   /// (records are clamped to the last-stable-offset, aborted data and
   /// control markers are filtered out) — the exactly-once extension the
   /// paper calls an "ongoing effort" (§4.3).
+  LIQUID_HOT_PATH
   Result<FetchResponse> Fetch(const TopicPartition& tp, int64_t offset,
                               size_t max_bytes, int replica_id = -1,
                               const std::string& client_id = "",
@@ -300,6 +302,10 @@ class Broker {
   Counter* quota_produce_throttles_ = nullptr;
   Counter* quota_fetch_throttles_ = nullptr;
   Counter* produce_duplicates_dropped_ = nullptr;
+  // ISR churn counters, cached so ShrinkIsrLocked (reachable from the produce
+  // hot path via acks=all failure handling) never takes the registry lock.
+  Counter* isr_shrinks_ = nullptr;
+  Counter* isr_expands_ = nullptr;
 
   /// Membership lock: guards which replicas exist plus broker liveness and
   /// controller/election state. Request paths hold it SHARED for the whole

@@ -78,6 +78,9 @@ Result<std::vector<ConsumerRecord>> Consumer::Poll(size_t max_records) {
   LIQUID_RETURN_NOT_OK(RefreshAssignmentLocked());
   std::vector<ConsumerRecord> out;
   if (assignment_.empty()) return out;
+  // Callers pass modest budgets, but cap the upfront reservation anyway so a
+  // huge max_records cannot turn into a huge speculative allocation.
+  out.reserve(std::min<size_t>(max_records, 1024));
 
   for (size_t visited = 0;
        visited < assignment_.size() && out.size() < max_records; ++visited) {
@@ -91,6 +94,7 @@ Result<std::vector<ConsumerRecord>> Consumer::Poll(size_t max_records) {
     // Same client-side quota contract as the producer: the broker never
     // sleeps; an over-quota consumer serves its own throttle verdict here.
     // liquid-lint: allow(snapshot-then-call): mu_ is the consumer's API lock and the poll is the throttle point; Close/Commit waiting out an in-flight poll is the documented contract.
+    // liquid-lint: allow(hot-block): client-side quota contract (section 4.5): the broker never sleeps; an over-quota consumer serves its own throttle verdict here.
     if (resp->throttle_ms > 0) cluster_->clock()->SleepMs(resp->throttle_ms);
     bool took_all = true;
     for (auto& record : resp->records) {

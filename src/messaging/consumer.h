@@ -59,6 +59,7 @@ class Consumer {
 
   /// Fetches up to ~max_records across assigned partitions (round-robin).
   /// Returns an empty vector when no new committed data exists.
+  LIQUID_HOT_PATH
   Result<std::vector<ConsumerRecord>> Poll(size_t max_records);
 
   /// Checkpoints current positions for all assigned partitions.

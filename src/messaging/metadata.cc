@@ -1,5 +1,6 @@
 #include "messaging/metadata.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
@@ -19,6 +20,8 @@ std::string JoinInts(const std::vector<int>& values) {
 Result<std::vector<int>> SplitInts(const std::string& text) {
   std::vector<int> out;
   if (text.empty()) return out;
+  out.reserve(static_cast<size_t>(
+                  std::count(text.begin(), text.end(), ',')) + 1);
   std::istringstream in(text);
   std::string item;
   while (std::getline(in, item, ',')) {

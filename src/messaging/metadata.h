@@ -25,6 +25,7 @@ struct TopicPartition {
     return partition < other.partition;
   }
 
+  // liquid-lint: allow(hot-alloc): formats a partition name on demand; hot paths reach this only on traced/error/log branches and callers that must own a string key.
   std::string ToString() const { return topic + "-" + std::to_string(partition); }
 };
 

@@ -85,6 +85,7 @@ Status OffsetManager::Recover() {
 std::string OffsetManager::CacheKey(const std::string& group,
                                     const TopicPartition& tp,
                                     const std::string& label) {
+  // liquid-lint: allow(hot-alloc): builds the cache key whose lookup lets Fetch skip a full coordinator-log scan -- the allocation pays for the scan it avoids.
   std::string key = group + "\x01" + tp.topic + "\x01" +
                     std::to_string(tp.partition);
   if (!label.empty()) key += "\x01" + label;

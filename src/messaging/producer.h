@@ -57,6 +57,7 @@ class Producer {
   Producer& operator=(const Producer&) = delete;
 
   /// Buffers one record for `topic`; flushes its partition batch when full.
+  LIQUID_HOT_PATH
   Status Send(const std::string& topic, storage::Record record);
 
   /// Sends all buffered batches.

@@ -74,7 +74,10 @@ class StreamTask {
     return Status::OK();
   }
 
-  /// Called for every input message.
+  /// Called for every input message. The per-record nearline hot path: job
+  /// throughput is bounded by this virtual call, so implementations inherit
+  /// the hot-path discipline rules (liquid-lint propagates from here).
+  LIQUID_HOT_PATH
   virtual Status Process(const messaging::ConsumerRecord& envelope,
                          MessageCollector* collector,
                          TaskCoordinator* coordinator) = 0;

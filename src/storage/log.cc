@@ -64,6 +64,7 @@ Status Log::RollLocked(int64_t base_offset) {
   auto segment =
       LogSegment::Open(disk_, cache_, name_prefix_, base_offset, seg_config);
   if (!segment.ok()) return segment.status();
+  // liquid-lint: allow(hot-alloc): segment roll runs once per segment_bytes of appends; amortized to ~zero per record.
   segments_.push_back(std::move(segment).value());
   return Status::OK();
 }
@@ -153,6 +154,7 @@ Result<EncodedBatch> Log::AppendBatch(std::vector<Record>* records) {
   // Phase 3: wait for our turn, so bytes land on disk in offset order.
   {
     MutexLock lock(&append_mu_);
+    // liquid-lint: allow(hot-block): bounded turn-ordering wait of the append pipeline: predecessors commit already-encoded bytes without doing I/O under this lock (see section 5a).
     append_cv_.Wait([this, base]() REQUIRES(append_mu_) {
       return committed_offset_ == base;
     });
@@ -253,6 +255,7 @@ Status Log::ReadEncoded(int64_t offset, size_t max_bytes,
     if (!frames.empty()) offset = frames.back().offset + 1;
     ++it;
   }
+  // liquid-lint: allow(hot-alloc): one shared immutable buffer per fetch is the encode-once zero-copy contract (DESIGN.md); move of the gathered bytes, not a copy.
   *out = EncodedBatch::FromParts(
       std::make_shared<const std::string>(std::move(bytes)), std::move(frames));
   return Status::OK();

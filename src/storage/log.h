@@ -77,6 +77,7 @@ class Log {
   /// Like Append, but also returns the records' one-time wire encoding as a
   /// shared immutable buffer (the encode-once hot path: the caller forwards
   /// the same bytes to followers and replica fetches without re-encoding).
+  LIQUID_HOT_PATH
   Result<EncodedBatch> AppendBatch(std::vector<Record>* records);
 
   /// Appends records that already carry offsets (replication path: followers
@@ -95,6 +96,7 @@ class Log {
 
   /// Like Read, but returns the raw encoded frames as a shared buffer without
   /// materializing Record structs (replica-fetch fast path).
+  LIQUID_HOT_PATH
   Status ReadEncoded(int64_t offset, size_t max_bytes, EncodedBatch* out) const;
 
   /// First offset with a timestamp >= ts_ms (metadata-based rewind, §3.1).

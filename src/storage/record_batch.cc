@@ -5,6 +5,7 @@
 namespace liquid::storage {
 
 EncodedBatch EncodedBatch::Encode(const std::vector<Record>& records) {
+  // liquid-lint: allow(hot-alloc): one shared buffer per batch is the encode-once design; reserved to the exact encoded size just below.
   auto buffer = std::make_shared<std::string>();
   size_t total = 0;
   for (const Record& record : records) total += record.EncodedSize();

@@ -32,7 +32,22 @@ TESTDATA = os.path.join(HERE, "testdata")
 CASES = {
     "snapshot-then-call": ("snapshot_then_call_bad.cc", 3,
                            "snapshot_then_call_good.cc", set()),
-    "lock-order": ("lock_order_bad.cc", 2, "lock_order_good.cc", set()),
+    # The whole-program lock-graph pass sees the double-replica-lock as a
+    # self-cycle on Replica::mu, so it legitimately co-fires here.
+    "lock-order": ("lock_order_bad.cc", 2, "lock_order_good.cc",
+                   {"lock-graph"}),
+    # Cycle with a transitive witness, an upward edge against
+    # testdata/lock_hierarchy.txt, and a leaf lock held across an acquisition.
+    "lock-graph": ("lock_graph_bad.cc", 3, "lock_graph_good.cc", set()),
+    # Direct and transitively-hot allocation sites under a LIQUID_HOT_PATH
+    # root: unreserved growth, new-expression, to_string, helper growth.
+    "hot-alloc": ("hot_alloc_bad.cc", 3, "hot_alloc_good.cc", set()),
+    # Sleep, condvar wait, and a transitively-reached fsync under a hot root.
+    "hot-block": ("hot_block_bad.cc", 3, "hot_block_good.cc", set()),
+    # Bare seq_cst default plus an unjustified non-relaxed ordering.
+    "atomic-order": ("atomic_order_bad.cc", 2, "atomic_order_good.cc", set()),
+    # A well-formed allow() that silences nothing is itself a finding.
+    "stale-allow": ("stale_allow_bad.cc", 1, "stale_allow_good.cc", set()),
     "guarded-by": ("guarded_by_bad.h", 2, "guarded_by_good.h", set()),
     "metric-name": ("metric_name_bad.cc", 2, "metric_name_good.cc", set()),
     "metric-hot-lookup": ("metric_hot_lookup_bad.cc", 3,

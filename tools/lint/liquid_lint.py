@@ -36,11 +36,44 @@ Clang TSA and clang-tidy cannot express:
                        appear inside hot-path methods
                        (Produce*/Fetch*/Append*/Process*/Send*/Poll*/RunOnce):
                        handles must be cached at construction.
+  lock-graph           Whole-program lock-order graph. The analyzer builds the
+                       project call graph, names every RAII lock acquisition
+                       (Broker::map_mu_, Broker::Replica::mu, Log::append_mu_,
+                       coord/registry/collector mutexes, ...), and adds an edge
+                       "A -> B" whenever A is held while B is acquired --
+                       including transitively, through project helpers (holding
+                       replica->mu while calling Log::AppendBatch contributes
+                       replica->mu -> Log::append_mu_). Cycles are findings
+                       (the full witness path is reported, file:line per hop),
+                       and every edge between locks named in the checked-in
+                       hierarchy (tools/lint/lock_hierarchy.txt, mirrored by
+                       the DESIGN.md section 5a table) must point downward.
+                       --dot writes the graph as a reviewable Graphviz file.
+  hot-alloc            Functions reachable from a LIQUID_HOT_PATH-annotated
+                       root (src/common/thread_annotations.h) may not allocate:
+                       no `new`, make_shared/make_unique, std::to_string,
+                       string concatenation, stringstreams, or push_back /
+                       emplace_back on a container the function never
+                       reserve()s. Statements that build an error Status or a
+                       log line are treated as cold and exempt.
+  hot-block            Hot-path code may not block: no fsync/Sync/Flush-to-
+                       disk, no sleep, and no CondVar::Wait reachable from a
+                       hot root without a reasoned allow().
+  atomic-order         Atomic operations in hot-path code must state their
+                       memory-order contract: relaxed operations pass, any
+                       stronger explicit order needs an `// order: <why>`
+                       comment on the same or previous line, and a bare
+                       default (seq_cst) operation is always a finding.
+  stale-allow          A `// liquid-lint: allow(...)` that silences nothing is
+                       itself a finding: stale suppressions hide rot and make
+                       every real one less trustworthy.
   suppression          `// liquid-lint: allow(<rule>): <reason>` silences a
-                       finding on the same or next line. The reason is
-                       mandatory, the rule id must exist, and the marker must
-                       be well-formed; violations of the syntax are findings
-                       themselves and cannot be self-suppressed.
+                       finding on the same or next line (a block of
+                       consecutive allow() comment lines covers the statement
+                       that follows the block). The reason is mandatory, the
+                       rule id must exist, and the marker must be well-formed;
+                       violations of the syntax are findings themselves and
+                       cannot be self-suppressed.
 
 Front-ends: the analyzer prefers the libclang Python bindings (a real AST,
 driven by compile_commands.json) and falls back to a built-in structural
@@ -50,6 +83,7 @@ rule core runs, so the gate never silently goes dark.
 
 Usage:
   tools/lint/liquid_lint.py [--root DIR] [--compdb PATH] [--engine auto|clang|textual]
+                            [--dot PATH] [--hierarchy PATH]
                             [paths...]        # default: src tools bench
 Exit status: 0 clean, 1 unsuppressed findings, 2 usage/internal error.
 """
@@ -63,9 +97,14 @@ import sys
 RULES = {
     "snapshot-then-call": "blocking call while a liquid lock is held",
     "lock-order": "section 5a lock-hierarchy violation",
+    "lock-graph": "global lock-order graph cycle or declared-hierarchy violation",
     "guarded-by": "mutable member of a lock-owning class lacks GUARDED_BY",
     "metric-name": "global metric name must match liquid.<component>.<instance>.*",
     "metric-hot-lookup": "metrics registry lookup on a hot path",
+    "hot-alloc": "allocation in LIQUID_HOT_PATH-reachable code",
+    "hot-block": "blocking call in LIQUID_HOT_PATH-reachable code",
+    "atomic-order": "hot-path atomic without a stated memory-order contract",
+    "stale-allow": "allow() suppression that silences no finding",
     "suppression": "malformed liquid-lint suppression",
 }
 
@@ -84,8 +123,12 @@ ANNOTATION_MACROS = (
     "GUARDED_BY", "PT_GUARDED_BY", "REQUIRES", "REQUIRES_SHARED", "EXCLUDES",
     "ACQUIRE", "ACQUIRE_SHARED", "RELEASE", "RELEASE_SHARED", "TRY_ACQUIRE",
     "CAPABILITY", "SCOPED_CAPABILITY", "ASSERT_CAPABILITY", "RETURN_CAPABILITY",
-    "NO_THREAD_SAFETY_ANALYSIS", "LIQUID_NODISCARD",
+    "NO_THREAD_SAFETY_ANALYSIS", "LIQUID_NODISCARD", "LIQUID_HOT_PATH",
 )
+
+# Marker macro (src/common/thread_annotations.h) naming the hot-path roots
+# the hot-alloc / hot-block / atomic-order rules propagate from.
+HOT_PATH_MARKER = "LIQUID_HOT_PATH"
 
 # Hot-path methods for metric-hot-lookup: construction-cached handles only.
 HOT_PATH_RE = re.compile(r"^(Produce|Fetch|Append|Process|Send|Poll)\w*$|^RunOnce$")
@@ -273,6 +316,24 @@ def scan_suppressions(path, raw_lines):
             continue
         sups.append(Suppression(path, i, rule, reason))
     return sups, findings
+
+
+def suppression_cover_lines(suppressions):
+    """Lines each suppression silences: its own line, the next line, and --
+    when several allow() comment lines stack -- the first line after the whole
+    block, so one statement can carry one allow() per rule it trips."""
+    lines_by_path = {}
+    for s in suppressions:
+        lines_by_path.setdefault(s.path, set()).add(s.line)
+    cover = {}  # Suppression -> set of lines
+    for s in suppressions:
+        lines = {s.line, s.line + 1}
+        nxt = s.line + 1
+        while nxt in lines_by_path.get(s.path, ()):  # skip the rest of a block
+            nxt += 1
+            lines.add(nxt)
+        cover[s] = lines
+    return cover
 
 
 # ---------------------------------------------------------------------------
@@ -626,6 +687,9 @@ class TextualFrontend:
             if re.search(r"->\s*broker\s*\(", init) or \
                     re.match(r"^\s*broker\s*\(", init):
                 func.local_types[var] = "Broker"
+            if re.search(r"\bLeaderFor\s*\(", init):
+                # Result<Broker*>: the deref-receiver idiom (*leader)->Fetch().
+                func.local_types[var] = "Broker"
             if re.search(r"MetricsRegistry\s*::\s*Default\s*\(\)", init):
                 func.local_types[var] = "@global-registry"
             sm = re.match(r'^\s*"', self._raw_init(literal, line, head, init))
@@ -633,6 +697,14 @@ class TextualFrontend:
                 lit = self._leading_literal(literal, line, var)
                 if lit is not None:
                     func.local_types.setdefault(f"@literal:{var}", lit)
+
+        # LIQUID_ASSIGN_OR_RETURN(Type* var, init) declares a typed local the
+        # receiver-resolution and lock-identity passes need (e.g. `Replica *
+        # replica` in every broker request path).
+        am = re.match(r"^LIQUID_ASSIGN_OR_RETURN\s*\(\s*([\w:]+(?:<[^,>]*>)?)"
+                      r"\s*[*&]?\s*\*?\s*(\w+)\s*,", head)
+        if am and am.group(1) != "auto":
+            func.local_types[am.group(2)] = am.group(1)
 
         # RAII lock acquisitions.
         lm = LOCK_DECL_RE.search(head)
@@ -867,14 +939,49 @@ class ProjectIndex:
     def __init__(self, models, header_models):
         self.classes = {}            # class name -> ClassInfo (last wins)
         self.requires = {}           # "Class::Method" -> requires-expr text
+        self.hot_markers = set()     # bare function names tagged LIQUID_HOT_PATH
         for model in list(header_models) + list(models):
             for cls in model.classes:
                 self.classes[cls.name] = cls
                 self.classes[cls.qual_name] = cls
         for model in header_models:
             self._collect_requires(model)
+        for model in list(header_models) + list(models):
+            self._collect_hot_markers(model)
         self.internally_sync = self._derive_internally_sync()
         self.blocking_functions = {}  # "Class::Method"/name -> (category, line)
+        # member name -> {owning class qual} for mutex-typed members (lock
+        # identity) and for all members (receiver-type fallback: a receiver
+        # name that is a member of exactly one known class resolves to that
+        # member's type, which lets `replica->log->AppendBatch()` chase into
+        # storage::Log).
+        self.lock_owners = {}
+        self.member_types_unique = {}
+        seen_members = {}
+        seen_classes = set()
+        for cls in self.classes.values():
+            if id(cls) in seen_classes:
+                continue
+            seen_classes.add(id(cls))
+            for m in cls.members:
+                seen_members.setdefault(m.name, []).append((cls, m))
+                base = strip_wrappers(m.type_text)
+                if base.split("::")[-1] in MUTEX_TYPES and \
+                        "*" not in m.type_text and "&" not in m.type_text:
+                    self.lock_owners.setdefault(m.name, set()).add(
+                        cls.qual_name)
+        for name, entries in seen_members.items():
+            types = {strip_wrappers(m.type_text) for _cls, m in entries}
+            if len(entries) == 1 or len(types) == 1:
+                self.member_types_unique[name] = entries[0][1].type_text
+
+    def class_lookup(self, name):
+        """ClassInfo for a (possibly namespace-qualified) type name."""
+        if not name:
+            return None
+        if name in self.classes:
+            return self.classes[name]
+        return self.classes.get(name.split("::")[-1])
 
     def _collect_requires(self, model):
         # REQUIRES annotations live on declarations in headers; map method
@@ -884,6 +991,23 @@ class ProjectIndex:
                           raw)
             if m:
                 self.requires[m.group(1)] = m.group(2).strip()
+
+    def _collect_hot_markers(self, model):
+        """LIQUID_HOT_PATH leads a declaration; the root's name is the first
+        identifier followed by '(' after the marker (the return type never
+        contains one). Collected from comment-blanked raw text, skipping
+        preprocessor lines, so both front-ends agree and the macro's own
+        #define does not register."""
+        blanked = blank_comments_and_strings(
+            "\n".join(model.raw_lines)).splitlines()
+        for i, line in enumerate(blanked):
+            if line.lstrip().startswith("#"):
+                continue
+            for m in re.finditer(HOT_PATH_MARKER + r"\b", line):
+                tail = " ".join([line[m.end():]] + blanked[i + 1:i + 3])
+                nm = re.search(r"([A-Za-z_]\w*)\s*\(", tail)
+                if nm and nm.group(1) != HOT_PATH_MARKER:
+                    self.hot_markers.add(nm.group(1))
 
     def _derive_internally_sync(self):
         sync = set(INTERNALLY_SYNC_ALLOWLIST)
@@ -1184,6 +1308,488 @@ def models_root(model):
 
 
 # ---------------------------------------------------------------------------
+# Whole-program analyses: call graph, global lock-order graph, hot paths.
+# ---------------------------------------------------------------------------
+
+# `(*leader)->Fetch(...)`: the Result<Broker*> deref-receiver idiom CALL_RE
+# cannot see. Used only by the call-graph passes so the older per-scope rules
+# keep their pinned behavior.
+DEREF_CALL_RE = re.compile(
+    r"\(\s*\*\s*(\w+)\s*\)\s*(?:->|\.)\s*([A-Za-z_]\w*)\s*\(")
+
+
+def resolve_receiver_type_ext(func, index, receiver):
+    """resolve_receiver_type plus `this` and the unique-member fallback: a
+    receiver that is a data member of exactly one known class (`log`,
+    `replica`, `tracer_`) resolves to that member's type, which lets the call
+    graph chase `replica->log->AppendBatch()` into storage::Log."""
+    receiver = receiver.strip()
+    if receiver == "this" and "::" in func.qual_name:
+        return func.qual_name.rsplit("::", 1)[0]
+    rtype = resolve_receiver_type(func, index, receiver)
+    if rtype:
+        return rtype
+    t = index.member_types_unique.get(receiver)
+    if t:
+        return strip_wrappers(t)
+    return None
+
+
+class CallGraph:
+    """qual name -> FunctionInfo and resolved call sites (line, target qual,
+    RAII locks active at the site). Shared by the lock-graph and hot-path
+    passes so both see the same reachability."""
+
+    def __init__(self, models, index):
+        self.index = index
+        self.funcs = {}
+        for model in models:
+            for func in model.functions:
+                prev = self.funcs.get(func.qual_name)
+                if prev is None or len(func.statements) > len(prev.statements):
+                    self.funcs[func.qual_name] = func
+        self.calls = {}
+        for qual, func in self.funcs.items():
+            self.calls[qual] = self._extract_calls(func)
+
+    def _extract_calls(self, func):
+        out = []
+        seen = set()
+
+        def add(line, target, locks):
+            if target and target != func.qual_name:
+                key = (line, target, tuple(id(l) for l in locks))
+                if key not in seen:
+                    seen.add(key)
+                    out.append((line, target, locks))
+
+        for line, stmt, locks, _d in func.statements:
+            for m in CALL_RE.finditer(stmt):
+                rm, callee = m.group(1), m.group(2)
+                if callee in LOCK_TYPES or callee == HOT_PATH_MARKER:
+                    continue
+                if rm:
+                    add(line, self._resolve_member(func, rm, callee), locks)
+                    continue
+                before = stmt[:m.start(2)].rstrip()
+                if before.endswith(("->", ".")):
+                    # Member call on a receiver CALL_RE cannot name (chained
+                    # call result, deref expression): never guess.
+                    continue
+                if before.endswith("::"):
+                    # Qualified call: resolve Class::Fn exactly; std::min and
+                    # friends must not collide with same-class accessors.
+                    qm = re.search(r"([A-Za-z_]\w*)\s*::\s*$", before)
+                    owner = qm.group(1) if qm else None
+                    if owner and f"{owner}::{callee}" in self.funcs:
+                        add(line, f"{owner}::{callee}", locks)
+                    continue
+                add(line, self._resolve_plain(func, callee), locks)
+            for rm, callee in DEREF_CALL_RE.findall(stmt):
+                add(line, self._resolve_member(func, rm, callee), locks)
+        return out
+
+    def _resolve_member(self, func, rm, callee):
+        rtype = resolve_receiver_type_ext(func, self.index, rm)
+        if not rtype:
+            return None
+        names = [rtype, rtype.split("::")[-1]]
+        cls = self.index.class_lookup(rtype)
+        if cls:
+            names = [cls.qual_name, cls.name] + names
+        for n in names:
+            q = f"{n}::{callee}"
+            if q in self.funcs:
+                return q
+        return None
+
+    def _resolve_plain(self, func, callee):
+        if "::" in func.qual_name:
+            q = func.qual_name.rsplit("::", 1)[0] + "::" + callee
+            if q in self.funcs:
+                return q
+        if callee in self.funcs and callee not in GENERIC_CALLEES:
+            return callee
+        return None
+
+
+def lock_identity(func, index, expr):
+    """Canonical `Class::member` id for a lock expression, or None when the
+    guard cannot be named (caller-held markers, locals the index cannot type).
+    `&map_mu_` -> Broker::map_mu_, `&replica->mu` -> Broker::Replica::mu."""
+    e = re.sub(r"\s+", "", expr or "").lstrip("&")
+    if not e or "<caller-held>" in e:
+        return None
+    e = e.replace("(*", "").replace(")", "").lstrip("*")
+    parts = [p for p in re.split(r"->|\.", e) if p]
+    if not parts:
+        return None
+    member = parts[-1]
+    if len(parts) == 1:
+        # Bare member: the enclosing class owns it, else a unique owner does.
+        cls_name = func.qual_name.rsplit("::", 1)[0] \
+            if "::" in func.qual_name else None
+        cls = index.class_lookup(cls_name) if cls_name else None
+        if cls is not None and member in cls.member_types:
+            return f"{cls.qual_name}::{member}"
+    else:
+        rtype = resolve_receiver_type_ext(func, index, parts[0])
+        cls = index.class_lookup(rtype) if rtype else None
+        if cls is not None and member in cls.member_types:
+            return f"{cls.qual_name}::{member}"
+    owners = index.lock_owners.get(member)
+    if owners and len(owners) == 1:
+        return f"{next(iter(owners))}::{member}"
+    return None
+
+
+def build_lock_graph(cg, index, suppress):
+    """The global lock-order graph. Edge A -> B: some execution path holds A
+    while acquiring B -- directly (nested RAII scopes, REQUIRES entry locks)
+    or transitively (holding A while calling a function whose summary says it
+    acquires B). Returns {(src, dst): (path, line, witness-lines)}; `suppress`
+    is the allow(lock-graph) site predicate -- a suppressed acquisition or
+    call site contributes no edges (that is how one cuts a reviewed edge,
+    e.g. Histogram::Merge's address-ordered two-instance lock)."""
+    edges = {}
+
+    def add_edge(src, dst, path, line, witness):
+        edges.setdefault((src, dst), (path, line, witness))
+
+    entry_ids = {}
+    summary = {}   # qual -> {lock id: witness-lines}
+    for qual, func in cg.funcs.items():
+        eids = []
+        for l in implied_locks(func, index):
+            lid = lock_identity(func, index, l.expr)
+            if lid:
+                eids.append(lid)
+        entry_ids[qual] = eids
+        summary[qual] = {}
+        for scope, active in func.lock_acquisitions:
+            lid = lock_identity(func, index, scope.expr)
+            if lid is None or suppress(func.path, scope.line):
+                continue
+            held = list(eids)
+            for a in active:
+                aid = lock_identity(func, index, a.expr)
+                if aid:
+                    held.append(aid)
+            for h in held:
+                add_edge(h, lid, func.path, scope.line, [
+                    f"{func.qual_name} holds {h} and acquires {lid} "
+                    f"({func.path}:{scope.line})"])
+            summary[qual].setdefault(lid, [
+                f"{qual} acquires {lid} ({func.path}:{scope.line})"])
+
+    # Fixpoint: a function's summary also contains everything its callees
+    # acquire (entry-held REQUIRES locks are never in a callee's summary --
+    # the caller owns those, so no false self-edges).
+    for _round in range(len(cg.funcs) + 1):
+        changed = False
+        for qual, func in cg.funcs.items():
+            mine = summary[qual]
+            for line, target, _locks in cg.calls.get(qual, ()):
+                for lid, wit in summary.get(target, {}).items():
+                    if lid not in mine:
+                        mine[lid] = [
+                            f"{qual} calls {target} "
+                            f"({func.path}:{line})"] + wit
+                        changed = True
+        if not changed:
+            break
+
+    # Transitive edges: locks held at a call site -> everything the callee's
+    # summary acquires.
+    for qual, func in cg.funcs.items():
+        for line, target, locks in cg.calls.get(qual, ()):
+            if suppress(func.path, line):
+                continue
+            held = list(entry_ids[qual])
+            for l in locks:
+                lid = lock_identity(func, index, l.expr)
+                if lid:
+                    held.append(lid)
+            if not held:
+                continue
+            for lid, wit in summary.get(target, {}).items():
+                for h in held:
+                    add_edge(h, lid, func.path, line, [
+                        f"{qual} holds {h} calling {target} "
+                        f"({func.path}:{line})"] + wit)
+    return edges
+
+
+def find_lock_cycles(edges):
+    """Unique cycles in the edge set, each as a node list [a, b, ..., a]."""
+    adj = {}
+    nodes = set()
+    for (s, d) in edges:
+        adj.setdefault(s, []).append(d)
+        nodes.update((s, d))
+    color, stack, cycles, seen = {}, [], [], set()
+
+    def dfs(u):
+        color[u] = 1
+        stack.append(u)
+        for v in sorted(adj.get(u, ())):
+            if color.get(v, 0) == 0:
+                dfs(v)
+            elif color.get(v) == 1:
+                cyc = stack[stack.index(v):] + [v]
+                key = frozenset(cyc)
+                if key not in seen:
+                    seen.add(key)
+                    cycles.append(cyc)
+        stack.pop()
+        color[u] = 2
+
+    for n in sorted(nodes):
+        if color.get(n, 0) == 0:
+            dfs(n)
+    return cycles
+
+
+def parse_hierarchy_text(lines):
+    """Machine-readable hierarchy: one level per line, outermost first; locks
+    sharing a line are unordered peers (an edge between them is a finding);
+    `leaf: A B` names innermost locks that may never be held while acquiring
+    any other named lock. '#' starts a comment."""
+    ranks, leaves = {}, set()
+    rank = 0
+    for line in lines:
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("leaf:"):
+            leaves.update(line[len("leaf:"):].split())
+            continue
+        for tok in line.split():
+            ranks[tok] = rank
+        rank += 1
+    return ranks, leaves
+
+
+def design_hierarchy_block(design_path):
+    """The ```lock-hierarchy fenced block in DESIGN.md, or None."""
+    try:
+        with open(design_path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError:
+        return None
+    m = re.search(r"```lock-hierarchy\n(.*?)```", text, re.S)
+    return m.group(1).splitlines() if m else None
+
+
+def check_lock_graph(edges, root, hierarchy_arg, emit):
+    for cyc in find_lock_cycles(edges):
+        hops = []
+        for a, b in zip(cyc, cyc[1:]):
+            path, line, wit = edges[(a, b)]
+            hops.append(f"{a} -> {b} [{path}:{line}]")
+        path0, line0, wit0 = edges[(cyc[0], cyc[1])]
+        witness = "; ".join(
+            w for a, b in zip(cyc, cyc[1:]) for w in edges[(a, b)][2])
+        emit(Finding(
+            path0, line0, "lock-graph",
+            f"lock-order cycle: {' ; '.join(hops)} -- witness: {witness}"))
+
+    candidates = [hierarchy_arg] if hierarchy_arg else [
+        os.path.join(root, "tools", "lint", "lock_hierarchy.txt"),
+        os.path.join(root, "lock_hierarchy.txt")]
+    hier_path = next((c for c in candidates if c and os.path.isfile(c)), None)
+    if hier_path is None:
+        return
+    with open(hier_path, encoding="utf-8", errors="replace") as f:
+        ranks, leaves = parse_hierarchy_text(f.read().splitlines())
+    rel_hier = os.path.relpath(hier_path, root)
+
+    if not hierarchy_arg:
+        block = design_hierarchy_block(os.path.join(root, "DESIGN.md"))
+        if block is not None and parse_hierarchy_text(block) != (ranks, leaves):
+            emit(Finding(
+                rel_hier, 1, "lock-graph",
+                "checked-in hierarchy disagrees with the ```lock-hierarchy "
+                "block in DESIGN.md section 5a; keep them identical"))
+
+    for (s, d), (path, line, wit) in sorted(edges.items()):
+        if s == d:
+            continue  # self-edges are reported as cycles above
+        if s in leaves and (d in ranks or d in leaves):
+            emit(Finding(
+                path, line, "lock-graph",
+                f"leaf lock {s} held while acquiring {d} ({rel_hier} declares "
+                f"{s} innermost) -- witness: {'; '.join(wit)}"))
+        elif s in ranks and d in ranks:
+            if ranks[s] > ranks[d]:
+                emit(Finding(
+                    path, line, "lock-graph",
+                    f"edge {s} -> {d} points upward against the declared "
+                    f"hierarchy ({rel_hier}) -- witness: {'; '.join(wit)}"))
+            elif ranks[s] == ranks[d]:
+                emit(Finding(
+                    path, line, "lock-graph",
+                    f"edge {s} -> {d} connects unordered peers (same level in "
+                    f"{rel_hier}) -- witness: {'; '.join(wit)}"))
+
+
+def write_dot(dot_path, edges, root, hierarchy_arg):
+    """build/lint/lock_graph.dot: the reviewable artifact. Leaf locks from the
+    declared hierarchy render dashed so reviewers see the frontier."""
+    leaves = set()
+    candidates = [hierarchy_arg] if hierarchy_arg else [
+        os.path.join(root, "tools", "lint", "lock_hierarchy.txt"),
+        os.path.join(root, "lock_hierarchy.txt")]
+    hier_path = next((c for c in candidates if c and os.path.isfile(c)), None)
+    if hier_path:
+        with open(hier_path, encoding="utf-8", errors="replace") as f:
+            _ranks, leaves = parse_hierarchy_text(f.read().splitlines())
+    d = os.path.dirname(dot_path)
+    if d:
+        os.makedirs(d, exist_ok=True)
+    nodes = sorted({n for e in edges for n in e})
+    with open(dot_path, "w", encoding="utf-8") as f:
+        f.write("// Generated by tools/lint/liquid_lint.py --dot.\n")
+        f.write("// Edge A -> B: some path holds A while acquiring B.\n")
+        f.write("digraph liquid_locks {\n")
+        f.write("  rankdir=TB;\n  node [shape=box fontname=\"monospace\"];\n")
+        for n in nodes:
+            style = " style=dashed" if n in leaves else ""
+            f.write(f'  "{n}" [label="{n}"{style}];\n')
+        for (s, dst), (path, line, _wit) in sorted(edges.items()):
+            f.write(f'  "{s}" -> "{dst}" [label="{path}:{line}"];\n')
+        f.write("}\n")
+
+
+def compute_hot_functions(cg):
+    """qual -> call chain from a LIQUID_HOT_PATH root (hotness is transitive:
+    everything a hot function can call is hot)."""
+    hot = {}
+    work = []
+    for qual in sorted(cg.funcs):
+        if qual.split("::")[-1] in cg.index.hot_markers:
+            hot[qual] = [qual]
+            work.append(qual)
+    while work:
+        q = work.pop()
+        for _line, target, _locks in cg.calls.get(q, ()):
+            if target not in hot:
+                hot[target] = hot[q] + [target]
+                work.append(target)
+    return hot
+
+
+# Allocation shapes hot-alloc rejects. push_back/emplace_back/append are
+# handled separately (reserve-aware).
+HOT_ALLOC_PATTERNS = [
+    ("new-expression", re.compile(r"\bnew\s+[A-Za-z_(]")),
+    ("make_shared/make_unique", re.compile(r"\bmake_(?:shared|unique)\s*<")),
+    ("std::to_string", re.compile(r"\bto_string\s*\(")),
+    ("stringstream", re.compile(r"\bo?stringstream\b")),
+    ("std::string temporary", re.compile(r"\bstd\s*::\s*string\s*\(")),
+]
+GROWTH_CALL_RE = re.compile(
+    r"(?:\b(\w+)\s*(?:->|\.)\s*)(push_back|emplace_back|append)\s*\(")
+RESERVE_RE = re.compile(r"\b(\w+)\s*(?:->|\.)\s*(?:reserve|resize)\s*\(")
+# Error construction and logging are cold by definition: the hot path only
+# pays for them when it is already failing.
+COLD_STMT_RE = re.compile(
+    r"\bStatus\s*::\s*\w+\s*\(|\bLIQUID_LOG\b|\bLIQUID_CHECK\b|\bassert\s*\(")
+
+HOT_BLOCK_PATTERNS = [(c, p) for c, p in BLOCKING_PATTERNS
+                      if c in ("sleep", "fsync")] + [
+    ("condvar-wait", re.compile(
+        r"(?:->|\.)\s*(?:Wait|WaitFor\w*|wait|wait_for|wait_until)\s*\(")),
+]
+
+ATOMIC_OP_RE = re.compile(
+    r"(?:->|\.)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|"
+    r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)"
+    r"\s*\(")
+MEMORY_ORDER_RE = re.compile(r"\bmemory_order(?:\s*::\s*|_)(\w+)")
+ORDER_COMMENT_RE = re.compile(r"//.*\border:\s*\S")
+
+
+def _has_order_comment(raw_lines, line):
+    for ln in (line, line - 1):
+        if 1 <= ln <= len(raw_lines) and ORDER_COMMENT_RE.search(
+                raw_lines[ln - 1]):
+            return True
+    return False
+
+
+def check_hot_paths(models, cg, hot, emit):
+    for model in models:
+        for func in model.functions:
+            chain = hot.get(func.qual_name)
+            if not chain or cg.funcs.get(func.qual_name) is not func:
+                continue
+            via = " -> ".join(chain) if len(chain) > 1 else chain[0]
+            reserved = set()
+            for _line, stmt, _locks, _d in func.statements:
+                reserved.update(RESERVE_RE.findall(stmt))
+            for line, stmt, _locks, _d in func.statements:
+                cold = bool(COLD_STMT_RE.search(stmt))
+                if not cold:
+                    for what, pat in HOT_ALLOC_PATTERNS:
+                        if pat.search(stmt):
+                            emit(Finding(
+                                model.path, line, "hot-alloc",
+                                f"{what} on the hot path ({via}); "
+                                f"preallocate, reuse, or allow() with the "
+                                f"amortization argument"))
+                    for recv, call in GROWTH_CALL_RE.findall(stmt):
+                        if recv not in reserved:
+                            emit(Finding(
+                                model.path, line, "hot-alloc",
+                                f"`{recv}.{call}()` may reallocate on the hot "
+                                f"path ({via}) and `{recv}` is never "
+                                f"reserve()d in this function"))
+                for what, pat in HOT_BLOCK_PATTERNS:
+                    if pat.search(stmt):
+                        emit(Finding(
+                            model.path, line, "hot-block",
+                            f"{what} call on the hot path ({via}); hot paths "
+                            f"must stay non-blocking (DESIGN.md section 5a)"))
+                am = ATOMIC_OP_RE.search(stmt)
+                if am:
+                    orders = MEMORY_ORDER_RE.findall(stmt)
+                    if not orders:
+                        emit(Finding(
+                            model.path, line, "atomic-order",
+                            f"`{am.group(1)}` with the bare seq_cst default "
+                            f"on the hot path ({via}); state the contract "
+                            f"explicitly (memory_order_relaxed if no "
+                            f"ordering is needed)"))
+                    elif any(o != "relaxed" for o in orders) and \
+                            not _has_order_comment(model.raw_lines, line):
+                        emit(Finding(
+                            model.path, line, "atomic-order",
+                            f"non-relaxed `{am.group(1)}` on the hot path "
+                            f"({via}) without an `// order: <why>` comment "
+                            f"justifying the ordering"))
+
+
+def make_rule_suppressor(cover, rule):
+    """Site predicate for pass-internal suppression (edge cutting): covered
+    sites are silenced and the allow() is marked used."""
+    sites = {}
+    for s, lines in cover.items():
+        if s.rule == rule:
+            for ln in lines:
+                sites.setdefault((s.path, ln), []).append(s)
+
+    def suppress(path, line):
+        hits = sites.get((path, line))
+        if not hits:
+            return False
+        for s in hits:
+            s.used = True
+        return True
+    return suppress
+
+
+# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
 
@@ -1216,6 +1822,12 @@ def main(argv=None):
                              "(used by the libclang engine)")
     parser.add_argument("--engine", choices=("auto", "clang", "textual"),
                         default="auto")
+    parser.add_argument("--dot", default=None, metavar="PATH",
+                        help="write the global lock-order graph as Graphviz "
+                             "(e.g. build/lint/lock_graph.dot)")
+    parser.add_argument("--hierarchy", default=None, metavar="PATH",
+                        help="declared lock hierarchy file (default: "
+                             "tools/lint/lock_hierarchy.txt under --root)")
     parser.add_argument("--list-rules", action="store_true")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
@@ -1274,8 +1886,9 @@ def main(argv=None):
     for model in models:
         suppressions.extend(model.suppressions)
         findings.extend(model.suppression_findings)
-    suppressed_at = {(s.path, s.line) for s in suppressions}
-    suppressed_at |= {(s.path, s.line + 1) for s in suppressions}
+    cover = suppression_cover_lines(suppressions)
+    suppressed_at = {(s.path, ln) for s, lines in cover.items()
+                     for ln in lines}
 
     blocking = compute_blocking_functions(models, index, suppressed_at)
 
@@ -1286,13 +1899,33 @@ def main(argv=None):
     check_guarded_by(models, index, emit)
     check_metrics(models, index, emit)
 
-    # Apply suppressions: a finding is silenced by a matching-rule allow() on
-    # its own line or the line directly above.
-    by_site = {}
-    for s in suppressions:
-        by_site.setdefault((s.path, s.line), []).append(s)
-        by_site.setdefault((s.path, s.line + 1), []).append(s)
+    # Whole-program passes: both run over the same call graph.
+    cg = CallGraph(models, index)
+    edges = build_lock_graph(cg, index,
+                             make_rule_suppressor(cover, "lock-graph"))
+    check_lock_graph(edges, root, args.hierarchy, emit)
+    if args.dot:
+        write_dot(args.dot, edges, root, args.hierarchy)
+    hot = compute_hot_functions(cg)
+    check_hot_paths(models, cg, hot, emit)
+
+    # The clang engine records nested statements at several depths; dedupe so
+    # one source construct yields one finding.
+    uniq, raw_unique = set(), []
     for f in raw:
+        key = (f.path, f.line, f.rule, f.message)
+        if key not in uniq:
+            uniq.add(key)
+            raw_unique.append(f)
+
+    # Apply suppressions: a finding is silenced by a matching-rule allow()
+    # covering its line (same line, line above, or a stacked allow() block
+    # directly above the statement).
+    by_site = {}
+    for s, lines in cover.items():
+        for ln in lines:
+            by_site.setdefault((s.path, ln), []).append(s)
+    for f in raw_unique:
         matched = False
         for s in by_site.get((f.path, f.line), []):
             if s.rule == f.rule:
@@ -1301,14 +1934,29 @@ def main(argv=None):
         if not matched:
             findings.append(f)
 
+    # stale-allow: an allow() that silenced nothing is itself a finding.
+    # allow(stale-allow) markers are exempt -- they exist to keep a
+    # suppression that only one engine needs, and auditing them here would
+    # cascade.
+    stale = []
+    for s in suppressions:
+        if not s.used and s.rule != "stale-allow":
+            stale.append(Finding(
+                s.path, s.line, "stale-allow",
+                f"allow({s.rule}) silences no {s.rule} finding; delete the "
+                f"suppression (or fix the marker placement)"))
+    for f in stale:
+        matched = False
+        for s in by_site.get((f.path, f.line), []):
+            if s.rule == "stale-allow":
+                s.used = True
+                matched = True
+        if not matched:
+            findings.append(f)
+
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     for f in findings:
         print(f)
-    if args.verbose:
-        for s in suppressions:
-            if not s.used:
-                print(f"note: {s.path}:{s.line}: allow({s.rule}) matched no "
-                      f"finding (stale suppression?)", file=sys.stderr)
     n_sup = sum(1 for s in suppressions if s.used)
     print(f"liquid-lint[{engine_name}]: {len(files)} files, "
           f"{len(findings)} finding(s), {n_sup} suppressed", file=sys.stderr)

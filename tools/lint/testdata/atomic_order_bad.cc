@@ -1,0 +1,21 @@
+// Lint corpus: atomic-order MUST fire. Produce() is a hot-path root, so an
+// atomic op with the bare seq_cst default is a finding, and an explicit
+// non-relaxed ordering without an `// order: <why>` comment is too.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class SequencedCounter {
+ public:
+  LIQUID_HOT_PATH
+  void Produce(long v) {
+    count_.fetch_add(1);  // bare seq_cst default: the contract is unstated
+    published_.store(v, memory_order_release);  // non-relaxed, unjustified
+  }
+
+ private:
+  Atomic<long> count_;
+  Atomic<long> published_;
+};
+
+}  // namespace liquid

@@ -1,0 +1,27 @@
+// Lint corpus: atomic-order must stay SILENT. Relaxed operations need no
+// justification (no ordering contract claimed); the one release store
+// carries the required `// order:` comment explaining the edge it creates.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class RelaxedCounter {
+ public:
+  LIQUID_HOT_PATH
+  void Produce(long v) {
+    count_.fetch_add(1, memory_order_relaxed);
+    // order: release pairs with the acquire load in readers (publish barrier).
+    published_.store(v, memory_order_release);
+  }
+
+  long Snapshot() const {
+    // Cold read path: not reached from any hot root, so orders are unchecked.
+    return count_.load();
+  }
+
+ private:
+  Atomic<long> count_;
+  Atomic<long> published_;
+};
+
+}  // namespace liquid

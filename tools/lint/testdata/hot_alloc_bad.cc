@@ -1,0 +1,31 @@
+// Lint corpus: hot-alloc MUST fire. Process() is a hot-path root
+// (LIQUID_HOT_PATH), so allocation inside it — and inside anything it calls,
+// transitively — is a finding: an unreserved container growth, a raw
+// new-expression, a std::to_string temporary, and a helper reached only
+// through the call graph.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class HotTask {
+ public:
+  LIQUID_HOT_PATH
+  void Process(int value) {
+    out_.push_back(value);           // grows without a reserve() in sight
+    buffer_ = new char[64];          // raw allocation per record
+    key_ = std::to_string(value);    // hidden heap-backed temporary
+    Emit(value);
+  }
+
+ private:
+  // Only reachable from Process(), so the hot property must propagate here
+  // through the call graph, not through any annotation on Emit itself.
+  void Emit(int value) { staged_.push_back(value); }
+
+  std::vector<int> out_;
+  std::vector<int> staged_;
+  char* buffer_ = nullptr;
+  std::string key_;
+};
+
+}  // namespace liquid

@@ -1,0 +1,40 @@
+// Lint corpus: hot-alloc must stay SILENT. The hot function reserves before
+// growing, allocation happens only in cold setup code, and error-path
+// statements (Status construction) are exempt by design.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+struct Status {
+  static Status InvalidArgument(const std::string& msg);
+};
+
+class ColdTask {
+ public:
+  // Cold: allocation is fine outside the hot closure.
+  void Setup(int capacity) {
+    buffer_ = new char[64];
+    name_ = std::to_string(capacity);
+    out_.reserve(capacity);
+  }
+
+  LIQUID_HOT_PATH
+  void Process(int value) {
+    out_.reserve(16);      // growth below is backed by an explicit reserve
+    out_.push_back(value);
+    Emit(value);
+  }
+
+ private:
+  void Emit(int value) {
+    staged_.reserve(16);
+    staged_.push_back(value);
+  }
+
+  std::vector<int> out_;
+  std::vector<int> staged_;
+  char* buffer_ = nullptr;
+  std::string name_;
+};
+
+}  // namespace liquid

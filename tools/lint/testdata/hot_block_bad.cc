@@ -1,0 +1,26 @@
+// Lint corpus: hot-block MUST fire. Poll() is a hot-path root, so a sleep,
+// a condition-variable wait, and an fsync-class call — the last one reached
+// only transitively through a helper — are all findings.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class BlockingPoller {
+ public:
+  LIQUID_HOT_PATH
+  void Poll() {
+    SleepMs(5);       // throttling a hot path by sleeping on it
+    ready_.Wait();    // unbounded wait per record
+    Persist();
+  }
+
+ private:
+  // Hot only via the call graph: Poll() -> Persist() -> Sync().
+  void Persist() { file_.Sync(); }
+
+  Mutex mu_;
+  CondVar ready_{&mu_};
+  File file_ GUARDED_BY(mu_);
+};
+
+}  // namespace liquid

@@ -1,0 +1,31 @@
+// Lint corpus: hot-block must stay SILENT. Blocking calls live only in cold
+// maintenance code; the hot function signals instead of waiting, and the
+// one justified wait carries an allow() with its reason.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class PatientPoller {
+ public:
+  // Cold: retention-style maintenance may sleep and fsync freely.
+  void Maintain() {
+    SleepMs(100);
+    file_.Sync();
+  }
+
+  LIQUID_HOT_PATH
+  void Poll() {
+    // Signaling never blocks; the waiting side is the cold maintenance loop.
+    ready_.Signal();
+    // liquid-lint: allow(hot-block): bounded turn-ordering wait; the predecessor holds the slot only across an in-memory counter update.
+    turn_.Wait();
+  }
+
+ private:
+  Mutex mu_;
+  CondVar ready_{&mu_};
+  CondVar turn_{&mu_};
+  File file_ GUARDED_BY(mu_);
+};
+
+}  // namespace liquid

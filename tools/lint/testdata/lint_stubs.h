@@ -8,9 +8,11 @@
 // src/common/metrics.h; keep them in sync if those surfaces change.
 
 #include <string>
+#include <vector>
 
 #define GUARDED_BY(x)
 #define REQUIRES(...)
+#define LIQUID_HOT_PATH
 
 namespace liquid {
 
@@ -67,6 +69,37 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+};
+
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu);
+  void Wait();
+  void Signal();
+};
+
+/// Stand-in for std::atomic<T>, so the atomic-order corpus stays
+/// self-contained (no <atomic> include needed to parse).
+enum MemoryOrder {
+  memory_order_relaxed,
+  memory_order_acquire,
+  memory_order_release,
+  memory_order_seq_cst,
+};
+
+template <typename T>
+class Atomic {
+ public:
+  T load(MemoryOrder order = memory_order_seq_cst) const;
+  void store(T v, MemoryOrder order = memory_order_seq_cst);
+  T fetch_add(T v, MemoryOrder order = memory_order_seq_cst);
+};
+
+/// Stand-in for the storage File handle (Sync is the fsync-class call).
+class File {
+ public:
+  void Append(const std::string& data);
+  void Sync();
 };
 
 /// In-process coordination-service handle (ZooKeeper-style).

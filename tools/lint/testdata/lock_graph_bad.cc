@@ -1,0 +1,59 @@
+// Lint corpus: lock-graph MUST fire. The corpus encodes three distinct
+// violations against testdata/lock_hierarchy.txt:
+//   1. a lock-order cycle, closed only transitively (stage_mu_ is held while
+//      a two-deep helper chain acquires pipe_mu_, inverting Forward());
+//   2. an upward edge against the declared ranks (table_mu_ held while
+//      acquiring the outermost registry_mu_);
+//   3. a `leaf:` lock held while acquiring another lock.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class GraphSink {
+ public:
+  // sink_mu_ is declared innermost (`leaf:`), so holding it across another
+  // acquisition must fire even though no cycle exists yet.
+  void Flush() {
+    MutexLock lock(&sink_mu_);
+    MutexLock flush(&flush_mu_);
+  }
+
+ private:
+  Mutex sink_mu_;
+  Mutex flush_mu_;
+};
+
+class GraphPipeline {
+ public:
+  // Direct edge, consistent with the hierarchy: pipe_mu_ -> stage_mu_.
+  void Forward() {
+    MutexLock lock(&pipe_mu_);
+    MutexLock stage(&stage_mu_);
+  }
+
+  // Closes the cycle interprocedurally: stage_mu_ stays held while Reenter()
+  // -> Helper() acquires pipe_mu_ two frames down.
+  void Backward() {
+    MutexLock stage(&stage_mu_);
+    Reenter();
+  }
+
+  void Reenter() { Helper(); }
+
+  void Helper() { MutexLock lock(&pipe_mu_); }
+
+  // Upward edge: registry_mu_ outranks table_mu_, so acquiring it while
+  // table_mu_ is held inverts the declared order without forming a cycle.
+  void Invert() {
+    MutexLock table(&table_mu_);
+    MutexLock registry(&registry_mu_);
+  }
+
+ private:
+  Mutex registry_mu_;
+  Mutex table_mu_;
+  Mutex pipe_mu_;
+  Mutex stage_mu_;
+};
+
+}  // namespace liquid

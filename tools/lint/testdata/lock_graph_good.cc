@@ -1,0 +1,57 @@
+// Lint corpus: lock-graph must stay SILENT. Same classes and locks as the
+// bad twin, but every acquisition order embeds into
+// testdata/lock_hierarchy.txt: edges only point downward in rank, helpers
+// acquire strictly inner locks, and `leaf:` locks are acquired last and
+// never held across another acquisition.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class GraphSink {
+ public:
+  // Leaf locks are taken one at a time, innermost, holding nothing else.
+  void Flush() {
+    {
+      MutexLock lock(&sink_mu_);
+    }
+    MutexLock flush(&flush_mu_);
+  }
+
+ private:
+  Mutex sink_mu_;
+  Mutex flush_mu_;
+};
+
+class GraphPipeline {
+ public:
+  // Downward edge, matching the declared ranks: pipe_mu_ -> stage_mu_.
+  void Forward() {
+    MutexLock lock(&pipe_mu_);
+    MutexLock stage(&stage_mu_);
+  }
+
+  // The helper chain acquires only a strictly inner lock, so the transitive
+  // edge pipe_mu_ -> stage_mu_ agrees with Forward() instead of inverting it.
+  void Backward() {
+    MutexLock lock(&pipe_mu_);
+    Reenter();
+  }
+
+  void Reenter() { Helper(); }
+
+  void Helper() { MutexLock stage(&stage_mu_); }
+
+  // Outermost first: registry_mu_ -> table_mu_ follows the declared ranks.
+  void Invert() {
+    MutexLock registry(&registry_mu_);
+    MutexLock table(&table_mu_);
+  }
+
+ private:
+  Mutex registry_mu_;
+  Mutex table_mu_;
+  Mutex pipe_mu_;
+  Mutex stage_mu_;
+};
+
+}  // namespace liquid

@@ -1,0 +1,20 @@
+// Lint corpus: stale-allow MUST fire. The allow() below is well-formed
+// (valid rule id, has a reason) but silences nothing — the function is not
+// hot, so no hot-alloc finding exists for it to suppress. Dead suppressions
+// rot into false documentation, so they are findings themselves.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class TidyBuffer {
+ public:
+  void ColdAppend(int value) {
+    // liquid-lint: allow(hot-alloc): amortized by the reserve in Setup.
+    out_.push_back(value);
+  }
+
+ private:
+  std::vector<int> out_;
+};
+
+}  // namespace liquid

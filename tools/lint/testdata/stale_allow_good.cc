@@ -1,0 +1,25 @@
+// Lint corpus: stale-allow must stay SILENT. Both markers below are live:
+// the first suppresses a real hot-alloc finding, and the second uses the
+// allow(stale-allow) escape hatch for a suppression that only one engine
+// needs (so the other engine must not call it stale).
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class JustifiedBuffer {
+ public:
+  LIQUID_HOT_PATH
+  void Process(int value) {
+    // liquid-lint: allow(hot-alloc): bounded ring; grows once to capacity then overwrites in place.
+    ring_.push_back(value);
+    // liquid-lint: allow(stale-allow): the guarded-by marker below is engine-specific; keep it even where that engine does not run.
+    // liquid-lint: allow(guarded-by): counter_ is written only by the single poller thread.
+    counter_ = counter_ + 1;
+  }
+
+ private:
+  std::vector<int> ring_;
+  long counter_ = 0;
+};
+
+}  // namespace liquid
