@@ -1,9 +1,15 @@
-// Experiment E7 (§4.3): the performance/durability trade-off. Throughput by
-// ack level and replication factor, and data loss under leader failure for
-// each level.
+// Experiment E7 (§4.3): the replication side of the performance/durability
+// trade-off. Throughput by ack level and replication factor, and data loss
+// under leader failure for each level.
 //
 // Paper shape: acks=0 > acks=1 > acks=all in throughput; only acks=all (with
 // replication) survives a leader crash without losing acknowledged records.
+//
+// The single-node (fsync) side of the same trade-off lives in E16
+// (bench_insert_sweep): LogConfig::sync_mode none/every_batch/group, where
+// group commit coalesces concurrent producers' fsyncs (DESIGN.md §6c). The
+// E7b no-acked-loss invariant extends there via
+// tests/messaging/group_commit_produce_test.cc.
 
 #include <memory>
 

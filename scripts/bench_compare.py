@@ -2,7 +2,8 @@
 """Diff two benchmark JSON files and flag regressions.
 
 Usage:
-    bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+    bench_compare.py BASELINE.json CURRENT.json [--threshold PCT] [--strict]
+                     [--markdown]
 
 Understands both JSON shapes the repo's benches emit:
 
@@ -87,6 +88,10 @@ def main():
     parser.add_argument("--strict", action="store_true",
                         help="fail when a baseline benchmark or metric is "
                              "missing from the current report")
+    parser.add_argument("--markdown", action="store_true",
+                        help="print the comparison as a GitHub-flavored "
+                             "markdown table (for PR comments / job "
+                             "summaries) instead of aligned plain text")
     args = parser.parse_args()
 
     base = extract_metrics(load(args.baseline))
@@ -122,9 +127,16 @@ def main():
             if regressed:
                 regressions.append((name, metric, delta_pct))
 
-    width = max(len(r[0]) for r in rows) if rows else 0
-    for name, delta, detail in rows:
-        print(f"{name:<{width}}  {delta:>8}  {detail}")
+    if args.markdown:
+        print("| benchmark:metric | delta | detail |")
+        print("| --- | ---: | --- |")
+        for name, delta, detail in rows:
+            detail = detail.replace(" REGRESSION", " **REGRESSION**")
+            print(f"| {name} | {delta} | {detail} |")
+    else:
+        width = max(len(r[0]) for r in rows) if rows else 0
+        for name, delta, detail in rows:
+            print(f"{name:<{width}}  {delta:>8}  {detail}")
 
     for warning in missing:
         print(f"bench_compare: warning: {warning}", file=sys.stderr)

@@ -92,6 +92,23 @@ def test_strict_fails_on_missing_benchmark():
     assert proc.returncode == 1, proc.stdout
 
 
+def test_markdown_table_output():
+    current = {"results": [
+        {"name": "produce", "records_per_sec": 500.0, "p99_us": 50.0},
+        {"name": "fetch", "records_per_sec": 2000.0},
+    ]}
+    proc = run_compare(BASELINE, current, "--markdown")
+    assert proc.returncode == 1, proc.stdout  # still gates on regressions
+    lines = proc.stdout.splitlines()
+    assert lines[0] == "| benchmark:metric | delta | detail |"
+    assert lines[1] == "| --- | ---: | --- |"
+    assert any(line.startswith("| produce:records_per_sec | -50.0% |")
+               and "**REGRESSION**" in line for line in lines), proc.stdout
+    # Every comparison row is a table row (the trailing summary is not).
+    assert all(line.startswith("|") for line in lines
+               if ":" in line and "regression" not in line), proc.stdout
+
+
 def test_strict_allows_new_benchmarks():
     current = {"results": [
         {"name": "produce", "records_per_sec": 1100.0, "p99_us": 40.0},

@@ -20,9 +20,9 @@
 #   8. Docs gate: broken intra-repo markdown links and public headers whose
 #      classes lack /// doc comments (scripts/check_docs.sh).
 #   9. Bench emission: Release builds of bench_pipeline_latency,
-#      bench_log_throughput and bench_parallel_produce run with --json and
-#      must produce their BENCH_*.json artifacts (diff two runs with
-#      scripts/bench_compare.py).
+#      bench_log_throughput, bench_parallel_produce and bench_insert_sweep
+#      run with --json and must produce their BENCH_*.json artifacts (diff
+#      two runs with scripts/bench_compare.py).
 #
 # Any thread-safety warning, clang-tidy error, sanitizer report, or fuzzer
 # crash fails the script (non-zero exit). Steps that need Clang tooling are
@@ -167,10 +167,10 @@ fi
 # (scripts/bench_compare.py diffs two emission runs and fails on >10%
 # regressions). bench_log_throughput is filtered to one cheap leg and
 # bench_parallel_produce runs --quick: the gate checks emission, not trends.
-note "bench emission (pipeline_latency, log_throughput, parallel_produce)"
+note "bench emission (pipeline_latency, log_throughput, parallel_produce, insert_sweep)"
 if cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null \
    && cmake --build build-bench -j "${JOBS}" --target bench_pipeline_latency \
-        bench_log_throughput bench_parallel_produce \
+        bench_log_throughput bench_parallel_produce bench_insert_sweep \
    && (cd build-bench && bench/bench_pipeline_latency --json) \
    && [ -s build-bench/BENCH_pipeline_latency.json ] \
    && (cd build-bench && bench/bench_log_throughput --json \
@@ -178,8 +178,10 @@ if cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null \
          --benchmark_min_time=0.05) \
    && [ -s build-bench/BENCH_log_throughput.json ] \
    && (cd build-bench && bench/bench_parallel_produce --quick --json) \
-   && [ -s build-bench/BENCH_parallel_produce.json ]; then
-  echo "OK: build-bench/BENCH_{pipeline_latency,log_throughput,parallel_produce}.json written"
+   && [ -s build-bench/BENCH_parallel_produce.json ] \
+   && (cd build-bench && bench/bench_insert_sweep --quick --json) \
+   && [ -s build-bench/BENCH_insert_sweep.json ]; then
+  echo "OK: build-bench/BENCH_{pipeline_latency,log_throughput,parallel_produce,insert_sweep}.json written"
 else
   fail "bench --json emission did not produce all JSON artifacts"
 fi

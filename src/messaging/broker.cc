@@ -556,6 +556,7 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
   int64_t base = 0;
   int64_t leo = 0;
   int64_t leader_hw = 0;
+  bool group_sync = false;
   storage::EncodedBatch batch;
   {
     ReaderMutexLock map_lock(&map_mu_);
@@ -617,6 +618,8 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
     }
     epoch = replica->leader_epoch;
     leader_hw = replica->high_watermark;
+    group_sync =
+        replica->log->config().sync_mode == storage::SyncMode::kGroup;
     push_targets.reserve(replica->isr.size());
     for (int member : replica->isr) {
       if (member != id_) push_targets.push_back(member);
@@ -635,6 +638,25 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
                     : follower->AppendEncodedAsFollower(tp, batch, epoch,
                                                         leader_hw);
     if (!st.ok()) failed.push_back(member);
+  }
+
+  // Group-commit durability: a kAll acknowledgment also covers our own fsync
+  // (DESIGN.md §6c). The wait runs after follower replication so the sync
+  // window overlaps the replication round-trips, and holds only the shared
+  // membership lock — which keeps the Replica (and its log) alive, since
+  // erasing one needs map_mu_ exclusive — but NOT the replica lock, so
+  // same-partition producers keep filling the window we are waiting on.
+  if (group_sync && acks == AckMode::kAll) {
+    ReaderMutexLock map_lock(&map_mu_);
+    auto replica_result = FindReplicaShared(tp);
+    if (replica_result.ok()) {
+      storage::Log* log = nullptr;
+      {
+        MutexLock lock(&(*replica_result)->mu);
+        log = (*replica_result)->log.get();
+      }
+      if (log != nullptr) LIQUID_RETURN_NOT_OK(log->AwaitDurable(leo));
+    }
   }
 
   std::optional<std::vector<int>> publish_isr;

@@ -163,6 +163,12 @@ Broker* Cluster::broker(int id) {
   return it == brokers_.end() ? nullptr : it->second.get();
 }
 
+storage::MemDisk* Cluster::disk(int id) {
+  MutexLock lock(&mu_);
+  auto it = disks_.find(id);
+  return it == disks_.end() ? nullptr : it->second.get();
+}
+
 std::vector<int> Cluster::BrokerIds() const {
   MutexLock lock(&mu_);
   std::vector<int> out;

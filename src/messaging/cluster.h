@@ -61,6 +61,10 @@ class Cluster {
   Result<Broker*> LeaderFor(const TopicPartition& tp);
 
   Broker* broker(int id);
+  /// The simulated disk behind broker `id` (benches and crash tests install
+  /// fault hooks / inspect fsync counts through this). Outlives the broker:
+  /// the disk survives StopBroker so a RestartBroker can recover from it.
+  storage::MemDisk* disk(int id);
   std::vector<int> BrokerIds() const;
   std::vector<int> AliveBrokerIds() const;
 

@@ -65,11 +65,29 @@ class MemFile : public File {
     return data_->bytes.size();
   }
 
-  Status Sync() override { return Status::OK(); }
+  Status Sync() override {
+    // fsync semantics: only bytes present when the call starts are guaranteed
+    // durable, so snapshot the size first. The fault hook and latency charge
+    // run *before* advancing the watermark — a failed fsync leaves the file
+    // exactly as unsynced as it was, which is what power-loss-after-failed-
+    // fsync looks like.
+    uint64_t size = 0;
+    std::string name;
+    {
+      std::lock_guard<std::mutex> lock(data_->mu);
+      size = data_->bytes.size();
+      name = data_->name;
+    }
+    LIQUID_RETURN_NOT_OK(disk_->ChargeSync(name));
+    std::lock_guard<std::mutex> lock(data_->mu);
+    if (data_->synced_bytes < size) data_->synced_bytes = size;
+    return Status::OK();
+  }
 
   Status Truncate(uint64_t size) override {
     std::lock_guard<std::mutex> lock(data_->mu);
     if (size < data_->bytes.size()) data_->bytes.resize(size);
+    if (data_->synced_bytes > size) data_->synced_bytes = size;
     return Status::OK();
   }
 
@@ -97,6 +115,19 @@ void MemDisk::ChargeWrite(size_t n) const {
           latency_.write_byte_ns * static_cast<int64_t>(n));
 }
 
+Status MemDisk::ChargeSync(const std::string& name) const {
+  std::function<Status(const std::string&)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = sync_fault_hook_;
+  }
+  if (hook) LIQUID_RETURN_NOT_OK(hook(name));
+  SpinFor(latency_.sync_us * 1000);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sync_ops_;
+  return Status::OK();
+}
+
 int64_t MemDisk::bytes_read() const {
   std::lock_guard<std::mutex> lock(mu_);
   return bytes_read_;
@@ -112,10 +143,41 @@ int64_t MemDisk::read_ops() const {
   return read_ops_;
 }
 
+int64_t MemDisk::sync_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_ops_;
+}
+
+void MemDisk::SetSyncFaultHook(
+    std::function<Status(const std::string&)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_fault_hook_ = std::move(hook);
+}
+
+void MemDisk::SimulateCrash() {
+  // Snapshot the slots under the disk lock, truncate each under its own file
+  // lock (lock order: mu_ strictly before FileData::mu, same as elsewhere).
+  std::vector<std::shared_ptr<FileData>> slots;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots.reserve(files_.size());
+    for (const auto& [name, data] : files_) slots.push_back(data);
+  }
+  for (const auto& data : slots) {
+    std::lock_guard<std::mutex> lock(data->mu);
+    if (data->bytes.size() > data->synced_bytes) {
+      data->bytes.resize(data->synced_bytes);
+    }
+  }
+}
+
 Result<std::unique_ptr<File>> MemDisk::OpenOrCreate(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = files_[name];
-  if (!slot) slot = std::make_shared<FileData>();
+  if (!slot) {
+    slot = std::make_shared<FileData>();
+    slot->name = name;
+  }
   return std::unique_ptr<File>(new MemFile(slot, this));
 }
 
@@ -146,6 +208,10 @@ Status MemDisk::Rename(const std::string& from, const std::string& to) {
   auto it = files_.find(from);
   if (it == files_.end()) return Status::NotFound("no such file: " + from);
   files_[to] = it->second;
+  {
+    std::lock_guard<std::mutex> data_lock(it->second->mu);
+    it->second->name = to;
+  }
   files_.erase(it);
   return Status::OK();
 }

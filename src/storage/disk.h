@@ -2,6 +2,7 @@
 #define LIQUID_STORAGE_DISK_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,6 +26,10 @@ struct DiskLatencyModel {
   /// Per-byte transfer cost, nanoseconds.
   int64_t read_byte_ns = 0;
   int64_t write_byte_ns = 0;
+  /// Fixed cost per Sync() call (fsync: flush device write cache plus a
+  /// journal commit), microseconds. Dominates small synchronous writes on
+  /// real disks, which is exactly the effect group commit amortizes.
+  int64_t sync_us = 0;
 
   /// A model shaped like an HDD: ~4 ms seek, ~150 MB/s transfer, scaled down
   /// 50x so benches finish quickly while preserving the RAM-vs-disk gap.
@@ -34,6 +39,7 @@ struct DiskLatencyModel {
     m.write_seek_us = 80;
     m.read_byte_ns = 0;    // transfer cost folded into seek at this scale
     m.write_byte_ns = 0;
+    m.sync_us = 160;       // 8 ms fsync / 50
     return m;
   }
 };
@@ -84,7 +90,9 @@ class Disk {
 
 /// In-memory disk with an injectable latency model. The bytes live as long as
 /// the MemDisk object, so "process crash" is simulated by destroying the
-/// higher-level object (Log, Table, ...) and reopening it on the same disk.
+/// higher-level object (Log, Table, ...) and reopening it on the same disk —
+/// or, for durability experiments, by calling SimulateCrash(), which drops
+/// every byte that was appended but never covered by a successful Sync().
 class MemDisk : public Disk {
  public:
   explicit MemDisk(DiskLatencyModel latency = DiskLatencyModel{})
@@ -100,23 +108,41 @@ class MemDisk : public Disk {
   int64_t bytes_read() const;
   int64_t bytes_written() const;
   int64_t read_ops() const;
+  /// Number of successful File::Sync() calls, for fsync-coalescing benches
+  /// and the group-commit tests.
+  int64_t sync_ops() const;
+
+  /// Fault injection: called at the top of every File::Sync() with the file
+  /// name; a non-OK return fails the sync and leaves the file's durable
+  /// watermark where it was. Pass nullptr to clear.
+  void SetSyncFaultHook(std::function<Status(const std::string&)> hook);
+
+  /// Truncates every file back to its last successfully synced size —
+  /// the power-loss model: unsynced appends vanish, synced bytes survive.
+  void SimulateCrash();
 
  private:
   friend class MemFile;
   struct FileData {
+    std::string name;
     std::string bytes;
+    /// Bytes [0, synced_bytes) survived the last successful Sync().
+    uint64_t synced_bytes = 0;
     mutable std::mutex mu;
   };
 
   void ChargeRead(size_t n) const;
   void ChargeWrite(size_t n) const;
+  Status ChargeSync(const std::string& name) const;
 
   DiskLatencyModel latency_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<FileData>> files_;
+  std::function<Status(const std::string&)> sync_fault_hook_;
   mutable int64_t bytes_read_ = 0;
   mutable int64_t bytes_written_ = 0;
   mutable int64_t read_ops_ = 0;
+  mutable int64_t sync_ops_ = 0;
 };
 
 /// Disk backed by a real directory on the local filesystem; file names may

@@ -13,13 +13,39 @@ Log::Log(Disk* disk, PageCache* cache, std::string name_prefix, LogConfig config
       cache_(cache),
       name_prefix_(std::move(name_prefix)),
       config_(config),
-      clock_(clock) {}
+      clock_(clock) {
+  // Hot-path metric handles, resolved once: registry entries are never
+  // erased, so the fetch/append paths skip the name lookup entirely.
+  std::string instance = name_prefix_;
+  while (!instance.empty() && instance.back() == '/') instance.pop_back();
+  MetricsRegistry* global = MetricsRegistry::Default();
+  const std::string prefix = "liquid.log." + instance + ".";
+  fetch_zero_copy_bytes_ = global->GetCounter(prefix + "fetch_zero_copy_bytes");
+  fetch_copied_bytes_ = global->GetCounter(prefix + "fetch_copied_bytes");
+  group_commit_batches_ = global->GetCounter(prefix + "group_commit_batches");
+  group_commit_syncs_ = global->GetCounter(prefix + "group_commit_syncs");
+}
+
+Log::~Log() {
+  {
+    MutexLock lock(&append_mu_);
+    committer_stop_ = true;
+    committer_cv_.Signal();
+    durable_cv_.SignalAll();
+  }
+  if (committer_.joinable()) committer_.join();
+}
 
 Result<std::unique_ptr<Log>> Log::Open(Disk* disk, PageCache* cache,
                                        const std::string& name_prefix,
                                        const LogConfig& config, Clock* clock) {
   std::unique_ptr<Log> log(new Log(disk, cache, name_prefix, config, clock));
   LIQUID_RETURN_NOT_OK(log->OpenExisting());
+  if (config.sync_mode == SyncMode::kGroup) {
+    // Only group mode pays for a committer thread; metadata-scale logs
+    // (kNone, the default) start nothing.
+    log->committer_ = std::thread([raw = log.get()] { raw->CommitterLoop(); });
+  }
   return log;
 }
 
@@ -56,6 +82,10 @@ Status Log::OpenExisting() {
   next_offset_ = segments_.back()->next_offset();
   reserved_offset_ = next_offset_;
   committed_offset_ = next_offset_;
+  // Recovery defines the log's contents: whatever survived on disk is by
+  // definition the durable state, so the bookkeeping restarts at the
+  // recovered end (acknowledgments were only ever given for synced bytes).
+  durable_offset_ = next_offset_;
   return Status::OK();
 }
 
@@ -124,12 +154,86 @@ void Log::DrainAppendsLocked() {
   });
 }
 
+Status Log::SyncDirtySegments() const {
+  ReaderMutexLock lock(&mu_);
+  for (const auto& segment : segments_) {
+    if (!segment->dirty()) continue;
+    // liquid-lint: allow(snapshot-then-call): fsync deliberately runs under the shared log lock: it must exclude truncation/compaction (which drop segments) but not readers; appenders queue behind at most one sync window at the exclusive-lock gate (DESIGN.md section 6c).
+    // liquid-lint: allow(hot-block): reachable from AppendBatch only under sync_mode=every_batch, whose contract IS one blocking fsync per batch (the durability baseline; DESIGN.md section 6c).
+    LIQUID_RETURN_NOT_OK(segment->Flush());
+  }
+  return Status::OK();
+}
+
+void Log::CommitterLoop() {
+  while (true) {
+    int64_t target = 0;
+    bool stopping = false;
+    {
+      MutexLock lock(&append_mu_);
+      committer_cv_.Wait([this]() REQUIRES(append_mu_) {
+        // A failed window is not retried until new batches commit past it
+        // (retrying an fsync that just failed in a tight loop helps nobody);
+        // its waiters were already failed via sync_failed_upto_.
+        return committer_stop_ ||
+               (committed_offset_ > durable_offset_ &&
+                committed_offset_ > sync_failed_upto_);
+      });
+      stopping = committer_stop_;
+      if (committed_offset_ <= durable_offset_) {
+        if (stopping) return;
+        continue;  // Woken after a failed window with nothing new to sync.
+      }
+      target = committed_offset_;
+    }
+    // One fsync covers every batch committed during the previous window
+    // (snapshot-then-call: no append_mu_ held across the sync).
+    const Status st = SyncDirtySegments();
+    {
+      MutexLock lock(&append_mu_);
+      if (st.ok()) {
+        if (durable_offset_ < target) durable_offset_ = target;
+        if (sync_failed_upto_ <= target) {
+          sync_failed_upto_ = 0;
+          last_sync_error_ = Status::OK();
+        }
+        group_commit_syncs_->Increment();
+      } else {
+        if (sync_failed_upto_ < target) sync_failed_upto_ = target;
+        last_sync_error_ = st;
+      }
+      durable_cv_.SignalAll();
+      if (stopping) return;
+    }
+  }
+}
+
+Status Log::AwaitDurable(int64_t end_offset) {
+  MutexLock lock(&append_mu_);
+  // liquid-lint: allow(hot-block): the durability wait IS the product semantic of acks=all under sync_mode=group — the caller asked to block until its offsets are fsynced, bounded by one committer sync window (DESIGN.md section 6c).
+  durable_cv_.Wait([this, end_offset]() REQUIRES(append_mu_) {
+    return durable_offset_ >= end_offset || sync_failed_upto_ >= end_offset ||
+           committer_stop_;
+  });
+  if (durable_offset_ >= end_offset) return Status::OK();
+  if (sync_failed_upto_ >= end_offset && !last_sync_error_.ok()) {
+    return last_sync_error_;
+  }
+  return Status::Aborted("log closing before the batch became durable");
+}
+
+int64_t Log::durable_offset() const {
+  MutexLock lock(&append_mu_);
+  return durable_offset_;
+}
+
 Result<int64_t> Log::Append(std::vector<Record>* records) {
   LIQUID_ASSIGN_OR_RETURN(EncodedBatch batch, AppendBatch(records));
   return batch.base_offset();
 }
 
-Result<EncodedBatch> Log::AppendBatch(std::vector<Record>* records) {
+Result<EncodedBatch> Log::AppendBatch(std::vector<Record>* records,
+                                      const AppendOptions& options) {
   if (records->empty()) return Status::InvalidArgument("empty append");
 
   // Phase 1: reserve the offset range (short critical section).
@@ -171,12 +275,38 @@ Result<EncodedBatch> Log::AppendBatch(std::vector<Record>* records) {
   // Phase 5: commit and wake successors. Committed advances even on a write
   // error — otherwise every queued appender behind us would deadlock; the
   // failed range simply becomes an offset gap (gaps are legal in this log).
+  const int64_t end = base + static_cast<int64_t>(records->size());
   {
     MutexLock lock(&append_mu_);
-    committed_offset_ = base + static_cast<int64_t>(records->size());
+    committed_offset_ = end;
     append_cv_.SignalAll();
+    if (config_.sync_mode == SyncMode::kGroup && write_status.ok()) {
+      group_commit_batches_->Increment();
+      committer_cv_.Signal();
+    }
   }
   LIQUID_RETURN_NOT_OK(write_status);
+
+  // Phase 6 (durability): every_batch pays one inline fsync per call — the
+  // baseline group commit is measured against; group mode blocks only the
+  // callers that asked for a durable acknowledgment, on the shared
+  // committer's next window.
+  switch (config_.sync_mode) {
+    case SyncMode::kNone:
+      break;
+    case SyncMode::kEveryBatch: {
+      LIQUID_RETURN_NOT_OK(SyncDirtySegments());
+      MutexLock lock(&append_mu_);
+      if (durable_offset_ < end) durable_offset_ = end;
+      durable_cv_.SignalAll();
+      break;
+    }
+    case SyncMode::kGroup:
+      if (options.await_durability) {
+        LIQUID_RETURN_NOT_OK(AwaitDurable(end));
+      }
+      break;
+  }
   return batch;
 }
 
@@ -192,6 +322,8 @@ Status Log::AppendWithOffsets(const std::vector<Record>& records) {
   next_offset_ = records.back().offset + 1;
   reserved_offset_ = next_offset_;
   committed_offset_ = next_offset_;
+  // Follower/replication appends feed the same group-commit window.
+  if (config_.sync_mode == SyncMode::kGroup) committer_cv_.Signal();
   return Status::OK();
 }
 
@@ -207,6 +339,7 @@ Status Log::AppendEncoded(const EncodedBatch& batch) {
   next_offset_ = batch.last_offset() + 1;
   reserved_offset_ = next_offset_;
   committed_offset_ = next_offset_;
+  if (config_.sync_mode == SyncMode::kGroup) committer_cv_.Signal();
   return Status::OK();
 }
 
@@ -247,6 +380,20 @@ Status Log::ReadEncoded(int64_t offset, size_t max_bytes,
                                return target < seg->base_offset();
                              });
   if (it != segments_.begin()) --it;
+  // Zero-copy fast path: when the requested bytes are resident in the page
+  // cache, the response frames reference the pinned page buffer directly —
+  // no gather copy. Partial responses are legal (callers loop on the next
+  // offset), so one pinned page's worth per call is enough.
+  {
+    Result<EncodedBatch> pinned = (*it)->ReadEncodedPinned(offset, max_bytes);
+    LIQUID_RETURN_NOT_OK(pinned.status());
+    if (!pinned->empty()) {
+      fetch_zero_copy_bytes_->Increment(
+          static_cast<int64_t>(pinned->size_bytes()));
+      *out = std::move(pinned).value();
+      return Status::OK();
+    }
+  }
   std::string bytes;
   std::vector<BatchFrame> frames;
   while (it != segments_.end() && bytes.size() < max_bytes) {
@@ -255,6 +402,7 @@ Status Log::ReadEncoded(int64_t offset, size_t max_bytes,
     if (!frames.empty()) offset = frames.back().offset + 1;
     ++it;
   }
+  fetch_copied_bytes_->Increment(static_cast<int64_t>(bytes.size()));
   // liquid-lint: allow(hot-alloc): one shared immutable buffer per fetch is the encode-once zero-copy contract (DESIGN.md); move of the gathered bytes, not a copy.
   *out = EncodedBatch::FromParts(
       std::make_shared<const std::string>(std::move(bytes)), std::move(frames));

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -17,6 +19,22 @@
 #include "storage/record_batch.h"
 
 namespace liquid::storage {
+
+/// When appended bytes are fsynced to stable storage (DESIGN.md §6c).
+enum class SyncMode {
+  /// Never fsync from the append path; flush-behind only (the page cache /
+  /// OS decide). Fastest, and the pre-sync_mode behaviour — a crash loses
+  /// the unflushed tail. This is Kafka's production default.
+  kNone,
+  /// fsync inline on every append call — the durability baseline the group
+  /// mode is measured against (Kafka's flush.messages=1).
+  kEveryBatch,
+  /// Group commit: a per-log committer thread issues one fsync covering all
+  /// batches committed during the previous sync window; appenders that
+  /// request durability block until their offsets are covered instead of
+  /// paying one fsync per batch.
+  kGroup,
+};
 
 /// Per-log (i.e. per topic-partition) configuration, mirroring Kafka's
 /// segment / retention / compaction knobs the paper discusses in §4.1.
@@ -35,6 +53,18 @@ struct LogConfig {
   /// During compaction, drop tombstones too (they have already served their
   /// delete-propagation purpose once every consumer saw them).
   bool compaction_drops_tombstones = false;
+  /// Durability of the append path; see SyncMode.
+  SyncMode sync_mode = SyncMode::kNone;
+};
+
+/// Per-append knobs for Log::AppendBatch.
+struct AppendOptions {
+  /// Block until the appended offsets are fsynced (only meaningful under
+  /// SyncMode::kGroup, where it maps AckMode::kAll onto the group commit;
+  /// kEveryBatch syncs inline regardless and kNone never syncs). A non-OK
+  /// return then means the batch was NOT acknowledged durable — it may or
+  /// may not survive a crash.
+  bool await_durability = false;
 };
 
 /// Outcome of one compaction pass, reported for the E4 bench.
@@ -69,6 +99,11 @@ class Log {
   Log(const Log&) = delete;
   Log& operator=(const Log&) = delete;
 
+  /// Stops and joins the group-commit committer thread, syncing any batches
+  /// still in flight (best effort; errors are dropped — a closing log has no
+  /// one left to acknowledge to).
+  ~Log();
+
   /// Appends records in place, assigning consecutive offsets (and the current
   /// time to records whose timestamp is 0) so the caller sees the assignment.
   /// Returns the offset of the first record.
@@ -78,7 +113,28 @@ class Log {
   /// shared immutable buffer (the encode-once hot path: the caller forwards
   /// the same bytes to followers and replica fetches without re-encoding).
   LIQUID_HOT_PATH
-  Result<EncodedBatch> AppendBatch(std::vector<Record>* records);
+  Result<EncodedBatch> AppendBatch(std::vector<Record>* records) {
+    return AppendBatch(records, AppendOptions{});
+  }
+
+  /// AppendBatch with per-call durability control; see AppendOptions.
+  LIQUID_HOT_PATH
+  Result<EncodedBatch> AppendBatch(std::vector<Record>* records,
+                                   const AppendOptions& options);
+
+  /// All offsets below this have been fsynced (only advanced by kEveryBatch
+  /// and kGroup modes; stays 0 under kNone).
+  int64_t durable_offset() const;
+
+  /// Blocks until offsets below `end_offset` are durable or the covering
+  /// group sync failed; returns that sync's error in the latter case (the
+  /// batch is then unacknowledged, not absent). Decoupled from AppendBatch
+  /// so callers like Broker::Produce can release their own per-partition
+  /// lock first — the whole point of group commit is that other producers
+  /// keep filling the sync window while this caller waits. Only meaningful
+  /// under SyncMode::kGroup (kNone never advances durability: the call
+  /// would block until the log closes).
+  Status AwaitDurable(int64_t end_offset) EXCLUDES(append_mu_);
 
   /// Appends records that already carry offsets (replication path: followers
   /// copy the leader's records verbatim, preserving offsets and gaps).
@@ -139,6 +195,14 @@ class Log {
   /// in, then resync the pipeline counters to next_offset_ when done.
   void DrainAppendsLocked() REQUIRES(append_mu_);
 
+  /// Flushes every dirty segment under the shared log lock. Appends are
+  /// excluded (they commit under the exclusive lock) but reads proceed.
+  Status SyncDirtySegments() const EXCLUDES(mu_);
+
+  /// Group-commit committer: waits for committed-but-not-durable batches,
+  /// syncs them with one fsync per window, publishes durable_offset_.
+  void CommitterLoop();
+
   Disk* const disk_;
   PageCache* const cache_;
   const std::string name_prefix_;
@@ -155,13 +219,41 @@ class Log {
 
   /// Guards the append pipeline's reservation window. Held only for counter
   /// updates (never across encoding or I/O), so reservation is cheap even
-  /// under heavy producer concurrency.
+  /// under heavy producer concurrency. All group-commit bookkeeping lives
+  /// under this same mutex — the committer thread introduces no new lock
+  /// level (DESIGN.md §5a: it snapshots under append_mu_, fsyncs under the
+  /// shared mu_, republishes under append_mu_).
   mutable Mutex append_mu_;
   CondVar append_cv_{&append_mu_};
   /// Next offset to hand to a reserving appender.
   int64_t reserved_offset_ GUARDED_BY(append_mu_) = 0;
   /// All appends below this offset have committed (in reservation order).
   int64_t committed_offset_ GUARDED_BY(append_mu_) = 0;
+
+  /// Group-commit state (meaningful for kEveryBatch/kGroup). All offsets
+  /// below durable_offset_ are fsynced.
+  int64_t durable_offset_ GUARDED_BY(append_mu_) = 0;
+  /// A failed group sync attempt covered offsets below sync_failed_upto_;
+  /// last_sync_error_ holds why. Waiters in that range fail their ack; the
+  /// committer retries once new batches commit past the failed window.
+  int64_t sync_failed_upto_ GUARDED_BY(append_mu_) = 0;
+  Status last_sync_error_ GUARDED_BY(append_mu_);
+  bool committer_stop_ GUARDED_BY(append_mu_) = false;
+  /// Wakes the committer when committed_offset_ advances (kGroup only).
+  CondVar committer_cv_{&append_mu_};
+  /// Wakes AwaitDurable waiters when durable_offset_ / sync_failed_upto_
+  /// move.
+  CondVar durable_cv_{&append_mu_};
+  /// Started by Open when config.sync_mode == kGroup, joined by ~Log.
+  // liquid-lint: allow(guarded-by): written once in Open before the Log is published to any other thread and joined in the destructor after the stop handshake; never accessed concurrently.
+  std::thread committer_;
+
+  /// Hot-path metric handles, resolved once at construction
+  /// (OBSERVABILITY.md: hot paths never do registry name lookups).
+  Counter* fetch_zero_copy_bytes_;
+  Counter* fetch_copied_bytes_;
+  Counter* group_commit_batches_;
+  Counter* group_commit_syncs_;
 };
 
 }  // namespace liquid::storage

@@ -18,6 +18,10 @@ std::string SegmentFileName(const std::string& prefix, int64_t base_offset) {
 // Reads in chunks of this size while scanning forward from an index position.
 constexpr size_t kScanChunkBytes = 128 * 1024;
 
+// A record frame is never smaller than its fixed header fields (see
+// DecodeRecord's minimum-length check); bounds frame-count reservations.
+constexpr size_t kMinFrameBytes = 4 + 4 + 8 + 8 + 8 + 4 + 4 + 1 + 2;
+
 }  // namespace
 
 LogSegment::LogSegment(Disk* disk, std::unique_ptr<File> file,
@@ -37,13 +41,17 @@ Result<std::unique_ptr<LogSegment>> LogSegment::Open(
   auto file_result = disk->OpenOrCreate(name);
   if (!file_result.ok()) return file_result.status();
   std::unique_ptr<File> file = std::move(file_result).value();
+  CachedFile* cached = nullptr;
   if (cache != nullptr) {
     // liquid-lint: allow(hot-alloc): one-time segment open on the amortized roll path (once per segment_bytes of appends).
-    file = std::make_unique<CachedFile>(std::move(file), cache);
+    auto wrapped = std::make_unique<CachedFile>(std::move(file), cache);
+    cached = wrapped.get();
+    file = std::move(wrapped);
   }
   // liquid-lint: allow(hot-alloc): one-time segment open on the amortized roll path.
   std::unique_ptr<LogSegment> segment(
       new LogSegment(disk, std::move(file), name, base_offset, config));
+  segment->cached_file_ = cached;
   LIQUID_RETURN_NOT_OK(segment->Recover());
   return segment;
 }
@@ -141,16 +149,76 @@ Status LogSegment::AppendEncoded(const EncodedBatch& batch) {
   return Status::OK();
 }
 
+Status LogSegment::Flush() {
+  const uint64_t target = end_pos_;
+  LIQUID_RETURN_NOT_OK(file_->Sync());
+  // Advance the watermark monotonically: concurrent every-batch flushes can
+  // complete out of order, and a lower racing target must not re-dirty the
+  // segment.
+  uint64_t prev = synced_pos_.load(std::memory_order_relaxed);
+  while (prev < target &&
+         // order: release pairs with dirty()'s acquire (see the header).
+         !synced_pos_.compare_exchange_weak(prev, target,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+Result<EncodedBatch> LogSegment::ReadEncodedPinned(int64_t from_offset,
+                                                   size_t max_bytes) const {
+  EncodedBatch none;
+  if (cached_file_ == nullptr || from_offset >= next_offset_) return none;
+  uint64_t pos = LookupPosition(from_offset);
+  const PageCache::PinnedPage pin = cached_file_->Pin(pos);
+  if (!pin) return none;
+  // The span servable from this pin: the pinned page clamped to committed
+  // segment bytes (the cached tail page can run ahead of end_pos_ only in
+  // recovery scenarios; never serve past the committed end).
+  const uint64_t page_end =
+      std::min<uint64_t>(pin.file_offset + pin.bytes->size(), end_pos_);
+  std::vector<BatchFrame> frames;
+  frames.reserve(
+      static_cast<size_t>(page_end > pos ? page_end - pos : 0) / kMinFrameBytes +
+      1);
+  size_t gathered = 0;
+  while (pos + 4 <= page_end) {
+    const size_t in_page = static_cast<size_t>(pos - pin.file_offset);
+    Slice cursor(pin.bytes->data() + in_page,
+                 static_cast<size_t>(page_end - pos));
+    const uint32_t length = DecodeFixed32(cursor.data());
+    if (pos + 4 + length > page_end) break;  // Record crosses the page edge.
+    RecordFrameHeader header;
+    LIQUID_RETURN_NOT_OK(
+        DecodeRecordHeader(cursor, &header, /*verify_crc=*/true));
+    pos += header.encoded_size;
+    if (header.offset < from_offset) continue;
+    if (gathered > 0 && gathered + header.encoded_size > max_bytes) break;
+    BatchFrame frame;
+    frame.offset = header.offset;
+    frame.timestamp_ms = header.timestamp_ms;
+    frame.leader_epoch = header.leader_epoch;
+    frame.traced = header.traced;
+    frame.is_control = header.is_control;
+    frame.pos = in_page;
+    frame.len = header.encoded_size;
+    frames.push_back(frame);
+    gathered += header.encoded_size;
+    if (gathered >= max_bytes) break;
+  }
+  // No complete qualifying record inside the pinned page: let the caller
+  // fall back to the copying path (which guarantees at least one record).
+  if (frames.empty()) return none;
+  return EncodedBatch::FromParts(pin.bytes, std::move(frames));
+}
+
 Status LogSegment::ReadEncoded(int64_t from_offset, size_t max_bytes,
                                std::string* buf,
                                std::vector<BatchFrame>* frames) const {
   if (from_offset >= next_offset_) return Status::OK();
   uint64_t pos = LookupPosition(from_offset);
   // The gather loop stops once max_bytes accumulate (or the segment ends), so
-  // both outputs can be reserved up front instead of regrowing per frame. A
-  // record frame is never smaller than its fixed header fields (see
-  // DecodeRecord's minimum-length check), which bounds the frame count.
-  constexpr size_t kMinFrameBytes = 4 + 4 + 8 + 8 + 8 + 4 + 4 + 1 + 2;
+  // both outputs can be reserved up front instead of regrowing per frame.
   const size_t bound =
       static_cast<size_t>(std::min<uint64_t>(max_bytes, end_pos_ - pos));
   buf->reserve(buf->size() + bound);

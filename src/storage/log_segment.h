@@ -1,6 +1,7 @@
 #ifndef LIQUID_STORAGE_LOG_SEGMENT_H_
 #define LIQUID_STORAGE_LOG_SEGMENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -58,6 +59,17 @@ class LogSegment {
   Status ReadEncoded(int64_t from_offset, size_t max_bytes, std::string* buf,
                      std::vector<BatchFrame>* frames) const;
 
+  /// Zero-copy read: when the bytes holding `from_offset` are resident in the
+  /// page cache, returns an EncodedBatch whose buffer IS the pinned page —
+  /// frames reference it directly, and the pin keeps the bytes alive and
+  /// immutable across later appends, eviction and invalidation (the cache
+  /// clones a pinned page before extending it). Returns an empty batch when
+  /// the fast path does not apply — no cache, a cache miss, or the first
+  /// qualifying record crossing the page edge — so callers fall back to the
+  /// copying ReadEncoded. CRCs are verified while parsing, like ReadEncoded.
+  Result<EncodedBatch> ReadEncodedPinned(int64_t from_offset,
+                                         size_t max_bytes) const;
+
   /// Collects records with offset >= from_offset until `max_bytes` of encoded
   /// data have been gathered (at least one record if any qualifies).
   Status Read(int64_t from_offset, size_t max_bytes,
@@ -74,7 +86,19 @@ class LogSegment {
   bool empty() const { return next_offset_ == base_offset_; }
   const std::string& file_name() const { return file_name_; }
 
-  Status Flush() { return file_->Sync(); }
+  /// fsyncs appended bytes and advances the durable watermark dirty() keys
+  /// off. Safe under the owning Log's shared lock: appends (which grow the
+  /// segment) hold the exclusive lock, and concurrent flushes race only on
+  /// the monotonic watermark.
+  Status Flush();
+
+  /// True when bytes appended after the last successful Flush() exist; the
+  /// group committer uses this to sync only segments that need it.
+  bool dirty() const {
+    // order: acquire pairs with Flush()'s release so a caller that sees the
+    // watermark also sees the bytes as synced in the backing file.
+    return synced_pos_.load(std::memory_order_acquire) < end_pos_;
+  }
 
   /// Removes the backing file. The segment must not be used afterwards.
   Status Drop();
@@ -103,9 +127,17 @@ class LogSegment {
 
   Disk* disk_;
   std::unique_ptr<File> file_;
+  /// Set when file_ is a CachedFile (page cache present): the typed handle
+  /// the zero-copy read path pins pages through. Owned by file_.
+  CachedFile* cached_file_ = nullptr;
   std::string file_name_;
   int64_t base_offset_;
   Config config_;
+  /// Bytes [0, synced_pos_) were covered by a successful Flush(). Atomic
+  /// because concurrent every-batch appenders flush under the shared log
+  /// lock; 0 after open (recovery does not know what the last process
+  /// synced, so the first flush conservatively covers the whole file).
+  std::atomic<uint64_t> synced_pos_{0};
 
   std::vector<IndexEntry> index_;
   std::vector<TimeIndexEntry> time_index_;

@@ -22,13 +22,15 @@ void PageCache::Touch(Page* page) {
 void PageCache::InsertPage(uint64_t key, std::string bytes, int64_t write_ms) {
   auto it = pages_.find(key);
   if (it != pages_.end()) {
-    bytes_cached_ -= it->second.bytes.size();
-    it->second.bytes = std::move(bytes);
+    bytes_cached_ -= it->second.bytes->size();
+    // Replace the buffer wholesale (never mutate): outstanding pins keep the
+    // old buffer alive and see a frozen snapshot.
+    it->second.bytes = std::make_shared<std::string>(std::move(bytes));
     if (write_ms != 0) {
       it->second.written = true;
       it->second.last_write_ms = std::max(it->second.last_write_ms, write_ms);
     }
-    bytes_cached_ += it->second.bytes.size();
+    bytes_cached_ += it->second.bytes->size();
     Touch(&it->second);
     return;
   }
@@ -37,7 +39,7 @@ void PageCache::InsertPage(uint64_t key, std::string bytes, int64_t write_ms) {
   page.written = write_ms != 0;
   page.last_write_ms = write_ms;
   bytes_cached_ += bytes.size();
-  page.bytes = std::move(bytes);
+  page.bytes = std::make_shared<std::string>(std::move(bytes));
   lru_.push_front(key);
   page.lru_it = lru_.begin();
   pages_.emplace(key, std::move(page));
@@ -64,7 +66,7 @@ void PageCache::EvictIfNeeded() {
           page.written && now - page.last_write_ms < config_.flush_after_ms;
       if (dirty && !forced) continue;
       if (dirty) ++forced_evictions_;
-      bytes_cached_ -= page.bytes.size();
+      bytes_cached_ -= page.bytes->size();
       pages_.erase(pit);
       it = lru_.erase(it);
       ++evictions_;
@@ -87,8 +89,9 @@ Status PageCache::Read(uint64_t file_id, const File& file, uint64_t offset,
 
   while (page_no <= last_page) {
     const uint64_t key = MakeKey(file_id, page_no);
-    std::string page_bytes;
-    bool hit = false;
+    // Holding a reference pins the buffer: NoteAppend sees use_count() > 1
+    // and clones instead of mutating, so copying outside the lock is safe.
+    std::shared_ptr<const std::string> page_bytes;
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = pages_.find(key);
@@ -96,12 +99,11 @@ Status PageCache::Read(uint64_t file_id, const File& file, uint64_t offset,
         page_bytes = it->second.bytes;
         Touch(&it->second);
         ++hits_;
-        hit = true;
       } else {
         ++misses_;
       }
     }
-    if (!hit) {
+    if (!page_bytes) {
       // Miss: fetch this page plus read-ahead in one sequential disk read
       // (single seek), as the OS would.
       const int ahead = std::max(1, config_.readahead_pages);
@@ -117,19 +119,30 @@ Status PageCache::Read(uint64_t file_id, const File& file, uint64_t offset,
           InsertPage(MakeKey(file_id, page_no + i), chunk.substr(begin, len), 0);
         }
       }
-      page_bytes = chunk.substr(0, std::min<size_t>(page_size, chunk.size()));
+      page_bytes = std::make_shared<const std::string>(
+          chunk.substr(0, std::min<size_t>(page_size, chunk.size())));
     }
     // Copy the requested byte range out of this page.
     const uint64_t page_start = page_no * page_size;
     const uint64_t want_begin = std::max<uint64_t>(offset, page_start);
     const uint64_t want_end =
-        std::min<uint64_t>(offset + n, page_start + page_bytes.size());
+        std::min<uint64_t>(offset + n, page_start + page_bytes->size());
     if (want_begin >= want_end) break;
-    out->append(page_bytes.data() + (want_begin - page_start),
+    out->append(page_bytes->data() + (want_begin - page_start),
                 want_end - want_begin);
     ++page_no;
   }
   return Status::OK();
+}
+
+PageCache::PinnedPage PageCache::Pin(uint64_t file_id, uint64_t offset) {
+  const uint64_t page_no = offset / config_.page_size;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(MakeKey(file_id, page_no));
+  if (it == pages_.end()) return PinnedPage{};
+  Touch(&it->second);
+  ++hits_;
+  return PinnedPage{it->second.bytes, page_no * config_.page_size};
 }
 
 void PageCache::NoteAppend(uint64_t file_id, uint64_t offset, const Slice& data) {
@@ -162,11 +175,23 @@ void PageCache::NoteAppend(uint64_t file_id, uint64_t offset, const Slice& data)
       Touch(&it->second);
     }
     Page& page = it->second;
-    if (page.bytes.size() < in_page_off + len) {
-      bytes_cached_ += in_page_off + len - page.bytes.size();
-      page.bytes.resize(in_page_off + len);
+    if (!page.bytes) {
+      page.bytes = std::make_shared<std::string>();
+    } else if (page.bytes.use_count() > 1) {
+      // Copy-on-extend: a pin (or an in-flight Read copy) holds this buffer,
+      // so never mutate it in place — clone first, bounded by page_size.
+      // The use_count() check is race-free: new references are only taken
+      // under mu_, which we hold; a stale count can only be too high (a
+      // reader concurrently dropping its reference), which merely causes a
+      // harmless extra clone.
+      page.bytes = std::make_shared<std::string>(*page.bytes);
     }
-    std::memcpy(page.bytes.data() + in_page_off, data.data() + pos, len);
+    std::string& buf = *page.bytes;
+    if (buf.size() < in_page_off + len) {
+      bytes_cached_ += in_page_off + len - buf.size();
+      buf.resize(in_page_off + len);
+    }
+    std::memcpy(buf.data() + in_page_off, data.data() + pos, len);
     pos += len;
   }
   EvictIfNeeded();
@@ -179,7 +204,7 @@ void PageCache::Invalidate(uint64_t file_id, uint64_t from_offset) {
     const uint64_t fid = it->first >> 40;
     const uint64_t page_no = it->first & ((1ull << 40) - 1);
     if (fid == file_id && page_no >= first_page) {
-      bytes_cached_ -= it->second.bytes.size();
+      bytes_cached_ -= it->second.bytes->size();
       lru_.erase(it->second.lru_it);
       it = pages_.erase(it);
     } else {

@@ -37,6 +37,18 @@ struct PageCacheConfig {
 /// NewFileId(). Use CachedFile to wrap a File with transparent caching.
 class PageCache {
  public:
+  /// A refcounted view of one cache-resident page, for zero-copy reads. The
+  /// pin keeps `bytes` alive and immutable for as long as it is held: the
+  /// append path never mutates a pinned buffer in place (it clones the page
+  /// first — copy-on-extend), and eviction/invalidation only drop the
+  /// cache's own reference. `file_offset` is the file position of the
+  /// buffer's first byte.
+  struct PinnedPage {
+    std::shared_ptr<const std::string> bytes;
+    uint64_t file_offset = 0;
+    explicit operator bool() const { return bytes != nullptr; }
+  };
+
   PageCache(PageCacheConfig config, Clock* clock);
 
   PageCache(const PageCache&) = delete;
@@ -48,6 +60,12 @@ class PageCache {
   /// Misses read from disk with read-ahead and populate the cache.
   Status Read(uint64_t file_id, const File& file, uint64_t offset, size_t n,
               std::string* out);
+
+  /// Pins the resident page containing byte `offset` of `file_id`; returns an
+  /// empty pin on a cache miss (callers fall back to the copying Read path,
+  /// which populates the cache). Counts as a cache hit when it succeeds; a
+  /// miss is not counted here because the fallback read counts it.
+  PinnedPage Pin(uint64_t file_id, uint64_t offset);
 
   /// Records bytes just appended to `file` at `offset` so the head of the log
   /// stays in RAM (write path populates the cache, as the OS cache would).
@@ -66,7 +84,11 @@ class PageCache {
 
  private:
   struct Page {
-    std::string bytes;
+    /// Shared so Pin() can hand out refcounted views. NoteAppend extends the
+    /// buffer in place only while the cache holds the sole reference
+    /// (use_count() == 1 under mu_); otherwise it clones first, so a pinned
+    /// buffer is immutable for the life of the pin.
+    std::shared_ptr<std::string> bytes;
     bool written = false;       // Populated by the append path (vs a read).
     int64_t last_write_ms = 0;  // Meaningful only when written.
     uint64_t key = 0;
@@ -107,6 +129,12 @@ class CachedFile : public File {
   uint64_t Size() const override;
   Status Sync() override;
   Status Truncate(uint64_t size) override;
+
+  /// Zero-copy read support: pins the cache-resident page containing byte
+  /// `offset`; empty on a cache miss. See PageCache::Pin.
+  PageCache::PinnedPage Pin(uint64_t offset) const {
+    return cache_->Pin(file_id_, offset);
+  }
 
  private:
   std::unique_ptr<File> base_;

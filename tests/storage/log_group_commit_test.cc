@@ -1,0 +1,162 @@
+// Group-commit durability (DESIGN.md §6c): sync_mode semantics, the
+// durable-offset watermark, fsync failure handling, and the E7b-style crash
+// invariant — records acknowledged durable survive a crash (simulated by
+// truncating the backing store to its fsynced prefix), unacknowledged ones
+// may be lost, and survivors are always an offset prefix.
+
+#include "storage/log.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "storage/disk.h"
+
+#include "test_util.h"
+
+namespace liquid::storage {
+namespace {
+
+std::vector<Record> KeyedBatch(int count, const std::string& prefix = "k") {
+  std::vector<Record> out;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(
+        Record::KeyValue(prefix + std::to_string(i), "v" + std::to_string(i)));
+  }
+  return out;
+}
+
+class LogGroupCommitTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Log> OpenLog(SyncMode mode,
+                               const std::string& prefix = "g0/") {
+    LogConfig config;
+    config.sync_mode = mode;
+    auto log = Log::Open(&disk_, nullptr, prefix, config, &clock_);
+    EXPECT_TRUE(log.ok()) << log.status().ToString();
+    return std::move(log).value();
+  }
+
+  /// Appends one batch, optionally blocking until it is durable.
+  Status Append(Log* log, int records, bool await) {
+    auto batch = KeyedBatch(records);
+    AppendOptions options;
+    options.await_durability = await;
+    return log->AppendBatch(&batch, options).status();
+  }
+
+  int64_t CountRecords(Log* log) {
+    std::vector<Record> out;
+    EXPECT_TRUE(log->Read(0, 64 << 20, &out).ok());
+    return static_cast<int64_t>(out.size());
+  }
+
+  MemDisk disk_;
+  SimulatedClock clock_{1000};
+};
+
+TEST_F(LogGroupCommitTest, NoneNeverAdvancesDurableOffset) {
+  auto log = OpenLog(SyncMode::kNone);
+  LIQUID_ASSERT_OK(Append(log.get(), 5, /*await=*/false));
+  EXPECT_EQ(log->durable_offset(), 0);
+  EXPECT_EQ(disk_.sync_ops(), 0);
+}
+
+TEST_F(LogGroupCommitTest, EveryBatchSyncsInline) {
+  auto log = OpenLog(SyncMode::kEveryBatch);
+  for (int i = 0; i < 3; ++i) {
+    LIQUID_ASSERT_OK(Append(log.get(), 5, /*await=*/false));
+    EXPECT_EQ(log->durable_offset(), log->end_offset());
+  }
+  EXPECT_GE(disk_.sync_ops(), 3);
+}
+
+TEST_F(LogGroupCommitTest, AwaitedGroupAppendBecomesDurable) {
+  auto log = OpenLog(SyncMode::kGroup);
+  LIQUID_ASSERT_OK(Append(log.get(), 5, /*await=*/true));
+  EXPECT_EQ(log->durable_offset(), 5);
+  EXPECT_GE(disk_.sync_ops(), 1);
+}
+
+TEST_F(LogGroupCommitTest, AckIsPrefixOrdered) {
+  // Awaiting one batch implies every earlier batch is durable too: the
+  // committer's window always covers a prefix of the committed offsets.
+  auto log = OpenLog(SyncMode::kGroup);
+  for (int i = 0; i < 5; ++i) {
+    LIQUID_ASSERT_OK(Append(log.get(), 10, /*await=*/false));
+  }
+  LIQUID_ASSERT_OK(Append(log.get(), 1, /*await=*/true));
+  EXPECT_EQ(log->durable_offset(), log->end_offset());
+}
+
+TEST_F(LogGroupCommitTest, AckedRecordsSurviveCrashUnackedTailMayNot) {
+  // The E7b invariant, extended to single-node durability: acknowledged
+  // means fsynced, so a crash (backing store truncated to the synced
+  // prefix) keeps every acked record; the un-awaited tail appended while
+  // fsyncs were failing is legally lost — and what survives is a prefix.
+  int64_t acked_end = 0;
+  {
+    auto log = OpenLog(SyncMode::kGroup);
+    for (int i = 0; i < 4; ++i) {
+      LIQUID_ASSERT_OK(Append(log.get(), 5, /*await=*/true));
+    }
+    acked_end = log->end_offset();
+    ASSERT_EQ(acked_end, 20);
+
+    // Fail all further fsyncs so the tail cannot become durable — not in a
+    // committer window and not in the destructor's best-effort final sync.
+    disk_.SetSyncFaultHook(
+        [](const std::string&) { return Status::IOError("injected"); });
+    LIQUID_ASSERT_OK(Append(log.get(), 5, /*await=*/false));
+    EXPECT_FALSE(Append(log.get(), 5, /*await=*/true).ok());
+    EXPECT_EQ(log->durable_offset(), acked_end);
+
+    disk_.SimulateCrash();
+  }
+
+  disk_.SetSyncFaultHook(nullptr);
+  auto log = OpenLog(SyncMode::kGroup);
+  EXPECT_EQ(log->end_offset(), acked_end);
+  EXPECT_EQ(CountRecords(log.get()), acked_end);
+}
+
+TEST_F(LogGroupCommitTest, FailedSyncFailsAckAndLaterAppendsRecover) {
+  auto log = OpenLog(SyncMode::kGroup);
+  LIQUID_ASSERT_OK(Append(log.get(), 5, /*await=*/true));
+
+  std::atomic<bool> fail{true};
+  disk_.SetSyncFaultHook([&fail](const std::string&) {
+    return fail.load() ? Status::IOError("injected") : Status::OK();
+  });
+  Status st = Append(log.get(), 5, /*await=*/true);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("injected"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(log->durable_offset(), 5);
+
+  // The committer retries once new batches commit past the failed window;
+  // the next awaited append covers the previously-failed range too.
+  fail.store(false);
+  LIQUID_ASSERT_OK(Append(log.get(), 5, /*await=*/true));
+  EXPECT_EQ(log->durable_offset(), 15);
+}
+
+TEST_F(LogGroupCommitTest, EveryBatchSurvivesCrashCompletely) {
+  {
+    auto log = OpenLog(SyncMode::kEveryBatch);
+    for (int i = 0; i < 3; ++i) {
+      LIQUID_ASSERT_OK(Append(log.get(), 5, /*await=*/false));
+    }
+    disk_.SimulateCrash();
+  }
+  auto log = OpenLog(SyncMode::kEveryBatch);
+  EXPECT_EQ(log->end_offset(), 15);
+  EXPECT_EQ(CountRecords(log.get()), 15);
+}
+
+}  // namespace
+}  // namespace liquid::storage

@@ -11,20 +11,23 @@
 /// fallible API for its side effect must still check the outcome — these
 /// macros make that one line and produce a readable failure message.
 
+// The Status is copied by value: with `auto&&`, LIQUID_ASSERT_OK(r.status())
+// on a temporary Result would bind a reference into an object that dies
+// before the ASSERT statement runs (stack-use-after-scope under ASan).
 #define LIQUID_ASSERT_OK(expr)                                          \
   do {                                                                  \
-    auto&& _liquid_st = (expr);                                         \
+    const ::liquid::Status _liquid_st =                                 \
+        ::liquid::internal::ToStatus((expr));                           \
     ASSERT_TRUE(_liquid_st.ok())                                        \
-        << #expr << " -> "                                              \
-        << ::liquid::internal::ToStatus(_liquid_st).ToString();         \
+        << #expr << " -> " << _liquid_st.ToString();                    \
   } while (0)
 
 #define LIQUID_EXPECT_OK(expr)                                          \
   do {                                                                  \
-    auto&& _liquid_st = (expr);                                         \
+    const ::liquid::Status _liquid_st =                                 \
+        ::liquid::internal::ToStatus((expr));                           \
     EXPECT_TRUE(_liquid_st.ok())                                        \
-        << #expr << " -> "                                              \
-        << ::liquid::internal::ToStatus(_liquid_st).ToString();         \
+        << #expr << " -> " << _liquid_st.ToString();                    \
   } while (0)
 
 #endif  // LIQUID_TESTS_TEST_UTIL_H_
