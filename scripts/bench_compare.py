@@ -10,7 +10,12 @@ Understands both JSON shapes the repo's benches emit:
   * the hand-rolled emitters (bench_parallel_produce, bench_pipeline_latency):
       {"results": [{"name": ..., "records_per_sec": ...}, ...]}
     Any numeric field ending in `_per_sec` is treated as higher-is-better;
-    fields ending in `_us` or `_ms` as lower-is-better latencies.
+    fields ending in `_us` or `_ms` as lower-is-better latencies. A few
+    suffix-less staging-ring fields (bench_insert_sweep's E17 axis) have an
+    explicit direction in DIRECTION_OVERRIDES: lower staging_depth /
+    staging_ring_full / append_locks_per_krec is better (less backlog,
+    backpressure and lock traffic), higher ring_occupancy is better (the
+    producers actually run ahead of the drainer).
 
   * google-benchmark's --benchmark_out report (bench_log_throughput):
       {"benchmarks": [{"name": ..., "real_time": ..., "items_per_second": ...}]}
@@ -38,6 +43,17 @@ def load(path):
         sys.exit(f"bench_compare: cannot read {path}: {exc}")
 
 
+# Suffix-less metrics whose improvement direction is semantic, not lexical
+# (the staging-ring axis of bench_insert_sweep; see EXPERIMENTS.md E17).
+# True: higher is better.
+DIRECTION_OVERRIDES = {
+    "staging_depth": False,
+    "staging_ring_full": False,
+    "append_locks_per_krec": False,
+    "ring_occupancy": True,
+}
+
+
 def extract_metrics(doc):
     """Returns {bench_name: {metric_name: (value, higher_is_better)}}."""
     out = {}
@@ -61,7 +77,9 @@ def extract_metrics(doc):
         for key, value in entry.items():
             is_number = (isinstance(value, (int, float))
                          and not isinstance(value, bool))
-            if is_number and key.endswith("_per_sec"):
+            if is_number and key in DIRECTION_OVERRIDES:
+                metrics[key] = (float(value), DIRECTION_OVERRIDES[key])
+            elif is_number and key.endswith("_per_sec"):
                 metrics[key] = (float(value), True)
             elif is_number and (key.endswith("_us") or key.endswith("_ms")):
                 metrics[key] = (float(value), False)

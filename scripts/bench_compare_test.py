@@ -109,6 +109,39 @@ def test_markdown_table_output():
                if ":" in line and "regression" not in line), proc.stdout
 
 
+def test_staging_direction_overrides():
+    # The E17 staging fields carry no unit suffix; their direction comes from
+    # DIRECTION_OVERRIDES. More backpressure / lock traffic regresses, higher
+    # ring occupancy improves (and must NOT be flagged).
+    baseline = {"results": [
+        {"name": "staging/t8", "append_locks_per_krec": 8.0,
+         "staging_ring_full": 10, "ring_occupancy": 1800.0},
+    ]}
+    worse = {"results": [
+        {"name": "staging/t8", "append_locks_per_krec": 30.0,
+         "staging_ring_full": 10, "ring_occupancy": 1800.0},
+    ]}
+    proc = run_compare(baseline, worse)
+    assert proc.returncode == 1, proc.stdout
+    assert "staging/t8:append_locks_per_krec" in proc.stderr
+
+    better = {"results": [
+        {"name": "staging/t8", "append_locks_per_krec": 2.0,
+         "staging_ring_full": 0, "ring_occupancy": 3000.0},
+    ]}
+    proc = run_compare(baseline, better)
+    assert proc.returncode == 0, proc.stdout
+    assert "no regressions" in proc.stdout
+
+    stalled = {"results": [
+        {"name": "staging/t8", "append_locks_per_krec": 8.0,
+         "staging_ring_full": 10, "ring_occupancy": 100.0},
+    ]}
+    proc = run_compare(baseline, stalled)
+    assert proc.returncode == 1, proc.stdout
+    assert "staging/t8:ring_occupancy" in proc.stderr
+
+
 def test_strict_allows_new_benchmarks():
     current = {"results": [
         {"name": "produce", "records_per_sec": 1100.0, "p99_us": 40.0},

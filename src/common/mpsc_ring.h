@@ -1,0 +1,223 @@
+#ifndef LIQUID_COMMON_MPSC_RING_H_
+#define LIQUID_COMMON_MPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace liquid {
+
+/// A bounded lock-free multi-producer / single-consumer staging ring keyed by
+/// a monotonically increasing sequence number (the log offset, in the append
+/// path). Producers claim a contiguous run of sequence slots with a single
+/// CAS, fill the payload, and publish it with one release store; the single
+/// drainer consumes runs strictly in sequence order. The ring allocates all
+/// of its storage at construction time and never allocates afterwards, so it
+/// is safe on `LIQUID_HOT_PATH` code.
+///
+/// Design notes (mirrored in DESIGN.md §5a "Staging ring"):
+///  - One slot per sequence number. A claim of `n` sequences [base, base+n)
+///    stores its payload only in the slot of `base`; the other claimed slots
+///    stay empty and are skipped by the drainer when it jumps the cursor by
+///    the run's `count`. Making the sequence number *be* the slot index
+///    (modulo capacity) guarantees drain order == sequence order with one
+///    atomic claim, and lets producers encode their payload with final
+///    sequence numbers assigned, concurrently, outside any lock.
+///  - The claim word packs `(next_unclaimed_sequence << 1) | closed` so a
+///    gate transition (Close/Reset by an external quiescer) cannot race a
+///    concurrent claim: a claimer's CAS fails if the gate bit flipped, and a
+///    CAS that reads the value written by `Reset` acquire-synchronizes with
+///    the reset's slot clears.
+///  - A full ring rejects the claim with **no side effects**, so callers can
+///    surface backpressure (client-side throttle/retry) without broker-side
+///    blocking; `kClosed` likewise means "retry later" while a mutator holds
+///    the gate.
+///  - The drainer advances `consumed_` as soon as it has moved a payload out
+///    of its slot — before the payload is persisted — because slot reuse only
+///    requires the *memory* to be free. Persistence watermarks are the
+///    caller's business (`Log::committed_offset_`/`durable_offset_`).
+///
+/// Thread-safety: `Claim`/`Publish` may race freely from any number of
+/// producers. `TryConsume`/`PeekReady` must be called by one consumer at a
+/// time. `Close`/`Reset`/`reserved` are gate operations: callers serialize
+/// them externally (the log uses `append_mu_`) and `Reset` additionally
+/// requires the ring to be closed and fully drained.
+template <typename T>
+class MpscRing {
+ public:
+  /// Outcome of a `Claim` attempt. Only `kOk` has side effects.
+  enum class ClaimResult {
+    kOk,      ///< Slots [*base, *base+n) are claimed; caller must Publish().
+    kFull,    ///< No room: `n` sequences would overrun unconsumed slots.
+    kClosed,  ///< Gate closed by a mutator; retry after it reopens.
+  };
+
+  /// Creates a ring with at least `min_capacity` slots (rounded up to a
+  /// power of two, minimum 2). Allocation happens only here.
+  explicit MpscRing(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      slots_[i].seq.store(kEmptySeq, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Claims `n` consecutive sequence numbers. On `kOk`, `*base` is the first
+  /// claimed sequence and the caller owns slots [*base, *base+n) until it
+  /// publishes them. On `kFull`/`kClosed` nothing was claimed. Callers must
+  /// ensure `0 < n <= capacity()`.
+  ClaimResult Claim(int64_t n, int64_t* base) {
+    // order: acquire pairs with Reset's release store so a claimer entering
+    // a freshly reopened ring observes the cleared slot sequence numbers
+    // before writing into its slots.
+    uint64_t cur = reserve_.load(std::memory_order_acquire);
+    for (;;) {
+      if ((cur & kClosedBit) != 0) return ClaimResult::kClosed;
+      const int64_t first = static_cast<int64_t>(cur >> 1);
+      // order: acquire pairs with the consumer's release store in
+      // TryConsume, so our writes into reclaimed slots happen after the
+      // consumer finished moving the previous tenant's payload out.
+      const int64_t freed = consumed_.load(std::memory_order_acquire);
+      if (first + n - freed > static_cast<int64_t>(capacity_)) {
+        return ClaimResult::kFull;
+      }
+      const uint64_t next = static_cast<uint64_t>(first + n) << 1;
+      // order: success acquire pairs with Reset's release store in case the
+      // gate cycled to the same numeric value since our first load; failure
+      // acquire re-synchronizes the reloaded word for the next iteration.
+      // The claim itself publishes nothing (Publish's release store on the
+      // slot sequence is the publication edge).
+      if (reserve_.compare_exchange_weak(cur, next, std::memory_order_acquire,
+                                         std::memory_order_acquire)) {
+        *base = first;
+        return ClaimResult::kOk;
+      }
+    }
+  }
+
+  /// Publishes the payload for a claimed run [base, base+n). After this
+  /// returns the consumer may pick the run up at any moment; the producer
+  /// must not touch the slots again.
+  void Publish(int64_t base, int64_t n, T value) {
+    Slot& slot = slots_[Index(base)];
+    slot.value = std::move(value);
+    slot.count = n;
+    // order: release publishes the slot payload (value, count) to the
+    // consumer's acquire load of `seq` in TryConsume/PeekReady.
+    slot.seq.store(base, std::memory_order_release);
+  }
+
+  /// Returns true when the run starting at `cursor` has been published.
+  bool PeekReady(int64_t cursor) const {
+    // order: acquire pairs with Publish's release store so callers that act
+    // on readiness (the drainer's wait predicate) see the payload.
+    return slots_[Index(cursor)].seq.load(std::memory_order_acquire) == cursor;
+  }
+
+  /// Consumes the run starting at `cursor` if it has been published: moves
+  /// the payload into `*out`, stores the run length in `*count`, frees the
+  /// slots for reuse, and returns true. Returns false when the producer of
+  /// `cursor` has not published yet. Single consumer only.
+  bool TryConsume(int64_t cursor, int64_t* count, T* out) {
+    Slot& slot = slots_[Index(cursor)];
+    // order: acquire pairs with Publish's release store; the payload reads
+    // below happen after the producer's writes.
+    if (slot.seq.load(std::memory_order_acquire) != cursor) return false;
+    *out = std::move(slot.value);
+    slot.value = T();
+    *count = slot.count;
+    // order: release frees the run's slots to producers' acquire load of
+    // `consumed_` in Claim — their writes into the reclaimed slots must
+    // happen after our move-out above.
+    consumed_.store(cursor + slot.count, std::memory_order_release);
+    return true;
+  }
+
+  /// Closes the claim gate: subsequent `Claim` calls fail with `kClosed`
+  /// until `Reset` reopens the ring. Runs already claimed may still be
+  /// published and consumed. Callers serialize gate operations externally.
+  void Close() {
+    // relaxed: atomicity of the RMW on the packed word is all that is
+    // needed; the gate publishes no payload.
+    reserve_.fetch_or(kClosedBit, std::memory_order_relaxed);
+  }
+
+  /// True when the claim gate is closed.
+  bool closed() const {
+    // relaxed: advisory read; gate transitions are externally serialized.
+    return (reserve_.load(std::memory_order_relaxed) & kClosedBit) != 0;
+  }
+
+  /// Reopens an empty, closed ring at sequence `next`. Requires external
+  /// quiescence: the gate is closed, every claimed run has been consumed,
+  /// and no producer can observe the ring between the slot clears below and
+  /// the reopening store (claims keep failing with `kClosed` until then).
+  void Reset(int64_t next) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      slots_[i].seq.store(kEmptySeq, std::memory_order_relaxed);
+      slots_[i].value = T();
+      slots_[i].count = 0;
+    }
+    // relaxed: no consumer runs during a reset (quiescence contract).
+    consumed_.store(next, std::memory_order_relaxed);
+    // order: release publishes the cleared slots and consumed watermark to
+    // the first claimer's acquire load/CAS in Claim.
+    reserve_.store(static_cast<uint64_t>(next) << 1,
+                   std::memory_order_release);
+  }
+
+  /// The next unclaimed sequence number. Stable while the gate is closed;
+  /// otherwise a racy snapshot (suitable for metrics and drain predicates).
+  int64_t reserved() const {
+    // relaxed: same-thread gate callers read their own fetch_or coherently;
+    // metric readers tolerate staleness.
+    return static_cast<int64_t>(reserve_.load(std::memory_order_relaxed) >> 1);
+  }
+
+  /// The lowest sequence number whose slot has not been freed yet.
+  int64_t consumed() const {
+    // relaxed: metric/diagnostic snapshot.
+    return consumed_.load(std::memory_order_relaxed);
+  }
+
+  /// Claimed-but-not-yet-freed sequence count — the staging depth gauge.
+  int64_t depth() const { return reserved() - consumed(); }
+
+  /// Slot count (power of two). The largest claimable run.
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    /// Sequence number this slot's payload belongs to, or kEmptySeq.
+    std::atomic<int64_t> seq{kEmptySeq};
+    /// Run length; meaningful only in the base slot of a published run.
+    int64_t count = 0;
+    T value{};
+  };
+
+  static constexpr uint64_t kClosedBit = 1;
+  static constexpr int64_t kEmptySeq = -1;
+
+  size_t Index(int64_t seq) const {
+    return static_cast<size_t>(seq) & mask_;
+  }
+
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  /// Packed claim word: (next unclaimed sequence << 1) | closed bit.
+  std::atomic<uint64_t> reserve_{0};
+  /// Sequences below this are fully consumed and their slots reusable.
+  std::atomic<int64_t> consumed_{0};
+};
+
+}  // namespace liquid
+
+#endif  // LIQUID_COMMON_MPSC_RING_H_

@@ -557,6 +557,7 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
   int64_t leo = 0;
   int64_t leader_hw = 0;
   bool group_sync = false;
+  bool ring_staged = false;
   storage::EncodedBatch batch;
   {
     ReaderMutexLock map_lock(&map_mu_);
@@ -574,6 +575,8 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
       return Status::Unavailable("ISR below min.insync.replicas for " +
                                  tp.ToString());
     }
+    bool advanced_seq = false;
+    int32_t prev_seq = -1;
     if (producer_id != storage::kNoProducerId && first_sequence >= 0) {
       auto it = replica->producer_last_seq.find(producer_id);
       const int32_t last = it == replica->producer_last_seq.end() ? -1 : it->second;
@@ -591,6 +594,8 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
       }
       replica->producer_last_seq[producer_id] =
           first_sequence + static_cast<int32_t>(records.size()) - 1;
+      advanced_seq = true;
+      prev_seq = last;
       int32_t seq = first_sequence;
       for (auto& record : records) {
         record.producer_id = producer_id;
@@ -599,12 +604,35 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
     }
     for (auto& record : records) record.leader_epoch = replica->leader_epoch;
     // Encode-once: the batch buffer produced here is the exact bytes on our
-    // disk, and the same buffer is forwarded to followers below.
-    auto batch_result = replica->log->AppendBatch(&records);
-    if (!batch_result.ok()) return batch_result.status();
+    // disk, and the same buffer is forwarded to followers below. Under
+    // Staging::kRing, async_stage makes this a lock-free claim + encode +
+    // publish: the drainer appends later, and acknowledgment flows through
+    // AwaitAppended below (acks=all) or the high-watermark (acks<=1).
+    storage::AppendOptions append_options;
+    append_options.async_stage = true;
+    auto batch_result = replica->log->AppendBatch(&records, append_options);
+    if (!batch_result.ok()) {
+      if (advanced_seq) {
+        // Roll the dedup window back, or the producer's retry of this very
+        // batch would be dropped as a duplicate — ring backpressure
+        // (ResourceExhausted) makes append rejections a normal, retriable
+        // event rather than a rarity.
+        if (prev_seq < 0) {
+          replica->producer_last_seq.erase(producer_id);
+        } else {
+          replica->producer_last_seq[producer_id] = prev_seq;
+        }
+      }
+      return batch_result.status();
+    }
     batch = std::move(batch_result).value();
     base = batch.base_offset();
-    leo = replica->log->end_offset();
+    // The batch's own extent, not end_offset(): under ring staging the
+    // append may not have committed yet (end_offset() excludes staged runs);
+    // under the locked path the two are identical while replica->mu is held.
+    leo = batch.last_offset() + 1;
+    ring_staged =
+        replica->log->config().staging == storage::Staging::kRing;
     broker_produce_records_->Increment(static_cast<int64_t>(records.size()));
     replica->append_records->Increment(static_cast<int64_t>(records.size()));
     if (acks != AckMode::kAll) {
@@ -646,7 +674,7 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
   // membership lock — which keeps the Replica (and its log) alive, since
   // erasing one needs map_mu_ exclusive — but NOT the replica lock, so
   // same-partition producers keep filling the window we are waiting on.
-  if (group_sync && acks == AckMode::kAll) {
+  if ((ring_staged || group_sync) && acks == AckMode::kAll) {
     ReaderMutexLock map_lock(&map_mu_);
     auto replica_result = FindReplicaShared(tp);
     if (replica_result.ok()) {
@@ -655,7 +683,14 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
         MutexLock lock(&(*replica_result)->mu);
         log = (*replica_result)->log.get();
       }
-      if (log != nullptr) LIQUID_RETURN_NOT_OK(log->AwaitDurable(leo));
+      if (log != nullptr) {
+        // Ring staging: an acks=all acknowledgment asserts the leader
+        // actually appended the batch, so wait for the drainer to land it
+        // (per-slot completion surfaces through the committed/durable
+        // watermarks) before the durability wait below.
+        if (ring_staged) LIQUID_RETURN_NOT_OK(log->AwaitAppended(base, leo));
+        if (group_sync) LIQUID_RETURN_NOT_OK(log->AwaitDurable(leo));
+      }
     }
   }
 
@@ -924,6 +959,11 @@ Result<FetchResponse> Broker::Fetch(const TopicPartition& tp, int64_t offset,
       resp.next_fetch_offset =
           resp.batch.empty() ? offset : resp.batch.last_offset() + 1;
     } else {
+      // Under ring staging the high watermark only moves when something
+      // observes the drainer's progress; advancing it on the consumer fetch
+      // path keeps a quiet partition's tail visible without waiting for the
+      // next produce or replica fetch. (No-op when already current.)
+      AdvanceHighWatermarkLocked(tp, replica);
       // Consumers see only committed data; read_committed additionally hides
       // data of ongoing transactions (LSO clamp), aborted data and markers.
       const int64_t visibility_bound = read_committed

@@ -230,7 +230,11 @@ Result<ProduceResponse> Producer::SendBatch(
       return resp;
     }
     last_error = resp.status();
-    if (!last_error.IsNotLeader() && !last_error.IsUnavailable()) {
+    // ResourceExhausted is the staging ring's backpressure verdict
+    // (LogConfig::staging == ring): the broker never sleeps; the producer
+    // backs off below and retries — same convention as quota throttling.
+    if (!last_error.IsNotLeader() && !last_error.IsUnavailable() &&
+        !last_error.IsResourceExhausted()) {
       return last_error;  // Non-retriable.
     }
     {

@@ -1,0 +1,149 @@
+// Broker-level staging ring (DESIGN.md §5a): on a staging=ring topic
+// Broker::Produce stages the batch with a lock-free claim (async_stage), so
+// the ack path changes shape — acks=all awaits the drainer's append (and the
+// group fsync when sync_mode=group) via AwaitAppended/AwaitDurable, acks<=1
+// returns as soon as the batch is published, and consumers see records once
+// the fetch path advances the high watermark over the drained range. These
+// tests pin that the client-visible contract (fetchable records, idempotent
+// dedup, crash durability of acks=all) is unchanged from staging=off.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "messaging/broker.h"
+#include "messaging/cluster.h"
+#include "storage/log.h"
+
+#include "test_util.h"
+
+namespace liquid::messaging {
+namespace {
+
+class StagingProduceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_brokers = 1;
+    cluster_ = std::make_unique<Cluster>(config, &clock_);
+    ASSERT_TRUE(cluster_->Start().ok());
+    TopicConfig topic;
+    topic.partitions = 1;
+    topic.replication_factor = 1;
+    topic.log.staging = storage::Staging::kRing;
+    topic.log.sync_mode = storage::SyncMode::kGroup;
+    ASSERT_TRUE(cluster_->CreateTopic("t", topic).ok());
+  }
+
+  Status ProduceOne(AckMode acks, const std::string& value,
+                    int64_t producer_id = storage::kNoProducerId,
+                    int32_t first_sequence = -1) {
+    auto leader = cluster_->LeaderFor(tp_);
+    if (!leader.ok()) return leader.status();
+    std::vector<storage::Record> batch{storage::Record::KeyValue("k", value)};
+    return (*leader)
+        ->Produce(tp_, std::move(batch), acks, producer_id, first_sequence)
+        .status();
+  }
+
+  int64_t CountFetchable() {
+    auto leader = cluster_->LeaderFor(tp_);
+    EXPECT_TRUE(leader.ok()) << leader.status().ToString();
+    int64_t count = 0;
+    int64_t cursor = 0;
+    while (true) {
+      auto fetch = (*leader)->Fetch(tp_, cursor, 1 << 20, -1);
+      if (!fetch.ok() || fetch->records.empty()) break;
+      count += static_cast<int64_t>(fetch->records.size());
+      cursor = fetch->records.back().offset + 1;
+    }
+    return count;
+  }
+
+  const TopicPartition tp_{"t", 0};
+  SimulatedClock clock_{1000};
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(StagingProduceTest, StagedProduceIsFetchableUnderBothAckModes) {
+  // acks=all blocks on AwaitAppended + the group sync, so its records are
+  // consumer-visible on return; acks=1 records become fetchable once a
+  // later fetch advances the high watermark over the drained range.
+  for (int i = 0; i < 5; ++i) {
+    LIQUID_ASSERT_OK(ProduceOne(AckMode::kAll, "all" + std::to_string(i)));
+  }
+  EXPECT_EQ(CountFetchable(), 5);
+  for (int i = 0; i < 5; ++i) {
+    LIQUID_ASSERT_OK(ProduceOne(AckMode::kLeader, "one" + std::to_string(i)));
+  }
+  // The fetch path itself advances the watermark over drained staged
+  // batches (no producer is waiting to do it), so polling converges.
+  for (int spin = 0; spin < 1000 && CountFetchable() < 10; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(CountFetchable(), 10);
+}
+
+TEST_F(StagingProduceTest, AcksAllSurvivesCrashUnderRingStaging) {
+  for (int i = 0; i < 10; ++i) {
+    LIQUID_ASSERT_OK(ProduceOne(AckMode::kAll, "v" + std::to_string(i)));
+  }
+  EXPECT_GE(cluster_->disk(0)->sync_ops(), 1);
+  cluster_->disk(0)->SimulateCrash();
+  ASSERT_TRUE(cluster_->StopBroker(0).ok());
+  ASSERT_TRUE(cluster_->RestartBroker(0).ok());
+  EXPECT_EQ(CountFetchable(), 10);
+}
+
+TEST_F(StagingProduceTest, FailedStagedAppendRollsBackTheSequence) {
+  // A staged append that fails outright (batch larger than the ring) must
+  // roll back the idempotence sequence advance, or the producer's retry
+  // would be dropped as a duplicate.
+  TopicConfig tiny;
+  tiny.partitions = 1;
+  tiny.replication_factor = 1;
+  tiny.log.staging = storage::Staging::kRing;
+  tiny.log.staging_capacity = 4;
+  ASSERT_TRUE(cluster_->CreateTopic("tiny", tiny).ok());
+  const TopicPartition tp{"tiny", 0};
+  auto leader = cluster_->LeaderFor(tp);
+  LIQUID_ASSERT_OK(leader.status());
+
+  const int64_t pid = 7;
+  std::vector<storage::Record> small{storage::Record::KeyValue("k", "v0")};
+  LIQUID_ASSERT_OK(
+      (*leader)->Produce(tp, std::move(small), AckMode::kAll, pid, 0).status());
+
+  std::vector<storage::Record> oversized;
+  for (int i = 0; i < 10; ++i) {
+    oversized.push_back(storage::Record::KeyValue("k", "big"));
+  }
+  EXPECT_FALSE(
+      (*leader)
+          ->Produce(tp, std::move(oversized), AckMode::kAll, pid, 1)
+          .ok());
+
+  // The retry with the same sequence must be accepted, not deduplicated.
+  std::vector<storage::Record> retry{storage::Record::KeyValue("k", "v1")};
+  auto resp =
+      (*leader)->Produce(tp, std::move(retry), AckMode::kAll, pid, 1);
+  LIQUID_ASSERT_OK(resp.status());
+  EXPECT_EQ(resp->base_offset, 1);
+}
+
+TEST_F(StagingProduceTest, DuplicateStagedBatchIsStillDeduplicated) {
+  const int64_t pid = 9;
+  LIQUID_ASSERT_OK(ProduceOne(AckMode::kAll, "v0", pid, 0));
+  // The resend of an already-acked sequence is acked without re-appending.
+  LIQUID_ASSERT_OK(ProduceOne(AckMode::kAll, "v0", pid, 0));
+  LIQUID_ASSERT_OK(ProduceOne(AckMode::kAll, "v1", pid, 1));
+  EXPECT_EQ(CountFetchable(), 2);
+}
+
+}  // namespace
+}  // namespace liquid::messaging

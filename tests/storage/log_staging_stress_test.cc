@@ -1,0 +1,169 @@
+// TSan stress for the lock-free staging ring (DESIGN.md §5a): N producers
+// (async with client-side retry, and synchronous awaiting durability) race
+// the drainer thread, zero-copy readers pinning cache pages, retention-churn
+// gate close/reopen cycles, AwaitDurable waiters, and Stop/restart churn
+// (each phase destroys the log and reopens it over the same disk). Run under
+// -fsanitize=thread by scripts/check.sh; the assertions are secondary to the
+// data-race detection.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "storage/disk.h"
+#include "storage/log.h"
+#include "storage/page_cache.h"
+#include "storage/record_batch.h"
+
+#include "test_util.h"
+
+namespace liquid::storage {
+namespace {
+
+TEST(LogStagingStressTest, ProducersRaceDrainerMutatorsAndRestarts) {
+  MemDisk disk;
+  SimulatedClock clock(1000);
+  // Small pages and capacity so eviction and copy-on-extend fire constantly
+  // under the readers' pins.
+  PageCacheConfig cache_config;
+  cache_config.page_size = 512;
+  cache_config.capacity_bytes = 16 << 10;
+  cache_config.flush_after_ms = 0;
+  PageCache cache(cache_config, &clock);
+
+  LogConfig config;
+  config.segment_bytes = 32 << 10;  // Roll segments mid-run too.
+  config.sync_mode = SyncMode::kGroup;
+  config.staging = Staging::kRing;
+  config.staging_capacity = 64;  // Small: backpressure fires under load.
+
+  constexpr int kPhases = 3;  // Stop/restart churn: reopen over the same disk.
+  constexpr int kProducers = 4;
+  constexpr int kBatchesPerProducer = 60;
+  constexpr int kRecordsPerBatch = 5;
+  int64_t produced_total = 0;
+
+  for (int phase = 0; phase < kPhases; ++phase) {
+    auto opened = Log::Open(&disk, &cache, "sgstress/", config, &clock);
+    LIQUID_ASSERT_OK(opened.status());
+    std::unique_ptr<Log> log = std::move(opened).value();
+    const int64_t phase_base = log->end_offset();
+    ASSERT_EQ(phase_base, produced_total);
+
+    std::atomic<bool> stop{false};
+    std::atomic<int64_t> accepted_records{0};
+    std::vector<std::thread> threads;
+
+    // Producers: even ids drive the async broker-produce path (publish,
+    // retry on ResourceExhausted backpressure, AwaitAppended); odd ids stay
+    // synchronous and await group durability — both flavors race the same
+    // ring.
+    for (int t = 0; t < kProducers; ++t) {
+      threads.emplace_back([&, t] {
+        const bool async = (t % 2) == 0;
+        for (int i = 0; i < kBatchesPerProducer; ++i) {
+          std::vector<Record> batch;
+          for (int r = 0; r < kRecordsPerBatch; ++r) {
+            batch.push_back(Record::KeyValue(
+                "k" + std::to_string(t) + "-" + std::to_string(i),
+                std::string(64, 'v')));
+          }
+          AppendOptions options;
+          options.async_stage = async;
+          options.await_durability = !async;
+          for (;;) {
+            auto copy = batch;
+            auto result = log->AppendBatch(&copy, options);
+            if (result.ok()) {
+              if (async) {
+                const int64_t base = result->base_offset();
+                Status appended =
+                    log->AwaitAppended(base, base + kRecordsPerBatch);
+                ASSERT_TRUE(appended.ok()) << appended.ToString();
+              }
+              accepted_records.fetch_add(kRecordsPerBatch);
+              break;
+            }
+            // The client-side throttle convention: back off and retry.
+            ASSERT_TRUE(result.status().IsResourceExhausted())
+                << result.status().ToString();
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+          }
+        }
+      });
+    }
+
+    // Zero-copy reader: decodes whatever frames the pinned/copied read
+    // returns while the drainer extends segments and eviction churns.
+    threads.emplace_back([&] {
+      int64_t cursor = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        EncodedBatch out;
+        Status st = log->ReadEncoded(cursor, 8 << 10, &out);
+        if (st.ok() && !out.empty()) {
+          std::vector<Record> decoded;
+          ASSERT_TRUE(out.DecodeAll(&decoded).ok());
+          ASSERT_EQ(decoded.front().offset, out.base_offset());
+          cursor = out.last_offset() + 1;
+        } else {
+          cursor = 0;  // Wrap and rescan from the head.
+        }
+      }
+    });
+
+    // Retention churn: retention_ms stays -1 so nothing is deleted, but
+    // every call closes the claim gate, drains the ring, and reopens it —
+    // the mutator handshake under full producer fire.
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto deleted = log->ApplyRetention();
+        ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+
+    // AwaitDurable waiter: chases the moving end offset, exercising the
+    // durable_cv_ wait/signal path concurrently with the drainer's group
+    // windows.
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const int64_t end = log->end_offset();
+        if (end > 0) {
+          Status st = log->AwaitDurable(end);
+          ASSERT_TRUE(st.ok()) << st.ToString();
+          ASSERT_GE(log->durable_offset(), end);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+
+    for (int t = 0; t < kProducers; ++t) threads[t].join();
+    stop.store(true, std::memory_order_release);
+    for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+    produced_total += kProducers * kBatchesPerProducer * kRecordsPerBatch;
+    EXPECT_EQ(accepted_records.load(),
+              kProducers * kBatchesPerProducer * kRecordsPerBatch);
+
+    // A final synchronous awaited append proves the pipeline is quiescent
+    // and durable before the phase's destructor (Stop) runs.
+    std::vector<Record> fin{Record::KeyValue("phase", std::to_string(phase))};
+    AppendOptions awaited;
+    awaited.await_durability = true;
+    LIQUID_ASSERT_OK(log->AppendBatch(&fin, awaited).status());
+    ++produced_total;
+    EXPECT_EQ(log->end_offset(), produced_total);
+    EXPECT_EQ(log->durable_offset(), produced_total);
+  }
+
+  EXPECT_GE(disk.sync_ops(), kPhases);
+}
+
+}  // namespace
+}  // namespace liquid::storage

@@ -1,0 +1,374 @@
+// Staging ring correctness (DESIGN.md §5a): with LogConfig::staging == kRing
+// producers claim offsets from a lock-free MPSC ring and a single drainer
+// (the committer thread) appends in offset order. These tests pin the mode's
+// contract against the legacy locked pipeline:
+//
+//   * acked byte streams are identical to Staging::kOff — same decoded
+//     records, same wire bytes, traced records included;
+//   * synchronous callers (async_stage off, the default) still observe the
+//     append result and end_offset() visibility on return;
+//   * a full ring surfaces ResourceExhausted to async producers (backpressure
+//     via the client-side throttle convention) and staging_ring_full_total
+//     counts it, while every accepted record still lands;
+//   * drainer-side failures reach AwaitAppended waiters (unacknowledged, not
+//     necessarily absent — the failed-group-sync semantics);
+//   * the crash invariant of SyncMode::kGroup holds unchanged under kRing;
+//   * mutators (Truncate/ApplyRetention) close and reopen the claim gate and
+//     appends continue at the post-mutation offset;
+//   * the encode-once follower path (AppendEncoded) works on a ring-mode log;
+//   * the producer path really left append_mu_: lock acquisitions per batch
+//     drop from the locked pipeline's 3 to at most the drainer-wake path's 1.
+
+#include "storage/log.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "storage/disk.h"
+#include "storage/record_batch.h"
+
+#include "test_util.h"
+
+namespace liquid::storage {
+namespace {
+
+std::string BatchBytes(const EncodedBatch& batch) {
+  Slice s = batch.bytes();
+  return std::string(s.data(), s.size());
+}
+
+class LogStagingTest : public ::testing::Test {
+ protected:
+  /// Opens a log under `prefix`; `staging` toggles the ring against the
+  /// byte-identical legacy reference.
+  std::unique_ptr<Log> OpenLog(const std::string& prefix, Staging staging,
+                               SyncMode sync_mode = SyncMode::kNone,
+                               size_t staging_capacity = 4096) {
+    LogConfig config;
+    config.staging = staging;
+    config.sync_mode = sync_mode;
+    config.staging_capacity = staging_capacity;
+    auto log = Log::Open(&disk_, nullptr, prefix, config, &clock_);
+    EXPECT_TRUE(log.ok()) << log.status().ToString();
+    return std::move(log).value();
+  }
+
+  /// A batch ending in a traced record, so the staged encode covers the
+  /// optional trace block too.
+  std::vector<Record> MixedBatch(int count, const std::string& prefix = "k") {
+    std::vector<Record> out;
+    for (int i = 0; i < count; ++i) {
+      out.push_back(Record::KeyValue(prefix + std::to_string(i),
+                                     "value-" + std::to_string(i)));
+    }
+    out.back().trace_id = 0xabcdef;
+    return out;
+  }
+
+  int64_t CountRecords(Log* log) {
+    std::vector<Record> out;
+    EXPECT_TRUE(log->Read(0, 64 << 20, &out).ok());
+    return static_cast<int64_t>(out.size());
+  }
+
+  Counter* MetricFor(const std::string& instance, const std::string& name) {
+    return MetricsRegistry::Default()->GetCounter("liquid.log." + instance +
+                                                  "." + name);
+  }
+
+  MemDisk disk_;
+  SimulatedClock clock_{1000};
+};
+
+TEST_F(LogStagingTest, AckedByteStreamIdenticalToLegacyPath) {
+  // Same records, same (simulated) clock: the ring-staged log must produce
+  // byte-identical segments to the locked pipeline, traced record included.
+  auto legacy = OpenLog("sg-ref/", Staging::kOff);
+  auto ring = OpenLog("sg-ring/", Staging::kRing);
+
+  for (int b = 0; b < 8; ++b) {
+    auto for_legacy = MixedBatch(5, "b" + std::to_string(b) + "-");
+    auto for_ring = for_legacy;
+    auto legacy_batch = legacy->AppendBatch(&for_legacy);
+    auto ring_batch = ring->AppendBatch(&for_ring);
+    LIQUID_ASSERT_OK(legacy_batch.status());
+    LIQUID_ASSERT_OK(ring_batch.status());
+    // The returned one-time encodings match frame for frame.
+    EXPECT_EQ(BatchBytes(*legacy_batch), BatchBytes(*ring_batch));
+  }
+  EXPECT_EQ(legacy->end_offset(), ring->end_offset());
+
+  // And so do the bytes that actually landed in the log.
+  EncodedBatch legacy_read, ring_read;
+  LIQUID_ASSERT_OK(legacy->ReadEncoded(0, 64 << 20, &legacy_read));
+  LIQUID_ASSERT_OK(ring->ReadEncoded(0, 64 << 20, &ring_read));
+  EXPECT_EQ(BatchBytes(legacy_read), BatchBytes(ring_read));
+
+  std::vector<Record> legacy_records, ring_records;
+  LIQUID_ASSERT_OK(legacy->Read(0, 64 << 20, &legacy_records));
+  LIQUID_ASSERT_OK(ring->Read(0, 64 << 20, &ring_records));
+  ASSERT_EQ(legacy_records.size(), ring_records.size());
+  for (size_t i = 0; i < legacy_records.size(); ++i) {
+    EXPECT_EQ(legacy_records[i].offset, ring_records[i].offset);
+    EXPECT_EQ(legacy_records[i].key, ring_records[i].key);
+    EXPECT_EQ(legacy_records[i].value, ring_records[i].value);
+    EXPECT_EQ(legacy_records[i].timestamp_ms, ring_records[i].timestamp_ms);
+    EXPECT_EQ(legacy_records[i].trace_id, ring_records[i].trace_id);
+  }
+}
+
+TEST_F(LogStagingTest, SynchronousCallersSeeTheAppendOnReturn) {
+  // Default AppendOptions keep the Staging::kOff contract: when AppendBatch
+  // returns, the records are committed and visible.
+  auto log = OpenLog("sg-sync/", Staging::kRing);
+  for (int b = 0; b < 4; ++b) {
+    auto batch = MixedBatch(3);
+    auto result = log->AppendBatch(&batch);
+    LIQUID_ASSERT_OK(result.status());
+    EXPECT_EQ(log->end_offset(), (b + 1) * 3);
+    EXPECT_EQ(CountRecords(log.get()), (b + 1) * 3);
+  }
+}
+
+TEST_F(LogStagingTest, OversizedBatchIsRejectedOutright) {
+  auto log = OpenLog("sg-big/", Staging::kRing, SyncMode::kNone,
+                     /*staging_capacity=*/4);
+  auto batch = MixedBatch(10);
+  Status st = log->AppendBatch(&batch).status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_EQ(log->end_offset(), 0);
+}
+
+TEST_F(LogStagingTest, FullRingSurfacesResourceExhaustedToAsyncProducers) {
+  // Stall the drainer inside its per-batch fsync (kEveryBatch) so published
+  // runs pile up in a 4-slot ring; the async produce path must get
+  // ResourceExhausted — never a broker-side sleep — and every accepted
+  // record must still land once the drainer resumes.
+  auto log = OpenLog("sg-full/", Staging::kRing, SyncMode::kEveryBatch,
+                     /*staging_capacity=*/4);
+  Counter* ring_full = MetricFor("sg-full", "staging_ring_full_total");
+  const int64_t ring_full_before = ring_full->value();
+
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  disk_.SetSyncFaultHook([&](const std::string&) {
+    if (release.load()) return Status::OK();
+    entered.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return Status::OK();
+  });
+
+  AppendOptions async;
+  async.async_stage = true;
+
+  // First record: consumed by the drainer (freeing its slot), which then
+  // blocks in the fsync hook.
+  auto first = MixedBatch(1, "a");
+  LIQUID_ASSERT_OK(log->AppendBatch(&first, async).status());
+  while (!entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The drainer is stalled: exactly `capacity` more records fit, then the
+  // claim fails without blocking.
+  int accepted = 1;
+  Status backpressure = Status::OK();
+  for (int i = 0; i < 8 && backpressure.ok(); ++i) {
+    auto batch = MixedBatch(1, "b" + std::to_string(i) + "-");
+    backpressure = log->AppendBatch(&batch, async).status();
+    if (backpressure.ok()) ++accepted;
+  }
+  EXPECT_TRUE(backpressure.IsResourceExhausted()) << backpressure.ToString();
+  EXPECT_EQ(accepted, 5);  // 1 consumed + 4 ring slots.
+  EXPECT_GT(ring_full->value() - ring_full_before, 0);
+
+  // Resume the drainer; everything accepted becomes appended and durable.
+  release.store(true);
+  LIQUID_ASSERT_OK(log->AwaitAppended(0, accepted));
+  EXPECT_EQ(log->end_offset(), accepted);
+  EXPECT_EQ(CountRecords(log.get()), accepted);
+  EXPECT_EQ(log->durable_offset(), accepted);
+
+  // And the rejected producer's retry (the client-side convention) succeeds.
+  auto retry = MixedBatch(1, "retry");
+  LIQUID_ASSERT_OK(log->AppendBatch(&retry, async).status());
+  LIQUID_ASSERT_OK(log->AwaitAppended(accepted, accepted + 1));
+  EXPECT_EQ(log->end_offset(), accepted + 1);
+  disk_.SetSyncFaultHook(nullptr);
+}
+
+TEST_F(LogStagingTest, DrainerSyncFailureReachesTheAwaiter) {
+  // kEveryBatch promises per-batch durability; when the drainer's fsync for
+  // a staged batch fails, AwaitAppended over that range must return the
+  // error — the batch is unacknowledged, not necessarily absent.
+  auto log = OpenLog("sg-fail/", Staging::kRing, SyncMode::kEveryBatch);
+  auto ok_batch = MixedBatch(2);
+  LIQUID_ASSERT_OK(log->AppendBatch(&ok_batch).status());
+
+  std::atomic<bool> fail{true};
+  disk_.SetSyncFaultHook([&fail](const std::string&) {
+    return fail.load() ? Status::IOError("injected") : Status::OK();
+  });
+  AppendOptions async;
+  async.async_stage = true;
+  auto bad_batch = MixedBatch(2);
+  LIQUID_ASSERT_OK(log->AppendBatch(&bad_batch, async).status());
+  Status st = log->AwaitAppended(2, 4);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("injected"), std::string::npos) << st.ToString();
+
+  // Later batches recover once fsync heals.
+  fail.store(false);
+  auto next = MixedBatch(2);
+  LIQUID_ASSERT_OK(log->AppendBatch(&next).status());
+  disk_.SetSyncFaultHook(nullptr);
+}
+
+TEST_F(LogStagingTest, AckedRecordsSurviveCrashUnderRingGroupCommit) {
+  // The group-commit crash invariant, unchanged by the staging ring: acked
+  // (awaited) records survive SimulateCrash, the un-awaited tail appended
+  // while fsyncs were failing may not, and what survives is a prefix.
+  int64_t acked_end = 0;
+  {
+    auto log = OpenLog("sg-crash/", Staging::kRing, SyncMode::kGroup);
+    AppendOptions awaited;
+    awaited.await_durability = true;
+    for (int i = 0; i < 4; ++i) {
+      auto batch = MixedBatch(5, "w" + std::to_string(i) + "-");
+      LIQUID_ASSERT_OK(log->AppendBatch(&batch, awaited).status());
+    }
+    acked_end = log->end_offset();
+    ASSERT_EQ(acked_end, 20);
+
+    disk_.SetSyncFaultHook(
+        [](const std::string&) { return Status::IOError("injected"); });
+    auto tail = MixedBatch(5, "t");
+    LIQUID_ASSERT_OK(log->AppendBatch(&tail).status());
+    auto lost = MixedBatch(5, "l");
+    EXPECT_FALSE(log->AppendBatch(&lost, awaited).status().ok());
+    EXPECT_EQ(log->durable_offset(), acked_end);
+
+    disk_.SimulateCrash();
+  }
+
+  disk_.SetSyncFaultHook(nullptr);
+  auto log = OpenLog("sg-crash/", Staging::kRing, SyncMode::kGroup);
+  EXPECT_EQ(log->end_offset(), acked_end);
+  EXPECT_EQ(CountRecords(log.get()), acked_end);
+
+  // The reopened ring restarts claiming at the recovered end offset.
+  auto batch = MixedBatch(3, "post");
+  auto result = log->AppendBatch(&batch);
+  LIQUID_ASSERT_OK(result.status());
+  EXPECT_EQ(log->end_offset(), acked_end + 3);
+}
+
+TEST_F(LogStagingTest, MutatorsGateAndReopenTheRing) {
+  // Truncate and retention drain the pipeline behind a closed claim gate;
+  // afterwards the ring must claim from the post-mutation offset.
+  auto log = OpenLog("sg-gate/", Staging::kRing);
+  auto batch = MixedBatch(10);
+  LIQUID_ASSERT_OK(log->AppendBatch(&batch).status());
+  ASSERT_EQ(log->end_offset(), 10);
+
+  LIQUID_ASSERT_OK(log->Truncate(6));
+  EXPECT_EQ(log->end_offset(), 6);
+  auto after_truncate = MixedBatch(2, "at");
+  auto result = log->AppendBatch(&after_truncate);
+  LIQUID_ASSERT_OK(result.status());
+  EXPECT_EQ((*result).base_offset(), 6);
+  EXPECT_EQ(log->end_offset(), 8);
+
+  // retention_ms stays -1: ApplyRetention deletes nothing but still runs
+  // the full gate-close/drain/reopen cycle.
+  auto deleted = log->ApplyRetention();
+  LIQUID_ASSERT_OK(deleted.status());
+  EXPECT_EQ(*deleted, 0);
+  auto after_retention = MixedBatch(2, "ar");
+  LIQUID_ASSERT_OK(log->AppendBatch(&after_retention).status());
+  EXPECT_EQ(log->end_offset(), 10);
+  EXPECT_EQ(CountRecords(log.get()), 10);
+}
+
+TEST_F(LogStagingTest, EncodeOnceReplicationLandsOnRingModeFollower) {
+  // The follower path (AppendEncoded) mutates through the gate, not the
+  // ring; leader bytes land verbatim on a ring-mode follower.
+  auto leader = OpenLog("sg-lead/", Staging::kRing);
+  auto follower = OpenLog("sg-follow/", Staging::kRing);
+
+  auto batch = MixedBatch(8);
+  LIQUID_ASSERT_OK(leader->AppendBatch(&batch).status());
+
+  EncodedBatch wire;
+  LIQUID_ASSERT_OK(leader->ReadEncoded(0, 64 << 20, &wire));
+  LIQUID_ASSERT_OK(follower->AppendEncoded(wire));
+  EXPECT_EQ(follower->end_offset(), leader->end_offset());
+
+  EncodedBatch follower_read;
+  LIQUID_ASSERT_OK(follower->ReadEncoded(0, 64 << 20, &follower_read));
+  EXPECT_EQ(BatchBytes(follower_read), BatchBytes(wire));
+
+  // The follower's ring reopened past the replicated range: local appends
+  // (e.g. after promotion to leader) claim the next offset.
+  auto local = MixedBatch(2, "local");
+  auto result = follower->AppendBatch(&local);
+  LIQUID_ASSERT_OK(result.status());
+  EXPECT_EQ((*result).base_offset(), 8);
+}
+
+TEST_F(LogStagingTest, ProducerPathLeavesAppendMu) {
+  // The acceptance evidence for DESIGN.md §5a: the locked pipeline takes
+  // append_mu_ three times per batch (reserve, commit, pipeline-drain
+  // check); the ring path's producers touch it at most once per batch (the
+  // drainer-wake transition) on the common path.
+  const int kBatches = 50;
+
+  auto legacy = OpenLog("sg-locks-off/", Staging::kOff);
+  Counter* legacy_locks =
+      MetricFor("sg-locks-off", "producer_append_mu_acquisitions");
+  const int64_t legacy_before = legacy_locks->value();
+  for (int b = 0; b < kBatches; ++b) {
+    auto batch = MixedBatch(4);
+    LIQUID_ASSERT_OK(legacy->AppendBatch(&batch).status());
+  }
+  EXPECT_EQ(legacy_locks->value() - legacy_before, 3 * kBatches);
+
+  auto ring = OpenLog("sg-locks-ring/", Staging::kRing);
+  Counter* ring_locks =
+      MetricFor("sg-locks-ring", "producer_append_mu_acquisitions");
+  const int64_t ring_before = ring_locks->value();
+  for (int b = 0; b < kBatches; ++b) {
+    auto batch = MixedBatch(4);
+    LIQUID_ASSERT_OK(ring->AppendBatch(&batch).status());
+  }
+  EXPECT_LE(ring_locks->value() - ring_before, kBatches);
+}
+
+TEST_F(LogStagingTest, StagingMetricsAccountForDrainedBatches) {
+  auto log = OpenLog("sg-metrics/", Staging::kRing);
+  Counter* drained = MetricFor("sg-metrics", "staging_drained_batches");
+  const int64_t drained_before = drained->value();
+  for (int b = 0; b < 6; ++b) {
+    auto batch = MixedBatch(2);
+    LIQUID_ASSERT_OK(log->AppendBatch(&batch).status());
+  }
+  EXPECT_EQ(drained->value() - drained_before, 6);
+  // Synchronous appends drain one-by-one, so the depth gauge is back to 0
+  // between calls.
+  Gauge* depth =
+      MetricsRegistry::Default()->GetGauge("liquid.log.sg-metrics.staging_depth");
+  EXPECT_EQ(depth->value(), 0);
+}
+
+}  // namespace
+}  // namespace liquid::storage

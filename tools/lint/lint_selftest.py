@@ -29,6 +29,9 @@ TESTDATA = os.path.join(HERE, "testdata")
 
 # rule -> (bad file, min findings of that rule in bad, good file,
 #          other rules allowed to co-fire in the bad file)
+# A rule may also map to a LIST of such tuples when one corpus pair cannot
+# carry every idiom the rule must understand (atomic-order: the plain
+# counter pair plus the MPSC-ring claim/publish/fence pair).
 CASES = {
     "snapshot-then-call": ("snapshot_then_call_bad.cc", 3,
                            "snapshot_then_call_good.cc", set()),
@@ -44,8 +47,14 @@ CASES = {
     "hot-alloc": ("hot_alloc_bad.cc", 3, "hot_alloc_good.cc", set()),
     # Sleep, condvar wait, and a transitively-reached fsync under a hot root.
     "hot-block": ("hot_block_bad.cc", 3, "hot_block_good.cc", set()),
-    # Bare seq_cst default plus an unjustified non-relaxed ordering.
-    "atomic-order": ("atomic_order_bad.cc", 2, "atomic_order_good.cc", set()),
+    # Bare seq_cst default plus an unjustified non-relaxed ordering; the
+    # ring pair covers the CAS-claim / release-publish / fence idiom of
+    # common/mpsc_ring.h (bad CAS defaults, unjustified acquire/release;
+    # good `// order:` comments and the free-function fence staying exempt).
+    "atomic-order": [
+        ("atomic_order_bad.cc", 2, "atomic_order_good.cc", set()),
+        ("atomic_order_ring_bad.cc", 3, "atomic_order_ring_good.cc", set()),
+    ],
     # A well-formed allow() that silences nothing is itself a finding.
     "stale-allow": ("stale_allow_bad.cc", 1, "stale_allow_good.cc", set()),
     "guarded-by": ("guarded_by_bad.h", 2, "guarded_by_good.h", set()),
@@ -70,7 +79,17 @@ def run_lint(filename, engine):
 
 
 def check_rule(rule, engine):
-    bad, min_findings, good, allowed_others = CASES[rule]
+    pairs = CASES[rule]
+    if not isinstance(pairs, list):
+        pairs = [pairs]
+    failures = []
+    for pair in pairs:
+        failures.extend(check_pair(rule, engine, pair))
+    return failures
+
+
+def check_pair(rule, engine, pair):
+    bad, min_findings, good, allowed_others = pair
     failures = []
 
     rc, findings = run_lint(bad, engine)

@@ -1,0 +1,30 @@
+// Lint corpus: atomic-order MUST fire on the MPSC-ring idiom done wrong
+// (common/mpsc_ring.h is the real thing). Claim() is a hot-path root; the
+// CAS with bare seq_cst defaults, the unjustified release publish, and the
+// unjustified acquire consume are each findings.
+#include "lint_stubs.h"
+
+namespace liquid {
+
+class SloppyRing {
+ public:
+  LIQUID_HOT_PATH
+  long Claim(long n) {
+    long cur = reserve_.load(memory_order_acquire);  // non-relaxed, unjustified
+    for (;;) {
+      // bare seq_cst defaults on both CAS orders: the pairing is unstated.
+      if (reserve_.compare_exchange_weak(cur, cur + n)) return cur;
+    }
+  }
+
+  LIQUID_HOT_PATH
+  void Publish(long base) {
+    seq_.store(base, memory_order_release);  // non-relaxed, unjustified
+  }
+
+ private:
+  Atomic<long> reserve_;
+  Atomic<long> seq_;
+};
+
+}  // namespace liquid

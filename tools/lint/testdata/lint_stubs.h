@@ -93,7 +93,16 @@ class Atomic {
   T load(MemoryOrder order = memory_order_seq_cst) const;
   void store(T v, MemoryOrder order = memory_order_seq_cst);
   T fetch_add(T v, MemoryOrder order = memory_order_seq_cst);
+  T fetch_or(T v, MemoryOrder order = memory_order_seq_cst);
+  bool compare_exchange_weak(T& expected, T desired,
+                             MemoryOrder success = memory_order_seq_cst,
+                             MemoryOrder failure = memory_order_seq_cst);
 };
+
+/// Stand-in for std::atomic_thread_fence (a free function, not a member op:
+/// the atomic-order rule keys on member calls, so fences need no order
+/// comment — the fence's pairing argument lives at its use site).
+void atomic_thread_fence(MemoryOrder order);
 
 /// Stand-in for the storage File handle (Sync is the fsync-class call).
 class File {
