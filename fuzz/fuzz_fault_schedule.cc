@@ -1,0 +1,24 @@
+/// Fuzz target: fault-schedule parser (common/fault.cc).
+///
+/// Chaos schedules are operator-written text files fed straight into
+/// FaultSchedule::Parse by tests, bench_chaos_soak and the check.sh
+/// chaos-smoke leg. The parser must reject malformed input with a Status
+/// (never crash), and any schedule that parses must survive a
+/// Serialize -> Parse round trip unchanged — Serialize() is documented as
+/// the canonical form.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/fault.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto parsed = liquid::FaultSchedule::Parse(text);
+  if (!parsed.ok()) return 0;
+
+  auto again = liquid::FaultSchedule::Parse(parsed->Serialize());
+  if (!again.ok() || !(*again == *parsed)) __builtin_trap();
+  return 0;
+}

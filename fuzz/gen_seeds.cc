@@ -135,6 +135,26 @@ int main(int argc, char** argv) {
               "equals.in.value=a=b=c\n");
   }
 
+  // --- fault_schedule: representative chaos schedules. ---
+  {
+    WriteSeed(root + "/fault_schedule", "soak",
+              "# chaos soak schedule\n"
+              "seed = 42\n"
+              "fault.log.sync.before.action = fail(IOError)\n"
+              "fault.log.sync.before.after = 100\n"
+              "fault.log.sync.before.count = 3\n"
+              "fault.broker.produce.before_append.action = delay(2ms)\n"
+              "fault.broker.produce.before_append.probability = 0.05\n"
+              "fault.broker.replicate.before_append.action = crash\n"
+              "fault.broker.replicate.before_append.every = 50\n");
+    WriteSeed(root + "/fault_schedule", "latency",
+              "fault.broker.fetch.before_read.action = delay(750us)\n"
+              "fault.coord.election.acquire.action = fail(Unavailable)\n"
+              "fault.coord.election.acquire.count = 2\n");
+    WriteSeed(root + "/fault_schedule", "minimal",
+              "fault.offsets.commit.before_append.action = crash\n");
+  }
+
   std::printf("seed corpora written under %s\n", root.c_str());
   return 0;
 }

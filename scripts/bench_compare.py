@@ -44,13 +44,22 @@ def load(path):
 
 
 # Suffix-less metrics whose improvement direction is semantic, not lexical
-# (the staging-ring axis of bench_insert_sweep; see EXPERIMENTS.md E17).
-# True: higher is better.
+# (the staging-ring axis of bench_insert_sweep, see EXPERIMENTS.md E17; the
+# chaos-soak invariant counters, see EXPERIMENTS.md E18). True: higher is
+# better.
 DIRECTION_OVERRIDES = {
     "staging_depth": False,
     "staging_ring_full": False,
     "append_locks_per_krec": False,
     "ring_occupancy": True,
+    "acked_records": True,
+    "acked_recovered": True,
+    "lost_acked": False,
+    "duplicate_records": False,
+    "order_violations": False,
+    "consumer_redeliveries": False,
+    "acked_not_consumed": False,
+    "kills": True,
 }
 
 

@@ -23,6 +23,10 @@
 #      bench_log_throughput, bench_parallel_produce and bench_insert_sweep
 #      run with --json and must produce their BENCH_*.json artifacts (diff
 #      two runs with scripts/bench_compare.py).
+#  10. Chaos smoke: bench_chaos_soak --quick must pass (zero acked-record
+#      loss/duplicates/reordering under the seeded fault schedule) and the
+#      same soak with --broken-acks must FAIL, proving the invariant checks
+#      detect an ack-before-durable build.
 #
 # Any thread-safety warning, clang-tidy error, sanitizer report, or fuzzer
 # crash fails the script (non-zero exit). Steps that need Clang tooling are
@@ -137,7 +141,8 @@ note "fuzz smoke (corpus replay + bounded deterministic mutations)"
 FUZZ_RUNS="${FUZZ_RUNS:-20000}"
 FUZZ_BUILD="build-asan/fuzz-build"
 fuzz_smoke_ok=1
-for target in fuzz_record_decode fuzz_coding fuzz_sstable fuzz_properties; do
+for target in fuzz_record_decode fuzz_coding fuzz_sstable fuzz_properties \
+              fuzz_fault_schedule; do
   corpus="fuzz/corpus/${target#fuzz_}"
   if [ ! -x "${FUZZ_BUILD}/${target}" ]; then
     fail "fuzz target ${target} missing (did leg 5's build fail?)"
@@ -186,6 +191,28 @@ if cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null \
   echo "OK: build-bench/BENCH_{pipeline_latency,log_throughput,parallel_produce,insert_sweep}.json written"
 else
   fail "bench --json emission did not produce all JSON artifacts"
+fi
+
+# ---- 10. Chaos smoke --------------------------------------------------------
+# Two runs of the chaos soak (DESIGN.md §7), both on the fixed default seed:
+#   a) the real build must survive the fault schedule + leader power-cycles
+#      with zero acked-record loss, duplicates, or reordering (exit 0);
+#   b) --broken-acks (acknowledge before durable) must make the harness FAIL
+#      (nonzero exit) — proving the invariant checks can actually detect an
+#      acks/durability bug, not just that nothing happened.
+note "chaos smoke (bench_chaos_soak --quick; --broken-acks must fail)"
+if cmake --build build-bench -j "${JOBS}" --target bench_chaos_soak \
+   && (cd build-bench && bench/bench_chaos_soak --quick --json) \
+   && [ -s build-bench/BENCH_chaos_soak.json ]; then
+  echo "OK: chaos soak invariants held (build-bench/BENCH_chaos_soak.json)"
+else
+  fail "chaos soak reported an invariant violation or did not emit JSON"
+fi
+if (cd build-bench && bench/bench_chaos_soak --quick --broken-acks \
+      >/dev/null 2>&1); then
+  fail "chaos soak PASSED with --broken-acks — the harness cannot detect ack-before-durable"
+else
+  echo "OK: --broken-acks run failed as it must"
 fi
 
 # ----------------------------------------------------------------------------

@@ -1,0 +1,424 @@
+#include "common/fault.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace liquid {
+
+namespace {
+
+struct CodeName {
+  StatusCode code;
+  const char* name;
+};
+
+// Codes an operator may inject. Deliberately excludes kOk.
+constexpr CodeName kCodeNames[] = {
+    {StatusCode::kNotFound, "NotFound"},
+    {StatusCode::kAlreadyExists, "AlreadyExists"},
+    {StatusCode::kInvalidArgument, "InvalidArgument"},
+    {StatusCode::kIOError, "IOError"},
+    {StatusCode::kCorruption, "Corruption"},
+    {StatusCode::kOutOfRange, "OutOfRange"},
+    {StatusCode::kNotLeader, "NotLeader"},
+    {StatusCode::kUnavailable, "Unavailable"},
+    {StatusCode::kTimedOut, "TimedOut"},
+    {StatusCode::kResourceExhausted, "ResourceExhausted"},
+    {StatusCode::kFailedPrecondition, "FailedPrecondition"},
+    {StatusCode::kAborted, "Aborted"},
+    {StatusCode::kUnsupported, "Unsupported"},
+    {StatusCode::kInternal, "Internal"},
+};
+
+const char* CodeToName(StatusCode code) {
+  for (const CodeName& entry : kCodeNames) {
+    if (entry.code == code) return entry.name;
+  }
+  return nullptr;
+}
+
+bool NameToCode(const std::string& name, StatusCode* code) {
+  for (const CodeName& entry : kCodeNames) {
+    if (name == entry.name) {
+      *code = entry.code;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status MakeInjectedStatus(StatusCode code, std::string message) {
+  switch (code) {
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(message));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kNotLeader:
+      return Status::NotLeader(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
+    case StatusCode::kTimedOut:
+      return Status::TimedOut(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kAborted:
+      return Status::Aborted(std::move(message));
+    case StatusCode::kUnsupported:
+      return Status::Unsupported(std::move(message));
+    case StatusCode::kInternal:
+    default:
+      return Status::Internal(std::move(message));
+  }
+}
+
+// Strict non-negative integer parse (no sign, no trailing junk).
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+// Parses "fail(<Code>)", "delay(<N>us|<N>ms)" or "crash" into `config`.
+Status ParseAction(const std::string& site, const std::string& text,
+                   FaultSiteConfig* config) {
+  if (text == "crash") {
+    config->kind = FaultActionKind::kCrash;
+    return Status::OK();
+  }
+  const auto open = text.find('(');
+  if (open == std::string::npos || text.back() != ')') {
+    return Status::InvalidArgument("fault site '" + site +
+                                   "': malformed action '" + text + "'");
+  }
+  const std::string verb = text.substr(0, open);
+  const std::string arg = text.substr(open + 1, text.size() - open - 2);
+  if (verb == "fail") {
+    StatusCode code;
+    if (!NameToCode(arg, &code)) {
+      return Status::InvalidArgument("fault site '" + site +
+                                     "': unknown status code '" + arg + "'");
+    }
+    config->kind = FaultActionKind::kFail;
+    config->fail_code = code;
+    return Status::OK();
+  }
+  if (verb == "delay") {
+    int64_t scale = 0;
+    std::string number;
+    if (arg.size() > 2 && arg.compare(arg.size() - 2, 2, "us") == 0) {
+      scale = 1;
+      number = arg.substr(0, arg.size() - 2);
+    } else if (arg.size() > 2 && arg.compare(arg.size() - 2, 2, "ms") == 0) {
+      scale = 1000;
+      number = arg.substr(0, arg.size() - 2);
+    } else {
+      return Status::InvalidArgument("fault site '" + site +
+                                     "': delay needs a us/ms unit, got '" +
+                                     arg + "'");
+    }
+    int64_t value = 0;
+    if (!ParseInt64(number, &value) || value <= 0 ||
+        value > (1ll << 40) / scale) {
+      return Status::InvalidArgument("fault site '" + site +
+                                     "': bad delay '" + arg + "'");
+    }
+    config->kind = FaultActionKind::kDelay;
+    config->delay_us = value * scale;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("fault site '" + site +
+                                 "': unknown action verb '" + verb + "'");
+}
+
+std::string SerializeAction(const FaultSiteConfig& config) {
+  switch (config.kind) {
+    case FaultActionKind::kCrash:
+      return "crash";
+    case FaultActionKind::kDelay:
+      if (config.delay_us % 1000 == 0) {
+        return "delay(" + std::to_string(config.delay_us / 1000) + "ms)";
+      }
+      return "delay(" + std::to_string(config.delay_us) + "us)";
+    case FaultActionKind::kFail:
+    default: {
+      const char* name = CodeToName(config.fail_code);
+      return std::string("fail(") + (name != nullptr ? name : "Internal") +
+             ")";
+    }
+  }
+}
+
+bool ValidSiteName(const std::string& site) {
+  if (site.empty() || site.front() == '.' || site.back() == '.') return false;
+  for (char c : site) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '_';
+    if (!ok) return false;
+  }
+  return site.find("..") == std::string::npos;
+}
+
+}  // namespace
+
+Result<FaultSchedule> FaultSchedule::Parse(const std::string& text) {
+  LIQUID_ASSIGN_OR_RETURN(Properties props, Properties::Parse(text));
+  return FromProperties(props);
+}
+
+Result<FaultSchedule> FaultSchedule::FromProperties(const Properties& props) {
+  FaultSchedule schedule;
+  // Sites with clauses but (maybe) no action yet; validated at the end.
+  std::map<std::string, bool> has_action;
+  for (const auto& [key, value] : props.values()) {
+    if (key == "seed") {
+      int64_t seed = 0;
+      if (!ParseInt64(value, &seed)) {
+        return Status::InvalidArgument("bad seed '" + value + "'");
+      }
+      schedule.seed = static_cast<uint64_t>(seed);
+      continue;
+    }
+    if (key.rfind("fault.", 0) != 0) {
+      return Status::InvalidArgument("unknown key '" + key +
+                                     "' (expected seed or fault.<site>.<param>)");
+    }
+    const size_t last_dot = key.rfind('.');
+    // "fault." is 6 chars; the site sits between it and the final param.
+    if (last_dot <= 6) {
+      return Status::InvalidArgument("clause key '" + key +
+                                     "' missing a site or param segment");
+    }
+    const std::string site = key.substr(6, last_dot - 6);
+    const std::string param = key.substr(last_dot + 1);
+    if (!ValidSiteName(site)) {
+      return Status::InvalidArgument("bad fault site name '" + site + "'");
+    }
+    FaultSiteConfig& config = schedule.sites[site];
+    if (param == "action") {
+      LIQUID_RETURN_NOT_OK(ParseAction(site, value, &config));
+      has_action[site] = true;
+    } else if (param == "after") {
+      if (!ParseInt64(value, &config.after)) {
+        return Status::InvalidArgument("fault site '" + site +
+                                       "': bad after '" + value + "'");
+      }
+    } else if (param == "every") {
+      if (!ParseInt64(value, &config.every) || config.every < 1) {
+        return Status::InvalidArgument("fault site '" + site +
+                                       "': bad every '" + value + "'");
+      }
+    } else if (param == "count") {
+      if (!ParseInt64(value, &config.max_triggers)) {
+        return Status::InvalidArgument("fault site '" + site +
+                                       "': bad count '" + value + "'");
+      }
+    } else if (param == "probability") {
+      // The negated range check also rejects NaN (every comparison with NaN
+      // is false), which would otherwise break Serialize/Parse round-trips.
+      if (!ParseDouble(value, &config.probability) ||
+          !(config.probability >= 0.0 && config.probability <= 1.0)) {
+        return Status::InvalidArgument("fault site '" + site +
+                                       "': bad probability '" + value + "'");
+      }
+    } else {
+      return Status::InvalidArgument("fault site '" + site +
+                                     "': unknown param '" + param + "'");
+    }
+  }
+  for (const auto& [site, config] : schedule.sites) {
+    if (!has_action.count(site)) {
+      return Status::InvalidArgument("fault site '" + site +
+                                     "' has clauses but no action");
+    }
+  }
+  return schedule;
+}
+
+std::string FaultSchedule::Serialize() const {
+  std::string out;
+  if (seed != 0) out += "seed = " + std::to_string(seed) + "\n";
+  for (const auto& [site, config] : sites) {
+    const std::string prefix = "fault." + site + ".";
+    out += prefix + "action = " + SerializeAction(config) + "\n";
+    if (config.after != 0) {
+      out += prefix + "after = " + std::to_string(config.after) + "\n";
+    }
+    if (config.every != 1) {
+      out += prefix + "every = " + std::to_string(config.every) + "\n";
+    }
+    if (config.max_triggers != -1) {
+      out += prefix + "count = " + std::to_string(config.max_triggers) + "\n";
+    }
+    if (config.probability != 1.0) {
+      // %.17g: enough digits that Parse(Serialize()) reproduces the exact
+      // double (std::to_string's fixed 6 decimals truncates tiny values).
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", config.probability);
+      out += prefix + "probability = " + buf + "\n";
+    }
+  }
+  return out;
+}
+
+FaultRegistry::FaultRegistry() : rng_(1) {}
+
+FaultRegistry* FaultRegistry::Default() {
+  static FaultRegistry* instance = new FaultRegistry();
+  return instance;
+}
+
+Status FaultRegistry::Hit(std::string_view site) {
+  // Phase 1: decide under mu_ (counters, scripting gates, RNG); no sleeping
+  // and no status-string building while the registry lock is held.
+  FaultActionKind kind = FaultActionKind::kDelay;
+  StatusCode fail_code = StatusCode::kUnavailable;
+  int64_t delay_us = 0;
+  Clock* clock = nullptr;
+  bool fired = false;
+  {
+    MutexLock lock(&mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return Status::OK();
+    SiteState& state = it->second;
+    ++state.hits;
+    const FaultSiteConfig& config = state.config;
+    if (state.hits <= config.after) return Status::OK();
+    if (config.max_triggers >= 0 && state.triggers >= config.max_triggers) {
+      return Status::OK();
+    }
+    const int64_t eligible = state.hits - config.after;
+    if (config.every > 1 && (eligible - 1) % config.every != 0) {
+      return Status::OK();
+    }
+    if (config.probability < 1.0 && !rng_.Bernoulli(config.probability)) {
+      return Status::OK();
+    }
+    ++state.triggers;
+    ++triggers_total_;
+    fired = true;
+    kind = config.kind;
+    fail_code = config.fail_code;
+    delay_us = config.delay_us;
+    clock = clock_;
+    if (kind == FaultActionKind::kCrash) {
+      if (crash_requests_.size() < kMaxPendingCrashRequests) {
+        crash_requests_.emplace_back(site);
+      } else {
+        ++crash_requests_dropped_;
+      }
+    }
+  }
+  if (!fired) return Status::OK();
+  switch (kind) {
+    case FaultActionKind::kDelay:
+      if (clock == nullptr) clock = SystemClock::Default();
+      clock->SleepMs((delay_us + 999) / 1000);
+      return Status::OK();
+    case FaultActionKind::kCrash:
+      return Status::Unavailable("fault injection: crash requested at " +
+                                 std::string(site));
+    case FaultActionKind::kFail:
+    default:
+      return MakeInjectedStatus(fail_code, "fault injection: triggered at " +
+                                               std::string(site));
+  }
+}
+
+void FaultRegistry::Load(const FaultSchedule& schedule) {
+  MutexLock lock(&mu_);
+  sites_.clear();
+  for (const auto& [site, config] : schedule.sites) {
+    sites_[site] = SiteState{config, 0, 0};
+  }
+  rng_ = Random(schedule.seed == 0 ? 1 : schedule.seed);
+  triggers_total_ = 0;
+  crash_requests_.clear();
+  crash_requests_dropped_ = 0;
+  armed_sites_.store(static_cast<int64_t>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultRegistry::Arm(const std::string& site, FaultSiteConfig config) {
+  MutexLock lock(&mu_);
+  sites_[site] = SiteState{config, 0, 0};
+  armed_sites_.store(static_cast<int64_t>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultRegistry::Disarm(const std::string& site) {
+  MutexLock lock(&mu_);
+  sites_.erase(site);
+  armed_sites_.store(static_cast<int64_t>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultRegistry::Clear() {
+  MutexLock lock(&mu_);
+  sites_.clear();
+  triggers_total_ = 0;
+  crash_requests_.clear();
+  crash_requests_dropped_ = 0;
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+int64_t FaultRegistry::hits(const std::string& site) const {
+  MutexLock lock(&mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultRegistry::triggers(const std::string& site) const {
+  MutexLock lock(&mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.triggers;
+}
+
+int64_t FaultRegistry::triggers_total() const {
+  MutexLock lock(&mu_);
+  return triggers_total_;
+}
+
+std::vector<std::string> FaultRegistry::DrainCrashRequests() {
+  MutexLock lock(&mu_);
+  std::vector<std::string> out;
+  out.swap(crash_requests_);
+  return out;
+}
+
+int64_t FaultRegistry::crash_requests_dropped() const {
+  MutexLock lock(&mu_);
+  return crash_requests_dropped_;
+}
+
+void FaultRegistry::SetClock(Clock* clock) {
+  MutexLock lock(&mu_);
+  clock_ = clock;
+}
+
+}  // namespace liquid

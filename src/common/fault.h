@@ -1,0 +1,190 @@
+#ifndef LIQUID_COMMON_FAULT_H_
+#define LIQUID_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/properties.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace liquid {
+
+/// What an armed fault site does when its scripting gates fire.
+enum class FaultActionKind {
+  /// Return an injected error Status from the fault point.
+  kFail,
+  /// Sleep on the calling thread (simulates a disk/network latency spike),
+  /// then continue normally.
+  kDelay,
+  /// Request a process "crash": the fault point returns Unavailable and the
+  /// site is queued for the chaos driver, which enacts the crash out-of-band
+  /// (e.g. Cluster::StopBroker + MemDisk::SimulateCrash). Enacting it inline
+  /// would run broker-lifecycle code under whatever locks the fault point is
+  /// reached with, so the registry only ever records the request.
+  kCrash,
+};
+
+/// Configuration of one named fault site: an action plus scripting gates.
+/// Gates compose in order: the first `after` hits are skipped, then every
+/// `every`-th eligible hit fires, capped at `max_triggers` total, and each
+/// candidate firing is finally subjected to `probability`.
+struct FaultSiteConfig {
+  FaultActionKind kind = FaultActionKind::kFail;
+  /// Status code injected by kFail (the message is composed per trigger).
+  StatusCode fail_code = StatusCode::kUnavailable;
+  /// Sleep duration for kDelay.
+  int64_t delay_us = 0;
+  /// Skip the first `after` hits of the site.
+  int64_t after = 0;
+  /// Fire on every Nth eligible hit (1 = every eligible hit).
+  int64_t every = 1;
+  /// Stop firing after this many triggers; -1 = unlimited.
+  int64_t max_triggers = -1;
+  /// Probability that an otherwise-eligible hit actually fires, in [0, 1].
+  double probability = 1.0;
+
+  bool operator==(const FaultSiteConfig&) const = default;
+};
+
+/// A parsed fault schedule: a deterministic seed plus per-site clauses.
+///
+/// The text format is `Properties`-based (key=value lines, `#` comments):
+///
+///   seed = 42
+///   fault.log.sync.before.action = fail(IOError)
+///   fault.log.sync.before.after = 100
+///   fault.log.sync.before.count = 3
+///   fault.broker.produce.before_append.action = delay(2ms)
+///   fault.broker.produce.before_append.probability = 0.05
+///   fault.broker.replicate.before_append.action = crash
+///
+/// Clause keys are `fault.<site>.<param>` with param one of `action`
+/// (required; `fail(<StatusCode>)`, `delay(<N>us|<N>ms)`, or `crash`),
+/// `after`, `every`, `count` (max triggers) and `probability`. Operators
+/// hand-write these files, so parsing is strict: unknown params, malformed
+/// actions, out-of-range numbers and clause-less sites are all errors.
+struct FaultSchedule {
+  uint64_t seed = 0;
+  std::map<std::string, FaultSiteConfig> sites;
+
+  /// Parses the text format above. All errors are InvalidArgument (or the
+  /// underlying Properties Corruption for malformed key=value lines).
+  static Result<FaultSchedule> Parse(const std::string& text);
+
+  /// Parse() for an already-parsed Properties bag.
+  static Result<FaultSchedule> FromProperties(const Properties& props);
+
+  /// Canonical text form; Parse(Serialize()) reproduces the schedule.
+  std::string Serialize() const;
+
+  bool operator==(const FaultSchedule&) const = default;
+};
+
+/// Process-wide registry of named fault-injection sites.
+///
+/// Data-path code declares sites with LIQUID_FAULT_POINT("component.op");
+/// tests, the chaos soak bench, and operators arm them by loading a
+/// FaultSchedule. Disarmed (the default, and the production state) a fault
+/// point costs exactly one relaxed atomic load — the same discipline as
+/// TraceCollector::enabled() — so sites can live on the hottest paths.
+///
+/// Thread-safe. Crash actions are deferred: Hit() never runs lifecycle code
+/// itself (it may be called under broker/log locks); the chaos driver drains
+/// requests with DrainCrashRequests() and enacts them from its own thread.
+class FaultRegistry {
+ public:
+  FaultRegistry();
+
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  /// The process-wide registry every LIQUID_FAULT_POINT consults.
+  static FaultRegistry* Default();
+
+  /// True when any site is armed (single relaxed atomic load).
+  bool armed() const {
+    return armed_sites_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Full evaluation of one site hit; called by LIQUID_FAULT_POINT only when
+  /// armed(). Returns the injected error for kFail/kCrash triggers and OK
+  /// otherwise (after sleeping, for kDelay triggers). The sleep runs with no
+  /// registry lock held.
+  Status Hit(std::string_view site) EXCLUDES(mu_);
+
+  /// Replaces all armed sites with the schedule's and reseeds the
+  /// probability RNG; hit/trigger counters restart from zero.
+  void Load(const FaultSchedule& schedule) EXCLUDES(mu_);
+
+  /// Arms (or reconfigures) one site, keeping the others.
+  void Arm(const std::string& site, FaultSiteConfig config) EXCLUDES(mu_);
+
+  /// Disarms one site; unknown sites are a no-op.
+  void Disarm(const std::string& site) EXCLUDES(mu_);
+
+  /// Disarms everything and drops pending crash requests.
+  void Clear() EXCLUDES(mu_);
+
+  /// Evaluations / firings of one armed site (0 for unknown sites).
+  int64_t hits(const std::string& site) const EXCLUDES(mu_);
+  int64_t triggers(const std::string& site) const EXCLUDES(mu_);
+
+  /// Firings across all sites since the last Load/Clear.
+  int64_t triggers_total() const EXCLUDES(mu_);
+
+  /// Takes the queued crash-request site names, oldest first. The queue is
+  /// bounded; crash_requests_dropped() counts overflow drops.
+  std::vector<std::string> DrainCrashRequests() EXCLUDES(mu_);
+  int64_t crash_requests_dropped() const EXCLUDES(mu_);
+
+  /// Clock used by kDelay sleeps; nullptr restores SystemClock::Default().
+  void SetClock(Clock* clock) EXCLUDES(mu_);
+
+ private:
+  struct SiteState {
+    FaultSiteConfig config;
+    int64_t hits = 0;
+    int64_t triggers = 0;
+  };
+
+  /// Crash requests queued beyond this are dropped (and counted): a stalled
+  /// driver must not turn a crash loop into unbounded memory growth.
+  static constexpr size_t kMaxPendingCrashRequests = 64;
+
+  // Arm/Disarm/Load/Clear keep this equal to sites_.size(); relaxed is
+  // enough because armed() is only a gate — Hit() re-checks under mu_.
+  std::atomic<int64_t> armed_sites_{0};
+
+  mutable Mutex mu_;
+  std::map<std::string, SiteState, std::less<>> sites_ GUARDED_BY(mu_);
+  Random rng_ GUARDED_BY(mu_);
+  Clock* clock_ GUARDED_BY(mu_) = nullptr;
+  int64_t triggers_total_ GUARDED_BY(mu_) = 0;
+  std::vector<std::string> crash_requests_ GUARDED_BY(mu_);
+  int64_t crash_requests_dropped_ GUARDED_BY(mu_) = 0;
+};
+
+/// Declares a named fault site in a Status- or Result-returning function.
+/// Disarmed cost: one relaxed atomic load and a predicted-false branch.
+#define LIQUID_FAULT_POINT(site)                                      \
+  do {                                                                \
+    if (::liquid::FaultRegistry::Default()->armed()) {                \
+      ::liquid::Status liquid_fault_point_status =                    \
+          ::liquid::FaultRegistry::Default()->Hit(site);              \
+      if (!liquid_fault_point_status.ok()) {                          \
+        return liquid_fault_point_status;                             \
+      }                                                               \
+    }                                                                 \
+  } while (0)
+
+}  // namespace liquid
+
+#endif  // LIQUID_COMMON_FAULT_H_

@@ -1,0 +1,82 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/metrics.h"
+
+namespace liquid {
+
+int64_t Deadline::remaining_ms() const {
+  if (clock_ == nullptr) return std::numeric_limits<int64_t>::max();
+  return std::max<int64_t>(0, deadline_ms_ - clock_->NowMs());
+}
+
+RetryMetrics RetryMetrics::Create(const std::string& prefix) {
+  MetricsRegistry* global = MetricsRegistry::Default();
+  RetryMetrics metrics;
+  metrics.retries_total = global->GetCounter(prefix + "retries_total");
+  metrics.giveups_total = global->GetCounter(prefix + "giveups_total");
+  metrics.retry_backoff_us = global->GetHistogram(prefix + "retry_backoff_us");
+  return metrics;
+}
+
+RetryState::RetryState(const RetryPolicy& policy, Clock* clock,
+                       Deadline deadline, uint64_t jitter_seed,
+                       const RetryMetrics* metrics)
+    : policy_(policy),
+      clock_(clock),
+      deadline_(deadline),
+      rng_(jitter_seed == 0 ? 1 : jitter_seed),
+      metrics_(metrics) {}
+
+bool RetryState::ShouldRetry(const Status& status) {
+  if (status.ok()) return false;
+  if (!RetryPolicy::IsRetriable(status)) return false;  // Fail fast.
+  needs_refresh_ = RetryPolicy::NeedsMetadataRefresh(status);
+  if (retries_ + 1 >= policy_.max_attempts || deadline_.expired()) {
+    gave_up_ = true;
+    if (metrics_ != nullptr && metrics_->giveups_total != nullptr) {
+      metrics_->giveups_total->Increment();
+    }
+    return false;
+  }
+
+  // Capped exponential backoff: initial * multiplier^retries, clamped.
+  double backoff_ms = static_cast<double>(policy_.initial_backoff_ms);
+  for (int i = 0; i < retries_ && backoff_ms < static_cast<double>(
+                                                   policy_.max_backoff_ms);
+       ++i) {
+    backoff_ms *= policy_.multiplier;
+  }
+  backoff_ms =
+      std::min(backoff_ms, static_cast<double>(policy_.max_backoff_ms));
+  // Jitter shaves a random fraction of the window off, so clients that
+  // failed together spread back out instead of thundering in lockstep.
+  if (policy_.jitter > 0.0) {
+    backoff_ms *= 1.0 - policy_.jitter * rng_.NextDouble();
+  }
+  int64_t sleep_ms = std::max<int64_t>(0, static_cast<int64_t>(backoff_ms));
+  // Never sleep past the deadline: the next attempt deserves whatever
+  // budget is left.
+  if (!deadline_.infinite()) {
+    sleep_ms = std::min(sleep_ms, deadline_.remaining_ms());
+  }
+
+  ++retries_;
+  total_backoff_us_ += sleep_ms * 1000;
+  if (metrics_ != nullptr) {
+    if (metrics_->retries_total != nullptr) {
+      metrics_->retries_total->Increment();
+    }
+    if (metrics_->retry_backoff_us != nullptr) {
+      metrics_->retry_backoff_us->Record(sleep_ms * 1000);
+    }
+  }
+  if (sleep_ms > 0) {
+    clock_->SleepMs(sleep_ms);
+  }
+  return true;
+}
+
+}  // namespace liquid

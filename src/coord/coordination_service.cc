@@ -1,6 +1,8 @@
 #include "coord/coordination_service.h"
 
 #include <algorithm>
+
+#include "common/fault.h"
 #include <cstdio>
 
 namespace liquid::coord {
@@ -72,6 +74,10 @@ Result<std::string> CoordinationService::Create(int64_t session_id,
                                                 const std::string& path,
                                                 const std::string& data,
                                                 NodeKind kind) {
+  // Chaos surface (DESIGN.md §7): a session write the coordinator rejects —
+  // models ZooKeeper-style connection loss on znode creation (broker
+  // registration, election nodes, partition state).
+  LIQUID_FAULT_POINT("coord.create");
   std::vector<FiredWatch> fired;
   std::string actual_path;
   {

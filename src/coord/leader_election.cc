@@ -1,5 +1,7 @@
 #include "coord/leader_election.h"
 
+#include "common/fault.h"
+
 namespace liquid::coord {
 
 LeaderElection::LeaderElection(CoordinationService* coord, std::string path,
@@ -24,6 +26,15 @@ bool LeaderElection::Contend(LeadershipCallback on_elected) {
 }
 
 bool LeaderElection::TryAcquire() {
+  // Chaos surface (DESIGN.md §7): a candidate that cannot reach the election
+  // znode loses this round; its armed watch re-contends on the next change.
+  // TryAcquire returns bool, so the fault point is spelled out by hand.
+  {
+    FaultRegistry* faults = FaultRegistry::Default();
+    if (faults->armed() && !faults->Hit("coord.election.acquire").ok()) {
+      return false;
+    }
+  }
   auto result =
       coord_->Create(session_id_, path_, candidate_id_, NodeKind::kEphemeral);
   if (result.ok()) {

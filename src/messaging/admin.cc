@@ -91,8 +91,15 @@ Status Admin::ReassignPartition(const TopicPartition& tp,
                                      std::to_string(id));
     }
   }
-  if (state.leader < 0) {
-    return Status::Unavailable("partition offline: " + tp.ToString());
+  // Unified retry discipline (DESIGN.md §7): a reassignment that lands during
+  // a leader election re-reads the partition state with jittered backoff
+  // until a leader emerges or the budget runs out.
+  RetryState retry(retry_policy_, cluster_->clock(), Deadline::Infinite(),
+                   static_cast<uint64_t>(tp.partition) + 1, &retry_metrics_);
+  while (state.leader < 0) {
+    Status offline = Status::Unavailable("partition offline: " + tp.ToString());
+    if (!retry.ShouldRetry(offline)) return offline;
+    LIQUID_ASSIGN_OR_RETURN(state, cluster_->GetPartitionState(tp));
   }
 
   // Phase 1: adding replicas join as followers of the current leader.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "messaging/metadata.h"
 #include "messaging/offset_manager.h"
@@ -66,6 +67,12 @@ class Admin {
  private:
   Cluster* cluster_;
   OffsetManager* offsets_;
+  /// Unified retry discipline (DESIGN.md §7): a reassignment issued while a
+  /// partition is mid-election waits the election out with jittered backoff
+  /// instead of failing on the first Unavailable. Admin operations are rare
+  /// and human-invoked, so the budget is more patient than the clients'.
+  const RetryPolicy retry_policy_{.max_attempts = 8, .max_backoff_ms = 32};
+  const RetryMetrics retry_metrics_ = RetryMetrics::Create("liquid.admin.");
 };
 
 }  // namespace liquid::messaging

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/coding.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/trace.h"
 #include "messaging/cluster.h"
@@ -64,6 +65,9 @@ Broker::Broker(int id, Cluster* cluster, storage::Disk* disk, Clock* clock,
 Broker::~Broker() = default;
 
 Status Broker::Start() {
+  // Chaos surface: a broker that cannot reach the coordination service at
+  // startup (restart churn under coordinator flakiness).
+  LIQUID_FAULT_POINT("broker.start.session");
   // Session creation talks to the coordination service, so it must not run
   // under map_mu_ (section 5a): create the session first, publish it under
   // the lock, and release it again on the already-started path.
@@ -293,6 +297,29 @@ Result<std::pair<int, int64_t>> Broker::EndOffsetForEpoch(
                                           : cache.front().second);
 }
 
+Status Broker::RebuildProducerStateLocked(Replica* replica) {
+  replica->producer_last_seq.clear();
+  int64_t cursor = replica->log->start_offset();
+  const int64_t end = replica->log->end_offset();
+  std::vector<storage::Record> records;
+  while (cursor < end) {
+    records.clear();
+    LIQUID_RETURN_NOT_OK(replica->log->Read(cursor, 1 << 20, &records));
+    if (records.empty()) break;
+    for (const storage::Record& record : records) {
+      // Control markers carry a producer id but no sequence; skip them.
+      if (record.producer_id == storage::kNoProducerId || record.sequence < 0) {
+        continue;
+      }
+      auto [it, inserted] = replica->producer_last_seq.try_emplace(
+          record.producer_id, record.sequence);
+      if (!inserted) it->second = std::max(it->second, record.sequence);
+    }
+    cursor = records.back().offset + 1;
+  }
+  return Status::OK();
+}
+
 Status Broker::BecomeLeader(const TopicPartition& tp, const PartitionState& state,
                             const TopicConfig& config) {
   WriterMutexLock map_lock(&map_mu_);
@@ -309,6 +336,17 @@ Status Broker::BecomeLeader(const TopicPartition& tp, const PartitionState& stat
   replica.leader_epoch = state.leader_epoch;
   replica.isr = state.isr;
   replica.follower_leo.clear();
+  // Idempotence across failover: the dedup map is leader memory, but the
+  // sequences themselves are in the log (stamped before encoding, so
+  // followers replicate them too). A new leader with no dedup state — a
+  // restarted broker recovering from disk, or a follower just promoted —
+  // must rebuild it, or every mid-stream idempotent producer is permanently
+  // fenced with "out-of-order producer sequence". An incumbent leader keeps
+  // its in-memory map: it is a superset of the log under ring staging
+  // (staged-not-yet-drained batches are invisible to Read).
+  if (replica.producer_last_seq.empty()) {
+    LIQUID_RETURN_NOT_OK(RebuildProducerStateLocked(&replica));
+  }
   NoteEpochLocked(tp, &replica, state.leader_epoch, replica.log->end_offset());
   // If the ISR collapsed to this broker alone, everything local is committed
   // (it was in the ISR for every acknowledged write).
@@ -536,6 +574,9 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
   };
   LIQUID_RETURN_NOT_OK(
       cluster_->acls()->Check(client_id, tp.topic, AclOperation::kWrite));
+  // Chaos surface (DESIGN.md §7): reject/delay the produce before any
+  // partition state is touched — models a request lost or stuck on arrival.
+  LIQUID_FAULT_POINT("broker.produce.before_append");
   int64_t throttle_ms = 0;
   if (!client_id.empty()) {
     int64_t payload = 0;
@@ -610,13 +651,20 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
     // AwaitAppended below (acks=all) or the high-watermark (acks<=1).
     storage::AppendOptions append_options;
     append_options.async_stage = true;
+    const int64_t pre_append_end = replica->log->end_offset();
     auto batch_result = replica->log->AppendBatch(&records, append_options);
     if (!batch_result.ok()) {
-      if (advanced_seq) {
-        // Roll the dedup window back, or the producer's retry of this very
-        // batch would be dropped as a duplicate — ring backpressure
-        // (ResourceExhausted) makes append rejections a normal, retriable
-        // event rather than a rarity.
+      // end_offset() advances only when the write itself committed, so it
+      // distinguishes "batch never entered the log" from "batch is in the
+      // log but its every-batch fsync failed" (phase 6). Only the former
+      // rolls the dedup window back: ring backpressure (ResourceExhausted)
+      // makes append rejections a normal, retriable event, and the retry of
+      // that batch must not be dropped as a duplicate. After a sync failure
+      // the records are readable in the log, so keeping the window advanced
+      // turns the producer's same-sequence resend into a duplicate-drop
+      // acknowledgment instead of a second, duplicating append.
+      const bool landed = replica->log->end_offset() > pre_append_end;
+      if (advanced_seq && !landed) {
         if (prev_seq < 0) {
           replica->producer_last_seq.erase(producer_id);
         } else {
@@ -637,6 +685,9 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
     replica->append_records->Increment(static_cast<int64_t>(records.size()));
     if (acks != AckMode::kAll) {
       AdvanceHighWatermarkLocked(tp, replica);
+      // Chaos surface: the batch is appended but the acknowledgment is lost
+      // or delayed — the retry/idempotence path must absorb the resend.
+      LIQUID_FAULT_POINT("broker.produce.before_ack");
       observe_append(records);
       ProduceResponse resp;
       resp.base_offset = base;
@@ -715,6 +766,9 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
       return Status::Unavailable("ISR shrank below min.insync.replicas");
     }
     AdvanceHighWatermarkLocked(tp, replica);
+    // Chaos surface: appended AND replicated, but the acknowledgment is
+    // lost — the strongest duplicate-generation point for idempotence tests.
+    LIQUID_FAULT_POINT("broker.produce.before_ack");
     observe_append(records);
     ProduceResponse resp;
     resp.base_offset = base;
@@ -732,6 +786,9 @@ Result<ProduceResponse> Broker::Produce(const TopicPartition& tp,
 Status Broker::AppendAsFollower(const TopicPartition& tp,
                                 const std::vector<storage::Record>& records,
                                 int leader_epoch, int64_t leader_hw) {
+  // Chaos surface: a follower that drops/delays leader pushes — the leader
+  // reacts by shrinking the ISR, which is exactly what the soak verifies.
+  LIQUID_FAULT_POINT("broker.replicate.before_append");
   ReaderMutexLock map_lock(&map_mu_);
   LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
   MutexLock lock(&replica->mu);
@@ -781,6 +838,8 @@ Status Broker::AppendAsFollower(const TopicPartition& tp,
 Status Broker::AppendEncodedAsFollower(const TopicPartition& tp,
                                        const storage::EncodedBatch& batch,
                                        int leader_epoch, int64_t leader_hw) {
+  // Same chaos surface as AppendAsFollower for the encode-once push path.
+  LIQUID_FAULT_POINT("broker.replicate.before_append");
   ReaderMutexLock map_lock(&map_mu_);
   LIQUID_ASSIGN_OR_RETURN(Replica * replica, FindReplicaShared(tp));
   MutexLock lock(&replica->mu);
@@ -922,6 +981,8 @@ Result<FetchResponse> Broker::Fetch(const TopicPartition& tp, int64_t offset,
   const int64_t t0 = clock_->NowUs();
   LIQUID_RETURN_NOT_OK(
       cluster_->acls()->Check(client_id, tp.topic, AclOperation::kRead));
+  // Chaos surface: fail/delay the fetch before any partition state is read.
+  LIQUID_FAULT_POINT("broker.fetch.before_read");
   int64_t throttle_ms = 0;
   if (!client_id.empty()) {
     throttle_ms = quotas_.Charge(client_id, static_cast<int64_t>(max_bytes));

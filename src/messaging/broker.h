@@ -253,6 +253,13 @@ class Broker {
   /// with NO broker lock held: the coord write fires watches that re-enter
   /// brokers on this thread (controller election, leadership changes).
   void PublishIsr(const TopicPartition& tp, const std::vector<int>& isr);
+  /// Rebuilds the idempotent-producer dedup map (producer_last_seq) by
+  /// scanning the log. Called when a replica becomes leader with no dedup
+  /// state — a restarted broker or a promoted follower — so that mid-stream
+  /// producers are deduplicated instead of rejected as out-of-order
+  /// (DESIGN.md §7: the chaos soak found exactly this gap).
+  Status RebuildProducerStateLocked(Replica* replica) REQUIRES(replica->mu);
+
   Status LoadHighWatermarkLocked(const TopicPartition& tp, Replica* replica)
       REQUIRES(replica->mu);
   void StoreHighWatermarkLocked(const TopicPartition& tp, Replica* replica)

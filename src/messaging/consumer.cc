@@ -21,6 +21,7 @@ Consumer::Consumer(Cluster* cluster, OffsetManager* offsets,
   records_counter_ = global->GetCounter(prefix + "records");
   lag_gauge_ = global->GetGauge(prefix + "lag");
   e2e_latency_us_ = global->GetHistogram(prefix + "e2e_latency_us");
+  retry_metrics_ = RetryMetrics::Create(prefix);
 }
 
 // A destructor cannot propagate the final auto-commit's Status; users who
@@ -86,10 +87,26 @@ Result<std::vector<ConsumerRecord>> Consumer::Poll(size_t max_records) {
        visited < assignment_.size() && out.size() < max_records; ++visited) {
     const TopicPartition& tp =
         assignment_[(poll_cursor_ + visited) % assignment_.size()];
-    auto leader = cluster_->LeaderFor(tp);
-    if (!leader.ok()) continue;  // Transient: try again next poll.
-    auto resp = (*leader)->Fetch(tp, positions_[tp], config_.fetch_max_bytes,
-                                 -1, config_.client_id, config_.read_committed);
+    // Unified retry discipline (DESIGN.md §7): a transiently failing
+    // partition (leader mid-election, injected Unavailable) gets a short
+    // jittered backoff and a fresh LeaderFor — the metadata refresh — instead
+    // of silently losing its turn. An exhausted budget defers the partition
+    // to the next Poll rather than failing the whole call.
+    RetryState retry(config_.retry, cluster_->clock(), Deadline::Infinite(),
+                     static_cast<uint64_t>(positions_[tp] + 1) *
+                             1099511628211ull +
+                         static_cast<uint64_t>(tp.partition),
+                     &retry_metrics_);
+    Result<FetchResponse> resp = Status::Unavailable("no fetch attempt");
+    do {
+      auto leader = cluster_->LeaderFor(tp);
+      if (leader.ok()) {
+        resp = (*leader)->Fetch(tp, positions_[tp], config_.fetch_max_bytes,
+                                -1, config_.client_id, config_.read_committed);
+      } else {
+        resp = leader.status();
+      }
+    } while (!resp.ok() && retry.ShouldRetry(resp.status()));
     if (!resp.ok()) continue;
     // Same client-side quota contract as the producer: the broker never
     // sleeps; an over-quota consumer serves its own throttle verdict here.

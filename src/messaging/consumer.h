@@ -8,6 +8,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "messaging/group_coordinator.h"
@@ -38,6 +39,10 @@ struct ConsumerConfig {
   /// Hide transactional data until its transaction commits (exactly-once
   /// reads); aborted data and control markers are never delivered.
   bool read_committed = false;
+  /// Unified retry discipline (DESIGN.md §7) for transient fetch failures
+  /// inside one Poll: leader re-resolve plus short jittered backoff. Kept
+  /// small — an exhausted budget just defers the partition to the next poll.
+  RetryPolicy retry{.max_attempts = 3, .max_backoff_ms = 4};
 };
 
 /// Subscribing client of the messaging layer (§3.1). Pull-based: Poll()
@@ -110,6 +115,7 @@ class Consumer {
   Counter* records_counter_ = nullptr;
   Gauge* lag_gauge_ = nullptr;
   Histogram* e2e_latency_us_ = nullptr;
+  RetryMetrics retry_metrics_{};
 
   mutable Mutex mu_;
   // Live per-partition lag gauges ("...lag.<topic>-<p>") plus the last

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/coding.h"
+#include "common/fault.h"
 #include "common/metrics.h"
 
 namespace liquid::messaging {
@@ -137,7 +138,23 @@ Status OffsetManager::Persist(const std::string& key,
                               const OffsetCommit& commit) {
   std::vector<storage::Record> batch;
   batch.push_back(storage::Record::KeyValue(key, EncodeCommit(commit)));
-  return log_->Append(&batch).status();
+  // Unified retry discipline (DESIGN.md §7): transient append verdicts
+  // (staging-ring backpressure surfacing as ResourceExhausted, injected
+  // Unavailable) back off and retry; IOError/Corruption fail fast so a sick
+  // disk is reported, not papered over. Commits are rare and the manager is
+  // logically centralized, so sleeping briefly under mu_ here only delays
+  // other offset traffic of the same coordinator — never a broker data path.
+  RetryState retry(retry_policy_, clock_, Deadline::Infinite(),
+                   static_cast<uint64_t>(commits_total_) + 1, &retry_metrics_);
+  for (;;) {
+    Status append = [&]() -> Status {
+      // Chaos surface (DESIGN.md §7): the offset-commit append — lets the
+      // soak prove consumers resume from the last *durable* checkpoint.
+      LIQUID_FAULT_POINT("offsets.commit.before_append");
+      return log_->Append(&batch).status();
+    }();
+    if (append.ok() || !retry.ShouldRetry(append)) return append;
+  }
 }
 
 Status OffsetManager::Commit(const std::string& group, const TopicPartition& tp,

@@ -9,6 +9,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "messaging/metadata.h"
@@ -104,6 +105,13 @@ class OffsetManager {
 
   std::unique_ptr<storage::Log> log_;
   Clock* const clock_;
+  /// Commit appends retry transient backing-log verdicts (staging-ring
+  /// backpressure, injected Unavailable) with the unified backoff; real
+  /// I/O errors still fail fast (DESIGN.md §7). Offset commits are small
+  /// and rare relative to produces, so the bounded in-lock retry is cheaper
+  /// than surfacing every transient hiccup to all consumers of the group.
+  const RetryPolicy retry_policy_{.max_attempts = 4, .max_backoff_ms = 8};
+  const RetryMetrics retry_metrics_ = RetryMetrics::Create("liquid.offsets.");
 
   mutable Mutex mu_;
   std::map<std::string, OffsetCommit> cache_ GUARDED_BY(mu_);

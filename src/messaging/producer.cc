@@ -182,21 +182,43 @@ Result<ProduceResponse> Producer::SendBatch(
   const bool tracing = tracer->enabled();
   const int64_t send_start_us = tracing ? cluster_->clock()->NowUs() : 0;
 
-  Status last_error = Status::Unavailable("no attempt made");
-  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
-    auto leader = cluster_->LeaderFor(tp);
-    if (!leader.ok()) {
-      last_error = leader.status();
-      // liquid-lint: allow(hot-block): client-side backoff between bounded retries; the sleep is in the producer, never on a broker thread.
-      cluster_->clock()->SleepMs(1);
-      {
+  // Unified retry discipline (DESIGN.md §7). The jitter seed mixes the
+  // partition and batch identity so concurrent producers desynchronize
+  // without a global RNG; the backoff sleeps live inside RetryState, off
+  // every broker thread (client-side backoff convention, §4.5).
+  RetryState retry(config_.retry, cluster_->clock(), Deadline::Infinite(),
+                   HashKey(tp.topic) + static_cast<uint64_t>(tp.partition) * 31 +
+                       static_cast<uint64_t>(first_sequence + 1),
+                   &retry_metrics_);
+  for (;;) {
+    // Resolve the leader through the cache; on a retriable failure the entry
+    // was erased below, so this re-resolve is the metadata refresh that keeps
+    // a retry from re-sending to a dead leader.
+    Broker* leader = nullptr;
+    Status last_error;
+    {
+      MutexLock lock(&mu_);
+      auto it = leader_ids_.find(tp);
+      if (it != leader_ids_.end()) leader = cluster_->broker(it->second);
+    }
+    if (leader == nullptr) {
+      auto resolved = cluster_->LeaderFor(tp);
+      if (resolved.ok()) {
+        leader = *resolved;
+        const int leader_id = leader->id();  // Snapshot before taking mu_.
+        MutexLock lock(&mu_);
+        leader_ids_[tp] = leader_id;
+      } else {
+        last_error = resolved.status();
+        if (!retry.ShouldRetry(last_error)) return last_error;
         MutexLock lock(&mu_);
         ++send_retries_;
+        if (retry.needs_metadata_refresh()) leader_ids_.erase(tp);
+        continue;
       }
-      continue;
     }
-    auto resp = (*leader)->Produce(tp, records, config_.acks, producer_id,
-                                   first_sequence, config_.client_id);
+    auto resp = leader->Produce(tp, records, config_.acks, producer_id,
+                                first_sequence, config_.client_id);
     if (resp.ok()) {
       records_counter_->Increment(static_cast<int64_t>(records.size()));
       if (tracing) {
@@ -231,20 +253,18 @@ Result<ProduceResponse> Producer::SendBatch(
     }
     last_error = resp.status();
     // ResourceExhausted is the staging ring's backpressure verdict
-    // (LogConfig::staging == ring): the broker never sleeps; the producer
-    // backs off below and retries — same convention as quota throttling.
-    if (!last_error.IsNotLeader() && !last_error.IsUnavailable() &&
-        !last_error.IsResourceExhausted()) {
-      return last_error;  // Non-retriable.
-    }
+    // (LogConfig::staging == ring): the broker never sleeps; RetryState backs
+    // off on the producer's thread — same convention as quota throttling.
+    // Non-retriable codes and an exhausted budget both land here.
+    if (!retry.ShouldRetry(last_error)) return last_error;
     {
       MutexLock lock(&mu_);
       ++send_retries_;
+      // NotLeader/Unavailable: drop the cached leader so the next attempt
+      // re-reads cluster metadata (satellite: no re-send to a dead leader).
+      if (retry.needs_metadata_refresh()) leader_ids_.erase(tp);
     }
-    // liquid-lint: allow(hot-block): client-side backoff between bounded retries; the sleep is in the producer, never on a broker thread.
-    cluster_->clock()->SleepMs(1);
   }
-  return last_error;
 }
 
 int64_t Producer::records_sent() const {

@@ -9,6 +9,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "messaging/metadata.h"
@@ -28,8 +29,11 @@ enum class PartitionerType { kRoundRobin, kHashByKey };
 struct ProducerConfig {
   AckMode acks = AckMode::kAll;
   PartitionerType partitioner = PartitionerType::kHashByKey;
-  /// Retries on NotLeader/Unavailable (metadata is refreshed in between).
-  int max_retries = 5;
+  /// Unified retry discipline (DESIGN.md §7): NotLeader / Unavailable /
+  /// ResourceExhausted back off with capped exponential jittered delays and
+  /// the leader cache is invalidated (metadata refresh) in between; all other
+  /// codes fail fast.
+  RetryPolicy retry;
   /// Batches flush automatically once this many records accumulate for a
   /// partition (or on Flush()).
   size_t batch_max_records = 64;
@@ -108,6 +112,7 @@ class Producer {
   // never erased, so the pointers stay valid for the process lifetime).
   Counter* const records_counter_;
   Counter* const throttle_waits_counter_;
+  const RetryMetrics retry_metrics_ = RetryMetrics::Create("liquid.producer.");
 
   mutable Mutex mu_;
   CustomPartitioner custom_partitioner_ GUARDED_BY(mu_);
@@ -118,6 +123,10 @@ class Producer {
   std::map<TopicPartition, std::vector<storage::Record>> batches_
       GUARDED_BY(mu_);
   std::map<TopicPartition, int32_t> next_sequence_ GUARDED_BY(mu_);
+  /// Last-known leader broker id per partition. SendBatch resolves through
+  /// this cache; a retriable failure erases the entry so the next attempt
+  /// re-reads cluster metadata instead of re-sending to a dead leader.
+  std::map<TopicPartition, int> leader_ids_ GUARDED_BY(mu_);
   std::map<std::string, uint64_t> round_robin_ GUARDED_BY(mu_);
   int64_t records_sent_ GUARDED_BY(mu_) = 0;
   int64_t send_retries_ GUARDED_BY(mu_) = 0;

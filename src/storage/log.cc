@@ -5,6 +5,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/fault.h"
+
 namespace liquid::storage {
 
 Log::Log(Disk* disk, PageCache* cache, std::string name_prefix, LogConfig config,
@@ -35,6 +37,8 @@ Log::Log(Disk* disk, PageCache* cache, std::string name_prefix, LogConfig config
   staging_occupancy_sum_ = global->GetCounter(prefix + "staging_occupancy_sum");
   producer_append_mu_acquisitions_ =
       global->GetCounter(prefix + "producer_append_mu_acquisitions");
+  group_commit_ledger_evictions_ =
+      global->GetCounter(prefix + "group_commit_ledger_evictions");
 }
 
 Log::~Log() {
@@ -207,6 +211,11 @@ void Log::RecordAppendFailureLocked(int64_t begin, int64_t end, Status status) {
   append_failures_.push_back(AppendFailure{begin, end, status});
   if (append_failures_.size() > kMaxAppendFailures) {
     append_failures_.erase(append_failures_.begin());
+    // Saturation is observable (DESIGN.md §6c): an evicted entry downgrades
+    // its range from "known failed" to "unacknowledged, not absent", so a
+    // nonzero eviction count tells the operator which logs ran hot enough
+    // for the ledger to wrap.
+    group_commit_ledger_evictions_->Increment();
   }
   if (config_.sync_mode == SyncMode::kGroup && sync_failed_upto_ < end) {
     // AwaitDurable waiters covering the failed range must not wait for a
@@ -268,6 +277,10 @@ void Log::WakeDrainer() {
 }
 
 Status Log::SyncDirtySegments() const {
+  // Chaos surface (DESIGN.md §7): a failing or stalling fsync. Group-commit
+  // windows fold the injected error into the failed-window ledger; every-
+  // batch callers see it inline — both must keep the ack contract honest.
+  LIQUID_FAULT_POINT("log.sync.before");
   ReaderMutexLock lock(&mu_);
   for (const auto& segment : segments_) {
     if (!segment->dirty()) continue;
@@ -468,6 +481,9 @@ Result<int64_t> Log::Append(std::vector<Record>* records) {
 Result<EncodedBatch> Log::AppendBatch(std::vector<Record>* records,
                                       const AppendOptions& options) {
   if (records->empty()) return Status::InvalidArgument("empty append");
+  // Chaos surface: reject/delay the append before any offset is reserved,
+  // covering the locked and ring-staged paths alike.
+  LIQUID_FAULT_POINT("log.append.before");
   if (staging_ != nullptr) return AppendBatchStaged(records, options);
 
   // Phase 1: reserve the offset range (short critical section).
@@ -641,16 +657,29 @@ Status Log::AppendWithOffsets(const std::vector<Record>& records) {
 
 Status Log::AppendEncoded(const EncodedBatch& batch) {
   if (batch.empty()) return Status::OK();
+  const int64_t end = batch.last_offset() + 1;
   MutexLock pipeline_lock(&append_mu_);
   StagingDrain staging_drain(this);
-  WriterMutexLock lock(&mu_);
-  if (batch.base_offset() < next_offset_) {
-    return Status::InvalidArgument("offsets overlap existing log");
+  {
+    WriterMutexLock lock(&mu_);
+    if (batch.base_offset() < next_offset_) {
+      return Status::InvalidArgument("offsets overlap existing log");
+    }
+    LIQUID_RETURN_NOT_OK(AppendBatchLocked(batch));
+    next_offset_ = end;
   }
-  LIQUID_RETURN_NOT_OK(AppendBatchLocked(batch));
-  next_offset_ = batch.last_offset() + 1;
-  reserved_offset_ = next_offset_;
-  committed_offset_ = next_offset_;
+  reserved_offset_ = end;
+  committed_offset_ = end;
+  if (config_.sync_mode == SyncMode::kEveryBatch) {
+    // Follower durability mirrors the leader's ack contract: the replica
+    // fetch that lands these bytes advances the follower's LEO, which the
+    // leader counts toward an acks=all acknowledgment — so under every-batch
+    // sync they must hit stable storage here, or a power-cycle of the full
+    // ISR loses acked records when a once-follower wins the next election.
+    LIQUID_RETURN_NOT_OK(SyncDirtySegments());
+    if (durable_offset_ < end) durable_offset_ = end;
+    durable_cv_.SignalAll();
+  }
   if (config_.sync_mode == SyncMode::kGroup) committer_cv_.Signal();
   return Status::OK();
 }

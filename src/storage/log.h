@@ -398,6 +398,7 @@ class Log {
   Counter* staging_drained_batches_;
   Counter* staging_occupancy_sum_;
   Counter* producer_append_mu_acquisitions_;
+  Counter* group_commit_ledger_evictions_;
 };
 
 }  // namespace liquid::storage

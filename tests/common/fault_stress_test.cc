@@ -1,0 +1,108 @@
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/status.h"
+
+namespace liquid {
+namespace {
+
+/// TSan-oriented stress: fault points hammer the registry while a chaos
+/// driver concurrently loads schedules, re-arms sites, drains crash
+/// requests and clears everything. The assertions are deliberately loose —
+/// the point is that every interleaving is data-race-free and no Hit()
+/// observes a torn configuration (e.g. a kFail site injecting anything but
+/// its configured code).
+TEST(FaultRegistryStressTest, ConcurrentHitsAgainstReconfiguration) {
+  FaultRegistry* registry = FaultRegistry::Default();
+  registry->Clear();
+
+  constexpr int kHitters = 4;
+  constexpr int kHitsPerThread = 4000;
+  const std::string sites[] = {"stress.a", "stress.b", "stress.c"};
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> unexpected{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kHitters + 2);
+  for (int t = 0; t < kHitters; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        const std::string& site = sites[(t + i) % 3];
+        if (!FaultRegistry::Default()->armed()) continue;
+        Status st = FaultRegistry::Default()->Hit(site);
+        // Sites are only ever configured as fail(NotLeader), fail(IOError)
+        // or crash (-> Unavailable); anything else means a torn config.
+        if (!st.ok() && !st.IsNotLeader() && !st.IsIOError() &&
+            !st.IsUnavailable()) {
+          unexpected.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Reconfigurer: alternates whole-schedule loads with single-site churn.
+  threads.emplace_back([&] {
+    FaultSchedule schedule;
+    schedule.seed = 99;
+    FaultSiteConfig fail_config;
+    fail_config.kind = FaultActionKind::kFail;
+    fail_config.fail_code = StatusCode::kNotLeader;
+    fail_config.probability = 0.5;
+    schedule.sites["stress.a"] = fail_config;
+    FaultSiteConfig crash_config;
+    crash_config.kind = FaultActionKind::kCrash;
+    schedule.sites["stress.b"] = crash_config;
+
+    FaultSiteConfig io_config;
+    io_config.kind = FaultActionKind::kFail;
+    io_config.fail_code = StatusCode::kIOError;
+    io_config.every = 3;
+
+    for (int round = 0; !stop.load(); ++round) {
+      switch (round % 4) {
+        case 0:
+          registry->Load(schedule);
+          break;
+        case 1:
+          registry->Arm("stress.c", io_config);
+          break;
+        case 2:
+          registry->Disarm("stress.b");
+          break;
+        default:
+          registry->Clear();
+          break;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // Driver: drains crash requests like the chaos soak harness would.
+  threads.emplace_back([&] {
+    int64_t drained = 0;
+    while (!stop.load()) {
+      drained += static_cast<int64_t>(
+          FaultRegistry::Default()->DrainCrashRequests().size());
+      (void)FaultRegistry::Default()->triggers_total();
+      (void)FaultRegistry::Default()->crash_requests_dropped();
+      std::this_thread::yield();
+    }
+    EXPECT_GE(drained, 0);
+  });
+
+  for (int t = 0; t < kHitters; ++t) threads[t].join();
+  stop.store(true);
+  for (size_t t = kHitters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(unexpected.load(), 0);
+  registry->Clear();
+  EXPECT_FALSE(registry->armed());
+}
+
+}  // namespace
+}  // namespace liquid

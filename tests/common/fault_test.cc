@@ -1,0 +1,266 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "test_util.h"
+
+namespace liquid {
+namespace {
+
+/// Every test runs against the process-wide registry (that is what
+/// LIQUID_FAULT_POINT consults), so the fixture restores the disarmed
+/// production state around each test.
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultRegistry::Default()->Clear();
+    FaultRegistry::Default()->SetClock(nullptr);
+  }
+  void TearDown() override {
+    FaultRegistry::Default()->Clear();
+    FaultRegistry::Default()->SetClock(nullptr);
+  }
+};
+
+// ---- Schedule parsing ----
+
+TEST(FaultScheduleTest, ParsesSeedAndSites) {
+  auto schedule = FaultSchedule::Parse(
+      "# chaos schedule\n"
+      "seed = 42\n"
+      "fault.log.sync.before.action = fail(IOError)\n"
+      "fault.log.sync.before.after = 100\n"
+      "fault.log.sync.before.count = 3\n"
+      "fault.broker.produce.before_append.action = delay(2ms)\n"
+      "fault.broker.produce.before_append.probability = 0.05\n"
+      "fault.broker.replicate.before_append.action = crash\n");
+  LIQUID_ASSERT_OK(schedule.status());
+  EXPECT_EQ(schedule->seed, 42u);
+  ASSERT_EQ(schedule->sites.size(), 3u);
+
+  const FaultSiteConfig& sync = schedule->sites.at("log.sync.before");
+  EXPECT_EQ(sync.kind, FaultActionKind::kFail);
+  EXPECT_EQ(sync.fail_code, StatusCode::kIOError);
+  EXPECT_EQ(sync.after, 100);
+  EXPECT_EQ(sync.max_triggers, 3);
+
+  const FaultSiteConfig& produce =
+      schedule->sites.at("broker.produce.before_append");
+  EXPECT_EQ(produce.kind, FaultActionKind::kDelay);
+  EXPECT_EQ(produce.delay_us, 2000);
+  EXPECT_DOUBLE_EQ(produce.probability, 0.05);
+
+  EXPECT_EQ(schedule->sites.at("broker.replicate.before_append").kind,
+            FaultActionKind::kCrash);
+}
+
+TEST(FaultScheduleTest, ParsesMicrosecondDelays) {
+  auto schedule =
+      FaultSchedule::Parse("fault.log.append.before.action = delay(250us)\n");
+  LIQUID_ASSERT_OK(schedule.status());
+  EXPECT_EQ(schedule->sites.at("log.append.before").delay_us, 250);
+}
+
+TEST(FaultScheduleTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "bogus = 1\n",                                  // Unknown top-level key.
+      "seed = -1\n",                                  // Negative seed.
+      "seed = nope\n",                                // Non-numeric seed.
+      "fault.x.action = explode\n",                   // Unknown action verb.
+      "fault.x.action = fail(NoSuchCode)\n",          // Unknown status code.
+      "fault.x.action = fail(Ok)\n",                  // kOk is not injectable.
+      "fault.x.action = delay(5)\n",                  // Missing unit.
+      "fault.x.action = delay(-5ms)\n",               // Negative delay.
+      "fault.x.action = delay(0us)\n",                // Zero delay.
+      "fault.x.action = fail(IOError\n",              // Unbalanced paren.
+      "fault.x.after = 3\n",                          // Clauses but no action.
+      "fault.x.action = crash\nfault.x.every = 0\n",  // every < 1.
+      "fault.x.action = crash\nfault.x.bogus = 1\n",  // Unknown param.
+      "fault.x.action = crash\nfault.x.probability = 1.5\n",  // Out of range.
+      "fault.x.action = crash\nfault.x.probability = nan\n",  // NaN.
+      "fault.X.action = crash\n",                     // Uppercase site.
+      "fault.a..b.action = crash\n",                  // Double dot in site.
+      "fault..action = crash\n",                      // Empty site.
+  };
+  for (const char* text : bad) {
+    auto schedule = FaultSchedule::Parse(text);
+    EXPECT_FALSE(schedule.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(FaultScheduleTest, SerializeRoundTrips) {
+  FaultSchedule schedule;
+  schedule.seed = 7;
+  schedule.sites["log.sync.before"] = FaultSiteConfig{
+      FaultActionKind::kFail, StatusCode::kIOError, 0, 10, 2, 3, 1.0};
+  schedule.sites["broker.fetch.before_read"] = FaultSiteConfig{
+      FaultActionKind::kDelay, StatusCode::kUnavailable, 1500, 0, 1, -1, 0.25};
+  schedule.sites["coord.create"] = FaultSiteConfig{
+      FaultActionKind::kCrash, StatusCode::kUnavailable, 0, 0, 1, -1, 1e-7};
+
+  auto reparsed = FaultSchedule::Parse(schedule.Serialize());
+  LIQUID_ASSERT_OK(reparsed.status());
+  EXPECT_EQ(*reparsed, schedule);
+}
+
+// ---- Registry behavior ----
+
+TEST_F(FaultRegistryTest, DisarmedByDefaultAndUnknownSitesAreFree) {
+  FaultRegistry* registry = FaultRegistry::Default();
+  EXPECT_FALSE(registry->armed());
+  registry->Arm("some.site", FaultSiteConfig{});
+  EXPECT_TRUE(registry->armed());
+  LIQUID_EXPECT_OK(registry->Hit("other.site"));
+  EXPECT_EQ(registry->hits("other.site"), 0);
+  registry->Disarm("some.site");
+  EXPECT_FALSE(registry->armed());
+}
+
+TEST_F(FaultRegistryTest, FailActionInjectsConfiguredStatus) {
+  FaultRegistry* registry = FaultRegistry::Default();
+  FaultSiteConfig config;
+  config.kind = FaultActionKind::kFail;
+  config.fail_code = StatusCode::kIOError;
+  registry->Arm("log.sync.before", config);
+
+  Status st = registry->Hit("log.sync.before");
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_NE(st.ToString().find("log.sync.before"), std::string::npos);
+  EXPECT_EQ(registry->hits("log.sync.before"), 1);
+  EXPECT_EQ(registry->triggers("log.sync.before"), 1);
+  EXPECT_EQ(registry->triggers_total(), 1);
+}
+
+TEST_F(FaultRegistryTest, ScriptingGatesComposeInOrder) {
+  // Skip 2 hits, then fire every 2nd eligible hit, at most 2 times.
+  FaultRegistry* registry = FaultRegistry::Default();
+  FaultSiteConfig config;
+  config.kind = FaultActionKind::kFail;
+  config.after = 2;
+  config.every = 2;
+  config.max_triggers = 2;
+  registry->Arm("s", config);
+
+  std::vector<bool> fired;
+  for (int i = 0; i < 10; ++i) fired.push_back(!registry->Hit("s").ok());
+  // Hits 1,2 skipped by `after`; eligible hits 3,4,5,... fire on 3 and 5
+  // (every=2), then `count` caps further firing.
+  EXPECT_EQ(fired, std::vector<bool>(
+                       {false, false, true, false, true, false, false, false,
+                        false, false}));
+  EXPECT_EQ(registry->hits("s"), 10);
+  EXPECT_EQ(registry->triggers("s"), 2);
+}
+
+TEST_F(FaultRegistryTest, ProbabilityIsDeterministicUnderSeed) {
+  FaultSchedule schedule;
+  schedule.seed = 1234;
+  FaultSiteConfig config;
+  config.kind = FaultActionKind::kFail;
+  config.probability = 0.3;
+  schedule.sites["s"] = config;
+
+  FaultRegistry* registry = FaultRegistry::Default();
+  auto run = [&] {
+    registry->Load(schedule);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(!registry->Hit("s").ok());
+    return fired;
+  };
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  const int64_t triggered = registry->triggers("s");
+  EXPECT_GT(triggered, 0);
+  EXPECT_LT(triggered, 200);
+}
+
+TEST_F(FaultRegistryTest, DelayActionSleepsOnInjectedClock) {
+  SimulatedClock clock(1000);
+  FaultRegistry* registry = FaultRegistry::Default();
+  registry->SetClock(&clock);
+  FaultSiteConfig config;
+  config.kind = FaultActionKind::kDelay;
+  config.delay_us = 5000;
+  registry->Arm("s", config);
+
+  const int64_t before = clock.NowMs();
+  LIQUID_EXPECT_OK(registry->Hit("s"));
+  EXPECT_EQ(clock.NowMs() - before, 5);
+}
+
+TEST_F(FaultRegistryTest, CrashActionQueuesRequestForTheDriver) {
+  FaultRegistry* registry = FaultRegistry::Default();
+  FaultSiteConfig config;
+  config.kind = FaultActionKind::kCrash;
+  registry->Arm("broker.start.session", config);
+
+  Status st = registry->Hit("broker.start.session");
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_EQ(registry->DrainCrashRequests(),
+            std::vector<std::string>{"broker.start.session"});
+  EXPECT_TRUE(registry->DrainCrashRequests().empty());
+}
+
+TEST_F(FaultRegistryTest, CrashQueueIsBounded) {
+  FaultRegistry* registry = FaultRegistry::Default();
+  FaultSiteConfig config;
+  config.kind = FaultActionKind::kCrash;
+  registry->Arm("s", config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(registry->Hit("s").ok());
+  }
+  EXPECT_EQ(registry->DrainCrashRequests().size(), 64u);
+  EXPECT_EQ(registry->crash_requests_dropped(), 36);
+}
+
+TEST_F(FaultRegistryTest, LoadReplacesSitesAndResetsCounters) {
+  FaultRegistry* registry = FaultRegistry::Default();
+  registry->Arm("old.site", FaultSiteConfig{});
+  EXPECT_FALSE(registry->Hit("old.site").ok());
+
+  FaultSchedule schedule;
+  schedule.sites["new.site"] = FaultSiteConfig{};
+  registry->Load(schedule);
+  EXPECT_TRUE(registry->armed());
+  EXPECT_EQ(registry->triggers_total(), 0);
+  LIQUID_EXPECT_OK(registry->Hit("old.site"));  // Replaced, now unknown.
+  EXPECT_FALSE(registry->Hit("new.site").ok());
+
+  registry->Clear();
+  EXPECT_FALSE(registry->armed());
+  LIQUID_EXPECT_OK(registry->Hit("new.site"));
+}
+
+Status GuardedOperation() {
+  LIQUID_FAULT_POINT("test.macro.site");
+  return Status::OK();
+}
+
+Result<int> GuardedResultOperation() {
+  LIQUID_FAULT_POINT("test.macro.site");
+  return 42;
+}
+
+TEST_F(FaultRegistryTest, MacroWorksInStatusAndResultFunctions) {
+  LIQUID_EXPECT_OK(GuardedOperation());
+
+  FaultSiteConfig config;
+  config.kind = FaultActionKind::kFail;
+  config.fail_code = StatusCode::kNotLeader;
+  FaultRegistry::Default()->Arm("test.macro.site", config);
+  EXPECT_TRUE(GuardedOperation().IsNotLeader());
+  EXPECT_TRUE(GuardedResultOperation().status().IsNotLeader());
+
+  FaultRegistry::Default()->Clear();
+  auto result = GuardedResultOperation();
+  LIQUID_ASSERT_OK(result.status());
+  EXPECT_EQ(*result, 42);
+}
+
+}  // namespace
+}  // namespace liquid

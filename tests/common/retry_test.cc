@@ -1,0 +1,180 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "test_util.h"
+
+namespace liquid {
+namespace {
+
+RetryPolicy NoJitterPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 8;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  return policy;
+}
+
+TEST(RetryPolicyTest, ClassifiesStatuses) {
+  EXPECT_TRUE(RetryPolicy::IsRetriable(Status::Unavailable("isr shrank")));
+  EXPECT_TRUE(RetryPolicy::IsRetriable(Status::NotLeader("moved")));
+  EXPECT_TRUE(RetryPolicy::IsRetriable(Status::ResourceExhausted("ring full")));
+  EXPECT_FALSE(RetryPolicy::IsRetriable(Status::OK()));
+  EXPECT_FALSE(RetryPolicy::IsRetriable(Status::IOError("disk")));
+  EXPECT_FALSE(RetryPolicy::IsRetriable(Status::Corruption("crc")));
+  EXPECT_FALSE(RetryPolicy::IsRetriable(Status::InvalidArgument("bad")));
+
+  EXPECT_TRUE(RetryPolicy::NeedsMetadataRefresh(Status::NotLeader("moved")));
+  EXPECT_TRUE(RetryPolicy::NeedsMetadataRefresh(Status::Unavailable("down")));
+  EXPECT_FALSE(
+      RetryPolicy::NeedsMetadataRefresh(Status::ResourceExhausted("full")));
+}
+
+TEST(RetryStateTest, NonRetriableFailsFastWithoutSleepingOrGivingUp) {
+  SimulatedClock clock(0);
+  RetryState retry(NoJitterPolicy(), &clock, Deadline::Infinite(), 1);
+  EXPECT_FALSE(retry.ShouldRetry(Status::IOError("disk")));
+  EXPECT_FALSE(retry.ShouldRetry(Status::OK()));
+  EXPECT_EQ(retry.retries(), 0);
+  EXPECT_EQ(clock.NowMs(), 0);
+  EXPECT_FALSE(retry.gave_up());
+}
+
+TEST(RetryStateTest, CappedExponentialBackoffSequence) {
+  SimulatedClock clock(0);
+  RetryState retry(NoJitterPolicy(), &clock, Deadline::Infinite(), 1);
+  // max_attempts=5: four backoffs (1, 2, 4, 8ms — capped), then give up.
+  int64_t last_ms = 0;
+  for (int64_t expected : {1, 2, 4, 8}) {
+    EXPECT_TRUE(retry.ShouldRetry(Status::Unavailable("down")));
+    EXPECT_EQ(clock.NowMs() - last_ms, expected);
+    last_ms = clock.NowMs();
+  }
+  EXPECT_FALSE(retry.ShouldRetry(Status::Unavailable("down")));
+  EXPECT_TRUE(retry.gave_up());
+  EXPECT_EQ(retry.retries(), 4);
+  EXPECT_EQ(retry.total_backoff_us(), 15000);
+}
+
+TEST(RetryStateTest, BackoffStaysCappedPastTheKnee) {
+  SimulatedClock clock(0);
+  RetryPolicy policy = NoJitterPolicy();
+  policy.max_attempts = 10;
+  RetryState retry(policy, &clock, Deadline::Infinite(), 1);
+  int64_t last_ms = 0;
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_TRUE(retry.ShouldRetry(Status::Unavailable("down")));
+    const int64_t slept = clock.NowMs() - last_ms;
+    last_ms = clock.NowMs();
+    EXPECT_LE(slept, policy.max_backoff_ms);
+    if (i >= 3) EXPECT_EQ(slept, policy.max_backoff_ms);
+  }
+}
+
+TEST(RetryStateTest, JitterShrinksBackoffWithinBounds) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.jitter = 0.5;
+  policy.max_attempts = 2;
+  // Across seeds, the single 10ms backoff lands in (5ms, 10ms] — floored to
+  // whole simulated milliseconds that is [5, 10] — and at least one seed must
+  // actually shave something off (sleep < 10ms).
+  bool saw_shaved = false;
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    SimulatedClock clock(0);
+    policy.initial_backoff_ms = 10;
+    policy.max_backoff_ms = 10;  // NoJitterPolicy caps at 8; lift the cap.
+    RetryState retry(policy, &clock, Deadline::Infinite(), seed);
+    EXPECT_TRUE(retry.ShouldRetry(Status::Unavailable("down")));
+    EXPECT_GE(clock.NowMs(), 5);
+    EXPECT_LE(clock.NowMs(), 10);
+    if (clock.NowMs() < 10) saw_shaved = true;
+  }
+  EXPECT_TRUE(saw_shaved);
+}
+
+TEST(RetryStateTest, DeterministicForEqualSeeds) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.jitter = 0.25;
+  policy.max_attempts = 6;
+  auto run = [&](uint64_t seed) {
+    SimulatedClock clock(0);
+    RetryState retry(policy, &clock, Deadline::Infinite(), seed);
+    while (retry.ShouldRetry(Status::Unavailable("down"))) {
+    }
+    return retry.total_backoff_us();
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(RetryStateTest, DeadlineCapsSleepAndStopsRetries) {
+  SimulatedClock clock(0);
+  RetryPolicy policy = NoJitterPolicy();
+  policy.initial_backoff_ms = 10;
+  policy.max_backoff_ms = 10;
+  RetryState retry(policy, &clock, Deadline::AfterMs(&clock, 5), 1);
+  // First backoff (10ms) is clamped to the 5ms remaining.
+  EXPECT_TRUE(retry.ShouldRetry(Status::Unavailable("down")));
+  EXPECT_EQ(clock.NowMs(), 5);
+  // Deadline now expired: a retriable status becomes a giveup.
+  EXPECT_FALSE(retry.ShouldRetry(Status::Unavailable("down")));
+  EXPECT_TRUE(retry.gave_up());
+}
+
+TEST(RetryStateTest, MetadataRefreshFlagTracksLastStatus) {
+  SimulatedClock clock(0);
+  RetryPolicy policy = NoJitterPolicy();
+  policy.max_attempts = 10;
+  RetryState retry(policy, &clock, Deadline::Infinite(), 1);
+  EXPECT_TRUE(retry.ShouldRetry(Status::NotLeader("moved")));
+  EXPECT_TRUE(retry.needs_metadata_refresh());
+  EXPECT_TRUE(retry.ShouldRetry(Status::ResourceExhausted("ring full")));
+  EXPECT_FALSE(retry.needs_metadata_refresh());
+}
+
+TEST(RetryStateTest, RecordsRetryAndGiveupMetrics) {
+  const RetryMetrics metrics = RetryMetrics::Create("liquid.retry_test.");
+  metrics.retries_total->Reset();
+  metrics.giveups_total->Reset();
+
+  SimulatedClock clock(0);
+  RetryPolicy policy = NoJitterPolicy();
+  policy.max_attempts = 3;
+  RetryState retry(policy, &clock, Deadline::Infinite(), 1, &metrics);
+  EXPECT_TRUE(retry.ShouldRetry(Status::Unavailable("down")));
+  EXPECT_TRUE(retry.ShouldRetry(Status::Unavailable("down")));
+  EXPECT_FALSE(retry.ShouldRetry(Status::Unavailable("down")));
+  EXPECT_EQ(metrics.retries_total->value(), 2);
+  EXPECT_EQ(metrics.giveups_total->value(), 1);
+
+  // Fail-fast statuses count neither as retries nor as giveups.
+  RetryState fresh(policy, &clock, Deadline::Infinite(), 1, &metrics);
+  EXPECT_FALSE(fresh.ShouldRetry(Status::Corruption("crc")));
+  EXPECT_EQ(metrics.retries_total->value(), 2);
+  EXPECT_EQ(metrics.giveups_total->value(), 1);
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline deadline = Deadline::Infinite();
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_ms(), 1ll << 60);
+}
+
+TEST(DeadlineTest, ExpiresOnSchedule) {
+  SimulatedClock clock(100);
+  Deadline deadline = Deadline::AfterMs(&clock, 50);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_ms(), 50);
+  clock.SleepMs(49);
+  EXPECT_FALSE(deadline.expired());
+  clock.SleepMs(1);
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_ms(), 0);
+}
+
+}  // namespace
+}  // namespace liquid

@@ -4,9 +4,15 @@
 #include <memory>
 
 #include "common/clock.h"
+#include "common/fault.h"
+#include "common/metrics.h"
 #include "messaging/broker.h"
 #include "messaging/cluster.h"
+#include "messaging/consumer.h"
+#include "messaging/group_coordinator.h"
+#include "messaging/offset_manager.h"
 #include "messaging/producer.h"
+#include "storage/disk.h"
 
 #include "test_util.h"
 
@@ -23,6 +29,10 @@ class FailoverTest : public ::testing::Test {
     cluster_ = std::make_unique<Cluster>(config, &clock_);
     ASSERT_TRUE(cluster_->Start().ok());
   }
+
+  // Some tests arm the process-wide fault registry; always restore the
+  // disarmed production state, even when an ASSERT bails out early.
+  void TearDown() override { FaultRegistry::Default()->Clear(); }
 
   void CreateTopic(const std::string& name, int rf, bool unclean = false) {
     TopicConfig config;
@@ -226,6 +236,116 @@ TEST_F(FailoverTest, EpochFencingPreventsZombieLeader) {
                   .status()
                   .IsUnavailable());
   EXPECT_TRUE(old_leader->Fetch(tp, 0, 1024, -1).status().IsUnavailable());
+}
+
+TEST_F(FailoverTest, AckedPrefixSurvivesRestartUnderFsyncFault) {
+  // Durable topic: every batch is fsynced before the ack (DESIGN.md §6).
+  TopicConfig config;
+  config.partitions = 1;
+  config.replication_factor = 3;
+  config.log.sync_mode = storage::SyncMode::kEveryBatch;
+  ASSERT_TRUE(cluster_->CreateTopic("t", config).ok());
+  const TopicPartition tp{"t", 0};
+  ASSERT_EQ(Produce(tp, 10, AckMode::kAll), 10);
+
+  // Injected fsync fault (chaos site "log.sync.before"): while the disk
+  // refuses to sync, nothing new can be acknowledged.
+  FaultSiteConfig fsync_fault;
+  fsync_fault.kind = FaultActionKind::kFail;
+  fsync_fault.fail_code = StatusCode::kIOError;
+  FaultRegistry::Default()->Arm("log.sync.before", fsync_fault);
+  EXPECT_EQ(Produce(tp, 5, AckMode::kAll), 0);
+  FaultRegistry::Default()->Clear();
+
+  // Power-cycle every replica, dropping unsynced writes like a real crash.
+  auto state = cluster_->GetPartitionState(tp);
+  for (int replica : state->replicas) {
+    LIQUID_ASSERT_OK(cluster_->StopBroker(replica));
+    cluster_->disk(replica)->SimulateCrash();
+  }
+  for (int replica : state->replicas) {
+    LIQUID_ASSERT_OK(cluster_->RestartBroker(replica));
+  }
+  cluster_->ReplicationTick();
+  cluster_->ReplicationTick();
+
+  // Exactly the acked prefix survives: the ten acknowledged records were
+  // fsynced before their acks; the five refused ones never became durable.
+  EXPECT_EQ(CommittedRecords(tp), 10);
+}
+
+TEST_F(FailoverTest, ConsumersResumeFromCommittedOffsetsAfterRestart) {
+  CreateTopic("t", 3);
+  const TopicPartition tp{"t", 0};
+  ASSERT_EQ(Produce(tp, 10, AckMode::kAll), 10);
+
+  storage::MemDisk offsets_disk;
+  auto offsets = OffsetManager::Open(&offsets_disk, "offsets/", &clock_);
+  LIQUID_ASSERT_OK(offsets.status());
+  GroupCoordinator coordinator(cluster_.get());
+
+  // First consumer incarnation: read six records, then checkpoint while the
+  // offset log's append is transiently failing — the unified retry
+  // discipline (DESIGN.md §7) must absorb the injected faults.
+  Counter* retries =
+      MetricsRegistry::Default()->GetCounter("liquid.offsets.retries_total");
+  const int64_t retries_before = retries->value();
+  {
+    ConsumerConfig consumer_config;
+    consumer_config.group = "g";
+    Consumer consumer(cluster_.get(), offsets->get(), &coordinator, "c1",
+                      consumer_config);
+    LIQUID_ASSERT_OK(consumer.Subscribe({"t"}));
+    auto records = consumer.Poll(6);
+    LIQUID_ASSERT_OK(records.status());
+    ASSERT_EQ(records->size(), 6u);
+
+    FaultSiteConfig commit_fault;
+    commit_fault.kind = FaultActionKind::kFail;
+    commit_fault.fail_code = StatusCode::kUnavailable;
+    commit_fault.max_triggers = 2;
+    FaultRegistry::Default()->Arm("offsets.commit.before_append", commit_fault);
+    LIQUID_ASSERT_OK(consumer.Commit());
+    FaultRegistry::Default()->Clear();
+    EXPECT_GE(retries->value() - retries_before, 2);
+
+    // Crash the consumer (no final commit) so resume depends purely on the
+    // durable checkpoint.
+    LIQUID_ASSERT_OK(consumer.CloseWithoutCommit());
+  }
+
+  // Restart the partition leader: offsets and data must both replay.
+  const int leader = cluster_->GetPartitionState(tp)->leader;
+  LIQUID_ASSERT_OK(cluster_->StopBroker(leader));
+  LIQUID_ASSERT_OK(cluster_->RestartBroker(leader));
+  cluster_->ReplicationTick();
+  cluster_->ReplicationTick();
+
+  // Re-open the offset manager from its backing log (checkpoint replay)...
+  offsets->reset();
+  auto recovered = OffsetManager::Open(&offsets_disk, "offsets/", &clock_);
+  LIQUID_ASSERT_OK(recovered.status());
+  auto committed = (*recovered)->Fetch("g", tp);
+  LIQUID_ASSERT_OK(committed.status());
+  EXPECT_EQ(committed->offset, 6);
+
+  // ...and a fresh member of the same group resumes exactly there.
+  ConsumerConfig consumer_config;
+  consumer_config.group = "g";
+  Consumer resumed(cluster_.get(), recovered->get(), &coordinator, "c2",
+                   consumer_config);
+  LIQUID_ASSERT_OK(resumed.Subscribe({"t"}));
+  std::vector<ConsumerRecord> rest;
+  while (true) {
+    auto records = resumed.Poll(32);
+    LIQUID_ASSERT_OK(records.status());
+    if (records->empty()) break;
+    rest.insert(rest.end(), records->begin(), records->end());
+  }
+  ASSERT_EQ(rest.size(), 4u);
+  EXPECT_EQ(rest.front().record.offset, 6);
+  EXPECT_EQ(rest.front().record.value, "v6");
+  EXPECT_EQ(rest.back().record.value, "v9");
 }
 
 }  // namespace
